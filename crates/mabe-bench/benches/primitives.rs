@@ -1,0 +1,115 @@
+//! Criterion micro-benchmarks of the pairing substrate: the costs that
+//! the paper's Figures 3–4 decompose into (exponentiation, pairing,
+//! hashing).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe_math::{hash_to_curve, hash_to_fr, pairing, Fq, Fr, G1Affine, Gt, G1};
+
+fn bench_field(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(1);
+    let a = Fq::random(&mut rng);
+    let b = Fq::random(&mut rng);
+    let mut group = c.benchmark_group("field");
+    group.bench_function("fq_mul", |bench| bench.iter(|| std::hint::black_box(a.mul(&b))));
+    group.bench_function("fq_square", |bench| bench.iter(|| std::hint::black_box(a.square())));
+    group.bench_function("fq_invert", |bench| bench.iter(|| std::hint::black_box(a.invert())));
+    let x = Fr::random(&mut rng);
+    let y = Fr::random(&mut rng);
+    group.bench_function("fr_mul", |bench| bench.iter(|| std::hint::black_box(x.mul(&y))));
+    group.finish();
+}
+
+fn bench_group(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    let p = G1::random(&mut rng);
+    let q = G1::random(&mut rng);
+    let k = Fr::random(&mut rng);
+    let mut group = c.benchmark_group("group");
+    group.bench_function("g1_add", |bench| bench.iter(|| std::hint::black_box(p.add(&q))));
+    group.bench_function("g1_double", |bench| bench.iter(|| std::hint::black_box(p.double())));
+    group.bench_function("g1_scalar_mul", |bench| bench.iter(|| std::hint::black_box(p.mul(&k))));
+    group.bench_function("hash_to_curve", |bench| {
+        let mut ctr = 0u64;
+        bench.iter(|| {
+            ctr += 1;
+            std::hint::black_box(hash_to_curve(&ctr.to_be_bytes()))
+        })
+    });
+    group.bench_function("hash_to_fr", |bench| {
+        bench.iter(|| std::hint::black_box(hash_to_fr(b"Doctor@MedOrg")))
+    });
+    group.finish();
+}
+
+fn bench_pairing(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let p = G1Affine::from(G1::random(&mut rng));
+    let q = G1Affine::from(G1::random(&mut rng));
+    let gt = Gt::random(&mut rng);
+    let k = Fr::random(&mut rng);
+    let mut group = c.benchmark_group("pairing");
+    group.sample_size(20);
+    group.bench_function("tate_pairing", |bench| {
+        bench.iter(|| std::hint::black_box(pairing(&p, &q)))
+    });
+    group.bench_function("gt_pow", |bench| bench.iter(|| std::hint::black_box(gt.pow(&k))));
+    group.bench_function("gt_mul", |bench| {
+        bench.iter(|| std::hint::black_box(gt.mul(&gt)))
+    });
+    group.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(4);
+    let p = G1::random(&mut rng);
+    let k = Fr::random(&mut rng);
+    let mut group = c.benchmark_group("ablation_scalar_mul");
+    group.bench_function("wnaf_w4", |bench| bench.iter(|| std::hint::black_box(p.mul_wnaf(&k))));
+    group.bench_function("binary", |bench| bench.iter(|| std::hint::black_box(p.mul_binary(&k))));
+    group.finish();
+
+    // Product of 8 pairings: shared vs separate final exponentiation.
+    let pairs: Vec<(G1Affine, G1Affine)> = (0..8)
+        .map(|_| {
+            (
+                G1Affine::from(G1::random(&mut rng)),
+                G1Affine::from(G1::random(&mut rng)),
+            )
+        })
+        .collect();
+    let mut group = c.benchmark_group("ablation_pairing_product_8");
+    group.sample_size(10);
+    group.bench_function("multi_pairing", |bench| {
+        bench.iter(|| std::hint::black_box(mabe_math::multi_pairing(&pairs)))
+    });
+    group.bench_function("separate_pairings", |bench| {
+        bench.iter(|| {
+            let mut acc = Gt::one();
+            for (p, q) in &pairs {
+                acc = acc.mul(&pairing(p, q));
+            }
+            std::hint::black_box(acc)
+        })
+    });
+    group.finish();
+
+    // Batch vs individual affine normalization of 16 points.
+    let points: Vec<G1> = (0..16).map(|_| G1::random(&mut rng)).collect();
+    let mut group = c.benchmark_group("ablation_normalize_16");
+    group.bench_function("batch", |bench| {
+        bench.iter(|| std::hint::black_box(mabe_math::batch_normalize(&points)))
+    });
+    group.bench_function("individual", |bench| {
+        bench.iter(|| {
+            let affine: Vec<G1Affine> = points.iter().map(|p| G1Affine::from(*p)).collect();
+            std::hint::black_box(affine)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_field, bench_group, bench_pairing, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,136 @@
+//! Extension experiment: cross-scheme comparison at the paper's 5×5
+//! point (25 attributes total) across all four implemented schemes —
+//! the paper's scheme, Lewko–Waters (its evaluation baseline), Chase07
+//! (its Table I predecessor) and Waters11 (its single-authority proof
+//! target).
+//!
+//! For each scheme: keygen time (all-attribute user), encryption time,
+//! decryption time, ciphertext bytes. Chase's policy model is the
+//! strict AND-of-thresholds closest to the 25-attribute AND; Waters
+//! runs the same 25-attribute AND under a single authority.
+//!
+//! Usage: `crossbench`. `MABE_TRIALS` sets trial count (default 10).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe_bench::timing::trials_from_env;
+use mabe_bench::{LewkoWorld, OurWorld, Shape};
+use mabe_math::Gt;
+use mabe_policy::{AccessStructure, Attribute};
+
+const POINT: Shape = Shape { authorities: 5, attrs_per_authority: 5 };
+
+fn timed<F: FnMut()>(trials: usize, mut f: F) -> f64 {
+    let start = Instant::now();
+    for _ in 0..trials {
+        f();
+    }
+    start.elapsed().as_secs_f64() / trials as f64
+}
+
+fn main() {
+    let trials = trials_from_env(10);
+    eprintln!("# crossbench: 5 authorities x 5 attributes, {trials} trials");
+    println!("scheme\tkeygen_s\tencrypt_s\tdecrypt_s\tciphertext_B");
+
+    // ---- Ours (Yang–Jia) ----
+    {
+        let mut world = OurWorld::new(POINT, 1);
+        let uid = world.user_pk.uid.clone();
+        let owner = world.owner.id().clone();
+        let keygen = timed(trials, || {
+            for aa in &world.authorities {
+                std::hint::black_box(aa.keygen(&uid, &owner).unwrap());
+            }
+        });
+        let encrypt = timed(trials, || {
+            std::hint::black_box(world.encrypt_once());
+        });
+        let ct = world.encrypt_once();
+        let decrypt = timed(trials, || {
+            std::hint::black_box(world.decrypt_once(&ct));
+        });
+        println!("ours\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+    }
+
+    // ---- Lewko–Waters ----
+    {
+        let mut world = LewkoWorld::new(POINT, 2);
+        let attrs: Vec<Attribute> = world.user_keys.keys().cloned().collect();
+        let keygen = timed(trials, || {
+            for attr in &attrs {
+                let aa = world
+                    .authorities
+                    .iter()
+                    .find(|a| a.aid() == attr.authority())
+                    .unwrap();
+                std::hint::black_box(aa.keygen("bench-user", attr).unwrap());
+            }
+        });
+        let encrypt = timed(trials, || {
+            std::hint::black_box(world.encrypt_once());
+        });
+        let ct = world.encrypt_once();
+        let decrypt = timed(trials, || {
+            std::hint::black_box(world.decrypt_once(&ct));
+        });
+        println!("lewko\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+    }
+
+    // ---- Chase07 (AND of 5-of-5 thresholds) ----
+    {
+        let mut rng = StdRng::seed_from_u64(3);
+        let names: Vec<String> = (0..5).map(|x| format!("attr{x}")).collect();
+        let spec: Vec<(&str, &[String], usize)> = ["AA0", "AA1", "AA2", "AA3", "AA4"]
+            .iter()
+            .map(|n| (*n, names.as_slice(), 5usize))
+            .collect();
+        let sys = mabe_chase::ChaseSystem::setup(&spec, &mut rng);
+        let pks = sys.public_keys();
+        let universe: BTreeSet<Attribute> = (0..5)
+            .flat_map(|a| (0..5).map(move |x| format!("attr{x}@AA{a}").parse().unwrap()))
+            .collect();
+        let keygen = timed(trials, || {
+            std::hint::black_box(sys.keygen("bench-user", &universe, &mut rng).unwrap());
+        });
+        let key = sys.keygen("bench-user", &universe, &mut rng).unwrap();
+        let msg = Gt::random(&mut rng);
+        let encrypt = timed(trials, || {
+            std::hint::black_box(mabe_chase::encrypt(&msg, &universe, &pks, &mut rng).unwrap());
+        });
+        let ct = mabe_chase::encrypt(&msg, &universe, &pks, &mut rng).unwrap();
+        let decrypt = timed(trials, || {
+            std::hint::black_box(mabe_chase::decrypt(&ct, &key, &pks).unwrap());
+        });
+        println!("chase\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+    }
+
+    // ---- Waters11 (single authority, same 25-attr AND) ----
+    {
+        let mut rng = StdRng::seed_from_u64(4);
+        let auth = mabe_waters::WatersAuthority::setup(&mut rng);
+        let pk = auth.public_key();
+        let universe: BTreeSet<Attribute> = (0..5)
+            .flat_map(|a| (0..5).map(move |x| format!("attr{x}@AA{a}").parse().unwrap()))
+            .collect();
+        let access = AccessStructure::from_policy(&mabe_bench::workload::and_policy(POINT))
+            .expect("injective");
+        let keygen = timed(trials, || {
+            std::hint::black_box(auth.keygen(&universe, &mut rng));
+        });
+        let key = auth.keygen(&universe, &mut rng);
+        let msg = Gt::random(&mut rng);
+        let encrypt = timed(trials, || {
+            std::hint::black_box(mabe_waters::encrypt(&msg, &access, &pk, &mut rng));
+        });
+        let ct = mabe_waters::encrypt(&msg, &access, &pk, &mut rng);
+        let decrypt = timed(trials, || {
+            std::hint::black_box(mabe_waters::decrypt(&ct, &key).unwrap());
+        });
+        println!("waters\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 3: encryption (a) and decryption (b) time vs the
+//! number of authorities, 5 attributes per authority, ours vs Lewko.
+//!
+//! Usage: `fig3 [max_authorities]` (default 10, the paper's range).
+//! Set `MABE_TRIALS` to change the per-point trial count (default 20).
+
+use mabe_bench::timing::trials_from_env;
+
+fn main() {
+    let max = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .filter(|&m| (2..=32).contains(&m))
+        .unwrap_or(10);
+    let trials = trials_from_env(20);
+    eprintln!("# fig3: authorities 2..={max}, 5 attrs/authority, {trials} trials/point");
+    let (enc, dec) = mabe_bench::fig3(trials, max);
+    print!("{}", enc.to_tsv("Fig 3(a): encryption time vs number of authorities"));
+    println!();
+    print!("{}", dec.to_tsv("Fig 3(b): decryption time vs number of authorities"));
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 4: encryption (a) and decryption (b) time vs the
+//! number of attributes per authority, 5 authorities, ours vs Lewko.
+//!
+//! Usage: `fig4 [max_attrs]` (default 10, the paper's range). Set
+//! `MABE_TRIALS` to change the per-point trial count (default 20).
+
+use mabe_bench::timing::trials_from_env;
+
+fn main() {
+    let max = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .filter(|&m| (2..=32).contains(&m))
+        .unwrap_or(10);
+    let trials = trials_from_env(20);
+    eprintln!("# fig4: attrs/authority 2..={max}, 5 authorities, {trials} trials/point");
+    let (enc, dec) = mabe_bench::fig4(trials, max);
+    print!("{}", enc.to_tsv("Fig 4(a): encryption time vs attributes per authority"));
+    println!();
+    print!("{}", dec.to_tsv("Fig 4(b): decryption time vs attributes per authority"));
+}

@@ -1,0 +1,82 @@
+//! Extension experiment: the cost of the paper's §V-C revocation
+//! pipeline as the policy grows.
+//!
+//! For one revocation at one authority (5 authorities total, sweeping
+//! attributes per authority), measures:
+//!
+//! * `rekey_s` — the authority's `ReKey` (fresh α̃, per-owner update
+//!   keys, re-issued key for the revoked user),
+//! * `update_info_s` — the owner's `UI` generation for one ciphertext,
+//! * `reencrypt_s` — the server's partial `ReEncrypt` (paper method),
+//! * `full_reencrypt_s` — the strawman that re-encrypts from scratch,
+//!
+//! demonstrating §V-C's claim that the proxy method only pays for the
+//! affected authority's rows.
+//!
+//! Usage: `revocation [max_attrs]` (default 10). `MABE_TRIALS` sets the
+//! per-point trial count (default 10).
+
+use std::time::Instant;
+
+use mabe_bench::timing::trials_from_env;
+use mabe_bench::{OurWorld, Shape};
+
+fn main() {
+    let max = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .filter(|&m| (2..=32).contains(&m))
+        .unwrap_or(10);
+    let trials = trials_from_env(10);
+    eprintln!("# revocation cost: 5 authorities, attrs/AA 2..={max}, {trials} trials/point");
+    println!("attrs_per_authority\trekey_s\tupdate_info_s\treencrypt_s\tfull_reencrypt_s");
+
+    for attrs in 2..=max {
+        let shape = Shape { authorities: 5, attrs_per_authority: attrs };
+        let (mut rekey, mut ui_gen, mut reenc, mut full) = (0.0f64, 0.0, 0.0, 0.0);
+        for trial in 0..trials {
+            let mut world = OurWorld::new(shape, 7000 + (attrs * 100 + trial) as u64);
+            let ct = world.encrypt_once();
+            let victim_attr = world.authorities[0]
+                .attributes()
+                .iter()
+                .next()
+                .expect("has attributes")
+                .clone();
+            let uid = world.user_pk.uid.clone();
+
+            let t = Instant::now();
+            let event = world.authorities[0]
+                .revoke_attribute(&uid, &victim_attr, &mut world.rng)
+                .expect("user holds attribute");
+            rekey += t.elapsed().as_secs_f64();
+
+            let uk = event.update_keys[world.owner.id()].clone();
+            world.owner.apply_update_key(&uk).expect("version chains");
+
+            let t = Instant::now();
+            let ui = world
+                .owner
+                .update_info_for(ct.id, &uk.aid, uk.from_version, uk.to_version)
+                .expect("history kept");
+            ui_gen += t.elapsed().as_secs_f64();
+
+            let mut ct_server = ct.clone();
+            let t = Instant::now();
+            mabe_core::reencrypt(&mut ct_server, &uk, &ui).expect("valid update");
+            reenc += t.elapsed().as_secs_f64();
+
+            let t = Instant::now();
+            let _ = world.encrypt_once(); // strawman: fresh encryption
+            full += t.elapsed().as_secs_f64();
+        }
+        let n = trials as f64;
+        println!(
+            "{attrs}\t{:.6}\t{:.6}\t{:.6}\t{:.6}",
+            rekey / n,
+            ui_gen / n,
+            reenc / n,
+            full / n
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Extension experiment: storage (Table III) and communication
+//! (Table IV) measured across a sweep of system sizes, demonstrating
+//! the linear scaling behind the paper's closed-form size formulas.
+//!
+//! Usage: `sweep [max_authorities]` (default 8; 5 attrs/authority,
+//! matching the figures' fixed knob).
+
+use mabe_bench::tables::{communication_comparison, storage_comparison};
+use mabe_bench::Shape;
+
+fn main() {
+    let max = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .filter(|&m| (2..=16).contains(&m))
+        .unwrap_or(8);
+    eprintln!("# size sweep: authorities 2..={max}, 5 attrs/authority (bytes)");
+    println!(
+        "authorities\tstore_aa_ours\tstore_aa_lewko\tstore_server_ours\tstore_server_lewko\t\
+         comm_srv_user_ours\tcomm_srv_user_lewko"
+    );
+    for authorities in 2..=max {
+        let shape = Shape { authorities, attrs_per_authority: 5 };
+        let storage = storage_comparison(shape);
+        let comm = communication_comparison(shape);
+        println!(
+            "{authorities}\t{}\t{}\t{}\t{}\t{}\t{}",
+            storage.authority.0,
+            storage.authority.1,
+            storage.server.0,
+            storage.server.1,
+            comm.server_user.0,
+            comm.server_user.1,
+        );
+    }
+}

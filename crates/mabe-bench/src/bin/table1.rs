@@ -1,0 +1,5 @@
+//! Regenerates Table I (scalability comparison).
+
+fn main() {
+    print!("{}", mabe_bench::table1());
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table II (per-component size comparison).
+//!
+//! Usage: `table2 [authorities] [attrs_per_authority]` (default 5 x 5,
+//! the paper's fixed point).
+
+use mabe_bench::Shape;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let authorities = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let attrs = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    print!("{}", mabe_bench::table2(Shape { authorities, attrs_per_authority: attrs }));
+}

@@ -1,0 +1,13 @@
+//! Regenerates Table IV (communication cost per entity pair) from the
+//! byte-accounted wire of a live simulated deployment.
+//!
+//! Usage: `table4 [authorities] [attrs_per_authority]` (default 5 x 5).
+
+use mabe_bench::Shape;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let authorities = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    let attrs = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
+    print!("{}", mabe_bench::table4(Shape { authorities, attrs_per_authority: attrs }));
+}

@@ -1,0 +1,409 @@
+//! Regeneration of the paper's Tables I–IV.
+//!
+//! Each function returns the table as a formatted string (what the `table*`
+//! binaries print) plus, where meaningful, structured data that the test
+//! suite asserts the paper's claims against (ours smaller/equal per row).
+
+use std::collections::BTreeMap;
+
+use mabe_cloud::{CloudSystem, PairClass};
+use mabe_core::{GT_BYTES, G_BYTES, ZP_BYTES};
+
+use crate::workload::{OurWorld, Shape};
+
+/// One row of Table I (qualitative scalability comparison).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SchemeCapabilities {
+    /// Scheme label as in the paper.
+    pub scheme: &'static str,
+    /// Does the scheme require a global/central authority?
+    pub requires_global_authority: bool,
+    /// Supported policy expressiveness.
+    pub policy_type: &'static str,
+    /// Collusion tolerance.
+    pub colluders: &'static str,
+    /// Where this repository substantiates the row with code
+    /// (empty for rows reproduced from the paper's text only).
+    pub evidence: &'static str,
+}
+
+/// The paper's Table I data (rows in the paper's order).
+pub fn table1_data() -> Vec<SchemeCapabilities> {
+    vec![
+        SchemeCapabilities {
+            scheme: "Ours (Yang-Jia)",
+            requires_global_authority: false,
+            policy_type: "Any LSSS",
+            colluders: "Any",
+            evidence: "mabe-core (full implementation + collusion tests)",
+        },
+        SchemeCapabilities {
+            scheme: "Chase07 [7]",
+            requires_global_authority: true,
+            policy_type: "Only 'AND'",
+            colluders: "Any",
+            evidence: "mabe-chase (central-escrow + strict-AND tests)",
+        },
+        SchemeCapabilities {
+            scheme: "Muller09 [8]",
+            requires_global_authority: true,
+            policy_type: "Any LSSS",
+            colluders: "Any",
+            evidence: "",
+        },
+        SchemeCapabilities {
+            scheme: "Chase-Chow09 [9]",
+            requires_global_authority: false,
+            policy_type: "Only 'AND'",
+            colluders: "Any",
+            evidence: "",
+        },
+        SchemeCapabilities {
+            scheme: "Lin10 [24]",
+            requires_global_authority: false,
+            policy_type: "Any LSSS",
+            colluders: "Up to m",
+            evidence: "",
+        },
+        SchemeCapabilities {
+            scheme: "Lewko11 [10]",
+            requires_global_authority: false,
+            policy_type: "Any LSSS",
+            colluders: "Any",
+            evidence: "mabe-lewko (full implementation + collusion tests)",
+        },
+    ]
+}
+
+/// Renders Table I.
+pub fn table1() -> String {
+    let mut out = String::from(
+        "Table I: Scalability Comparison\n\
+         Scheme              | Global Authority | Policy Type | Colluders\n\
+         --------------------+------------------+-------------+----------\n",
+    );
+    for row in table1_data() {
+        out.push_str(&format!(
+            "{:<20}| {:<17}| {:<12}| {}\n",
+            row.scheme,
+            if row.requires_global_authority { "Yes" } else { "No" },
+            row.policy_type,
+            row.colluders,
+        ));
+    }
+    out.push_str("\nExecutable evidence in this repository:\n");
+    for row in table1_data() {
+        if !row.evidence.is_empty() {
+            out.push_str(&format!("  {:<20} -> {}\n", row.scheme, row.evidence));
+        }
+    }
+    out
+}
+
+/// Measured component sizes for one shape (Table II / III inputs).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ComponentSizes {
+    /// Per-authority private key bytes.
+    pub authority_key: usize,
+    /// Published public key bytes (all authorities).
+    pub public_key: usize,
+    /// The all-attribute user's secret key bytes (all authorities).
+    pub secret_key: usize,
+    /// Ciphertext bytes for the all-attributes AND policy.
+    pub ciphertext: usize,
+}
+
+/// Computes both schemes' component sizes for a shape.
+///
+/// Ours is **measured** from real objects; Lewko's is measured for the
+/// ciphertext/keys and computed from Table II formulas for the rest
+/// (validated equal to measurements in this crate's tests).
+pub fn component_sizes(shape: Shape, seed: u64) -> (ComponentSizes, ComponentSizes) {
+    let mut ours_world = OurWorld::new(shape, seed);
+    let ct = ours_world.encrypt_once();
+    let ours = ComponentSizes {
+        authority_key: ours_world.authorities.iter().map(|a| a.version_key().wire_size()).sum(),
+        public_key: ours_world
+            .authorities
+            .iter()
+            .map(|a| a.public_keys().wire_size())
+            .sum(),
+        secret_key: ours_world.user_keys.values().map(|k| k.wire_size()).sum(),
+        ciphertext: ct.wire_size(),
+    };
+
+    let mut lewko_world = crate::workload::LewkoWorld::new(shape, seed + 1);
+    let lct = lewko_world.encrypt_once();
+    let lewko = ComponentSizes {
+        authority_key: lewko_world.authorities.iter().map(|a| a.storage_size()).sum(),
+        public_key: lewko_world.public_keys.values().map(|p| p.wire_size()).sum(),
+        secret_key: lewko_world.user_keys.values().map(|k| k.wire_size()).sum(),
+        ciphertext: lct.wire_size(),
+    };
+    (ours, lewko)
+}
+
+/// Renders Table II: per-component formulas and measured bytes.
+pub fn table2(shape: Shape) -> String {
+    let (ours, lewko) = component_sizes(shape, 0xdead);
+    let n_a = shape.authorities;
+    let n_k = shape.attrs_per_authority;
+    let l = shape.total_attrs();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table II: Comparison of Each Component ({n_a} authorities x {n_k} attrs, l = {l}, \
+         |G| = {G_BYTES} B, |GT| = {GT_BYTES} B, |p| = {ZP_BYTES} B)\n"
+    ));
+    out.push_str(
+        "Component     | Ours formula            | Ours bytes | Lewko formula          | Lewko bytes\n\
+         --------------+-------------------------+------------+------------------------+------------\n",
+    );
+    out.push_str(&format!(
+        "Authority Key | |p| per AA              | {:>10} | 2*nk*|p| per AA        | {:>10}\n",
+        ours.authority_key, lewko.authority_key
+    ));
+    out.push_str(&format!(
+        "Public Key    | sum(nk|G| + |GT|)       | {:>10} | sum nk(|GT| + |G|)     | {:>10}\n",
+        ours.public_key, lewko.public_key
+    ));
+    out.push_str(&format!(
+        "Secret Key    | |G| + sum(nk,uid)|G|    | {:>10} | sum(nk,uid)|G|         | {:>10}\n",
+        ours.secret_key, lewko.secret_key
+    ));
+    out.push_str(&format!(
+        "Ciphertext    | |GT| + (l+1)|G|         | {:>10} | (l+1)|GT| + 2l|G|      | {:>10}\n",
+        ours.ciphertext, lewko.ciphertext
+    ));
+    out
+}
+
+/// Analytic Lewko storage/communication sizes for a shape (Table III/IV
+/// right-hand columns; the paper compares analytically because Lewko's
+/// scheme has no owner/server roles of its own).
+pub fn lewko_analytic(shape: Shape) -> ComponentSizes {
+    let n_k = shape.attrs_per_authority;
+    let n_a = shape.authorities;
+    let l = shape.total_attrs();
+    ComponentSizes {
+        authority_key: n_a * 2 * n_k * ZP_BYTES,
+        public_key: n_a * n_k * (GT_BYTES + G_BYTES),
+        secret_key: n_a * n_k * G_BYTES,
+        ciphertext: (l + 1) * GT_BYTES + 2 * l * G_BYTES,
+    }
+}
+
+/// Output of the storage experiment (Table III).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StorageComparison {
+    /// Bytes on one attribute authority: (ours measured, lewko analytic).
+    pub authority: (usize, usize),
+    /// Bytes on the owner.
+    pub owner: (usize, usize),
+    /// Bytes on the all-attribute user.
+    pub user: (usize, usize),
+    /// Bytes on the server for one published record.
+    pub server: (usize, usize),
+}
+
+/// Runs a full [`CloudSystem`] deployment of the given shape, publishes
+/// one all-attributes record, and measures per-entity storage.
+pub fn storage_comparison(shape: Shape) -> StorageComparison {
+    let sys = deploy(shape);
+    let report = sys.storage_report();
+    let lewko = lewko_analytic(shape);
+    let authority_ours = *report.authorities.values().next().expect("≥1 authority");
+    let owner_ours = *report.owners.values().next().expect("1 owner");
+    let user_ours = *report.users.values().next().expect("1 user");
+    // Our server stores ABE bytes + symmetric payload; compare the ABE
+    // share (the paper's accounting) by subtracting the payload.
+    let server_ours = sys.server().storage_size();
+    StorageComparison {
+        authority: (authority_ours, lewko.authority_key / shape.authorities),
+        owner: (owner_ours, lewko.public_key),
+        user: (user_ours, lewko.secret_key),
+        server: (server_ours, lewko.ciphertext + PAYLOAD_OVERHEAD),
+    }
+}
+
+/// Fixed symmetric payload size used by the storage/communication
+/// deployments (content + AEAD tag + nonce), identical for both schemes.
+pub const PAYLOAD_OVERHEAD: usize = PAYLOAD.len() + 16 + 12;
+const PAYLOAD: &[u8] = b"0123456789abcdef0123456789abcdef"; // 32 B component
+
+/// Deploys a CloudSystem of the given shape: one owner, one
+/// all-attributes user, one record sealed under the all-attributes AND
+/// policy.
+pub fn deploy(shape: Shape) -> CloudSystem {
+    let mut sys = CloudSystem::new(0xc10d);
+    let attr_names: Vec<String> =
+        (0..shape.attrs_per_authority).map(|x| format!("attr{x}")).collect();
+    let name_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
+    for a in 0..shape.authorities {
+        sys.add_authority(&format!("AA{a}"), &name_refs).expect("fresh AID");
+    }
+    let owner = sys.add_owner("owner").expect("fresh owner");
+    let user = sys.add_user("user").expect("fresh user");
+    let grants: Vec<String> = (0..shape.authorities)
+        .flat_map(|a| (0..shape.attrs_per_authority).map(move |x| format!("attr{x}@AA{a}")))
+        .collect();
+    let grant_refs: Vec<&str> = grants.iter().map(String::as_str).collect();
+    sys.grant(&user, &grant_refs).expect("grants valid");
+    let policy = crate::workload::and_policy(shape).to_string();
+    sys.publish(&owner, "record", &[("component", PAYLOAD, &policy)])
+        .expect("publish succeeds");
+    // Exercise a read so Server↔User traffic exists for Table IV.
+    sys.read(&user, &owner, "record", "component").expect("read succeeds");
+    sys
+}
+
+/// Renders Table III.
+pub fn table3(shape: Shape) -> String {
+    let cmp = storage_comparison(shape);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table III: Storage Overhead ({} authorities x {} attrs; bytes)\n",
+        shape.authorities, shape.attrs_per_authority
+    ));
+    out.push_str(
+        "Entity | Ours (measured) | Lewko (same-shape)\n\
+         -------+-----------------+-------------------\n",
+    );
+    out.push_str(&format!("AA     | {:>15} | {:>18}\n", cmp.authority.0, cmp.authority.1));
+    out.push_str(&format!("Owner  | {:>15} | {:>18}\n", cmp.owner.0, cmp.owner.1));
+    out.push_str(&format!("User   | {:>15} | {:>18}\n", cmp.user.0, cmp.user.1));
+    out.push_str(&format!("Server | {:>15} | {:>18}\n", cmp.server.0, cmp.server.1));
+    out
+}
+
+/// Output of the communication experiment (Table IV): bytes per entity
+/// pair, ours measured on the wire vs Lewko analytic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CommunicationComparison {
+    /// AA↔User bytes.
+    pub aa_user: (usize, usize),
+    /// AA↔Owner bytes.
+    pub aa_owner: (usize, usize),
+    /// Server↔User bytes.
+    pub server_user: (usize, usize),
+    /// Server↔Owner bytes.
+    pub server_owner: (usize, usize),
+}
+
+/// Runs the deployment and aggregates wire traffic per pair class.
+pub fn communication_comparison(shape: Shape) -> CommunicationComparison {
+    let sys = deploy(shape);
+    let report: BTreeMap<PairClass, usize> = sys.wire().report();
+    let lewko = lewko_analytic(shape);
+    let get = |c: PairClass| report.get(&c).copied().unwrap_or(0);
+    // Lewko analytic: AA↔User = secret keys; AA↔Owner = public keys;
+    // Server↔* = ciphertext (+ identical payload).
+    CommunicationComparison {
+        aa_user: (get(PairClass::AuthorityUser), lewko.secret_key),
+        aa_owner: (get(PairClass::AuthorityOwner), lewko.public_key),
+        server_user: (get(PairClass::ServerUser), lewko.ciphertext + PAYLOAD_OVERHEAD),
+        server_owner: (get(PairClass::ServerOwner), lewko.ciphertext + PAYLOAD_OVERHEAD),
+    }
+}
+
+/// Renders Table IV.
+pub fn table4(shape: Shape) -> String {
+    let cmp = communication_comparison(shape);
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table IV: Communication Cost ({} authorities x {} attrs; bytes)\n",
+        shape.authorities, shape.attrs_per_authority
+    ));
+    out.push_str(
+        "Pair           | Ours (measured) | Lewko (same-shape)\n\
+         ---------------+-----------------+-------------------\n",
+    );
+    out.push_str(&format!("AA<->User      | {:>15} | {:>18}\n", cmp.aa_user.0, cmp.aa_user.1));
+    out.push_str(&format!("AA<->Owner     | {:>15} | {:>18}\n", cmp.aa_owner.0, cmp.aa_owner.1));
+    out.push_str(&format!(
+        "Server<->User  | {:>15} | {:>18}\n",
+        cmp.server_user.0, cmp.server_user.1
+    ));
+    out.push_str(&format!(
+        "Server<->Owner | {:>15} | {:>18}\n",
+        cmp.server_owner.0, cmp.server_owner.1
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHAPE: Shape = Shape { authorities: 2, attrs_per_authority: 3 };
+
+    #[test]
+    fn table1_contains_all_schemes() {
+        let t = table1();
+        for name in ["Ours", "Chase07", "Muller09", "Chase-Chow09", "Lin10", "Lewko11"] {
+            assert!(t.contains(name), "missing {name}");
+        }
+        // Only ours and Lewko combine no-global-authority + LSSS + any
+        // colluders — the paper's scalability claim.
+        let best: Vec<_> = table1_data()
+            .into_iter()
+            .filter(|r| {
+                !r.requires_global_authority && r.policy_type == "Any LSSS" && r.colluders == "Any"
+            })
+            .collect();
+        assert_eq!(best.len(), 2);
+    }
+
+    #[test]
+    fn table2_formulas_match_measurements() {
+        let (ours, lewko) = component_sizes(SHAPE, 7);
+        let n_a = SHAPE.authorities;
+        let n_k = SHAPE.attrs_per_authority;
+        let l = SHAPE.total_attrs();
+        // Ours.
+        assert_eq!(ours.authority_key, n_a * ZP_BYTES);
+        assert_eq!(ours.public_key, n_a * (n_k * G_BYTES + GT_BYTES));
+        assert_eq!(ours.secret_key, n_a * (G_BYTES + n_k * G_BYTES));
+        assert_eq!(ours.ciphertext, GT_BYTES + (l + 1) * G_BYTES);
+        // Lewko (measured equals the analytic formulas).
+        let analytic = lewko_analytic(SHAPE);
+        assert_eq!(lewko.authority_key, analytic.authority_key);
+        assert_eq!(lewko.public_key, analytic.public_key);
+        assert_eq!(lewko.secret_key, analytic.secret_key);
+        assert_eq!(lewko.ciphertext, analytic.ciphertext);
+    }
+
+    #[test]
+    fn paper_claim_ours_smaller_or_equal() {
+        // §VI-C: authority, owner(public key) and server(ciphertext)
+        // overheads strictly smaller; user overhead "almost the same".
+        let (ours, lewko) = component_sizes(SHAPE, 8);
+        assert!(ours.authority_key < lewko.authority_key);
+        assert!(ours.public_key < lewko.public_key);
+        assert!(ours.ciphertext < lewko.ciphertext);
+        // User key: ours has one extra |G| per authority.
+        assert_eq!(ours.secret_key, lewko.secret_key + SHAPE.authorities * G_BYTES);
+    }
+
+    #[test]
+    fn storage_comparison_shape_holds() {
+        let cmp = storage_comparison(SHAPE);
+        assert!(cmp.authority.0 < cmp.authority.1, "AA storage: ours smaller");
+        assert!(cmp.server.0 < cmp.server.1, "server storage: ours smaller");
+        assert!(cmp.owner.0 > 0 && cmp.user.0 > 0);
+    }
+
+    #[test]
+    fn communication_comparison_shape_holds() {
+        let cmp = communication_comparison(SHAPE);
+        assert!(cmp.server_user.0 < cmp.server_user.1, "download: ours smaller");
+        assert!(cmp.server_owner.0 < cmp.server_owner.1, "upload: ours smaller");
+        assert!(cmp.aa_owner.0 > 0 && cmp.aa_user.0 > 0);
+    }
+
+    #[test]
+    fn tables_render_nonempty() {
+        assert!(table2(SHAPE).contains("Ciphertext"));
+        assert!(table3(SHAPE).contains("Server"));
+        assert!(table4(SHAPE).contains("AA<->User"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Wall-clock measurement helpers.
+//!
+//! The paper reports the mean of 20 trials; [`trials_from_env`] lets the
+//! regeneration binaries honour `MABE_TRIALS` so CI can run fewer.
+
+use std::time::{Duration, Instant};
+
+/// Mean wall-clock duration of `f` over `trials` runs.
+///
+/// # Panics
+///
+/// Panics if `trials == 0`.
+pub fn mean_duration<F: FnMut()>(trials: usize, mut f: F) -> Duration {
+    assert!(trials > 0, "need at least one trial");
+    let start = Instant::now();
+    for _ in 0..trials {
+        f();
+    }
+    start.elapsed() / trials as u32
+}
+
+/// Number of trials: `MABE_TRIALS` env var, or the paper's 20, capped to
+/// a sane range.
+pub fn trials_from_env(default: usize) -> usize {
+    std::env::var("MABE_TRIALS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v >= 1 && v <= 1000)
+        .unwrap_or(default)
+}
+
+/// Formats a duration as fractional seconds (the paper's y-axis unit).
+pub fn secs(d: Duration) -> f64 {
+    d.as_secs_f64()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_counts_all_trials() {
+        let mut calls = 0;
+        let _ = mean_duration(5, || calls += 1);
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn mean_is_plausible() {
+        let d = mean_duration(3, || std::thread::sleep(Duration::from_millis(2)));
+        assert!(d >= Duration::from_millis(2));
+        assert!(d < Duration::from_millis(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one trial")]
+    fn zero_trials_panics() {
+        let _ = mean_duration(0, || {});
+    }
+
+    #[test]
+    fn secs_converts() {
+        assert!((secs(Duration::from_millis(1500)) - 1.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,541 @@
+//! # mabe-chase
+//!
+//! Historical baseline: **Chase's multi-authority attribute-based
+//! encryption** (TCC 2007) — the first multi-authority ABE and the
+//! first row of the paper's Table I. Implemented on the same type-A
+//! pairing substrate so the paper's qualitative comparison becomes
+//! executable:
+//!
+//! * **Requires a central authority** that holds the system master key
+//!   and the authorities' PRF seeds — and can therefore decrypt
+//!   *everything* (pinned by the `central_authority_escrow` test;
+//!   the vulnerability the paper's design removes).
+//! * **Only strict `AND` of per-authority thresholds**: a ciphertext
+//!   names an attribute set per authority, and the decryptor needs
+//!   `d_k` of them from **every** authority — no `OR`, no cross-
+//!   authority thresholds (structural; see the API).
+//! * Collusion resistance comes from the per-GID pseudorandom secret
+//!   `y_k(GID)` that each authority's key-polynomial embeds.
+//!
+//! ## Scheme sketch
+//!
+//! * System: master `y₀`, `Y = e(g,g)^{y₀}`; per authority `k` and
+//!   attribute `i` a secret `t_{k,i}` with public `T_{k,i} = g^{t_{k,i}}`.
+//! * Per user (GID) and authority: `y_k(GID) = PRF_k(GID)`, a random
+//!   degree-`d_k - 1` polynomial `p` with `p(0) = y_k(GID)`, and keys
+//!   `S_{k,i} = g^{p(x_i)/t_{k,i}}` (`x_i` = hashed attribute).
+//! * Central key: `D_GID = g^{y₀ - Σ_k y_k(GID)}`.
+//! * Encrypt to sets `A_k`: `E₀ = m·Y^s`, `E₁ = g^s`,
+//!   `C_{k,i} = T_{k,i}^s`.
+//! * Decrypt: interpolate `e(S_{k,i}, C_{k,i}) = e(g,g)^{p(x_i)s}` at 0
+//!   per authority, multiply with `e(D_GID, E₁)`, divide out
+//!   `e(g,g)^{y₀ s}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rand::RngCore;
+
+use mabe_crypto::hmac::HmacSha256;
+use mabe_math::{generator_mul, hash_to_fr, pairing, Fr, G1Affine, Gt, G1};
+use mabe_policy::{Attribute, AuthorityId};
+
+/// Errors from the Chase scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ChaseError {
+    /// Attribute outside an authority's universe.
+    UnknownAttribute(Attribute),
+    /// The ciphertext references an authority the system doesn't have.
+    UnknownAuthority(AuthorityId),
+    /// The user's keys cannot meet some authority's threshold on the
+    /// ciphertext's attribute set.
+    ThresholdNotMet {
+        /// The deficient authority.
+        authority: AuthorityId,
+        /// Its required threshold `d_k`.
+        needed: usize,
+        /// Usable attributes the decryptor had.
+        had: usize,
+    },
+    /// A ciphertext must name at least `d_k` attributes per authority.
+    CiphertextTooSmall(AuthorityId),
+}
+
+impl fmt::Display for ChaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChaseError::UnknownAttribute(a) => write!(f, "attribute {a} is not managed here"),
+            ChaseError::UnknownAuthority(a) => write!(f, "unknown authority {a}"),
+            ChaseError::ThresholdNotMet { authority, needed, had } => write!(
+                f,
+                "authority {authority}: need {needed} matching attributes, have {had}"
+            ),
+            ChaseError::CiphertextTooSmall(a) => {
+                write!(f, "ciphertext names fewer than d_k attributes for {a}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChaseError {}
+
+/// Per-authority configuration: managed attributes and threshold `d_k`.
+#[derive(Clone, Debug)]
+struct AuthorityState {
+    threshold: usize,
+    /// `t_{k,i}` per attribute.
+    secrets: BTreeMap<Attribute, Fr>,
+    /// PRF seed shared with the central authority.
+    prf_seed: [u8; 32],
+}
+
+/// The complete Chase system — including the central authority's master
+/// secret, which is the point: this object *is* the trusted party the
+/// paper's scheme eliminates.
+pub struct ChaseSystem {
+    y0: Fr,
+    authorities: BTreeMap<AuthorityId, AuthorityState>,
+}
+
+/// Public parameters: `Y` and all `T_{k,i}`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChasePublicKeys {
+    /// `Y = e(g,g)^{y₀}`.
+    pub y: Gt,
+    /// `T_{k,i} = g^{t_{k,i}}` per attribute.
+    pub attr_keys: BTreeMap<Attribute, G1Affine>,
+    /// Thresholds `d_k` (public system parameters, fixed at setup).
+    pub thresholds: BTreeMap<AuthorityId, usize>,
+}
+
+/// A user's full key bundle.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaseUserKey {
+    /// The key holder's global identifier.
+    pub gid: String,
+    /// `S_{k,i} = g^{p_k(x_i)/t_{k,i}}`.
+    pub attr_keys: BTreeMap<Attribute, G1Affine>,
+    /// The central key `D_GID = g^{y₀ - Σ_k y_k(GID)}`.
+    pub central: G1Affine,
+}
+
+/// A Chase ciphertext.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChaseCiphertext {
+    /// `E₀ = m · Y^s`.
+    pub e0: Gt,
+    /// `E₁ = g^s`.
+    pub e1: G1Affine,
+    /// `C_{k,i} = T_{k,i}^s` for every named attribute.
+    pub components: BTreeMap<Attribute, G1Affine>,
+}
+
+impl ChaseCiphertext {
+    /// Wire size in bytes with the workspace's element accounting
+    /// (`|G_T| + (l + 1)·|G|`; `|G|` = 65 B, `|G_T|` = 128 B).
+    pub fn wire_size(&self) -> usize {
+        128 + (self.components.len() + 1) * 65
+    }
+}
+
+impl ChaseUserKey {
+    /// Wire size in bytes (`(n + 1)·|G|`).
+    pub fn wire_size(&self) -> usize {
+        (self.attr_keys.len() + 1) * 65
+    }
+}
+
+fn prf(seed: &[u8; 32], gid: &str) -> Fr {
+    let tag = HmacSha256::mac(seed, gid.as_bytes());
+    let wide = mabe_crypto::sha256::digest_wide(0x20, &tag);
+    Fr::from_be_bytes_reduce(&wide)
+}
+
+fn attr_point(attr: &Attribute) -> Fr {
+    hash_to_fr(&attr.canonical_bytes())
+}
+
+impl ChaseSystem {
+    /// Global + authority setup: each `(name, attributes, d_k)` becomes
+    /// one authority. The central master `y₀` and all PRF seeds live in
+    /// the returned system object.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any `d_k` is zero or exceeds the attribute count.
+    pub fn setup<R, S>(spec: &[(&str, &[S], usize)], rng: &mut R) -> Self
+    where
+        R: RngCore + ?Sized,
+        S: AsRef<str>,
+    {
+        let mut authorities = BTreeMap::new();
+        for (name, attrs, d) in spec {
+            assert!(*d >= 1 && *d <= attrs.len(), "threshold out of range for {name}");
+            let aid = AuthorityId::new(*name);
+            let secrets = attrs
+                .iter()
+                .map(|a| (Attribute::new(a.as_ref(), aid.clone()), nonzero(rng)))
+                .collect();
+            let mut prf_seed = [0u8; 32];
+            rng.fill_bytes(&mut prf_seed);
+            authorities.insert(aid, AuthorityState { threshold: *d, secrets, prf_seed });
+        }
+        ChaseSystem { y0: nonzero(rng), authorities }
+    }
+
+    /// Publishes the system public keys.
+    pub fn public_keys(&self) -> ChasePublicKeys {
+        let mut attr_keys = BTreeMap::new();
+        let mut thresholds = BTreeMap::new();
+        for (aid, state) in &self.authorities {
+            thresholds.insert(aid.clone(), state.threshold);
+            for (attr, t) in &state.secrets {
+                attr_keys.insert(attr.clone(), G1Affine::from(generator_mul(t)));
+            }
+        }
+        ChasePublicKeys { y: Gt::generator().pow(&self.y0), attr_keys, thresholds }
+    }
+
+    /// Issues a user's complete key bundle for the given attribute set
+    /// (attributes grouped by their authorities automatically).
+    ///
+    /// # Errors
+    ///
+    /// Fails on attributes outside any authority's universe.
+    pub fn keygen<R: RngCore + ?Sized>(
+        &self,
+        gid: &str,
+        attrs: &BTreeSet<Attribute>,
+        rng: &mut R,
+    ) -> Result<ChaseUserKey, ChaseError> {
+        let mut attr_keys = BTreeMap::new();
+        let mut y_sum = Fr::zero();
+        for (aid, state) in &self.authorities {
+            let y_gid = prf(&state.prf_seed, gid);
+            y_sum = y_sum.add(&y_gid);
+            // Degree d_k - 1 polynomial with p(0) = y_k(GID).
+            let mut coeffs = vec![y_gid];
+            for _ in 1..state.threshold {
+                coeffs.push(Fr::random(rng));
+            }
+            for attr in attrs.iter().filter(|a| a.authority() == aid) {
+                let t = state
+                    .secrets
+                    .get(attr)
+                    .ok_or_else(|| ChaseError::UnknownAttribute((*attr).clone()))?;
+                let x = attr_point(attr);
+                let p_x = eval_poly(&coeffs, &x);
+                let exp = p_x.mul(&t.invert().expect("t nonzero"));
+                attr_keys.insert(attr.clone(), G1Affine::from(generator_mul(&exp)));
+            }
+        }
+        // Reject attributes under authorities the system doesn't know.
+        for attr in attrs {
+            if !self.authorities.contains_key(attr.authority()) {
+                return Err(ChaseError::UnknownAuthority(attr.authority().clone()));
+            }
+        }
+        let central = G1Affine::from(generator_mul(&self.y0.sub(&y_sum)));
+        Ok(ChaseUserKey { gid: gid.to_owned(), attr_keys, central })
+    }
+
+    /// Convenience: decryption by the central authority itself — it
+    /// needs **no** attribute keys at all. This is the escrow weakness
+    /// the paper's design eliminates.
+    pub fn central_decrypt(&self, ct: &ChaseCiphertext) -> Gt {
+        // e(g^s, g)^{y0} = Y^s
+        let blind = pairing(&ct.e1, &G1Affine::generator()).pow(&self.y0);
+        ct.e0.div(&blind)
+    }
+}
+
+fn eval_poly(coeffs: &[Fr], x: &Fr) -> Fr {
+    let mut acc = Fr::zero();
+    for c in coeffs.iter().rev() {
+        acc = acc.mul(x).add(c);
+    }
+    acc
+}
+
+fn nonzero<R: RngCore + ?Sized>(rng: &mut R) -> Fr {
+    loop {
+        let candidate = Fr::random(rng);
+        if !candidate.is_zero() {
+            return candidate;
+        }
+    }
+}
+
+/// Encrypts `m` to the named attribute sets — semantically the strict
+/// policy `AND_k ( d_k of A_k )` over **all** authorities in the system
+/// (Chase's scheme cannot express anything else).
+///
+/// # Errors
+///
+/// Fails if some authority's named set is smaller than its threshold or
+/// an attribute has no public key.
+pub fn encrypt<R: RngCore + ?Sized>(
+    message: &Gt,
+    named: &BTreeSet<Attribute>,
+    pks: &ChasePublicKeys,
+    rng: &mut R,
+) -> Result<ChaseCiphertext, ChaseError> {
+    // Every system authority must be covered with >= d_k attributes.
+    for (aid, d) in &pks.thresholds {
+        let count = named.iter().filter(|a| a.authority() == aid).count();
+        if count < *d {
+            return Err(ChaseError::CiphertextTooSmall(aid.clone()));
+        }
+    }
+    let s = nonzero(rng);
+    let e0 = message.mul(&pks.y.pow(&s));
+    let e1 = G1Affine::from(generator_mul(&s));
+    let mut projective = Vec::with_capacity(named.len());
+    let mut order = Vec::with_capacity(named.len());
+    for attr in named {
+        let t_pub = pks
+            .attr_keys
+            .get(attr)
+            .ok_or_else(|| ChaseError::UnknownAttribute(attr.clone()))?;
+        projective.push(G1::from(*t_pub).mul(&s));
+        order.push(attr.clone());
+    }
+    let affine = mabe_math::batch_normalize(&projective);
+    let components = order.into_iter().zip(affine).collect();
+    Ok(ChaseCiphertext { e0, e1, components })
+}
+
+/// Lagrange coefficient `Δ_i(0)` for interpolation point `i` over `xs`.
+fn lagrange_at_zero(xs: &[Fr], i: usize) -> Fr {
+    let mut num = Fr::one();
+    let mut den = Fr::one();
+    for (j, xj) in xs.iter().enumerate() {
+        if j != i {
+            // Δ_i(0) = Π (0 - x_j) / (x_i - x_j)
+            num = num.mul(&xj.neg());
+            den = den.mul(&xs[i].sub(xj));
+        }
+    }
+    num.mul(&den.invert().expect("distinct interpolation points"))
+}
+
+/// Decrypts a ciphertext with a user's key bundle.
+///
+/// # Errors
+///
+/// [`ChaseError::ThresholdNotMet`] if, for any authority, fewer than
+/// `d_k` of the ciphertext's named attributes are covered by the key.
+pub fn decrypt(
+    ct: &ChaseCiphertext,
+    key: &ChaseUserKey,
+    pks: &ChasePublicKeys,
+) -> Result<Gt, ChaseError> {
+    let mut blind = pairing(&key.central, &ct.e1);
+    for (aid, d) in &pks.thresholds {
+        let usable: Vec<&Attribute> = ct
+            .components
+            .keys()
+            .filter(|a| a.authority() == aid && key.attr_keys.contains_key(*a))
+            .take(*d)
+            .collect();
+        if usable.len() < *d {
+            return Err(ChaseError::ThresholdNotMet {
+                authority: aid.clone(),
+                needed: *d,
+                had: usable.len(),
+            });
+        }
+        let xs: Vec<Fr> = usable.iter().map(|a| attr_point(a)).collect();
+        for (i, attr) in usable.iter().enumerate() {
+            let share = pairing(&key.attr_keys[*attr], &ct.components[*attr]);
+            blind = blind.mul(&share.pow(&lagrange_at_zero(&xs, i)));
+        }
+    }
+    Ok(ct.e0.div(&blind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(20070101)
+    }
+
+    fn attrset(items: &[&str]) -> BTreeSet<Attribute> {
+        items.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    /// Two authorities: Med needs 2-of-named, Trial needs 1-of-named.
+    fn system(r: &mut StdRng) -> (ChaseSystem, ChasePublicKeys) {
+        let sys = ChaseSystem::setup(
+            &[
+                ("Med", &["Doctor", "Nurse", "Surgeon"], 2),
+                ("Trial", &["Researcher", "Sponsor"], 1),
+            ],
+            r,
+        );
+        let pks = sys.public_keys();
+        (sys, pks)
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut r = rng();
+        let (sys, pks) = system(&mut r);
+        let msg = Gt::random(&mut r);
+        let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+        let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
+
+        let key = sys
+            .keygen("alice", &attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]), &mut r)
+            .unwrap();
+        assert_eq!(decrypt(&ct, &key, &pks).unwrap(), msg);
+    }
+
+    #[test]
+    fn below_threshold_fails() {
+        let mut r = rng();
+        let (sys, pks) = system(&mut r);
+        let msg = Gt::random(&mut r);
+        let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+        let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
+        // Only 1 Med attribute (needs 2).
+        let key = sys
+            .keygen("bob", &attrset(&["Doctor@Med", "Researcher@Trial"]), &mut r)
+            .unwrap();
+        assert!(matches!(
+            decrypt(&ct, &key, &pks),
+            Err(ChaseError::ThresholdNotMet { needed: 2, had: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn strict_and_no_or_across_authorities() {
+        // Table I: Chase07 supports only 'AND' — a user fully covered at
+        // Med but empty at Trial fails, there is no OR to fall through.
+        let mut r = rng();
+        let (sys, pks) = system(&mut r);
+        let msg = Gt::random(&mut r);
+        let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+        let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
+        let key = sys.keygen("carol", &attrset(&["Doctor@Med", "Nurse@Med"]), &mut r).unwrap();
+        assert!(matches!(
+            decrypt(&ct, &key, &pks),
+            Err(ChaseError::ThresholdNotMet { .. })
+        ));
+    }
+
+    #[test]
+    fn central_authority_escrow() {
+        // Table I: Chase07 REQUIRES a central authority — and that
+        // authority decrypts everything with no attribute keys. This is
+        // the vulnerability the Yang–Jia design removes.
+        let mut r = rng();
+        let (sys, pks) = system(&mut r);
+        let msg = Gt::random(&mut r);
+        let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+        let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
+        assert_eq!(sys.central_decrypt(&ct), msg);
+    }
+
+    #[test]
+    fn collusion_fails() {
+        // Alice has the Med side, Bob has the Trial side; swapping key
+        // components cannot decrypt because the per-GID polynomials and
+        // central keys don't mix.
+        let mut r = rng();
+        let (sys, pks) = system(&mut r);
+        let msg = Gt::random(&mut r);
+        let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+        let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
+
+        let alice = sys.keygen("alice", &attrset(&["Doctor@Med", "Nurse@Med"]), &mut r).unwrap();
+        let bob = sys.keygen("bob", &attrset(&["Researcher@Trial"]), &mut r).unwrap();
+
+        // Pool: Alice's attribute keys + Bob's Trial key, try both
+        // central keys.
+        for central in [alice.central, bob.central] {
+            let mut pooled = alice.attr_keys.clone();
+            pooled.extend(bob.attr_keys.clone());
+            let franken = ChaseUserKey {
+                gid: "franken".into(),
+                attr_keys: pooled,
+                central,
+            };
+            let result = decrypt(&ct, &franken, &pks).unwrap();
+            assert_ne!(result, msg, "collusion must fail");
+        }
+    }
+
+    #[test]
+    fn encrypt_validates_coverage() {
+        let mut r = rng();
+        let (_sys, pks) = system(&mut r);
+        let msg = Gt::random(&mut r);
+        // Missing Trial entirely.
+        assert!(matches!(
+            encrypt(&msg, &attrset(&["Doctor@Med", "Nurse@Med"]), &pks, &mut r),
+            Err(ChaseError::CiphertextTooSmall(_))
+        ));
+        // Only one Med attribute named (d = 2).
+        assert!(matches!(
+            encrypt(&msg, &attrset(&["Doctor@Med", "Researcher@Trial"]), &pks, &mut r),
+            Err(ChaseError::CiphertextTooSmall(_))
+        ));
+    }
+
+    #[test]
+    fn keygen_rejects_unknown() {
+        let mut r = rng();
+        let (sys, _pks) = system(&mut r);
+        assert!(matches!(
+            sys.keygen("alice", &attrset(&["Pilot@Med"]), &mut r),
+            Err(ChaseError::UnknownAttribute(_))
+        ));
+        assert!(matches!(
+            sys.keygen("alice", &attrset(&["X@Nowhere"]), &mut r),
+            Err(ChaseError::UnknownAuthority(_))
+        ));
+    }
+
+    #[test]
+    fn different_users_different_keys_same_access() {
+        let mut r = rng();
+        let (sys, pks) = system(&mut r);
+        let msg = Gt::random(&mut r);
+        let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+        let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
+        let set = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+        let k1 = sys.keygen("u1", &set, &mut r).unwrap();
+        let k2 = sys.keygen("u2", &set, &mut r).unwrap();
+        assert_ne!(k1.central, k2.central);
+        assert_eq!(decrypt(&ct, &k1, &pks).unwrap(), msg);
+        assert_eq!(decrypt(&ct, &k2, &pks).unwrap(), msg);
+    }
+
+    #[test]
+    fn lagrange_interpolation_sanity() {
+        // p(x) = 7 + 3x over points x = 1, 2: interpolate p(0) = 7.
+        let xs = [Fr::from_u64(1), Fr::from_u64(2)];
+        let p = |x: &Fr| Fr::from_u64(7).add(&Fr::from_u64(3).mul(x));
+        let mut acc = Fr::zero();
+        for (i, x) in xs.iter().enumerate() {
+            acc = acc.add(&p(x).mul(&lagrange_at_zero(&xs, i)));
+        }
+        assert_eq!(acc, Fr::from_u64(7));
+    }
+
+    #[test]
+    fn prf_is_deterministic_and_user_separated() {
+        let seed = [9u8; 32];
+        assert_eq!(prf(&seed, "alice"), prf(&seed, "alice"));
+        assert_ne!(prf(&seed, "alice"), prf(&seed, "bob"));
+        assert_ne!(prf(&[1u8; 32], "alice"), prf(&[2u8; 32], "alice"));
+    }
+}

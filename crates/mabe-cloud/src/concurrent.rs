@@ -1,0 +1,255 @@
+//! Concurrent-access harness: many reader threads against one shared
+//! [`CloudServer`] while revocation-driven re-encryption runs.
+//!
+//! The paper's server is a shared service ("provides data access service
+//! to users"); this module checks the property that matters for such a
+//! deployment: under concurrent reads and re-encryptions a reader either
+//! decrypts a **consistent** envelope (the correct plaintext) or fails
+//! cleanly (stale keys vs re-encrypted ciphertext) — never a torn or
+//! corrupted result.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::thread;
+
+use mabe_core::{open_component, OwnerId, UserPublicKey, UserSecretKey};
+use mabe_policy::AuthorityId;
+
+use crate::server::CloudServer;
+
+/// One simulated reader identity.
+#[derive(Clone, Debug)]
+pub struct ReaderSpec {
+    /// The reader's public key.
+    pub user_pk: UserPublicKey,
+    /// The reader's secret keys, one per authority (fixed for the run).
+    pub keys: BTreeMap<AuthorityId, UserSecretKey>,
+    /// Record owner to read from.
+    pub owner: OwnerId,
+    /// Record name.
+    pub record: String,
+    /// Component label.
+    pub label: String,
+    /// Plaintext the reader expects on success.
+    pub expected: Vec<u8>,
+}
+
+/// Aggregate result of a concurrent run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ThroughputReport {
+    /// Reads that decrypted to the expected plaintext.
+    pub successes: u64,
+    /// Reads that failed cleanly (stale keys / missing record).
+    pub clean_failures: u64,
+    /// Reads that produced a WRONG plaintext — must always be zero.
+    pub corruptions: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+impl ThroughputReport {
+    /// Total read attempts.
+    pub fn total(&self) -> u64 {
+        self.successes + self.clean_failures + self.corruptions
+    }
+
+    /// Successful reads per second.
+    pub fn ops_per_sec(&self) -> f64 {
+        self.successes as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+}
+
+/// Runs `ops_per_reader` read+decrypt operations per reader, all readers
+/// in parallel threads, optionally interleaving a `writer` closure on
+/// the calling thread (e.g. performing re-encryptions).
+///
+/// # Panics
+///
+/// Panics if a reader thread panics.
+pub fn run_concurrent_reads<F>(
+    server: &Arc<CloudServer>,
+    readers: &[ReaderSpec],
+    ops_per_reader: u64,
+    mut writer: F,
+) -> ThroughputReport
+where
+    F: FnMut(),
+{
+    let successes = AtomicU64::new(0);
+    let clean_failures = AtomicU64::new(0);
+    let corruptions = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
+    let start = Instant::now();
+
+    thread::scope(|scope| {
+        for spec in readers {
+            let server = Arc::clone(server);
+            let successes = &successes;
+            let clean_failures = &clean_failures;
+            let corruptions = &corruptions;
+            scope.spawn(move |_| {
+                for _ in 0..ops_per_reader {
+                    let Some(envelope) = server.fetch(&spec.owner, &spec.record) else {
+                        clean_failures.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    let Some(component) = envelope.component(&spec.label) else {
+                        clean_failures.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    };
+                    match open_component(component, &spec.user_pk, &spec.keys) {
+                        Ok(data) if data == spec.expected => {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            corruptions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            clean_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // The writer runs on this thread while readers hammer the server.
+        writer();
+        stop.store(true, Ordering::Relaxed);
+    })
+    .expect("reader thread panicked");
+
+    ThroughputReport {
+        successes: successes.into_inner(),
+        clean_failures: clean_failures.into_inner(),
+        corruptions: corruptions.into_inner(),
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabe_core::{
+        seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner,
+    };
+    use mabe_policy::{parse, Attribute};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct World {
+        rng: StdRng,
+        ca: CertificateAuthority,
+        aa: AttributeAuthority,
+        owner: DataOwner,
+        server: Arc<CloudServer>,
+    }
+
+    fn world() -> World {
+        let mut rng = StdRng::seed_from_u64(424242);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Org").unwrap();
+        let mut aa = AttributeAuthority::new(aid, &["A", "B"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
+        aa.register_owner(owner.owner_secret_key()).unwrap();
+        owner.learn_authority_keys(aa.public_keys());
+        World { rng, ca, aa, owner, server: Arc::new(CloudServer::new()) }
+    }
+
+    fn reader(w: &mut World, name: &str, expected: &[u8]) -> ReaderSpec {
+        let pk = w.ca.register_user(name, &mut w.rng).unwrap();
+        let attr: Attribute = "A@Org".parse().unwrap();
+        w.aa.grant(&pk, [attr]).unwrap();
+        let keys = BTreeMap::from([(
+            w.aa.aid().clone(),
+            w.aa.keygen(&pk.uid, w.owner.id()).unwrap(),
+        )]);
+        ReaderSpec {
+            user_pk: pk,
+            keys,
+            owner: w.owner.id().clone(),
+            record: "rec".into(),
+            label: "x".into(),
+            expected: expected.to_vec(),
+        }
+    }
+
+    #[test]
+    fn parallel_readers_all_succeed() {
+        let mut w = world();
+        let policy = parse("A@Org").unwrap();
+        let envelope = seal_envelope(
+            &mut w.owner,
+            &[("x", b"payload".as_slice(), &policy)],
+            &mut w.rng,
+        )
+        .unwrap();
+        w.server.store(w.owner.id().clone(), "rec", envelope);
+
+        let readers: Vec<ReaderSpec> =
+            (0..4).map(|i| reader(&mut w, &format!("r{i}"), b"payload")).collect();
+        let report = run_concurrent_reads(&w.server, &readers, 10, || {});
+        assert_eq!(report.successes, 40);
+        assert_eq!(report.clean_failures, 0);
+        assert_eq!(report.corruptions, 0);
+        assert!(report.ops_per_sec() > 0.0);
+        assert_eq!(report.total(), 40);
+    }
+
+    #[test]
+    fn readers_race_reencryption_without_corruption() {
+        // Readers hold version-1 keys while the writer re-encrypts the
+        // record to version 2 mid-run. Every read must be either a
+        // correct decryption (pre-re-encryption fetch) or a clean
+        // failure — never a wrong plaintext.
+        let mut w = world();
+        let policy = parse("A@Org").unwrap();
+        let envelope = seal_envelope(
+            &mut w.owner,
+            &[("x", b"payload".as_slice(), &policy)],
+            &mut w.rng,
+        )
+        .unwrap();
+        let ct_id = envelope.components[0].key_ct.id;
+        w.server.store(w.owner.id().clone(), "rec", envelope);
+
+        let readers: Vec<ReaderSpec> =
+            (0..4).map(|i| reader(&mut w, &format!("r{i}"), b"payload")).collect();
+
+        // Prepare the revocation of a scapegoat user.
+        let scapegoat = w.ca.register_user("scapegoat", &mut w.rng).unwrap();
+        let attr: Attribute = "A@Org".parse().unwrap();
+        w.aa.grant(&scapegoat, [attr.clone()]).unwrap();
+        let event = w.aa.revoke_attribute(&scapegoat.uid, &attr, &mut w.rng).unwrap();
+        let uk = event.update_keys[w.owner.id()].clone();
+        w.owner.apply_update_key(&uk).unwrap();
+        let ui = w.owner.update_info_for(ct_id, w.aa.aid(), 1, 2).unwrap();
+
+        let server = Arc::clone(&w.server);
+        let owner_id = w.owner.id().clone();
+        let report = run_concurrent_reads(&w.server, &readers, 50, move || {
+            // Let some reads land first, then flip the ciphertext.
+            std::thread::sleep(Duration::from_millis(5));
+            server
+                .reencrypt_component(&(owner_id.clone(), "rec".into()), "x", &uk, &ui)
+                .unwrap();
+        });
+        assert_eq!(report.corruptions, 0, "no torn/corrupt reads ever");
+        assert_eq!(report.total(), 200);
+        // Both phases typically occur; at minimum the run completed.
+        assert!(report.successes + report.clean_failures == 200);
+    }
+
+    #[test]
+    fn report_arithmetic() {
+        let report = ThroughputReport {
+            successes: 10,
+            clean_failures: 5,
+            corruptions: 0,
+            elapsed: Duration::from_secs(2),
+        };
+        assert_eq!(report.total(), 15);
+        assert!((report.ops_per_sec() - 5.0).abs() < 1e-9);
+    }
+}

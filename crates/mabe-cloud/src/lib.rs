@@ -1,0 +1,49 @@
+//! # mabe-cloud
+//!
+//! Simulated multi-authority cloud-storage deployment for the MA-ABAC
+//! reproduction of Yang & Jia (ICDCS 2012): the five entities of the
+//! paper's Fig. 1 — certificate authority, attribute authorities, data
+//! owners, users, and the semi-trusted cloud server — exchanging keys and
+//! ciphertexts over a byte-accounted wire.
+//!
+//! * [`wire`] — message transport with the paper's size accounting; the
+//!   source of the Table IV communication-cost numbers.
+//! * [`server`] — the honest-but-curious server: stores envelopes, serves
+//!   anyone, re-encrypts on revocation without ever decrypting.
+//! * [`system`] — [`CloudSystem`], the orchestrator running the full
+//!   protocol lifecycle (setup → grant → publish → read → revoke →
+//!   re-encrypt).
+//!
+//! This crate substitutes for the authors' physical testbed: entities are
+//! in-process actors, and "network cost" is the serialized size of what
+//! they exchange (documented in `DESIGN.md` §3).
+//!
+//! # Examples
+//!
+//! ```
+//! use mabe_cloud::CloudSystem;
+//!
+//! let mut sys = CloudSystem::new(7);
+//! sys.add_authority("MedOrg", &["Doctor"])?;
+//! let owner = sys.add_owner("hospital")?;
+//! let alice = sys.add_user("alice")?;
+//! sys.grant(&alice, &["Doctor@MedOrg"])?;
+//! sys.publish(&owner, "patient-1", &[("diagnosis", b"flu".as_slice(), "Doctor@MedOrg")])?;
+//! assert_eq!(sys.read(&alice, &owner, "patient-1", "diagnosis")?, b"flu");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod audit;
+pub mod concurrent;
+pub mod server;
+pub mod system;
+pub mod wire;
+
+pub use audit::{AuditEntry, AuditEvent, AuditLog};
+pub use concurrent::{run_concurrent_reads, ReaderSpec, ThroughputReport};
+pub use server::CloudServer;
+pub use system::{CloudError, CloudSystem, StorageReport};
+pub use wire::{Endpoint, PairClass, Transmission, Wire};

@@ -1,0 +1,304 @@
+//! The semi-trusted cloud server.
+//!
+//! Per the paper's security model (§III-B) the server is *honest but
+//! curious*: it stores envelopes, serves them to anyone who asks (access
+//! control is enforced by the cryptography, not the server), and executes
+//! re-encryption correctly — but it never holds content keys and the
+//! proxy re-encryption keeps it unable to decrypt.
+//!
+//! Storage is behind a [`parking_lot::RwLock`] so many simulated users
+//! can fetch concurrently while revocation-driven re-encryption takes the
+//! write lock.
+
+use std::collections::BTreeMap;
+
+use parking_lot::RwLock;
+
+use mabe_core::{reencrypt, CiphertextId, DataEnvelope, Error, OwnerId, UpdateInfo, UpdateKey};
+use mabe_policy::AuthorityId;
+
+/// Key of a stored record: owner plus record name.
+pub type RecordKey = (OwnerId, String);
+
+fn read_string(r: &mut mabe_core::Reader<'_>) -> Result<String, Error> {
+    let len = {
+        let mut n = [0u8; 2];
+        for b in n.iter_mut() {
+            *b = r.u8()?;
+        }
+        u16::from_be_bytes(n) as usize
+    };
+    let mut bytes = Vec::with_capacity(len);
+    for _ in 0..len {
+        bytes.push(r.u8()?);
+    }
+    String::from_utf8(bytes).map_err(|_| Error::Malformed("non-utf8 string"))
+}
+
+/// The cloud storage server.
+#[derive(Debug, Default)]
+pub struct CloudServer {
+    records: RwLock<BTreeMap<RecordKey, DataEnvelope>>,
+}
+
+impl CloudServer {
+    /// Creates an empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores (or replaces) a record.
+    pub fn store(&self, owner: OwnerId, name: impl Into<String>, envelope: DataEnvelope) {
+        self.records.write().insert((owner, name.into()), envelope);
+    }
+
+    /// Fetches a record (clone — the server hands out bytes, it does not
+    /// share memory with clients).
+    pub fn fetch(&self, owner: &OwnerId, name: &str) -> Option<DataEnvelope> {
+        self.records.read().get(&(owner.clone(), name.to_owned())).cloned()
+    }
+
+    /// Number of stored records.
+    pub fn record_count(&self) -> usize {
+        self.records.read().len()
+    }
+
+    /// Total paper-accounted storage in bytes (Table III "Server" row).
+    pub fn storage_size(&self) -> usize {
+        self.records.read().values().map(DataEnvelope::stored_size).sum()
+    }
+
+    /// All ciphertext ids (with their record keys) belonging to `owner`
+    /// whose key-wrapping ciphertexts involve `aid` at `version` — the
+    /// set a revocation at that authority forces the server to
+    /// re-encrypt.
+    pub fn affected_ciphertexts(
+        &self,
+        owner: &OwnerId,
+        aid: &AuthorityId,
+        version: u64,
+    ) -> Vec<(RecordKey, String, CiphertextId)> {
+        let records = self.records.read();
+        let mut out = Vec::new();
+        for (key, envelope) in records.iter() {
+            if &key.0 != owner {
+                continue;
+            }
+            for component in &envelope.components {
+                if component.key_ct.versions.get(aid) == Some(&version) {
+                    out.push((key.clone(), component.label.clone(), component.key_ct.id));
+                }
+            }
+        }
+        out
+    }
+
+    /// Serializes the entire server state to bytes (record keys plus
+    /// wire-encoded envelopes) — crash/restart persistence for the
+    /// simulated deployment.
+    pub fn snapshot(&self) -> Vec<u8> {
+        use mabe_core::WireCodec;
+        let records = self.records.read();
+        let mut out = Vec::new();
+        out.extend_from_slice(&(records.len() as u32).to_be_bytes());
+        for ((owner, name), envelope) in records.iter() {
+            let owner_bytes = owner.as_str().as_bytes();
+            out.extend_from_slice(&(owner_bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(owner_bytes);
+            let name_bytes = name.as_bytes();
+            out.extend_from_slice(&(name_bytes.len() as u16).to_be_bytes());
+            out.extend_from_slice(name_bytes);
+            let env_bytes = envelope.to_wire_bytes();
+            out.extend_from_slice(&(env_bytes.len() as u32).to_be_bytes());
+            out.extend_from_slice(&env_bytes);
+        }
+        out
+    }
+
+    /// Restores a server from a [`CloudServer::snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] on truncated or invalid input.
+    pub fn restore(bytes: &[u8]) -> Result<Self, Error> {
+        use mabe_core::{Reader, WireCodec};
+        let mut r = Reader::new(bytes);
+        let count = {
+            let mut n = [0u8; 4];
+            for b in n.iter_mut() {
+                *b = r.u8()?;
+            }
+            u32::from_be_bytes(n)
+        };
+        if count > 1 << 20 {
+            return Err(Error::Malformed("implausible record count"));
+        }
+        let mut records = BTreeMap::new();
+        for _ in 0..count {
+            let owner = read_string(&mut r)?;
+            let name = read_string(&mut r)?;
+            let len = {
+                let mut n = [0u8; 4];
+                for b in n.iter_mut() {
+                    *b = r.u8()?;
+                }
+                u32::from_be_bytes(n) as usize
+            };
+            let mut env_bytes = Vec::with_capacity(len.min(1 << 20));
+            for _ in 0..len {
+                env_bytes.push(r.u8()?);
+            }
+            let envelope = DataEnvelope::from_wire_bytes(&env_bytes)?;
+            records.insert((OwnerId::new(owner), name), envelope);
+        }
+        if !r.is_exhausted() {
+            return Err(Error::Malformed("trailing bytes"));
+        }
+        Ok(CloudServer { records: RwLock::new(records) })
+    }
+
+    /// Runs `ReEncrypt` on one stored component (paper §V-C Phase 2).
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Malformed`] if the record or component does not exist.
+    /// * Any [`reencrypt`] validation error.
+    pub fn reencrypt_component(
+        &self,
+        record: &RecordKey,
+        label: &str,
+        uk: &UpdateKey,
+        ui: &UpdateInfo,
+    ) -> Result<(), Error> {
+        let mut records = self.records.write();
+        let envelope = records.get_mut(record).ok_or(Error::Malformed("unknown record"))?;
+        let component = envelope
+            .component_mut(label)
+            .ok_or(Error::Malformed("unknown component"))?;
+        reencrypt(&mut component.key_ct, uk, ui)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn store_fetch_roundtrip() {
+        let server = CloudServer::new();
+        let owner = OwnerId::new("o");
+        server.store(owner.clone(), "record-1", DataEnvelope::new());
+        assert_eq!(server.record_count(), 1);
+        assert!(server.fetch(&owner, "record-1").is_some());
+        assert!(server.fetch(&owner, "missing").is_none());
+        assert!(server.fetch(&OwnerId::new("other"), "record-1").is_none());
+    }
+
+    #[test]
+    fn empty_server_sizes() {
+        let server = CloudServer::new();
+        assert_eq!(server.storage_size(), 0);
+        assert_eq!(server.record_count(), 0);
+    }
+
+    #[test]
+    fn concurrent_reads() {
+        use std::sync::Arc;
+        let server = Arc::new(CloudServer::new());
+        let owner = OwnerId::new("o");
+        server.store(owner.clone(), "r", DataEnvelope::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let server = Arc::clone(&server);
+                let owner = owner.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..100 {
+                        assert!(server.fetch(&owner, "r").is_some());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        use mabe_core::{seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner};
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+
+        let mut rng = StdRng::seed_from_u64(909090);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Org").unwrap();
+        let mut aa = AttributeAuthority::new(aid.clone(), &["A"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
+        aa.register_owner(owner.owner_secret_key()).unwrap();
+        owner.learn_authority_keys(aa.public_keys());
+        let policy = mabe_policy::parse("A@Org").unwrap();
+        let envelope =
+            seal_envelope(&mut owner, &[("x", b"persisted", &policy)], &mut rng).unwrap();
+
+        let server = CloudServer::new();
+        server.store(owner.id().clone(), "rec", envelope);
+        server.store(owner.id().clone(), "empty", DataEnvelope::new());
+
+        let bytes = server.snapshot();
+        let restored = CloudServer::restore(&bytes).unwrap();
+        assert_eq!(restored.record_count(), 2);
+        assert_eq!(restored.storage_size(), server.storage_size());
+
+        // The restored envelope still decrypts.
+        let user = ca.register_user("alice", &mut rng).unwrap();
+        aa.grant(&user, ["A@Org".parse().unwrap()]).unwrap();
+        let keys = BTreeMap::from([(aid, aa.keygen(&user.uid, owner.id()).unwrap())]);
+        let fetched = restored.fetch(owner.id(), "rec").unwrap();
+        let data = mabe_core::open_component(fetched.component("x").unwrap(), &user, &keys)
+            .unwrap();
+        assert_eq!(data, b"persisted");
+
+        // Corrupted snapshots are rejected, not panicking.
+        assert!(CloudServer::restore(&bytes[..bytes.len() / 2]).is_err());
+        assert!(CloudServer::restore(&[0xff; 4]).is_err());
+        let mut extended = bytes;
+        extended.push(0);
+        assert!(CloudServer::restore(&extended).is_err());
+        // Empty server snapshots round-trip too.
+        let empty = CloudServer::new();
+        assert_eq!(CloudServer::restore(&empty.snapshot()).unwrap().record_count(), 0);
+    }
+
+    #[test]
+    fn affected_ciphertexts_empty_for_unknown() {
+        let server = CloudServer::new();
+        let owner = OwnerId::new("o");
+        assert!(server
+            .affected_ciphertexts(&owner, &AuthorityId::new("Med"), 1)
+            .is_empty());
+    }
+
+    #[test]
+    fn reencrypt_unknown_record_errors() {
+        let server = CloudServer::new();
+        let owner = OwnerId::new("o");
+        let uk = UpdateKey {
+            aid: AuthorityId::new("Med"),
+            from_version: 1,
+            to_version: 2,
+            owner: owner.clone(),
+            uk1: mabe_math::G1Affine::generator(),
+            uk2: mabe_math::Fr::from_u64(2),
+        };
+        let ui = UpdateInfo {
+            aid: AuthorityId::new("Med"),
+            ct_id: CiphertextId(1),
+            from_version: 1,
+            to_version: 2,
+            items: BTreeMap::new(),
+        };
+        assert!(server
+            .reencrypt_component(&(owner, "r".into()), "x", &uk, &ui)
+            .is_err());
+    }
+}

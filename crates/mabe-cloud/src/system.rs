@@ -1,0 +1,954 @@
+//! End-to-end orchestration of the five-entity deployment (paper Fig. 1).
+//!
+//! [`CloudSystem`] wires together the CA, the attribute authorities, the
+//! data owners, the users and the semi-trusted server, routing every key
+//! and ciphertext through the byte-accounted [`Wire`] so the paper's
+//! storage and communication experiments fall out of ordinary operation.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe_core::{
+    open_component, seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner, Error,
+    OwnerId, Uid, UserPublicKey, UserSecretKey, ZP_BYTES,
+};
+use mabe_policy::{parse, Attribute, AuthorityId, ParsePolicyError, Policy};
+
+use crate::audit::{AuditEvent, AuditLog};
+use crate::server::CloudServer;
+use crate::wire::{Endpoint, Wire};
+
+/// Errors from system-level operations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CloudError {
+    /// An underlying scheme operation failed.
+    Core(Error),
+    /// A policy string did not parse.
+    Parse(ParsePolicyError),
+    /// No such authority in the system.
+    UnknownAuthority(AuthorityId),
+    /// No such record on the server.
+    UnknownRecord(String),
+    /// No such component label within the record.
+    UnknownComponent(String),
+    /// Entity lookup failed.
+    UnknownEntity(String),
+}
+
+impl fmt::Display for CloudError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CloudError::Core(e) => write!(f, "{e}"),
+            CloudError::Parse(e) => write!(f, "{e}"),
+            CloudError::UnknownAuthority(a) => write!(f, "unknown authority {a}"),
+            CloudError::UnknownRecord(r) => write!(f, "unknown record {r}"),
+            CloudError::UnknownComponent(c) => write!(f, "unknown component {c}"),
+            CloudError::UnknownEntity(e) => write!(f, "unknown entity {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CloudError {}
+
+impl From<Error> for CloudError {
+    fn from(e: Error) -> Self {
+        CloudError::Core(e)
+    }
+}
+
+impl From<ParsePolicyError> for CloudError {
+    fn from(e: ParsePolicyError) -> Self {
+        CloudError::Parse(e)
+    }
+}
+
+#[derive(Debug)]
+struct UserState {
+    pk: UserPublicKey,
+    keys: BTreeMap<(OwnerId, AuthorityId), UserSecretKey>,
+}
+
+/// Paper-accounted storage overhead per entity class (Table III).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct StorageReport {
+    /// Bytes per attribute authority.
+    pub authorities: BTreeMap<AuthorityId, usize>,
+    /// Bytes per owner.
+    pub owners: BTreeMap<OwnerId, usize>,
+    /// Bytes per user.
+    pub users: BTreeMap<Uid, usize>,
+    /// Bytes on the server.
+    pub server: usize,
+}
+
+/// The complete simulated deployment.
+#[derive(Debug)]
+pub struct CloudSystem {
+    rng: StdRng,
+    ca: CertificateAuthority,
+    authorities: BTreeMap<AuthorityId, AttributeAuthority>,
+    owners: BTreeMap<OwnerId, DataOwner>,
+    users: BTreeMap<Uid, UserState>,
+    grants: BTreeMap<Uid, BTreeSet<Attribute>>,
+    offline: BTreeSet<Uid>,
+    pending_updates: BTreeMap<Uid, Vec<(OwnerId, mabe_core::UpdateKey)>>,
+    server: CloudServer,
+    wire: Wire,
+    audit: AuditLog,
+}
+
+impl CloudSystem {
+    /// Creates an empty system with a deterministic RNG seed.
+    pub fn new(seed: u64) -> Self {
+        CloudSystem {
+            rng: StdRng::seed_from_u64(seed),
+            ca: CertificateAuthority::new(),
+            authorities: BTreeMap::new(),
+            owners: BTreeMap::new(),
+            users: BTreeMap::new(),
+            grants: BTreeMap::new(),
+            offline: BTreeSet::new(),
+            pending_updates: BTreeMap::new(),
+            server: CloudServer::new(),
+            wire: Wire::new(),
+            audit: AuditLog::new(),
+        }
+    }
+
+    /// Registers an attribute authority managing `attribute_names`, and
+    /// introduces it to every existing owner (SK_o registration plus
+    /// public-key download, both byte-accounted).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the AID is taken.
+    pub fn add_authority(
+        &mut self,
+        name: &str,
+        attribute_names: &[&str],
+    ) -> Result<AuthorityId, CloudError> {
+        let aid = self.ca.register_authority(name)?;
+        let mut aa = AttributeAuthority::new(aid.clone(), attribute_names, &mut self.rng);
+        for owner in self.owners.values_mut() {
+            let sk = owner.owner_secret_key();
+            self.wire.send(
+                Endpoint::Owner(owner.id().clone()),
+                Endpoint::Authority(aid.clone()),
+                "owner secret key",
+                sk.wire_size(),
+            );
+            aa.register_owner(sk)?;
+            let pks = aa.public_keys();
+            self.wire.send(
+                Endpoint::Authority(aid.clone()),
+                Endpoint::Owner(owner.id().clone()),
+                "authority public keys",
+                pks.wire_size(),
+            );
+            owner.learn_authority_keys(pks);
+        }
+        self.authorities.insert(aid.clone(), aa);
+        self.audit.record(AuditEvent::AuthorityAdded { aid: aid.to_string() });
+        Ok(aid)
+    }
+
+    /// Registers a data owner, exchanging `SK_o` / public keys with every
+    /// existing authority and issuing this owner's user secret keys to
+    /// every already-granted user.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the owner id collides.
+    pub fn add_owner(&mut self, name: &str) -> Result<OwnerId, CloudError> {
+        let id = OwnerId::new(name);
+        if self.owners.contains_key(&id) {
+            return Err(CloudError::Core(Error::AlreadyRegistered(name.to_owned())));
+        }
+        let mut owner = DataOwner::new(id.clone(), &mut self.rng);
+        for (aid, aa) in self.authorities.iter_mut() {
+            let sk = owner.owner_secret_key();
+            self.wire.send(
+                Endpoint::Owner(id.clone()),
+                Endpoint::Authority(aid.clone()),
+                "owner secret key",
+                sk.wire_size(),
+            );
+            aa.register_owner(sk)?;
+            let pks = aa.public_keys();
+            self.wire.send(
+                Endpoint::Authority(aid.clone()),
+                Endpoint::Owner(id.clone()),
+                "authority public keys",
+                pks.wire_size(),
+            );
+            owner.learn_authority_keys(pks);
+        }
+        // Existing users need keys scoped to the new owner.
+        for (uid, attrs) in &self.grants {
+            let state = self.users.get_mut(uid).expect("granted user exists");
+            let involved: BTreeSet<&AuthorityId> = attrs.iter().map(|a| a.authority()).collect();
+            for aid in involved {
+                let aa = self.authorities.get(aid).expect("authority exists");
+                let key = aa.keygen(uid, &id)?;
+                self.wire.send(
+                    Endpoint::Authority(aid.clone()),
+                    Endpoint::User(uid.clone()),
+                    "user secret key",
+                    key.wire_size(),
+                );
+                state.keys.insert((id.clone(), aid.clone()), key);
+            }
+        }
+        self.owners.insert(id.clone(), owner);
+        self.audit.record(AuditEvent::OwnerAdded { owner: id.to_string() });
+        Ok(id)
+    }
+
+    /// Registers a user with the CA.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the UID collides.
+    pub fn add_user(&mut self, name: &str) -> Result<Uid, CloudError> {
+        let pk = self.ca.register_user(name, &mut self.rng)?;
+        let uid = pk.uid.clone();
+        self.wire.send(Endpoint::Ca, Endpoint::User(uid.clone()), "uid + public key", pk.wire_size());
+        self.users.insert(uid.clone(), UserState { pk, keys: BTreeMap::new() });
+        self.grants.insert(uid.clone(), BTreeSet::new());
+        self.audit.record(AuditEvent::UserAdded { uid: uid.to_string() });
+        Ok(uid)
+    }
+
+    /// Grants attributes to a user: the relevant authorities record the
+    /// grant and issue secret keys scoped to every owner.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown user/authority/attribute.
+    pub fn grant(&mut self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
+        let state = self
+            .users
+            .get_mut(uid)
+            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
+        let mut by_authority: BTreeMap<AuthorityId, Vec<Attribute>> = BTreeMap::new();
+        for raw in attributes {
+            let attr: Attribute = raw
+                .parse()
+                .map_err(|_| CloudError::UnknownEntity(format!("attribute {raw}")))?;
+            by_authority.entry(attr.authority().clone()).or_default().push(attr);
+        }
+        for (aid, attrs) in by_authority {
+            let aa = self
+                .authorities
+                .get_mut(&aid)
+                .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+            aa.grant(&state.pk, attrs.iter().cloned())?;
+            self.grants.get_mut(uid).expect("user exists").extend(attrs.iter().cloned());
+            for owner_id in self.owners.keys() {
+                let key = aa.keygen(uid, owner_id)?;
+                self.wire.send(
+                    Endpoint::Authority(aid.clone()),
+                    Endpoint::User(uid.clone()),
+                    "user secret key",
+                    key.wire_size(),
+                );
+                state.keys.insert((owner_id.clone(), aid.clone()), key);
+            }
+        }
+        self.audit.record(AuditEvent::Granted {
+            uid: uid.to_string(),
+            attributes: attributes.iter().map(|a| a.to_string()).collect(),
+        });
+        Ok(())
+    }
+
+    /// Publishes a record: each `(label, data, policy)` component is
+    /// sealed (fresh content key, CP-ABE-wrapped) and uploaded.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown owner, bad policy, or encryption errors.
+    pub fn publish(
+        &mut self,
+        owner_id: &OwnerId,
+        record: &str,
+        components: &[(&str, &[u8], &str)],
+    ) -> Result<(), CloudError> {
+        let owner = self
+            .owners
+            .get_mut(owner_id)
+            .ok_or_else(|| CloudError::Core(Error::UnknownOwner(owner_id.clone())))?;
+        let policies: Vec<Policy> = components
+            .iter()
+            .map(|(_, _, p)| parse(p))
+            .collect::<Result<_, _>>()?;
+        let specs: Vec<(&str, &[u8], &Policy)> = components
+            .iter()
+            .zip(policies.iter())
+            .map(|((label, data, _), policy)| (*label, *data, policy))
+            .collect();
+        let envelope = seal_envelope(owner, &specs, &mut self.rng)?;
+        self.wire.send(
+            Endpoint::Owner(owner_id.clone()),
+            Endpoint::Server,
+            format!("record {record}"),
+            envelope.stored_size(),
+        );
+        self.server.store(owner_id.clone(), record, envelope);
+        self.audit.record(AuditEvent::Published {
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            components: components.iter().map(|(l, _, _)| (*l).to_owned()).collect(),
+        });
+        Ok(())
+    }
+
+    /// A user downloads one component of a record and decrypts it.
+    ///
+    /// # Errors
+    ///
+    /// Unknown record/component, or any decryption error (unsatisfied
+    /// policy, missing authority key, stale versions).
+    pub fn read(
+        &mut self,
+        uid: &Uid,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+    ) -> Result<Vec<u8>, CloudError> {
+        let state = self
+            .users
+            .get(uid)
+            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
+        let envelope = self
+            .server
+            .fetch(owner_id, record)
+            .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+        let component = envelope
+            .component(label)
+            .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+        self.wire.send(
+            Endpoint::Server,
+            Endpoint::User(uid.clone()),
+            format!("component {record}/{label}"),
+            component.stored_size(),
+        );
+        let keys: BTreeMap<AuthorityId, UserSecretKey> = state
+            .keys
+            .iter()
+            .filter(|((o, _), _)| o == owner_id)
+            .map(|((_, aid), key)| (aid.clone(), key.clone()))
+            .collect();
+        let result = open_component(component, &state.pk, &keys);
+        self.audit.record(AuditEvent::Read {
+            uid: uid.to_string(),
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            component: label.to_owned(),
+            allowed: result.is_ok(),
+        });
+        Ok(result?)
+    }
+
+    /// Like [`Self::read`], but decryption is outsourced: the user sends
+    /// a blinded transform key, the **server** runs all pairings and
+    /// returns a token, and the user finishes with one `G_T`
+    /// exponentiation (the DAC-MACS-style extension in
+    /// `mabe_core::outsource`). The server learns nothing: the token
+    /// carries the user's `1/z` blinding.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::read`].
+    pub fn read_outsourced(
+        &mut self,
+        uid: &Uid,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+    ) -> Result<Vec<u8>, CloudError> {
+        let state = self
+            .users
+            .get(uid)
+            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
+        let envelope = self
+            .server
+            .fetch(owner_id, record)
+            .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+        let component = envelope
+            .component(label)
+            .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+
+        let keys: BTreeMap<AuthorityId, UserSecretKey> = state
+            .keys
+            .iter()
+            .filter(|((o, _), _)| o == owner_id)
+            .map(|((_, aid), key)| (aid.clone(), key.clone()))
+            .collect();
+        let (tk, rk) = mabe_core::make_transform_key(&state.pk, &keys, &mut self.rng)?;
+        // The blinded key travels to the server (same element count as
+        // the underlying secret keys plus the blinded PK).
+        let tk_bytes: usize = keys.values().map(UserSecretKey::wire_size).sum::<usize>()
+            + mabe_core::G_BYTES;
+        self.wire.send(
+            Endpoint::User(uid.clone()),
+            Endpoint::Server,
+            "transform key",
+            tk_bytes,
+        );
+        let token = mabe_core::server_transform(&component.key_ct, &tk)?;
+        // Only the 128-byte token comes back — not the ciphertext.
+        self.wire.send(
+            Endpoint::Server,
+            Endpoint::User(uid.clone()),
+            format!("transform token {record}/{label}"),
+            mabe_core::GT_BYTES + component.sealed.len() + component.nonce.len(),
+        );
+        let kem = mabe_core::client_recover(&component.key_ct, &token, &rk);
+        let result = mabe_core::open_component_with_kem(component, &kem);
+        self.audit.record(AuditEvent::Read {
+            uid: uid.to_string(),
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            component: label.to_owned(),
+            allowed: result.is_ok(),
+        });
+        Ok(result?)
+    }
+
+    /// Revokes one attribute from one user, running the full protocol:
+    /// fresh keys for the revoked user, update keys to every other
+    /// (online) holder and every owner, owner-side public-key updates,
+    /// and server-side re-encryption of every affected ciphertext.
+    ///
+    /// # Errors
+    ///
+    /// Unknown user/authority, or the user does not hold the attribute.
+    pub fn revoke(&mut self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
+        let attr: Attribute = attribute
+            .parse()
+            .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
+        let aid = attr.authority().clone();
+        let aa = self
+            .authorities
+            .get_mut(&aid)
+            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+        let event = aa.revoke_attribute(uid, &attr, &mut self.rng)?;
+        self.apply_revocation_event(event)
+    }
+
+    /// User-level revocation at one authority: strips all of the user's
+    /// attributes from that domain in a single version bump.
+    ///
+    /// # Errors
+    ///
+    /// Unknown user/authority, or no attributes held there.
+    pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
+        let aa = self
+            .authorities
+            .get_mut(aid)
+            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+        let event = aa.revoke_user(uid, &mut self.rng)?;
+        self.apply_revocation_event(event)
+    }
+
+    /// Full user-level revocation: runs [`Self::revoke_user_at`] against
+    /// every authority where the user currently holds attributes.
+    ///
+    /// # Errors
+    ///
+    /// Unknown user; propagates per-authority failures.
+    pub fn revoke_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
+        let involved: Vec<AuthorityId> = self
+            .grants
+            .get(uid)
+            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?
+            .iter()
+            .map(|a| a.authority().clone())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for aid in involved {
+            self.revoke_user_at(uid, &aid)?;
+        }
+        Ok(())
+    }
+
+    /// Marks a user offline: update keys queue up instead of being
+    /// applied (the paper sends `UK` to all non-revoked users; offline
+    /// ones catch up later via [`Self::sync_user`]).
+    pub fn set_offline(&mut self, uid: &Uid) {
+        self.offline.insert(uid.clone());
+    }
+
+    /// Brings a user back online and replays any queued update keys.
+    /// Consecutive updates per `(owner, authority)` are **composed**
+    /// into one compact key first ([`mabe_core::UpdateKey::compose`]),
+    /// so a user offline through `n` revocations downloads one update
+    /// key per authority, not `n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates key-update failures (e.g. corrupted queues).
+    pub fn sync_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
+        self.offline.remove(uid);
+        let Some(queue) = self.pending_updates.remove(uid) else {
+            return Ok(());
+        };
+        // Compact chains per (owner, authority).
+        let mut compacted: BTreeMap<(OwnerId, AuthorityId), mabe_core::UpdateKey> =
+            BTreeMap::new();
+        for (owner_id, uk) in queue {
+            let slot = (owner_id, uk.aid.clone());
+            match compacted.remove(&slot) {
+                Some(prev) => {
+                    compacted.insert(slot, prev.compose(&uk)?);
+                }
+                None => {
+                    compacted.insert(slot, uk);
+                }
+            }
+        }
+        let state = self
+            .users
+            .get_mut(uid)
+            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
+        for ((owner_id, aid), uk) in compacted {
+            self.wire.send(
+                Endpoint::Authority(aid.clone()),
+                Endpoint::User(uid.clone()),
+                "composed deferred update key",
+                uk.wire_size(),
+            );
+            if let Some(key) = state.keys.get_mut(&(owner_id, aid)) {
+                key.apply_update(&uk)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Distributes one revocation event through the whole system.
+    fn apply_revocation_event(
+        &mut self,
+        event: mabe_core::RevocationEvent,
+    ) -> Result<(), CloudError> {
+        let aid = event.aid.clone();
+        let uid = event.revoked_uid.clone();
+        self.audit.record(AuditEvent::Revoked {
+            uid: uid.to_string(),
+            attributes: event.revoked_attributes.iter().map(|a| a.to_string()).collect(),
+            aid: aid.to_string(),
+            new_version: event.to_version,
+        });
+        if let Some(grants) = self.grants.get_mut(&uid) {
+            for attr in &event.revoked_attributes {
+                grants.remove(attr);
+            }
+        }
+
+        // 1. Fresh (attribute-reduced) keys to the revoked user.
+        if let Some(state) = self.users.get_mut(&uid) {
+            for (owner_id, key) in &event.revoked_user_keys {
+                self.wire.send(
+                    Endpoint::Authority(aid.clone()),
+                    Endpoint::User(uid.clone()),
+                    "re-issued secret key",
+                    key.wire_size(),
+                );
+                state.keys.insert((owner_id.clone(), aid.clone()), key.clone());
+            }
+        }
+
+        // 2. Update keys to every other user holding attributes from
+        //    this authority; offline holders get them queued.
+        let holders: Vec<Uid> = self
+            .grants
+            .iter()
+            .filter(|(holder, attrs)| {
+                **holder != uid && attrs.iter().any(|a| a.authority() == &aid)
+            })
+            .map(|(holder, _)| holder.clone())
+            .collect();
+        for holder in holders {
+            if self.offline.contains(&holder) {
+                let queue = self.pending_updates.entry(holder).or_default();
+                for (owner_id, uk) in &event.update_keys {
+                    queue.push((owner_id.clone(), uk.clone()));
+                }
+                continue;
+            }
+            let state = self.users.get_mut(&holder).expect("holder exists");
+            for (owner_id, uk) in &event.update_keys {
+                if let Some(key) = state.keys.get_mut(&(owner_id.clone(), aid.clone())) {
+                    self.wire.send(
+                        Endpoint::Authority(aid.clone()),
+                        Endpoint::User(holder.clone()),
+                        "update key",
+                        uk.wire_size(),
+                    );
+                    key.apply_update(uk)?;
+                }
+            }
+        }
+
+        // 3. Owners update public keys, then 4. produce update info so the
+        //    server can re-encrypt affected ciphertexts.
+        for (owner_id, owner) in self.owners.iter_mut() {
+            let uk = &event.update_keys[owner_id];
+            self.wire.send(
+                Endpoint::Authority(aid.clone()),
+                Endpoint::Owner(owner_id.clone()),
+                "update key",
+                uk.wire_size(),
+            );
+            owner.apply_update_key(uk)?;
+
+            let affected =
+                self.server.affected_ciphertexts(owner_id, &aid, event.from_version);
+            for (record_key, label, ct_id) in affected {
+                let ui = owner.update_info_for(ct_id, &aid, event.from_version, event.to_version)?;
+                self.wire.send(
+                    Endpoint::Owner(owner_id.clone()),
+                    Endpoint::Server,
+                    "update key + update info",
+                    uk.wire_size() + ui.wire_size(),
+                );
+                self.server.reencrypt_component(&record_key, &label, uk, &ui)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The byte-accounted transport log.
+    pub fn wire(&self) -> &Wire {
+        &self.wire
+    }
+
+    /// The tamper-evident audit trail of every system operation.
+    pub fn audit(&self) -> &AuditLog {
+        &self.audit
+    }
+
+    /// Resets communication accounting (e.g. between experiment phases).
+    pub fn reset_wire(&mut self) {
+        self.wire.reset();
+    }
+
+    /// The cloud server.
+    pub fn server(&self) -> &CloudServer {
+        &self.server
+    }
+
+    /// Current key version of an authority.
+    pub fn authority_version(&self, aid: &AuthorityId) -> Option<u64> {
+        self.authorities.get(aid).map(|a| a.version())
+    }
+
+    /// Paper-accounted storage overhead per entity (Table III).
+    pub fn storage_report(&self) -> StorageReport {
+        StorageReport {
+            authorities: self
+                .authorities
+                .keys()
+                .map(|aid| (aid.clone(), ZP_BYTES))
+                .collect(),
+            owners: self
+                .owners
+                .iter()
+                .map(|(id, o)| (id.clone(), o.storage_size()))
+                .collect(),
+            users: self
+                .users
+                .iter()
+                .map(|(uid, s)| {
+                    (uid.clone(), s.keys.values().map(UserSecretKey::wire_size).sum())
+                })
+                .collect(),
+            server: self.server.storage_size(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::PairClass;
+
+    /// Builds the paper's running example: a medical authority and a
+    /// clinical-trial authority, one hospital owner, three users.
+    fn medical_system() -> (CloudSystem, Uid, Uid, Uid, OwnerId) {
+        let mut sys = CloudSystem::new(42);
+        sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
+        sys.add_authority("Trial", &["Researcher", "Sponsor"]).unwrap();
+        let owner = sys.add_owner("hospital").unwrap();
+        let alice = sys.add_user("alice").unwrap();
+        let bob = sys.add_user("bob").unwrap();
+        let carol = sys.add_user("carol").unwrap();
+        sys.grant(&alice, &["Doctor@MedOrg", "Researcher@Trial"]).unwrap();
+        sys.grant(&bob, &["Doctor@MedOrg", "Sponsor@Trial"]).unwrap();
+        sys.grant(&carol, &["Nurse@MedOrg", "Researcher@Trial"]).unwrap();
+        (sys, alice, bob, carol, owner)
+    }
+
+    #[test]
+    fn end_to_end_publish_and_read() {
+        let (mut sys, alice, bob, carol, owner) = medical_system();
+        sys.publish(
+            &owner,
+            "patient-7",
+            &[
+                ("diagnosis", b"flu".as_slice(), "Doctor@MedOrg"),
+                (
+                    "trial-data",
+                    b"cohort A".as_slice(),
+                    "Doctor@MedOrg AND Researcher@Trial",
+                ),
+            ],
+        )
+        .unwrap();
+
+        // Alice (Doctor+Researcher) reads both.
+        assert_eq!(sys.read(&alice, &owner, "patient-7", "diagnosis").unwrap(), b"flu");
+        assert_eq!(
+            sys.read(&alice, &owner, "patient-7", "trial-data").unwrap(),
+            b"cohort A"
+        );
+        // Bob (Doctor+Sponsor) reads diagnosis only.
+        assert_eq!(sys.read(&bob, &owner, "patient-7", "diagnosis").unwrap(), b"flu");
+        assert!(sys.read(&bob, &owner, "patient-7", "trial-data").is_err());
+        // Carol (Nurse+Researcher) reads neither.
+        assert!(sys.read(&carol, &owner, "patient-7", "diagnosis").is_err());
+        assert!(sys.read(&carol, &owner, "patient-7", "trial-data").is_err());
+    }
+
+    #[test]
+    fn revocation_lifecycle_through_the_system() {
+        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        sys.publish(
+            &owner,
+            "rec",
+            &[("x", b"secret".as_slice(), "Doctor@MedOrg")],
+        )
+        .unwrap();
+        assert_eq!(sys.read(&alice, &owner, "rec", "x").unwrap(), b"secret");
+        assert_eq!(sys.read(&bob, &owner, "rec", "x").unwrap(), b"secret");
+
+        // Revoke Alice's Doctor attribute.
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        assert_eq!(sys.authority_version(&AuthorityId::new("MedOrg")), Some(2));
+
+        // Alice can no longer read; Bob still can (keys auto-updated).
+        assert!(sys.read(&alice, &owner, "rec", "x").is_err());
+        assert_eq!(sys.read(&bob, &owner, "rec", "x").unwrap(), b"secret");
+
+        // New publications under the new version behave the same.
+        sys.publish(&owner, "rec2", &[("y", b"fresh".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+        assert!(sys.read(&alice, &owner, "rec2", "y").is_err());
+        assert_eq!(sys.read(&bob, &owner, "rec2", "y").unwrap(), b"fresh");
+
+        // A user who joins after the revocation can read the old record.
+        let dave = sys.add_user("dave").unwrap();
+        sys.grant(&dave, &["Doctor@MedOrg"]).unwrap();
+        assert_eq!(sys.read(&dave, &owner, "rec", "x").unwrap(), b"secret");
+    }
+
+    #[test]
+    fn late_owner_gets_keys_flowing() {
+        let (mut sys, alice, _bob, _carol, _owner) = medical_system();
+        let clinic = sys.add_owner("clinic").unwrap();
+        sys.publish(&clinic, "c-rec", &[("n", b"note".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+        assert_eq!(sys.read(&alice, &clinic, "c-rec", "n").unwrap(), b"note");
+    }
+
+    #[test]
+    fn wire_accounting_accumulates_per_pair() {
+        let (mut sys, alice, _bob, _carol, owner) = medical_system();
+        sys.publish(&owner, "r", &[("x", b"d".as_slice(), "Doctor@MedOrg")]).unwrap();
+        sys.read(&alice, &owner, "r", "x").unwrap();
+        let report = sys.wire().report();
+        assert!(report[&PairClass::AuthorityUser] > 0, "secret keys flowed");
+        assert!(report[&PairClass::AuthorityOwner] > 0, "public keys flowed");
+        assert!(report[&PairClass::ServerOwner] > 0, "upload flowed");
+        assert!(report[&PairClass::ServerUser] > 0, "download flowed");
+    }
+
+    #[test]
+    fn storage_report_covers_all_entities() {
+        let (sys, _alice, _bob, _carol, owner) = medical_system();
+        let report = sys.storage_report();
+        assert_eq!(report.authorities.len(), 2);
+        // Authority stores only its version key.
+        assert!(report.authorities.values().all(|&b| b == ZP_BYTES));
+        assert!(report.owners[&owner] > 0);
+        assert_eq!(report.users.len(), 3);
+        assert!(report.users.values().all(|&b| b > 0));
+    }
+
+    #[test]
+    fn unknown_lookups_error() {
+        let (mut sys, alice, _bob, _carol, owner) = medical_system();
+        assert!(matches!(
+            sys.read(&alice, &owner, "nope", "x"),
+            Err(CloudError::UnknownRecord(_))
+        ));
+        sys.publish(&owner, "r", &[("x", b"d".as_slice(), "Doctor@MedOrg")]).unwrap();
+        assert!(matches!(
+            sys.read(&alice, &owner, "r", "nope"),
+            Err(CloudError::UnknownComponent(_))
+        ));
+        assert!(matches!(
+            sys.grant(&Uid::new("ghost"), &["Doctor@MedOrg"]),
+            Err(CloudError::Core(Error::UnknownUser(_)))
+        ));
+        assert!(matches!(
+            sys.revoke(&alice, "Doctor@Nowhere"),
+            Err(CloudError::UnknownAuthority(_))
+        ));
+        assert!(matches!(
+            sys.publish(&owner, "bad", &[("x", b"d".as_slice(), "not a policy !!")]),
+            Err(CloudError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn revocation_reencrypts_every_owners_ciphertexts() {
+        let (mut sys, alice, bob, _carol, hospital) = medical_system();
+        let clinic = sys.add_owner("clinic").unwrap();
+        sys.publish(&hospital, "h-rec", &[("x", b"h".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+        sys.publish(&clinic, "c-rec", &[("x", b"c".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+        assert!(sys.read(&alice, &hospital, "h-rec", "x").is_ok());
+        assert!(sys.read(&alice, &clinic, "c-rec", "x").is_ok());
+
+        // One revocation at MedOrg must re-encrypt records of BOTH
+        // owners (per-owner update keys, per-owner update info).
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        assert!(sys.read(&alice, &hospital, "h-rec", "x").is_err());
+        assert!(sys.read(&alice, &clinic, "c-rec", "x").is_err());
+        assert_eq!(sys.read(&bob, &hospital, "h-rec", "x").unwrap(), b"h");
+        assert_eq!(sys.read(&bob, &clinic, "c-rec", "x").unwrap(), b"c");
+    }
+
+    #[test]
+    fn outsourced_read_matches_direct_read() {
+        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        sys.publish(
+            &owner,
+            "r",
+            &[("x", b"outsource me".as_slice(), "Doctor@MedOrg AND Researcher@Trial")],
+        )
+        .unwrap();
+        assert_eq!(sys.read(&alice, &owner, "r", "x").unwrap(), b"outsource me");
+        assert_eq!(
+            sys.read_outsourced(&alice, &owner, "r", "x").unwrap(),
+            b"outsource me"
+        );
+        // Unauthorized user fails identically on both paths.
+        assert!(sys.read(&bob, &owner, "r", "x").is_err());
+        assert!(sys.read_outsourced(&bob, &owner, "r", "x").is_err());
+        // The outsourced path also survives a revocation + key update.
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        assert!(sys.read_outsourced(&alice, &owner, "r", "x").is_err());
+    }
+
+    #[test]
+    fn audit_trail_records_lifecycle() {
+        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")]).unwrap();
+        let _ = sys.read(&alice, &owner, "r", "x");
+        let _ = sys.read(&bob, &owner, "r", "x");
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        let _ = sys.read(&alice, &owner, "r", "x"); // denied
+
+        let audit = sys.audit();
+        assert!(audit.verify(), "hash chain intact");
+        // 2 AAs + 1 owner + 3 users + 3 grants + 1 publish + 3 reads +
+        // 1 revocation = 14 entries.
+        assert_eq!(audit.entries().len(), 14);
+        assert_eq!(audit.denials().count(), 1);
+        assert!(audit.for_user("alice").count() >= 4);
+        // The denial is alice's post-revocation read.
+        let denial = audit.denials().next().unwrap();
+        assert!(denial.event.to_string().contains("alice"));
+    }
+
+    #[test]
+    fn user_level_revocation() {
+        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        sys.publish(
+            &owner,
+            "r",
+            &[
+                ("med", b"m".as_slice(), "Doctor@MedOrg"),
+                ("trial", b"t".as_slice(), "Researcher@Trial"),
+            ],
+        )
+        .unwrap();
+        assert!(sys.read(&alice, &owner, "r", "med").is_ok());
+        assert!(sys.read(&alice, &owner, "r", "trial").is_ok());
+
+        // Wipe Alice everywhere in one call: MedOrg and Trial each bump
+        // exactly once regardless of how many attributes she held.
+        sys.revoke_user(&alice).unwrap();
+        assert_eq!(sys.authority_version(&AuthorityId::new("MedOrg")), Some(2));
+        assert_eq!(sys.authority_version(&AuthorityId::new("Trial")), Some(2));
+        assert!(sys.read(&alice, &owner, "r", "med").is_err());
+        assert!(sys.read(&alice, &owner, "r", "trial").is_err());
+        // Bob unaffected.
+        assert!(sys.read(&bob, &owner, "r", "med").is_ok());
+        // Re-revoking an attribute-less user fails.
+        assert!(sys.revoke_user(&alice).is_ok(), "no-op: no authorities involved");
+        assert!(sys
+            .revoke_user_at(&alice, &AuthorityId::new("MedOrg"))
+            .is_err());
+    }
+
+    #[test]
+    fn offline_user_catches_up_with_queued_update_keys() {
+        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")]).unwrap();
+        assert!(sys.read(&bob, &owner, "r", "x").is_ok());
+
+        // Bob goes offline; two revocations happen (two version bumps).
+        sys.set_offline(&bob);
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        let dave = sys.add_user("dave").unwrap();
+        sys.grant(&dave, &["Doctor@MedOrg"]).unwrap();
+        sys.revoke(&dave, "Doctor@MedOrg").unwrap();
+        assert_eq!(sys.authority_version(&AuthorityId::new("MedOrg")), Some(3));
+
+        // Bob's keys are two versions stale: reads fail cleanly.
+        assert!(sys.read(&bob, &owner, "r", "x").is_err());
+
+        // Coming back online replays the queued UK chain in order.
+        sys.sync_user(&bob).unwrap();
+        assert_eq!(sys.read(&bob, &owner, "r", "x").unwrap(), b"v");
+
+        // Syncing an already-synced user is a no-op.
+        sys.sync_user(&bob).unwrap();
+        assert_eq!(sys.read(&bob, &owner, "r", "x").unwrap(), b"v");
+    }
+
+    #[test]
+    fn multiple_revocations_chain_versions() {
+        let (mut sys, alice, bob, carol, owner) = medical_system();
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Nurse@MedOrg OR Doctor@MedOrg")])
+            .unwrap();
+        assert_eq!(sys.read(&carol, &owner, "r", "x").unwrap(), b"v");
+
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        sys.revoke(&carol, "Nurse@MedOrg").unwrap();
+        assert_eq!(sys.authority_version(&AuthorityId::new("MedOrg")), Some(3));
+
+        // Bob still reads after two re-encryptions.
+        assert_eq!(sys.read(&bob, &owner, "r", "x").unwrap(), b"v");
+        // Carol lost access.
+        assert!(sys.read(&carol, &owner, "r", "x").is_err());
+    }
+}

@@ -1,0 +1,212 @@
+//! Byte-accounted message transport between system entities.
+//!
+//! The paper's communication-cost analysis (Table IV) counts the bytes of
+//! keys and ciphertexts exchanged between entity pairs. Instead of
+//! sniffing a real network, every simulated send is recorded here with
+//! its paper-accounted wire size, and [`Wire::report`] aggregates per
+//! entity-pair class.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use mabe_core::{OwnerId, Uid};
+use mabe_policy::AuthorityId;
+
+/// A message endpoint in the deployment.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum Endpoint {
+    /// The certificate authority.
+    Ca,
+    /// An attribute authority.
+    Authority(AuthorityId),
+    /// A data owner.
+    Owner(OwnerId),
+    /// A data consumer.
+    User(Uid),
+    /// The cloud server.
+    Server,
+}
+
+impl fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Endpoint::Ca => write!(f, "CA"),
+            Endpoint::Authority(a) => write!(f, "AA:{a}"),
+            Endpoint::Owner(o) => write!(f, "Owner:{o}"),
+            Endpoint::User(u) => write!(f, "User:{u}"),
+            Endpoint::Server => write!(f, "Server"),
+        }
+    }
+}
+
+/// Classes of entity pairs reported by the paper's Table IV.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum PairClass {
+    /// Attribute authority ↔ user (secret keys, update keys).
+    AuthorityUser,
+    /// Attribute authority ↔ owner (public keys, update keys).
+    AuthorityOwner,
+    /// Server ↔ user (ciphertext downloads).
+    ServerUser,
+    /// Server ↔ owner (ciphertext uploads, update information).
+    ServerOwner,
+    /// Anything involving the CA (registration; not tabulated by the paper).
+    Ca,
+    /// Any other pair.
+    Other,
+}
+
+impl PairClass {
+    fn of(a: &Endpoint, b: &Endpoint) -> PairClass {
+        use Endpoint::*;
+        match (a, b) {
+            (Authority(_), User(_)) | (User(_), Authority(_)) => PairClass::AuthorityUser,
+            (Authority(_), Owner(_)) | (Owner(_), Authority(_)) => PairClass::AuthorityOwner,
+            (Server, User(_)) | (User(_), Server) => PairClass::ServerUser,
+            (Server, Owner(_)) | (Owner(_), Server) => PairClass::ServerOwner,
+            (Ca, _) | (_, Ca) => PairClass::Ca,
+            _ => PairClass::Other,
+        }
+    }
+}
+
+impl fmt::Display for PairClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            PairClass::AuthorityUser => "AA<->User",
+            PairClass::AuthorityOwner => "AA<->Owner",
+            PairClass::ServerUser => "Server<->User",
+            PairClass::ServerOwner => "Server<->Owner",
+            PairClass::Ca => "CA<->*",
+            PairClass::Other => "other",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One recorded transmission.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Transmission {
+    /// Sender.
+    pub from: Endpoint,
+    /// Receiver.
+    pub to: Endpoint,
+    /// Short description of the payload (e.g. `"user secret key"`).
+    pub what: String,
+    /// Paper-accounted size in bytes.
+    pub bytes: usize,
+}
+
+/// The byte-accounting transport.
+#[derive(Debug, Default)]
+pub struct Wire {
+    log: Vec<Transmission>,
+}
+
+impl Wire {
+    /// Creates an empty wire.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one message.
+    pub fn send(&mut self, from: Endpoint, to: Endpoint, what: impl Into<String>, bytes: usize) {
+        self.log.push(Transmission { from, to, what: what.into(), bytes });
+    }
+
+    /// Full transmission log.
+    pub fn log(&self) -> &[Transmission] {
+        &self.log
+    }
+
+    /// Total bytes transmitted.
+    pub fn total_bytes(&self) -> usize {
+        self.log.iter().map(|t| t.bytes).sum()
+    }
+
+    /// Aggregated bytes per entity-pair class (Table IV rows).
+    pub fn report(&self) -> BTreeMap<PairClass, usize> {
+        let mut out = BTreeMap::new();
+        for t in &self.log {
+            *out.entry(PairClass::of(&t.from, &t.to)).or_insert(0) += t.bytes;
+        }
+        out
+    }
+
+    /// Bytes exchanged between one concrete pair of endpoints
+    /// (direction-insensitive).
+    pub fn between(&self, a: &Endpoint, b: &Endpoint) -> usize {
+        self.log
+            .iter()
+            .filter(|t| (&t.from == a && &t.to == b) || (&t.from == b && &t.to == a))
+            .map(|t| t.bytes)
+            .sum()
+    }
+
+    /// Clears the log (e.g. between experiment phases).
+    pub fn reset(&mut self) {
+        self.log.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn user(n: &str) -> Endpoint {
+        Endpoint::User(Uid::new(n))
+    }
+
+    fn aa(n: &str) -> Endpoint {
+        Endpoint::Authority(AuthorityId::new(n))
+    }
+
+    #[test]
+    fn records_and_totals() {
+        let mut w = Wire::new();
+        w.send(aa("Med"), user("alice"), "secret key", 130);
+        w.send(Endpoint::Server, user("alice"), "ciphertext", 500);
+        assert_eq!(w.total_bytes(), 630);
+        assert_eq!(w.log().len(), 2);
+    }
+
+    #[test]
+    fn pair_classes() {
+        let mut w = Wire::new();
+        w.send(aa("Med"), user("alice"), "sk", 10);
+        w.send(user("alice"), aa("Med"), "req", 5);
+        w.send(Endpoint::Server, Endpoint::Owner(OwnerId::new("o")), "ui-ack", 7);
+        w.send(Endpoint::Ca, user("alice"), "uid", 3);
+        let report = w.report();
+        assert_eq!(report[&PairClass::AuthorityUser], 15);
+        assert_eq!(report[&PairClass::ServerOwner], 7);
+        assert_eq!(report[&PairClass::Ca], 3);
+        assert!(!report.contains_key(&PairClass::ServerUser));
+    }
+
+    #[test]
+    fn between_is_symmetric() {
+        let mut w = Wire::new();
+        w.send(aa("Med"), user("a"), "x", 10);
+        w.send(user("a"), aa("Med"), "y", 4);
+        assert_eq!(w.between(&aa("Med"), &user("a")), 14);
+        assert_eq!(w.between(&user("a"), &aa("Med")), 14);
+        assert_eq!(w.between(&aa("Med"), &user("b")), 0);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut w = Wire::new();
+        w.send(aa("Med"), user("a"), "x", 10);
+        w.reset();
+        assert_eq!(w.total_bytes(), 0);
+        assert!(w.log().is_empty());
+    }
+
+    #[test]
+    fn endpoint_display() {
+        assert_eq!(user("a").to_string(), "User:a");
+        assert_eq!(Endpoint::Server.to_string(), "Server");
+        assert_eq!(PairClass::AuthorityUser.to_string(), "AA<->User");
+    }
+}

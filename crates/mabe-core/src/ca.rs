@@ -1,0 +1,158 @@
+//! The certificate authority (paper §V-B, Phase 1 "CA Setup").
+//!
+//! The CA authenticates every user and authority, assigns globally unique
+//! `UID`s / `AID`s, and publishes each user's public key `PK_UID = g^u`.
+//! Crucially — and unlike the central authority of Chase's scheme — it
+//! holds **no** attribute-related secrets and cannot decrypt anything.
+
+use std::collections::BTreeMap;
+
+use rand::RngCore;
+
+use mabe_math::{Fr, G1Affine};
+use mabe_policy::AuthorityId;
+
+use crate::error::Error;
+use crate::ids::Uid;
+use crate::keys::UserPublicKey;
+
+/// The certificate authority.
+#[derive(Debug, Default)]
+pub struct CertificateAuthority {
+    users: BTreeMap<Uid, RegisteredUser>,
+    authorities: Vec<AuthorityId>,
+}
+
+#[derive(Debug)]
+struct RegisteredUser {
+    /// The CA-held exponent `u`; kept only so re-registration can be
+    /// detected and audits performed — never used for decryption.
+    #[allow(dead_code)]
+    u: Fr,
+    pk: UserPublicKey,
+}
+
+impl CertificateAuthority {
+    /// Creates an empty CA.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Authenticates a user and issues its `UID` and public key
+    /// `PK_UID = g^u`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::AlreadyRegistered`] if the UID is taken.
+    pub fn register_user<R: RngCore + ?Sized>(
+        &mut self,
+        uid: impl Into<String>,
+        rng: &mut R,
+    ) -> Result<UserPublicKey, Error> {
+        let uid = Uid::new(uid);
+        if self.users.contains_key(&uid) {
+            return Err(Error::AlreadyRegistered(uid.to_string()));
+        }
+        let u = loop {
+            let candidate = Fr::random(rng);
+            if !candidate.is_zero() {
+                break candidate;
+            }
+        };
+        let pk = UserPublicKey { uid: uid.clone(), pk: G1Affine::from(mabe_math::generator_mul(&u)) };
+        self.users.insert(uid, RegisteredUser { u, pk: pk.clone() });
+        Ok(pk)
+    }
+
+    /// Authenticates an authority and assigns its `AID`.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`Error::AlreadyRegistered`] if the AID is taken.
+    pub fn register_authority(&mut self, aid: impl Into<String>) -> Result<AuthorityId, Error> {
+        let aid = AuthorityId::new(aid);
+        if self.authorities.contains(&aid) {
+            return Err(Error::AlreadyRegistered(aid.to_string()));
+        }
+        self.authorities.push(aid.clone());
+        Ok(aid)
+    }
+
+    /// Looks up a registered user's public key.
+    pub fn user_public_key(&self, uid: &Uid) -> Result<&UserPublicKey, Error> {
+        self.users.get(uid).map(|r| &r.pk).ok_or_else(|| Error::UnknownUser(uid.clone()))
+    }
+
+    /// All registered authorities.
+    pub fn authorities(&self) -> &[AuthorityId] {
+        &self.authorities
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.users.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn registers_users_with_distinct_keys() {
+        let mut ca = CertificateAuthority::new();
+        let mut r = rng();
+        let alice = ca.register_user("alice", &mut r).unwrap();
+        let bob = ca.register_user("bob", &mut r).unwrap();
+        assert_ne!(alice.pk, bob.pk);
+        assert_eq!(ca.user_count(), 2);
+        assert_eq!(ca.user_public_key(&Uid::new("alice")).unwrap(), &alice);
+    }
+
+    #[test]
+    fn rejects_duplicate_uid() {
+        let mut ca = CertificateAuthority::new();
+        let mut r = rng();
+        ca.register_user("alice", &mut r).unwrap();
+        assert!(matches!(
+            ca.register_user("alice", &mut r),
+            Err(Error::AlreadyRegistered(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_duplicate_aid() {
+        let mut ca = CertificateAuthority::new();
+        ca.register_authority("MedOrg").unwrap();
+        assert!(matches!(
+            ca.register_authority("MedOrg"),
+            Err(Error::AlreadyRegistered(_))
+        ));
+        assert_eq!(ca.authorities().len(), 1);
+    }
+
+    #[test]
+    fn unknown_user_lookup_fails() {
+        let ca = CertificateAuthority::new();
+        assert!(matches!(
+            ca.user_public_key(&Uid::new("ghost")),
+            Err(Error::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn user_public_key_is_on_curve_and_in_subgroup() {
+        let mut ca = CertificateAuthority::new();
+        let mut r = rng();
+        let pk = ca.register_user("alice", &mut r).unwrap();
+        assert!(pk.pk.is_on_curve());
+        assert!(pk.pk.is_torsion_free());
+        assert!(!pk.pk.is_identity());
+    }
+}

@@ -1,0 +1,597 @@
+//! The multi-authority CP-ABE ciphertext, encryption and decryption
+//! (paper §V-B Phases 3–4).
+//!
+//! ```text
+//! CT = ( C  = m · (Π_k PK_{o,AID_k})^s,
+//!        C' = g^{βs},
+//!        C_i = g^{r·λ_i} · PK_{ρ(i),AID}^{-βs}   for i = 1..l )
+//! ```
+//!
+//! Decryption recombines with constants `w_i` (`Σ w_i λ_i = s`) raised to
+//! `w_i · n_A`, where `n_A` is the number of involved authorities
+//! (paper Eq. 1). Note the scheme's documented functional requirement: a
+//! decryptor needs the `K` component from **every** authority involved in
+//! the ciphertext, even those whose attributes its reconstruction subset
+//! does not use.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::RngCore;
+
+use mabe_math::{pairing, Fr, G1Affine, Gt, G1};
+use mabe_policy::{AccessStructure, AuthorityId};
+
+use crate::error::Error;
+use crate::ids::OwnerId;
+use crate::keys::{
+    AuthorityPublicKeys, OwnerMasterKey, UserPublicKey, UserSecretKey, GT_BYTES, G_BYTES,
+};
+
+/// Owner-scoped ciphertext identifier (used to look up the stored
+/// encryption exponent during re-encryption).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CiphertextId(pub u64);
+
+impl core::fmt::Display for CiphertextId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "ct-{}", self.0)
+    }
+}
+
+/// A multi-authority CP-ABE ciphertext.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Ciphertext {
+    /// Owner-scoped identifier.
+    pub id: CiphertextId,
+    /// The owner that produced this ciphertext.
+    pub owner: OwnerId,
+    /// `C = m · (Π_k PK_{o,AID_k})^s`.
+    pub c: Gt,
+    /// `C' = g^{βs}`.
+    pub c_prime: G1Affine,
+    /// `C_i = g^{r·λ_i} · PK_{ρ(i)}^{-βs}`, one per access-structure row.
+    pub c_i: Vec<G1Affine>,
+    /// The embedded access structure `(M, ρ)`.
+    pub access: AccessStructure,
+    /// Version of each involved authority's keys at encryption time
+    /// (metadata; bumped by server-side re-encryption).
+    pub versions: BTreeMap<AuthorityId, u64>,
+}
+
+impl Ciphertext {
+    /// Wire size in bytes following the paper's accounting
+    /// (`|G_T| + (l + 1)·|G|`, Table II "Ciphertext").
+    pub fn wire_size(&self) -> usize {
+        GT_BYTES + (self.c_i.len() + 1) * G_BYTES
+    }
+
+    /// Number of attribute rows `l`.
+    pub fn rows(&self) -> usize {
+        self.c_i.len()
+    }
+
+    /// The involved authority set `I_A`.
+    pub fn involved_authorities(&self) -> BTreeSet<AuthorityId> {
+        self.access.authorities()
+    }
+}
+
+/// Runs `Encrypt` (paper §V-B Phase 3) over a `G_T` message.
+///
+/// Returns the ciphertext together with the encryption exponent `s`, which
+/// the owner must retain to generate re-encryption update information
+/// after revocations (§V-C Phase 2).
+///
+/// # Errors
+///
+/// * [`Error::MissingAuthorityKey`] if `authority_keys` lacks an involved
+///   authority.
+/// * [`Error::MissingPublicAttributeKey`] if an attribute's public key is
+///   absent.
+pub fn encrypt<R: RngCore + ?Sized>(
+    message: &Gt,
+    access: &AccessStructure,
+    mk: &OwnerMasterKey,
+    owner: &OwnerId,
+    id: CiphertextId,
+    authority_keys: &BTreeMap<AuthorityId, AuthorityPublicKeys>,
+    rng: &mut R,
+) -> Result<(Ciphertext, Fr), Error> {
+    let involved = access.authorities();
+    let mut versions = BTreeMap::new();
+    let mut pk_product = Gt::one();
+    for aid in &involved {
+        let pks = authority_keys
+            .get(aid)
+            .ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        pk_product = pk_product.mul(&pks.owner_pk);
+        versions.insert(aid.clone(), pks.version);
+    }
+
+    let s = loop {
+        let candidate = Fr::random(rng);
+        if !candidate.is_zero() {
+            break candidate;
+        }
+    };
+    let shares = access.share(&s, rng);
+
+    let c = message.mul(&pk_product.pow(&s));
+    let beta_s = mk.beta.mul(&s);
+    let c_prime = G1Affine::from(mabe_math::generator_mul(&beta_s));
+    let neg_beta_s = beta_s.neg();
+
+    let mut projective = Vec::with_capacity(access.rows());
+    for (row, lambda) in shares.iter().enumerate() {
+        let attr = &access.rho()[row];
+        let pks = authority_keys
+            .get(attr.authority())
+            .expect("involved authorities checked above");
+        let pk_x = pks.attr_pk(attr)?;
+        // C_i = g^{r·λ_i} · PK_x^{-βs}
+        let point = mabe_math::generator_mul(&mk.r.mul(lambda))
+            .add(&G1::from(*pk_x).mul(&neg_beta_s));
+        projective.push(point);
+    }
+    let c_i = mabe_math::batch_normalize(&projective);
+
+    Ok((
+        Ciphertext {
+            id,
+            owner: owner.clone(),
+            c,
+            c_prime,
+            c_i,
+            access: access.clone(),
+            versions,
+        },
+        s,
+    ))
+}
+
+/// Runs `Decrypt` (paper §V-B Phase 4, Eq. 1).
+///
+/// `keys` maps each authority to the user's secret key from it; all keys
+/// must belong to the same user as `user_pk`, be scoped to the
+/// ciphertext's owner, and match the ciphertext's key versions.
+///
+/// # Errors
+///
+/// * [`Error::MissingAuthorityKey`] — no key from an involved authority.
+/// * [`Error::OwnerMismatch`] / [`Error::VersionMismatch`] — stale or
+///   mis-scoped key material (e.g. a revoked user holding old-version
+///   keys against a re-encrypted ciphertext).
+/// * [`Error::PolicyNotSatisfied`] — the combined attribute set does not
+///   satisfy the access structure.
+pub fn decrypt(
+    ct: &Ciphertext,
+    user_pk: &UserPublicKey,
+    keys: &BTreeMap<AuthorityId, UserSecretKey>,
+) -> Result<Gt, Error> {
+    for aid in ct.involved_authorities() {
+        let key = keys.get(&aid).ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        if key.owner != ct.owner {
+            return Err(Error::OwnerMismatch {
+                expected: ct.owner.clone(),
+                found: key.owner.clone(),
+            });
+        }
+        if key.uid != user_pk.uid {
+            return Err(Error::Malformed("secret key belongs to a different user"));
+        }
+        let expected = ct.versions[&aid];
+        if key.version != expected {
+            return Err(Error::VersionMismatch {
+                authority: aid.clone(),
+                expected,
+                found: key.version,
+            });
+        }
+    }
+    decrypt_unchecked(ct, user_pk, keys)
+}
+
+/// The raw decryption computation with no metadata validation.
+///
+/// This is the bare cryptographic operation: mismatched or stale key
+/// material does not error, it simply yields a `G_T` element that is not
+/// the message (useful for negative tests demonstrating the scheme's
+/// algebra, and for adversarial experiments).
+///
+/// # Errors
+///
+/// * [`Error::MissingAuthorityKey`] — no key from an involved authority.
+/// * [`Error::PolicyNotSatisfied`] — attributes cannot reconstruct the
+///   secret.
+pub fn decrypt_unchecked(
+    ct: &Ciphertext,
+    user_pk: &UserPublicKey,
+    keys: &BTreeMap<AuthorityId, UserSecretKey>,
+) -> Result<Gt, Error> {
+    let involved = ct.involved_authorities();
+    let n_a = Fr::from_u64(involved.len() as u64);
+
+    // The attribute set certified by the supplied keys.
+    let attrs: BTreeSet<_> = keys
+        .values()
+        .flat_map(|k| k.kx.keys().cloned())
+        .collect();
+    let coefficients = ct
+        .access
+        .reconstruction_coefficients(&attrs)
+        .ok_or(Error::PolicyNotSatisfied)?;
+
+    // Numerator: Π_k e(C', K_{UID,AID_k}) over ALL involved authorities.
+    let mut numerator = Gt::one();
+    for aid in &involved {
+        let key = keys.get(aid).ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        numerator = numerator.mul(&pairing(&ct.c_prime, &key.k));
+    }
+
+    // Denominator: Π_i (e(C_i, PK_UID) · e(C', K_{ρ(i)}))^{w_i · n_A}.
+    let mut denominator = Gt::one();
+    for (row, w) in &coefficients {
+        let attr = &ct.access.rho()[*row];
+        let key = keys
+            .get(attr.authority())
+            .ok_or_else(|| Error::MissingAuthorityKey(attr.authority().clone()))?;
+        let kx = key.kx.get(attr).ok_or(Error::PolicyNotSatisfied)?;
+        let term = pairing(&ct.c_i[*row], &user_pk.pk).mul(&pairing(&ct.c_prime, kx));
+        denominator = denominator.mul(&term.pow(&w.mul(&n_a)));
+    }
+
+    // num / den = Π_k e(g,g)^{α_k s};   m = C / (num / den).
+    let blinding = numerator.div(&denominator);
+    Ok(ct.c.div(&blinding))
+}
+
+/// Optimized decryption: identical output to [`decrypt`], but all
+/// `n_A + 2·|I|` pairings share a single final exponentiation
+/// ([`mabe_math::multi_pairing`]) and the recombination exponents
+/// `w_i · n_A` are folded into `G` scalar multiplications instead of
+/// `G_T` exponentiations.
+///
+/// Kept separate from [`decrypt`] so the paper's Figure 3/4 cost model
+/// stays reproducible with the faithful path; the `schemes` Criterion
+/// bench quantifies the gap as an ablation.
+///
+/// # Errors
+///
+/// Same contract as [`decrypt`].
+pub fn decrypt_fast(
+    ct: &Ciphertext,
+    user_pk: &UserPublicKey,
+    keys: &BTreeMap<AuthorityId, UserSecretKey>,
+) -> Result<Gt, Error> {
+    let involved = ct.involved_authorities();
+    for aid in &involved {
+        let key = keys.get(aid).ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        if key.owner != ct.owner {
+            return Err(Error::OwnerMismatch {
+                expected: ct.owner.clone(),
+                found: key.owner.clone(),
+            });
+        }
+        if key.uid != user_pk.uid {
+            return Err(Error::Malformed("secret key belongs to a different user"));
+        }
+        let expected = ct.versions[&aid.clone()];
+        if key.version != expected {
+            return Err(Error::VersionMismatch {
+                authority: aid.clone(),
+                expected,
+                found: key.version,
+            });
+        }
+    }
+    let n_a = Fr::from_u64(involved.len() as u64);
+    let attrs: BTreeSet<_> = keys.values().flat_map(|k| k.kx.keys().cloned()).collect();
+    let coefficients = ct
+        .access
+        .reconstruction_coefficients(&attrs)
+        .ok_or(Error::PolicyNotSatisfied)?;
+
+    // blinding = Π_k e(C', K_k) · Π_i ( e(C_i, PK)·e(C', K_ρ(i)) )^{-w_i·n_A}
+    // with exponents moved into the first pairing argument, all pairings
+    // sharing one Miller accumulator and one final exponentiation.
+    let mut scaled: Vec<G1> = Vec::with_capacity(2 * coefficients.len());
+    let mut partners: Vec<G1Affine> = Vec::with_capacity(2 * coefficients.len());
+    for (row, w) in &coefficients {
+        let attr = &ct.access.rho()[*row];
+        let key = &keys[attr.authority()];
+        let kx = key.kx.get(attr).ok_or(Error::PolicyNotSatisfied)?;
+        let exp = w.mul(&n_a).neg();
+        scaled.push(G1::from(ct.c_i[*row]).mul(&exp));
+        partners.push(user_pk.pk);
+        scaled.push(G1::from(ct.c_prime).mul(&exp));
+        partners.push(*kx);
+    }
+    let scaled_affine = mabe_math::batch_normalize(&scaled);
+    let mut pairs: Vec<(G1Affine, G1Affine)> = involved
+        .iter()
+        .map(|aid| (ct.c_prime, keys[aid].k))
+        .collect();
+    pairs.extend(scaled_affine.into_iter().zip(partners));
+    let blinding = mabe_math::multi_pairing(&pairs);
+    Ok(ct.c.div(&blinding))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::AttributeAuthority;
+    use crate::ca::CertificateAuthority;
+    use crate::ids::Uid;
+    use mabe_policy::{parse, AccessStructure};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    struct Fixture {
+        rng: StdRng,
+        ca: CertificateAuthority,
+        aas: Vec<AttributeAuthority>,
+        owner: OwnerId,
+        mk: OwnerMasterKey,
+        authority_keys: BTreeMap<AuthorityId, AuthorityPublicKeys>,
+    }
+
+    /// Two authorities (Med: Doctor/Nurse, Trial: Researcher/Sponsor) and
+    /// one owner, everything registered.
+    fn fixture() -> Fixture {
+        let mut rng = StdRng::seed_from_u64(1234);
+        let mut ca = CertificateAuthority::new();
+        let owner = OwnerId::new("hospital-data");
+        let mk = OwnerMasterKey::random(&mut rng);
+        let mut aas = Vec::new();
+        for (name, attrs) in [("Med", vec!["Doctor", "Nurse"]), ("Trial", vec!["Researcher", "Sponsor"])] {
+            let aid = ca.register_authority(name).unwrap();
+            let mut aa = AttributeAuthority::new(aid, &attrs, &mut rng);
+            aa.register_owner(mk.secret_key(&owner)).unwrap();
+            aas.push(aa);
+        }
+        let authority_keys =
+            aas.iter().map(|aa| (aa.aid().clone(), aa.public_keys())).collect();
+        Fixture { rng, ca, aas, owner, mk, authority_keys }
+    }
+
+    impl Fixture {
+        fn enroll(&mut self, uid: &str, attrs: &[&str]) -> (UserPublicKey, BTreeMap<AuthorityId, UserSecretKey>) {
+            let pk = self.ca.register_user(uid, &mut self.rng).unwrap();
+            let mut keys = BTreeMap::new();
+            for aa in &mut self.aas {
+                let mine: Vec<mabe_policy::Attribute> = attrs
+                    .iter()
+                    .filter_map(|s| s.parse::<mabe_policy::Attribute>().ok())
+                    .filter(|a| a.authority() == aa.aid())
+                    .collect();
+                if !mine.is_empty() {
+                    aa.grant(&pk, mine).unwrap();
+                    keys.insert(aa.aid().clone(), aa.keygen(&pk.uid, &self.owner).unwrap());
+                }
+            }
+            (pk, keys)
+        }
+
+        fn encrypt(&mut self, msg: &Gt, policy: &str) -> Ciphertext {
+            let access = AccessStructure::from_policy(&parse(policy).unwrap()).unwrap();
+            encrypt(
+                msg,
+                &access,
+                &self.mk,
+                &self.owner,
+                CiphertextId(1),
+                &self.authority_keys,
+                &mut self.rng,
+            )
+            .unwrap()
+            .0
+        }
+    }
+
+    #[test]
+    fn single_authority_roundtrip() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med");
+        let (pk, keys) = fx.enroll("alice", &["Doctor@Med"]);
+        assert_eq!(decrypt(&ct, &pk, &keys).unwrap(), msg);
+    }
+
+    #[test]
+    fn cross_authority_and_policy() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
+        let (pk, keys) = fx.enroll("alice", &["Doctor@Med", "Researcher@Trial"]);
+        assert_eq!(decrypt(&ct, &pk, &keys).unwrap(), msg);
+        assert_eq!(ct.involved_authorities().len(), 2);
+        assert_eq!(ct.rows(), 2);
+    }
+
+    #[test]
+    fn insufficient_attributes_rejected() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
+        let (pk, keys) = fx.enroll("mallory", &["Doctor@Med", "Sponsor@Trial"]);
+        assert_eq!(decrypt(&ct, &pk, &keys), Err(Error::PolicyNotSatisfied));
+    }
+
+    #[test]
+    fn missing_authority_key_rejected() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
+        let (pk, mut keys) = fx.enroll("alice", &["Doctor@Med", "Researcher@Trial"]);
+        keys.remove(&AuthorityId::new("Trial"));
+        assert!(matches!(
+            decrypt(&ct, &pk, &keys),
+            Err(Error::MissingAuthorityKey(_))
+        ));
+    }
+
+    #[test]
+    fn or_policy_still_requires_all_involved_authorities() {
+        // Documented functional property of the scheme: an OR across
+        // authorities still needs a K component from both.
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med OR Researcher@Trial");
+        let (pk, keys) = fx.enroll("alice", &["Doctor@Med"]);
+        assert!(matches!(
+            decrypt(&ct, &pk, &keys),
+            Err(Error::MissingAuthorityKey(_))
+        ));
+        // With a (possibly empty-attribute) key from Trial it works.
+        let (pk2, keys2) = fx.enroll("bob", &["Doctor@Med", "Sponsor@Trial"]);
+        assert_eq!(decrypt(&ct, &pk2, &keys2).unwrap(), msg);
+    }
+
+    #[test]
+    fn threshold_policy_roundtrip() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "2 of (Doctor@Med, Nurse@Med, Researcher@Trial)");
+        let (pk, keys) = fx.enroll("alice", &["Doctor@Med", "Nurse@Med", "Sponsor@Trial"]);
+        assert_eq!(decrypt(&ct, &pk, &keys).unwrap(), msg);
+    }
+
+    #[test]
+    fn collusion_attack_fails() {
+        // Alice holds Doctor@Med, Bob holds Researcher@Trial. Pooling
+        // their keys must NOT decrypt a (Doctor AND Researcher) ciphertext
+        // because the keys embed different UIDs.
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
+        let (alice_pk, alice_keys) = fx.enroll("alice", &["Doctor@Med", "Sponsor@Trial"]);
+        let (_bob_pk, bob_keys) = fx.enroll("bob", &["Nurse@Med", "Researcher@Trial"]);
+
+        // Colluders pool: Alice's Med key + Bob's Trial key.
+        let mut pooled = BTreeMap::new();
+        pooled.insert(AuthorityId::new("Med"), alice_keys[&AuthorityId::new("Med")].clone());
+        pooled.insert(AuthorityId::new("Trial"), bob_keys[&AuthorityId::new("Trial")].clone());
+
+        // The metadata-checked path refuses (keys from different users).
+        assert!(decrypt(&ct, &alice_pk, &pooled).is_err());
+
+        // Even the raw computation (adversary ignores checks, tries both
+        // public keys) yields garbage, not the message.
+        let kx_union: BTreeSet<_> = pooled.values().flat_map(|k| k.kx.keys().cloned()).collect();
+        assert!(ct.access.reconstruction_coefficients(&kx_union).is_some(),
+            "pooled attributes do satisfy the policy — the crypto must still resist");
+        let forged_alice = force_decrypt(&ct, &alice_pk, &pooled);
+        assert_ne!(forged_alice, msg);
+        let bob_pk_full = fx.ca.user_public_key(&Uid::new("bob")).unwrap().clone();
+        let forged_bob = force_decrypt(&ct, &bob_pk_full, &pooled);
+        assert_ne!(forged_bob, msg);
+    }
+
+    /// Runs the decryption algebra while bypassing UID consistency checks,
+    /// as a colluding adversary would.
+    fn force_decrypt(
+        ct: &Ciphertext,
+        upk: &UserPublicKey,
+        keys: &BTreeMap<AuthorityId, UserSecretKey>,
+    ) -> Gt {
+        let mut fixed = BTreeMap::new();
+        for (aid, k) in keys {
+            let mut k = k.clone();
+            k.uid = upk.uid.clone();
+            fixed.insert(aid.clone(), k);
+        }
+        decrypt_unchecked(ct, upk, &fixed).unwrap()
+    }
+
+    #[test]
+    fn wrong_user_public_key_yields_garbage() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med");
+        let (_pk, keys) = fx.enroll("alice", &["Doctor@Med"]);
+        let (eve_pk, _) = fx.enroll("eve", &["Nurse@Med"]);
+        assert_ne!(force_decrypt(&ct, &eve_pk, &keys), msg);
+    }
+
+    #[test]
+    fn ciphertext_size_accounting() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med AND Nurse@Med AND Researcher@Trial");
+        // |GT| + (l+1)|G| with l = 3.
+        assert_eq!(ct.wire_size(), GT_BYTES + 4 * G_BYTES);
+    }
+
+    #[test]
+    fn encrypt_rejects_unknown_authority() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let access =
+            AccessStructure::from_policy(&parse("X@Nowhere").unwrap()).unwrap();
+        let err = encrypt(
+            &msg,
+            &access,
+            &fx.mk,
+            &fx.owner,
+            CiphertextId(9),
+            &fx.authority_keys,
+            &mut fx.rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, Error::MissingAuthorityKey(_)));
+    }
+
+    #[test]
+    fn same_message_two_encryptions_differ() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct1 = fx.encrypt(&msg, "Doctor@Med");
+        let ct2 = fx.encrypt(&msg, "Doctor@Med");
+        assert_ne!(ct1.c, ct2.c, "probabilistic encryption must rerandomize");
+        assert_ne!(ct1.c_prime, ct2.c_prime);
+    }
+
+    #[test]
+    fn fast_decrypt_matches_reference() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        for policy in [
+            "Doctor@Med",
+            "Doctor@Med AND Researcher@Trial",
+            "2 of (Doctor@Med, Nurse@Med, Researcher@Trial)",
+        ] {
+            let ct = fx.encrypt(&msg, policy);
+            let (pk, keys) =
+                fx.enroll(&format!("u-{}", policy.len()), &["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+            let reference = decrypt(&ct, &pk, &keys).unwrap();
+            let fast = decrypt_fast(&ct, &pk, &keys).unwrap();
+            assert_eq!(reference, fast);
+            assert_eq!(fast, msg);
+        }
+    }
+
+    #[test]
+    fn fast_decrypt_same_error_contract() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
+        let (pk, keys) = fx.enroll("weak", &["Doctor@Med", "Sponsor@Trial"]);
+        assert_eq!(decrypt_fast(&ct, &pk, &keys), Err(Error::PolicyNotSatisfied));
+        let (pk2, mut keys2) = fx.enroll("missing", &["Doctor@Med", "Researcher@Trial"]);
+        keys2.remove(&AuthorityId::new("Trial"));
+        assert!(matches!(
+            decrypt_fast(&ct, &pk2, &keys2),
+            Err(Error::MissingAuthorityKey(_))
+        ));
+    }
+
+    #[test]
+    fn extra_keys_are_harmless() {
+        let mut fx = fixture();
+        let msg = Gt::random(&mut fx.rng);
+        let ct = fx.encrypt(&msg, "Doctor@Med");
+        let (pk, keys) = fx.enroll("alice", &["Doctor@Med", "Researcher@Trial"]);
+        // keys contains Trial as well; decryption should ignore it.
+        assert_eq!(decrypt(&ct, &pk, &keys).unwrap(), msg);
+    }
+}

@@ -1,0 +1,98 @@
+//! Global identifiers issued by the certificate authority.
+//!
+//! The CA's whole role in the paper (§V-A) is to hand out a globally
+//! unique `UID` per user and an `AID` per authority; the `UID` replaces
+//! the per-key randomness of single-authority CP-ABE and is what ties a
+//! user's key components together (and keeps different users' components
+//! apart — the collusion defence).
+
+use std::fmt;
+
+/// A globally unique user identifier (the paper's `UID`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Uid(String);
+
+impl Uid {
+    /// Wraps an identifier string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is empty.
+    pub fn new(id: impl Into<String>) -> Self {
+        let id = id.into();
+        assert!(!id.is_empty(), "UID must be non-empty");
+        Uid(id)
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Uid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Identifier of a data owner.
+///
+/// Owners are not named entities in the paper's CA, but every owner has
+/// its own master key `MK_o`, so keys and update keys must be scoped to an
+/// owner; this identifier provides that scope.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct OwnerId(String);
+
+impl OwnerId {
+    /// Wraps an identifier string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is empty.
+    pub fn new(id: impl Into<String>) -> Self {
+        let id = id.into();
+        assert!(!id.is_empty(), "owner id must be non-empty");
+        OwnerId(id)
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for OwnerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uid_roundtrip() {
+        let u = Uid::new("alice");
+        assert_eq!(u.as_str(), "alice");
+        assert_eq!(u.to_string(), "alice");
+    }
+
+    #[test]
+    fn distinct_uids_differ() {
+        assert_ne!(Uid::new("alice"), Uid::new("bob"));
+    }
+
+    #[test]
+    #[should_panic(expected = "UID must be non-empty")]
+    fn empty_uid_rejected() {
+        Uid::new("");
+    }
+
+    #[test]
+    #[should_panic(expected = "owner id must be non-empty")]
+    fn empty_owner_rejected() {
+        OwnerId::new("");
+    }
+}

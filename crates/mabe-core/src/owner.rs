@@ -1,0 +1,339 @@
+//! The data owner (paper §V-B "Owner Setup", Phase 3, and §V-C Phase 2).
+//!
+//! Each owner holds its own master key `MK_o = {β, r}` — this is the
+//! paper's replacement for a global authority: *"We propose a new
+//! technique by letting each owner hold its own master key, while each
+//! authority only holds its version key."* The owner encrypts content
+//! keys under LSSS policies, keeps the encryption exponent `s` of every
+//! ciphertext, and after a revocation produces the update information
+//! `UI_x = (PK_x / P̃K_x)^{βs}` that lets the server re-encrypt without
+//! decrypting.
+
+use std::collections::BTreeMap;
+
+use rand::RngCore;
+
+use mabe_math::{G1Affine, Gt, G1};
+use mabe_policy::{AccessStructure, Attribute, AuthorityId, Policy};
+
+use crate::ciphertext::{encrypt, Ciphertext, CiphertextId};
+use crate::error::Error;
+use crate::ids::OwnerId;
+use crate::keys::{AuthorityPublicKeys, OwnerMasterKey, OwnerSecretKey, UpdateKey};
+use crate::revoke::UpdateInfo;
+
+use mabe_math::Fr;
+
+/// Per-ciphertext record the owner retains (the exponent `s` plus the
+/// attribute labelling, enough to regenerate update information).
+#[derive(Clone, Debug)]
+struct EncryptionRecord {
+    s: Fr,
+    attributes: Vec<Attribute>,
+}
+
+/// A data owner.
+#[derive(Debug)]
+pub struct DataOwner {
+    id: OwnerId,
+    mk: OwnerMasterKey,
+    /// Latest known public keys per authority.
+    authority_keys: BTreeMap<AuthorityId, AuthorityPublicKeys>,
+    /// Historical public attribute keys per (authority, version), kept so
+    /// update information for lagging ciphertexts can be computed.
+    attr_pk_history: BTreeMap<(AuthorityId, u64), BTreeMap<Attribute, G1Affine>>,
+    records: BTreeMap<CiphertextId, EncryptionRecord>,
+    next_id: u64,
+}
+
+impl DataOwner {
+    /// Runs `OwnerGen`: samples `MK_o = {β, r}`.
+    pub fn new<R: RngCore + ?Sized>(id: OwnerId, rng: &mut R) -> Self {
+        DataOwner {
+            id,
+            mk: OwnerMasterKey::random(rng),
+            authority_keys: BTreeMap::new(),
+            attr_pk_history: BTreeMap::new(),
+            records: BTreeMap::new(),
+            next_id: 1,
+        }
+    }
+
+    /// This owner's identifier.
+    pub fn id(&self) -> &OwnerId {
+        &self.id
+    }
+
+    /// Derives `SK_o = {g^{1/β}, r/β}` for registration with an authority.
+    pub fn owner_secret_key(&self) -> OwnerSecretKey {
+        self.mk.secret_key(&self.id)
+    }
+
+    /// Ingests (or refreshes) an authority's published keys.
+    pub fn learn_authority_keys(&mut self, keys: AuthorityPublicKeys) {
+        self.attr_pk_history
+            .insert((keys.aid.clone(), keys.version), keys.attr_pks.clone());
+        self.authority_keys.insert(keys.aid.clone(), keys);
+    }
+
+    /// Latest known key version for an authority, if any.
+    pub fn known_version(&self, aid: &AuthorityId) -> Option<u64> {
+        self.authority_keys.get(aid).map(|k| k.version)
+    }
+
+    /// Encrypts a `G_T` message under a policy, assigning a fresh
+    /// ciphertext id and recording `s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`encrypt`] errors, plus [`Error::Lsss`] for policies
+    /// that do not convert (duplicate attributes).
+    pub fn encrypt_message<R: RngCore + ?Sized>(
+        &mut self,
+        message: &Gt,
+        policy: &Policy,
+        rng: &mut R,
+    ) -> Result<Ciphertext, Error> {
+        let access = AccessStructure::from_policy(policy)?;
+        self.encrypt_under(message, &access, rng)
+    }
+
+    /// Encrypts under a pre-built access structure.
+    ///
+    /// # Errors
+    ///
+    /// See [`encrypt`].
+    pub fn encrypt_under<R: RngCore + ?Sized>(
+        &mut self,
+        message: &Gt,
+        access: &AccessStructure,
+        rng: &mut R,
+    ) -> Result<Ciphertext, Error> {
+        let id = CiphertextId(self.next_id);
+        let (ct, s) = encrypt(message, access, &self.mk, &self.id, id, &self.authority_keys, rng)?;
+        self.next_id += 1;
+        self.records.insert(id, EncryptionRecord { s, attributes: access.rho().to_vec() });
+        Ok(ct)
+    }
+
+    /// Applies an authority's update key after a revocation (paper §V-C
+    /// Phase 1 step 3): `P̃K_o = PK_o^{UK2}`, `P̃K_x = PK_x^{UK2}`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown authority, wrong owner scope, or version gaps.
+    pub fn apply_update_key(&mut self, uk: &UpdateKey) -> Result<(), Error> {
+        if uk.owner != self.id {
+            return Err(Error::OwnerMismatch { expected: self.id.clone(), found: uk.owner.clone() });
+        }
+        let keys = self
+            .authority_keys
+            .get_mut(&uk.aid)
+            .ok_or_else(|| Error::MissingAuthorityKey(uk.aid.clone()))?;
+        if keys.version != uk.from_version {
+            return Err(Error::VersionMismatch {
+                authority: uk.aid.clone(),
+                expected: uk.from_version,
+                found: keys.version,
+            });
+        }
+        keys.owner_pk = keys.owner_pk.pow(&uk.uk2);
+        for pk in keys.attr_pks.values_mut() {
+            *pk = G1Affine::from(G1::from(*pk).mul(&uk.uk2));
+        }
+        keys.version = uk.to_version;
+        self.attr_pk_history
+            .insert((uk.aid.clone(), uk.to_version), keys.attr_pks.clone());
+        Ok(())
+    }
+
+    /// Produces the update information `UI_x = (PK_x / P̃K_x)^{βs}` for
+    /// one ciphertext and one authority-version step (paper §V-C Phase 2).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the ciphertext id is unknown or the owner lacks public
+    /// keys for either version.
+    pub fn update_info_for(
+        &self,
+        ct_id: CiphertextId,
+        aid: &AuthorityId,
+        from_version: u64,
+        to_version: u64,
+    ) -> Result<UpdateInfo, Error> {
+        let record = self
+            .records
+            .get(&ct_id)
+            .ok_or(Error::Malformed("unknown ciphertext id"))?;
+        let old = self
+            .attr_pk_history
+            .get(&(aid.clone(), from_version))
+            .ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        let new = self
+            .attr_pk_history
+            .get(&(aid.clone(), to_version))
+            .ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+
+        let beta_s = self.mk.beta.mul(&record.s);
+        let mut items = BTreeMap::new();
+        for attr in record.attributes.iter().filter(|a| a.authority() == aid) {
+            let pk_old = old.get(attr).ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))?;
+            let pk_new = new.get(attr).ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))?;
+            // (PK_x · P̃K_x^{-1})^{βs}
+            let ratio = G1::from(*pk_old).add(&G1::from(*pk_new).neg());
+            items.insert(attr.clone(), G1Affine::from(ratio.mul(&beta_s)));
+        }
+        Ok(UpdateInfo {
+            aid: aid.clone(),
+            ct_id,
+            from_version,
+            to_version,
+            items,
+        })
+    }
+
+    /// Number of ciphertexts this owner has produced.
+    pub fn ciphertext_count(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Paper-accounted storage overhead of this owner in bytes
+    /// (Table III "Owner" row: `2|p| + Σ_k (n_k|G| + |G_T|)`).
+    pub fn storage_size(&self) -> usize {
+        use crate::keys::ZP_BYTES;
+        2 * ZP_BYTES
+            + self.authority_keys.values().map(AuthorityPublicKeys::wire_size).sum::<usize>()
+    }
+
+    /// Direct access to the KEM element API: derives a fresh random
+    /// content-key element.
+    pub fn random_content_key<R: RngCore + ?Sized>(rng: &mut R) -> Gt {
+        Gt::random(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::authority::AttributeAuthority;
+    use crate::ca::CertificateAuthority;
+    use mabe_policy::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn encrypt_assigns_sequential_ids_and_records() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Med").unwrap();
+        let mut aa = AttributeAuthority::new(aid, &["Doctor"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        aa.register_owner(owner.owner_secret_key()).unwrap();
+        owner.learn_authority_keys(aa.public_keys());
+
+        let msg = Gt::random(&mut rng);
+        let policy = parse("Doctor@Med").unwrap();
+        let ct1 = owner.encrypt_message(&msg, &policy, &mut rng).unwrap();
+        let ct2 = owner.encrypt_message(&msg, &policy, &mut rng).unwrap();
+        assert_eq!(ct1.id, CiphertextId(1));
+        assert_eq!(ct2.id, CiphertextId(2));
+        assert_eq!(owner.ciphertext_count(), 2);
+    }
+
+    #[test]
+    fn encrypt_without_authority_keys_fails() {
+        let mut rng = StdRng::seed_from_u64(78);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        let msg = Gt::random(&mut rng);
+        let policy = parse("Doctor@Med").unwrap();
+        assert!(matches!(
+            owner.encrypt_message(&msg, &policy, &mut rng),
+            Err(Error::MissingAuthorityKey(_))
+        ));
+    }
+
+    #[test]
+    fn update_key_wrong_owner_rejected() {
+        let mut rng = StdRng::seed_from_u64(79);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        let uk = UpdateKey {
+            aid: AuthorityId::new("Med"),
+            from_version: 1,
+            to_version: 2,
+            owner: OwnerId::new("other"),
+            uk1: G1Affine::generator(),
+            uk2: Fr::from_u64(2),
+        };
+        assert!(matches!(
+            owner.apply_update_key(&uk),
+            Err(Error::OwnerMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn update_info_error_paths() {
+        let mut rng = StdRng::seed_from_u64(4321);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Med").unwrap();
+        let mut aa = AttributeAuthority::new(aid.clone(), &["Doctor"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        aa.register_owner(owner.owner_secret_key()).unwrap();
+        owner.learn_authority_keys(aa.public_keys());
+        let msg = Gt::random(&mut rng);
+        let ct = owner
+            .encrypt_message(&msg, &parse("Doctor@Med").unwrap(), &mut rng)
+            .unwrap();
+
+        // Unknown ciphertext id.
+        assert!(matches!(
+            owner.update_info_for(CiphertextId(999), &aid, 1, 2),
+            Err(Error::Malformed(_))
+        ));
+        // Version 2 history does not exist yet.
+        assert!(matches!(
+            owner.update_info_for(ct.id, &aid, 1, 2),
+            Err(Error::MissingAuthorityKey(_))
+        ));
+        // Unknown authority.
+        assert!(matches!(
+            owner.update_info_for(ct.id, &AuthorityId::new("Nowhere"), 1, 2),
+            Err(Error::MissingAuthorityKey(_))
+        ));
+    }
+
+    #[test]
+    fn apply_update_checks_version_continuity() {
+        let mut rng = StdRng::seed_from_u64(8765);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Med").unwrap();
+        let aa = AttributeAuthority::new(aid.clone(), &["Doctor"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        owner.learn_authority_keys(aa.public_keys());
+        let uk = UpdateKey {
+            aid: aid.clone(),
+            from_version: 7, // owner is at version 1
+            to_version: 8,
+            owner: OwnerId::new("o"),
+            uk2: Fr::from_u64(2),
+            uk1: G1Affine::generator(),
+        };
+        assert!(matches!(
+            owner.apply_update_key(&uk),
+            Err(Error::VersionMismatch { .. })
+        ));
+        assert_eq!(owner.known_version(&aid), Some(1));
+        assert_eq!(owner.known_version(&AuthorityId::new("Nowhere")), None);
+    }
+
+    #[test]
+    fn storage_size_matches_formula() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Med").unwrap();
+        let aa = AttributeAuthority::new(aid, &["Doctor", "Nurse"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        owner.learn_authority_keys(aa.public_keys());
+        use crate::keys::{GT_BYTES, G_BYTES, ZP_BYTES};
+        assert_eq!(owner.storage_size(), 2 * ZP_BYTES + 2 * G_BYTES + GT_BYTES);
+    }
+}

@@ -1,0 +1,176 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8), from scratch.
+//!
+//! This is the "symmetric encryption technique" of the paper's hybrid data
+//! format (Fig. 2): each data component `m_i` is sealed under a fresh content
+//! key `k_i`, and only the content keys are wrapped with CP-ABE.
+
+use crate::chacha20::{self, KEY_LEN, NONCE_LEN};
+use crate::hmac::ct_eq;
+use crate::poly1305::{Poly1305, TAG_LEN};
+
+/// Error returned when decryption fails authentication.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AeadError;
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("aead authentication failed")
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
+    let block = chacha20::block(key, 0, nonce);
+    let mut pk = [0u8; 32];
+    pk.copy_from_slice(&block[..32]);
+    pk
+}
+
+fn compute_tag(
+    poly_key: &[u8; 32],
+    aad: &[u8],
+    ciphertext: &[u8],
+) -> [u8; TAG_LEN] {
+    let mut mac = Poly1305::new(poly_key);
+    mac.update(aad);
+    mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
+    mac.update(ciphertext);
+    mac.update(&[0u8; 16][..(16 - ciphertext.len() % 16) % 16]);
+    mac.update(&(aad.len() as u64).to_le_bytes());
+    mac.update(&(ciphertext.len() as u64).to_le_bytes());
+    mac.finalize()
+}
+
+/// Encrypts `plaintext` with associated data `aad`.
+///
+/// Returns `ciphertext || tag` (16 bytes longer than the input).
+///
+/// # Examples
+///
+/// ```
+/// use mabe_crypto::aead;
+///
+/// let key = [7u8; 32];
+/// let nonce = [1u8; 12];
+/// let sealed = aead::seal(&key, &nonce, b"header", b"secret data");
+/// let opened = aead::open(&key, &nonce, b"header", &sealed).unwrap();
+/// assert_eq!(opened, b"secret data");
+/// ```
+pub fn seal(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], aad: &[u8], plaintext: &[u8]) -> Vec<u8> {
+    let mut out = plaintext.to_vec();
+    chacha20::xor_stream(key, 1, nonce, &mut out);
+    let tag = compute_tag(&poly_key(key, nonce), aad, &out);
+    out.extend_from_slice(&tag);
+    out
+}
+
+/// Decrypts `sealed` (as produced by [`seal`]), verifying the tag first.
+///
+/// # Errors
+///
+/// Returns [`AeadError`] if the input is shorter than a tag or the tag does
+/// not verify (wrong key, nonce, associated data, or tampered ciphertext).
+pub fn open(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError);
+    }
+    let (ciphertext, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expect = compute_tag(&poly_key(key, nonce), aad, ciphertext);
+    if !ct_eq(&expect, tag) {
+        return Err(AeadError);
+    }
+    let mut out = ciphertext.to_vec();
+    chacha20::xor_stream(key, 1, nonce, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    // RFC 8439 §2.8.2 AEAD test vector.
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key_bytes =
+            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let nonce_bytes = unhex("070000004041424344454647");
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&nonce_bytes);
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let sealed = seal(&key, &nonce, &aad, plaintext);
+        let (ct, tag) = sealed.split_at(sealed.len() - 16);
+        assert_eq!(
+            hex(&ct[..32]),
+            "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d6"
+        );
+        assert_eq!(hex(tag), "1ae10b594f09e26a7e902ecbd0600691");
+        assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), plaintext);
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut sealed = seal(&key, &nonce, b"aad", b"message");
+        sealed[0] ^= 1;
+        assert_eq!(open(&key, &nonce, b"aad", &sealed), Err(AeadError));
+    }
+
+    #[test]
+    fn wrong_aad_rejected() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let sealed = seal(&key, &nonce, b"aad", b"message");
+        assert_eq!(open(&key, &nonce, b"bad", &sealed), Err(AeadError));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let nonce = [2u8; 12];
+        let sealed = seal(&[1u8; 32], &nonce, b"", b"message");
+        assert_eq!(open(&[3u8; 32], &nonce, b"", &sealed), Err(AeadError));
+    }
+
+    #[test]
+    fn short_input_rejected() {
+        assert_eq!(open(&[0u8; 32], &[0u8; 12], b"", &[0u8; 15]), Err(AeadError));
+    }
+
+    #[test]
+    fn empty_plaintext_roundtrip() {
+        let key = [9u8; 32];
+        let nonce = [8u8; 12];
+        let sealed = seal(&key, &nonce, b"", b"");
+        assert_eq!(sealed.len(), 16);
+        assert_eq!(open(&key, &nonce, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn aad_padding_boundaries() {
+        // AAD lengths around the 16-byte Poly1305 padding boundary.
+        let key = [5u8; 32];
+        let nonce = [6u8; 12];
+        for aad_len in [0usize, 1, 15, 16, 17, 31, 32] {
+            let aad = vec![0x5au8; aad_len];
+            let sealed = seal(&key, &nonce, &aad, b"data");
+            assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), b"data", "aad {aad_len}");
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! HMAC-SHA-256 (RFC 2104 / FIPS 198-1), from scratch on top of
+//! [`crate::sha256`].
+
+use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+
+/// Incremental HMAC-SHA-256.
+///
+/// # Examples
+///
+/// ```
+/// use mabe_crypto::hmac::HmacSha256;
+///
+/// let tag = HmacSha256::mac(b"key", b"The quick brown fox jumps over the lazy dog");
+/// assert_eq!(tag[0], 0xf7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HmacSha256 {
+    inner: Sha256,
+    outer_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha256 {
+    /// Creates an HMAC instance keyed with `key` (any length).
+    pub fn new(key: &[u8]) -> Self {
+        let mut k = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            k[..DIGEST_LEN].copy_from_slice(&Sha256::digest(key));
+        } else {
+            k[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad = [0u8; BLOCK_LEN];
+        let mut opad = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad[i] = k[i] ^ 0x36;
+            opad[i] = k[i] ^ 0x5c;
+        }
+        let mut inner = Sha256::new();
+        inner.update(&ipad);
+        HmacSha256 { inner, outer_key: opad }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Produces the 32-byte authentication tag.
+    pub fn finalize(self) -> [u8; DIGEST_LEN] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha256::new();
+        outer.update(&self.outer_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; DIGEST_LEN] {
+        let mut h = HmacSha256::new(key);
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// Constant-time equality of two byte strings.
+///
+/// Returns `false` on length mismatch without inspecting contents.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 4231 test vectors.
+    #[test]
+    fn rfc4231_case1() {
+        let tag = HmacSha256::mac(&[0x0b; 20], b"Hi There");
+        assert_eq!(
+            hex(&tag),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case2() {
+        let tag = HmacSha256::mac(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(
+            hex(&tag),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case3() {
+        let tag = HmacSha256::mac(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(
+            hex(&tag),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case6_long_key() {
+        let tag = HmacSha256::mac(
+            &[0xaa; 131],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(
+            hex(&tag),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = HmacSha256::new(b"k");
+        h.update(b"hello ");
+        h.update(b"world");
+        assert_eq!(h.finalize(), HmacSha256::mac(b"k", b"hello world"));
+    }
+
+    #[test]
+    fn ct_eq_behaviour() {
+        assert!(ct_eq(b"same", b"same"));
+        assert!(!ct_eq(b"same", b"sane"));
+        assert!(!ct_eq(b"short", b"longer"));
+        assert!(ct_eq(b"", b""));
+    }
+}

@@ -1,0 +1,42 @@
+//! # mabe-crypto
+//!
+//! From-scratch symmetric cryptographic primitives for the MA-ABAC
+//! reproduction of *"Attribute-based Access Control for Multi-Authority
+//! Systems in Cloud Storage"* (Yang & Jia, ICDCS 2012):
+//!
+//! * [`sha256`] — SHA-256, the workspace's random oracle substrate.
+//! * [`hmac`] — HMAC-SHA-256 and constant-time comparison.
+//! * [`hkdf`] — HKDF (RFC 5869) for deriving content keys from `G_T` KEM
+//!   elements.
+//! * [`chacha20`] / [`poly1305`] / [`aead`] — the ChaCha20-Poly1305 AEAD
+//!   used as the paper's unspecified "symmetric encryption technique" for
+//!   data components.
+//!
+//! Everything is implemented in this crate (no external crypto
+//! dependencies) and validated against the RFC/FIPS test vectors in each
+//! module's unit tests.
+//!
+//! # Examples
+//!
+//! ```
+//! use mabe_crypto::{aead, hkdf};
+//!
+//! // Derive a content key from shared keying material and seal a record.
+//! let mut key = [0u8; 32];
+//! hkdf::derive(b"salt", b"gt-element-bytes", b"content-key", &mut key);
+//! let sealed = aead::seal(&key, &[0u8; 12], b"record-1", b"patient: alice");
+//! assert_eq!(
+//!     aead::open(&key, &[0u8; 12], b"record-1", &sealed).unwrap(),
+//!     b"patient: alice"
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aead;
+pub mod chacha20;
+pub mod hkdf;
+pub mod hmac;
+pub mod poly1305;
+pub mod sha256;

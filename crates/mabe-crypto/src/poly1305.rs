@@ -1,0 +1,289 @@
+//! The Poly1305 one-time authenticator (RFC 8439 §2.5), from scratch.
+//!
+//! Arithmetic is done modulo `2^130 - 5` with five 26-bit limbs, the
+//! classic portable representation.
+
+/// Key length in bytes (`r || s`).
+pub const KEY_LEN: usize = 32;
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Incremental Poly1305 MAC.
+#[derive(Clone, Debug)]
+pub struct Poly1305 {
+    r: [u32; 5],
+    s: [u32; 4],
+    acc: [u32; 5],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Creates an authenticator from a 32-byte one-time key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // Clamp r per RFC 8439.
+        let t0 = u32::from_le_bytes([key[0], key[1], key[2], key[3]]);
+        let t1 = u32::from_le_bytes([key[4], key[5], key[6], key[7]]);
+        let t2 = u32::from_le_bytes([key[8], key[9], key[10], key[11]]);
+        let t3 = u32::from_le_bytes([key[12], key[13], key[14], key[15]]);
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ff03,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_c0ff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03f0_3fff,
+            (t3 >> 8) & 0x000f_ffff,
+        ];
+        let s = [
+            u32::from_le_bytes([key[16], key[17], key[18], key[19]]),
+            u32::from_le_bytes([key[20], key[21], key[22], key[23]]),
+            u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
+            u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
+        ];
+        Poly1305 { r, s, acc: [0; 5], buf: [0; 16], buf_len: 0 }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, mut data: &[u8]) {
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.process_block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(&data[..16]);
+            self.process_block(&block, false);
+            data = &data[16..];
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+    }
+
+    /// Finishes and returns the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.process_block(&block, true);
+        }
+        // Full carry propagation.
+        let mut acc = self.acc;
+        let mut carry;
+        carry = acc[1] >> 26;
+        acc[1] &= 0x03ff_ffff;
+        acc[2] += carry;
+        carry = acc[2] >> 26;
+        acc[2] &= 0x03ff_ffff;
+        acc[3] += carry;
+        carry = acc[3] >> 26;
+        acc[3] &= 0x03ff_ffff;
+        acc[4] += carry;
+        carry = acc[4] >> 26;
+        acc[4] &= 0x03ff_ffff;
+        acc[0] += carry * 5;
+        carry = acc[0] >> 26;
+        acc[0] &= 0x03ff_ffff;
+        acc[1] += carry;
+
+        // Compute acc + (-p) and select (constant-time) the reduced value.
+        let mut g = [0u32; 5];
+        let mut c = 5u32;
+        for i in 0..5 {
+            g[i] = acc[i].wrapping_add(c);
+            c = g[i] >> 26;
+            g[i] &= 0x03ff_ffff;
+        }
+        g[4] = g[4].wrapping_sub(1 << 26);
+        let mask = (g[4] >> 31).wrapping_sub(1); // all ones if g >= p
+        for i in 0..5 {
+            acc[i] = (acc[i] & !mask) | (g[i] & mask);
+        }
+
+        // Serialize to four little-endian words and add s.
+        let h0 = acc[0] | (acc[1] << 26);
+        let h1 = (acc[1] >> 6) | (acc[2] << 20);
+        let h2 = (acc[2] >> 12) | (acc[3] << 14);
+        let h3 = (acc[3] >> 18) | (acc[4] << 8);
+        let mut f: u64;
+        let mut out = [0u8; TAG_LEN];
+        f = h0 as u64 + self.s[0] as u64;
+        out[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h1 as u64 + self.s[1] as u64 + (f >> 32);
+        out[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h2 as u64 + self.s[2] as u64 + (f >> 32);
+        out[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h3 as u64 + self.s[3] as u64 + (f >> 32);
+        out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        out
+    }
+
+    /// One-shot MAC.
+    pub fn mac(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+        let mut p = Poly1305::new(key);
+        p.update(data);
+        p.finalize()
+    }
+
+    fn process_block(&mut self, block: &[u8; 16], partial: bool) {
+        let hibit: u32 = if partial { 0 } else { 1 << 24 };
+        let t0 = u32::from_le_bytes([block[0], block[1], block[2], block[3]]);
+        let t1 = u32::from_le_bytes([block[4], block[5], block[6], block[7]]);
+        let t2 = u32::from_le_bytes([block[8], block[9], block[10], block[11]]);
+        let t3 = u32::from_le_bytes([block[12], block[13], block[14], block[15]]);
+
+        self.acc[0] += t0 & 0x03ff_ffff;
+        self.acc[1] += ((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff;
+        self.acc[2] += ((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff;
+        self.acc[3] += ((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff;
+        self.acc[4] += (t3 >> 8) | hibit;
+
+        let [r0, r1, r2, r3, r4] = self.r.map(|x| x as u64);
+        let s1 = r1 * 5;
+        let s2 = r2 * 5;
+        let s3 = r3 * 5;
+        let s4 = r4 * 5;
+        let [h0, h1, h2, h3, h4] = self.acc.map(|x| x as u64);
+
+        let d0 = h0 * r0 + h1 * s4 + h2 * s3 + h3 * s2 + h4 * s1;
+        let d1 = h0 * r1 + h1 * r0 + h2 * s4 + h3 * s3 + h4 * s2;
+        let d2 = h0 * r2 + h1 * r1 + h2 * r0 + h3 * s4 + h4 * s3;
+        let d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + h4 * s4;
+        let d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+        let mut carry;
+        let mut acc = [0u32; 5];
+        carry = d0 >> 26;
+        acc[0] = (d0 & 0x03ff_ffff) as u32;
+        let d1 = d1 + carry;
+        carry = d1 >> 26;
+        acc[1] = (d1 & 0x03ff_ffff) as u32;
+        let d2 = d2 + carry;
+        carry = d2 >> 26;
+        acc[2] = (d2 & 0x03ff_ffff) as u32;
+        let d3 = d3 + carry;
+        carry = d3 >> 26;
+        acc[3] = (d3 & 0x03ff_ffff) as u32;
+        let d4 = d4 + carry;
+        carry = d4 >> 26;
+        acc[4] = (d4 & 0x03ff_ffff) as u32;
+        acc[0] += (carry * 5) as u32;
+        acc[1] += acc[0] >> 26;
+        acc[0] &= 0x03ff_ffff;
+        self.acc = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key_bytes =
+            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
+        assert_eq!(hex(&tag), "a8061dc1305136c6c22b8baf0c0127a9");
+    }
+
+    // RFC 8439 §A.3 vector #1: all-zero key and message.
+    #[test]
+    fn zero_key_zero_message() {
+        let tag = Poly1305::mac(&[0u8; 32], &[0u8; 64]);
+        assert_eq!(hex(&tag), "00000000000000000000000000000000");
+    }
+
+    // RFC 8439 §A.3 vector #3: r=0, message authenticated only by s.
+    #[test]
+    fn vector_r_zero() {
+        let key_bytes =
+            unhex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        // Key halves swapped relative to vector #2: here s holds the secret.
+        let tag = Poly1305::mac(&key, &msg[..0]);
+        // With empty message the tag equals s (r=0 contributes nothing).
+        assert_eq!(hex(&tag), "00000000000000000000000000000000");
+    }
+
+    // RFC 8439 §A.3 vector #2: the IETF text, keyed with s-only secret.
+    #[test]
+    fn rfc8439_a3_vector2() {
+        let key_bytes =
+            unhex("0000000000000000000000000000000036e5f6b5c5e06070f0efca96227a863e");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(hex(&tag), "36e5f6b5c5e06070f0efca96227a863e");
+    }
+
+    // RFC 8439 §A.3 vector #3: r-only key over the same text.
+    #[test]
+    fn rfc8439_a3_vector3() {
+        let key_bytes =
+            unhex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = Poly1305::mac(&key, msg);
+        assert_eq!(hex(&tag), "f3477e7cd95417af89a6b8794c310cf0");
+    }
+
+    // RFC 8439 §A.3 vector #7: edge case exercising the final reduction
+    // (accumulator crosses p).
+    #[test]
+    fn rfc8439_a3_vector7() {
+        let key_bytes =
+            unhex("0100000000000000000000000000000000000000000000000000000000000000");
+        let mut key = [0u8; 32];
+        key.copy_from_slice(&key_bytes);
+        let msg = unhex(
+            "ffffffffffffffffffffffffffffffff\
+             f0ffffffffffffffffffffffffffffff\
+             11000000000000000000000000000000",
+        );
+        let tag = Poly1305::mac(&key, &msg);
+        assert_eq!(hex(&tag), "05000000000000000000000000000000");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let key = [0x42u8; 32];
+        let data: Vec<u8> = (0..200u8).collect();
+        for split in [0usize, 1, 15, 16, 17, 100, 199, 200] {
+            let mut p = Poly1305::new(&key);
+            p.update(&data[..split]);
+            p.update(&data[split..]);
+            assert_eq!(p.finalize(), Poly1305::mac(&key, &data), "split {split}");
+        }
+    }
+
+    #[test]
+    fn partial_final_block() {
+        let key = [0x11u8; 32];
+        let a = Poly1305::mac(&key, &[0xaa; 17]);
+        let b = Poly1305::mac(&key, &[0xaa; 18]);
+        assert_ne!(a, b);
+    }
+}

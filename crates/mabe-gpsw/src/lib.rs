@@ -1,0 +1,294 @@
+//! # mabe-gpsw
+//!
+//! Related-work baseline: **Goyal–Pandey–Sahai–Waters key-policy ABE**
+//! (CCS 2006), the paper's reference \[22\] and the scheme underneath the
+//! Yu et al. access-control system \[23\] discussed in §II.
+//!
+//! The point of having it here is structural, and the type signatures
+//! make it self-evident: in KP-ABE the **policy lives in the key** (the
+//! authority chooses who can read what when issuing keys) and the
+//! **ciphertext carries only an attribute set**. A data owner therefore
+//! cannot "define the access policies and encrypt data according to the
+//! policies" — exactly the §II argument for why the paper builds on
+//! CP-ABE instead.
+//!
+//! ## Scheme (LSSS form, small-universe with hashed attributes)
+//!
+//! * `Setup`: `y` master; per attribute `x` (on demand, via random
+//!   oracle): `t_x = H(x)` exponentiated implicitly — here we use the
+//!   large-universe variant with `T_x = H(x) ∈ G`:
+//!   `Y = e(g,g)^y`.
+//! * `Encrypt(m, S)`: `E' = m·Y^s`, `E'' = g^s`, `E_x = T_x^s` for
+//!   `x ∈ S`.
+//! * `KeyGen((M, ρ))`: shares `λ_i` of `y`; `D_i = g^{λ_i}·T_{ρ(i)}^{r_i}`,
+//!   `R_i = g^{r_i}`.
+//! * `Decrypt`: for satisfying rows,
+//!   `e(D_i, E'') / e(R_i, E_{ρ(i)}) = e(g,g)^{λ_i s}`; recombine to
+//!   `e(g,g)^{ys}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rand::RngCore;
+
+use mabe_math::{generator_mul, hash_to_curve, pairing, Fr, G1Affine, Gt, G1};
+use mabe_policy::{AccessStructure, Attribute};
+
+/// Errors from the GPSW scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GpswError {
+    /// The ciphertext's attribute set does not satisfy the key's policy.
+    PolicyNotSatisfied,
+}
+
+impl fmt::Display for GpswError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpswError::PolicyNotSatisfied => {
+                write!(f, "ciphertext attributes do not satisfy the key policy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GpswError {}
+
+fn attr_group(attr: &Attribute) -> G1Affine {
+    hash_to_curve(&[b"gpsw-attr:", attr.canonical_bytes().as_slice()].concat())
+}
+
+/// The (single) authority holding the master secret `y`.
+pub struct GpswAuthority {
+    y: Fr,
+}
+
+/// Public parameters `Y = e(g,g)^y` (attribute elements come from the
+/// random oracle).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GpswPublicKey {
+    /// `e(g,g)^y`.
+    pub y: Gt,
+}
+
+/// A key-policy secret key: the **policy is baked into the key** — the
+/// defining signature of KP-ABE.
+#[derive(Clone, Debug)]
+pub struct GpswUserKey {
+    /// The embedded access structure (over ciphertext attributes).
+    pub access: AccessStructure,
+    /// `(D_i = g^{λ_i}·T_{ρ(i)}^{r_i}, R_i = g^{r_i})` per row.
+    pub rows: Vec<(G1Affine, G1Affine)>,
+}
+
+/// A ciphertext: note there is **no policy here**, only attributes —
+/// the data owner has no say in who decrypts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GpswCiphertext {
+    /// `E' = m·Y^s`.
+    pub e_prime: Gt,
+    /// `E'' = g^s`.
+    pub e_s: G1Affine,
+    /// `E_x = T_x^s` per labelled attribute.
+    pub components: BTreeMap<Attribute, G1Affine>,
+}
+
+impl GpswAuthority {
+    /// Runs `Setup`.
+    pub fn setup<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        let y = loop {
+            let candidate = Fr::random(rng);
+            if !candidate.is_zero() {
+                break candidate;
+            }
+        };
+        GpswAuthority { y }
+    }
+
+    /// The public parameters.
+    pub fn public_key(&self) -> GpswPublicKey {
+        GpswPublicKey { y: Gt::generator().pow(&self.y) }
+    }
+
+    /// Issues a key whose embedded policy governs which ciphertexts its
+    /// holder can open.
+    pub fn keygen<R: RngCore + ?Sized>(
+        &self,
+        access: &AccessStructure,
+        rng: &mut R,
+    ) -> GpswUserKey {
+        let shares = access.share(&self.y, rng);
+        let mut projective = Vec::with_capacity(2 * shares.len());
+        for (i, lambda) in shares.iter().enumerate() {
+            let r_i = Fr::random(rng);
+            let t_rho = attr_group(&access.rho()[i]);
+            projective.push(generator_mul(lambda).add(&G1::from(t_rho).mul(&r_i)));
+            projective.push(generator_mul(&r_i));
+        }
+        let affine = mabe_math::batch_normalize(&projective);
+        let rows = affine.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
+        GpswUserKey { access: access.clone(), rows }
+    }
+}
+
+/// Encrypts `m` under an attribute set (no policy — that's the key's
+/// job in KP-ABE).
+pub fn encrypt<R: RngCore + ?Sized>(
+    message: &Gt,
+    attributes: &BTreeSet<Attribute>,
+    pk: &GpswPublicKey,
+    rng: &mut R,
+) -> GpswCiphertext {
+    let s = loop {
+        let candidate = Fr::random(rng);
+        if !candidate.is_zero() {
+            break candidate;
+        }
+    };
+    let e_prime = message.mul(&pk.y.pow(&s));
+    let e_s = G1Affine::from(generator_mul(&s));
+    let mut projective = Vec::with_capacity(attributes.len());
+    let mut order = Vec::with_capacity(attributes.len());
+    for attr in attributes {
+        projective.push(G1::from(attr_group(attr)).mul(&s));
+        order.push(attr.clone());
+    }
+    let affine = mabe_math::batch_normalize(&projective);
+    GpswCiphertext { e_prime, e_s, components: order.into_iter().zip(affine).collect() }
+}
+
+/// Decrypts if the ciphertext's attributes satisfy the key's policy.
+///
+/// # Errors
+///
+/// [`GpswError::PolicyNotSatisfied`] otherwise.
+pub fn decrypt(ct: &GpswCiphertext, key: &GpswUserKey) -> Result<Gt, GpswError> {
+    let attrs: BTreeSet<Attribute> = ct.components.keys().cloned().collect();
+    let coefficients = key
+        .access
+        .reconstruction_coefficients(&attrs)
+        .ok_or(GpswError::PolicyNotSatisfied)?;
+    let mut blind = Gt::one();
+    for (row, w) in &coefficients {
+        let attr = &key.access.rho()[*row];
+        let (d_i, r_i) = &key.rows[*row];
+        let e_x = &ct.components[attr];
+        // e(D_i, E'') / e(R_i, E_x) = e(g,g)^{λ_i s}
+        let term = pairing(d_i, &ct.e_s).div(&pairing(r_i, e_x));
+        blind = blind.mul(&term.pow(w));
+    }
+    Ok(ct.e_prime.div(&blind))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabe_policy::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2006)
+    }
+
+    fn access(src: &str) -> AccessStructure {
+        AccessStructure::from_policy(&parse(src).unwrap()).unwrap()
+    }
+
+    fn attrset(items: &[&str]) -> BTreeSet<Attribute> {
+        items.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut r = rng();
+        let auth = GpswAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        // Policy on the KEY; attributes on the CIPHERTEXT.
+        let key = auth.keygen(&access("A@U AND B@U"), &mut r);
+        let ct = encrypt(&msg, &attrset(&["A@U", "B@U", "C@U"]), &pk, &mut r);
+        assert_eq!(decrypt(&ct, &key).unwrap(), msg);
+    }
+
+    #[test]
+    fn unsatisfying_ciphertext_rejected() {
+        let mut r = rng();
+        let auth = GpswAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        let key = auth.keygen(&access("A@U AND B@U"), &mut r);
+        let ct = encrypt(&msg, &attrset(&["A@U"]), &pk, &mut r);
+        assert_eq!(decrypt(&ct, &key), Err(GpswError::PolicyNotSatisfied));
+    }
+
+    #[test]
+    fn threshold_key_policy() {
+        let mut r = rng();
+        let auth = GpswAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        let key = auth.keygen(&access("2 of (A@U, B@U, C@U)"), &mut r);
+        assert_eq!(
+            decrypt(&encrypt(&msg, &attrset(&["A@U", "C@U"]), &pk, &mut r), &key).unwrap(),
+            msg
+        );
+        assert!(decrypt(&encrypt(&msg, &attrset(&["B@U"]), &pk, &mut r), &key).is_err());
+    }
+
+    #[test]
+    fn owner_has_no_policy_control() {
+        // The structural point of §II: two owners encrypt with the SAME
+        // attribute set; whoever holds a satisfied key reads both.
+        // Owners cannot differentiate access — only the key issuer can.
+        let mut r = rng();
+        let auth = GpswAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let key = auth.keygen(&access("Record@Sys"), &mut r);
+        let (m1, m2) = (Gt::random(&mut r), Gt::random(&mut r));
+        let ct1 = encrypt(&m1, &attrset(&["Record@Sys"]), &pk, &mut r);
+        let ct2 = encrypt(&m2, &attrset(&["Record@Sys"]), &pk, &mut r);
+        assert_eq!(decrypt(&ct1, &key).unwrap(), m1);
+        assert_eq!(decrypt(&ct2, &key).unwrap(), m2);
+    }
+
+    #[test]
+    fn two_keys_cannot_be_spliced() {
+        // Shares of y are randomized per key: mixing rows of two keys
+        // with complementary policies fails.
+        let mut r = rng();
+        let auth = GpswAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        let k1 = auth.keygen(&access("A@U AND B@U"), &mut r);
+        let k2 = auth.keygen(&access("A@U AND B@U"), &mut r);
+        let ct = encrypt(&msg, &attrset(&["A@U", "B@U"]), &pk, &mut r);
+        // Frankenstein: row 0 from k1, row 1 from k2.
+        let franken = GpswUserKey {
+            access: k1.access.clone(),
+            rows: vec![k1.rows[0], k2.rows[1]],
+        };
+        assert_ne!(decrypt(&ct, &franken).unwrap(), msg);
+        // Both originals work.
+        assert_eq!(decrypt(&ct, &k1).unwrap(), msg);
+        assert_eq!(decrypt(&ct, &k2).unwrap(), msg);
+    }
+
+    #[test]
+    fn complex_key_policy() {
+        let mut r = rng();
+        let auth = GpswAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        let key = auth.keygen(&access("(A@U AND B@U) OR (C@U AND D@U)"), &mut r);
+        assert_eq!(
+            decrypt(&encrypt(&msg, &attrset(&["C@U", "D@U"]), &pk, &mut r), &key).unwrap(),
+            msg
+        );
+        assert!(
+            decrypt(&encrypt(&msg, &attrset(&["A@U", "C@U"]), &pk, &mut r), &key).is_err()
+        );
+    }
+}

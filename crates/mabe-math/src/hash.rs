@@ -1,0 +1,60 @@
+//! Random oracles into the algebraic structures.
+//!
+//! The paper models `H : {0,1}* → Z_p` as a random oracle (§IV); the
+//! Lewko–Waters baseline additionally needs `H : {0,1}* → G`
+//! ([`crate::curve::hash_to_curve`]). All oracles are SHA-256 based with
+//! one-byte domain tags, expanded to 512 bits before field reduction so the
+//! bias on the 160-bit scalar field is negligible (~2⁻³⁵²).
+
+use mabe_crypto::sha256;
+
+use crate::field::{Fq, Fr};
+
+const TAG_FR: u8 = 0x02;
+const TAG_FQ: u8 = 0x03;
+
+/// The paper's random oracle `H : {0,1}* → Z_p` (attribute hashing).
+pub fn hash_to_fr(msg: &[u8]) -> Fr {
+    let wide = sha256::digest_wide(TAG_FR, msg);
+    Fr::from_be_bytes_reduce(&wide)
+}
+
+/// Random oracle into the base field (used by hash-to-curve internals and
+/// available for tests).
+pub fn hash_to_fq(msg: &[u8]) -> Fq {
+    let wide = sha256::digest_wide(TAG_FQ, msg);
+    Fq::from_be_bytes_reduce(&wide)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_to_fr(b"Doctor"), hash_to_fr(b"Doctor"));
+        assert_eq!(hash_to_fq(b"Doctor"), hash_to_fq(b"Doctor"));
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_outputs() {
+        assert_ne!(hash_to_fr(b"Doctor"), hash_to_fr(b"Nurse"));
+        assert_ne!(hash_to_fq(b"Doctor"), hash_to_fq(b"Nurse"));
+    }
+
+    #[test]
+    fn fr_and_fq_oracles_are_domain_separated() {
+        // The reductions differ, but also the preimages: same input should
+        // not produce trivially related outputs. Compare low 64 bits.
+        let fr = hash_to_fr(b"x").to_uint().limbs[0];
+        let fq = hash_to_fq(b"x").to_uint().limbs[0];
+        assert_ne!(fr, fq);
+    }
+
+    #[test]
+    fn nonzero_with_overwhelming_probability() {
+        for name in ["a", "b", "c", "d", "e"] {
+            assert!(!hash_to_fr(name.as_bytes()).is_zero());
+        }
+    }
+}

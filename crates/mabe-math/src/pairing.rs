@@ -1,0 +1,472 @@
+//! The symmetric Tate pairing `e : G × G → G_T` and the target group
+//! [`Gt`].
+//!
+//! The curve is supersingular with embedding degree 2, so the modified
+//! Tate pairing `ê(P, Q) = τ_r(P, φ(Q))` with the distortion map
+//! `φ(x, y) = (-x, iy)` is **symmetric and non-degenerate on G × G** —
+//! exactly the `e : G × G → G_T` the paper's construction assumes.
+//!
+//! Implementation notes:
+//!
+//! * Miller loop over `r = 2¹⁵⁹ + 2¹⁰⁷ + 1` (Hamming weight 3 ⇒ only two
+//!   addition steps), Jacobian coordinates, denominator elimination (all
+//!   vertical-line values lie in `F_q` and die in the final
+//!   exponentiation).
+//! * Because `φ(Q)` has `x ∈ F_q` and `y ∈ i·F_q`, every line evaluation
+//!   costs only `F_q` multiplications.
+//! * Final exponentiation `(q² - 1)/r = (q - 1) · h`: the easy part is a
+//!   conjugate-divide (Frobenius on `F_{q²}` is conjugation), the hard
+//!   part a 353-bit exponentiation by the cofactor `h`.
+
+use std::sync::OnceLock;
+
+use rand::RngCore;
+
+use crate::curve::{G1Affine, G1};
+use crate::field::{Fq, Fr};
+use crate::fp2::Fq2;
+use crate::params;
+
+/// Result of one Miller step: the line value and the updated point.
+struct Step {
+    line: Fq2,
+    point: G1,
+}
+
+/// Doubling step: tangent line at `t` evaluated at `φ(Q) = (-x_q, i·y_q)`.
+fn double_step(t: &G1, xq: &Fq, yq: &Fq) -> Step {
+    if t.is_identity() {
+        return Step { line: Fq2::one(), point: *t };
+    }
+    let (x, y, z) = (t.x, t.y, t.z);
+    let y2 = y.square();
+    let z2 = z.square();
+    let m = x.square().mul(&Fq::from_u64(3)).add(&z2.square()); // 3X² + Z⁴ (a = 1)
+    let s = x.mul(&y2).double().double(); // 4XY²
+    let x3 = m.square().sub(&s.double());
+    let y3 = m.mul(&s.sub(&x3)).sub(&y2.square().double().double().double());
+    let z3 = y.mul(&z).double();
+    // l(φQ) = Z₃·Z²·(i·y_q) - 2Y² - M·(Z²·(-x_q) - X)
+    //       = [M·(Z²·x_q + X) - 2Y²] + [Z₃·Z²·y_q]·i
+    let c0 = m.mul(&z2.mul(xq).add(&x)).sub(&y2.double());
+    let c1 = z3.mul(&z2).mul(yq);
+    Step { line: Fq2::new(c0, c1), point: G1 { x: x3, y: y3, z: z3 } }
+}
+
+/// Addition step: chord through `t` and the affine base point `p`,
+/// evaluated at `φ(Q)`.
+fn add_step(t: &G1, p: &G1Affine, xq: &Fq, yq: &Fq) -> Step {
+    if t.is_identity() {
+        return Step { line: Fq2::one(), point: G1::from(*p) };
+    }
+    let (x, y, z) = (t.x, t.y, t.z);
+    let z2 = z.square();
+    let u = p.x().mul(&z2);
+    let s_val = p.y().mul(&z2).mul(&z);
+    let h = u.sub(&x);
+    let r = s_val.sub(&y);
+    if h.is_zero() {
+        if r.is_zero() {
+            // t == p: tangent case (cannot occur in our loop, but correct).
+            return double_step(t, xq, yq);
+        }
+        // t == -p: vertical line, value in F_q ⇒ eliminated.
+        return Step { line: Fq2::one(), point: G1::identity() };
+    }
+    let h2 = h.square();
+    let h3 = h2.mul(&h);
+    let xh2 = x.mul(&h2);
+    let x3 = r.square().sub(&h3).sub(&xh2.double());
+    let y3 = r.mul(&xh2.sub(&x3)).sub(&y.mul(&h3));
+    let z3 = z.mul(&h);
+    // l(φQ) = Z₃·(i·y_q - y_p) - R·(-x_q - x_p)
+    //       = [R·(x_q + x_p) - Z₃·y_p] + [Z₃·y_q]·i
+    let c0 = r.mul(&xq.add(&p.x())).sub(&z3.mul(&p.y()));
+    let c1 = z3.mul(yq);
+    Step { line: Fq2::new(c0, c1), point: G1 { x: x3, y: y3, z: z3 } }
+}
+
+/// Raises the Miller-loop output to `(q² - 1)/r`, landing in the order-`r`
+/// subgroup of `F_{q²}*`.
+fn final_exponentiation(f: &Fq2) -> Fq2 {
+    // Easy part: f^(q-1) = conj(f) / f.
+    let inv = f.invert().expect("Miller loop output is nonzero");
+    let easy = f.conjugate().mul(&inv);
+    // Hard part: (q + 1)/r = h.
+    easy.pow_vartime(&params::H.limbs)
+}
+
+/// The symmetric pairing `e(P, Q)`.
+///
+/// Returns the identity of `G_T` if either argument is the identity of
+/// `G` (consistent with bilinearity).
+pub fn pairing(p: &G1Affine, q: &G1Affine) -> Gt {
+    if p.is_identity() || q.is_identity() {
+        return Gt::one();
+    }
+    let xq = q.x(); // φ(Q).x = -x_q; the formulas fold the sign in.
+    let yq = q.y();
+    let mut f = Fq2::one();
+    let mut t = G1::from(*p);
+    // r = 2^159 + 2^107 + 1; iterate bits 158..=0 below the leading 1.
+    for i in (0..(params::R_BITS - 1)).rev() {
+        f = f.square();
+        let step = double_step(&t, &xq, &yq);
+        f = f.mul(&step.line);
+        t = step.point;
+        if params::R.bit(i) {
+            let step = add_step(&t, p, &xq, &yq);
+            f = f.mul(&step.line);
+            t = step.point;
+        }
+    }
+    Gt(final_exponentiation(&f))
+}
+
+/// Computes `Π e(P_i, Q_i)` with one shared final exponentiation.
+///
+/// The Miller loops of all pairs run in lockstep — their line values
+/// multiply into one accumulator, and the expensive `(q²-1)/r`
+/// exponentiation happens once instead of once per pair. This is the
+/// standard "product of pairings" optimization; the scheme's decryption
+/// (a product of `n_A + 2·|I|` pairings) is its natural consumer.
+///
+/// Identity arguments contribute a factor of 1, like [`pairing`].
+pub fn multi_pairing(pairs: &[(G1Affine, G1Affine)]) -> Gt {
+    let mut state: Vec<(G1, G1Affine, Fq, Fq)> = pairs
+        .iter()
+        .filter(|(p, q)| !p.is_identity() && !q.is_identity())
+        .map(|(p, q)| (G1::from(*p), *p, q.x(), q.y()))
+        .collect();
+    if state.is_empty() {
+        return Gt::one();
+    }
+    let mut f = Fq2::one();
+    for i in (0..(params::R_BITS - 1)).rev() {
+        f = f.square();
+        for (t, p, xq, yq) in state.iter_mut() {
+            let step = double_step(t, xq, yq);
+            f = f.mul(&step.line);
+            *t = step.point;
+            if params::R.bit(i) {
+                let step = add_step(t, p, xq, yq);
+                f = f.mul(&step.line);
+                *t = step.point;
+            }
+        }
+    }
+    Gt(final_exponentiation(&f))
+}
+
+/// An element of the target group `G_T` (the order-`r` subgroup of
+/// `F_{q²}*`; all members are unitary, so inversion is conjugation).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct Gt(Fq2);
+
+impl Gt {
+    /// The multiplicative identity.
+    pub fn one() -> Self {
+        Gt(Fq2::one())
+    }
+
+    /// `true` for the identity.
+    pub fn is_one(&self) -> bool {
+        self.0 == Fq2::one()
+    }
+
+    /// The canonical generator `e(g, g)`.
+    pub fn generator() -> Self {
+        static GEN: OnceLock<Gt> = OnceLock::new();
+        *GEN.get_or_init(|| {
+            let g = G1Affine::generator();
+            pairing(&g, &g)
+        })
+    }
+
+    /// Group operation (multiplication in `F_{q²}`).
+    pub fn mul(&self, rhs: &Self) -> Self {
+        Gt(self.0.mul(&rhs.0))
+    }
+
+    /// Exponentiation by a scalar.
+    pub fn pow(&self, k: &Fr) -> Self {
+        Gt(self.0.pow_vartime(&k.to_uint().limbs))
+    }
+
+    /// Inverse (conjugation — valid because `G_T` elements are unitary).
+    pub fn invert(&self) -> Self {
+        Gt(self.0.conjugate())
+    }
+
+    /// Division: `self · rhs⁻¹`.
+    pub fn div(&self, rhs: &Self) -> Self {
+        self.mul(&rhs.invert())
+    }
+
+    /// Uniformly random element (known exponent is discarded).
+    pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        Self::generator().pow(&Fr::random(rng))
+    }
+
+    /// Canonical 128-byte encoding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.0.to_bytes()
+    }
+
+    /// Parses and validates the canonical encoding (subgroup-checked).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        let inner = Fq2::from_bytes(bytes)?;
+        if inner.is_zero() {
+            return None;
+        }
+        // Order check: must lie in the order-r subgroup.
+        if inner.pow_vartime(&params::R.limbs) != Fq2::one() {
+            return None;
+        }
+        Some(Gt(inner))
+    }
+
+    /// Raw access to the underlying `F_{q²}` element (for tests/benches).
+    pub fn as_fq2(&self) -> &Fq2 {
+        &self.0
+    }
+
+    /// Compressed 65-byte encoding exploiting unitarity: members of
+    /// `G_T` satisfy `c0² + c1² = 1`, so `c1` is determined by `c0` up
+    /// to sign. Format: flag byte (`0x02 | parity(c1)`) followed by the
+    /// 64-byte big-endian `c0`.
+    pub fn to_compressed_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(65);
+        out.push(0x02 | u8::from(self.0.c1.is_odd()));
+        out.extend_from_slice(&self.0.c0.to_canonical_bytes());
+        out
+    }
+
+    /// Parses the compressed encoding (subgroup-checked).
+    pub fn from_compressed_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != 65 {
+            return None;
+        }
+        let flag = bytes[0];
+        if flag != 0x02 && flag != 0x03 {
+            return None;
+        }
+        let c0 = crate::field::Fq::from_canonical_bytes(&bytes[1..])?;
+        // c1² = 1 - c0²
+        let c1_sq = crate::field::Fq::one().sub(&c0.square());
+        let mut c1 = c1_sq.sqrt()?;
+        if c1.is_odd() != (flag & 1 == 1) {
+            c1 = c1.neg();
+        }
+        let inner = Fq2::new(c0, c1);
+        if inner.pow_vartime(&params::R.limbs) != Fq2::one() {
+            return None;
+        }
+        Some(Gt(inner))
+    }
+}
+
+impl core::ops::Mul for Gt {
+    type Output = Gt;
+    fn mul(self, rhs: Gt) -> Gt {
+        Gt::mul(&self, &rhs)
+    }
+}
+
+impl core::fmt::Display for Gt {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Gt({:?})", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn non_degenerate() {
+        let e = Gt::generator();
+        assert!(!e.is_one());
+    }
+
+    #[test]
+    fn generator_has_order_r() {
+        let e = Gt::generator();
+        let r_scalar = params::R;
+        assert_eq!(e.as_fq2().pow_vartime(&r_scalar.limbs), Fq2::one());
+    }
+
+    #[test]
+    fn bilinear_in_first_argument() {
+        let g = G1Affine::generator();
+        let a = Fr::from_u64(123456);
+        let ga = G1Affine::from(G1::generator().mul(&a));
+        let lhs = pairing(&ga, &g);
+        let rhs = pairing(&g, &g).pow(&a);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bilinear_in_second_argument() {
+        let g = G1Affine::generator();
+        let b = Fr::from_u64(98765);
+        let gb = G1Affine::from(G1::generator().mul(&b));
+        assert_eq!(pairing(&g, &gb), pairing(&g, &g).pow(&b));
+    }
+
+    #[test]
+    fn bilinear_random_scalars() {
+        let mut r = rng();
+        let g = G1Affine::generator();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        let ga = G1Affine::from(G1::generator().mul(&a));
+        let gb = G1Affine::from(G1::generator().mul(&b));
+        assert_eq!(pairing(&ga, &gb), pairing(&g, &g).pow(&a.mul(&b)));
+    }
+
+    #[test]
+    fn symmetric() {
+        let mut r = rng();
+        let p = G1Affine::from(G1::random(&mut r));
+        let q = G1Affine::from(G1::random(&mut r));
+        assert_eq!(pairing(&p, &q), pairing(&q, &p));
+    }
+
+    #[test]
+    fn identity_arguments() {
+        let g = G1Affine::generator();
+        let id = G1Affine::identity();
+        assert!(pairing(&id, &g).is_one());
+        assert!(pairing(&g, &id).is_one());
+    }
+
+    #[test]
+    fn pairing_with_negation() {
+        let mut r = rng();
+        let p = G1Affine::from(G1::random(&mut r));
+        let q = G1Affine::from(G1::random(&mut r));
+        let e = pairing(&p, &q);
+        assert_eq!(pairing(&p.neg(), &q), e.invert());
+        assert_eq!(pairing(&p, &q.neg()), e.invert());
+        assert!(pairing(&p.neg(), &q).mul(&e).is_one());
+    }
+
+    #[test]
+    fn gt_group_laws() {
+        let mut r = rng();
+        let a = Gt::random(&mut r);
+        let b = Gt::random(&mut r);
+        assert_eq!(a.mul(&b), b.mul(&a));
+        assert!(a.mul(&a.invert()).is_one());
+        assert_eq!(a.div(&a), Gt::one());
+        assert_eq!(a.mul(&Gt::one()), a);
+    }
+
+    #[test]
+    fn gt_pow_laws() {
+        let mut r = rng();
+        let a = Fr::random(&mut r);
+        let b = Fr::random(&mut r);
+        let g = Gt::generator();
+        assert_eq!(g.pow(&a).pow(&b), g.pow(&a.mul(&b)));
+        assert_eq!(g.pow(&a).mul(&g.pow(&b)), g.pow(&a.add(&b)));
+        assert_eq!(g.pow(&Fr::zero()), Gt::one());
+        assert_eq!(g.pow(&Fr::one()), g);
+    }
+
+    #[test]
+    fn gt_bytes_roundtrip() {
+        let mut r = rng();
+        let a = Gt::random(&mut r);
+        let bytes = a.to_bytes();
+        assert_eq!(bytes.len(), 128);
+        assert_eq!(Gt::from_bytes(&bytes), Some(a));
+        // Zero is rejected.
+        assert!(Gt::from_bytes(&[0u8; 128]).is_none());
+        // Wrong length is rejected.
+        assert!(Gt::from_bytes(&bytes[..127]).is_none());
+    }
+
+    #[test]
+    fn gt_compressed_roundtrip() {
+        let mut r = rng();
+        for _ in 0..5 {
+            let a = Gt::random(&mut r);
+            let compressed = a.to_compressed_bytes();
+            assert_eq!(compressed.len(), 65);
+            assert_eq!(Gt::from_compressed_bytes(&compressed), Some(a));
+        }
+        // Identity: c0 = 1, c1 = 0.
+        let one = Gt::one();
+        assert_eq!(Gt::from_compressed_bytes(&one.to_compressed_bytes()), Some(one));
+        // Bad flag and bad length rejected.
+        let mut bad = Gt::generator().to_compressed_bytes();
+        bad[0] = 0x00;
+        assert!(Gt::from_compressed_bytes(&bad).is_none());
+        assert!(Gt::from_compressed_bytes(&[0u8; 64]).is_none());
+        // Random c0 almost surely fails the subgroup/sqrt checks.
+        let mut junk = vec![0x02u8];
+        junk.extend_from_slice(&Fq::from_u64(123456).to_canonical_bytes());
+        assert!(Gt::from_compressed_bytes(&junk).is_none());
+    }
+
+    #[test]
+    fn gt_from_bytes_rejects_wrong_order() {
+        // A random Fq2 element is overwhelmingly unlikely to have order r.
+        let mut r = rng();
+        let junk = Fq2::random(&mut r);
+        assert!(Gt::from_bytes(&junk.to_bytes()).is_none());
+    }
+
+    #[test]
+    fn multi_pairing_matches_product() {
+        let mut r = rng();
+        let pairs: Vec<(G1Affine, G1Affine)> = (0..4)
+            .map(|_| {
+                (
+                    G1Affine::from(G1::random(&mut r)),
+                    G1Affine::from(G1::random(&mut r)),
+                )
+            })
+            .collect();
+        let expected = pairs
+            .iter()
+            .fold(Gt::one(), |acc, (p, q)| acc.mul(&pairing(p, q)));
+        assert_eq!(multi_pairing(&pairs), expected);
+    }
+
+    #[test]
+    fn multi_pairing_edge_cases() {
+        let mut r = rng();
+        assert!(multi_pairing(&[]).is_one());
+        let p = G1Affine::from(G1::random(&mut r));
+        let q = G1Affine::from(G1::random(&mut r));
+        // Single pair equals plain pairing.
+        assert_eq!(multi_pairing(&[(p, q)]), pairing(&p, &q));
+        // Identity pairs are skipped.
+        let id = G1Affine::identity();
+        assert_eq!(multi_pairing(&[(p, q), (id, q), (p, id)]), pairing(&p, &q));
+        assert!(multi_pairing(&[(id, id)]).is_one());
+        // A pair and its negation cancel.
+        assert!(multi_pairing(&[(p, q), (p.neg(), q)]).is_one());
+    }
+
+    #[test]
+    fn pairing_linear_in_both_args_simultaneously() {
+        // e(P1 + P2, Q) = e(P1, Q) · e(P2, Q)
+        let mut r = rng();
+        let p1 = G1::random(&mut r);
+        let p2 = G1::random(&mut r);
+        let q = G1Affine::from(G1::random(&mut r));
+        let lhs = pairing(&G1Affine::from(p1.add(&p2)), &q);
+        let rhs = pairing(&G1Affine::from(p1), &q).mul(&pairing(&G1Affine::from(p2), &q));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,157 @@
+//! Property tests of the math substrate against independent reference
+//! semantics (u128 arithmetic for the limb layer; algebraic laws for the
+//! fields, the curve and the pairing).
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe_math::field::{FieldParams, FrParams};
+use mabe_math::uint::{mul_limbs, Uint};
+use mabe_math::{generator_mul, Fq, Fr, G1Affine, G1};
+
+fn u2(v: u128) -> Uint<2> {
+    Uint { limbs: [v as u64, (v >> 64) as u64] }
+}
+
+fn as_u128(x: &Uint<2>) -> u128 {
+    x.limbs[0] as u128 | ((x.limbs[1] as u128) << 64)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---------- Uint vs u128 reference ----------
+
+    #[test]
+    fn adc_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (sum, carry) = u2(a).adc(u2(b));
+        let (expect, overflow) = a.overflowing_add(b);
+        prop_assert_eq!(as_u128(&sum), expect);
+        prop_assert_eq!(carry == 1, overflow);
+    }
+
+    #[test]
+    fn sbb_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        let (diff, borrow) = u2(a).sbb(u2(b));
+        let (expect, underflow) = a.overflowing_sub(b);
+        prop_assert_eq!(as_u128(&diff), expect);
+        prop_assert_eq!(borrow == 1, underflow);
+    }
+
+    #[test]
+    fn mul_limbs_matches_u128(a in any::<u64>(), b in any::<u64>()) {
+        let mut out = [0u64; 2];
+        mul_limbs(&[a], &[b], &mut out);
+        let expect = (a as u128) * (b as u128);
+        prop_assert_eq!(as_u128(&Uint { limbs: out }), expect);
+    }
+
+    #[test]
+    fn ordering_matches_u128(a in any::<u128>(), b in any::<u128>()) {
+        prop_assert_eq!(u2(a) < u2(b), a < b);
+        prop_assert_eq!(u2(a).lt(&u2(b)), a < b);
+    }
+
+    #[test]
+    fn shr1_matches_u128(a in any::<u128>()) {
+        prop_assert_eq!(as_u128(&u2(a).shr1()), a >> 1);
+    }
+
+    #[test]
+    fn bits_matches_u128(a in any::<u128>()) {
+        prop_assert_eq!(u2(a).bits(), (128 - a.leading_zeros()) as usize);
+    }
+
+    // ---------- Field laws ----------
+
+    #[test]
+    fn from_u64_is_a_homomorphism(a in any::<u32>(), b in any::<u32>()) {
+        // Products of u32s fit u64, so no modular wrap interferes.
+        let (a64, b64) = (a as u64, b as u64);
+        prop_assert_eq!(
+            Fr::from_u64(a64).mul(&Fr::from_u64(b64)),
+            Fr::from_u64(a64 * b64)
+        );
+        prop_assert_eq!(
+            Fr::from_u64(a64).add(&Fr::from_u64(b64)),
+            Fr::from_u64(a64 + b64)
+        );
+        prop_assert_eq!(
+            Fq::from_u64(a64).mul(&Fq::from_u64(b64)),
+            Fq::from_u64(a64 * b64)
+        );
+    }
+
+    #[test]
+    fn pow_respects_exponent_addition(seed in any::<u64>(), x in any::<u32>(), y in any::<u32>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fq::random(&mut rng);
+        let lhs = a.pow_vartime(&[x as u64]).mul(&a.pow_vartime(&[y as u64]));
+        let rhs = a.pow_vartime(&[x as u64 + y as u64]);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn square_equals_self_mul(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fq::random(&mut rng);
+        prop_assert_eq!(a.square(), a.mul(&a));
+        let b = Fr::random(&mut rng);
+        prop_assert_eq!(b.square(), b.mul(&b));
+    }
+
+    #[test]
+    fn fermat_little_theorem(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fr::random(&mut rng);
+        prop_assume!(!a.is_zero());
+        // a^(r-1) = 1.
+        let exp = FrParams::MODULUS.sbb(Uint::from_u64(1)).0;
+        prop_assert_eq!(a.pow_vartime(&exp.limbs), Fr::one());
+    }
+
+    #[test]
+    fn sqrt_roundtrip(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a = Fq::random(&mut rng);
+        let sq = a.square();
+        let root = sq.sqrt().expect("squares have roots");
+        prop_assert!(root == a || root == a.neg());
+    }
+
+    // ---------- Curve laws ----------
+
+    #[test]
+    fn scalar_mul_variants_agree(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = G1::random(&mut rng);
+        let k = Fr::random(&mut rng);
+        let reference = p.mul_binary(&k);
+        prop_assert_eq!(p.mul_wnaf(&k), reference);
+        // Fixed base agrees with generic on the generator.
+        prop_assert_eq!(generator_mul(&k), G1::generator().mul_binary(&k));
+    }
+
+    #[test]
+    fn point_arithmetic_consistency(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = G1::random(&mut rng);
+        let q = G1::random(&mut rng);
+        // (P + Q) - Q = P
+        prop_assert_eq!(p.add(&q).add(&q.neg()), p);
+        // 2P via add = double
+        prop_assert_eq!(p.add(&p), p.double());
+        // Compression roundtrip.
+        let affine = G1Affine::from(p);
+        prop_assert_eq!(G1Affine::from_bytes(&affine.to_bytes()), Some(affine));
+    }
+
+    #[test]
+    fn distributive_scalars_over_points(a in any::<u32>(), b in any::<u32>(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let p = G1::random(&mut rng);
+        let (fa, fb) = (Fr::from_u64(a as u64), Fr::from_u64(b as u64));
+        prop_assert_eq!(p.mul(&fa).add(&p.mul(&fb)), p.mul(&fa.add(&fb)));
+    }
+}

@@ -1,0 +1,419 @@
+//! Static analysis of access policies.
+//!
+//! Tools a data owner (or auditor) uses before publishing under a
+//! policy: structural normalization, enumeration of the **minimal
+//! authorized sets** (the exact attribute combinations that grant
+//! access), and pivot-attribute detection. Also useful to the test
+//! suite as an independent oracle for LSSS acceptance.
+
+use std::collections::BTreeSet;
+
+use crate::ast::Policy;
+use crate::attr::Attribute;
+
+/// Upper bound on enumerated minimal sets before
+/// [`AnalysisError::TooComplex`] is returned (monotone formulas can have
+/// exponentially many).
+pub const MAX_MINIMAL_SETS: usize = 4096;
+
+/// Errors from policy analysis.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AnalysisError {
+    /// The policy has more minimal authorized sets than
+    /// [`MAX_MINIMAL_SETS`].
+    TooComplex,
+}
+
+impl core::fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AnalysisError::TooComplex => write!(f, "policy has too many minimal authorized sets"),
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+/// Structurally normalizes a policy without changing its semantics:
+///
+/// * single-child gates collapse to the child,
+/// * nested `And(And(..))` / `Or(Or(..))` chains flatten,
+/// * `1`-of-`n` thresholds become `Or`, `n`-of-`n` become `And`.
+pub fn normalize(policy: &Policy) -> Policy {
+    match policy {
+        Policy::Leaf(a) => Policy::Leaf(a.clone()),
+        Policy::And(children) => {
+            let mut flat = Vec::new();
+            for c in children {
+                match normalize(c) {
+                    Policy::And(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                flat.pop().expect("nonempty")
+            } else {
+                Policy::And(flat)
+            }
+        }
+        Policy::Or(children) => {
+            let mut flat = Vec::new();
+            for c in children {
+                match normalize(c) {
+                    Policy::Or(inner) => flat.extend(inner),
+                    other => flat.push(other),
+                }
+            }
+            if flat.len() == 1 {
+                flat.pop().expect("nonempty")
+            } else {
+                Policy::Or(flat)
+            }
+        }
+        Policy::Threshold { k, children } => {
+            let normalized: Vec<Policy> = children.iter().map(normalize).collect();
+            if *k == 1 {
+                normalize(&Policy::Or(normalized))
+            } else if *k == normalized.len() {
+                normalize(&Policy::And(normalized))
+            } else {
+                Policy::Threshold { k: *k, children: normalized }
+            }
+        }
+    }
+}
+
+/// Keeps only inclusion-minimal sets.
+fn prune_minimal(sets: Vec<BTreeSet<Attribute>>) -> Vec<BTreeSet<Attribute>> {
+    let mut out: Vec<BTreeSet<Attribute>> = Vec::new();
+    for s in &sets {
+        if sets.iter().any(|t| t != s && t.is_subset(s)) {
+            // A strictly smaller (or equal earlier) set subsumes s.
+            if sets.iter().any(|t| t.is_subset(s) && t.len() < s.len()) {
+                continue;
+            }
+        }
+        if !out.contains(s) {
+            out.push(s.clone());
+        }
+    }
+    out
+}
+
+fn cross_union(
+    a: Vec<BTreeSet<Attribute>>,
+    b: Vec<BTreeSet<Attribute>>,
+) -> Result<Vec<BTreeSet<Attribute>>, AnalysisError> {
+    if a.len().saturating_mul(b.len()) > MAX_MINIMAL_SETS {
+        return Err(AnalysisError::TooComplex);
+    }
+    let mut out = Vec::with_capacity(a.len() * b.len());
+    for x in &a {
+        for y in &b {
+            let mut u = x.clone();
+            u.extend(y.iter().cloned());
+            out.push(u);
+        }
+    }
+    Ok(out)
+}
+
+fn minimal_sets_inner(policy: &Policy) -> Result<Vec<BTreeSet<Attribute>>, AnalysisError> {
+    match policy {
+        Policy::Leaf(a) => Ok(vec![[a.clone()].into()]),
+        Policy::And(children) => {
+            let mut acc = vec![BTreeSet::new()];
+            for c in children {
+                acc = cross_union(acc, minimal_sets_inner(c)?)?;
+            }
+            Ok(prune_minimal(acc))
+        }
+        Policy::Or(children) => {
+            let mut acc = Vec::new();
+            for c in children {
+                acc.extend(minimal_sets_inner(c)?);
+                if acc.len() > MAX_MINIMAL_SETS {
+                    return Err(AnalysisError::TooComplex);
+                }
+            }
+            Ok(prune_minimal(acc))
+        }
+        Policy::Threshold { k, children } => {
+            // All k-subsets of children, each a cross-union.
+            let n = children.len();
+            let mut acc: Vec<BTreeSet<Attribute>> = Vec::new();
+            let mut indices: Vec<usize> = (0..*k).collect();
+            loop {
+                let mut combo = vec![BTreeSet::new()];
+                for &i in &indices {
+                    combo = cross_union(combo, minimal_sets_inner(&children[i])?)?;
+                }
+                acc.extend(combo);
+                if acc.len() > MAX_MINIMAL_SETS {
+                    return Err(AnalysisError::TooComplex);
+                }
+                // Next k-combination in lexicographic order.
+                let mut i = *k;
+                loop {
+                    if i == 0 {
+                        return Ok(prune_minimal(acc));
+                    }
+                    i -= 1;
+                    if indices[i] != i + n - *k {
+                        break;
+                    }
+                }
+                indices[i] += 1;
+                for j in i + 1..*k {
+                    indices[j] = indices[j - 1] + 1;
+                }
+            }
+        }
+    }
+}
+
+/// Enumerates the minimal attribute sets that satisfy the policy.
+///
+/// # Errors
+///
+/// [`AnalysisError::TooComplex`] if more than [`MAX_MINIMAL_SETS`] sets
+/// would be produced.
+pub fn minimal_authorized_sets(
+    policy: &Policy,
+) -> Result<Vec<BTreeSet<Attribute>>, AnalysisError> {
+    minimal_sets_inner(policy)
+}
+
+/// Attributes appearing in **every** minimal authorized set — revoking
+/// any of these from a user always removes that user's access through
+/// any path.
+///
+/// # Errors
+///
+/// Propagates [`AnalysisError::TooComplex`].
+pub fn pivot_attributes(policy: &Policy) -> Result<BTreeSet<Attribute>, AnalysisError> {
+    let sets = minimal_authorized_sets(policy)?;
+    let mut iter = sets.into_iter();
+    let Some(first) = iter.next() else {
+        return Ok(BTreeSet::new());
+    };
+    Ok(iter.fold(first, |acc, s| acc.intersection(&s).cloned().collect()))
+}
+
+/// Rebuilds a policy in disjunctive normal form from authorized sets:
+/// `OR` over the sets, `AND` within each. Together with
+/// [`minimal_authorized_sets`] this gives a canonical DNF for any
+/// monotone policy (inverse up to semantic equivalence).
+///
+/// # Panics
+///
+/// Panics if `sets` is empty or contains an empty set (the constant-true
+/// policy is not expressible — policies are monotone over at least one
+/// attribute).
+pub fn from_authorized_sets(sets: &[BTreeSet<Attribute>]) -> Policy {
+    assert!(!sets.is_empty(), "need at least one authorized set");
+    let disjuncts: Vec<Policy> = sets
+        .iter()
+        .map(|s| {
+            assert!(!s.is_empty(), "authorized sets must be non-empty");
+            let leaves: Vec<Policy> = s.iter().cloned().map(Policy::leaf).collect();
+            if leaves.len() == 1 {
+                leaves.into_iter().next().expect("nonempty")
+            } else {
+                Policy::and(leaves)
+            }
+        })
+        .collect();
+    if disjuncts.len() == 1 {
+        disjuncts.into_iter().next().expect("nonempty")
+    } else {
+        Policy::or(disjuncts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    fn sets(src: &str) -> Vec<BTreeSet<Attribute>> {
+        minimal_authorized_sets(&parse(src).unwrap()).unwrap()
+    }
+
+    fn set(attrs: &[&str]) -> BTreeSet<Attribute> {
+        attrs.iter().map(|a| a.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn leaf_and_or() {
+        assert_eq!(sets("A@X"), vec![set(&["A@X"])]);
+        assert_eq!(sets("A@X AND B@Y"), vec![set(&["A@X", "B@Y"])]);
+        let or = sets("A@X OR B@Y");
+        assert_eq!(or.len(), 2);
+        assert!(or.contains(&set(&["A@X"])));
+        assert!(or.contains(&set(&["B@Y"])));
+    }
+
+    #[test]
+    fn threshold_enumeration() {
+        let t = sets("2 of (A@X, B@X, C@X)");
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(&set(&["A@X", "B@X"])));
+        assert!(t.contains(&set(&["A@X", "C@X"])));
+        assert!(t.contains(&set(&["B@X", "C@X"])));
+    }
+
+    #[test]
+    fn nested_formula() {
+        let s = sets("(A@X AND B@Y) OR (C@Z AND D@Z)");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&set(&["A@X", "B@Y"])));
+        assert!(s.contains(&set(&["C@Z", "D@Z"])));
+    }
+
+    #[test]
+    fn minimal_sets_are_minimal_and_satisfying() {
+        let policy =
+            parse("(A@X AND 2 of (B@X, C@X, D@Y)) OR (E@Y AND F@Y)").unwrap();
+        let sets = minimal_authorized_sets(&policy).unwrap();
+        assert!(!sets.is_empty());
+        for s in &sets {
+            assert!(policy.is_satisfied_by(s.iter()), "minimal set must satisfy");
+            for drop in s {
+                let mut smaller = s.clone();
+                smaller.remove(drop);
+                assert!(
+                    !policy.is_satisfied_by(smaller.iter()),
+                    "removing {drop} must break satisfaction of a minimal set"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pivots() {
+        // A@X is on every path; nothing else is.
+        let p = parse("A@X AND (B@Y OR C@Z)").unwrap();
+        assert_eq!(pivot_attributes(&p).unwrap(), set(&["A@X"]));
+        // Pure OR: no pivots.
+        let p = parse("A@X OR B@Y").unwrap();
+        assert!(pivot_attributes(&p).unwrap().is_empty());
+    }
+
+    #[test]
+    fn normalize_collapses_structure() {
+        let p = parse("((A@X))").unwrap();
+        assert_eq!(normalize(&p), parse("A@X").unwrap());
+        let p = parse("A@X AND (B@X AND C@X)").unwrap();
+        assert_eq!(normalize(&p), parse("A@X AND B@X AND C@X").unwrap());
+        let p = parse("A@X OR (B@X OR C@X)").unwrap();
+        assert_eq!(normalize(&p), parse("A@X OR B@X OR C@X").unwrap());
+        let p = parse("1 of (A@X, B@X)").unwrap();
+        assert_eq!(normalize(&p), parse("A@X OR B@X").unwrap());
+        let p = parse("2 of (A@X, B@X)").unwrap();
+        assert_eq!(normalize(&p), parse("A@X AND B@X").unwrap());
+        // Genuine thresholds survive.
+        let p = parse("2 of (A@X, B@X, C@X)").unwrap();
+        assert!(matches!(normalize(&p), Policy::Threshold { k: 2, .. }));
+    }
+
+    #[test]
+    fn normalize_preserves_semantics_exhaustively() {
+        let cases = [
+            "A@X AND (B@X AND (C@Y OR D@Y))",
+            "1 of (A@X, 2 of (B@X, C@Y, D@Y))",
+            "(A@X OR B@X) AND 3 of (C@Y, D@Y, E@Z)",
+        ];
+        for src in cases {
+            let p = parse(src).unwrap();
+            let n = normalize(&p);
+            let leaves: Vec<Attribute> =
+                p.leaves().into_iter().cloned().collect();
+            for mask in 0u32..(1 << leaves.len()) {
+                let subset: BTreeSet<Attribute> = leaves
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                assert_eq!(
+                    p.is_satisfied_by(subset.iter()),
+                    n.is_satisfied_by(subset.iter()),
+                    "{src} vs normalized, subset {subset:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_sets_agree_with_exhaustive_satisfaction() {
+        let p = parse("2 of (A@X, B@X AND C@Y, D@Y OR E@Z)").unwrap();
+        let minimal = minimal_authorized_sets(&p).unwrap();
+        let leaves: Vec<Attribute> = p.leaves().into_iter().cloned().collect();
+        for mask in 0u32..(1 << leaves.len()) {
+            let subset: BTreeSet<Attribute> = leaves
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, a)| a.clone())
+                .collect();
+            let satisfied = p.is_satisfied_by(subset.iter());
+            let covered = minimal.iter().any(|m| m.is_subset(&subset));
+            assert_eq!(satisfied, covered, "subset {subset:?}");
+        }
+    }
+
+    #[test]
+    fn dnf_reconstruction_is_semantically_faithful() {
+        let cases = [
+            "A@X",
+            "A@X AND B@Y",
+            "A@X OR B@Y",
+            "2 of (A@X, B@X, C@Y)",
+            "(A@X AND 2 of (B@X, C@X, D@Y)) OR (E@Y AND F@Y)",
+        ];
+        for src in cases {
+            let p = parse(src).unwrap();
+            let sets = minimal_authorized_sets(&p).unwrap();
+            let dnf = from_authorized_sets(&sets);
+            // Same satisfaction on every subset of the leaf universe.
+            let leaves: Vec<Attribute> = p.leaves().into_iter().cloned().collect();
+            for mask in 0u32..(1 << leaves.len()) {
+                let subset: BTreeSet<Attribute> = leaves
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask >> i & 1 == 1)
+                    .map(|(_, a)| a.clone())
+                    .collect();
+                assert_eq!(
+                    p.is_satisfied_by(subset.iter()),
+                    dnf.is_satisfied_by(subset.iter()),
+                    "{src} vs DNF on {subset:?}"
+                );
+            }
+            // The DNF's own minimal sets are the same sets.
+            let mut again = minimal_authorized_sets(&dnf).unwrap();
+            let mut expect = sets;
+            again.sort();
+            expect.sort();
+            assert_eq!(again, expect);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one authorized set")]
+    fn dnf_rejects_empty() {
+        from_authorized_sets(&[]);
+    }
+
+    #[test]
+    fn complexity_guard() {
+        // 2^13 = 8192 > MAX_MINIMAL_SETS minimal sets: an AND of 13
+        // binary ORs.
+        let clauses: Vec<String> =
+            (0..13).map(|i| format!("(a{i}@X OR b{i}@X)")).collect();
+        let p = parse(&clauses.join(" AND ")).unwrap();
+        assert_eq!(minimal_authorized_sets(&p), Err(AnalysisError::TooComplex));
+        assert_eq!(pivot_attributes(&p), Err(AnalysisError::TooComplex));
+    }
+}

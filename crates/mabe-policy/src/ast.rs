@@ -1,0 +1,243 @@
+//! The monotone access-policy AST.
+//!
+//! Policies are monotone boolean formulas over [`Attribute`] leaves with
+//! `AND`, `OR` and `k`-of-`n` threshold gates. Any such formula converts
+//! into an LSSS access structure (see [`crate::lsss`]), which is the
+//! "any LSSS access structure" expressiveness the paper claims.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::attr::Attribute;
+
+/// A node of a monotone access policy.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Policy {
+    /// Satisfied iff the user holds this attribute.
+    Leaf(Attribute),
+    /// Satisfied iff all children are satisfied.
+    And(Vec<Policy>),
+    /// Satisfied iff at least one child is satisfied.
+    Or(Vec<Policy>),
+    /// Satisfied iff at least `k` children are satisfied.
+    Threshold {
+        /// Number of children that must be satisfied (`1 <= k <= children.len()`).
+        k: usize,
+        /// Sub-policies under this gate.
+        children: Vec<Policy>,
+    },
+}
+
+impl Policy {
+    /// Leaf constructor.
+    pub fn leaf(attr: Attribute) -> Self {
+        Policy::Leaf(attr)
+    }
+
+    /// `AND` gate over the given sub-policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty.
+    pub fn and(children: Vec<Policy>) -> Self {
+        assert!(!children.is_empty(), "AND gate needs at least one child");
+        Policy::And(children)
+    }
+
+    /// `OR` gate over the given sub-policies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `children` is empty.
+    pub fn or(children: Vec<Policy>) -> Self {
+        assert!(!children.is_empty(), "OR gate needs at least one child");
+        Policy::Or(children)
+    }
+
+    /// `k`-of-`n` threshold gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= k <= children.len()`.
+    pub fn threshold(k: usize, children: Vec<Policy>) -> Self {
+        assert!(k >= 1 && k <= children.len(), "threshold k out of range");
+        Policy::Threshold { k, children }
+    }
+
+    /// Evaluates the formula against an attribute set.
+    pub fn is_satisfied_by<'a, I>(&self, attrs: I) -> bool
+    where
+        I: IntoIterator<Item = &'a Attribute>,
+    {
+        let set: BTreeSet<&Attribute> = attrs.into_iter().collect();
+        self.eval(&set)
+    }
+
+    fn eval(&self, set: &BTreeSet<&Attribute>) -> bool {
+        match self {
+            Policy::Leaf(a) => set.contains(a),
+            Policy::And(cs) => cs.iter().all(|c| c.eval(set)),
+            Policy::Or(cs) => cs.iter().any(|c| c.eval(set)),
+            Policy::Threshold { k, children } => {
+                children.iter().filter(|c| c.eval(set)).count() >= *k
+            }
+        }
+    }
+
+    /// All attributes appearing in the formula (with duplicates preserved,
+    /// in left-to-right leaf order).
+    pub fn leaves(&self) -> Vec<&Attribute> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a Attribute>) {
+        match self {
+            Policy::Leaf(a) => out.push(a),
+            Policy::And(cs) | Policy::Or(cs) => {
+                for c in cs {
+                    c.collect_leaves(out);
+                }
+            }
+            Policy::Threshold { children, .. } => {
+                for c in children {
+                    c.collect_leaves(out);
+                }
+            }
+        }
+    }
+
+    /// The set of distinct authorities referenced by the formula.
+    pub fn authorities(&self) -> BTreeSet<&crate::attr::AuthorityId> {
+        self.leaves().into_iter().map(|a| a.authority()).collect()
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Policy::Leaf(a) => write!(f, "{a}"),
+            Policy::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " AND ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Policy::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " OR ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Policy::Threshold { k, children } => {
+                write!(f, "{k} of (")?;
+                for (i, c) in children.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attr::AuthorityId;
+
+    fn attr(n: &str, a: &str) -> Attribute {
+        Attribute::new(n, AuthorityId::new(a))
+    }
+
+    fn leaf(n: &str, a: &str) -> Policy {
+        Policy::leaf(attr(n, a))
+    }
+
+    #[test]
+    fn and_semantics() {
+        let p = Policy::and(vec![leaf("Doctor", "Med"), leaf("Researcher", "Trial")]);
+        let both = [attr("Doctor", "Med"), attr("Researcher", "Trial")];
+        let one = [attr("Doctor", "Med")];
+        assert!(p.is_satisfied_by(&both));
+        assert!(!p.is_satisfied_by(&one));
+        assert!(!p.is_satisfied_by(&[]));
+    }
+
+    #[test]
+    fn or_semantics() {
+        let p = Policy::or(vec![leaf("Doctor", "Med"), leaf("Nurse", "Med")]);
+        assert!(p.is_satisfied_by(&[attr("Nurse", "Med")]));
+        assert!(!p.is_satisfied_by(&[attr("Janitor", "Med")]));
+    }
+
+    #[test]
+    fn threshold_semantics() {
+        let p = Policy::threshold(
+            2,
+            vec![leaf("A", "X"), leaf("B", "X"), leaf("C", "Y")],
+        );
+        assert!(p.is_satisfied_by(&[attr("A", "X"), attr("C", "Y")]));
+        assert!(!p.is_satisfied_by(&[attr("A", "X")]));
+        assert!(p.is_satisfied_by(&[attr("A", "X"), attr("B", "X"), attr("C", "Y")]));
+    }
+
+    #[test]
+    fn authority_qualification_matters() {
+        let p = leaf("Researcher", "IBM");
+        assert!(!p.is_satisfied_by(&[attr("Researcher", "Google")]));
+        assert!(p.is_satisfied_by(&[attr("Researcher", "IBM")]));
+    }
+
+    #[test]
+    fn nested_formula() {
+        // (Doctor@Med AND Researcher@Trial) OR Admin@Med
+        let p = Policy::or(vec![
+            Policy::and(vec![leaf("Doctor", "Med"), leaf("Researcher", "Trial")]),
+            leaf("Admin", "Med"),
+        ]);
+        assert!(p.is_satisfied_by(&[attr("Admin", "Med")]));
+        assert!(p.is_satisfied_by(&[attr("Doctor", "Med"), attr("Researcher", "Trial")]));
+        assert!(!p.is_satisfied_by(&[attr("Doctor", "Med")]));
+    }
+
+    #[test]
+    fn leaves_and_authorities() {
+        let p = Policy::and(vec![leaf("A", "X"), Policy::or(vec![leaf("B", "Y"), leaf("C", "X")])]);
+        let names: Vec<String> = p.leaves().iter().map(|a| a.to_string()).collect();
+        assert_eq!(names, ["A@X", "B@Y", "C@X"]);
+        let auths: Vec<String> = p.authorities().iter().map(|a| a.to_string()).collect();
+        assert_eq!(auths, ["X", "Y"]);
+    }
+
+    #[test]
+    fn display_forms() {
+        let p = Policy::threshold(2, vec![leaf("A", "X"), leaf("B", "Y"), leaf("C", "Z")]);
+        assert_eq!(p.to_string(), "2 of (A@X, B@Y, C@Z)");
+        let q = Policy::and(vec![leaf("A", "X"), leaf("B", "Y")]);
+        assert_eq!(q.to_string(), "(A@X AND B@Y)");
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold k out of range")]
+    fn threshold_validates_k() {
+        Policy::threshold(4, vec![leaf("A", "X"), leaf("B", "Y")]);
+    }
+
+    #[test]
+    #[should_panic(expected = "AND gate needs at least one child")]
+    fn and_rejects_empty() {
+        Policy::and(vec![]);
+    }
+}

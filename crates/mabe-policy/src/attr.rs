@@ -1,0 +1,168 @@
+//! Attribute and authority identifiers.
+//!
+//! Attributes in a multi-authority system are qualified by the authority
+//! that issues them (paper §V-A: "With the AID, all the attributes are
+//! distinguishable even though some attributes present the same meaning").
+//! The canonical written form is `name@authority`.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Identifier of an attribute authority (the paper's `AID`).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct AuthorityId(String);
+
+impl AuthorityId {
+    /// Creates an authority identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is empty or contains `@`, whitespace, parentheses or
+    /// commas (reserved by the policy grammar).
+    pub fn new(id: impl Into<String>) -> Self {
+        let id = id.into();
+        assert!(is_valid_ident(&id), "invalid authority id: {id:?}");
+        AuthorityId(id)
+    }
+
+    /// The identifier as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for AuthorityId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Checks the shared lexical rules for attribute/authority identifiers.
+pub(crate) fn is_valid_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '+'))
+        && !is_keyword(s)
+        && s.parse::<u64>().is_err()
+}
+
+pub(crate) fn is_keyword(s: &str) -> bool {
+    matches!(s.to_ascii_lowercase().as_str(), "and" | "or" | "of")
+}
+
+/// A fully-qualified attribute: a name plus its issuing authority.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct Attribute {
+    name: String,
+    authority: AuthorityId,
+}
+
+impl Attribute {
+    /// Creates an attribute issued by `authority`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid identifier (see [`AuthorityId::new`]).
+    pub fn new(name: impl Into<String>, authority: AuthorityId) -> Self {
+        let name = name.into();
+        assert!(is_valid_ident(&name), "invalid attribute name: {name:?}");
+        Attribute { name, authority }
+    }
+
+    /// The unqualified attribute name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The issuing authority.
+    pub fn authority(&self) -> &AuthorityId {
+        &self.authority
+    }
+
+    /// The canonical byte encoding hashed by the schemes
+    /// (`name@authority`, so equal names under different AAs hash apart).
+    pub fn canonical_bytes(&self) -> Vec<u8> {
+        self.to_string().into_bytes()
+    }
+}
+
+impl fmt::Display for Attribute {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.name, self.authority)
+    }
+}
+
+/// Error parsing an `name@authority` attribute literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseAttributeError(pub(crate) String);
+
+impl fmt::Display for ParseAttributeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid attribute literal: {}", self.0)
+    }
+}
+
+impl std::error::Error for ParseAttributeError {}
+
+impl FromStr for Attribute {
+    type Err = ParseAttributeError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (name, auth) = s
+            .split_once('@')
+            .ok_or_else(|| ParseAttributeError(format!("{s:?} (expected name@authority)")))?;
+        if !is_valid_ident(name) || !is_valid_ident(auth) {
+            return Err(ParseAttributeError(format!("{s:?}")));
+        }
+        Ok(Attribute { name: name.to_owned(), authority: AuthorityId(auth.to_owned()) })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrip() {
+        let a = Attribute::new("Doctor", AuthorityId::new("MedOrg"));
+        assert_eq!(a.to_string(), "Doctor@MedOrg");
+        assert_eq!("Doctor@MedOrg".parse::<Attribute>().unwrap(), a);
+    }
+
+    #[test]
+    fn same_name_different_authority_differ() {
+        let a = Attribute::new("Researcher", AuthorityId::new("IBM"));
+        let b = Attribute::new("Researcher", AuthorityId::new("Google"));
+        assert_ne!(a, b);
+        assert_ne!(a.canonical_bytes(), b.canonical_bytes());
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!("NoAuthority".parse::<Attribute>().is_err());
+        assert!("a@b@c".parse::<Attribute>().is_err());
+        assert!("@x".parse::<Attribute>().is_err());
+        assert!("x@".parse::<Attribute>().is_err());
+        assert!("a b@x".parse::<Attribute>().is_err());
+        assert!("and@x".parse::<Attribute>().is_err());
+        assert!("123@x".parse::<Attribute>().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid authority id")]
+    fn authority_rejects_at_sign() {
+        AuthorityId::new("a@b");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid attribute name")]
+    fn attribute_rejects_empty_name() {
+        Attribute::new("", AuthorityId::new("x"));
+    }
+
+    #[test]
+    fn idents_allow_reasonable_punctuation() {
+        let a = Attribute::new("senior-nurse.L2", AuthorityId::new("City_Hospital+East"));
+        let s = a.to_string();
+        assert_eq!(s.parse::<Attribute>().unwrap(), a);
+    }
+}

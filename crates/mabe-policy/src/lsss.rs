@@ -1,0 +1,356 @@
+//! Linear secret-sharing scheme (LSSS) access structures.
+//!
+//! Converts a monotone boolean formula into a monotone span program
+//! `(M, ρ)` using the threshold generalization of the Lewko–Waters
+//! construction: each gate with threshold `k` over `n` children appends
+//! `k - 1` fresh columns and hands child `j` the parent vector extended by
+//! the Vandermonde tail `(j, j², …, j^{k-1})`. `AND` is `n`-of-`n`, `OR` is
+//! `1`-of-`n`.
+//!
+//! As in the paper's construction (§V-B) the labelling `ρ` is required to
+//! be **injective** — each attribute appears on at most one row.
+
+use std::collections::BTreeSet;
+
+use rand::RngCore;
+
+use mabe_math::Fr;
+
+use crate::ast::Policy;
+use crate::attr::{Attribute, AuthorityId};
+use crate::linalg;
+
+/// Errors producing an LSSS from a formula.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LsssError {
+    /// The same attribute labels two rows; the paper's construction
+    /// requires an injective `ρ`.
+    DuplicateAttribute(Attribute),
+}
+
+impl core::fmt::Display for LsssError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            LsssError::DuplicateAttribute(a) => {
+                write!(f, "attribute {a} appears more than once (ρ must be injective)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LsssError {}
+
+/// A monotone span program `(M, ρ)` together with the formula it encodes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AccessStructure {
+    matrix: Vec<Vec<Fr>>,
+    rho: Vec<Attribute>,
+    policy: Policy,
+}
+
+impl AccessStructure {
+    /// Builds the span program for a policy formula.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LsssError::DuplicateAttribute`] if any attribute occurs in
+    /// more than one leaf.
+    pub fn from_policy(policy: &Policy) -> Result<Self, LsssError> {
+        let mut rows: Vec<(Attribute, Vec<Fr>)> = Vec::new();
+        let mut width = 1usize;
+        assign(policy, vec![Fr::one()], &mut width, &mut rows);
+
+        let mut seen = BTreeSet::new();
+        for (attr, _) in &rows {
+            if !seen.insert(attr.clone()) {
+                return Err(LsssError::DuplicateAttribute(attr.clone()));
+            }
+        }
+
+        let mut matrix = Vec::with_capacity(rows.len());
+        let mut rho = Vec::with_capacity(rows.len());
+        for (attr, mut vec) in rows {
+            vec.resize(width, Fr::zero());
+            matrix.push(vec);
+            rho.push(attr);
+        }
+        Ok(AccessStructure { matrix, rho, policy: policy.clone() })
+    }
+
+    /// The share matrix `M` (`l × n`, row-major).
+    pub fn matrix(&self) -> &[Vec<Fr>] {
+        &self.matrix
+    }
+
+    /// The row labelling `ρ` (row `i` belongs to attribute `rho()[i]`).
+    pub fn rho(&self) -> &[Attribute] {
+        &self.rho
+    }
+
+    /// Number of rows `l` (= number of attributes in the policy).
+    pub fn rows(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Number of columns `n` (share-vector dimension).
+    pub fn width(&self) -> usize {
+        self.matrix.first().map_or(0, Vec::len)
+    }
+
+    /// The original formula.
+    pub fn policy(&self) -> &Policy {
+        &self.policy
+    }
+
+    /// Distinct authorities appearing in the structure (the paper's
+    /// *involved authority set* `I_A`).
+    pub fn authorities(&self) -> BTreeSet<AuthorityId> {
+        self.rho.iter().map(|a| a.authority().clone()).collect()
+    }
+
+    /// Row indices labelled by attributes of the given authority
+    /// (the paper's `I_{AID_k}`).
+    pub fn rows_for_authority(&self, aid: &AuthorityId) -> Vec<usize> {
+        (0..self.rows()).filter(|&i| self.rho[i].authority() == aid).collect()
+    }
+
+    /// Produces shares `λ_i = M_i · v` of the secret `s`, with
+    /// `v = (s, y₂, …, y_n)` for fresh random `y_j`.
+    pub fn share<R: RngCore + ?Sized>(&self, s: &Fr, rng: &mut R) -> Vec<Fr> {
+        let mut v = Vec::with_capacity(self.width());
+        v.push(*s);
+        for _ in 1..self.width() {
+            v.push(Fr::random(rng));
+        }
+        linalg::mat_vec(&self.matrix, &v)
+    }
+
+    /// Finds reconstruction coefficients `w_i` over the rows labelled by
+    /// the given attribute set, such that `Σ w_i · M_i = (1, 0, …, 0)`.
+    ///
+    /// Returns `(row_index, w_i)` pairs (zero coefficients omitted), or
+    /// `None` if the attribute set does not satisfy the structure.
+    pub fn reconstruction_coefficients(
+        &self,
+        attrs: &BTreeSet<Attribute>,
+    ) -> Option<Vec<(usize, Fr)>> {
+        let selected: Vec<usize> =
+            (0..self.rows()).filter(|&i| attrs.contains(&self.rho[i])).collect();
+        if selected.is_empty() {
+            return None;
+        }
+        // Solve M_Sᵀ · w = e₁.
+        let cols = self.width();
+        let a: Vec<Vec<Fr>> = (0..cols)
+            .map(|c| selected.iter().map(|&i| self.matrix[i][c]).collect())
+            .collect();
+        let mut e1 = vec![Fr::zero(); cols];
+        e1[0] = Fr::one();
+        let w = linalg::solve(&a, &e1)?;
+        Some(
+            selected
+                .into_iter()
+                .zip(w.into_iter())
+                .filter(|(_, wi)| !wi.is_zero())
+                .collect(),
+        )
+    }
+
+    /// `true` iff the attribute set satisfies the access structure.
+    ///
+    /// Evaluates the formula; by LSSS correctness this coincides with
+    /// [`Self::reconstruction_coefficients`] returning `Some` (asserted by
+    /// the crate's property tests).
+    pub fn is_satisfied_by(&self, attrs: &BTreeSet<Attribute>) -> bool {
+        self.policy.is_satisfied_by(attrs.iter())
+    }
+}
+
+/// Recursive gate assignment (see module docs).
+fn assign(
+    node: &Policy,
+    vec: Vec<Fr>,
+    width: &mut usize,
+    rows: &mut Vec<(Attribute, Vec<Fr>)>,
+) {
+    let (k, children): (usize, &[Policy]) = match node {
+        Policy::Leaf(attr) => {
+            rows.push((attr.clone(), vec));
+            return;
+        }
+        Policy::And(cs) => (cs.len(), cs),
+        Policy::Or(cs) => (1, cs),
+        Policy::Threshold { k, children } => (*k, children),
+    };
+    let base = *width;
+    *width += k - 1;
+    for (idx, child) in children.iter().enumerate() {
+        let j = Fr::from_u64(idx as u64 + 1);
+        let mut v = vec.clone();
+        v.resize(base, Fr::zero());
+        let mut p = j;
+        for _ in 0..k - 1 {
+            v.push(p);
+            p = p.mul(&j);
+        }
+        assign(child, v, width, rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(321)
+    }
+
+    fn structure(src: &str) -> AccessStructure {
+        AccessStructure::from_policy(&parse(src).unwrap()).unwrap()
+    }
+
+    fn attrset(items: &[&str]) -> BTreeSet<Attribute> {
+        items.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    /// End-to-end share → reconstruct check for a given attribute subset.
+    fn roundtrip(structure: &AccessStructure, attrs: &BTreeSet<Attribute>) -> Option<Fr> {
+        let mut r = rng();
+        let secret = Fr::random(&mut r);
+        let shares = structure.share(&secret, &mut r);
+        let coeffs = structure.reconstruction_coefficients(attrs)?;
+        let sum = coeffs
+            .iter()
+            .fold(Fr::zero(), |acc, (i, w)| acc.add(&w.mul(&shares[*i])));
+        assert_eq!(sum, secret, "reconstructed secret mismatch");
+        Some(sum)
+    }
+
+    #[test]
+    fn single_leaf() {
+        let s = structure("A@X");
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.width(), 1);
+        assert!(roundtrip(&s, &attrset(&["A@X"])).is_some());
+        assert!(s.reconstruction_coefficients(&attrset(&["B@X"])).is_none());
+    }
+
+    #[test]
+    fn and_gate_needs_all() {
+        let s = structure("A@X AND B@Y");
+        assert_eq!(s.rows(), 2);
+        assert!(roundtrip(&s, &attrset(&["A@X", "B@Y"])).is_some());
+        assert!(s.reconstruction_coefficients(&attrset(&["A@X"])).is_none());
+        assert!(s.reconstruction_coefficients(&attrset(&["B@Y"])).is_none());
+    }
+
+    #[test]
+    fn or_gate_needs_one() {
+        let s = structure("A@X OR B@Y");
+        assert!(roundtrip(&s, &attrset(&["A@X"])).is_some());
+        assert!(roundtrip(&s, &attrset(&["B@Y"])).is_some());
+        assert!(s.reconstruction_coefficients(&attrset(&["C@Z"])).is_none());
+    }
+
+    #[test]
+    fn threshold_two_of_three() {
+        let s = structure("2 of (A@X, B@X, C@Y)");
+        assert!(roundtrip(&s, &attrset(&["A@X", "B@X"])).is_some());
+        assert!(roundtrip(&s, &attrset(&["A@X", "C@Y"])).is_some());
+        assert!(roundtrip(&s, &attrset(&["B@X", "C@Y"])).is_some());
+        assert!(s.reconstruction_coefficients(&attrset(&["A@X"])).is_none());
+        assert!(roundtrip(&s, &attrset(&["A@X", "B@X", "C@Y"])).is_some());
+    }
+
+    #[test]
+    fn nested_formula_exhaustive_subsets() {
+        let s = structure("(A@X AND B@Y) OR 2 of (C@Z, D@Z, E@W)");
+        let universe = ["A@X", "B@Y", "C@Z", "D@Z", "E@W"];
+        // Every subset: LSSS acceptance must equal formula satisfaction.
+        for mask in 0u32..(1 << universe.len()) {
+            let subset: Vec<&str> = universe
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask >> i & 1 == 1)
+                .map(|(_, s)| *s)
+                .collect();
+            let attrs = attrset(&subset);
+            let formula_ok = s.is_satisfied_by(&attrs);
+            let lsss_ok = s.reconstruction_coefficients(&attrs).is_some();
+            assert_eq!(formula_ok, lsss_ok, "mismatch for subset {subset:?}");
+            if lsss_ok {
+                roundtrip(&s, &attrs).unwrap();
+            }
+        }
+    }
+
+    #[test]
+    fn deep_nesting() {
+        let s = structure("((A@P AND B@P) OR (C@Q AND D@Q)) AND (E@R OR F@R)");
+        assert!(roundtrip(&s, &attrset(&["A@P", "B@P", "E@R"])).is_some());
+        assert!(roundtrip(&s, &attrset(&["C@Q", "D@Q", "F@R"])).is_some());
+        assert!(s
+            .reconstruction_coefficients(&attrset(&["A@P", "B@P"]))
+            .is_none());
+        assert!(s
+            .reconstruction_coefficients(&attrset(&["A@P", "C@Q", "E@R"]))
+            .is_none());
+    }
+
+    #[test]
+    fn duplicate_attribute_rejected() {
+        let p = parse("A@X AND (A@X OR B@Y)").unwrap();
+        assert_eq!(
+            AccessStructure::from_policy(&p),
+            Err(LsssError::DuplicateAttribute("A@X".parse().unwrap()))
+        );
+    }
+
+    #[test]
+    fn matrix_dimensions() {
+        // AND of n leaves: l = n rows, width = n.
+        let s = structure("A@X AND B@X AND C@X AND D@X");
+        assert_eq!(s.rows(), 4);
+        assert_eq!(s.width(), 4);
+        // OR adds no columns.
+        let s = structure("A@X OR B@X OR C@X");
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.width(), 1);
+        // 2-of-3 adds one column.
+        let s = structure("2 of (A@X, B@X, C@X)");
+        assert_eq!(s.rows(), 3);
+        assert_eq!(s.width(), 2);
+    }
+
+    #[test]
+    fn authority_partitioning() {
+        let s = structure("A@X AND B@Y AND C@X");
+        let auths = s.authorities();
+        assert_eq!(auths.len(), 2);
+        assert_eq!(s.rows_for_authority(&AuthorityId::new("X")), vec![0, 2]);
+        assert_eq!(s.rows_for_authority(&AuthorityId::new("Y")), vec![1]);
+        assert!(s.rows_for_authority(&AuthorityId::new("Z")).is_empty());
+    }
+
+    #[test]
+    fn shares_hide_secret_from_unauthorized_rows() {
+        // For an AND gate, a single share is independent of the secret:
+        // sharing the same secret twice yields different single shares.
+        let s = structure("A@X AND B@Y");
+        let secret = Fr::from_u64(5);
+        let mut r = rng();
+        let sh1 = s.share(&secret, &mut r);
+        let sh2 = s.share(&secret, &mut r);
+        assert_ne!(sh1[0], sh2[0], "share should be randomized");
+    }
+
+    #[test]
+    fn extra_attributes_do_not_hurt() {
+        let s = structure("A@X AND B@Y");
+        let attrs = attrset(&["A@X", "B@Y", "C@Z", "D@W"]);
+        assert!(roundtrip(&s, &attrs).is_some());
+    }
+}

@@ -1,0 +1,421 @@
+//! Recursive-descent parser for the policy language.
+//!
+//! Grammar (case-insensitive keywords `AND`, `OR`, `of`):
+//!
+//! ```text
+//! policy    := or_expr
+//! or_expr   := and_expr ( "OR" and_expr )*
+//! and_expr  := primary ( "AND" primary )*
+//! primary   := attribute | "(" policy ")" | threshold
+//! threshold := integer "of" "(" policy ("," policy)* ")"
+//! attribute := ident "@" ident
+//! ```
+//!
+//! `AND`/`OR` chains of the same operator are flattened into one n-ary
+//! gate, so `A@X AND B@X AND C@X` parses to a single 3-child `And`.
+
+use std::fmt;
+
+use crate::ast::Policy;
+use crate::attr::{is_keyword, is_valid_ident, Attribute};
+#[cfg(test)]
+use crate::attr::AuthorityId;
+
+/// Error produced when a policy string does not parse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    message: String,
+    position: usize,
+}
+
+impl ParsePolicyError {
+    fn new(message: impl Into<String>, position: usize) -> Self {
+        ParsePolicyError { message: message.into(), position }
+    }
+
+    /// Byte offset in the input where the error was detected.
+    pub fn position(&self) -> usize {
+        self.position
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "policy parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Token {
+    Attr(Attribute),
+    Number(usize),
+    And,
+    Or,
+    Of,
+    LParen,
+    RParen,
+    Comma,
+}
+
+struct Lexer<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn tokenize(input: &'a str) -> Result<Vec<(Token, usize)>, ParsePolicyError> {
+        let mut lexer = Lexer { input, pos: 0 };
+        let mut out = Vec::new();
+        while let Some((tok, at)) = lexer.next_token()? {
+            out.push((tok, at));
+        }
+        Ok(out)
+    }
+
+    fn next_token(&mut self) -> Result<Option<(Token, usize)>, ParsePolicyError> {
+        let bytes = self.input.as_bytes();
+        while self.pos < bytes.len() && bytes[self.pos].is_ascii_whitespace() {
+            self.pos += 1;
+        }
+        if self.pos >= bytes.len() {
+            return Ok(None);
+        }
+        let start = self.pos;
+        let c = bytes[self.pos];
+        match c {
+            b'(' => {
+                self.pos += 1;
+                Ok(Some((Token::LParen, start)))
+            }
+            b')' => {
+                self.pos += 1;
+                Ok(Some((Token::RParen, start)))
+            }
+            b',' => {
+                self.pos += 1;
+                Ok(Some((Token::Comma, start)))
+            }
+            _ => {
+                let mut end = self.pos;
+                while end < bytes.len()
+                    && (bytes[end].is_ascii_alphanumeric()
+                        || matches!(bytes[end], b'_' | b'-' | b'.' | b'+' | b'@'))
+                {
+                    end += 1;
+                }
+                if end == self.pos {
+                    return Err(ParsePolicyError::new(
+                        format!("unexpected character {:?}", c as char),
+                        start,
+                    ));
+                }
+                let word = &self.input[self.pos..end];
+                self.pos = end;
+                let token = match word.to_ascii_lowercase().as_str() {
+                    "and" => Token::And,
+                    "or" => Token::Or,
+                    "of" => Token::Of,
+                    _ => {
+                        if let Ok(n) = word.parse::<usize>() {
+                            Token::Number(n)
+                        } else if word.contains('@') {
+                            let attr = word.parse::<Attribute>().map_err(|e| {
+                                ParsePolicyError::new(e.to_string(), start)
+                            })?;
+                            Token::Attr(attr)
+                        } else if is_valid_ident(word) && !is_keyword(word) {
+                            return Err(ParsePolicyError::new(
+                                format!("attribute {word:?} is missing its @authority qualifier"),
+                                start,
+                            ));
+                        } else {
+                            return Err(ParsePolicyError::new(
+                                format!("unrecognised token {word:?}"),
+                                start,
+                            ));
+                        }
+                    }
+                };
+                Ok(Some((token, start)))
+            }
+        }
+    }
+}
+
+struct Parser {
+    tokens: Vec<(Token, usize)>,
+    index: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.index).map(|(t, _)| t)
+    }
+
+    fn here(&self) -> usize {
+        self.tokens.get(self.index).map_or(self.input_len, |(_, p)| *p)
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let tok = self.tokens.get(self.index).map(|(t, _)| t.clone());
+        if tok.is_some() {
+            self.index += 1;
+        }
+        tok
+    }
+
+    fn expect(&mut self, want: &Token, what: &str) -> Result<(), ParsePolicyError> {
+        let at = self.here();
+        match self.advance() {
+            Some(ref t) if t == want => Ok(()),
+            Some(t) => Err(ParsePolicyError::new(format!("expected {what}, found {t:?}"), at)),
+            None => Err(ParsePolicyError::new(format!("expected {what}, found end of input"), at)),
+        }
+    }
+
+    fn or_expr(&mut self) -> Result<Policy, ParsePolicyError> {
+        let mut children = vec![self.and_expr()?];
+        while matches!(self.peek(), Some(Token::Or)) {
+            self.advance();
+            children.push(self.and_expr()?);
+        }
+        Ok(if children.len() == 1 { children.pop().unwrap() } else { Policy::Or(children) })
+    }
+
+    fn and_expr(&mut self) -> Result<Policy, ParsePolicyError> {
+        let mut children = vec![self.primary()?];
+        while matches!(self.peek(), Some(Token::And)) {
+            self.advance();
+            children.push(self.primary()?);
+        }
+        Ok(if children.len() == 1 { children.pop().unwrap() } else { Policy::And(children) })
+    }
+
+    fn primary(&mut self) -> Result<Policy, ParsePolicyError> {
+        let at = self.here();
+        match self.advance() {
+            Some(Token::Attr(a)) => Ok(Policy::Leaf(a)),
+            Some(Token::LParen) => {
+                let inner = self.or_expr()?;
+                self.expect(&Token::RParen, "')'")?;
+                Ok(inner)
+            }
+            Some(Token::Number(k)) => {
+                self.expect(&Token::Of, "'of' after threshold count")?;
+                self.expect(&Token::LParen, "'(' after 'of'")?;
+                let mut children = vec![self.or_expr()?];
+                while matches!(self.peek(), Some(Token::Comma)) {
+                    self.advance();
+                    children.push(self.or_expr()?);
+                }
+                self.expect(&Token::RParen, "')' closing threshold list")?;
+                if k == 0 || k > children.len() {
+                    return Err(ParsePolicyError::new(
+                        format!("threshold {k} of {} is out of range", children.len()),
+                        at,
+                    ));
+                }
+                Ok(Policy::Threshold { k, children })
+            }
+            Some(t) => Err(ParsePolicyError::new(format!("unexpected token {t:?}"), at)),
+            None => Err(ParsePolicyError::new("unexpected end of input", at)),
+        }
+    }
+}
+
+/// Parses a policy string.
+///
+/// # Errors
+///
+/// Returns [`ParsePolicyError`] with a byte position for lexical errors,
+/// malformed attributes, unbalanced parentheses, out-of-range thresholds or
+/// trailing input.
+///
+/// # Examples
+///
+/// ```
+/// let p = mabe_policy::parse("(Doctor@Med AND Researcher@Trial) OR Admin@Med").unwrap();
+/// assert_eq!(p.leaves().len(), 3);
+/// ```
+pub fn parse(input: &str) -> Result<Policy, ParsePolicyError> {
+    let tokens = Lexer::tokenize(input)?;
+    if tokens.is_empty() {
+        return Err(ParsePolicyError::new("empty policy", 0));
+    }
+    let mut parser = Parser { tokens, index: 0, input_len: input.len() };
+    let policy = parser.or_expr()?;
+    if parser.index != parser.tokens.len() {
+        let at = parser.here();
+        return Err(ParsePolicyError::new("trailing input after policy", at));
+    }
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn attr(n: &str, a: &str) -> Attribute {
+        Attribute::new(n, AuthorityId::new(a))
+    }
+
+    #[test]
+    fn single_attribute() {
+        assert_eq!(parse("Doctor@Med").unwrap(), Policy::Leaf(attr("Doctor", "Med")));
+    }
+
+    #[test]
+    fn flat_and_or() {
+        let p = parse("A@X AND B@X AND C@Y").unwrap();
+        assert_eq!(
+            p,
+            Policy::And(vec![
+                Policy::Leaf(attr("A", "X")),
+                Policy::Leaf(attr("B", "X")),
+                Policy::Leaf(attr("C", "Y")),
+            ])
+        );
+        let q = parse("A@X OR B@X").unwrap();
+        assert!(matches!(q, Policy::Or(ref cs) if cs.len() == 2));
+    }
+
+    #[test]
+    fn precedence_and_binds_tighter() {
+        let p = parse("A@X OR B@X AND C@X").unwrap();
+        assert_eq!(
+            p,
+            Policy::Or(vec![
+                Policy::Leaf(attr("A", "X")),
+                Policy::And(vec![Policy::Leaf(attr("B", "X")), Policy::Leaf(attr("C", "X"))]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parentheses_override_precedence() {
+        let p = parse("(A@X OR B@X) AND C@X").unwrap();
+        assert_eq!(
+            p,
+            Policy::And(vec![
+                Policy::Or(vec![Policy::Leaf(attr("A", "X")), Policy::Leaf(attr("B", "X"))]),
+                Policy::Leaf(attr("C", "X")),
+            ])
+        );
+    }
+
+    #[test]
+    fn threshold_gate() {
+        let p = parse("2 of (A@X, B@Y, C@Z)").unwrap();
+        assert_eq!(
+            p,
+            Policy::Threshold {
+                k: 2,
+                children: vec![
+                    Policy::Leaf(attr("A", "X")),
+                    Policy::Leaf(attr("B", "Y")),
+                    Policy::Leaf(attr("C", "Z")),
+                ],
+            }
+        );
+    }
+
+    #[test]
+    fn nested_threshold_with_compound_children() {
+        let p = parse("2 of (A@X AND B@X, C@Y, D@Z OR E@Z)").unwrap();
+        if let Policy::Threshold { k, children } = p {
+            assert_eq!(k, 2);
+            assert_eq!(children.len(), 3);
+            assert!(matches!(children[0], Policy::And(_)));
+            assert!(matches!(children[2], Policy::Or(_)));
+        } else {
+            panic!("expected threshold");
+        }
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("A@X and B@Y or C@Z").is_ok());
+        assert!(parse("2 OF (A@X, B@Y)").is_ok());
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(parse("").is_err());
+        assert!(parse("A@X AND").is_err());
+        assert!(parse("(A@X").is_err());
+        assert!(parse("A@X)").is_err());
+        assert!(parse("A@X B@Y").is_err());
+        assert!(parse("NoAuthority").is_err());
+        assert!(parse("3 of (A@X, B@Y)").is_err()); // k > n
+        assert!(parse("0 of (A@X)").is_err());
+        assert!(parse("A@X & B@Y").is_err());
+        assert!(parse("2 of A@X").is_err());
+    }
+
+    #[test]
+    fn error_position_reported() {
+        let err = parse("A@X AND !").unwrap_err();
+        assert_eq!(err.position(), 8);
+        assert!(err.to_string().contains("byte 8"));
+    }
+
+    mod fuzz {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// The parser never panics, whatever bytes arrive.
+            #[test]
+            fn parser_total_on_arbitrary_ascii(input in "[ -~]{0,64}") {
+                let _ = parse(&input);
+            }
+
+            /// Near-grammar soup: tokens in random order never panic, and
+            /// a successful parse must display/re-parse to the same AST.
+            #[test]
+            fn parser_total_on_token_soup(
+                tokens in prop::collection::vec(
+                    prop_oneof![
+                        Just("A@X".to_string()),
+                        Just("b1@Y".to_string()),
+                        Just("AND".to_string()),
+                        Just("OR".to_string()),
+                        Just("of".to_string()),
+                        Just("(".to_string()),
+                        Just(")".to_string()),
+                        Just(",".to_string()),
+                        Just("2".to_string()),
+                    ],
+                    0..12
+                )
+            ) {
+                let input = tokens.join(" ");
+                if let Ok(policy) = parse(&input) {
+                    let reparsed = parse(&policy.to_string()).unwrap();
+                    prop_assert_eq!(policy, reparsed);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn display_parse_roundtrip() {
+        let cases = [
+            "Doctor@Med",
+            "(A@X AND B@Y)",
+            "(A@X OR (B@Y AND C@Z))",
+            "2 of (A@X, B@Y, C@Z)",
+            "((A@X AND B@Y) OR 2 of (C@Z, D@Z, E@W))",
+        ];
+        for case in cases {
+            let p = parse(case).unwrap();
+            let reparsed = parse(&p.to_string()).unwrap();
+            assert_eq!(p, reparsed, "roundtrip failed for {case}");
+        }
+    }
+}

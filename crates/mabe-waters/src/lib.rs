@@ -1,0 +1,336 @@
+//! # mabe-waters
+//!
+//! Single-authority baseline: **Waters' CP-ABE** (PKC 2011,
+//! construction 1, random-oracle attribute hashing) — the paper's
+//! reference \[3\]. Two reasons it belongs in this reproduction:
+//!
+//! 1. The paper's Theorem 2 reduces its multi-authority security game to
+//!    "the construction in \[3\]" — this crate is that construction,
+//!    executable on the same pairing.
+//! 2. It demonstrates §II's point that single-authority CP-ABE cannot
+//!    serve multi-authority systems: one authority manages the entire
+//!    attribute universe and, holding `MK = g^α`, can issue itself keys
+//!    for any attribute set (pinned by the escrow test below).
+//!
+//! ## Scheme
+//!
+//! * `Setup`: `α, a ∈ Z_p`; `PK = (g, g^a, e(g,g)^α)`, `MK = g^α`.
+//! * `KeyGen(S)`: `t` random; `K = g^α·g^{at}`, `L = g^t`,
+//!   `K_x = H(x)^t` for `x ∈ S`.
+//! * `Encrypt(m, (M, ρ))`: shares `λ_i` of `s`; per row `r_i` random:
+//!   `C = m·e(g,g)^{αs}`, `C' = g^s`,
+//!   `C_i = g^{aλ_i}·H(ρ(i))^{-r_i}`, `D_i = g^{r_i}`.
+//! * `Decrypt`: `e(C', K) / Π_i (e(C_i, L)·e(D_i, K_{ρ(i)}))^{w_i}
+//!   = e(g,g)^{αs}`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use rand::RngCore;
+
+use mabe_math::{generator_mul, hash_to_curve, pairing, Fr, G1Affine, Gt, G1};
+use mabe_policy::{AccessStructure, Attribute};
+
+/// Errors from the Waters scheme.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WatersError {
+    /// The key's attribute set does not satisfy the access structure.
+    PolicyNotSatisfied,
+}
+
+impl fmt::Display for WatersError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WatersError::PolicyNotSatisfied => {
+                write!(f, "attributes do not satisfy the access policy")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WatersError {}
+
+/// Hash of an attribute onto the group (`H : {0,1}* → G`).
+fn hash_attr(attr: &Attribute) -> G1Affine {
+    hash_to_curve(&[b"waters-attr:", attr.canonical_bytes().as_slice()].concat())
+}
+
+/// The single authority: public parameters plus the master key.
+pub struct WatersAuthority {
+    alpha: Fr,
+    a: Fr,
+}
+
+/// Public parameters `(g, g^a, e(g,g)^α)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatersPublicKey {
+    /// `g^a`.
+    pub g_a: G1Affine,
+    /// `e(g,g)^α`.
+    pub e_alpha: Gt,
+}
+
+/// A user's secret key for an attribute set.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatersUserKey {
+    /// `K = g^α · g^{at}`.
+    pub k: G1Affine,
+    /// `L = g^t`.
+    pub l: G1Affine,
+    /// `K_x = H(x)^t` per attribute.
+    pub kx: BTreeMap<Attribute, G1Affine>,
+}
+
+/// A Waters ciphertext.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WatersCiphertext {
+    /// `C = m · e(g,g)^{αs}`.
+    pub c: Gt,
+    /// `C' = g^s`.
+    pub c_prime: G1Affine,
+    /// Per-row `(C_i, D_i)`.
+    pub rows: Vec<(G1Affine, G1Affine)>,
+    /// The embedded access structure.
+    pub access: AccessStructure,
+}
+
+impl WatersCiphertext {
+    /// Wire size in bytes with the workspace's element accounting
+    /// (`|G_T| + (2l + 1)·|G|`; `|G|` = 65 B, `|G_T|` = 128 B).
+    pub fn wire_size(&self) -> usize {
+        128 + (2 * self.rows.len() + 1) * 65
+    }
+}
+
+impl WatersUserKey {
+    /// Wire size in bytes (`(n + 2)·|G|`).
+    pub fn wire_size(&self) -> usize {
+        (self.kx.len() + 2) * 65
+    }
+}
+
+impl WatersAuthority {
+    /// Runs `Setup`.
+    pub fn setup<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        WatersAuthority { alpha: nonzero(rng), a: nonzero(rng) }
+    }
+
+    /// The public parameters.
+    pub fn public_key(&self) -> WatersPublicKey {
+        WatersPublicKey {
+            g_a: G1Affine::from(generator_mul(&self.a)),
+            e_alpha: Gt::generator().pow(&self.alpha),
+        }
+    }
+
+    /// Runs `KeyGen` for an attribute set. Note: there is ONE authority
+    /// for the whole universe — any `Attribute` is in scope, whatever
+    /// its `@authority` label claims. That is precisely the
+    /// single-authority limitation the paper's system removes.
+    pub fn keygen<R: RngCore + ?Sized>(
+        &self,
+        attrs: &BTreeSet<Attribute>,
+        rng: &mut R,
+    ) -> WatersUserKey {
+        let t = nonzero(rng);
+        let k = generator_mul(&self.alpha).add(&generator_mul(&self.a.mul(&t)));
+        let l = G1Affine::from(generator_mul(&t));
+        let kx = attrs
+            .iter()
+            .map(|x| (x.clone(), G1Affine::from(G1::from(hash_attr(x)).mul(&t))))
+            .collect();
+        WatersUserKey { k: G1Affine::from(k), l, kx }
+    }
+}
+
+fn nonzero<R: RngCore + ?Sized>(rng: &mut R) -> Fr {
+    loop {
+        let candidate = Fr::random(rng);
+        if !candidate.is_zero() {
+            return candidate;
+        }
+    }
+}
+
+/// Runs `Encrypt` over a `G_T` message.
+pub fn encrypt<R: RngCore + ?Sized>(
+    message: &Gt,
+    access: &AccessStructure,
+    pk: &WatersPublicKey,
+    rng: &mut R,
+) -> WatersCiphertext {
+    let s = nonzero(rng);
+    let shares = access.share(&s, rng);
+    let c = message.mul(&pk.e_alpha.pow(&s));
+    let c_prime = G1Affine::from(generator_mul(&s));
+    let mut projective = Vec::with_capacity(2 * access.rows());
+    for (i, lambda) in shares.iter().enumerate() {
+        let r_i = nonzero(rng);
+        let attr = &access.rho()[i];
+        // C_i = (g^a)^{λ_i} · H(ρ(i))^{-r_i}
+        projective.push(
+            G1::from(pk.g_a)
+                .mul(lambda)
+                .add(&G1::from(hash_attr(attr)).mul(&r_i).neg()),
+        );
+        // D_i = g^{r_i}
+        projective.push(generator_mul(&r_i));
+    }
+    let affine = mabe_math::batch_normalize(&projective);
+    let rows = affine.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
+    WatersCiphertext { c, c_prime, rows, access: access.clone() }
+}
+
+/// Runs `Decrypt`.
+///
+/// # Errors
+///
+/// [`WatersError::PolicyNotSatisfied`] if the key's attributes cannot
+/// reconstruct the sharing.
+pub fn decrypt(ct: &WatersCiphertext, key: &WatersUserKey) -> Result<Gt, WatersError> {
+    let attrs: BTreeSet<Attribute> = key.kx.keys().cloned().collect();
+    let coefficients = ct
+        .access
+        .reconstruction_coefficients(&attrs)
+        .ok_or(WatersError::PolicyNotSatisfied)?;
+    let numerator = pairing(&ct.c_prime, &key.k);
+    let mut denominator = Gt::one();
+    for (row, w) in &coefficients {
+        let attr = &ct.access.rho()[*row];
+        let kx = key.kx.get(attr).ok_or(WatersError::PolicyNotSatisfied)?;
+        let (c_i, d_i) = &ct.rows[*row];
+        let term = pairing(c_i, &key.l).mul(&pairing(d_i, kx));
+        denominator = denominator.mul(&term.pow(w));
+    }
+    Ok(ct.c.div(&numerator.div(&denominator)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabe_policy::parse;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2011)
+    }
+
+    fn access(src: &str) -> AccessStructure {
+        AccessStructure::from_policy(&parse(src).unwrap()).unwrap()
+    }
+
+    fn attrset(items: &[&str]) -> BTreeSet<Attribute> {
+        items.iter().map(|s| s.parse().unwrap()).collect()
+    }
+
+    #[test]
+    fn roundtrip_simple_and_threshold() {
+        let mut r = rng();
+        let auth = WatersAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        for policy in ["A@U", "A@U AND B@U", "2 of (A@U, B@U, C@U)"] {
+            let ct = encrypt(&msg, &access(policy), &pk, &mut r);
+            let key = auth.keygen(&attrset(&["A@U", "B@U"]), &mut r);
+            assert_eq!(decrypt(&ct, &key).unwrap(), msg, "policy {policy}");
+        }
+    }
+
+    #[test]
+    fn unsatisfying_rejected() {
+        let mut r = rng();
+        let auth = WatersAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        let ct = encrypt(&msg, &access("A@U AND B@U"), &pk, &mut r);
+        let key = auth.keygen(&attrset(&["A@U"]), &mut r);
+        assert_eq!(decrypt(&ct, &key), Err(WatersError::PolicyNotSatisfied));
+    }
+
+    #[test]
+    fn collusion_fails() {
+        // User 1 holds A, user 2 holds B; splicing K_x across keys (the
+        // per-key randomness t differs) must not decrypt A AND B.
+        let mut r = rng();
+        let auth = WatersAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        let ct = encrypt(&msg, &access("A@U AND B@U"), &pk, &mut r);
+        let k1 = auth.keygen(&attrset(&["A@U"]), &mut r);
+        let k2 = auth.keygen(&attrset(&["B@U"]), &mut r);
+        let mut franken = k1.clone();
+        franken.kx.extend(k2.kx.clone());
+        assert_ne!(decrypt(&ct, &franken).unwrap(), msg);
+        // Using user 2's L doesn't help either.
+        franken.l = k2.l;
+        assert_ne!(decrypt(&ct, &franken).unwrap(), msg);
+    }
+
+    #[test]
+    fn single_authority_escrow_over_the_whole_universe() {
+        // §II's motivation, executable: one authority spans every
+        // "organization" — it can mint keys for attributes that
+        // semantically belong to different domains, so no real
+        // multi-authority trust separation exists.
+        let mut r = rng();
+        let auth = WatersAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        // A policy that *looks* multi-authority:
+        let ct = encrypt(&msg, &access("Doctor@MedOrg AND Researcher@Trial"), &pk, &mut r);
+        // The single authority grants itself everything and decrypts.
+        let self_issued =
+            auth.keygen(&attrset(&["Doctor@MedOrg", "Researcher@Trial"]), &mut r);
+        assert_eq!(decrypt(&ct, &self_issued).unwrap(), msg);
+    }
+
+    #[test]
+    fn rerandomized_keys_and_ciphertexts() {
+        let mut r = rng();
+        let auth = WatersAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let k1 = auth.keygen(&attrset(&["A@U"]), &mut r);
+        let k2 = auth.keygen(&attrset(&["A@U"]), &mut r);
+        assert_ne!(k1, k2, "fresh t per key");
+        let msg = Gt::random(&mut r);
+        let ct1 = encrypt(&msg, &access("A@U"), &pk, &mut r);
+        let ct2 = encrypt(&msg, &access("A@U"), &pk, &mut r);
+        assert_ne!(ct1.c, ct2.c);
+        // Both keys decrypt both ciphertexts.
+        for ct in [&ct1, &ct2] {
+            for key in [&k1, &k2] {
+                assert_eq!(decrypt(ct, key).unwrap(), msg);
+            }
+        }
+    }
+
+    #[test]
+    fn complex_policy() {
+        let mut r = rng();
+        let auth = WatersAuthority::setup(&mut r);
+        let pk = auth.public_key();
+        let msg = Gt::random(&mut r);
+        let ct = encrypt(
+            &msg,
+            &access("(A@U AND B@U) OR 2 of (C@U, D@U, E@U)"),
+            &pk,
+            &mut r,
+        );
+        assert_eq!(
+            decrypt(&ct, &auth.keygen(&attrset(&["C@U", "E@U"]), &mut r)).unwrap(),
+            msg
+        );
+        assert_eq!(
+            decrypt(&ct, &auth.keygen(&attrset(&["A@U", "B@U"]), &mut r)).unwrap(),
+            msg
+        );
+        assert_eq!(
+            decrypt(&ct, &auth.keygen(&attrset(&["A@U", "C@U"]), &mut r)),
+            Err(WatersError::PolicyNotSatisfied)
+        );
+    }
+}

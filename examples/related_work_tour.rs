@@ -1,0 +1,109 @@
+//! A guided tour of the paper's §II related-work argument, with every
+//! claim executed against a real implementation:
+//!
+//! 1. **KP-ABE (GPSW06 [22])**: the policy lives in the key — data
+//!    owners cannot choose who reads their data.
+//! 2. **Single-authority CP-ABE (Waters11 [3])**: owners get policies,
+//!    but one authority spans every organization and can self-issue
+//!    any key.
+//! 3. **Chase07 multi-authority ABE [7]**: multiple authorities, but a
+//!    central authority that can decrypt everything, and only strict
+//!    AND policies.
+//! 4. **The paper's scheme**: owner-chosen LSSS policies, independent
+//!    authorities, no decrypting central party.
+//!
+//! Run with: `cargo run --release --example related_work_tour`
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe::math::Gt;
+use mabe::policy::{parse, AccessStructure, Attribute};
+
+fn attrset(items: &[&str]) -> BTreeSet<Attribute> {
+    items.iter().map(|s| s.parse().unwrap()).collect()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(536);
+    let msg = Gt::random(&mut rng);
+
+    // ------------------------------------------------------------------
+    println!("1. GPSW06 KP-ABE: the key carries the policy, not the data.");
+    let gpsw = mabe::gpsw::GpswAuthority::setup(&mut rng);
+    let gpsw_pk = gpsw.public_key();
+    // The OWNER can only label data with attributes…
+    let ct = mabe::gpsw::encrypt(&msg, &attrset(&["Medical@Sys", "Y2012@Sys"]), &gpsw_pk, &mut rng);
+    // …the AUTHORITY decides who reads what by shaping key policies.
+    let auditor_key = gpsw.keygen(
+        &AccessStructure::from_policy(&parse("Medical@Sys AND Y2012@Sys")?)?,
+        &mut rng,
+    );
+    assert_eq!(mabe::gpsw::decrypt(&ct, &auditor_key).unwrap(), msg);
+    println!("   -> owner tagged the record; the authority's key policy decided access\n");
+
+    // ------------------------------------------------------------------
+    println!("2. Waters11 CP-ABE: owner-chosen policy, but ONE authority for everything.");
+    let waters = mabe::waters::WatersAuthority::setup(&mut rng);
+    let waters_pk = waters.public_key();
+    let policy = AccessStructure::from_policy(&parse("Doctor@MedOrg AND Researcher@Trial")?)?;
+    let ct = mabe::waters::encrypt(&msg, &policy, &waters_pk, &mut rng);
+    // The single authority can mint BOTH "organizations'" attributes.
+    let self_issued = waters.keygen(&attrset(&["Doctor@MedOrg", "Researcher@Trial"]), &mut rng);
+    assert_eq!(mabe::waters::decrypt(&ct, &self_issued).unwrap(), msg);
+    println!("   -> the one authority self-issued Doctor@MedOrg AND Researcher@Trial: no trust separation\n");
+
+    // ------------------------------------------------------------------
+    println!("3. Chase07: multiple authorities, but a central escrow + AND-only.");
+    let chase = mabe::chase::ChaseSystem::setup(
+        &[("MedOrg", &["Doctor"], 1), ("Trial", &["Researcher"], 1)],
+        &mut rng,
+    );
+    let chase_pk = chase.public_keys();
+    let named = attrset(&["Doctor@MedOrg", "Researcher@Trial"]);
+    let ct = mabe::chase::encrypt(&msg, &named, &chase_pk, &mut rng)?;
+    // The central authority decrypts with NO attribute keys at all.
+    assert_eq!(chase.central_decrypt(&ct), msg);
+    println!("   -> central authority decrypted without any attributes (the escrow the paper removes)\n");
+
+    // ------------------------------------------------------------------
+    println!("4. The paper's scheme: owner policies + independent authorities + no escrow.");
+    let mut ca = mabe::core::CertificateAuthority::new();
+    let med = ca.register_authority("MedOrg")?;
+    let trial = ca.register_authority("Trial")?;
+    let mut aa_med = mabe::core::AttributeAuthority::new(med.clone(), &["Doctor"], &mut rng);
+    let mut aa_trial =
+        mabe::core::AttributeAuthority::new(trial.clone(), &["Researcher"], &mut rng);
+    let mut owner = mabe::core::DataOwner::new(mabe::core::OwnerId::new("owner"), &mut rng);
+    aa_med.register_owner(owner.owner_secret_key())?;
+    aa_trial.register_owner(owner.owner_secret_key())?;
+    owner.learn_authority_keys(aa_med.public_keys());
+    owner.learn_authority_keys(aa_trial.public_keys());
+
+    let alice = ca.register_user("alice", &mut rng)?;
+    aa_med.grant(&alice, ["Doctor@MedOrg".parse()?])?;
+    aa_trial.grant(&alice, ["Researcher@Trial".parse()?])?;
+    let keys = BTreeMap::from([
+        (med.clone(), aa_med.keygen(&alice.uid, owner.id())?),
+        (trial.clone(), aa_trial.keygen(&alice.uid, owner.id())?),
+    ]);
+
+    // The OWNER picks an expressive cross-authority policy.
+    let ct = owner.encrypt_message(
+        &msg,
+        &parse("Doctor@MedOrg AND Researcher@Trial")?,
+        &mut rng,
+    )?;
+    assert_eq!(mabe::core::decrypt(&ct, &alice, &keys)?, msg);
+    // The CA knows every UID and still cannot decrypt: it holds no
+    // attribute material whatsoever (type-level: CertificateAuthority
+    // exposes nothing but registration and public keys).
+    // And neither authority alone can: each is missing the other's α.
+    println!("   -> alice (attributes from two independent authorities) decrypted;");
+    println!("      no single party in the system could have\n");
+
+    println!("related-work tour complete ✔");
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Walks the paper's §III-B security game with the executable
+//! challenger from `mabe-core::game`:
+//!
+//! 1. static corruption of one authority (its version key goes to the
+//!    adversary),
+//! 2. adaptive secret-key queries,
+//! 3. a challenge that the challenger validates against the
+//!    `(1,0,…,0) ∉ span(V ∪ V_UID)` constraint,
+//! 4. refused "winning" queries in phase 2, and
+//! 5. the guess.
+//!
+//! Run with: `cargo run --example security_game`
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe::core::game::{Challenger, GameError};
+use mabe::math::Gt;
+use mabe::policy::{parse, AccessStructure, AuthorityId};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec: &[(&str, &[&str])] = &[
+        ("Hospital", &["Doctor", "Nurse"]),
+        ("Trial", &["Researcher"]),
+        ("Insurer", &["Adjuster"]),
+    ];
+    // The adversary statically corrupts the Insurer.
+    let corrupt: BTreeSet<&str> = ["Insurer"].into();
+    let (mut challenger, transcript) =
+        Challenger::setup(spec, &corrupt, StdRng::seed_from_u64(31337));
+    println!(
+        "setup: {} authorities public, {} corrupted (version keys disclosed)",
+        transcript.public_keys.len(),
+        transcript.corrupted_version_keys.len()
+    );
+
+    // Phase 1: adaptive key queries.
+    let hospital = AuthorityId::new("Hospital");
+    let trial = AuthorityId::new("Trial");
+    challenger.query_key("adv", &hospital, &["Doctor@Hospital".parse()?])?;
+    println!("phase 1: adv obtained Doctor@Hospital");
+    match challenger.query_key("adv", &AuthorityId::new("Insurer"), &["Adjuster@Insurer".parse()?]) {
+        Err(GameError::QueryAgainstCorrupted(_)) => {
+            println!("phase 1: query against corrupted Insurer refused (adv already has its secrets)")
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // Challenge. First try a structure the adversary can already
+    // decrypt (Doctor alone, or anything the corrupted Insurer row
+    // spans) — the challenger must refuse.
+    let mut rng = StdRng::seed_from_u64(99);
+    let (m0, m1) = (Gt::random(&mut rng), Gt::random(&mut rng));
+    let bad = AccessStructure::from_policy(&parse("Doctor@Hospital OR Adjuster@Insurer")?)?;
+    match challenger.challenge(&m0, &m1, &bad) {
+        Err(GameError::ChallengeConstraintViolated(_)) => {
+            println!("challenge on decryptable structure refused ✔")
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // A legal challenge: Doctor AND Researcher (adv lacks Researcher).
+    let good = AccessStructure::from_policy(&parse(
+        "(Doctor@Hospital AND Researcher@Trial) OR (Nurse@Hospital AND Adjuster@Insurer)",
+    )?)?;
+    let _ct = challenger.challenge(&m0, &m1, &good)?;
+    println!("challenge issued on: {}", good.policy());
+
+    // Phase 2: the query that would complete a decrypting set is refused…
+    match challenger.query_key("adv", &trial, &["Researcher@Trial".parse()?]) {
+        Err(GameError::QueryConstraintViolated(_)) => {
+            println!("phase 2: Researcher@Trial for adv refused (would decrypt the challenge)")
+        }
+        other => panic!("unexpected: {other:?}"),
+    }
+    // …while an unrelated user may hold it.
+    challenger.query_key("bystander", &trial, &["Researcher@Trial".parse()?])?;
+    println!("phase 2: same attribute for a different UID granted");
+    // Nurse for adv is also fine (Nurse AND Adjuster needs the corrupted
+    // row, but Nurse alone does not complete any decrypting set… wait —
+    // Insurer is corrupted, so Nurse@Hospital WOULD complete the second
+    // disjunct. The challenger catches exactly this:
+    match challenger.query_key("adv", &hospital, &["Nurse@Hospital".parse()?]) {
+        Err(GameError::QueryConstraintViolated(_)) => println!(
+            "phase 2: Nurse@Hospital for adv refused (corrupted Insurer row would complete it)"
+        ),
+        other => panic!("unexpected: {other:?}"),
+    }
+
+    // Guess.
+    let won = challenger.guess(false)?;
+    println!("adv guessed b' = 0: {}", if won { "correct" } else { "wrong" });
+    println!("\n§III-B game mechanics verified ✔");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! # mabe — Multi-Authority Attribute-Based Access Control for Cloud Storage
+//!
+//! A comprehensive Rust reproduction of Kan Yang & Xiaohua Jia,
+//! *"Attribute-based Access Control for Multi-Authority Systems in Cloud
+//! Storage"*, ICDCS 2012.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`math`] — the from-scratch type-A pairing substrate (512-bit base
+//!   field, 160-bit group, symmetric Tate pairing — the PBC curve the
+//!   paper benchmarked on).
+//! * [`crypto`] — SHA-256 / HMAC / HKDF / ChaCha20-Poly1305, all from
+//!   scratch with RFC vectors.
+//! * [`policy`] — the `attr@authority` policy language and the LSSS
+//!   engine.
+//! * [`core`] — the paper's multi-authority CP-ABE with attribute
+//!   revocation (the headline contribution).
+//! * [`lewko`] — the Lewko–Waters decentralized ABE baseline the paper
+//!   compares against.
+//! * [`chase`] — the Chase (TCC 2007) multi-authority ABE with a central
+//!   authority, executable evidence for Table I's first comparison row.
+//! * [`waters`] — Waters' single-authority CP-ABE (PKC 2011), the paper's
+//!   reference \[3\] and the construction its security proof reduces to.
+//! * [`gpsw`] — GPSW key-policy ABE (CCS 2006), the paper's reference
+//!   \[22\]; its types demonstrate why KP-ABE denies owners policy control.
+//! * [`cloud`] — the simulated five-entity cloud deployment.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mabe::cloud::CloudSystem;
+//!
+//! let mut sys = CloudSystem::new(7);
+//! sys.add_authority("MedOrg", &["Doctor", "Nurse"])?;
+//! sys.add_authority("Trial", &["Researcher"])?;
+//! let owner = sys.add_owner("hospital")?;
+//! let alice = sys.add_user("alice")?;
+//! sys.grant(&alice, &["Doctor@MedOrg", "Researcher@Trial"])?;
+//!
+//! sys.publish(&owner, "patient-7", &[
+//!     ("diagnosis", b"flu".as_slice(), "Doctor@MedOrg"),
+//!     ("trial", b"cohort A".as_slice(), "Doctor@MedOrg AND Researcher@Trial"),
+//! ])?;
+//!
+//! assert_eq!(sys.read(&alice, &owner, "patient-7", "trial")?, b"cohort A");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! ## Security disclaimer
+//!
+//! Research reproduction only: variable-time arithmetic, 2012-era curve
+//! parameters, and a scheme with later-published cryptanalysis. Do not
+//! use to protect real data.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use mabe_chase as chase;
+pub use mabe_cloud as cloud;
+pub use mabe_core as core;
+pub use mabe_crypto as crypto;
+pub use mabe_lewko as lewko;
+pub use mabe_math as math;
+pub use mabe_policy as policy;
+pub use mabe_gpsw as gpsw;
+pub use mabe_waters as waters;

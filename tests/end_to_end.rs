@@ -1,0 +1,248 @@
+//! Workspace integration tests: the full multi-authority lifecycle
+//! across `mabe-math`, `mabe-policy`, `mabe-core` and `mabe-cloud`.
+
+use mabe::cloud::{CloudError, CloudSystem};
+use mabe::core::Error;
+use mabe::policy::AuthorityId;
+
+/// A larger deployment: 3 authorities, 2 owners, 5 users, mixed
+/// policies, interleaved publishes/reads/revocations.
+#[test]
+fn hospital_university_insurer_scenario() {
+    let mut sys = CloudSystem::new(0xabcd);
+    sys.add_authority("Hospital", &["Doctor", "Nurse", "Pharmacist"]).unwrap();
+    sys.add_authority("University", &["Professor", "Student"]).unwrap();
+    sys.add_authority("Insurer", &["Adjuster"]).unwrap();
+
+    let hospital_data = sys.add_owner("hospital-data").unwrap();
+    let research_data = sys.add_owner("research-data").unwrap();
+
+    let dr_a = sys.add_user("dr-a").unwrap();
+    sys.grant(&dr_a, &["Doctor@Hospital", "Professor@University"]).unwrap();
+    let nurse_b = sys.add_user("nurse-b").unwrap();
+    sys.grant(&nurse_b, &["Nurse@Hospital"]).unwrap();
+    let student_c = sys.add_user("student-c").unwrap();
+    sys.grant(&student_c, &["Student@University", "Pharmacist@Hospital"]).unwrap();
+    let adjuster_d = sys.add_user("adjuster-d").unwrap();
+    sys.grant(&adjuster_d, &["Adjuster@Insurer", "Nurse@Hospital"]).unwrap();
+    let prof_e = sys.add_user("prof-e").unwrap();
+    sys.grant(&prof_e, &["Professor@University", "Doctor@Hospital"]).unwrap();
+
+    sys.publish(
+        &hospital_data,
+        "ward-log",
+        &[
+            ("entries", b"day 1: ...".as_slice(), "Doctor@Hospital OR Nurse@Hospital"),
+            ("scripts", b"amoxicillin".as_slice(), "Pharmacist@Hospital OR Doctor@Hospital"),
+        ],
+    )
+    .unwrap();
+    sys.publish(
+        &research_data,
+        "paper-draft",
+        &[
+            (
+                "methods",
+                b"double blind".as_slice(),
+                "Professor@University AND Doctor@Hospital",
+            ),
+            (
+                "claims-data",
+                b"2019-2021".as_slice(),
+                "Adjuster@Insurer AND Nurse@Hospital",
+            ),
+        ],
+    )
+    .unwrap();
+
+    // Access matrix before revocations.
+    assert!(sys.read(&dr_a, &hospital_data, "ward-log", "entries").is_ok());
+    assert!(sys.read(&nurse_b, &hospital_data, "ward-log", "entries").is_ok());
+    assert!(sys.read(&student_c, &hospital_data, "ward-log", "scripts").is_ok());
+    assert!(sys.read(&student_c, &hospital_data, "ward-log", "entries").is_err());
+    assert!(sys.read(&dr_a, &research_data, "paper-draft", "methods").is_ok());
+    assert!(sys.read(&prof_e, &research_data, "paper-draft", "methods").is_ok());
+    assert!(sys.read(&adjuster_d, &research_data, "paper-draft", "claims-data").is_ok());
+    assert!(sys.read(&nurse_b, &research_data, "paper-draft", "claims-data").is_err());
+
+    // Revoke dr-a's Doctor attribute; Hospital moves to v2 and both
+    // owners' affected ciphertexts get re-encrypted.
+    sys.revoke(&dr_a, "Doctor@Hospital").unwrap();
+    assert_eq!(sys.authority_version(&AuthorityId::new("Hospital")), Some(2));
+
+    assert!(sys.read(&dr_a, &hospital_data, "ward-log", "entries").is_err());
+    assert!(sys.read(&dr_a, &research_data, "paper-draft", "methods").is_err());
+    // dr-a keeps Professor@University (different authority untouched).
+    // prof-e unaffected across both owners.
+    assert!(sys.read(&prof_e, &hospital_data, "ward-log", "entries").is_ok());
+    assert!(sys.read(&prof_e, &research_data, "paper-draft", "methods").is_ok());
+    // University version unchanged.
+    assert_eq!(sys.authority_version(&AuthorityId::new("University")), Some(1));
+
+    // Re-grant: dr-a is re-hired; gets fresh keys at the new version.
+    sys.grant(&dr_a, &["Doctor@Hospital"]).unwrap();
+    assert!(sys.read(&dr_a, &hospital_data, "ward-log", "entries").is_ok());
+    assert!(sys.read(&dr_a, &research_data, "paper-draft", "methods").is_ok());
+}
+
+/// Publishing continues to work across many revocations; versions chain.
+#[test]
+fn many_revocations_stress() {
+    let mut sys = CloudSystem::new(0x5eed);
+    sys.add_authority("Org", &["A", "B"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+    let keeper = sys.add_user("keeper").unwrap();
+    sys.grant(&keeper, &["A@Org", "B@Org"]).unwrap();
+
+    sys.publish(&owner, "doc", &[("x", b"payload".as_slice(), "A@Org")]).unwrap();
+
+    for i in 0..5 {
+        let victim = sys.add_user(&format!("victim{i}")).unwrap();
+        sys.grant(&victim, &["A@Org"]).unwrap();
+        assert_eq!(sys.read(&victim, &owner, "doc", "x").unwrap(), b"payload");
+        sys.revoke(&victim, "A@Org").unwrap();
+        assert!(sys.read(&victim, &owner, "doc", "x").is_err());
+        // The long-standing user still reads after every round.
+        assert_eq!(sys.read(&keeper, &owner, "doc", "x").unwrap(), b"payload");
+    }
+    assert_eq!(sys.authority_version(&AuthorityId::new("Org")), Some(6));
+}
+
+/// The revoked user cannot regain access by replaying an old download.
+#[test]
+fn revoked_user_cannot_use_cached_ciphertext_with_new_keys() {
+    let mut sys = CloudSystem::new(0xf00d);
+    sys.add_authority("Org", &["A"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+    let mallory = sys.add_user("mallory").unwrap();
+    sys.grant(&mallory, &["A@Org"]).unwrap();
+    sys.publish(&owner, "doc", &[("x", b"secret".as_slice(), "A@Org")]).unwrap();
+
+    // Mallory reads once (legitimately), is then revoked.
+    assert!(sys.read(&mallory, &owner, "doc", "x").is_ok());
+    sys.revoke(&mallory, "A@Org").unwrap();
+
+    // Post-revocation: both the re-encrypted copy and fresh publishes
+    // are out of reach.
+    assert!(matches!(
+        sys.read(&mallory, &owner, "doc", "x"),
+        Err(CloudError::Core(Error::PolicyNotSatisfied))
+    ));
+    sys.publish(&owner, "doc2", &[("x", b"newer".as_slice(), "A@Org")]).unwrap();
+    assert!(sys.read(&mallory, &owner, "doc2", "x").is_err());
+}
+
+/// Two owners are cryptographically isolated: keys issued for one
+/// owner's data cannot open the other's, even for the same user and the
+/// same attributes.
+#[test]
+fn owner_key_scoping() {
+    use std::collections::BTreeMap;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    let mut rng = StdRng::seed_from_u64(4242);
+    let mut ca = mabe::core::CertificateAuthority::new();
+    let aid = ca.register_authority("Org").unwrap();
+    let mut aa = mabe::core::AttributeAuthority::new(aid.clone(), &["A"], &mut rng);
+
+    let mut owner1 = mabe::core::DataOwner::new(mabe::core::OwnerId::new("o1"), &mut rng);
+    let mut owner2 = mabe::core::DataOwner::new(mabe::core::OwnerId::new("o2"), &mut rng);
+    aa.register_owner(owner1.owner_secret_key()).unwrap();
+    aa.register_owner(owner2.owner_secret_key()).unwrap();
+    owner1.learn_authority_keys(aa.public_keys());
+    owner2.learn_authority_keys(aa.public_keys());
+
+    let alice = ca.register_user("alice", &mut rng).unwrap();
+    aa.grant(&alice, ["A@Org".parse().unwrap()]).unwrap();
+
+    let keys_o1 = BTreeMap::from([(aid.clone(), aa.keygen(&alice.uid, owner1.id()).unwrap())]);
+    let keys_o2 = BTreeMap::from([(aid.clone(), aa.keygen(&alice.uid, owner2.id()).unwrap())]);
+
+    let msg = mabe::math::Gt::random(&mut rng);
+    let policy = mabe::policy::parse("A@Org").unwrap();
+    let ct1 = owner1.encrypt_message(&msg, &policy, &mut rng).unwrap();
+
+    // Right scope decrypts; wrong scope is rejected and, even with
+    // metadata checks bypassed, yields garbage.
+    assert_eq!(mabe::core::decrypt(&ct1, &alice, &keys_o1).unwrap(), msg);
+    assert!(matches!(
+        mabe::core::decrypt(&ct1, &alice, &keys_o2),
+        Err(Error::OwnerMismatch { .. })
+    ));
+    let forged = mabe::core::decrypt_unchecked(&ct1, &alice, &keys_o2).unwrap();
+    assert_ne!(forged, msg);
+}
+
+/// Components sealed for distinct records don't leak across records.
+#[test]
+fn record_isolation_on_server() {
+    let mut sys = CloudSystem::new(0xbeef);
+    sys.add_authority("Org", &["A"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+    let user = sys.add_user("u").unwrap();
+    sys.grant(&user, &["A@Org"]).unwrap();
+    sys.publish(&owner, "r1", &[("x", b"one".as_slice(), "A@Org")]).unwrap();
+    sys.publish(&owner, "r2", &[("x", b"two".as_slice(), "A@Org")]).unwrap();
+    assert_eq!(sys.read(&user, &owner, "r1", "x").unwrap(), b"one");
+    assert_eq!(sys.read(&user, &owner, "r2", "x").unwrap(), b"two");
+    assert_eq!(sys.server().record_count(), 2);
+}
+
+/// Corner case of the involved-authority rule: a user whose *last*
+/// attribute from an authority is revoked keeps that authority's `K`
+/// component (the re-issued key has an empty attribute set), so it can
+/// still decrypt ciphertexts whose policy is satisfiable without that
+/// authority's attributes.
+#[test]
+fn empty_attribute_key_still_counts_as_authority_key() {
+    let mut sys = CloudSystem::new(0x1dea);
+    sys.add_authority("X", &["a"]).unwrap();
+    sys.add_authority("Z", &["e"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+    let user = sys.add_user("u").unwrap();
+    sys.grant(&user, &["a@X", "e@Z"]).unwrap();
+
+    // Policy involves Z but is satisfiable by a@X alone.
+    sys.publish(&owner, "doc", &[("x", b"d".as_slice(), "a@X OR e@Z")]).unwrap();
+    assert!(sys.read(&user, &owner, "doc", "x").is_ok());
+
+    // Revoke the user's only Z attribute: the fresh (empty-kx) Z key it
+    // receives still satisfies the Eq. 1 requirement, so access via a@X
+    // survives.
+    sys.revoke(&user, "e@Z").unwrap();
+    assert_eq!(sys.read(&user, &owner, "doc", "x").unwrap(), b"d");
+
+    // But a second user who never touched Z has no Z key at all and is
+    // denied despite holding a@X.
+    let other = sys.add_user("v").unwrap();
+    sys.grant(&other, &["a@X"]).unwrap();
+    assert!(matches!(
+        sys.read(&other, &owner, "doc", "x"),
+        Err(CloudError::Core(Error::MissingAuthorityKey(_)))
+    ));
+}
+
+/// Deep policies run end-to-end through the stack.
+#[test]
+fn complex_policy_end_to_end() {
+    let mut sys = CloudSystem::new(0xd00d);
+    sys.add_authority("X", &["a", "b", "c"]).unwrap();
+    sys.add_authority("Y", &["d", "e", "f"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+    // Note: the paper restricts ρ to be injective, so each attribute may
+    // appear only once in the formula.
+    let policy = "(a@X AND 2 of (b@X, c@X, d@Y)) OR (e@Y AND f@Y)";
+
+    let u1 = sys.add_user("u1").unwrap();
+    sys.grant(&u1, &["a@X", "b@X", "d@Y"]).unwrap(); // satisfies left arm
+    let u2 = sys.add_user("u2").unwrap();
+    sys.grant(&u2, &["e@Y", "f@Y", "a@X"]).unwrap(); // satisfies right arm
+    let u3 = sys.add_user("u3").unwrap();
+    sys.grant(&u3, &["a@X", "d@Y"]).unwrap(); // satisfies neither
+
+    sys.publish(&owner, "doc", &[("x", b"deep".as_slice(), policy)]).unwrap();
+    assert_eq!(sys.read(&u1, &owner, "doc", "x").unwrap(), b"deep");
+    assert_eq!(sys.read(&u2, &owner, "doc", "x").unwrap(), b"deep");
+    assert!(sys.read(&u3, &owner, "doc", "x").is_err());
+}

@@ -1,0 +1,156 @@
+//! Model-checking the deployed system: random operation sequences
+//! (grant / publish / revoke / read) run against [`CloudSystem`], with
+//! every read checked against an independent *access oracle* computed
+//! from the paper's semantics:
+//!
+//! a user can open a component iff
+//!  1. its current attribute set satisfies the component's policy, and
+//!  2. it holds at least one attribute from **every** authority involved
+//!     in the policy (the scheme's Eq. 1 requirement), and
+//!  3. key versions are current — guaranteed here because the system
+//!     distributes update keys eagerly during revocation.
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use mabe::cloud::CloudSystem;
+use mabe::core::Uid;
+use mabe::policy::{parse, Attribute};
+
+const USERS: [&str; 3] = ["alice", "bob", "carol"];
+const ATTRS: [&str; 6] = ["a@X", "b@X", "c@Y", "d@Y", "e@Z", "f@Z"];
+const POLICIES: [&str; 6] = [
+    "a@X",
+    "a@X AND c@Y",
+    "a@X OR b@X",
+    "2 of (a@X, c@Y, e@Z)",
+    "(a@X AND d@Y) OR (e@Z AND f@Z)",
+    "b@X AND 2 of (c@Y, d@Y, e@Z)",
+];
+
+#[derive(Clone, Debug)]
+enum Op {
+    Grant { user: usize, attr: usize },
+    Publish { policy: usize },
+    Revoke { user: usize, attr: usize },
+    ReadAll,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..USERS.len(), 0..ATTRS.len()).prop_map(|(user, attr)| Op::Grant { user, attr }),
+        (0..POLICIES.len()).prop_map(|policy| Op::Publish { policy }),
+        (0..USERS.len(), 0..ATTRS.len()).prop_map(|(user, attr)| Op::Revoke { user, attr }),
+        Just(Op::ReadAll),
+    ]
+}
+
+/// The oracle's access decision.
+///
+/// Condition 2 uses `keyed` (authorities the user was *ever* granted an
+/// attribute from) rather than current attributes: the revocation
+/// protocol re-issues the revoked user a reduced key, so the `K`
+/// component survives even when the attribute set from that authority
+/// becomes empty.
+fn model_allows(
+    grants: &BTreeSet<Attribute>,
+    keyed: &BTreeSet<mabe::policy::AuthorityId>,
+    policy_src: &str,
+) -> bool {
+    let policy = parse(policy_src).expect("fixed policies parse");
+    if !policy.is_satisfied_by(grants.iter()) {
+        return false;
+    }
+    // Scheme requirement: a key from every involved authority.
+    let ok = policy.authorities().into_iter().all(|aid| keyed.contains(aid));
+    ok
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn system_matches_access_oracle(ops in prop::collection::vec(arb_op(), 1..14), seed in any::<u64>()) {
+        let mut sys = CloudSystem::new(seed);
+        sys.add_authority("X", &["a", "b"]).unwrap();
+        sys.add_authority("Y", &["c", "d"]).unwrap();
+        sys.add_authority("Z", &["e", "f"]).unwrap();
+        let owner = sys.add_owner("owner").unwrap();
+        let uids: Vec<Uid> = USERS.iter().map(|u| sys.add_user(u).unwrap()).collect();
+
+        // The model: per-user attribute sets, ever-keyed authorities and
+        // the published records.
+        let mut grants: Vec<BTreeSet<Attribute>> =
+            vec![BTreeSet::new(); USERS.len()];
+        let mut keyed: Vec<BTreeSet<mabe::policy::AuthorityId>> =
+            vec![BTreeSet::new(); USERS.len()];
+        let mut published: Vec<(String, usize, Vec<u8>)> = Vec::new(); // (record, policy idx, data)
+        let mut next_record = 0usize;
+
+        let check_all = |sys: &mut CloudSystem,
+                             grants: &[BTreeSet<Attribute>],
+                             keyed: &[BTreeSet<mabe::policy::AuthorityId>],
+                             published: &[(String, usize, Vec<u8>)]| {
+            for (record, policy_idx, data) in published {
+                for (user, uid) in uids.iter().enumerate() {
+                    let expected =
+                        model_allows(&grants[user], &keyed[user], POLICIES[*policy_idx]);
+                    let got = sys.read(uid, &owner, record, "payload");
+                    match (expected, got) {
+                        (true, Ok(bytes)) => prop_assert_eq!(&bytes, data),
+                        (false, Err(_)) => {}
+                        (true, Err(e)) => prop_assert!(
+                            false,
+                            "oracle allows {uid} on {record} ({}) but system denied: {e}",
+                            POLICIES[*policy_idx]
+                        ),
+                        (false, Ok(_)) => prop_assert!(
+                            false,
+                            "oracle denies {uid} on {record} ({}) but system allowed",
+                            POLICIES[*policy_idx]
+                        ),
+                    }
+                }
+            }
+            Ok(())
+        };
+
+        for op in ops {
+            match op {
+                Op::Grant { user, attr } => {
+                    let attribute: Attribute = ATTRS[attr].parse().unwrap();
+                    if grants[user].contains(&attribute) {
+                        continue;
+                    }
+                    sys.grant(&uids[user], &[ATTRS[attr]]).unwrap();
+                    keyed[user].insert(attribute.authority().clone());
+                    grants[user].insert(attribute);
+                }
+                Op::Publish { policy } => {
+                    let record = format!("r{next_record}");
+                    next_record += 1;
+                    let data = format!("data-{record}").into_bytes();
+                    sys.publish(&owner, &record, &[("payload", &data, POLICIES[policy])])
+                        .unwrap();
+                    published.push((record, policy, data));
+                }
+                Op::Revoke { user, attr } => {
+                    let attribute: Attribute = ATTRS[attr].parse().unwrap();
+                    if !grants[user].contains(&attribute) {
+                        // System must agree this revocation is invalid.
+                        prop_assert!(sys.revoke(&uids[user], ATTRS[attr]).is_err());
+                        continue;
+                    }
+                    sys.revoke(&uids[user], ATTRS[attr]).unwrap();
+                    grants[user].remove(&attribute);
+                }
+                Op::ReadAll => {
+                    check_all(&mut sys, &grants, &keyed, &published)?;
+                }
+            }
+        }
+        // Final sweep regardless of whether ReadAll was drawn.
+        check_all(&mut sys, &grants, &keyed, &published)?;
+    }
+}

@@ -1,0 +1,235 @@
+//! Executable artifacts of the paper's security model (§III-B):
+//! the challenge-constraint span check, static authority corruption, and
+//! collusion experiments run against the real scheme.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe::core::{
+    decrypt_unchecked, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId,
+};
+use mabe::math::{Fr, Gt};
+use mabe::policy::linalg::in_span;
+use mabe::policy::{parse, AccessStructure, Attribute, AuthorityId};
+
+/// The §III-B constraint: for every queried UID, the subspace spanned by
+/// `V ∪ V_UID` (rows of corrupted authorities plus rows of queried
+/// attributes) must not include `(1, 0, …, 0)`. This function evaluates
+/// exactly that predicate with the same `F_r` linear algebra the LSSS
+/// uses.
+fn challenge_constraint_ok(
+    access: &AccessStructure,
+    corrupted: &BTreeSet<AuthorityId>,
+    queried: &BTreeSet<Attribute>,
+) -> bool {
+    let mut rows: Vec<Vec<Fr>> = Vec::new();
+    for (i, attr) in access.rho().iter().enumerate() {
+        if corrupted.contains(attr.authority()) || queried.contains(attr) {
+            rows.push(access.matrix()[i].clone());
+        }
+    }
+    let mut e1 = vec![Fr::zero(); access.width()];
+    e1[0] = Fr::one();
+    !in_span(&rows, &e1)
+}
+
+#[test]
+fn span_check_matches_policy_semantics() {
+    let access =
+        AccessStructure::from_policy(&parse("(A@X AND B@Y) OR C@Z").unwrap()).unwrap();
+    let none = BTreeSet::new();
+
+    // Querying A@X alone: constraint holds (cannot decrypt).
+    let q: BTreeSet<Attribute> = ["A@X".parse().unwrap()].into();
+    assert!(challenge_constraint_ok(&access, &none, &q));
+
+    // Querying A@X + B@Y: constraint violated (decryption possible).
+    let q: BTreeSet<Attribute> =
+        ["A@X".parse().unwrap(), "B@Y".parse().unwrap()].into();
+    assert!(!challenge_constraint_ok(&access, &none, &q));
+
+    // Corrupting authority Z alone violates it (C@Z row spans e1).
+    let corrupted: BTreeSet<AuthorityId> = [AuthorityId::new("Z")].into();
+    assert!(!challenge_constraint_ok(&access, &corrupted, &BTreeSet::new()));
+
+    // Corrupting X but querying nothing from Y keeps the constraint.
+    let corrupted: BTreeSet<AuthorityId> = [AuthorityId::new("X")].into();
+    assert!(challenge_constraint_ok(&access, &corrupted, &BTreeSet::new()));
+}
+
+/// World with two honest authorities and one "corrupted" one whose full
+/// secrets the adversary controls.
+struct CorruptionWorld {
+    rng: StdRng,
+    ca: CertificateAuthority,
+    honest_x: AttributeAuthority,
+    honest_y: AttributeAuthority,
+    corrupt_z: AttributeAuthority,
+    owner: DataOwner,
+}
+
+fn corruption_world() -> CorruptionWorld {
+    let mut rng = StdRng::seed_from_u64(666);
+    let mut ca = CertificateAuthority::new();
+    let x = ca.register_authority("X").unwrap();
+    let y = ca.register_authority("Y").unwrap();
+    let z = ca.register_authority("Z").unwrap();
+    let mut honest_x = AttributeAuthority::new(x, &["a"], &mut rng);
+    let mut honest_y = AttributeAuthority::new(y, &["b"], &mut rng);
+    let mut corrupt_z = AttributeAuthority::new(z, &["c"], &mut rng);
+    let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
+    for aa in [&mut honest_x, &mut honest_y, &mut corrupt_z] {
+        aa.register_owner(owner.owner_secret_key()).unwrap();
+        owner.learn_authority_keys(aa.public_keys());
+    }
+    CorruptionWorld { rng, ca, honest_x, honest_y, corrupt_z, owner }
+}
+
+/// With authority Z corrupted, a ciphertext whose policy still requires
+/// honest attributes (a@X AND b@Y AND c@Z) stays confidential against an
+/// adversary who can mint arbitrary Z keys but only holds a@X honestly.
+#[test]
+fn static_corruption_does_not_break_honest_conjunction() {
+    let mut w = corruption_world();
+    let adversary = w.ca.register_user("adversary", &mut w.rng).unwrap();
+    w.honest_x.grant(&adversary, ["a@X".parse().unwrap()]).unwrap();
+    // Corrupted authority issues whatever the adversary wants.
+    w.corrupt_z.grant(&adversary, ["c@Z".parse().unwrap()]).unwrap();
+
+    let msg = Gt::random(&mut w.rng);
+    let policy = parse("a@X AND b@Y AND c@Z").unwrap();
+    let ct = w.owner.encrypt_message(&msg, &policy, &mut w.rng).unwrap();
+
+    let mut keys = BTreeMap::new();
+    keys.insert(
+        w.honest_x.aid().clone(),
+        w.honest_x.keygen(&adversary.uid, w.owner.id()).unwrap(),
+    );
+    keys.insert(
+        w.corrupt_z.aid().clone(),
+        w.corrupt_z.keygen(&adversary.uid, w.owner.id()).unwrap(),
+    );
+    // Missing b@Y: the LSSS cannot reconstruct, decryption impossible.
+    assert!(decrypt_unchecked(&ct, &adversary, &keys).is_err());
+
+    // Even injecting a forged Y key for another user (stolen from a
+    // different UID) fails cryptographically.
+    let victim = w.ca.register_user("victim", &mut w.rng).unwrap();
+    w.honest_y.grant(&victim, ["b@Y".parse().unwrap()]).unwrap();
+    let stolen = w.honest_y.keygen(&victim.uid, w.owner.id()).unwrap();
+    let mut stolen_rebadged = stolen;
+    stolen_rebadged.uid = adversary.uid.clone();
+    keys.insert(w.honest_y.aid().clone(), stolen_rebadged);
+    let forged = decrypt_unchecked(&ct, &adversary, &keys).unwrap();
+    assert_ne!(forged, msg, "stolen cross-UID component must not decrypt");
+}
+
+/// The corrupted authority CAN decrypt what its own attributes alone
+/// gate — the model's expected power, showing the test above is sharp.
+#[test]
+fn corrupted_authority_power_is_bounded_to_its_domain() {
+    let mut w = corruption_world();
+    let adversary = w.ca.register_user("adversary", &mut w.rng).unwrap();
+    w.corrupt_z.grant(&adversary, ["c@Z".parse().unwrap()]).unwrap();
+
+    let msg = Gt::random(&mut w.rng);
+    let ct = w
+        .owner
+        .encrypt_message(&msg, &parse("c@Z").unwrap(), &mut w.rng)
+        .unwrap();
+    let keys = BTreeMap::from([(
+        w.corrupt_z.aid().clone(),
+        w.corrupt_z.keygen(&adversary.uid, w.owner.id()).unwrap(),
+    )]);
+    assert_eq!(mabe::core::decrypt(&ct, &adversary, &keys).unwrap(), msg);
+}
+
+/// Three-way collusion: each colluder holds one leg of a 3-authority AND.
+/// No assignment of pooled keys decrypts.
+#[test]
+fn three_way_collusion_fails() {
+    let mut w = corruption_world();
+    let msg = Gt::random(&mut w.rng);
+    let policy = parse("a@X AND b@Y AND c@Z").unwrap();
+    let ct = w.owner.encrypt_message(&msg, &policy, &mut w.rng).unwrap();
+
+    let mut pks = Vec::new();
+    let mut legs = Vec::new();
+    for (name, attr) in [("u1", "a@X"), ("u2", "b@Y"), ("u3", "c@Z")] {
+        let pk = w.ca.register_user(name, &mut w.rng).unwrap();
+        let attr: Attribute = attr.parse().unwrap();
+        let aa = match attr.authority().as_str() {
+            "X" => &mut w.honest_x,
+            "Y" => &mut w.honest_y,
+            _ => &mut w.corrupt_z,
+        };
+        aa.grant(&pk, [attr.clone()]).unwrap();
+        let key = aa.keygen(&pk.uid, w.owner.id()).unwrap();
+        legs.push((attr.authority().clone(), key));
+        pks.push(pk);
+    }
+
+    // Pool all keys; try decrypting under each colluder's public key,
+    // rebadging UIDs so the raw algebra runs.
+    for pk in &pks {
+        let mut pooled = BTreeMap::new();
+        for (aid, key) in &legs {
+            let mut k = key.clone();
+            k.uid = pk.uid.clone();
+            pooled.insert(aid.clone(), k);
+        }
+        let result = decrypt_unchecked(&ct, pk, &pooled).unwrap();
+        assert_ne!(result, msg, "collusion must not recover the message");
+    }
+}
+
+/// Collusion in the revocation protocol: a revoked user pooling with a
+/// non-revoked user's update key still cannot resurrect access.
+#[test]
+fn revoked_user_with_leaked_update_key_fails() {
+    let mut rng = StdRng::seed_from_u64(777);
+    let mut ca = CertificateAuthority::new();
+    let aid = ca.register_authority("Org").unwrap();
+    let mut aa = AttributeAuthority::new(aid.clone(), &["A"], &mut rng);
+    let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
+    aa.register_owner(owner.owner_secret_key()).unwrap();
+    owner.learn_authority_keys(aa.public_keys());
+
+    let mallory = ca.register_user("mallory", &mut rng).unwrap();
+    let attr: Attribute = "A@Org".parse().unwrap();
+    aa.grant(&mallory, [attr.clone()]).unwrap();
+    let old_key = aa.keygen(&mallory.uid, owner.id()).unwrap();
+
+    let msg = Gt::random(&mut rng);
+    let mut ct = owner
+        .encrypt_message(&msg, &parse("A@Org").unwrap(), &mut rng)
+        .unwrap();
+
+    // Revoke mallory; server re-encrypts.
+    let event = aa.revoke_attribute(&mallory.uid, &attr, &mut rng).unwrap();
+    let uk = event.update_keys[owner.id()].clone();
+    owner.apply_update_key(&uk).unwrap();
+    let ui = owner.update_info_for(ct.id, &aid, 1, 2).unwrap();
+    mabe::core::reencrypt(&mut ct, &uk, &ui).unwrap();
+
+    // Mallory intercepts the broadcast update key and applies it to her
+    // OLD key. K updates fine (K·UK1), but her K_A becomes
+    // (PK^{αH})^{α̃/α} = PK^{α̃H} — wait, that WOULD update it; however
+    // the paper's protocol never sends UK to the revoked user. The
+    // protocol-level defence is that UK2 would also fix her K_x; what it
+    // cannot fix is that the AA re-issued her key set WITHOUT the
+    // revoked attribute and updates are only distributed to non-revoked
+    // holders. We model the leak of UK1 only (the G element actually
+    // broadcast to owners/server for re-encryption); UK2 = α̃/α stays
+    // inside authority-to-holder channels.
+    let mut leaked = old_key;
+    leaked.k = mabe::math::G1Affine::from(
+        mabe::math::G1::from(leaked.k).add_mixed(&uk.uk1),
+    );
+    leaked.version = 2;
+    let keys = BTreeMap::from([(aid.clone(), leaked)]);
+    let forged = decrypt_unchecked(&ct, &mallory, &keys).unwrap();
+    assert_ne!(forged, msg, "stale K_x under the old α must fail");
+}
