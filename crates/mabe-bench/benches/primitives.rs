@@ -13,12 +13,20 @@ fn bench_field(c: &mut Criterion) {
     let a = Fq::random(&mut rng);
     let b = Fq::random(&mut rng);
     let mut group = c.benchmark_group("field");
-    group.bench_function("fq_mul", |bench| bench.iter(|| std::hint::black_box(a.mul(&b))));
-    group.bench_function("fq_square", |bench| bench.iter(|| std::hint::black_box(a.square())));
-    group.bench_function("fq_invert", |bench| bench.iter(|| std::hint::black_box(a.invert())));
+    group.bench_function("fq_mul", |bench| {
+        bench.iter(|| std::hint::black_box(a.mul(&b)))
+    });
+    group.bench_function("fq_square", |bench| {
+        bench.iter(|| std::hint::black_box(a.square()))
+    });
+    group.bench_function("fq_invert", |bench| {
+        bench.iter(|| std::hint::black_box(a.invert()))
+    });
     let x = Fr::random(&mut rng);
     let y = Fr::random(&mut rng);
-    group.bench_function("fr_mul", |bench| bench.iter(|| std::hint::black_box(x.mul(&y))));
+    group.bench_function("fr_mul", |bench| {
+        bench.iter(|| std::hint::black_box(x.mul(&y)))
+    });
     group.finish();
 }
 
@@ -28,9 +36,15 @@ fn bench_group(c: &mut Criterion) {
     let q = G1::random(&mut rng);
     let k = Fr::random(&mut rng);
     let mut group = c.benchmark_group("group");
-    group.bench_function("g1_add", |bench| bench.iter(|| std::hint::black_box(p.add(&q))));
-    group.bench_function("g1_double", |bench| bench.iter(|| std::hint::black_box(p.double())));
-    group.bench_function("g1_scalar_mul", |bench| bench.iter(|| std::hint::black_box(p.mul(&k))));
+    group.bench_function("g1_add", |bench| {
+        bench.iter(|| std::hint::black_box(p.add(&q)))
+    });
+    group.bench_function("g1_double", |bench| {
+        bench.iter(|| std::hint::black_box(p.double()))
+    });
+    group.bench_function("g1_scalar_mul", |bench| {
+        bench.iter(|| std::hint::black_box(p.mul(&k)))
+    });
     group.bench_function("hash_to_curve", |bench| {
         let mut ctr = 0u64;
         bench.iter(|| {
@@ -55,7 +69,9 @@ fn bench_pairing(c: &mut Criterion) {
     group.bench_function("tate_pairing", |bench| {
         bench.iter(|| std::hint::black_box(pairing(&p, &q)))
     });
-    group.bench_function("gt_pow", |bench| bench.iter(|| std::hint::black_box(gt.pow(&k))));
+    group.bench_function("gt_pow", |bench| {
+        bench.iter(|| std::hint::black_box(gt.pow(&k)))
+    });
     group.bench_function("gt_mul", |bench| {
         bench.iter(|| std::hint::black_box(gt.mul(&gt)))
     });
@@ -67,8 +83,12 @@ fn bench_ablations(c: &mut Criterion) {
     let p = G1::random(&mut rng);
     let k = Fr::random(&mut rng);
     let mut group = c.benchmark_group("ablation_scalar_mul");
-    group.bench_function("wnaf_w4", |bench| bench.iter(|| std::hint::black_box(p.mul_wnaf(&k))));
-    group.bench_function("binary", |bench| bench.iter(|| std::hint::black_box(p.mul_binary(&k))));
+    group.bench_function("wnaf_w4", |bench| {
+        bench.iter(|| std::hint::black_box(p.mul_wnaf(&k)))
+    });
+    group.bench_function("binary", |bench| {
+        bench.iter(|| std::hint::black_box(p.mul_binary(&k)))
+    });
     group.finish();
 
     // Product of 8 pairings: shared vs separate final exponentiation.
@@ -111,5 +131,11 @@ fn bench_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_field, bench_group, bench_pairing, bench_ablations);
+criterion_group!(
+    benches,
+    bench_field,
+    bench_group,
+    bench_pairing,
+    bench_ablations
+);
 criterion_main!(benches);

@@ -13,15 +13,22 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use mabe_bench::{LewkoWorld, OurWorld, Shape};
 use rand::SeedableRng;
 
-const PAPER_POINT: Shape = Shape { authorities: 5, attrs_per_authority: 5 };
+const PAPER_POINT: Shape = Shape {
+    authorities: 5,
+    attrs_per_authority: 5,
+};
 
 fn bench_encrypt(c: &mut Criterion) {
     let mut group = c.benchmark_group("encrypt_5x5");
     group.sample_size(10);
     let mut ours = OurWorld::new(PAPER_POINT, 11);
-    group.bench_function("ours", |b| b.iter(|| std::hint::black_box(ours.encrypt_once())));
+    group.bench_function("ours", |b| {
+        b.iter(|| std::hint::black_box(ours.encrypt_once()))
+    });
     let mut lewko = LewkoWorld::new(PAPER_POINT, 12);
-    group.bench_function("lewko", |b| b.iter(|| std::hint::black_box(lewko.encrypt_once())));
+    group.bench_function("lewko", |b| {
+        b.iter(|| std::hint::black_box(lewko.encrypt_once()))
+    });
     group.finish();
 }
 
@@ -30,11 +37,14 @@ fn bench_decrypt(c: &mut Criterion) {
     group.sample_size(10);
     let mut ours = OurWorld::new(PAPER_POINT, 13);
     let our_ct = ours.encrypt_once();
-    group.bench_function("ours", |b| b.iter(|| std::hint::black_box(ours.decrypt_once(&our_ct))));
+    group.bench_function("ours", |b| {
+        b.iter(|| std::hint::black_box(ours.decrypt_once(&our_ct)))
+    });
     let mut lewko = LewkoWorld::new(PAPER_POINT, 14);
     let lewko_ct = lewko.encrypt_once();
-    group
-        .bench_function("lewko", |b| b.iter(|| std::hint::black_box(lewko.decrypt_once(&lewko_ct))));
+    group.bench_function("lewko", |b| {
+        b.iter(|| std::hint::black_box(lewko.decrypt_once(&lewko_ct)))
+    });
     group.finish();
 }
 
@@ -90,12 +100,17 @@ fn bench_decrypt_vs_authorities(c: &mut Criterion) {
     let mut group = c.benchmark_group("decrypt_vs_authorities");
     group.sample_size(10);
     for authorities in [1usize, 2, 4] {
-        let shape = Shape { authorities, attrs_per_authority: 4 / authorities.min(4).max(1) };
+        let shape = Shape {
+            authorities,
+            attrs_per_authority: 4 / authorities.clamp(1, 4),
+        };
         let mut world = OurWorld::new(shape, 20 + authorities as u64);
         let ct = world.encrypt_once();
-        group.bench_with_input(BenchmarkId::from_parameter(authorities), &authorities, |b, _| {
-            b.iter(|| std::hint::black_box(world.decrypt_once(&ct)))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(authorities),
+            &authorities,
+            |b, _| b.iter(|| std::hint::black_box(world.decrypt_once(&ct))),
+        );
     }
     group.finish();
 }

@@ -22,7 +22,10 @@ use mabe_bench::{LewkoWorld, OurWorld, Shape};
 use mabe_math::Gt;
 use mabe_policy::{AccessStructure, Attribute};
 
-const POINT: Shape = Shape { authorities: 5, attrs_per_authority: 5 };
+const POINT: Shape = Shape {
+    authorities: 5,
+    attrs_per_authority: 5,
+};
 
 fn timed<F: FnMut()>(trials: usize, mut f: F) -> f64 {
     let start = Instant::now();
@@ -54,7 +57,10 @@ fn main() {
         let decrypt = timed(trials, || {
             std::hint::black_box(world.decrypt_once(&ct));
         });
-        println!("ours\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+        println!(
+            "ours\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}",
+            ct.wire_size()
+        );
     }
 
     // ---- Lewko–Waters ----
@@ -78,7 +84,10 @@ fn main() {
         let decrypt = timed(trials, || {
             std::hint::black_box(world.decrypt_once(&ct));
         });
-        println!("lewko\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+        println!(
+            "lewko\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}",
+            ct.wire_size()
+        );
     }
 
     // ---- Chase07 (AND of 5-of-5 thresholds) ----
@@ -106,7 +115,10 @@ fn main() {
         let decrypt = timed(trials, || {
             std::hint::black_box(mabe_chase::decrypt(&ct, &key, &pks).unwrap());
         });
-        println!("chase\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+        println!(
+            "chase\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}",
+            ct.wire_size()
+        );
     }
 
     // ---- Waters11 (single authority, same 25-attr AND) ----
@@ -131,6 +143,9 @@ fn main() {
         let decrypt = timed(trials, || {
             std::hint::black_box(mabe_waters::decrypt(&ct, &key).unwrap());
         });
-        println!("waters\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}", ct.wire_size());
+        println!(
+            "waters\t{keygen:.6}\t{encrypt:.6}\t{decrypt:.6}\t{}",
+            ct.wire_size()
+        );
     }
 }

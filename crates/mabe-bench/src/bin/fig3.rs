@@ -15,7 +15,13 @@ fn main() {
     let trials = trials_from_env(20);
     eprintln!("# fig3: authorities 2..={max}, 5 attrs/authority, {trials} trials/point");
     let (enc, dec) = mabe_bench::fig3(trials, max);
-    print!("{}", enc.to_tsv("Fig 3(a): encryption time vs number of authorities"));
+    print!(
+        "{}",
+        enc.to_tsv("Fig 3(a): encryption time vs number of authorities")
+    );
     println!();
-    print!("{}", dec.to_tsv("Fig 3(b): decryption time vs number of authorities"));
+    print!(
+        "{}",
+        dec.to_tsv("Fig 3(b): decryption time vs number of authorities")
+    );
 }

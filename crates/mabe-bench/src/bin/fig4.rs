@@ -15,7 +15,13 @@ fn main() {
     let trials = trials_from_env(20);
     eprintln!("# fig4: attrs/authority 2..={max}, 5 authorities, {trials} trials/point");
     let (enc, dec) = mabe_bench::fig4(trials, max);
-    print!("{}", enc.to_tsv("Fig 4(a): encryption time vs attributes per authority"));
+    print!(
+        "{}",
+        enc.to_tsv("Fig 4(a): encryption time vs attributes per authority")
+    );
     println!();
-    print!("{}", dec.to_tsv("Fig 4(b): decryption time vs attributes per authority"));
+    print!(
+        "{}",
+        dec.to_tsv("Fig 4(b): decryption time vs attributes per authority")
+    );
 }

@@ -32,7 +32,10 @@ fn main() {
     println!("attrs_per_authority\trekey_s\tupdate_info_s\treencrypt_s\tfull_reencrypt_s");
 
     for attrs in 2..=max {
-        let shape = Shape { authorities: 5, attrs_per_authority: attrs };
+        let shape = Shape {
+            authorities: 5,
+            attrs_per_authority: attrs,
+        };
         let (mut rekey, mut ui_gen, mut reenc, mut full) = (0.0f64, 0.0, 0.0, 0.0);
         for trial in 0..trials {
             let mut world = OurWorld::new(shape, 7000 + (attrs * 100 + trial) as u64);
@@ -79,4 +82,5 @@ fn main() {
             full / n
         );
     }
+    mabe_bench::metrics::emit("revocation");
 }

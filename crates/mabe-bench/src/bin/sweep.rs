@@ -20,7 +20,10 @@ fn main() {
          comm_srv_user_ours\tcomm_srv_user_lewko"
     );
     for authorities in 2..=max {
-        let shape = Shape { authorities, attrs_per_authority: 5 };
+        let shape = Shape {
+            authorities,
+            attrs_per_authority: 5,
+        };
         let storage = storage_comparison(shape);
         let comm = communication_comparison(shape);
         println!(

@@ -9,5 +9,11 @@ fn main() {
     let mut args = std::env::args().skip(1);
     let authorities = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
     let attrs = args.next().and_then(|a| a.parse().ok()).unwrap_or(5);
-    print!("{}", mabe_bench::table3(Shape { authorities, attrs_per_authority: attrs }));
+    print!(
+        "{}",
+        mabe_bench::table3(Shape {
+            authorities,
+            attrs_per_authority: attrs
+        })
+    );
 }

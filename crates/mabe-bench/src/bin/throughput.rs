@@ -25,12 +25,13 @@ fn main() {
     let aid = ca.register_authority("Org").expect("fresh AID");
     let mut aa = AttributeAuthority::new(aid.clone(), &["A"], &mut rng);
     let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
-    aa.register_owner(owner.owner_secret_key()).expect("fresh owner");
+    aa.register_owner(owner.owner_secret_key())
+        .expect("fresh owner");
     owner.learn_authority_keys(aa.public_keys());
 
     let policy = parse("A@Org").expect("valid policy");
-    let envelope = seal_envelope(&mut owner, &[("x", b"payload", &policy)], &mut rng)
-        .expect("seal succeeds");
+    let envelope =
+        seal_envelope(&mut owner, &[("x", b"payload", &policy)], &mut rng).expect("seal succeeds");
     let ct_id = envelope.components[0].key_ct.id;
     let server = Arc::new(CloudServer::new());
     server.store(owner.id().clone(), "rec", envelope);
@@ -58,7 +59,9 @@ fn main() {
     // Mid-run revocation of a scapegoat (re-encrypts the record).
     let scapegoat = ca.register_user("scapegoat", &mut rng).expect("fresh");
     aa.grant(&scapegoat, [attr.clone()]).expect("managed");
-    let event = aa.revoke_attribute(&scapegoat.uid, &attr, &mut rng).expect("held");
+    let event = aa
+        .revoke_attribute(&scapegoat.uid, &attr, &mut rng)
+        .expect("held");
     let uk = event.update_keys[owner.id()].clone();
     owner.apply_update_key(&uk).expect("chains");
     let ui = owner.update_info_for(ct_id, &aid, 1, 2).expect("history");
@@ -74,9 +77,15 @@ fn main() {
 
     println!("readers: {readers_n}, ops/reader: {ops}");
     println!("successful decrypts : {}", report.successes);
-    println!("clean failures      : {} (stale keys after re-encryption)", report.clean_failures);
+    println!(
+        "clean failures      : {} (stale keys after re-encryption)",
+        report.clean_failures
+    );
     println!("corrupted reads     : {} (must be 0)", report.corruptions);
     println!("elapsed             : {:?}", report.elapsed);
-    println!("throughput          : {:.1} successful reads/s", report.ops_per_sec());
+    println!(
+        "throughput          : {:.1} successful reads/s",
+        report.ops_per_sec()
+    );
     assert_eq!(report.corruptions, 0);
 }

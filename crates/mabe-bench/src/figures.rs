@@ -28,7 +28,10 @@ impl Series {
     pub fn to_tsv(&self, title: &str) -> String {
         let mut out = format!("# {title}\n{}\tours_s\tlewko_s\n", self.x_label);
         for i in 0..self.x.len() {
-            out.push_str(&format!("{}\t{:.6}\t{:.6}\n", self.x[i], self.ours[i], self.lewko[i]));
+            out.push_str(&format!(
+                "{}\t{:.6}\t{:.6}\n",
+                self.x[i], self.ours[i], self.lewko[i]
+            ));
         }
         out
     }
@@ -64,8 +67,18 @@ pub fn sweep(
     x_label: &'static str,
     trials: usize,
 ) -> (Series, Series) {
-    let mut enc = Series { x_label, x: x.clone(), ours: vec![], lewko: vec![] };
-    let mut dec = Series { x_label, x, ours: vec![], lewko: vec![] };
+    let mut enc = Series {
+        x_label,
+        x: x.clone(),
+        ours: vec![],
+        lewko: vec![],
+    };
+    let mut dec = Series {
+        x_label,
+        x,
+        ours: vec![],
+        lewko: vec![],
+    };
     for (i, &shape) in shapes.iter().enumerate() {
         let (oe, le, od, ld) = measure_point(shape, trials, 1000 + i as u64);
         enc.ours.push(oe);
@@ -80,8 +93,13 @@ pub fn sweep(
 /// per authority). `max_authorities` lets tests shrink the sweep.
 pub fn fig3(trials: usize, max_authorities: usize) -> (Series, Series) {
     let xs: Vec<usize> = (2..=max_authorities).collect();
-    let shapes: Vec<Shape> =
-        xs.iter().map(|&a| Shape { authorities: a, attrs_per_authority: 5 }).collect();
+    let shapes: Vec<Shape> = xs
+        .iter()
+        .map(|&a| Shape {
+            authorities: a,
+            attrs_per_authority: 5,
+        })
+        .collect();
     sweep(&shapes, xs, "authorities", trials)
 }
 
@@ -89,8 +107,13 @@ pub fn fig3(trials: usize, max_authorities: usize) -> (Series, Series) {
 /// authorities).
 pub fn fig4(trials: usize, max_attrs: usize) -> (Series, Series) {
     let xs: Vec<usize> = (2..=max_attrs).collect();
-    let shapes: Vec<Shape> =
-        xs.iter().map(|&n| Shape { authorities: 5, attrs_per_authority: n }).collect();
+    let shapes: Vec<Shape> = xs
+        .iter()
+        .map(|&n| Shape {
+            authorities: 5,
+            attrs_per_authority: n,
+        })
+        .collect();
     sweep(&shapes, xs, "attrs_per_authority", trials)
 }
 
@@ -112,8 +135,14 @@ mod tests {
     #[test]
     fn sweep_produces_consistent_series() {
         let shapes = [
-            Shape { authorities: 1, attrs_per_authority: 1 },
-            Shape { authorities: 2, attrs_per_authority: 1 },
+            Shape {
+                authorities: 1,
+                attrs_per_authority: 1,
+            },
+            Shape {
+                authorities: 2,
+                attrs_per_authority: 1,
+            },
         ];
         let (enc, dec) = sweep(&shapes, vec![1, 2], "authorities", 1);
         assert_eq!(enc.x, vec![1, 2]);
@@ -129,7 +158,10 @@ mod tests {
     /// faster, Lewko decrypts faster (paper Fig. 3/4 shapes).
     #[test]
     fn relative_performance_shape() {
-        let shape = Shape { authorities: 2, attrs_per_authority: 2 };
+        let shape = Shape {
+            authorities: 2,
+            attrs_per_authority: 2,
+        };
         let (ours_enc, lewko_enc, ours_dec, lewko_dec) = measure_point(shape, 2, 99);
         assert!(
             ours_enc < lewko_enc,

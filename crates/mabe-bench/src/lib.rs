@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod metrics;
 pub mod tables;
 pub mod timing;
 pub mod workload;

@@ -1,0 +1,76 @@
+//! `BENCH_*.json` metrics dumps.
+//!
+//! The regeneration binaries print tables to stdout; this module lets
+//! each run also persist the telemetry registry — op counts, per-pair
+//! wire bytes, latency percentiles — as a structured JSON artifact
+//! named `BENCH_metrics_<tag>.json`, compatible with the `BENCH_*.json`
+//! result files a CI pipeline collects.
+//!
+//! Set `MABE_METRICS_DIR` to the directory the dump should land in;
+//! when unset, [`emit`] is a no-op so the binaries stay silent by
+//! default.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+
+/// The dump document for one bench run: the tag plus the full registry
+/// snapshot (counters, gauges, histograms with p50/p95/p99).
+pub fn render(tag: &str) -> String {
+    let snapshot = mabe_telemetry::global().snapshot_json();
+    format!("{{\n\"bench\": \"{tag}\",\n\"metrics\": {snapshot}}}\n")
+}
+
+/// Writes `BENCH_metrics_<tag>.json` into `dir`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_to(dir: &std::path::Path, tag: &str) -> std::io::Result<PathBuf> {
+    let path = dir.join(format!("BENCH_metrics_{tag}.json"));
+    let mut file = std::fs::File::create(&path)?;
+    file.write_all(render(tag).as_bytes())?;
+    Ok(path)
+}
+
+/// Writes the dump into `MABE_METRICS_DIR` if that variable is set;
+/// returns the written path, or `None` when dumping is not requested.
+/// Write failures are reported on stderr, not fatal — a missing dump
+/// should never kill a long bench run.
+pub fn emit(tag: &str) -> Option<PathBuf> {
+    let dir = std::env::var_os("MABE_METRICS_DIR")?;
+    match write_to(std::path::Path::new(&dir), tag) {
+        Ok(path) => Some(path),
+        Err(e) => {
+            eprintln!("# metrics dump for {tag} failed: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_wraps_the_registry_snapshot() {
+        mabe_telemetry::global()
+            .counter("bench_probe_total", &[])
+            .inc();
+        let doc = render("unit");
+        assert!(doc.contains("\"bench\": \"unit\""));
+        assert!(doc.contains("\"counters\""));
+        assert!(doc.contains("\"histograms\""));
+        assert!(doc.contains("bench_probe_total"));
+    }
+
+    #[test]
+    fn write_to_creates_the_conventional_filename() {
+        let dir = std::env::temp_dir().join("mabe-metrics-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = write_to(&dir, "roundtrip").unwrap();
+        assert!(path.ends_with("BENCH_metrics_roundtrip.json"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"bench\": \"roundtrip\""));
+        std::fs::remove_file(&path).unwrap();
+    }
+}

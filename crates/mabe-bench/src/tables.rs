@@ -86,7 +86,11 @@ pub fn table1() -> String {
         out.push_str(&format!(
             "{:<20}| {:<17}| {:<12}| {}\n",
             row.scheme,
-            if row.requires_global_authority { "Yes" } else { "No" },
+            if row.requires_global_authority {
+                "Yes"
+            } else {
+                "No"
+            },
             row.policy_type,
             row.colluders,
         ));
@@ -122,7 +126,11 @@ pub fn component_sizes(shape: Shape, seed: u64) -> (ComponentSizes, ComponentSiz
     let mut ours_world = OurWorld::new(shape, seed);
     let ct = ours_world.encrypt_once();
     let ours = ComponentSizes {
-        authority_key: ours_world.authorities.iter().map(|a| a.version_key().wire_size()).sum(),
+        authority_key: ours_world
+            .authorities
+            .iter()
+            .map(|a| a.version_key().wire_size())
+            .sum(),
         public_key: ours_world
             .authorities
             .iter()
@@ -135,8 +143,16 @@ pub fn component_sizes(shape: Shape, seed: u64) -> (ComponentSizes, ComponentSiz
     let mut lewko_world = crate::workload::LewkoWorld::new(shape, seed + 1);
     let lct = lewko_world.encrypt_once();
     let lewko = ComponentSizes {
-        authority_key: lewko_world.authorities.iter().map(|a| a.storage_size()).sum(),
-        public_key: lewko_world.public_keys.values().map(|p| p.wire_size()).sum(),
+        authority_key: lewko_world
+            .authorities
+            .iter()
+            .map(|a| a.storage_size())
+            .sum(),
+        public_key: lewko_world
+            .public_keys
+            .values()
+            .map(|p| p.wire_size())
+            .sum(),
         secret_key: lewko_world.user_keys.values().map(|k| k.wire_size()).sum(),
         ciphertext: lct.wire_size(),
     };
@@ -235,11 +251,13 @@ const PAYLOAD: &[u8] = b"0123456789abcdef0123456789abcdef"; // 32 B component
 /// policy.
 pub fn deploy(shape: Shape) -> CloudSystem {
     let mut sys = CloudSystem::new(0xc10d);
-    let attr_names: Vec<String> =
-        (0..shape.attrs_per_authority).map(|x| format!("attr{x}")).collect();
+    let attr_names: Vec<String> = (0..shape.attrs_per_authority)
+        .map(|x| format!("attr{x}"))
+        .collect();
     let name_refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
     for a in 0..shape.authorities {
-        sys.add_authority(&format!("AA{a}"), &name_refs).expect("fresh AID");
+        sys.add_authority(&format!("AA{a}"), &name_refs)
+            .expect("fresh AID");
     }
     let owner = sys.add_owner("owner").expect("fresh owner");
     let user = sys.add_user("user").expect("fresh user");
@@ -252,7 +270,8 @@ pub fn deploy(shape: Shape) -> CloudSystem {
     sys.publish(&owner, "record", &[("component", PAYLOAD, &policy)])
         .expect("publish succeeds");
     // Exercise a read so Server↔User traffic exists for Table IV.
-    sys.read(&user, &owner, "record", "component").expect("read succeeds");
+    sys.read(&user, &owner, "record", "component")
+        .expect("read succeeds");
     sys
 }
 
@@ -268,10 +287,22 @@ pub fn table3(shape: Shape) -> String {
         "Entity | Ours (measured) | Lewko (same-shape)\n\
          -------+-----------------+-------------------\n",
     );
-    out.push_str(&format!("AA     | {:>15} | {:>18}\n", cmp.authority.0, cmp.authority.1));
-    out.push_str(&format!("Owner  | {:>15} | {:>18}\n", cmp.owner.0, cmp.owner.1));
-    out.push_str(&format!("User   | {:>15} | {:>18}\n", cmp.user.0, cmp.user.1));
-    out.push_str(&format!("Server | {:>15} | {:>18}\n", cmp.server.0, cmp.server.1));
+    out.push_str(&format!(
+        "AA     | {:>15} | {:>18}\n",
+        cmp.authority.0, cmp.authority.1
+    ));
+    out.push_str(&format!(
+        "Owner  | {:>15} | {:>18}\n",
+        cmp.owner.0, cmp.owner.1
+    ));
+    out.push_str(&format!(
+        "User   | {:>15} | {:>18}\n",
+        cmp.user.0, cmp.user.1
+    ));
+    out.push_str(&format!(
+        "Server | {:>15} | {:>18}\n",
+        cmp.server.0, cmp.server.1
+    ));
     out
 }
 
@@ -300,8 +331,14 @@ pub fn communication_comparison(shape: Shape) -> CommunicationComparison {
     CommunicationComparison {
         aa_user: (get(PairClass::AuthorityUser), lewko.secret_key),
         aa_owner: (get(PairClass::AuthorityOwner), lewko.public_key),
-        server_user: (get(PairClass::ServerUser), lewko.ciphertext + PAYLOAD_OVERHEAD),
-        server_owner: (get(PairClass::ServerOwner), lewko.ciphertext + PAYLOAD_OVERHEAD),
+        server_user: (
+            get(PairClass::ServerUser),
+            lewko.ciphertext + PAYLOAD_OVERHEAD,
+        ),
+        server_owner: (
+            get(PairClass::ServerOwner),
+            lewko.ciphertext + PAYLOAD_OVERHEAD,
+        ),
     }
 }
 
@@ -317,8 +354,14 @@ pub fn table4(shape: Shape) -> String {
         "Pair           | Ours (measured) | Lewko (same-shape)\n\
          ---------------+-----------------+-------------------\n",
     );
-    out.push_str(&format!("AA<->User      | {:>15} | {:>18}\n", cmp.aa_user.0, cmp.aa_user.1));
-    out.push_str(&format!("AA<->Owner     | {:>15} | {:>18}\n", cmp.aa_owner.0, cmp.aa_owner.1));
+    out.push_str(&format!(
+        "AA<->User      | {:>15} | {:>18}\n",
+        cmp.aa_user.0, cmp.aa_user.1
+    ));
+    out.push_str(&format!(
+        "AA<->Owner     | {:>15} | {:>18}\n",
+        cmp.aa_owner.0, cmp.aa_owner.1
+    ));
     out.push_str(&format!(
         "Server<->User  | {:>15} | {:>18}\n",
         cmp.server_user.0, cmp.server_user.1
@@ -334,12 +377,22 @@ pub fn table4(shape: Shape) -> String {
 mod tests {
     use super::*;
 
-    const SHAPE: Shape = Shape { authorities: 2, attrs_per_authority: 3 };
+    const SHAPE: Shape = Shape {
+        authorities: 2,
+        attrs_per_authority: 3,
+    };
 
     #[test]
     fn table1_contains_all_schemes() {
         let t = table1();
-        for name in ["Ours", "Chase07", "Muller09", "Chase-Chow09", "Lin10", "Lewko11"] {
+        for name in [
+            "Ours",
+            "Chase07",
+            "Muller09",
+            "Chase-Chow09",
+            "Lin10",
+            "Lewko11",
+        ] {
             assert!(t.contains(name), "missing {name}");
         }
         // Only ours and Lewko combine no-global-authority + LSSS + any
@@ -381,13 +434,19 @@ mod tests {
         assert!(ours.public_key < lewko.public_key);
         assert!(ours.ciphertext < lewko.ciphertext);
         // User key: ours has one extra |G| per authority.
-        assert_eq!(ours.secret_key, lewko.secret_key + SHAPE.authorities * G_BYTES);
+        assert_eq!(
+            ours.secret_key,
+            lewko.secret_key + SHAPE.authorities * G_BYTES
+        );
     }
 
     #[test]
     fn storage_comparison_shape_holds() {
         let cmp = storage_comparison(SHAPE);
-        assert!(cmp.authority.0 < cmp.authority.1, "AA storage: ours smaller");
+        assert!(
+            cmp.authority.0 < cmp.authority.1,
+            "AA storage: ours smaller"
+        );
         assert!(cmp.server.0 < cmp.server.1, "server storage: ours smaller");
         assert!(cmp.owner.0 > 0 && cmp.user.0 > 0);
     }
@@ -395,8 +454,14 @@ mod tests {
     #[test]
     fn communication_comparison_shape_holds() {
         let cmp = communication_comparison(SHAPE);
-        assert!(cmp.server_user.0 < cmp.server_user.1, "download: ours smaller");
-        assert!(cmp.server_owner.0 < cmp.server_owner.1, "upload: ours smaller");
+        assert!(
+            cmp.server_user.0 < cmp.server_user.1,
+            "download: ours smaller"
+        );
+        assert!(
+            cmp.server_owner.0 < cmp.server_owner.1,
+            "upload: ours smaller"
+        );
         assert!(cmp.aa_owner.0 > 0 && cmp.aa_user.0 > 0);
     }
 

@@ -25,7 +25,7 @@ pub fn trials_from_env(default: usize) -> usize {
     std::env::var("MABE_TRIALS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v >= 1 && v <= 1000)
+        .filter(|v| (1..=1000).contains(v))
         .unwrap_or(default)
 }
 

@@ -42,7 +42,10 @@ pub fn and_policy(shape: Shape) -> Policy {
     let leaves: Vec<Policy> = (0..shape.authorities)
         .flat_map(|a| {
             (0..shape.attrs_per_authority).map(move |x| {
-                Policy::leaf(Attribute::new(format!("attr{x}"), AuthorityId::new(format!("AA{a}"))))
+                Policy::leaf(Attribute::new(
+                    format!("attr{x}"),
+                    AuthorityId::new(format!("AA{a}")),
+                ))
             })
         })
         .collect();
@@ -82,33 +85,53 @@ impl OurWorld {
 
         let mut authorities = Vec::with_capacity(shape.authorities);
         let mut user_keys = BTreeMap::new();
-        let attr_names: Vec<String> =
-            (0..shape.attrs_per_authority).map(|x| format!("attr{x}")).collect();
+        let attr_names: Vec<String> = (0..shape.attrs_per_authority)
+            .map(|x| format!("attr{x}"))
+            .collect();
         for a in 0..shape.authorities {
             let aid = ca.register_authority(format!("AA{a}")).expect("fresh AID");
             let mut aa = AttributeAuthority::new(aid.clone(), &attr_names, &mut rng);
-            aa.register_owner(owner.owner_secret_key()).expect("fresh owner");
+            aa.register_owner(owner.owner_secret_key())
+                .expect("fresh owner");
             owner.learn_authority_keys(aa.public_keys());
-            aa.grant(&user_pk, aa.attributes().iter().cloned().collect::<Vec<_>>())
-                .expect("attributes are managed here");
-            user_keys.insert(aid, aa.keygen(&user_pk.uid, owner.id()).expect("registered"));
+            aa.grant(
+                &user_pk,
+                aa.attributes().iter().cloned().collect::<Vec<_>>(),
+            )
+            .expect("attributes are managed here");
+            user_keys.insert(
+                aid,
+                aa.keygen(&user_pk.uid, owner.id()).expect("registered"),
+            );
             authorities.push(aa);
         }
-        let access =
-            AccessStructure::from_policy(&and_policy(shape)).expect("injective policy");
-        OurWorld { rng, shape, owner, user_pk, user_keys, access, authorities }
+        let access = AccessStructure::from_policy(&and_policy(shape)).expect("injective policy");
+        OurWorld {
+            rng,
+            shape,
+            owner,
+            user_pk,
+            user_keys,
+            access,
+            authorities,
+        }
     }
 
     /// Encrypts a random message; returns the ciphertext.
     pub fn encrypt_once(&mut self) -> Ciphertext {
         let msg = Gt::random(&mut self.rng);
-        self.owner.encrypt_under(&msg, &self.access, &mut self.rng).expect("keys learned")
+        self.owner
+            .encrypt_under(&msg, &self.access, &mut self.rng)
+            .expect("keys learned")
     }
 
     /// Encrypts and remembers the plaintext for verification.
     pub fn encrypt_with_message(&mut self) -> (Ciphertext, Gt) {
         let msg = Gt::random(&mut self.rng);
-        let ct = self.owner.encrypt_under(&msg, &self.access, &mut self.rng).expect("keys learned");
+        let ct = self
+            .owner
+            .encrypt_under(&msg, &self.access, &mut self.rng)
+            .expect("keys learned");
         (ct, msg)
     }
 
@@ -138,8 +161,9 @@ impl LewkoWorld {
     /// Sets up the same shape for the baseline.
     pub fn new(shape: Shape, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let attr_names: Vec<String> =
-            (0..shape.attrs_per_authority).map(|x| format!("attr{x}")).collect();
+        let attr_names: Vec<String> = (0..shape.attrs_per_authority)
+            .map(|x| format!("attr{x}"))
+            .collect();
         let mut authorities = Vec::with_capacity(shape.authorities);
         let mut public_keys = BTreeMap::new();
         let mut user_keys = BTreeMap::new();
@@ -153,9 +177,15 @@ impl LewkoWorld {
             }
             authorities.push(aa);
         }
-        let access =
-            AccessStructure::from_policy(&and_policy(shape)).expect("injective policy");
-        LewkoWorld { rng, shape, public_keys, user_keys, access, authorities }
+        let access = AccessStructure::from_policy(&and_policy(shape)).expect("injective policy");
+        LewkoWorld {
+            rng,
+            shape,
+            public_keys,
+            user_keys,
+            access,
+            authorities,
+        }
     }
 
     /// Encrypts a random message.
@@ -185,7 +215,10 @@ mod tests {
 
     #[test]
     fn shapes_and_policy() {
-        let shape = Shape { authorities: 3, attrs_per_authority: 2 };
+        let shape = Shape {
+            authorities: 3,
+            attrs_per_authority: 2,
+        };
         assert_eq!(shape.total_attrs(), 6);
         let p = and_policy(shape);
         assert_eq!(p.leaves().len(), 6);
@@ -194,7 +227,13 @@ mod tests {
 
     #[test]
     fn our_world_roundtrip() {
-        let mut w = OurWorld::new(Shape { authorities: 2, attrs_per_authority: 2 }, 1);
+        let mut w = OurWorld::new(
+            Shape {
+                authorities: 2,
+                attrs_per_authority: 2,
+            },
+            1,
+        );
         let (ct, msg) = w.encrypt_with_message();
         assert_eq!(w.decrypt_once(&ct), msg);
         assert_eq!(ct.rows(), 4);
@@ -202,7 +241,13 @@ mod tests {
 
     #[test]
     fn lewko_world_roundtrip() {
-        let mut w = LewkoWorld::new(Shape { authorities: 2, attrs_per_authority: 2 }, 2);
+        let mut w = LewkoWorld::new(
+            Shape {
+                authorities: 2,
+                attrs_per_authority: 2,
+            },
+            2,
+        );
         let (ct, msg) = w.encrypt_with_message();
         assert_eq!(w.decrypt_once(&ct), msg);
         assert_eq!(ct.len(), 4);
@@ -210,7 +255,13 @@ mod tests {
 
     #[test]
     fn single_attribute_shape() {
-        let mut w = OurWorld::new(Shape { authorities: 1, attrs_per_authority: 1 }, 3);
+        let mut w = OurWorld::new(
+            Shape {
+                authorities: 1,
+                attrs_per_authority: 1,
+            },
+            3,
+        );
         let (ct, msg) = w.encrypt_with_message();
         assert_eq!(w.decrypt_once(&ct), msg);
     }

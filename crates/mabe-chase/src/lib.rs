@@ -69,7 +69,11 @@ impl fmt::Display for ChaseError {
         match self {
             ChaseError::UnknownAttribute(a) => write!(f, "attribute {a} is not managed here"),
             ChaseError::UnknownAuthority(a) => write!(f, "unknown authority {a}"),
-            ChaseError::ThresholdNotMet { authority, needed, had } => write!(
+            ChaseError::ThresholdNotMet {
+                authority,
+                needed,
+                had,
+            } => write!(
                 f,
                 "authority {authority}: need {needed} matching attributes, have {had}"
             ),
@@ -173,7 +177,10 @@ impl ChaseSystem {
     {
         let mut authorities = BTreeMap::new();
         for (name, attrs, d) in spec {
-            assert!(*d >= 1 && *d <= attrs.len(), "threshold out of range for {name}");
+            assert!(
+                *d >= 1 && *d <= attrs.len(),
+                "threshold out of range for {name}"
+            );
             let aid = AuthorityId::new(*name);
             let secrets = attrs
                 .iter()
@@ -181,9 +188,19 @@ impl ChaseSystem {
                 .collect();
             let mut prf_seed = [0u8; 32];
             rng.fill_bytes(&mut prf_seed);
-            authorities.insert(aid, AuthorityState { threshold: *d, secrets, prf_seed });
+            authorities.insert(
+                aid,
+                AuthorityState {
+                    threshold: *d,
+                    secrets,
+                    prf_seed,
+                },
+            );
         }
-        ChaseSystem { y0: nonzero(rng), authorities }
+        ChaseSystem {
+            y0: nonzero(rng),
+            authorities,
+        }
     }
 
     /// Publishes the system public keys.
@@ -196,7 +213,11 @@ impl ChaseSystem {
                 attr_keys.insert(attr.clone(), G1Affine::from(generator_mul(t)));
             }
         }
-        ChasePublicKeys { y: Gt::generator().pow(&self.y0), attr_keys, thresholds }
+        ChasePublicKeys {
+            y: Gt::generator().pow(&self.y0),
+            attr_keys,
+            thresholds,
+        }
     }
 
     /// Issues a user's complete key bundle for the given attribute set
@@ -239,7 +260,11 @@ impl ChaseSystem {
             }
         }
         let central = G1Affine::from(generator_mul(&self.y0.sub(&y_sum)));
-        Ok(ChaseUserKey { gid: gid.to_owned(), attr_keys, central })
+        Ok(ChaseUserKey {
+            gid: gid.to_owned(),
+            attr_keys,
+            central,
+        })
     }
 
     /// Convenience: decryption by the central authority itself — it
@@ -393,7 +418,11 @@ mod tests {
         let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
 
         let key = sys
-            .keygen("alice", &attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]), &mut r)
+            .keygen(
+                "alice",
+                &attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]),
+                &mut r,
+            )
             .unwrap();
         assert_eq!(decrypt(&ct, &key, &pks).unwrap(), msg);
     }
@@ -411,7 +440,11 @@ mod tests {
             .unwrap();
         assert!(matches!(
             decrypt(&ct, &key, &pks),
-            Err(ChaseError::ThresholdNotMet { needed: 2, had: 1, .. })
+            Err(ChaseError::ThresholdNotMet {
+                needed: 2,
+                had: 1,
+                ..
+            })
         ));
     }
 
@@ -424,7 +457,9 @@ mod tests {
         let msg = Gt::random(&mut r);
         let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
         let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
-        let key = sys.keygen("carol", &attrset(&["Doctor@Med", "Nurse@Med"]), &mut r).unwrap();
+        let key = sys
+            .keygen("carol", &attrset(&["Doctor@Med", "Nurse@Med"]), &mut r)
+            .unwrap();
         assert!(matches!(
             decrypt(&ct, &key, &pks),
             Err(ChaseError::ThresholdNotMet { .. })
@@ -455,8 +490,12 @@ mod tests {
         let named = attrset(&["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
         let ct = encrypt(&msg, &named, &pks, &mut r).unwrap();
 
-        let alice = sys.keygen("alice", &attrset(&["Doctor@Med", "Nurse@Med"]), &mut r).unwrap();
-        let bob = sys.keygen("bob", &attrset(&["Researcher@Trial"]), &mut r).unwrap();
+        let alice = sys
+            .keygen("alice", &attrset(&["Doctor@Med", "Nurse@Med"]), &mut r)
+            .unwrap();
+        let bob = sys
+            .keygen("bob", &attrset(&["Researcher@Trial"]), &mut r)
+            .unwrap();
 
         // Pool: Alice's attribute keys + Bob's Trial key, try both
         // central keys.
@@ -485,7 +524,12 @@ mod tests {
         ));
         // Only one Med attribute named (d = 2).
         assert!(matches!(
-            encrypt(&msg, &attrset(&["Doctor@Med", "Researcher@Trial"]), &pks, &mut r),
+            encrypt(
+                &msg,
+                &attrset(&["Doctor@Med", "Researcher@Trial"]),
+                &pks,
+                &mut r
+            ),
             Err(ChaseError::CiphertextTooSmall(_))
         ));
     }

@@ -79,15 +79,30 @@ impl fmt::Display for AuditEvent {
             AuditEvent::Granted { uid, attributes } => {
                 write!(f, "grant {uid} <- {}", attributes.join(","))
             }
-            AuditEvent::Published { owner, record, components } => {
+            AuditEvent::Published {
+                owner,
+                record,
+                components,
+            } => {
                 write!(f, "publish {owner}/{record} [{}]", components.join(","))
             }
-            AuditEvent::Read { uid, owner, record, component, allowed } => write!(
+            AuditEvent::Read {
+                uid,
+                owner,
+                record,
+                component,
+                allowed,
+            } => write!(
                 f,
                 "read {uid} {owner}/{record}/{component}: {}",
                 if *allowed { "allowed" } else { "DENIED" }
             ),
-            AuditEvent::Revoked { uid, attributes, aid, new_version } => write!(
+            AuditEvent::Revoked {
+                uid,
+                attributes,
+                aid,
+                new_version,
+            } => write!(
                 f,
                 "revoke {uid} -{} @{aid} (v{new_version})",
                 attributes.join(",")
@@ -99,11 +114,19 @@ impl fmt::Display for AuditEvent {
 /// One chained entry.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AuditEntry {
-    /// Sequence number (0-based).
+    /// Position in the log (0-based).
     pub index: u64,
+    /// Monotonic sequence number drawn from the log's own counter. It
+    /// survives independent of position, so a verifier who witnessed an
+    /// earlier `seq` can prove later re-numbering.
+    pub seq: u64,
+    /// Logical (Lamport) timestamp at record time: strictly increasing,
+    /// and advanceable past external clocks via
+    /// [`AuditLog::observe_clock`] to order entries across components.
+    pub timestamp: u64,
     /// The event.
     pub event: AuditEvent,
-    /// `SHA-256(prev_digest ‖ index ‖ display(event))`.
+    /// `SHA-256(prev_digest ‖ index ‖ seq ‖ timestamp ‖ display(event))`.
     pub digest: [u8; DIGEST_LEN],
 }
 
@@ -111,6 +134,8 @@ pub struct AuditEntry {
 #[derive(Clone, Debug, Default)]
 pub struct AuditLog {
     entries: Vec<AuditEntry>,
+    next_seq: u64,
+    clock: u64,
 }
 
 impl AuditLog {
@@ -119,10 +144,18 @@ impl AuditLog {
         Self::default()
     }
 
-    fn chain_digest(prev: &[u8; DIGEST_LEN], index: u64, event: &AuditEvent) -> [u8; DIGEST_LEN] {
+    fn chain_digest(
+        prev: &[u8; DIGEST_LEN],
+        index: u64,
+        seq: u64,
+        timestamp: u64,
+        event: &AuditEvent,
+    ) -> [u8; DIGEST_LEN] {
         let mut h = Sha256::new();
         h.update(prev);
         h.update(&index.to_be_bytes());
+        h.update(&seq.to_be_bytes());
+        h.update(&timestamp.to_be_bytes());
         h.update(event.to_string().as_bytes());
         h.finalize()
     }
@@ -130,13 +163,34 @@ impl AuditLog {
     /// Appends an event.
     pub fn record(&mut self, event: AuditEvent) {
         let index = self.entries.len() as u64;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.clock += 1;
+        let timestamp = self.clock;
         let prev = self
             .entries
             .last()
             .map(|e| e.digest)
             .unwrap_or([0u8; DIGEST_LEN]);
-        let digest = Self::chain_digest(&prev, index, &event);
-        self.entries.push(AuditEntry { index, event, digest });
+        let digest = Self::chain_digest(&prev, index, seq, timestamp, &event);
+        self.entries.push(AuditEntry {
+            index,
+            seq,
+            timestamp,
+            event,
+            digest,
+        });
+    }
+
+    /// Lamport-merges an external logical clock: subsequent entries will
+    /// carry timestamps strictly greater than `external`.
+    pub fn observe_clock(&mut self, external: u64) {
+        self.clock = self.clock.max(external);
+    }
+
+    /// The current logical time (timestamp of the most recent entry).
+    pub fn clock(&self) -> u64 {
+        self.clock
     }
 
     /// All entries in order.
@@ -150,18 +204,29 @@ impl AuditLog {
     }
 
     /// Recomputes the chain; `true` iff no entry was altered, reordered
-    /// or removed from the middle.
+    /// or removed from the middle, sequence numbers are strictly
+    /// increasing, and logical timestamps are strictly increasing.
     pub fn verify(&self) -> bool {
         let mut prev = [0u8; DIGEST_LEN];
+        let mut last_seq: Option<u64> = None;
+        let mut last_ts: Option<u64> = None;
         for (i, entry) in self.entries.iter().enumerate() {
             if entry.index != i as u64 {
                 return false;
             }
-            let expect = Self::chain_digest(&prev, entry.index, &entry.event);
+            if last_seq.is_some_and(|s| entry.seq <= s)
+                || last_ts.is_some_and(|t| entry.timestamp <= t)
+            {
+                return false;
+            }
+            let expect =
+                Self::chain_digest(&prev, entry.index, entry.seq, entry.timestamp, &entry.event);
             if expect != entry.digest {
                 return false;
             }
             prev = entry.digest;
+            last_seq = Some(entry.seq);
+            last_ts = Some(entry.timestamp);
         }
         true
     }
@@ -179,9 +244,9 @@ impl AuditLog {
 
     /// Denied reads — the interesting rows for a security review.
     pub fn denials(&self) -> impl Iterator<Item = &AuditEntry> {
-        self.entries.iter().filter(|e| {
-            matches!(e.event, AuditEvent::Read { allowed: false, .. })
-        })
+        self.entries
+            .iter()
+            .filter(|e| matches!(e.event, AuditEvent::Read { allowed: false, .. }))
     }
 }
 
@@ -192,7 +257,9 @@ mod tests {
     fn sample_log() -> AuditLog {
         let mut log = AuditLog::new();
         log.record(AuditEvent::AuthorityAdded { aid: "Med".into() });
-        log.record(AuditEvent::UserAdded { uid: "alice".into() });
+        log.record(AuditEvent::UserAdded {
+            uid: "alice".into(),
+        });
         log.record(AuditEvent::Granted {
             uid: "alice".into(),
             attributes: vec!["Doctor@Med".into()],
@@ -256,6 +323,50 @@ mod tests {
     }
 
     #[test]
+    fn seq_and_timestamp_are_strictly_monotonic() {
+        let log = sample_log();
+        for pair in log.entries().windows(2) {
+            assert!(pair[1].seq > pair[0].seq);
+            assert!(pair[1].timestamp > pair[0].timestamp);
+        }
+        assert_eq!(log.clock(), log.entries().last().unwrap().timestamp);
+    }
+
+    #[test]
+    fn timestamp_edit_detected() {
+        let mut log = sample_log();
+        log.entries[3].timestamp += 100;
+        assert!(!log.verify(), "timestamp is committed to by the digest");
+    }
+
+    #[test]
+    fn seq_edit_detected() {
+        let mut log = sample_log();
+        log.entries[2].seq = 99;
+        assert!(
+            !log.verify(),
+            "sequence number is committed to by the digest"
+        );
+    }
+
+    #[test]
+    fn observed_external_clock_orders_later_entries() {
+        let mut log = sample_log();
+        let before = log.clock();
+        log.observe_clock(before + 1000);
+        log.record(AuditEvent::UserAdded { uid: "late".into() });
+        let last = log.entries().last().unwrap();
+        assert!(last.timestamp > before + 1000);
+        assert!(log.verify());
+        // Observing a clock in the past must not rewind time.
+        log.observe_clock(0);
+        log.record(AuditEvent::UserAdded {
+            uid: "later".into(),
+        });
+        assert!(log.verify());
+    }
+
+    #[test]
     fn filters() {
         let log = sample_log();
         assert_eq!(log.for_user("alice").count(), 3);
@@ -266,8 +377,7 @@ mod tests {
     #[test]
     fn display_is_informative() {
         let log = sample_log();
-        let rendered: Vec<String> =
-            log.entries().iter().map(|e| e.event.to_string()).collect();
+        let rendered: Vec<String> = log.entries().iter().map(|e| e.event.to_string()).collect();
         assert!(rendered[2].contains("Doctor@Med"));
         assert!(rendered[4].contains("DENIED"));
     }

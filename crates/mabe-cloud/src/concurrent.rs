@@ -120,20 +120,37 @@ where
     })
     .expect("reader thread panicked");
 
-    ThroughputReport {
+    let report = ThroughputReport {
         successes: successes.into_inner(),
         clean_failures: clean_failures.into_inner(),
         corruptions: corruptions.into_inner(),
         elapsed: start.elapsed(),
-    }
+    };
+    // Mirror the run into the telemetry registry so concurrent-harness
+    // outcomes show up next to everything else in the metrics exports.
+    let registry = mabe_telemetry::global();
+    registry
+        .counter("mabe_concurrent_reads_total", &[("outcome", "success")])
+        .add(report.successes);
+    registry
+        .counter(
+            "mabe_concurrent_reads_total",
+            &[("outcome", "clean_failure")],
+        )
+        .add(report.clean_failures);
+    registry
+        .counter("mabe_concurrent_reads_total", &[("outcome", "corruption")])
+        .add(report.corruptions);
+    registry
+        .histogram("mabe_concurrent_run_latency_us", &[])
+        .record(report.elapsed.as_micros().min(u128::from(u64::MAX)) as u64);
+    report
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mabe_core::{
-        seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner,
-    };
+    use mabe_core::{seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner};
     use mabe_policy::{parse, Attribute};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -154,7 +171,13 @@ mod tests {
         let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
         aa.register_owner(owner.owner_secret_key()).unwrap();
         owner.learn_authority_keys(aa.public_keys());
-        World { rng, ca, aa, owner, server: Arc::new(CloudServer::new()) }
+        World {
+            rng,
+            ca,
+            aa,
+            owner,
+            server: Arc::new(CloudServer::new()),
+        }
     }
 
     fn reader(w: &mut World, name: &str, expected: &[u8]) -> ReaderSpec {
@@ -187,8 +210,9 @@ mod tests {
         .unwrap();
         w.server.store(w.owner.id().clone(), "rec", envelope);
 
-        let readers: Vec<ReaderSpec> =
-            (0..4).map(|i| reader(&mut w, &format!("r{i}"), b"payload")).collect();
+        let readers: Vec<ReaderSpec> = (0..4)
+            .map(|i| reader(&mut w, &format!("r{i}"), b"payload"))
+            .collect();
         let report = run_concurrent_reads(&w.server, &readers, 10, || {});
         assert_eq!(report.successes, 40);
         assert_eq!(report.clean_failures, 0);
@@ -214,14 +238,17 @@ mod tests {
         let ct_id = envelope.components[0].key_ct.id;
         w.server.store(w.owner.id().clone(), "rec", envelope);
 
-        let readers: Vec<ReaderSpec> =
-            (0..4).map(|i| reader(&mut w, &format!("r{i}"), b"payload")).collect();
+        let readers: Vec<ReaderSpec> = (0..4)
+            .map(|i| reader(&mut w, &format!("r{i}"), b"payload"))
+            .collect();
 
         // Prepare the revocation of a scapegoat user.
         let scapegoat = w.ca.register_user("scapegoat", &mut w.rng).unwrap();
         let attr: Attribute = "A@Org".parse().unwrap();
         w.aa.grant(&scapegoat, [attr.clone()]).unwrap();
-        let event = w.aa.revoke_attribute(&scapegoat.uid, &attr, &mut w.rng).unwrap();
+        let event =
+            w.aa.revoke_attribute(&scapegoat.uid, &attr, &mut w.rng)
+                .unwrap();
         let uk = event.update_keys[w.owner.id()].clone();
         w.owner.apply_update_key(&uk).unwrap();
         let ui = w.owner.update_info_for(ct_id, w.aa.aid(), 1, 2).unwrap();

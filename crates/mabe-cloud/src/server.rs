@@ -14,26 +14,13 @@ use std::collections::BTreeMap;
 
 use parking_lot::RwLock;
 
-use mabe_core::{reencrypt, CiphertextId, DataEnvelope, Error, OwnerId, UpdateInfo, UpdateKey};
+use mabe_core::{
+    read_string, reencrypt, CiphertextId, DataEnvelope, Error, OwnerId, UpdateInfo, UpdateKey,
+};
 use mabe_policy::AuthorityId;
 
 /// Key of a stored record: owner plus record name.
 pub type RecordKey = (OwnerId, String);
-
-fn read_string(r: &mut mabe_core::Reader<'_>) -> Result<String, Error> {
-    let len = {
-        let mut n = [0u8; 2];
-        for b in n.iter_mut() {
-            *b = r.u8()?;
-        }
-        u16::from_be_bytes(n) as usize
-    };
-    let mut bytes = Vec::with_capacity(len);
-    for _ in 0..len {
-        bytes.push(r.u8()?);
-    }
-    String::from_utf8(bytes).map_err(|_| Error::Malformed("non-utf8 string"))
-}
 
 /// The cloud storage server.
 #[derive(Debug, Default)]
@@ -49,13 +36,18 @@ impl CloudServer {
 
     /// Stores (or replaces) a record.
     pub fn store(&self, owner: OwnerId, name: impl Into<String>, envelope: DataEnvelope) {
+        let _span = mabe_telemetry::Span::with_labels("mabe_server_op", &[("op", "store")]);
         self.records.write().insert((owner, name.into()), envelope);
     }
 
     /// Fetches a record (clone — the server hands out bytes, it does not
     /// share memory with clients).
     pub fn fetch(&self, owner: &OwnerId, name: &str) -> Option<DataEnvelope> {
-        self.records.read().get(&(owner.clone(), name.to_owned())).cloned()
+        let _span = mabe_telemetry::Span::with_labels("mabe_server_op", &[("op", "fetch")]);
+        self.records
+            .read()
+            .get(&(owner.clone(), name.to_owned()))
+            .cloned()
     }
 
     /// Number of stored records.
@@ -65,7 +57,11 @@ impl CloudServer {
 
     /// Total paper-accounted storage in bytes (Table III "Server" row).
     pub fn storage_size(&self) -> usize {
-        self.records.read().values().map(DataEnvelope::stored_size).sum()
+        self.records
+            .read()
+            .values()
+            .map(DataEnvelope::stored_size)
+            .sum()
     }
 
     /// All ciphertext ids (with their record keys) belonging to `owner`
@@ -154,7 +150,9 @@ impl CloudServer {
         if !r.is_exhausted() {
             return Err(Error::Malformed("trailing bytes"));
         }
-        Ok(CloudServer { records: RwLock::new(records) })
+        Ok(CloudServer {
+            records: RwLock::new(records),
+        })
     }
 
     /// Runs `ReEncrypt` on one stored component (paper §V-C Phase 2).
@@ -170,8 +168,11 @@ impl CloudServer {
         uk: &UpdateKey,
         ui: &UpdateInfo,
     ) -> Result<(), Error> {
+        let _span = mabe_telemetry::Span::with_labels("mabe_server_op", &[("op", "reencrypt")]);
         let mut records = self.records.write();
-        let envelope = records.get_mut(record).ok_or(Error::Malformed("unknown record"))?;
+        let envelope = records
+            .get_mut(record)
+            .ok_or(Error::Malformed("unknown record"))?;
         let component = envelope
             .component_mut(label)
             .ok_or(Error::Malformed("unknown component"))?;
@@ -254,8 +255,8 @@ mod tests {
         aa.grant(&user, ["A@Org".parse().unwrap()]).unwrap();
         let keys = BTreeMap::from([(aid, aa.keygen(&user.uid, owner.id()).unwrap())]);
         let fetched = restored.fetch(owner.id(), "rec").unwrap();
-        let data = mabe_core::open_component(fetched.component("x").unwrap(), &user, &keys)
-            .unwrap();
+        let data =
+            mabe_core::open_component(fetched.component("x").unwrap(), &user, &keys).unwrap();
         assert_eq!(data, b"persisted");
 
         // Corrupted snapshots are rejected, not panicking.
@@ -266,7 +267,12 @@ mod tests {
         assert!(CloudServer::restore(&extended).is_err());
         // Empty server snapshots round-trip too.
         let empty = CloudServer::new();
-        assert_eq!(CloudServer::restore(&empty.snapshot()).unwrap().record_count(), 0);
+        assert_eq!(
+            CloudServer::restore(&empty.snapshot())
+                .unwrap()
+                .record_count(),
+            0
+        );
     }
 
     #[test]

@@ -151,7 +151,9 @@ impl CloudSystem {
             owner.learn_authority_keys(pks);
         }
         self.authorities.insert(aid.clone(), aa);
-        self.audit.record(AuditEvent::AuthorityAdded { aid: aid.to_string() });
+        self.audit.record(AuditEvent::AuthorityAdded {
+            aid: aid.to_string(),
+        });
         Ok(aid)
     }
 
@@ -203,7 +205,9 @@ impl CloudSystem {
             }
         }
         self.owners.insert(id.clone(), owner);
-        self.audit.record(AuditEvent::OwnerAdded { owner: id.to_string() });
+        self.audit.record(AuditEvent::OwnerAdded {
+            owner: id.to_string(),
+        });
         Ok(id)
     }
 
@@ -215,10 +219,23 @@ impl CloudSystem {
     pub fn add_user(&mut self, name: &str) -> Result<Uid, CloudError> {
         let pk = self.ca.register_user(name, &mut self.rng)?;
         let uid = pk.uid.clone();
-        self.wire.send(Endpoint::Ca, Endpoint::User(uid.clone()), "uid + public key", pk.wire_size());
-        self.users.insert(uid.clone(), UserState { pk, keys: BTreeMap::new() });
+        self.wire.send(
+            Endpoint::Ca,
+            Endpoint::User(uid.clone()),
+            "uid + public key",
+            pk.wire_size(),
+        );
+        self.users.insert(
+            uid.clone(),
+            UserState {
+                pk,
+                keys: BTreeMap::new(),
+            },
+        );
         self.grants.insert(uid.clone(), BTreeSet::new());
-        self.audit.record(AuditEvent::UserAdded { uid: uid.to_string() });
+        self.audit.record(AuditEvent::UserAdded {
+            uid: uid.to_string(),
+        });
         Ok(uid)
     }
 
@@ -238,7 +255,10 @@ impl CloudSystem {
             let attr: Attribute = raw
                 .parse()
                 .map_err(|_| CloudError::UnknownEntity(format!("attribute {raw}")))?;
-            by_authority.entry(attr.authority().clone()).or_default().push(attr);
+            by_authority
+                .entry(attr.authority().clone())
+                .or_default()
+                .push(attr);
         }
         for (aid, attrs) in by_authority {
             let aa = self
@@ -246,7 +266,10 @@ impl CloudSystem {
                 .get_mut(&aid)
                 .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
             aa.grant(&state.pk, attrs.iter().cloned())?;
-            self.grants.get_mut(uid).expect("user exists").extend(attrs.iter().cloned());
+            self.grants
+                .get_mut(uid)
+                .expect("user exists")
+                .extend(attrs.iter().cloned());
             for owner_id in self.owners.keys() {
                 let key = aa.keygen(uid, owner_id)?;
                 self.wire.send(
@@ -277,6 +300,7 @@ impl CloudSystem {
         record: &str,
         components: &[(&str, &[u8], &str)],
     ) -> Result<(), CloudError> {
+        let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "publish")]);
         let owner = self
             .owners
             .get_mut(owner_id)
@@ -319,6 +343,7 @@ impl CloudSystem {
         record: &str,
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
+        let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read")]);
         let state = self
             .users
             .get(uid)
@@ -370,6 +395,8 @@ impl CloudSystem {
         record: &str,
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
+        let _span =
+            mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read_outsourced")]);
         let state = self
             .users
             .get(uid)
@@ -391,8 +418,8 @@ impl CloudSystem {
         let (tk, rk) = mabe_core::make_transform_key(&state.pk, &keys, &mut self.rng)?;
         // The blinded key travels to the server (same element count as
         // the underlying secret keys plus the blinded PK).
-        let tk_bytes: usize = keys.values().map(UserSecretKey::wire_size).sum::<usize>()
-            + mabe_core::G_BYTES;
+        let tk_bytes: usize =
+            keys.values().map(UserSecretKey::wire_size).sum::<usize>() + mabe_core::G_BYTES;
         self.wire.send(
             Endpoint::User(uid.clone()),
             Endpoint::Server,
@@ -428,6 +455,9 @@ impl CloudSystem {
     ///
     /// Unknown user/authority, or the user does not hold the attribute.
     pub fn revoke(&mut self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
+        // End-to-end revocation latency: ReKey at the authority through
+        // the last server-side re-encryption.
+        let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         let attr: Attribute = attribute
             .parse()
             .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
@@ -447,6 +477,7 @@ impl CloudSystem {
     ///
     /// Unknown user/authority, or no attributes held there.
     pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
+        let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         let aa = self
             .authorities
             .get_mut(aid)
@@ -499,8 +530,7 @@ impl CloudSystem {
             return Ok(());
         };
         // Compact chains per (owner, authority).
-        let mut compacted: BTreeMap<(OwnerId, AuthorityId), mabe_core::UpdateKey> =
-            BTreeMap::new();
+        let mut compacted: BTreeMap<(OwnerId, AuthorityId), mabe_core::UpdateKey> = BTreeMap::new();
         for (owner_id, uk) in queue {
             let slot = (owner_id, uk.aid.clone());
             match compacted.remove(&slot) {
@@ -539,7 +569,11 @@ impl CloudSystem {
         let uid = event.revoked_uid.clone();
         self.audit.record(AuditEvent::Revoked {
             uid: uid.to_string(),
-            attributes: event.revoked_attributes.iter().map(|a| a.to_string()).collect(),
+            attributes: event
+                .revoked_attributes
+                .iter()
+                .map(|a| a.to_string())
+                .collect(),
             aid: aid.to_string(),
             new_version: event.to_version,
         });
@@ -558,7 +592,9 @@ impl CloudSystem {
                     "re-issued secret key",
                     key.wire_size(),
                 );
-                state.keys.insert((owner_id.clone(), aid.clone()), key.clone());
+                state
+                    .keys
+                    .insert((owner_id.clone(), aid.clone()), key.clone());
             }
         }
 
@@ -606,17 +642,20 @@ impl CloudSystem {
             );
             owner.apply_update_key(uk)?;
 
-            let affected =
-                self.server.affected_ciphertexts(owner_id, &aid, event.from_version);
+            let affected = self
+                .server
+                .affected_ciphertexts(owner_id, &aid, event.from_version);
             for (record_key, label, ct_id) in affected {
-                let ui = owner.update_info_for(ct_id, &aid, event.from_version, event.to_version)?;
+                let ui =
+                    owner.update_info_for(ct_id, &aid, event.from_version, event.to_version)?;
                 self.wire.send(
                     Endpoint::Owner(owner_id.clone()),
                     Endpoint::Server,
                     "update key + update info",
                     uk.wire_size() + ui.wire_size(),
                 );
-                self.server.reencrypt_component(&record_key, &label, uk, &ui)?;
+                self.server
+                    .reencrypt_component(&record_key, &label, uk, &ui)?;
             }
         }
         Ok(())
@@ -635,6 +674,18 @@ impl CloudSystem {
     /// Resets communication accounting (e.g. between experiment phases).
     pub fn reset_wire(&mut self) {
         self.wire.reset();
+    }
+
+    /// JSON snapshot of the global telemetry registry: crypto-op
+    /// counters, per-pair wire bytes, and latency histograms
+    /// (encrypt/decrypt/re-encrypt, server ops, revocation end-to-end).
+    pub fn metrics_snapshot(&self) -> String {
+        mabe_telemetry::global().snapshot_json()
+    }
+
+    /// Prometheus text exposition of the same registry.
+    pub fn metrics_prometheus(&self) -> String {
+        mabe_telemetry::global().prometheus()
     }
 
     /// The cloud server.
@@ -664,7 +715,10 @@ impl CloudSystem {
                 .users
                 .iter()
                 .map(|(uid, s)| {
-                    (uid.clone(), s.keys.values().map(UserSecretKey::wire_size).sum())
+                    (
+                        uid.clone(),
+                        s.keys.values().map(UserSecretKey::wire_size).sum(),
+                    )
                 })
                 .collect(),
             server: self.server.storage_size(),
@@ -682,14 +736,18 @@ mod tests {
     fn medical_system() -> (CloudSystem, Uid, Uid, Uid, OwnerId) {
         let mut sys = CloudSystem::new(42);
         sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
-        sys.add_authority("Trial", &["Researcher", "Sponsor"]).unwrap();
+        sys.add_authority("Trial", &["Researcher", "Sponsor"])
+            .unwrap();
         let owner = sys.add_owner("hospital").unwrap();
         let alice = sys.add_user("alice").unwrap();
         let bob = sys.add_user("bob").unwrap();
         let carol = sys.add_user("carol").unwrap();
-        sys.grant(&alice, &["Doctor@MedOrg", "Researcher@Trial"]).unwrap();
-        sys.grant(&bob, &["Doctor@MedOrg", "Sponsor@Trial"]).unwrap();
-        sys.grant(&carol, &["Nurse@MedOrg", "Researcher@Trial"]).unwrap();
+        sys.grant(&alice, &["Doctor@MedOrg", "Researcher@Trial"])
+            .unwrap();
+        sys.grant(&bob, &["Doctor@MedOrg", "Sponsor@Trial"])
+            .unwrap();
+        sys.grant(&carol, &["Nurse@MedOrg", "Researcher@Trial"])
+            .unwrap();
         (sys, alice, bob, carol, owner)
     }
 
@@ -711,13 +769,19 @@ mod tests {
         .unwrap();
 
         // Alice (Doctor+Researcher) reads both.
-        assert_eq!(sys.read(&alice, &owner, "patient-7", "diagnosis").unwrap(), b"flu");
+        assert_eq!(
+            sys.read(&alice, &owner, "patient-7", "diagnosis").unwrap(),
+            b"flu"
+        );
         assert_eq!(
             sys.read(&alice, &owner, "patient-7", "trial-data").unwrap(),
             b"cohort A"
         );
         // Bob (Doctor+Sponsor) reads diagnosis only.
-        assert_eq!(sys.read(&bob, &owner, "patient-7", "diagnosis").unwrap(), b"flu");
+        assert_eq!(
+            sys.read(&bob, &owner, "patient-7", "diagnosis").unwrap(),
+            b"flu"
+        );
         assert!(sys.read(&bob, &owner, "patient-7", "trial-data").is_err());
         // Carol (Nurse+Researcher) reads neither.
         assert!(sys.read(&carol, &owner, "patient-7", "diagnosis").is_err());
@@ -745,8 +809,12 @@ mod tests {
         assert_eq!(sys.read(&bob, &owner, "rec", "x").unwrap(), b"secret");
 
         // New publications under the new version behave the same.
-        sys.publish(&owner, "rec2", &[("y", b"fresh".as_slice(), "Doctor@MedOrg")])
-            .unwrap();
+        sys.publish(
+            &owner,
+            "rec2",
+            &[("y", b"fresh".as_slice(), "Doctor@MedOrg")],
+        )
+        .unwrap();
         assert!(sys.read(&alice, &owner, "rec2", "y").is_err());
         assert_eq!(sys.read(&bob, &owner, "rec2", "y").unwrap(), b"fresh");
 
@@ -760,15 +828,20 @@ mod tests {
     fn late_owner_gets_keys_flowing() {
         let (mut sys, alice, _bob, _carol, _owner) = medical_system();
         let clinic = sys.add_owner("clinic").unwrap();
-        sys.publish(&clinic, "c-rec", &[("n", b"note".as_slice(), "Doctor@MedOrg")])
-            .unwrap();
+        sys.publish(
+            &clinic,
+            "c-rec",
+            &[("n", b"note".as_slice(), "Doctor@MedOrg")],
+        )
+        .unwrap();
         assert_eq!(sys.read(&alice, &clinic, "c-rec", "n").unwrap(), b"note");
     }
 
     #[test]
     fn wire_accounting_accumulates_per_pair() {
         let (mut sys, alice, _bob, _carol, owner) = medical_system();
-        sys.publish(&owner, "r", &[("x", b"d".as_slice(), "Doctor@MedOrg")]).unwrap();
+        sys.publish(&owner, "r", &[("x", b"d".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
         sys.read(&alice, &owner, "r", "x").unwrap();
         let report = sys.wire().report();
         assert!(report[&PairClass::AuthorityUser] > 0, "secret keys flowed");
@@ -796,7 +869,8 @@ mod tests {
             sys.read(&alice, &owner, "nope", "x"),
             Err(CloudError::UnknownRecord(_))
         ));
-        sys.publish(&owner, "r", &[("x", b"d".as_slice(), "Doctor@MedOrg")]).unwrap();
+        sys.publish(&owner, "r", &[("x", b"d".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
         assert!(matches!(
             sys.read(&alice, &owner, "r", "nope"),
             Err(CloudError::UnknownComponent(_))
@@ -819,8 +893,12 @@ mod tests {
     fn revocation_reencrypts_every_owners_ciphertexts() {
         let (mut sys, alice, bob, _carol, hospital) = medical_system();
         let clinic = sys.add_owner("clinic").unwrap();
-        sys.publish(&hospital, "h-rec", &[("x", b"h".as_slice(), "Doctor@MedOrg")])
-            .unwrap();
+        sys.publish(
+            &hospital,
+            "h-rec",
+            &[("x", b"h".as_slice(), "Doctor@MedOrg")],
+        )
+        .unwrap();
         sys.publish(&clinic, "c-rec", &[("x", b"c".as_slice(), "Doctor@MedOrg")])
             .unwrap();
         assert!(sys.read(&alice, &hospital, "h-rec", "x").is_ok());
@@ -841,7 +919,11 @@ mod tests {
         sys.publish(
             &owner,
             "r",
-            &[("x", b"outsource me".as_slice(), "Doctor@MedOrg AND Researcher@Trial")],
+            &[(
+                "x",
+                b"outsource me".as_slice(),
+                "Doctor@MedOrg AND Researcher@Trial",
+            )],
         )
         .unwrap();
         assert_eq!(sys.read(&alice, &owner, "r", "x").unwrap(), b"outsource me");
@@ -860,7 +942,8 @@ mod tests {
     #[test]
     fn audit_trail_records_lifecycle() {
         let (mut sys, alice, bob, _carol, owner) = medical_system();
-        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")]).unwrap();
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
         let _ = sys.read(&alice, &owner, "r", "x");
         let _ = sys.read(&bob, &owner, "r", "x");
         sys.revoke(&alice, "Doctor@MedOrg").unwrap();
@@ -903,7 +986,10 @@ mod tests {
         // Bob unaffected.
         assert!(sys.read(&bob, &owner, "r", "med").is_ok());
         // Re-revoking an attribute-less user fails.
-        assert!(sys.revoke_user(&alice).is_ok(), "no-op: no authorities involved");
+        assert!(
+            sys.revoke_user(&alice).is_ok(),
+            "no-op: no authorities involved"
+        );
         assert!(sys
             .revoke_user_at(&alice, &AuthorityId::new("MedOrg"))
             .is_err());
@@ -912,7 +998,8 @@ mod tests {
     #[test]
     fn offline_user_catches_up_with_queued_update_keys() {
         let (mut sys, alice, bob, _carol, owner) = medical_system();
-        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")]).unwrap();
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
         assert!(sys.read(&bob, &owner, "r", "x").is_ok());
 
         // Bob goes offline; two revocations happen (two version bumps).
@@ -936,10 +1023,45 @@ mod tests {
     }
 
     #[test]
+    fn metrics_exports_cover_the_lifecycle() {
+        let (mut sys, alice, _bob, _carol, owner) = medical_system();
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+        sys.read(&alice, &owner, "r", "x").unwrap();
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+
+        let json = sys.metrics_snapshot();
+        for series in [
+            "mabe_encrypt_latency_us",
+            "mabe_decrypt_latency_us",
+            "mabe_reencrypt_latency_us",
+            "mabe_revocation_e2e_latency_us",
+            "mabe_system_op_latency_us",
+            "mabe_server_op_latency_us",
+            "mabe_wire_bytes_total",
+            "mabe_crypto_ops_total",
+        ] {
+            assert!(
+                json.contains(series),
+                "JSON snapshot missing {series}: {json}"
+            );
+        }
+
+        let prom = sys.metrics_prometheus();
+        assert!(prom.contains("# TYPE mabe_wire_bytes_total counter"));
+        assert!(prom.contains("# TYPE mabe_revocation_e2e_latency_us histogram"));
+        assert!(prom.contains(r#"pair="authority_user""#));
+    }
+
+    #[test]
     fn multiple_revocations_chain_versions() {
         let (mut sys, alice, bob, carol, owner) = medical_system();
-        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Nurse@MedOrg OR Doctor@MedOrg")])
-            .unwrap();
+        sys.publish(
+            &owner,
+            "r",
+            &[("x", b"v".as_slice(), "Nurse@MedOrg OR Doctor@MedOrg")],
+        )
+        .unwrap();
         assert_eq!(sys.read(&carol, &owner, "r", "x").unwrap(), b"v");
 
         sys.revoke(&alice, "Doctor@MedOrg").unwrap();

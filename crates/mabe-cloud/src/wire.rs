@@ -70,6 +70,20 @@ impl PairClass {
     }
 }
 
+impl PairClass {
+    /// Stable label for metric series (`mabe_wire_bytes_total{pair=...}`).
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            PairClass::AuthorityUser => "authority_user",
+            PairClass::AuthorityOwner => "authority_owner",
+            PairClass::ServerUser => "server_user",
+            PairClass::ServerOwner => "server_owner",
+            PairClass::Ca => "ca",
+            PairClass::Other => "other",
+        }
+    }
+}
+
 impl fmt::Display for PairClass {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -109,9 +123,24 @@ impl Wire {
         Self::default()
     }
 
-    /// Records one message.
+    /// Records one message — in the local log (for the paper's Table IV
+    /// reports) and in the global telemetry registry (per-pair byte and
+    /// message counters).
     pub fn send(&mut self, from: Endpoint, to: Endpoint, what: impl Into<String>, bytes: usize) {
-        self.log.push(Transmission { from, to, what: what.into(), bytes });
+        let pair = PairClass::of(&from, &to).metric_label();
+        let registry = mabe_telemetry::global();
+        registry
+            .counter("mabe_wire_bytes_total", &[("pair", pair)])
+            .add(bytes as u64);
+        registry
+            .counter("mabe_wire_messages_total", &[("pair", pair)])
+            .inc();
+        self.log.push(Transmission {
+            from,
+            to,
+            what: what.into(),
+            bytes,
+        });
     }
 
     /// Full transmission log.
@@ -175,7 +204,12 @@ mod tests {
         let mut w = Wire::new();
         w.send(aa("Med"), user("alice"), "sk", 10);
         w.send(user("alice"), aa("Med"), "req", 5);
-        w.send(Endpoint::Server, Endpoint::Owner(OwnerId::new("o")), "ui-ack", 7);
+        w.send(
+            Endpoint::Server,
+            Endpoint::Owner(OwnerId::new("o")),
+            "ui-ack",
+            7,
+        );
         w.send(Endpoint::Ca, user("alice"), "uid", 3);
         let report = w.report();
         assert_eq!(report[&PairClass::AuthorityUser], 15);

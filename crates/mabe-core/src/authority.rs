@@ -16,7 +16,9 @@ use mabe_policy::{Attribute, AuthorityId};
 
 use crate::error::Error;
 use crate::ids::{OwnerId, Uid};
-use crate::keys::{AuthorityPublicKeys, OwnerSecretKey, UpdateKey, UserPublicKey, UserSecretKey, VersionKey};
+use crate::keys::{
+    AuthorityPublicKeys, OwnerSecretKey, UpdateKey, UserPublicKey, UserSecretKey, VersionKey,
+};
 
 /// The random oracle `H : {0,1}* → Z_p` applied to an attribute's
 /// canonical `name@authority` encoding.
@@ -73,13 +75,18 @@ impl AttributeAuthority {
         R: RngCore + ?Sized,
         S: AsRef<str>,
     {
+        let _span = mabe_telemetry::Span::start("mabe_setup");
         let attributes = attribute_names
             .iter()
             .map(|n| Attribute::new(n.as_ref(), aid.clone()))
             .collect();
         let alpha = nonzero_scalar(rng);
         AttributeAuthority {
-            version_key: VersionKey { aid: aid.clone(), version: 1, alpha },
+            version_key: VersionKey {
+                aid: aid.clone(),
+                version: 1,
+                alpha,
+            },
             aid,
             attributes,
             owners: BTreeMap::new(),
@@ -160,14 +167,20 @@ impl AttributeAuthority {
         let record = self
             .users
             .entry(user_pk.uid.clone())
-            .or_insert_with(|| UserRecord { pk: user_pk.clone(), attrs: BTreeSet::new() });
+            .or_insert_with(|| UserRecord {
+                pk: user_pk.clone(),
+                attrs: BTreeSet::new(),
+            });
         record.attrs.extend(attrs);
         Ok(())
     }
 
     /// The attribute set currently granted to a user.
     pub fn granted_attributes(&self, uid: &Uid) -> Result<&BTreeSet<Attribute>, Error> {
-        self.users.get(uid).map(|r| &r.attrs).ok_or_else(|| Error::UnknownUser(uid.clone()))
+        self.users
+            .get(uid)
+            .map(|r| &r.attrs)
+            .ok_or_else(|| Error::UnknownUser(uid.clone()))
     }
 
     /// Runs `KeyGen`: issues `SK_{UID,AID}` for a registered user, scoped
@@ -177,8 +190,15 @@ impl AttributeAuthority {
     ///
     /// Fails if the user or owner is unknown.
     pub fn keygen(&self, uid: &Uid, owner: &OwnerId) -> Result<UserSecretKey, Error> {
-        let record = self.users.get(uid).ok_or_else(|| Error::UnknownUser(uid.clone()))?;
-        let osk = self.owners.get(owner).ok_or_else(|| Error::UnknownOwner(owner.clone()))?;
+        let _span = mabe_telemetry::Span::start("mabe_keygen");
+        let record = self
+            .users
+            .get(uid)
+            .ok_or_else(|| Error::UnknownUser(uid.clone()))?;
+        let osk = self
+            .owners
+            .get(owner)
+            .ok_or_else(|| Error::UnknownOwner(owner.clone()))?;
         Ok(self.issue_key(record, osk))
     }
 
@@ -193,7 +213,10 @@ impl AttributeAuthority {
             .iter()
             .map(|attr| {
                 let exp = alpha.mul(&attribute_hash(attr));
-                (attr.clone(), G1Affine::from(G1::from(record.pk.pk).mul(&exp)))
+                (
+                    attr.clone(),
+                    G1Affine::from(G1::from(record.pk.pk).mul(&exp)),
+                )
             })
             .collect();
         UserSecretKey {
@@ -235,8 +258,10 @@ impl AttributeAuthority {
         rng: &mut R,
     ) -> Result<RevocationEvent, Error> {
         let attrs = {
-            let record =
-                self.users.get(uid).ok_or_else(|| Error::UnknownUser(uid.clone()))?;
+            let record = self
+                .users
+                .get(uid)
+                .ok_or_else(|| Error::UnknownUser(uid.clone()))?;
             record.attrs.clone()
         };
         if attrs.is_empty() {
@@ -251,9 +276,12 @@ impl AttributeAuthority {
         attributes: &BTreeSet<Attribute>,
         rng: &mut R,
     ) -> Result<RevocationEvent, Error> {
+        let _span = mabe_telemetry::Span::start("mabe_update_key");
         {
-            let record =
-                self.users.get(uid).ok_or_else(|| Error::UnknownUser(uid.clone()))?;
+            let record = self
+                .users
+                .get(uid)
+                .ok_or_else(|| Error::UnknownUser(uid.clone()))?;
             for attribute in attributes {
                 if !record.attrs.contains(attribute) {
                     return Err(Error::AttributeNotHeld {
@@ -351,7 +379,12 @@ mod tests {
         StdRng::seed_from_u64(23)
     }
 
-    fn setup() -> (StdRng, CertificateAuthority, AttributeAuthority, UserPublicKey) {
+    fn setup() -> (
+        StdRng,
+        CertificateAuthority,
+        AttributeAuthority,
+        UserPublicKey,
+    ) {
         let mut r = rng();
         let mut ca = CertificateAuthority::new();
         let aid = ca.register_authority("MedOrg").unwrap();
@@ -391,7 +424,8 @@ mod tests {
             aa.keygen(&alice.uid, &owner),
             Err(Error::UnknownUser(_))
         ));
-        aa.grant(&alice, ["Doctor@MedOrg".parse().unwrap()]).unwrap();
+        aa.grant(&alice, ["Doctor@MedOrg".parse().unwrap()])
+            .unwrap();
         assert!(matches!(
             aa.keygen(&alice.uid, &owner),
             Err(Error::UnknownOwner(_))
@@ -416,7 +450,8 @@ mod tests {
     #[test]
     fn grant_extends_attribute_set() {
         let (_, _, mut aa, alice) = setup();
-        aa.grant(&alice, ["Doctor@MedOrg".parse().unwrap()]).unwrap();
+        aa.grant(&alice, ["Doctor@MedOrg".parse().unwrap()])
+            .unwrap();
         aa.grant(&alice, ["Nurse@MedOrg".parse().unwrap()]).unwrap();
         assert_eq!(aa.granted_attributes(&alice.uid).unwrap().len(), 2);
     }

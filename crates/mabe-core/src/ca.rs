@@ -59,7 +59,10 @@ impl CertificateAuthority {
                 break candidate;
             }
         };
-        let pk = UserPublicKey { uid: uid.clone(), pk: G1Affine::from(mabe_math::generator_mul(&u)) };
+        let pk = UserPublicKey {
+            uid: uid.clone(),
+            pk: G1Affine::from(mabe_math::generator_mul(&u)),
+        };
         self.users.insert(uid, RegisteredUser { u, pk: pk.clone() });
         Ok(pk)
     }
@@ -80,7 +83,10 @@ impl CertificateAuthority {
 
     /// Looks up a registered user's public key.
     pub fn user_public_key(&self, uid: &Uid) -> Result<&UserPublicKey, Error> {
-        self.users.get(uid).map(|r| &r.pk).ok_or_else(|| Error::UnknownUser(uid.clone()))
+        self.users
+            .get(uid)
+            .map(|r| &r.pk)
+            .ok_or_else(|| Error::UnknownUser(uid.clone()))
     }
 
     /// All registered authorities.

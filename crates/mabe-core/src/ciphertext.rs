@@ -97,6 +97,7 @@ pub fn encrypt<R: RngCore + ?Sized>(
     authority_keys: &BTreeMap<AuthorityId, AuthorityPublicKeys>,
     rng: &mut R,
 ) -> Result<(Ciphertext, Fr), Error> {
+    let _span = mabe_telemetry::Span::start("mabe_encrypt");
     let involved = access.authorities();
     let mut versions = BTreeMap::new();
     let mut pk_product = Gt::one();
@@ -129,8 +130,8 @@ pub fn encrypt<R: RngCore + ?Sized>(
             .expect("involved authorities checked above");
         let pk_x = pks.attr_pk(attr)?;
         // C_i = g^{r·λ_i} · PK_x^{-βs}
-        let point = mabe_math::generator_mul(&mk.r.mul(lambda))
-            .add(&G1::from(*pk_x).mul(&neg_beta_s));
+        let point =
+            mabe_math::generator_mul(&mk.r.mul(lambda)).add(&G1::from(*pk_x).mul(&neg_beta_s));
         projective.push(point);
     }
     let c_i = mabe_math::batch_normalize(&projective);
@@ -168,8 +169,11 @@ pub fn decrypt(
     user_pk: &UserPublicKey,
     keys: &BTreeMap<AuthorityId, UserSecretKey>,
 ) -> Result<Gt, Error> {
+    let _span = mabe_telemetry::Span::with_labels("mabe_decrypt", &[("variant", "reference")]);
     for aid in ct.involved_authorities() {
-        let key = keys.get(&aid).ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        let key = keys
+            .get(&aid)
+            .ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
         if key.owner != ct.owner {
             return Err(Error::OwnerMismatch {
                 expected: ct.owner.clone(),
@@ -212,10 +216,7 @@ pub fn decrypt_unchecked(
     let n_a = Fr::from_u64(involved.len() as u64);
 
     // The attribute set certified by the supplied keys.
-    let attrs: BTreeSet<_> = keys
-        .values()
-        .flat_map(|k| k.kx.keys().cloned())
-        .collect();
+    let attrs: BTreeSet<_> = keys.values().flat_map(|k| k.kx.keys().cloned()).collect();
     let coefficients = ct
         .access
         .reconstruction_coefficients(&attrs)
@@ -224,7 +225,9 @@ pub fn decrypt_unchecked(
     // Numerator: Π_k e(C', K_{UID,AID_k}) over ALL involved authorities.
     let mut numerator = Gt::one();
     for aid in &involved {
-        let key = keys.get(aid).ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        let key = keys
+            .get(aid)
+            .ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
         numerator = numerator.mul(&pairing(&ct.c_prime, &key.k));
     }
 
@@ -263,9 +266,12 @@ pub fn decrypt_fast(
     user_pk: &UserPublicKey,
     keys: &BTreeMap<AuthorityId, UserSecretKey>,
 ) -> Result<Gt, Error> {
+    let _span = mabe_telemetry::Span::with_labels("mabe_decrypt", &[("variant", "fast")]);
     let involved = ct.involved_authorities();
     for aid in &involved {
-        let key = keys.get(aid).ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        let key = keys
+            .get(aid)
+            .ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
         if key.owner != ct.owner {
             return Err(Error::OwnerMismatch {
                 expected: ct.owner.clone(),
@@ -343,19 +349,35 @@ mod tests {
         let owner = OwnerId::new("hospital-data");
         let mk = OwnerMasterKey::random(&mut rng);
         let mut aas = Vec::new();
-        for (name, attrs) in [("Med", vec!["Doctor", "Nurse"]), ("Trial", vec!["Researcher", "Sponsor"])] {
+        for (name, attrs) in [
+            ("Med", vec!["Doctor", "Nurse"]),
+            ("Trial", vec!["Researcher", "Sponsor"]),
+        ] {
             let aid = ca.register_authority(name).unwrap();
             let mut aa = AttributeAuthority::new(aid, &attrs, &mut rng);
             aa.register_owner(mk.secret_key(&owner)).unwrap();
             aas.push(aa);
         }
-        let authority_keys =
-            aas.iter().map(|aa| (aa.aid().clone(), aa.public_keys())).collect();
-        Fixture { rng, ca, aas, owner, mk, authority_keys }
+        let authority_keys = aas
+            .iter()
+            .map(|aa| (aa.aid().clone(), aa.public_keys()))
+            .collect();
+        Fixture {
+            rng,
+            ca,
+            aas,
+            owner,
+            mk,
+            authority_keys,
+        }
     }
 
     impl Fixture {
-        fn enroll(&mut self, uid: &str, attrs: &[&str]) -> (UserPublicKey, BTreeMap<AuthorityId, UserSecretKey>) {
+        fn enroll(
+            &mut self,
+            uid: &str,
+            attrs: &[&str],
+        ) -> (UserPublicKey, BTreeMap<AuthorityId, UserSecretKey>) {
             let pk = self.ca.register_user(uid, &mut self.rng).unwrap();
             let mut keys = BTreeMap::new();
             for aa in &mut self.aas {
@@ -469,8 +491,14 @@ mod tests {
 
         // Colluders pool: Alice's Med key + Bob's Trial key.
         let mut pooled = BTreeMap::new();
-        pooled.insert(AuthorityId::new("Med"), alice_keys[&AuthorityId::new("Med")].clone());
-        pooled.insert(AuthorityId::new("Trial"), bob_keys[&AuthorityId::new("Trial")].clone());
+        pooled.insert(
+            AuthorityId::new("Med"),
+            alice_keys[&AuthorityId::new("Med")].clone(),
+        );
+        pooled.insert(
+            AuthorityId::new("Trial"),
+            bob_keys[&AuthorityId::new("Trial")].clone(),
+        );
 
         // The metadata-checked path refuses (keys from different users).
         assert!(decrypt(&ct, &alice_pk, &pooled).is_err());
@@ -478,8 +506,10 @@ mod tests {
         // Even the raw computation (adversary ignores checks, tries both
         // public keys) yields garbage, not the message.
         let kx_union: BTreeSet<_> = pooled.values().flat_map(|k| k.kx.keys().cloned()).collect();
-        assert!(ct.access.reconstruction_coefficients(&kx_union).is_some(),
-            "pooled attributes do satisfy the policy — the crypto must still resist");
+        assert!(
+            ct.access.reconstruction_coefficients(&kx_union).is_some(),
+            "pooled attributes do satisfy the policy — the crypto must still resist"
+        );
         let forged_alice = force_decrypt(&ct, &alice_pk, &pooled);
         assert_ne!(forged_alice, msg);
         let bob_pk_full = fx.ca.user_public_key(&Uid::new("bob")).unwrap().clone();
@@ -526,8 +556,7 @@ mod tests {
     fn encrypt_rejects_unknown_authority() {
         let mut fx = fixture();
         let msg = Gt::random(&mut fx.rng);
-        let access =
-            AccessStructure::from_policy(&parse("X@Nowhere").unwrap()).unwrap();
+        let access = AccessStructure::from_policy(&parse("X@Nowhere").unwrap()).unwrap();
         let err = encrypt(
             &msg,
             &access,
@@ -561,8 +590,10 @@ mod tests {
             "2 of (Doctor@Med, Nurse@Med, Researcher@Trial)",
         ] {
             let ct = fx.encrypt(&msg, policy);
-            let (pk, keys) =
-                fx.enroll(&format!("u-{}", policy.len()), &["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+            let (pk, keys) = fx.enroll(
+                &format!("u-{}", policy.len()),
+                &["Doctor@Med", "Nurse@Med", "Researcher@Trial"],
+            );
             let reference = decrypt(&ct, &pk, &keys).unwrap();
             let fast = decrypt_fast(&ct, &pk, &keys).unwrap();
             assert_eq!(reference, fast);
@@ -576,7 +607,10 @@ mod tests {
         let msg = Gt::random(&mut fx.rng);
         let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
         let (pk, keys) = fx.enroll("weak", &["Doctor@Med", "Sponsor@Trial"]);
-        assert_eq!(decrypt_fast(&ct, &pk, &keys), Err(Error::PolicyNotSatisfied));
+        assert_eq!(
+            decrypt_fast(&ct, &pk, &keys),
+            Err(Error::PolicyNotSatisfied)
+        );
         let (pk2, mut keys2) = fx.enroll("missing", &["Doctor@Med", "Researcher@Trial"]);
         keys2.remove(&AuthorityId::new("Trial"));
         assert!(matches!(

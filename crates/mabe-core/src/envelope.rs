@@ -70,7 +70,10 @@ impl DataEnvelope {
 
     /// Total stored size in bytes.
     pub fn stored_size(&self) -> usize {
-        self.components.iter().map(SealedComponent::stored_size).sum()
+        self.components
+            .iter()
+            .map(SealedComponent::stored_size)
+            .sum()
     }
 }
 
@@ -100,7 +103,12 @@ pub fn seal_component<R: RngCore + ?Sized>(
     let mut nonce = [0u8; 12];
     rng.fill_bytes(&mut nonce);
     let sealed = aead::seal(&key, &nonce, label.as_bytes(), data);
-    Ok(SealedComponent { label: label.to_owned(), key_ct, nonce, sealed })
+    Ok(SealedComponent {
+        label: label.to_owned(),
+        key_ct,
+        nonce,
+        sealed,
+    })
 }
 
 /// Seals several labelled components into one envelope.
@@ -115,7 +123,9 @@ pub fn seal_envelope<R: RngCore + ?Sized>(
 ) -> Result<DataEnvelope, Error> {
     let mut envelope = DataEnvelope::new();
     for (label, data, policy) in components {
-        envelope.components.push(seal_component(owner, label, data, policy, rng)?);
+        envelope
+            .components
+            .push(seal_component(owner, label, data, policy, rng)?);
     }
     Ok(envelope)
 }
@@ -135,8 +145,13 @@ pub fn open_component(
 ) -> Result<Vec<u8>, Error> {
     let kem = decrypt(&component.key_ct, user_pk, keys)?;
     let key = content_key_from(&kem, &component.label);
-    aead::open(&key, &component.nonce, component.label.as_bytes(), &component.sealed)
-        .map_err(|_| Error::SymmetricAuthentication)
+    aead::open(
+        &key,
+        &component.nonce,
+        component.label.as_bytes(),
+        &component.sealed,
+    )
+    .map_err(|_| Error::SymmetricAuthentication)
 }
 
 /// Opens a component given an already-recovered KEM element (e.g. from
@@ -146,13 +161,15 @@ pub fn open_component(
 ///
 /// [`Error::SymmetricAuthentication`] if the KEM element is wrong or
 /// the payload was tampered with.
-pub fn open_component_with_kem(
-    component: &SealedComponent,
-    kem: &Gt,
-) -> Result<Vec<u8>, Error> {
+pub fn open_component_with_kem(component: &SealedComponent, kem: &Gt) -> Result<Vec<u8>, Error> {
     let key = content_key_from(kem, &component.label);
-    aead::open(&key, &component.nonce, component.label.as_bytes(), &component.sealed)
-        .map_err(|_| Error::SymmetricAuthentication)
+    aead::open(
+        &key,
+        &component.nonce,
+        component.label.as_bytes(),
+        &component.sealed,
+    )
+    .map_err(|_| Error::SymmetricAuthentication)
 }
 
 /// Opens every component the user is entitled to, returning
@@ -166,7 +183,9 @@ pub fn open_all(
         .components
         .iter()
         .filter_map(|c| {
-            open_component(c, user_pk, keys).ok().map(|data| (c.label.clone(), data))
+            open_component(c, user_pk, keys)
+                .ok()
+                .map(|data| (c.label.clone(), data))
         })
         .collect()
 }
@@ -192,8 +211,7 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(31415);
         let mut ca = CertificateAuthority::new();
         let aid = ca.register_authority("HR").unwrap();
-        let mut aa =
-            AttributeAuthority::new(aid, &["Manager", "Payroll", "Employee"], &mut rng);
+        let mut aa = AttributeAuthority::new(aid, &["Manager", "Payroll", "Employee"], &mut rng);
         let mut owner = DataOwner::new(OwnerId::new("acme-records"), &mut rng);
         aa.register_owner(owner.owner_secret_key()).unwrap();
         owner.learn_authority_keys(aa.public_keys());
@@ -209,7 +227,10 @@ mod tests {
         let parsed: Vec<_> = attrs.iter().map(|a| a.parse().unwrap()).collect();
         w.aa.grant(&pk, parsed).unwrap();
         let mut keys = BTreeMap::new();
-        keys.insert(w.aa.aid().clone(), w.aa.keygen(&pk.uid, w.owner.id()).unwrap());
+        keys.insert(
+            w.aa.aid().clone(),
+            w.aa.keygen(&pk.uid, w.owner.id()).unwrap(),
+        );
         (pk, keys)
     }
 
@@ -217,8 +238,8 @@ mod tests {
     fn seal_open_roundtrip() {
         let mut w = world();
         let policy = parse("Employee@HR").unwrap();
-        let comp = seal_component(&mut w.owner, "address", b"12 Main St", &policy, &mut w.rng)
-            .unwrap();
+        let comp =
+            seal_component(&mut w.owner, "address", b"12 Main St", &policy, &mut w.rng).unwrap();
         let (pk, keys) = enroll(&mut w, "alice", &["Employee@HR"]);
         assert_eq!(open_component(&comp, &pk, &keys).unwrap(), b"12 Main St");
     }
@@ -244,8 +265,7 @@ mod tests {
 
         let (emp_pk, emp_keys) = enroll(&mut w, "emp", &["Employee@HR"]);
         let (pay_pk, pay_keys) = enroll(&mut w, "pay", &["Employee@HR", "Payroll@HR"]);
-        let (mgr_pk, mgr_keys) =
-            enroll(&mut w, "mgr", &["Employee@HR", "Manager@HR"]);
+        let (mgr_pk, mgr_keys) = enroll(&mut w, "mgr", &["Employee@HR", "Manager@HR"]);
 
         let emp_view = open_all(&envelope, &emp_pk, &emp_keys);
         assert_eq!(emp_view.len(), 1);
@@ -262,18 +282,19 @@ mod tests {
     fn unauthorized_component_rejected() {
         let mut w = world();
         let policy = parse("Manager@HR").unwrap();
-        let comp =
-            seal_component(&mut w.owner, "secret", b"top", &policy, &mut w.rng).unwrap();
+        let comp = seal_component(&mut w.owner, "secret", b"top", &policy, &mut w.rng).unwrap();
         let (pk, keys) = enroll(&mut w, "alice", &["Employee@HR"]);
-        assert_eq!(open_component(&comp, &pk, &keys), Err(Error::PolicyNotSatisfied));
+        assert_eq!(
+            open_component(&comp, &pk, &keys),
+            Err(Error::PolicyNotSatisfied)
+        );
     }
 
     #[test]
     fn tampered_payload_rejected() {
         let mut w = world();
         let policy = parse("Employee@HR").unwrap();
-        let mut comp =
-            seal_component(&mut w.owner, "x", b"data", &policy, &mut w.rng).unwrap();
+        let mut comp = seal_component(&mut w.owner, "x", b"data", &policy, &mut w.rng).unwrap();
         let (pk, keys) = enroll(&mut w, "alice", &["Employee@HR"]);
         let last = comp.sealed.len() - 1;
         comp.sealed[last] ^= 1;
@@ -289,7 +310,10 @@ mod tests {
         let policy = parse("Employee@HR").unwrap();
         let envelope = seal_envelope(
             &mut w.owner,
-            &[("a", b"1".as_slice(), &policy), ("b", b"2".as_slice(), &policy)],
+            &[
+                ("a", b"1".as_slice(), &policy),
+                ("b", b"2".as_slice(), &policy),
+            ],
             &mut w.rng,
         )
         .unwrap();

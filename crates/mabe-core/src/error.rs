@@ -71,7 +71,11 @@ impl fmt::Display for Error {
             Error::OwnerMismatch { expected, found } => {
                 write!(f, "owner mismatch: expected {expected}, found {found}")
             }
-            Error::VersionMismatch { authority, expected, found } => write!(
+            Error::VersionMismatch {
+                authority,
+                expected,
+                found,
+            } => write!(
                 f,
                 "version mismatch for authority {authority}: expected v{expected}, found v{found}"
             ),
@@ -112,9 +116,15 @@ mod tests {
     #[test]
     fn display_messages() {
         let aid = AuthorityId::new("MedOrg");
-        assert!(Error::MissingAuthorityKey(aid.clone()).to_string().contains("MedOrg"));
+        assert!(Error::MissingAuthorityKey(aid.clone())
+            .to_string()
+            .contains("MedOrg"));
         assert!(Error::PolicyNotSatisfied.to_string().contains("satisfy"));
-        let v = Error::VersionMismatch { authority: aid, expected: 2, found: 1 };
+        let v = Error::VersionMismatch {
+            authority: aid,
+            expected: 2,
+            found: 1,
+        };
         assert!(v.to_string().contains("v2"));
     }
 

@@ -119,7 +119,8 @@ impl<R: RngCore> Challenger<R> {
         for (name, attrs) in spec {
             let aid = ca.register_authority(*name).expect("fresh AID");
             let mut aa = AttributeAuthority::new(aid.clone(), attrs, &mut rng);
-            aa.register_owner(owner.owner_secret_key()).expect("fresh owner");
+            aa.register_owner(owner.owner_secret_key())
+                .expect("fresh owner");
             public_keys.insert(aid.clone(), aa.public_keys());
             if corrupt.contains(name) {
                 corrupted_version_keys.insert(aid.clone(), aa.version_key().clone());
@@ -141,17 +142,19 @@ impl<R: RngCore> Challenger<R> {
         for pks in public_keys.values() {
             challenger.owner.learn_authority_keys(pks.clone());
         }
-        (challenger, SetupTranscript { public_keys, corrupted_version_keys })
+        (
+            challenger,
+            SetupTranscript {
+                public_keys,
+                corrupted_version_keys,
+            },
+        )
     }
 
     /// The rows of the challenge structure controlled by corrupted
     /// authorities plus the attributes `extra` — does their span contain
     /// the target vector?
-    fn spans_target(
-        &self,
-        access: &AccessStructure,
-        extra: &BTreeSet<Attribute>,
-    ) -> bool {
+    fn spans_target(&self, access: &AccessStructure, extra: &BTreeSet<Attribute>) -> bool {
         let mut rows: Vec<Vec<Fr>> = Vec::new();
         for (i, attr) in access.rho().iter().enumerate() {
             if self.corrupted.contains_key(attr.authority()) || extra.contains(attr) {
@@ -189,8 +192,7 @@ impl<R: RngCore> Challenger<R> {
         let uid_key = Uid::new(uid);
         // Phase-2 constraint check before issuing anything.
         if let Some((access, _)) = &self.challenge {
-            let mut hypothetical =
-                self.queried.get(&uid_key).cloned().unwrap_or_default();
+            let mut hypothetical = self.queried.get(&uid_key).cloned().unwrap_or_default();
             hypothetical.extend(attrs.iter().cloned());
             if self.spans_target(access, &hypothetical) {
                 return Err(GameError::QueryConstraintViolated(uid_key));
@@ -207,7 +209,10 @@ impl<R: RngCore> Challenger<R> {
         let aa = self.honest.get_mut(aid).expect("checked above");
         aa.grant(&user_pk, attrs.iter().cloned())?;
         let key = aa.keygen(&uid_key, &OwnerId::new("challenger-owner"))?;
-        self.queried.entry(uid_key).or_default().extend(attrs.iter().cloned());
+        self.queried
+            .entry(uid_key)
+            .or_default()
+            .extend(attrs.iter().cloned());
         Ok(key)
     }
 
@@ -268,15 +273,18 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    const SPEC: &[(&str, &[&str])] =
-        &[("X", &["a", "b"]), ("Y", &["c", "d"]), ("Z", &["e"])];
+    const SPEC: &[(&str, &[&str])] = &[("X", &["a", "b"]), ("Y", &["c", "d"]), ("Z", &["e"])];
 
     fn access(src: &str) -> AccessStructure {
         AccessStructure::from_policy(&parse(src).unwrap()).unwrap()
     }
 
     fn challenger(corrupt: &[&str], seed: u64) -> (Challenger<StdRng>, SetupTranscript) {
-        Challenger::setup(SPEC, &corrupt.iter().copied().collect(), StdRng::seed_from_u64(seed))
+        Challenger::setup(
+            SPEC,
+            &corrupt.iter().copied().collect(),
+            StdRng::seed_from_u64(seed),
+        )
     }
 
     #[test]
@@ -301,8 +309,10 @@ mod tests {
     #[test]
     fn challenge_refused_when_queried_keys_decrypt() {
         let (mut ch, _) = challenger(&[], 3);
-        ch.query_key("adv", &AuthorityId::new("X"), &["a@X".parse().unwrap()]).unwrap();
-        ch.query_key("adv", &AuthorityId::new("Y"), &["c@Y".parse().unwrap()]).unwrap();
+        ch.query_key("adv", &AuthorityId::new("X"), &["a@X".parse().unwrap()])
+            .unwrap();
+        ch.query_key("adv", &AuthorityId::new("Y"), &["c@Y".parse().unwrap()])
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(33);
         let (m0, m1) = (Gt::random(&mut rng), Gt::random(&mut rng));
         let err = ch.challenge(&m0, &m1, &access("a@X AND c@Y")).unwrap_err();
@@ -317,7 +327,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(44);
         let (m0, m1) = (Gt::random(&mut rng), Gt::random(&mut rng));
         // e@Z alone satisfies — and Z is corrupted.
-        let err = ch.challenge(&m0, &m1, &access("e@Z OR (a@X AND c@Y)")).unwrap_err();
+        let err = ch
+            .challenge(&m0, &m1, &access("e@Z OR (a@X AND c@Y)"))
+            .unwrap_err();
         assert!(matches!(err, GameError::ChallengeConstraintViolated(_)));
         // Requiring an honest attribute as well is fine.
         ch.challenge(&m0, &m1, &access("e@Z AND a@X")).unwrap();
@@ -326,7 +338,8 @@ mod tests {
     #[test]
     fn phase2_queries_respect_constraint() {
         let (mut ch, _) = challenger(&[], 5);
-        ch.query_key("adv", &AuthorityId::new("X"), &["a@X".parse().unwrap()]).unwrap();
+        ch.query_key("adv", &AuthorityId::new("X"), &["a@X".parse().unwrap()])
+            .unwrap();
         let mut rng = StdRng::seed_from_u64(55);
         let (m0, m1) = (Gt::random(&mut rng), Gt::random(&mut rng));
         ch.challenge(&m0, &m1, &access("a@X AND c@Y")).unwrap();
@@ -336,7 +349,8 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, GameError::QueryConstraintViolated(_)));
         // …for the same UID; a different UID may hold c@Y alone.
-        ch.query_key("other", &AuthorityId::new("Y"), &["c@Y".parse().unwrap()]).unwrap();
+        ch.query_key("other", &AuthorityId::new("Y"), &["c@Y".parse().unwrap()])
+            .unwrap();
         // And the refused query issued no key material (`adv` still
         // cannot complete its set later by re-asking).
         assert!(ch
@@ -364,7 +378,10 @@ mod tests {
         }
         // Exactly half of deterministic coin flips should not be far
         // from rounds/2; allow generous slack for the tiny sample.
-        assert!((wins as i64 - (rounds / 2) as i64).abs() <= 5, "wins = {wins}");
+        assert!(
+            (wins as i64 - (rounds / 2) as i64).abs() <= 5,
+            "wins = {wins}"
+        );
     }
 
     #[test]

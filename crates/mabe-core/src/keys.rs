@@ -138,7 +138,9 @@ impl AuthorityPublicKeys {
 
     /// Looks up one public attribute key.
     pub fn attr_pk(&self, attr: &Attribute) -> Result<&G1Affine, Error> {
-        self.attr_pks.get(attr).ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))
+        self.attr_pks
+            .get(attr)
+            .ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))
     }
 }
 
@@ -179,6 +181,7 @@ impl UserSecretKey {
     /// Fails if the update key targets a different authority or owner, or
     /// if versions do not chain (`uk.from_version != self.version`).
     pub fn apply_update(&mut self, uk: &UpdateKey) -> Result<(), Error> {
+        let _span = mabe_telemetry::Span::start("mabe_apply_update");
         if uk.aid != self.aid {
             return Err(Error::Malformed("update key for different authority"));
         }
@@ -243,7 +246,9 @@ impl UpdateKey {
     /// same authority and owner.
     pub fn compose(&self, next: &UpdateKey) -> Result<UpdateKey, Error> {
         if self.aid != next.aid {
-            return Err(Error::Malformed("composing update keys of different authorities"));
+            return Err(Error::Malformed(
+                "composing update keys of different authorities",
+            ));
         }
         if self.owner != next.owner {
             return Err(Error::OwnerMismatch {
@@ -299,7 +304,11 @@ mod tests {
         assert_eq!(sk.wire_size(), G_BYTES + ZP_BYTES);
 
         let aid = AuthorityId::new("A1");
-        let vk = VersionKey { aid: aid.clone(), version: 1, alpha: Fr::from_u64(3) };
+        let vk = VersionKey {
+            aid: aid.clone(),
+            version: 1,
+            alpha: Fr::from_u64(3),
+        };
         assert_eq!(vk.wire_size(), ZP_BYTES);
 
         let attr: Attribute = "x@A1".parse().unwrap();
@@ -307,7 +316,9 @@ mod tests {
             aid: aid.clone(),
             version: 1,
             owner_pk: Gt::generator(),
-            attr_pks: [(attr.clone(), G1Affine::generator())].into_iter().collect(),
+            attr_pks: [(attr.clone(), G1Affine::generator())]
+                .into_iter()
+                .collect(),
         };
         assert_eq!(pks.wire_size(), G_BYTES + GT_BYTES);
 
@@ -421,7 +432,11 @@ mod tests {
         };
         assert!(usk.apply_update(&uk).is_err());
 
-        let uk_wrong_ver = UpdateKey { aid: AuthorityId::new("A1"), from_version: 5, ..uk.clone() };
+        let uk_wrong_ver = UpdateKey {
+            aid: AuthorityId::new("A1"),
+            from_version: 5,
+            ..uk.clone()
+        };
         assert!(matches!(
             usk.apply_update(&uk_wrong_ver),
             Err(Error::VersionMismatch { .. })

@@ -79,7 +79,10 @@ pub fn make_transform_key<R: RngCore + ?Sized>(
             return Err(Error::Malformed("secret key belongs to a different user"));
         }
         if key.owner != owner {
-            return Err(Error::OwnerMismatch { expected: owner.clone(), found: key.owner.clone() });
+            return Err(Error::OwnerMismatch {
+                expected: owner.clone(),
+                found: key.owner.clone(),
+            });
         }
     }
     let z = loop {
@@ -100,12 +103,24 @@ pub fn make_transform_key<R: RngCore + ?Sized>(
                 .iter()
                 .map(|(attr, kx)| (attr.clone(), G1Affine::from(G1::from(*kx).mul(&z_inv))))
                 .collect();
-            (aid.clone(), BlindedAuthorityKey { version: key.version, k, kx })
+            (
+                aid.clone(),
+                BlindedAuthorityKey {
+                    version: key.version,
+                    k,
+                    kx,
+                },
+            )
         })
         .collect();
 
     Ok((
-        TransformKey { uid: user_pk.uid.clone(), owner, blinded_pk, entries },
+        TransformKey {
+            uid: user_pk.uid.clone(),
+            owner,
+            blinded_pk,
+            entries,
+        },
         RetrievalKey { z },
     ))
 }
@@ -123,11 +138,17 @@ pub fn make_transform_key<R: RngCore + ?Sized>(
 ///   reconstruct.
 pub fn server_transform(ct: &Ciphertext, tk: &TransformKey) -> Result<TransformToken, Error> {
     if tk.owner != ct.owner {
-        return Err(Error::OwnerMismatch { expected: ct.owner.clone(), found: tk.owner.clone() });
+        return Err(Error::OwnerMismatch {
+            expected: ct.owner.clone(),
+            found: tk.owner.clone(),
+        });
     }
     let involved = ct.involved_authorities();
     for aid in &involved {
-        let entry = tk.entries.get(aid).ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
+        let entry = tk
+            .entries
+            .get(aid)
+            .ok_or_else(|| Error::MissingAuthorityKey(aid.clone()))?;
         let expected = ct.versions[aid];
         if entry.version != expected {
             return Err(Error::VersionMismatch {
@@ -205,11 +226,18 @@ mod tests {
             let mut aa = AttributeAuthority::new(aid.clone(), &attrs, &mut rng);
             aa.register_owner(owner.owner_secret_key()).unwrap();
             owner.learn_authority_keys(aa.public_keys());
-            aa.grant(&user, aa.attributes().iter().cloned().collect::<Vec<_>>()).unwrap();
+            aa.grant(&user, aa.attributes().iter().cloned().collect::<Vec<_>>())
+                .unwrap();
             keys.insert(aid, aa.keygen(&user.uid, owner.id()).unwrap());
             aas.push(aa);
         }
-        World { rng, owner, user, keys, aas }
+        World {
+            rng,
+            owner,
+            user,
+            keys,
+            aas,
+        }
     }
 
     #[test]
@@ -237,7 +265,9 @@ mod tests {
         // Unblinding with z = 1 (i.e. using the token directly) fails.
         assert_ne!(ct.c.div(&token.0), msg);
         // And with a random wrong z.
-        let wrong = RetrievalKey { z: Fr::random(&mut w.rng) };
+        let wrong = RetrievalKey {
+            z: Fr::random(&mut w.rng),
+        };
         assert_ne!(client_recover(&ct, &token, &wrong), msg);
     }
 
@@ -264,7 +294,10 @@ mod tests {
         let policy = parse("Doctor@Med").unwrap();
         let ct = w.owner.encrypt_message(&msg, &policy, &mut w.rng).unwrap();
         let (mut tk, _) = make_transform_key(&w.user, &w.keys, &mut w.rng).unwrap();
-        tk.entries.get_mut(&AuthorityId::new("Med")).unwrap().version = 99;
+        tk.entries
+            .get_mut(&AuthorityId::new("Med"))
+            .unwrap()
+            .version = 99;
         assert!(matches!(
             server_transform(&ct, &tk),
             Err(Error::VersionMismatch { .. })
@@ -306,14 +339,23 @@ mod tests {
         let other = ca.register_user("other", &mut w.rng).unwrap();
         let doctor: mabe_policy::Attribute = "Doctor@Med".parse().unwrap();
         w.aas[0].grant(&other, [doctor.clone()]).unwrap();
-        let event = w.aas[0].revoke_attribute(&other.uid, &doctor, &mut w.rng).unwrap();
+        let event = w.aas[0]
+            .revoke_attribute(&other.uid, &doctor, &mut w.rng)
+            .unwrap();
         let uk = event.update_keys[w.owner.id()].clone();
         w.owner.apply_update_key(&uk).unwrap();
-        let ui = w.owner.update_info_for(ct.id, w.aas[0].aid(), 1, 2).unwrap();
+        let ui = w
+            .owner
+            .update_info_for(ct.id, w.aas[0].aid(), 1, 2)
+            .unwrap();
         crate::revoke::reencrypt(&mut ct, &uk, &ui).unwrap();
 
         // Alice updates her key, re-blinds, outsources.
-        w.keys.get_mut(&AuthorityId::new("Med")).unwrap().apply_update(&uk).unwrap();
+        w.keys
+            .get_mut(&AuthorityId::new("Med"))
+            .unwrap()
+            .apply_update(&uk)
+            .unwrap();
         let (tk, rk) = make_transform_key(&w.user, &w.keys, &mut w.rng).unwrap();
         let token = server_transform(&ct, &tk).unwrap();
         assert_eq!(client_recover(&ct, &token, &rk), msg);

@@ -110,9 +110,23 @@ impl DataOwner {
         rng: &mut R,
     ) -> Result<Ciphertext, Error> {
         let id = CiphertextId(self.next_id);
-        let (ct, s) = encrypt(message, access, &self.mk, &self.id, id, &self.authority_keys, rng)?;
+        let (ct, s) = encrypt(
+            message,
+            access,
+            &self.mk,
+            &self.id,
+            id,
+            &self.authority_keys,
+            rng,
+        )?;
         self.next_id += 1;
-        self.records.insert(id, EncryptionRecord { s, attributes: access.rho().to_vec() });
+        self.records.insert(
+            id,
+            EncryptionRecord {
+                s,
+                attributes: access.rho().to_vec(),
+            },
+        );
         Ok(ct)
     }
 
@@ -124,7 +138,10 @@ impl DataOwner {
     /// Fails on unknown authority, wrong owner scope, or version gaps.
     pub fn apply_update_key(&mut self, uk: &UpdateKey) -> Result<(), Error> {
         if uk.owner != self.id {
-            return Err(Error::OwnerMismatch { expected: self.id.clone(), found: uk.owner.clone() });
+            return Err(Error::OwnerMismatch {
+                expected: self.id.clone(),
+                found: uk.owner.clone(),
+            });
         }
         let keys = self
             .authority_keys
@@ -177,8 +194,12 @@ impl DataOwner {
         let beta_s = self.mk.beta.mul(&record.s);
         let mut items = BTreeMap::new();
         for attr in record.attributes.iter().filter(|a| a.authority() == aid) {
-            let pk_old = old.get(attr).ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))?;
-            let pk_new = new.get(attr).ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))?;
+            let pk_old = old
+                .get(attr)
+                .ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))?;
+            let pk_new = new
+                .get(attr)
+                .ok_or_else(|| Error::MissingPublicAttributeKey(attr.clone()))?;
             // (PK_x · P̃K_x^{-1})^{βs}
             let ratio = G1::from(*pk_old).add(&G1::from(*pk_new).neg());
             items.insert(attr.clone(), G1Affine::from(ratio.mul(&beta_s)));
@@ -202,7 +223,11 @@ impl DataOwner {
     pub fn storage_size(&self) -> usize {
         use crate::keys::ZP_BYTES;
         2 * ZP_BYTES
-            + self.authority_keys.values().map(AuthorityPublicKeys::wire_size).sum::<usize>()
+            + self
+                .authority_keys
+                .values()
+                .map(AuthorityPublicKeys::wire_size)
+                .sum::<usize>()
     }
 
     /// Direct access to the KEM element API: derives a fresh random

@@ -53,8 +53,12 @@ impl UpdateInfo {
 ///   ciphertext, or missing an affected attribute.
 /// * [`Error::VersionMismatch`] — the ciphertext is not at `from_version`.
 pub fn reencrypt(ct: &mut Ciphertext, uk: &UpdateKey, ui: &UpdateInfo) -> Result<(), Error> {
+    let _span = mabe_telemetry::Span::start("mabe_reencrypt");
     if uk.owner != ct.owner {
-        return Err(Error::OwnerMismatch { expected: ct.owner.clone(), found: uk.owner.clone() });
+        return Err(Error::OwnerMismatch {
+            expected: ct.owner.clone(),
+            found: uk.owner.clone(),
+        });
     }
     if ui.aid != uk.aid || ui.from_version != uk.from_version || ui.to_version != uk.to_version {
         return Err(Error::Malformed("update info does not match update key"));
@@ -82,10 +86,9 @@ pub fn reencrypt(ct: &mut Ciphertext, uk: &UpdateKey, ui: &UpdateInfo) -> Result
     let rows = ct.access.rows_for_authority(&uk.aid);
     for i in rows {
         let attr = ct.access.rho()[i].clone();
-        let delta = ui
-            .items
-            .get(&attr)
-            .ok_or(Error::Malformed("update info missing an affected attribute"))?;
+        let delta = ui.items.get(&attr).ok_or(Error::Malformed(
+            "update info missing an affected attribute",
+        ))?;
         ct.c_i[i] = G1Affine::from(G1::from(ct.c_i[i]).add_mixed(delta));
     }
     ct.versions.insert(uk.aid.clone(), uk.to_version);
@@ -132,10 +135,16 @@ mod tests {
         }
         let mut alice_keys: BTreeMap<AuthorityId, _> = BTreeMap::new();
         alice_keys.insert(med.clone(), aa_med.keygen(&alice.uid, owner.id()).unwrap());
-        alice_keys.insert(trial.clone(), aa_trial.keygen(&alice.uid, owner.id()).unwrap());
+        alice_keys.insert(
+            trial.clone(),
+            aa_trial.keygen(&alice.uid, owner.id()).unwrap(),
+        );
         let mut bob_keys: BTreeMap<AuthorityId, _> = BTreeMap::new();
         bob_keys.insert(med.clone(), aa_med.keygen(&bob.uid, owner.id()).unwrap());
-        bob_keys.insert(trial.clone(), aa_trial.keygen(&bob.uid, owner.id()).unwrap());
+        bob_keys.insert(
+            trial.clone(),
+            aa_trial.keygen(&bob.uid, owner.id()).unwrap(),
+        );
 
         // Encrypt under Doctor AND Researcher.
         let msg = Gt::random(&mut rng);
@@ -146,7 +155,9 @@ mod tests {
         assert_eq!(decrypt(&ct, &bob, &bob_keys).unwrap(), msg);
 
         // Revoke Doctor from Alice at Med.
-        let event = aa_med.revoke_attribute(&alice.uid, &doctor, &mut rng).unwrap();
+        let event = aa_med
+            .revoke_attribute(&alice.uid, &doctor, &mut rng)
+            .unwrap();
         let uk = event.update_keys[owner.id()].clone();
 
         // Owner updates its public keys and issues update info.
@@ -167,7 +178,10 @@ mod tests {
         // Alice receives her fresh (Doctor-less) key from the AA.
         alice_keys.insert(med.clone(), event.revoked_user_keys[owner.id()].clone());
         // Metadata path: policy no longer satisfied.
-        assert_eq!(decrypt(&ct, &alice, &alice_keys), Err(Error::PolicyNotSatisfied));
+        assert_eq!(
+            decrypt(&ct, &alice, &alice_keys),
+            Err(Error::PolicyNotSatisfied)
+        );
 
         // Pure-crypto path: even if Alice stubbornly keeps her OLD
         // (version-1) Doctor key, the re-encrypted ciphertext resists.
@@ -192,7 +206,10 @@ mod tests {
         let msg2 = Gt::random(&mut rng);
         let ct2 = owner.encrypt_message(&msg2, &policy, &mut rng).unwrap();
         assert_eq!(decrypt(&ct2, &bob, &bob_keys).unwrap(), msg2);
-        assert_eq!(decrypt(&ct2, &alice, &alice_keys), Err(Error::PolicyNotSatisfied));
+        assert_eq!(
+            decrypt(&ct2, &alice, &alice_keys),
+            Err(Error::PolicyNotSatisfied)
+        );
     }
 
     /// A user who keeps the old-version Doctor K_x cannot decrypt the
@@ -265,7 +282,9 @@ mod tests {
         let mut ct = owner.encrypt_message(&msg, &policy, &mut rng).unwrap();
 
         // A revocation happens (old_user loses Doctor), data re-encrypted.
-        let event = aa.revoke_attribute(&old_user.uid, &doctor, &mut rng).unwrap();
+        let event = aa
+            .revoke_attribute(&old_user.uid, &doctor, &mut rng)
+            .unwrap();
         let uk = event.update_keys[owner.id()].clone();
         owner.apply_update_key(&uk).unwrap();
         let ui = owner.update_info_for(ct.id, &med, 1, 2).unwrap();

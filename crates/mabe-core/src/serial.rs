@@ -90,7 +90,10 @@ impl<'a> Reader<'a> {
 
 fn put_string(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
-    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire format");
+    assert!(
+        bytes.len() <= u16::MAX as usize,
+        "string too long for wire format"
+    );
     out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
     out.extend_from_slice(bytes);
 }
@@ -99,6 +102,17 @@ fn get_string(r: &mut Reader<'_>) -> Result<String, Error> {
     let len = r.u16()? as usize;
     let bytes = r.take(len)?;
     String::from_utf8(bytes.to_vec()).map_err(|_| Error::Malformed("non-utf8 string"))
+}
+
+/// Reads one length-prefixed string (`u16` length + UTF-8 bytes) — the
+/// workspace's shared string codec, exposed for consumers (like the
+/// cloud server) that walk wire buffers without decoding full types.
+///
+/// # Errors
+///
+/// Returns [`Error::Malformed`] on truncation or invalid UTF-8.
+pub fn read_string(r: &mut Reader<'_>) -> Result<String, Error> {
+    get_string(r)
 }
 
 fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
@@ -147,7 +161,9 @@ fn put_attribute(out: &mut Vec<u8>, a: &Attribute) {
 }
 
 fn get_attribute(r: &mut Reader<'_>) -> Result<Attribute, Error> {
-    get_string(r)?.parse().map_err(|_| Error::Malformed("invalid attribute literal"))
+    get_string(r)?
+        .parse()
+        .map_err(|_| Error::Malformed("invalid attribute literal"))
 }
 
 const MAX_MAP_ENTRIES: u32 = 1 << 20;
@@ -208,7 +224,10 @@ impl WireCodec for UserPublicKey {
         if uid.is_empty() {
             return Err(Error::Malformed("empty uid"));
         }
-        Ok(UserPublicKey { uid: Uid::new(uid), pk: get_g1(r)? })
+        Ok(UserPublicKey {
+            uid: Uid::new(uid),
+            pk: get_g1(r)?,
+        })
     }
 }
 
@@ -258,7 +277,12 @@ impl WireCodec for AuthorityPublicKeys {
             let pk = get_g1(r)?;
             attr_pks.insert(attr, pk);
         }
-        Ok(AuthorityPublicKeys { aid, version, owner_pk, attr_pks })
+        Ok(AuthorityPublicKeys {
+            aid,
+            version,
+            owner_pk,
+            attr_pks,
+        })
     }
 }
 
@@ -291,7 +315,14 @@ impl WireCodec for UserSecretKey {
             }
             kx.insert(attr, get_g1(r)?);
         }
-        Ok(UserSecretKey { uid, aid, owner, version, k, kx })
+        Ok(UserSecretKey {
+            uid,
+            aid,
+            owner,
+            version,
+            k,
+            kx,
+        })
     }
 }
 
@@ -340,7 +371,13 @@ impl WireCodec for UpdateInfo {
         for _ in 0..n {
             items.insert(get_attribute(r)?, get_g1(r)?);
         }
-        Ok(UpdateInfo { aid, ct_id, from_version, to_version, items })
+        Ok(UpdateInfo {
+            aid,
+            ct_id,
+            from_version,
+            to_version,
+            items,
+        })
     }
 }
 
@@ -381,9 +418,17 @@ impl WireCodec for crate::outsource::TransformKey {
                 }
                 kx.insert(attr, get_g1(r)?);
             }
-            entries.insert(aid, crate::outsource::BlindedAuthorityKey { version, k, kx });
+            entries.insert(
+                aid,
+                crate::outsource::BlindedAuthorityKey { version, k, kx },
+            );
         }
-        Ok(crate::outsource::TransformKey { uid, owner, blinded_pk, entries })
+        Ok(crate::outsource::TransformKey {
+            uid,
+            owner,
+            blinded_pk,
+            entries,
+        })
     }
 }
 
@@ -440,12 +485,25 @@ impl WireCodec for Ciphertext {
             let aid = AuthorityId::new(get_string(r)?);
             versions.insert(aid, r.u64()?);
         }
-        if versions.keys().cloned().collect::<std::collections::BTreeSet<_>>()
+        if versions
+            .keys()
+            .cloned()
+            .collect::<std::collections::BTreeSet<_>>()
             != access.authorities()
         {
-            return Err(Error::Malformed("version map does not match policy authorities"));
+            return Err(Error::Malformed(
+                "version map does not match policy authorities",
+            ));
         }
-        Ok(Ciphertext { id, owner, c, c_prime, c_i, access, versions })
+        Ok(Ciphertext {
+            id,
+            owner,
+            c,
+            c_prime,
+            c_i,
+            access,
+            versions,
+        })
     }
 }
 
@@ -463,7 +521,12 @@ impl WireCodec for SealedComponent {
         let mut nonce = [0u8; 12];
         nonce.copy_from_slice(r.take(12)?);
         let sealed = get_bytes(r)?;
-        Ok(SealedComponent { label, key_ct, nonce, sealed })
+        Ok(SealedComponent {
+            label,
+            key_ct,
+            nonce,
+            sealed,
+        })
     }
 }
 
@@ -512,8 +575,14 @@ mod tests {
         aa.register_owner(owner.owner_secret_key()).unwrap();
         owner.learn_authority_keys(aa.public_keys());
         let user = ca.register_user("alice", &mut rng).unwrap();
-        aa.grant(&user, ["a@Org".parse().unwrap(), "b@Org".parse().unwrap()]).unwrap();
-        World { rng, aa, owner, user }
+        aa.grant(&user, ["a@Org".parse().unwrap(), "b@Org".parse().unwrap()])
+            .unwrap();
+        World {
+            rng,
+            aa,
+            owner,
+            user,
+        }
     }
 
     fn roundtrip<T: WireCodec + PartialEq + core::fmt::Debug>(v: &T) {
@@ -523,7 +592,9 @@ mod tests {
         // Truncation must fail (never panic); sample prefixes to keep
         // subgroup-check costs bounded.
         let step = (bytes.len() / 37).max(1);
-        for cut in (0..bytes.len()).step_by(step).chain(bytes.len().saturating_sub(3)..bytes.len())
+        for cut in (0..bytes.len())
+            .step_by(step)
+            .chain(bytes.len().saturating_sub(3)..bytes.len())
         {
             assert!(
                 T::from_wire_bytes(&bytes[..cut]).is_err(),
@@ -575,7 +646,10 @@ mod tests {
             w.aa.keygen(&w.user.uid, w.owner.id()).unwrap(),
         )]
         .into();
-        assert_eq!(crate::ciphertext::decrypt(&decoded, &w.user, &keys).unwrap(), msg);
+        assert_eq!(
+            crate::ciphertext::decrypt(&decoded, &w.user, &keys).unwrap(),
+            msg
+        );
     }
 
     #[test]
@@ -585,7 +659,9 @@ mod tests {
         let policy = parse("a@Org").unwrap();
         let ct = w.owner.encrypt_message(&msg, &policy, &mut w.rng).unwrap();
         let attr: Attribute = "a@Org".parse().unwrap();
-        let event = w.aa.revoke_attribute(&w.user.uid, &attr, &mut w.rng).unwrap();
+        let event =
+            w.aa.revoke_attribute(&w.user.uid, &attr, &mut w.rng)
+                .unwrap();
         let uk = event.update_keys[w.owner.id()].clone();
         roundtrip(&uk);
         w.owner.apply_update_key(&uk).unwrap();
@@ -601,8 +677,7 @@ mod tests {
             w.aa.keygen(&w.user.uid, w.owner.id()).unwrap(),
         )]
         .into();
-        let (tk, rk) =
-            crate::outsource::make_transform_key(&w.user, &keys, &mut w.rng).unwrap();
+        let (tk, rk) = crate::outsource::make_transform_key(&w.user, &keys, &mut w.rng).unwrap();
         roundtrip(&tk);
 
         // A token produced from the decoded key still unblinds correctly.
@@ -617,17 +692,21 @@ mod tests {
         roundtrip(&token);
         let decoded_token =
             crate::outsource::TransformToken::from_wire_bytes(&token.to_wire_bytes()).unwrap();
-        assert_eq!(crate::outsource::client_recover(&ct, &decoded_token, &rk), msg);
+        assert_eq!(
+            crate::outsource::client_recover(&ct, &decoded_token, &rk),
+            msg
+        );
     }
 
     #[test]
     fn envelope_roundtrip() {
         let mut w = world();
         let policy = parse("a@Org").unwrap();
-        let comp =
-            seal_component(&mut w.owner, "payload", b"hello", &policy, &mut w.rng).unwrap();
+        let comp = seal_component(&mut w.owner, "payload", b"hello", &policy, &mut w.rng).unwrap();
         roundtrip(&comp);
-        let envelope = DataEnvelope { components: vec![comp] };
+        let envelope = DataEnvelope {
+            components: vec![comp],
+        };
         roundtrip(&envelope);
     }
 
@@ -641,7 +720,10 @@ mod tests {
         let ct = w.owner.encrypt_message(&msg, &policy, &mut w.rng).unwrap();
         let encoded = ct.to_wire_bytes().len();
         let analytic = ct.wire_size();
-        assert!(encoded >= analytic, "encoding cannot be below element bytes");
+        assert!(
+            encoded >= analytic,
+            "encoding cannot be below element bytes"
+        );
         assert!(
             encoded < analytic + 128,
             "metadata overhead should stay small: {encoded} vs {analytic}"

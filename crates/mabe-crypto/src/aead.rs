@@ -27,11 +27,7 @@ fn poly_key(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN]) -> [u8; 32] {
     pk
 }
 
-fn compute_tag(
-    poly_key: &[u8; 32],
-    aad: &[u8],
-    ciphertext: &[u8],
-) -> [u8; TAG_LEN] {
+fn compute_tag(poly_key: &[u8; 32], aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
     let mut mac = Poly1305::new(poly_key);
     mac.update(aad);
     mac.update(&[0u8; 16][..(16 - aad.len() % 16) % 16]);
@@ -99,14 +95,16 @@ mod tests {
     }
 
     fn unhex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     // RFC 8439 §2.8.2 AEAD test vector.
     #[test]
     fn rfc8439_aead_vector() {
-        let key_bytes =
-            unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
+        let key_bytes = unhex("808182838485868788898a8b8c8d8e8f909192939495969798999a9b9c9d9e9f");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let nonce_bytes = unhex("070000004041424344454647");
@@ -150,7 +148,10 @@ mod tests {
 
     #[test]
     fn short_input_rejected() {
-        assert_eq!(open(&[0u8; 32], &[0u8; 12], b"", &[0u8; 15]), Err(AeadError));
+        assert_eq!(
+            open(&[0u8; 32], &[0u8; 12], b"", &[0u8; 15]),
+            Err(AeadError)
+        );
     }
 
     #[test]
@@ -170,7 +171,11 @@ mod tests {
         for aad_len in [0usize, 1, 15, 16, 17, 31, 32] {
             let aad = vec![0x5au8; aad_len];
             let sealed = seal(&key, &nonce, &aad, b"data");
-            assert_eq!(open(&key, &nonce, &aad, &sealed).unwrap(), b"data", "aad {aad_len}");
+            assert_eq!(
+                open(&key, &nonce, &aad, &sealed).unwrap(),
+                b"data",
+                "aad {aad_len}"
+            );
         }
     }
 }

@@ -26,12 +26,17 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&SIGMA);
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
-        state[13 + i] =
-            u32::from_le_bytes([nonce[4 * i], nonce[4 * i + 1], nonce[4 * i + 2], nonce[4 * i + 3]]);
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
     }
     let mut working = state;
     for _ in 0..10 {
@@ -56,7 +61,12 @@ pub fn block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8;
 
 /// Encrypts or decrypts `data` in place (XOR keystream), starting at block
 /// `initial_counter`.
-pub fn xor_stream(key: &[u8; KEY_LEN], initial_counter: u32, nonce: &[u8; NONCE_LEN], data: &mut [u8]) {
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    initial_counter: u32,
+    nonce: &[u8; NONCE_LEN],
+    data: &mut [u8],
+) {
     for (i, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
         let ks = block(key, initial_counter.wrapping_add(i as u32), nonce);
         for (b, k) in chunk.iter_mut().zip(ks.iter()) {
@@ -82,10 +92,7 @@ mod tests {
         }
         let nonce = [0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0];
         let out = block(&key, 1, &nonce);
-        assert_eq!(
-            hex(&out[..16]),
-            "10f1e7e4d13b5915500fdd1fa32071c4"
-        );
+        assert_eq!(hex(&out[..16]), "10f1e7e4d13b5915500fdd1fa32071c4");
         assert_eq!(hex(&out[48..]), "b5129cd1de164eb9cbd083e8a2503c4e");
     }
 

@@ -39,7 +39,13 @@ impl Poly1305 {
             u32::from_le_bytes([key[24], key[25], key[26], key[27]]),
             u32::from_le_bytes([key[28], key[29], key[30], key[31]]),
         ];
-        Poly1305 { r, s, acc: [0; 5], buf: [0; 16], buf_len: 0 }
+        Poly1305 {
+            r,
+            s,
+            acc: [0; 5],
+            buf: [0; 16],
+            buf_len: 0,
+        }
     }
 
     /// Absorbs message bytes.
@@ -191,14 +197,16 @@ mod tests {
     }
 
     fn unhex(s: &str) -> Vec<u8> {
-        (0..s.len()).step_by(2).map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap()).collect()
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
     }
 
     // RFC 8439 §2.5.2 test vector.
     #[test]
     fn rfc8439_vector() {
-        let key_bytes =
-            unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let key_bytes = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let tag = Poly1305::mac(&key, b"Cryptographic Forum Research Group");
@@ -215,8 +223,7 @@ mod tests {
     // RFC 8439 §A.3 vector #3: r=0, message authenticated only by s.
     #[test]
     fn vector_r_zero() {
-        let key_bytes =
-            unhex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
+        let key_bytes = unhex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
@@ -229,8 +236,7 @@ mod tests {
     // RFC 8439 §A.3 vector #2: the IETF text, keyed with s-only secret.
     #[test]
     fn rfc8439_a3_vector2() {
-        let key_bytes =
-            unhex("0000000000000000000000000000000036e5f6b5c5e06070f0efca96227a863e");
+        let key_bytes = unhex("0000000000000000000000000000000036e5f6b5c5e06070f0efca96227a863e");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
@@ -241,8 +247,7 @@ mod tests {
     // RFC 8439 §A.3 vector #3: r-only key over the same text.
     #[test]
     fn rfc8439_a3_vector3() {
-        let key_bytes =
-            unhex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
+        let key_bytes = unhex("36e5f6b5c5e06070f0efca96227a863e00000000000000000000000000000000");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
@@ -254,8 +259,7 @@ mod tests {
     // (accumulator crosses p).
     #[test]
     fn rfc8439_a3_vector7() {
-        let key_bytes =
-            unhex("0100000000000000000000000000000000000000000000000000000000000000");
+        let key_bytes = unhex("0100000000000000000000000000000000000000000000000000000000000000");
         let mut key = [0u8; 32];
         key.copy_from_slice(&key_bytes);
         let msg = unhex(

@@ -109,7 +109,9 @@ impl GpswAuthority {
 
     /// The public parameters.
     pub fn public_key(&self) -> GpswPublicKey {
-        GpswPublicKey { y: Gt::generator().pow(&self.y) }
+        GpswPublicKey {
+            y: Gt::generator().pow(&self.y),
+        }
     }
 
     /// Issues a key whose embedded policy governs which ciphertexts its
@@ -128,8 +130,14 @@ impl GpswAuthority {
             projective.push(generator_mul(&r_i));
         }
         let affine = mabe_math::batch_normalize(&projective);
-        let rows = affine.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
-        GpswUserKey { access: access.clone(), rows }
+        let rows = affine
+            .chunks_exact(2)
+            .map(|pair| (pair[0], pair[1]))
+            .collect();
+        GpswUserKey {
+            access: access.clone(),
+            rows,
+        }
     }
 }
 
@@ -156,7 +164,11 @@ pub fn encrypt<R: RngCore + ?Sized>(
         order.push(attr.clone());
     }
     let affine = mabe_math::batch_normalize(&projective);
-    GpswCiphertext { e_prime, e_s, components: order.into_iter().zip(affine).collect() }
+    GpswCiphertext {
+        e_prime,
+        e_s,
+        components: order.into_iter().zip(affine).collect(),
+    }
 }
 
 /// Decrypts if the ciphertext's attributes satisfy the key's policy.
@@ -287,8 +299,6 @@ mod tests {
             decrypt(&encrypt(&msg, &attrset(&["C@U", "D@U"]), &pk, &mut r), &key).unwrap(),
             msg
         );
-        assert!(
-            decrypt(&encrypt(&msg, &attrset(&["A@U", "C@U"]), &pk, &mut r), &key).is_err()
-        );
+        assert!(decrypt(&encrypt(&msg, &attrset(&["A@U", "C@U"]), &pk, &mut r), &key).is_err());
     }
 }

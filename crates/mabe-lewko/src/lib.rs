@@ -158,7 +158,13 @@ impl LewkoAuthority {
             .iter()
             .map(|n| {
                 let attr = Attribute::new(n.as_ref(), aid.clone());
-                (attr, AttributeSecrets { alpha: Fr::random(rng), y: Fr::random(rng) })
+                (
+                    attr,
+                    AttributeSecrets {
+                        alpha: Fr::random(rng),
+                        y: Fr::random(rng),
+                    },
+                )
             })
             .collect();
         LewkoAuthority { aid, attrs }
@@ -186,7 +192,10 @@ impl LewkoAuthority {
                 (attr.clone(), (e_alpha, g_y))
             })
             .collect();
-        LewkoPublicKeys { aid: self.aid.clone(), entries }
+        LewkoPublicKeys {
+            aid: self.aid.clone(),
+            entries,
+        }
     }
 
     /// Issues the key for one `(GID, attribute)` pair.
@@ -200,9 +209,13 @@ impl LewkoAuthority {
             .get(attr)
             .ok_or_else(|| LewkoError::UnknownAttribute(attr.clone()))?;
         // K = g^{α} · H(GID)^{y}
-        let k = mabe_math::generator_mul(&secrets.alpha)
-            .add(&G1::from(hash_gid(gid)).mul(&secrets.y));
-        Ok(LewkoAttributeKey { attribute: attr.clone(), gid: gid.to_owned(), k: G1Affine::from(k) })
+        let k =
+            mabe_math::generator_mul(&secrets.alpha).add(&G1::from(hash_gid(gid)).mul(&secrets.y));
+        Ok(LewkoAttributeKey {
+            attribute: attr.clone(),
+            gid: gid.to_owned(),
+            k: G1Affine::from(k),
+        })
     }
 
     /// Authority secret storage in bytes (`2·n_k·|Z_p|`, Table III "AA").
@@ -288,19 +301,33 @@ pub fn encrypt<R: RngCore + ?Sized>(
         let r_i = Fr::random(rng);
         c1s.push(e_gg.pow(&lambda).mul(&pks.0.pow(&r_i)));
         projective.push(mabe_math::generator_mul(&r_i));
-        projective.push(G1::from(pks.1).mul(&r_i).add(&mabe_math::generator_mul(&omega)));
+        projective.push(
+            G1::from(pks.1)
+                .mul(&r_i)
+                .add(&mabe_math::generator_mul(&omega)),
+        );
     }
     let affine = mabe_math::batch_normalize(&projective);
     let rows = c1s
         .into_iter()
         .zip(affine.chunks_exact(2))
-        .map(|(c1, pair)| LewkoRow { c1, c2: pair[0], c3: pair[1] })
+        .map(|(c1, pair)| LewkoRow {
+            c1,
+            c2: pair[0],
+            c3: pair[1],
+        })
         .collect();
-    Ok(LewkoCiphertext { c0, rows, access: access.clone() })
+    Ok(LewkoCiphertext {
+        c0,
+        rows,
+        access: access.clone(),
+    })
 }
 
 fn dot(a: &[Fr], b: &[Fr]) -> Fr {
-    a.iter().zip(b.iter()).fold(Fr::zero(), |acc, (x, y)| acc.add(&x.mul(y)))
+    a.iter()
+        .zip(b.iter())
+        .fold(Fr::zero(), |acc, (x, y)| acc.add(&x.mul(y)))
 }
 
 /// Decrypts a ciphertext with the keys of a single GID.
@@ -423,9 +450,15 @@ mod tests {
             LewkoAuthority::new(AuthorityId::new("Med"), &["Doctor", "Nurse"], &mut rng),
             LewkoAuthority::new(AuthorityId::new("Trial"), &["Researcher"], &mut rng),
         ];
-        let public_keys =
-            authorities.iter().map(|a| (a.aid().clone(), a.public_keys())).collect();
-        Fixture { rng, authorities, public_keys }
+        let public_keys = authorities
+            .iter()
+            .map(|a| (a.aid().clone(), a.public_keys()))
+            .collect();
+        Fixture {
+            rng,
+            authorities,
+            public_keys,
+        }
     }
 
     impl Fixture {
@@ -484,7 +517,10 @@ mod tests {
         let msg = Gt::random(&mut fx.rng);
         let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
         let keys = fx.keys_for("alice", &["Doctor@Med"]);
-        assert_eq!(decrypt(&ct, "alice", &keys), Err(LewkoError::PolicyNotSatisfied));
+        assert_eq!(
+            decrypt(&ct, "alice", &keys),
+            Err(LewkoError::PolicyNotSatisfied)
+        );
     }
 
     #[test]
@@ -559,11 +595,17 @@ mod tests {
         let msg = Gt::random(&mut fx.rng);
         let ct = fx.encrypt(&msg, "Doctor@Med AND Researcher@Trial");
         let keys = fx.keys_for("alice", &["Doctor@Med"]);
-        assert_eq!(decrypt_fast(&ct, "alice", &keys), Err(LewkoError::PolicyNotSatisfied));
+        assert_eq!(
+            decrypt_fast(&ct, "alice", &keys),
+            Err(LewkoError::PolicyNotSatisfied)
+        );
         let other = fx.keys_for("bob", &["Researcher@Trial"]);
         let mut pooled = keys;
         pooled.extend(other);
-        assert_eq!(decrypt_fast(&ct, "alice", &pooled), Err(LewkoError::GidMismatch));
+        assert_eq!(
+            decrypt_fast(&ct, "alice", &pooled),
+            Err(LewkoError::GidMismatch)
+        );
     }
 
     #[test]

@@ -50,7 +50,11 @@ impl Default for G1 {
 impl G1Affine {
     /// The point at infinity.
     pub fn identity() -> Self {
-        G1Affine { x: Fq::zero(), y: Fq::zero(), infinity: true }
+        G1Affine {
+            x: Fq::zero(),
+            y: Fq::zero(),
+            infinity: true,
+        }
     }
 
     /// `true` for the point at infinity.
@@ -98,7 +102,11 @@ impl G1Affine {
         if self.infinity {
             *self
         } else {
-            G1Affine { x: self.x, y: self.y.neg(), infinity: false }
+            G1Affine {
+                x: self.x,
+                y: self.y.neg(),
+                infinity: false,
+            }
         }
     }
 
@@ -151,7 +159,11 @@ impl G1Affine {
         if y.is_odd() != (flag & 1 == 1) {
             y = y.neg();
         }
-        let point = G1Affine { x, y, infinity: false };
+        let point = G1Affine {
+            x,
+            y,
+            infinity: false,
+        };
         if point.is_torsion_free() {
             Some(point)
         } else {
@@ -168,7 +180,11 @@ impl From<G1> for G1Affine {
         let zinv = p.z.invert().expect("non-identity point has z != 0");
         let zinv2 = zinv.square();
         let zinv3 = zinv2.mul(&zinv);
-        G1Affine { x: p.x.mul(&zinv2), y: p.y.mul(&zinv3), infinity: false }
+        G1Affine {
+            x: p.x.mul(&zinv2),
+            y: p.y.mul(&zinv3),
+            infinity: false,
+        }
     }
 }
 
@@ -177,7 +193,11 @@ impl From<G1Affine> for G1 {
         if p.infinity {
             G1::identity()
         } else {
-            G1 { x: p.x, y: p.y, z: Fq::one() }
+            G1 {
+                x: p.x,
+                y: p.y,
+                z: Fq::one(),
+            }
         }
     }
 }
@@ -205,7 +225,11 @@ impl Eq for G1 {}
 impl G1 {
     /// The point at infinity (encoded as `Z = 0`).
     pub fn identity() -> Self {
-        G1 { x: Fq::one(), y: Fq::one(), z: Fq::zero() }
+        G1 {
+            x: Fq::one(),
+            y: Fq::one(),
+            z: Fq::zero(),
+        }
     }
 
     /// `true` for the point at infinity.
@@ -231,7 +255,11 @@ impl G1 {
         let y4_8 = y2.square().double().double().double(); // 8Y⁴
         let y3 = m.mul(&s.sub(&x3)).sub(&y4_8);
         let z3 = self.y.mul(&self.z).double();
-        G1 { x: x3, y: y3, z: z3 }
+        G1 {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// General point addition.
@@ -262,7 +290,11 @@ impl G1 {
         let x3 = r.square().sub(&h3).sub(&u1h2.double());
         let y3 = r.mul(&u1h2.sub(&x3)).sub(&s1.mul(&h3));
         let z3 = self.z.mul(&rhs.z).mul(&h);
-        G1 { x: x3, y: y3, z: z3 }
+        G1 {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Mixed addition with an affine point.
@@ -290,12 +322,20 @@ impl G1 {
         let x3 = r.square().sub(&h3).sub(&u1h2.double());
         let y3 = r.mul(&u1h2.sub(&x3)).sub(&self.y.mul(&h3));
         let z3 = self.z.mul(&h);
-        G1 { x: x3, y: y3, z: z3 }
+        G1 {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
     }
 
     /// Negation.
     pub fn neg(&self) -> Self {
-        G1 { x: self.x, y: self.y.neg(), z: self.z }
+        G1 {
+            x: self.x,
+            y: self.y.neg(),
+            z: self.z,
+        }
     }
 
     /// Scalar multiplication by a field scalar (width-4 wNAF).
@@ -307,6 +347,7 @@ impl G1 {
     /// additions against a 4-entry odd-multiples table (the kind of
     /// optimization the paper's PBC library applies).
     pub fn mul_wnaf(&self, scalar: &Fr) -> Self {
+        mabe_telemetry::record(mabe_telemetry::CryptoOp::G1Mul);
         let digits = wnaf_digits(scalar.to_uint());
         if digits.is_empty() {
             return Self::identity();
@@ -332,6 +373,7 @@ impl G1 {
     /// Reference double-and-add scalar multiplication (kept for the
     /// wNAF ablation benchmark and cross-checking).
     pub fn mul_binary(&self, scalar: &Fr) -> Self {
+        mabe_telemetry::record(mabe_telemetry::CryptoOp::G1Mul);
         self.mul_by_limbs(&scalar.to_uint().limbs)
     }
 
@@ -410,6 +452,7 @@ impl FixedBase {
 
     /// Computes `k · P` using the precomputed table.
     pub fn mul(&self, k: &Fr) -> G1 {
+        mabe_telemetry::record(mabe_telemetry::CryptoOp::G1Mul);
         let limbs = k.to_uint().limbs;
         let mut acc = G1::identity();
         for w in 0..FIXED_BASE_WINDOWS {
@@ -428,7 +471,9 @@ impl FixedBase {
 /// hot path that exponentiates `g`.
 pub fn generator_mul(k: &Fr) -> G1 {
     static TABLE: OnceLock<FixedBase> = OnceLock::new();
-    TABLE.get_or_init(|| FixedBase::new(&G1::generator())).mul(k)
+    TABLE
+        .get_or_init(|| FixedBase::new(&G1::generator()))
+        .mul(k)
 }
 
 /// Width-4 signed windowed NAF digits (least-significant first), each in
@@ -439,7 +484,11 @@ fn wnaf_digits(mut x: crate::uint::Uint<3>) -> Vec<i8> {
     while !x.is_zero() {
         if x.is_odd() {
             let low = x.limbs[0] & (WINDOW - 1);
-            let d: i64 = if low >= WINDOW / 2 { low as i64 - WINDOW as i64 } else { low as i64 };
+            let d: i64 = if low >= WINDOW / 2 {
+                low as i64 - WINDOW as i64
+            } else {
+                low as i64
+            };
             if d >= 0 {
                 x = x.sbb(crate::uint::Uint::from_u64(d as u64)).0;
             } else {
@@ -479,7 +528,11 @@ pub fn batch_normalize(points: &[G1]) -> Vec<G1Affine> {
         inv = inv.mul(&p.z);
         let zinv2 = zinv.square();
         let zinv3 = zinv2.mul(&zinv);
-        out[i] = G1Affine { x: p.x.mul(&zinv2), y: p.y.mul(&zinv3), infinity: false };
+        out[i] = G1Affine {
+            x: p.x.mul(&zinv2),
+            y: p.y.mul(&zinv3),
+            infinity: false,
+        };
     }
     out
 }
@@ -490,6 +543,7 @@ pub fn batch_normalize(points: &[G1]) -> Vec<G1Affine> {
 /// This is the random oracle `H : {0,1}* → G` required by the
 /// Lewko–Waters baseline and by key derivation; deterministic in `msg`.
 pub fn hash_to_curve(msg: &[u8]) -> G1Affine {
+    mabe_telemetry::record(mabe_telemetry::CryptoOp::HashToCurve);
     let mut ctr = 0u32;
     loop {
         let mut input = Vec::with_capacity(msg.len() + 4);
@@ -639,8 +693,7 @@ mod tests {
         // Construct one via the hash-to-curve x-search without clearing.
         let mut ctr = 0u32;
         let point = loop {
-            let wide =
-                mabe_crypto::sha256::digest_wide(0x55, &ctr.to_be_bytes());
+            let wide = mabe_crypto::sha256::digest_wide(0x55, &ctr.to_be_bytes());
             let x = Fq::from_be_bytes_reduce(&wide);
             let rhs = x.square().mul(&x).add(&x);
             if let Some(y) = rhs.sqrt() {
@@ -795,7 +848,11 @@ mod tests {
     fn doubling_point_with_y_zero_is_identity() {
         // y = 0 points are 2-torsion; our subgroup has odd order so we
         // construct one directly on the curve: y² = x³+x with y=0 ⇒ x=0.
-        let two_torsion = G1 { x: Fq::zero(), y: Fq::zero(), z: Fq::one() };
+        let two_torsion = G1 {
+            x: Fq::zero(),
+            y: Fq::zero(),
+            z: Fq::one(),
+        };
         assert!(two_torsion.double().is_identity());
     }
 }

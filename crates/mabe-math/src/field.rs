@@ -59,6 +59,7 @@ pub trait FieldParams<const L: usize>:
 }
 
 /// CIOS Montgomery multiplication: returns `a · b · R^{-1} mod m`.
+#[allow(clippy::needless_range_loop)] // limb indices track the CIOS schedule
 fn mont_mul<const L: usize>(a: &Uint<L>, b: &Uint<L>, m: &Uint<L>, inv: u64) -> Uint<L> {
     debug_assert!(L <= MAX_LIMBS);
     let mut t = [0u64; MAX_LIMBS + 2];
@@ -203,12 +204,18 @@ impl<P: FieldParams<L>, const L: usize> core::fmt::Display for FieldElement<P, L
 impl<P: FieldParams<L>, const L: usize> FieldElement<P, L> {
     /// The additive identity.
     pub fn zero() -> Self {
-        FieldElement { repr: Uint::ZERO, _params: PhantomData }
+        FieldElement {
+            repr: Uint::ZERO,
+            _params: PhantomData,
+        }
     }
 
     /// The multiplicative identity.
     pub fn one() -> Self {
-        FieldElement { repr: P::R1, _params: PhantomData }
+        FieldElement {
+            repr: P::R1,
+            _params: PhantomData,
+        }
     }
 
     /// Embeds a small integer.
@@ -223,7 +230,10 @@ impl<P: FieldParams<L>, const L: usize> FieldElement<P, L> {
     /// Panics if `v >= MODULUS`.
     pub fn from_uint(v: &Uint<L>) -> Self {
         assert!(v.lt(&P::MODULUS), "value out of field range");
-        FieldElement { repr: mont_mul(v, &P::R2, &P::MODULUS, P::INV), _params: PhantomData }
+        FieldElement {
+            repr: mont_mul(v, &P::R2, &P::MODULUS, P::INV),
+            _params: PhantomData,
+        }
     }
 
     /// Returns the canonical (non-Montgomery) integer representation.
@@ -238,14 +248,24 @@ impl<P: FieldParams<L>, const L: usize> FieldElement<P, L> {
 
     /// Field addition.
     pub fn add(&self, rhs: &Self) -> Self {
-        FieldElement { repr: self.repr.mod_add(rhs.repr, &P::MODULUS), _params: PhantomData }
+        FieldElement {
+            repr: self.repr.mod_add(rhs.repr, &P::MODULUS),
+            _params: PhantomData,
+        }
     }
 
     /// Field subtraction.
     pub fn sub(&self, rhs: &Self) -> Self {
         let (diff, borrow) = self.repr.sbb(rhs.repr);
-        let repr = if borrow == 1 { diff.adc(P::MODULUS).0 } else { diff };
-        FieldElement { repr, _params: PhantomData }
+        let repr = if borrow == 1 {
+            diff.adc(P::MODULUS).0
+        } else {
+            diff
+        };
+        FieldElement {
+            repr,
+            _params: PhantomData,
+        }
     }
 
     /// Additive inverse.
@@ -254,7 +274,10 @@ impl<P: FieldParams<L>, const L: usize> FieldElement<P, L> {
             *self
         } else {
             let (repr, _) = P::MODULUS.sbb(self.repr);
-            FieldElement { repr, _params: PhantomData }
+            FieldElement {
+                repr,
+                _params: PhantomData,
+            }
         }
     }
 
@@ -318,7 +341,7 @@ impl<P: FieldParams<L>, const L: usize> FieldElement<P, L> {
             for limb in limbs.iter_mut() {
                 *limb = rng.next_u64();
             }
-            let top_limb = (P::NUM_BITS + 63) / 64 - 1;
+            let top_limb = P::NUM_BITS.div_ceil(64) - 1;
             limbs[top_limb] &= top_mask;
             for limb in limbs.iter_mut().skip(top_limb + 1) {
                 *limb = 0;

@@ -21,7 +21,12 @@ pub struct Fq2 {
 
 impl core::fmt::Debug for Fq2 {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
-        write!(f, "Fq2({:?} + {:?}·i)", self.c0.to_uint(), self.c1.to_uint())
+        write!(
+            f,
+            "Fq2({:?} + {:?}·i)",
+            self.c0.to_uint(),
+            self.c1.to_uint()
+        )
     }
 }
 
@@ -34,12 +39,18 @@ impl core::fmt::Display for Fq2 {
 impl Fq2 {
     /// The additive identity.
     pub fn zero() -> Self {
-        Fq2 { c0: Fq::zero(), c1: Fq::zero() }
+        Fq2 {
+            c0: Fq::zero(),
+            c1: Fq::zero(),
+        }
     }
 
     /// The multiplicative identity.
     pub fn one() -> Self {
-        Fq2 { c0: Fq::one(), c1: Fq::zero() }
+        Fq2 {
+            c0: Fq::one(),
+            c1: Fq::zero(),
+        }
     }
 
     /// Builds an element from its two coefficients.
@@ -59,17 +70,26 @@ impl Fq2 {
 
     /// Addition.
     pub fn add(&self, rhs: &Self) -> Self {
-        Fq2 { c0: self.c0.add(&rhs.c0), c1: self.c1.add(&rhs.c1) }
+        Fq2 {
+            c0: self.c0.add(&rhs.c0),
+            c1: self.c1.add(&rhs.c1),
+        }
     }
 
     /// Subtraction.
     pub fn sub(&self, rhs: &Self) -> Self {
-        Fq2 { c0: self.c0.sub(&rhs.c0), c1: self.c1.sub(&rhs.c1) }
+        Fq2 {
+            c0: self.c0.sub(&rhs.c0),
+            c1: self.c1.sub(&rhs.c1),
+        }
     }
 
     /// Additive inverse.
     pub fn neg(&self) -> Self {
-        Fq2 { c0: self.c0.neg(), c1: self.c1.neg() }
+        Fq2 {
+            c0: self.c0.neg(),
+            c1: self.c1.neg(),
+        }
     }
 
     /// Karatsuba-style multiplication (3 base-field multiplications).
@@ -78,8 +98,8 @@ impl Fq2 {
         let bb = self.c1.mul(&rhs.c1);
         let sum = self.c0.add(&self.c1).mul(&rhs.c0.add(&rhs.c1));
         Fq2 {
-            c0: aa.sub(&bb),                 // a0·b0 - a1·b1
-            c1: sum.sub(&aa).sub(&bb),       // a0·b1 + a1·b0
+            c0: aa.sub(&bb),           // a0·b0 - a1·b1
+            c1: sum.sub(&aa).sub(&bb), // a0·b1 + a1·b0
         }
     }
 
@@ -88,17 +108,26 @@ impl Fq2 {
         let plus = self.c0.add(&self.c1);
         let minus = self.c0.sub(&self.c1);
         let cross = self.c0.mul(&self.c1);
-        Fq2 { c0: plus.mul(&minus), c1: cross.double() }
+        Fq2 {
+            c0: plus.mul(&minus),
+            c1: cross.double(),
+        }
     }
 
     /// Multiplication by a base-field scalar.
     pub fn mul_by_fq(&self, k: &Fq) -> Self {
-        Fq2 { c0: self.c0.mul(k), c1: self.c1.mul(k) }
+        Fq2 {
+            c0: self.c0.mul(k),
+            c1: self.c1.mul(k),
+        }
     }
 
     /// Complex conjugate `a - bi` — also the Frobenius map `z^q`.
     pub fn conjugate(&self) -> Self {
-        Fq2 { c0: self.c0, c1: self.c1.neg() }
+        Fq2 {
+            c0: self.c0,
+            c1: self.c1.neg(),
+        }
     }
 
     /// The norm `a² + b²` (an `F_q` element).
@@ -109,7 +138,10 @@ impl Fq2 {
     /// Multiplicative inverse: `(a - bi) / (a² + b²)`. `None` for zero.
     pub fn invert(&self) -> Option<Self> {
         let inv_norm = self.norm().invert()?;
-        Some(Fq2 { c0: self.c0.mul(&inv_norm), c1: self.c1.neg().mul(&inv_norm) })
+        Some(Fq2 {
+            c0: self.c0.mul(&inv_norm),
+            c1: self.c1.neg().mul(&inv_norm),
+        })
     }
 
     /// Variable-time exponentiation by a little-endian limb slice.
@@ -130,7 +162,10 @@ impl Fq2 {
 
     /// Uniformly random element.
     pub fn random<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        Fq2 { c0: Fq::random(rng), c1: Fq::random(rng) }
+        Fq2 {
+            c0: Fq::random(rng),
+            c1: Fq::random(rng),
+        }
     }
 
     /// Canonical encoding: `c0 || c1`, 128 bytes.

@@ -15,6 +15,7 @@ const TAG_FQ: u8 = 0x03;
 
 /// The paper's random oracle `H : {0,1}* → Z_p` (attribute hashing).
 pub fn hash_to_fr(msg: &[u8]) -> Fr {
+    mabe_telemetry::record(mabe_telemetry::CryptoOp::HashToField);
     let wide = sha256::digest_wide(TAG_FR, msg);
     Fr::from_be_bytes_reduce(&wide)
 }

@@ -36,7 +36,10 @@ struct Step {
 /// Doubling step: tangent line at `t` evaluated at `φ(Q) = (-x_q, i·y_q)`.
 fn double_step(t: &G1, xq: &Fq, yq: &Fq) -> Step {
     if t.is_identity() {
-        return Step { line: Fq2::one(), point: *t };
+        return Step {
+            line: Fq2::one(),
+            point: *t,
+        };
     }
     let (x, y, z) = (t.x, t.y, t.z);
     let y2 = y.square();
@@ -44,20 +47,32 @@ fn double_step(t: &G1, xq: &Fq, yq: &Fq) -> Step {
     let m = x.square().mul(&Fq::from_u64(3)).add(&z2.square()); // 3X² + Z⁴ (a = 1)
     let s = x.mul(&y2).double().double(); // 4XY²
     let x3 = m.square().sub(&s.double());
-    let y3 = m.mul(&s.sub(&x3)).sub(&y2.square().double().double().double());
+    let y3 = m
+        .mul(&s.sub(&x3))
+        .sub(&y2.square().double().double().double());
     let z3 = y.mul(&z).double();
     // l(φQ) = Z₃·Z²·(i·y_q) - 2Y² - M·(Z²·(-x_q) - X)
     //       = [M·(Z²·x_q + X) - 2Y²] + [Z₃·Z²·y_q]·i
     let c0 = m.mul(&z2.mul(xq).add(&x)).sub(&y2.double());
     let c1 = z3.mul(&z2).mul(yq);
-    Step { line: Fq2::new(c0, c1), point: G1 { x: x3, y: y3, z: z3 } }
+    Step {
+        line: Fq2::new(c0, c1),
+        point: G1 {
+            x: x3,
+            y: y3,
+            z: z3,
+        },
+    }
 }
 
 /// Addition step: chord through `t` and the affine base point `p`,
 /// evaluated at `φ(Q)`.
 fn add_step(t: &G1, p: &G1Affine, xq: &Fq, yq: &Fq) -> Step {
     if t.is_identity() {
-        return Step { line: Fq2::one(), point: G1::from(*p) };
+        return Step {
+            line: Fq2::one(),
+            point: G1::from(*p),
+        };
     }
     let (x, y, z) = (t.x, t.y, t.z);
     let z2 = z.square();
@@ -71,7 +86,10 @@ fn add_step(t: &G1, p: &G1Affine, xq: &Fq, yq: &Fq) -> Step {
             return double_step(t, xq, yq);
         }
         // t == -p: vertical line, value in F_q ⇒ eliminated.
-        return Step { line: Fq2::one(), point: G1::identity() };
+        return Step {
+            line: Fq2::one(),
+            point: G1::identity(),
+        };
     }
     let h2 = h.square();
     let h3 = h2.mul(&h);
@@ -83,7 +101,14 @@ fn add_step(t: &G1, p: &G1Affine, xq: &Fq, yq: &Fq) -> Step {
     //       = [R·(x_q + x_p) - Z₃·y_p] + [Z₃·y_q]·i
     let c0 = r.mul(&xq.add(&p.x())).sub(&z3.mul(&p.y()));
     let c1 = z3.mul(yq);
-    Step { line: Fq2::new(c0, c1), point: G1 { x: x3, y: y3, z: z3 } }
+    Step {
+        line: Fq2::new(c0, c1),
+        point: G1 {
+            x: x3,
+            y: y3,
+            z: z3,
+        },
+    }
 }
 
 /// Raises the Miller-loop output to `(q² - 1)/r`, landing in the order-`r`
@@ -101,6 +126,9 @@ fn final_exponentiation(f: &Fq2) -> Fq2 {
 /// Returns the identity of `G_T` if either argument is the identity of
 /// `G` (consistent with bilinearity).
 pub fn pairing(p: &G1Affine, q: &G1Affine) -> Gt {
+    // Counted before the identity shortcut: op accounting tracks the
+    // paper's nominal operation counts, not the shortcuts taken.
+    mabe_telemetry::record(mabe_telemetry::CryptoOp::Pairing);
     if p.is_identity() || q.is_identity() {
         return Gt::one();
     }
@@ -133,6 +161,9 @@ pub fn pairing(p: &G1Affine, q: &G1Affine) -> Gt {
 ///
 /// Identity arguments contribute a factor of 1, like [`pairing`].
 pub fn multi_pairing(pairs: &[(G1Affine, G1Affine)]) -> Gt {
+    for _ in pairs {
+        mabe_telemetry::record(mabe_telemetry::CryptoOp::Pairing);
+    }
     let mut state: Vec<(G1, G1Affine, Fq, Fq)> = pairs
         .iter()
         .filter(|(p, q)| !p.is_identity() && !q.is_identity())
@@ -190,6 +221,7 @@ impl Gt {
 
     /// Exponentiation by a scalar.
     pub fn pow(&self, k: &Fr) -> Self {
+        mabe_telemetry::record(mabe_telemetry::CryptoOp::GtPow);
         Gt(self.0.pow_vartime(&k.to_uint().limbs))
     }
 
@@ -405,7 +437,10 @@ mod tests {
         }
         // Identity: c0 = 1, c1 = 0.
         let one = Gt::one();
-        assert_eq!(Gt::from_compressed_bytes(&one.to_compressed_bytes()), Some(one));
+        assert_eq!(
+            Gt::from_compressed_bytes(&one.to_compressed_bytes()),
+            Some(one)
+        );
         // Bad flag and bad length rejected.
         let mut bad = Gt::generator().to_compressed_bytes();
         bad[0] = 0x00;

@@ -23,7 +23,9 @@ pub(crate) const fn adc(a: u64, b: u64, carry: u64) -> (u64, u64) {
 
 #[inline(always)]
 pub(crate) const fn sbb(a: u64, b: u64, borrow: u64) -> (u64, u64) {
-    let t = (a as u128).wrapping_sub(b as u128).wrapping_sub(borrow as u128);
+    let t = (a as u128)
+        .wrapping_sub(b as u128)
+        .wrapping_sub(borrow as u128);
     (t as u64, ((t >> 64) as u64) & 1)
 }
 
@@ -205,6 +207,7 @@ impl<const L: usize> Uint<L> {
     }
 
     /// Logical right shift by one bit.
+    #[allow(clippy::needless_range_loop)] // each limb borrows a bit from limb i+1
     pub fn shr1(&self) -> Self {
         let mut limbs = [0u64; L];
         for i in 0..L {
@@ -358,7 +361,9 @@ mod tests {
     #[test]
     fn ordering() {
         let a: Uint<2> = Uint { limbs: [5, 1] };
-        let b: Uint<2> = Uint { limbs: [u64::MAX, 0] };
+        let b: Uint<2> = Uint {
+            limbs: [u64::MAX, 0],
+        };
         assert!(b < a);
         assert!(b.lt(&a));
         assert!(!a.lt(&b));
@@ -399,7 +404,9 @@ mod tests {
 
     #[test]
     fn shr1_shifts_across_limbs() {
-        let x: Uint<2> = Uint { limbs: [0b101, 0b11] };
+        let x: Uint<2> = Uint {
+            limbs: [0b101, 0b11],
+        };
         let y = x.shr1();
         assert_eq!(y.limbs[0], (0b101 >> 1) | (1 << 63));
         assert_eq!(y.limbs[1], 0b1);

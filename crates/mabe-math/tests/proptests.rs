@@ -11,7 +11,9 @@ use mabe_math::uint::{mul_limbs, Uint};
 use mabe_math::{generator_mul, Fq, Fr, G1Affine, G1};
 
 fn u2(v: u128) -> Uint<2> {
-    Uint { limbs: [v as u64, (v >> 64) as u64] }
+    Uint {
+        limbs: [v as u64, (v >> 64) as u64],
+    }
 }
 
 fn as_u128(x: &Uint<2>) -> u128 {

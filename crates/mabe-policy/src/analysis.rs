@@ -77,7 +77,10 @@ pub fn normalize(policy: &Policy) -> Policy {
             } else if *k == normalized.len() {
                 normalize(&Policy::And(normalized))
             } else {
-                Policy::Threshold { k: *k, children: normalized }
+                Policy::Threshold {
+                    k: *k,
+                    children: normalized,
+                }
             }
         }
     }
@@ -178,9 +181,7 @@ fn minimal_sets_inner(policy: &Policy) -> Result<Vec<BTreeSet<Attribute>>, Analy
 ///
 /// [`AnalysisError::TooComplex`] if more than [`MAX_MINIMAL_SETS`] sets
 /// would be produced.
-pub fn minimal_authorized_sets(
-    policy: &Policy,
-) -> Result<Vec<BTreeSet<Attribute>>, AnalysisError> {
+pub fn minimal_authorized_sets(policy: &Policy) -> Result<Vec<BTreeSet<Attribute>>, AnalysisError> {
     minimal_sets_inner(policy)
 }
 
@@ -273,8 +274,7 @@ mod tests {
 
     #[test]
     fn minimal_sets_are_minimal_and_satisfying() {
-        let policy =
-            parse("(A@X AND 2 of (B@X, C@X, D@Y)) OR (E@Y AND F@Y)").unwrap();
+        let policy = parse("(A@X AND 2 of (B@X, C@X, D@Y)) OR (E@Y AND F@Y)").unwrap();
         let sets = minimal_authorized_sets(&policy).unwrap();
         assert!(!sets.is_empty());
         for s in &sets {
@@ -327,8 +327,7 @@ mod tests {
         for src in cases {
             let p = parse(src).unwrap();
             let n = normalize(&p);
-            let leaves: Vec<Attribute> =
-                p.leaves().into_iter().cloned().collect();
+            let leaves: Vec<Attribute> = p.leaves().into_iter().cloned().collect();
             for mask in 0u32..(1 << leaves.len()) {
                 let subset: BTreeSet<Attribute> = leaves
                     .iter()
@@ -410,8 +409,7 @@ mod tests {
     fn complexity_guard() {
         // 2^13 = 8192 > MAX_MINIMAL_SETS minimal sets: an AND of 13
         // binary ORs.
-        let clauses: Vec<String> =
-            (0..13).map(|i| format!("(a{i}@X OR b{i}@X)")).collect();
+        let clauses: Vec<String> = (0..13).map(|i| format!("(a{i}@X OR b{i}@X)")).collect();
         let p = parse(&clauses.join(" AND ")).unwrap();
         assert_eq!(minimal_authorized_sets(&p), Err(AnalysisError::TooComplex));
         assert_eq!(pivot_attributes(&p), Err(AnalysisError::TooComplex));

@@ -184,10 +184,7 @@ mod tests {
 
     #[test]
     fn threshold_semantics() {
-        let p = Policy::threshold(
-            2,
-            vec![leaf("A", "X"), leaf("B", "X"), leaf("C", "Y")],
-        );
+        let p = Policy::threshold(2, vec![leaf("A", "X"), leaf("B", "X"), leaf("C", "Y")]);
         assert!(p.is_satisfied_by(&[attr("A", "X"), attr("C", "Y")]));
         assert!(!p.is_satisfied_by(&[attr("A", "X")]));
         assert!(p.is_satisfied_by(&[attr("A", "X"), attr("B", "X"), attr("C", "Y")]));
@@ -214,7 +211,10 @@ mod tests {
 
     #[test]
     fn leaves_and_authorities() {
-        let p = Policy::and(vec![leaf("A", "X"), Policy::or(vec![leaf("B", "Y"), leaf("C", "X")])]);
+        let p = Policy::and(vec![
+            leaf("A", "X"),
+            Policy::or(vec![leaf("B", "Y"), leaf("C", "X")]),
+        ]);
         let names: Vec<String> = p.leaves().iter().map(|a| a.to_string()).collect();
         assert_eq!(names, ["A@X", "B@Y", "C@X"]);
         let auths: Vec<String> = p.authorities().iter().map(|a| a.to_string()).collect();

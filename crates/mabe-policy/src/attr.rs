@@ -40,7 +40,8 @@ impl fmt::Display for AuthorityId {
 /// Checks the shared lexical rules for attribute/authority identifiers.
 pub(crate) fn is_valid_ident(s: &str) -> bool {
     !s.is_empty()
-        && s.chars().all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '+'))
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '_' | '-' | '.' | '+'))
         && !is_keyword(s)
         && s.parse::<u64>().is_err()
 }
@@ -113,7 +114,10 @@ impl FromStr for Attribute {
         if !is_valid_ident(name) || !is_valid_ident(auth) {
             return Err(ParseAttributeError(format!("{s:?}")));
         }
-        Ok(Attribute { name: name.to_owned(), authority: AuthorityId(auth.to_owned()) })
+        Ok(Attribute {
+            name: name.to_owned(),
+            authority: AuthorityId(auth.to_owned()),
+        })
     }
 }
 

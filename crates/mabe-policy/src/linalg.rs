@@ -15,6 +15,7 @@ use mabe_math::Fr;
 /// # Panics
 ///
 /// Panics if row lengths are inconsistent with `b`.
+#[allow(clippy::needless_range_loop)] // elimination touches two rows of `m` at once
 pub fn solve(a: &[Vec<Fr>], b: &[Fr]) -> Option<Vec<Fr>> {
     let rows = a.len();
     assert_eq!(rows, b.len(), "matrix/vector dimension mismatch");
@@ -96,7 +97,9 @@ pub fn mat_vec(m: &[Vec<Fr>], v: &[Fr]) -> Vec<Fr> {
     m.iter()
         .map(|row| {
             assert_eq!(row.len(), v.len(), "dimension mismatch");
-            row.iter().zip(v.iter()).fold(Fr::zero(), |acc, (a, b)| acc.add(&a.mul(b)))
+            row.iter()
+                .zip(v.iter())
+                .fold(Fr::zero(), |acc, (a, b)| acc.add(&a.mul(b)))
         })
         .collect()
 }

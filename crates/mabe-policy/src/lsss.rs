@@ -32,7 +32,10 @@ impl core::fmt::Display for LsssError {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         match self {
             LsssError::DuplicateAttribute(a) => {
-                write!(f, "attribute {a} appears more than once (ρ must be injective)")
+                write!(
+                    f,
+                    "attribute {a} appears more than once (ρ must be injective)"
+                )
             }
         }
     }
@@ -74,7 +77,11 @@ impl AccessStructure {
             matrix.push(vec);
             rho.push(attr);
         }
-        Ok(AccessStructure { matrix, rho, policy: policy.clone() })
+        Ok(AccessStructure {
+            matrix,
+            rho,
+            policy: policy.clone(),
+        })
     }
 
     /// The share matrix `M` (`l × n`, row-major).
@@ -111,7 +118,9 @@ impl AccessStructure {
     /// Row indices labelled by attributes of the given authority
     /// (the paper's `I_{AID_k}`).
     pub fn rows_for_authority(&self, aid: &AuthorityId) -> Vec<usize> {
-        (0..self.rows()).filter(|&i| self.rho[i].authority() == aid).collect()
+        (0..self.rows())
+            .filter(|&i| self.rho[i].authority() == aid)
+            .collect()
     }
 
     /// Produces shares `λ_i = M_i · v` of the secret `s`, with
@@ -134,8 +143,9 @@ impl AccessStructure {
         &self,
         attrs: &BTreeSet<Attribute>,
     ) -> Option<Vec<(usize, Fr)>> {
-        let selected: Vec<usize> =
-            (0..self.rows()).filter(|&i| attrs.contains(&self.rho[i])).collect();
+        let selected: Vec<usize> = (0..self.rows())
+            .filter(|&i| attrs.contains(&self.rho[i]))
+            .collect();
         if selected.is_empty() {
             return None;
         }
@@ -150,7 +160,7 @@ impl AccessStructure {
         Some(
             selected
                 .into_iter()
-                .zip(w.into_iter())
+                .zip(w)
                 .filter(|(_, wi)| !wi.is_zero())
                 .collect(),
         )
@@ -167,12 +177,7 @@ impl AccessStructure {
 }
 
 /// Recursive gate assignment (see module docs).
-fn assign(
-    node: &Policy,
-    vec: Vec<Fr>,
-    width: &mut usize,
-    rows: &mut Vec<(Attribute, Vec<Fr>)>,
-) {
+fn assign(node: &Policy, vec: Vec<Fr>, width: &mut usize, rows: &mut Vec<(Attribute, Vec<Fr>)>) {
     let (k, children): (usize, &[Policy]) = match node {
         Policy::Leaf(attr) => {
             rows.push((attr.clone(), vec));

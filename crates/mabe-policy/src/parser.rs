@@ -17,9 +17,9 @@
 use std::fmt;
 
 use crate::ast::Policy;
-use crate::attr::{is_keyword, is_valid_ident, Attribute};
 #[cfg(test)]
 use crate::attr::AuthorityId;
+use crate::attr::{is_keyword, is_valid_ident, Attribute};
 
 /// Error produced when a policy string does not parse.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -30,7 +30,10 @@ pub struct ParsePolicyError {
 
 impl ParsePolicyError {
     fn new(message: impl Into<String>, position: usize) -> Self {
-        ParsePolicyError { message: message.into(), position }
+        ParsePolicyError {
+            message: message.into(),
+            position,
+        }
     }
 
     /// Byte offset in the input where the error was detected.
@@ -41,7 +44,11 @@ impl ParsePolicyError {
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "policy parse error at byte {}: {}", self.position, self.message)
+        write!(
+            f,
+            "policy parse error at byte {}: {}",
+            self.position, self.message
+        )
     }
 }
 
@@ -121,9 +128,9 @@ impl<'a> Lexer<'a> {
                         if let Ok(n) = word.parse::<usize>() {
                             Token::Number(n)
                         } else if word.contains('@') {
-                            let attr = word.parse::<Attribute>().map_err(|e| {
-                                ParsePolicyError::new(e.to_string(), start)
-                            })?;
+                            let attr = word
+                                .parse::<Attribute>()
+                                .map_err(|e| ParsePolicyError::new(e.to_string(), start))?;
                             Token::Attr(attr)
                         } else if is_valid_ident(word) && !is_keyword(word) {
                             return Err(ParsePolicyError::new(
@@ -156,7 +163,9 @@ impl Parser {
     }
 
     fn here(&self) -> usize {
-        self.tokens.get(self.index).map_or(self.input_len, |(_, p)| *p)
+        self.tokens
+            .get(self.index)
+            .map_or(self.input_len, |(_, p)| *p)
     }
 
     fn advance(&mut self) -> Option<Token> {
@@ -171,8 +180,14 @@ impl Parser {
         let at = self.here();
         match self.advance() {
             Some(ref t) if t == want => Ok(()),
-            Some(t) => Err(ParsePolicyError::new(format!("expected {what}, found {t:?}"), at)),
-            None => Err(ParsePolicyError::new(format!("expected {what}, found end of input"), at)),
+            Some(t) => Err(ParsePolicyError::new(
+                format!("expected {what}, found {t:?}"),
+                at,
+            )),
+            None => Err(ParsePolicyError::new(
+                format!("expected {what}, found end of input"),
+                at,
+            )),
         }
     }
 
@@ -182,7 +197,11 @@ impl Parser {
             self.advance();
             children.push(self.and_expr()?);
         }
-        Ok(if children.len() == 1 { children.pop().unwrap() } else { Policy::Or(children) })
+        Ok(if children.len() == 1 {
+            children.pop().unwrap()
+        } else {
+            Policy::Or(children)
+        })
     }
 
     fn and_expr(&mut self) -> Result<Policy, ParsePolicyError> {
@@ -191,7 +210,11 @@ impl Parser {
             self.advance();
             children.push(self.primary()?);
         }
-        Ok(if children.len() == 1 { children.pop().unwrap() } else { Policy::And(children) })
+        Ok(if children.len() == 1 {
+            children.pop().unwrap()
+        } else {
+            Policy::And(children)
+        })
     }
 
     fn primary(&mut self) -> Result<Policy, ParsePolicyError> {
@@ -245,7 +268,11 @@ pub fn parse(input: &str) -> Result<Policy, ParsePolicyError> {
     if tokens.is_empty() {
         return Err(ParsePolicyError::new("empty policy", 0));
     }
-    let mut parser = Parser { tokens, index: 0, input_len: input.len() };
+    let mut parser = Parser {
+        tokens,
+        index: 0,
+        input_len: input.len(),
+    };
     let policy = parser.or_expr()?;
     if parser.index != parser.tokens.len() {
         let at = parser.here();
@@ -264,7 +291,10 @@ mod tests {
 
     #[test]
     fn single_attribute() {
-        assert_eq!(parse("Doctor@Med").unwrap(), Policy::Leaf(attr("Doctor", "Med")));
+        assert_eq!(
+            parse("Doctor@Med").unwrap(),
+            Policy::Leaf(attr("Doctor", "Med"))
+        );
     }
 
     #[test]
@@ -289,7 +319,10 @@ mod tests {
             p,
             Policy::Or(vec![
                 Policy::Leaf(attr("A", "X")),
-                Policy::And(vec![Policy::Leaf(attr("B", "X")), Policy::Leaf(attr("C", "X"))]),
+                Policy::And(vec![
+                    Policy::Leaf(attr("B", "X")),
+                    Policy::Leaf(attr("C", "X"))
+                ]),
             ])
         );
     }
@@ -300,7 +333,10 @@ mod tests {
         assert_eq!(
             p,
             Policy::And(vec![
-                Policy::Or(vec![Policy::Leaf(attr("A", "X")), Policy::Leaf(attr("B", "X"))]),
+                Policy::Or(vec![
+                    Policy::Leaf(attr("A", "X")),
+                    Policy::Leaf(attr("B", "X"))
+                ]),
                 Policy::Leaf(attr("C", "X")),
             ])
         );

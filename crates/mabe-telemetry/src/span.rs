@@ -1,0 +1,100 @@
+//! Span-style latency timers.
+//!
+//! A [`Span`] measures the wall-clock time between its creation and its
+//! drop and records the elapsed microseconds into a histogram named
+//! `<name>_latency_us` in the global registry, alongside a
+//! `<name>_total` invocation counter. Spans are used around every
+//! scheme operation (setup, keygen, encrypt, decrypt, re-encrypt,
+//! update-key) and every cloud endpoint.
+
+use std::time::Instant;
+
+use crate::registry::HistogramHandle;
+
+/// Measures one operation from construction to drop.
+#[derive(Debug)]
+pub struct Span {
+    histogram: HistogramHandle,
+    start: Instant,
+}
+
+impl Span {
+    /// Starts a span for operation `name` with extra labels.
+    pub fn with_labels(name: &str, labels: &[(&str, &str)]) -> Self {
+        let registry = crate::registry::global();
+        registry.counter(&format!("{name}_total"), labels).inc();
+        Span {
+            histogram: registry.histogram(&format!("{name}_latency_us"), labels),
+            start: Instant::now(),
+        }
+    }
+
+    /// Starts an unlabelled span for operation `name`.
+    pub fn start(name: &str) -> Self {
+        Span::with_labels(name, &[])
+    }
+
+    /// Elapsed time so far, in microseconds.
+    pub fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        self.histogram.record(self.elapsed_us());
+    }
+}
+
+/// Times `f` as a span named `name`, returning `f`'s result.
+pub fn time<R>(name: &str, f: impl FnOnce() -> R) -> R {
+    let _span = Span::start(name);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_on_drop() {
+        let registry = crate::registry::global();
+        let before = registry
+            .histogram("span_test_op_latency_us", &[])
+            .inner()
+            .count();
+        time("span_test_op", || {
+            std::thread::sleep(std::time::Duration::from_millis(1))
+        });
+        let hist = registry.histogram("span_test_op_latency_us", &[]);
+        assert_eq!(hist.inner().count(), before + 1);
+        // 1 ms sleep must land at ≥ 1000 µs.
+        assert!(hist.inner().sum() >= 1000);
+        assert!(registry.counter("span_test_op_total", &[]).get() >= 1);
+    }
+
+    #[test]
+    fn labelled_spans_split_series() {
+        {
+            let _a = Span::with_labels("span_label_op", &[("kind", "a")]);
+        }
+        {
+            let _b = Span::with_labels("span_label_op", &[("kind", "b")]);
+        }
+        let registry = crate::registry::global();
+        assert_eq!(
+            registry
+                .histogram("span_label_op_latency_us", &[("kind", "a")])
+                .inner()
+                .count(),
+            1
+        );
+        assert_eq!(
+            registry
+                .histogram("span_label_op_latency_us", &[("kind", "b")])
+                .inner()
+                .count(),
+            1
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Integration tests for mabe-telemetry: histogram bucketing and
+//! percentile behaviour, a property test that merging histograms
+//! preserves totals, and a concurrency smoke test showing parallel
+//! counter increments are lossless.
+
+use proptest::prelude::*;
+
+use mabe_telemetry::histogram::{bucket_index, bucket_upper_bound, Histogram, BUCKET_COUNT};
+use mabe_telemetry::Registry;
+
+#[test]
+fn every_value_lands_at_or_below_its_bucket_bound() {
+    for shift in 0..64u32 {
+        let v = 1u64 << shift;
+        for probe in [v.saturating_sub(1), v, v.saturating_add(1)] {
+            let i = bucket_index(probe);
+            assert!(i < BUCKET_COUNT);
+            assert!(
+                probe <= bucket_upper_bound(i),
+                "value {probe} above bound of bucket {i}"
+            );
+            if i > 0 {
+                assert!(
+                    probe > bucket_upper_bound(i - 1),
+                    "value {probe} fits earlier bucket {}",
+                    i - 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn percentiles_are_monotone_in_q() {
+    let h = Histogram::new();
+    for v in [1u64, 10, 100, 1_000, 10_000, 100_000] {
+        for _ in 0..7 {
+            h.record(v);
+        }
+    }
+    let snap = h.snapshot();
+    let mut last = 0u64;
+    for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0] {
+        let value = snap.quantile(q).unwrap();
+        assert!(value >= last, "quantile({q}) went backwards");
+        last = value;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merged_histograms_preserve_total_count_and_sum(
+        left in prop::collection::vec(any::<u32>(), 0..40),
+        right in prop::collection::vec(any::<u32>(), 0..40),
+    ) {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        for &v in &left {
+            a.record(v as u64);
+        }
+        for &v in &right {
+            b.record(v as u64);
+        }
+        a.merge(&b);
+        let merged = a.snapshot();
+        prop_assert_eq!(merged.count, (left.len() + right.len()) as u64);
+        let expected_sum: u64 = left.iter().chain(right.iter()).map(|&v| v as u64).sum();
+        prop_assert_eq!(merged.sum, expected_sum);
+        let bucket_total: u64 = merged.buckets.iter().sum();
+        prop_assert_eq!(bucket_total, merged.count);
+    }
+
+    #[test]
+    fn quantile_never_underestimates_an_observation_floor(
+        values in prop::collection::vec(0u64..1_000_000, 1..50),
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let min = *values.iter().min().unwrap();
+        // Bucket upper bounds only round up, never below the smallest
+        // observation.
+        prop_assert!(snap.quantile(0.0).unwrap() >= min);
+        prop_assert!(snap.quantile(1.0).unwrap() >= *values.iter().max().unwrap());
+    }
+}
+
+#[test]
+fn parallel_counter_increments_are_lossless() {
+    const THREADS: u64 = 8;
+    const PER_THREAD: u64 = 10_000;
+    let registry = Registry::new();
+    let counter = registry.counter("smoke_total", &[("kind", "parallel")]);
+    let histogram = registry.histogram("smoke_latency_us", &[]);
+    crossbeam::thread::scope(|s| {
+        for t in 0..THREADS {
+            let counter = counter.clone();
+            let histogram = histogram.clone();
+            s.spawn(move |_| {
+                for i in 0..PER_THREAD {
+                    counter.inc();
+                    histogram.record(t * PER_THREAD + i);
+                }
+            });
+        }
+    })
+    .expect("no thread panicked");
+    assert_eq!(counter.get(), THREADS * PER_THREAD);
+    let snap = histogram.inner().snapshot();
+    assert_eq!(snap.count, THREADS * PER_THREAD);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), THREADS * PER_THREAD);
+}
+
+#[test]
+fn export_roundtrip_covers_all_instrument_kinds() {
+    let r = Registry::new();
+    r.counter("jobs_total", &[("queue", "a")]).add(4);
+    r.gauge("inflight", &[]).set(2);
+    r.histogram("wait_us", &[]).record(33);
+    let json = r.snapshot_json();
+    let prom = r.prometheus();
+    for needle in ["jobs_total", "inflight", "wait_us"] {
+        assert!(json.contains(needle), "JSON missing {needle}");
+        assert!(prom.contains(needle), "Prometheus missing {needle}");
+    }
+}

@@ -115,7 +115,10 @@ impl WatersUserKey {
 impl WatersAuthority {
     /// Runs `Setup`.
     pub fn setup<R: RngCore + ?Sized>(rng: &mut R) -> Self {
-        WatersAuthority { alpha: nonzero(rng), a: nonzero(rng) }
+        WatersAuthority {
+            alpha: nonzero(rng),
+            a: nonzero(rng),
+        }
     }
 
     /// The public parameters.
@@ -142,7 +145,11 @@ impl WatersAuthority {
             .iter()
             .map(|x| (x.clone(), G1Affine::from(G1::from(hash_attr(x)).mul(&t))))
             .collect();
-        WatersUserKey { k: G1Affine::from(k), l, kx }
+        WatersUserKey {
+            k: G1Affine::from(k),
+            l,
+            kx,
+        }
     }
 }
 
@@ -180,8 +187,16 @@ pub fn encrypt<R: RngCore + ?Sized>(
         projective.push(generator_mul(&r_i));
     }
     let affine = mabe_math::batch_normalize(&projective);
-    let rows = affine.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
-    WatersCiphertext { c, c_prime, rows, access: access.clone() }
+    let rows = affine
+        .chunks_exact(2)
+        .map(|pair| (pair[0], pair[1]))
+        .collect();
+    WatersCiphertext {
+        c,
+        c_prime,
+        rows,
+        access: access.clone(),
+    }
 }
 
 /// Runs `Decrypt`.
@@ -281,10 +296,14 @@ mod tests {
         let pk = auth.public_key();
         let msg = Gt::random(&mut r);
         // A policy that *looks* multi-authority:
-        let ct = encrypt(&msg, &access("Doctor@MedOrg AND Researcher@Trial"), &pk, &mut r);
+        let ct = encrypt(
+            &msg,
+            &access("Doctor@MedOrg AND Researcher@Trial"),
+            &pk,
+            &mut r,
+        );
         // The single authority grants itself everything and decrypts.
-        let self_issued =
-            auth.keygen(&attrset(&["Doctor@MedOrg", "Researcher@Trial"]), &mut r);
+        let self_issued = auth.keygen(&attrset(&["Doctor@MedOrg", "Researcher@Trial"]), &mut r);
         assert_eq!(decrypt(&ct, &self_issued).unwrap(), msg);
     }
 

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A cross-company project member (holds keys from both AAs).
     let priya = sys.add_user("priya")?;
-    sys.grant(&priya, &["ProjectMember@IBM", "ProjectMember@Google", "Engineer@IBM"])?;
+    sys.grant(
+        &priya,
+        &["ProjectMember@IBM", "ProjectMember@Google", "Engineer@IBM"],
+    )?;
 
     // An IBM engineer not affiliated with Google in any way.
     let jan = sys.add_user("jan")?;
@@ -64,27 +67,56 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     sys.grant(&mona, &["Manager@IBM", "Manager@Google"])?;
 
     println!("architecture (ProjectMember at BOTH):");
-    println!("  priya: {}", ok(sys.read(&priya, &owner, "design-docs", "architecture")));
-    println!("  chen : {}", ok(sys.read(&chen, &owner, "design-docs", "architecture")));
+    println!(
+        "  priya: {}",
+        ok(sys.read(&priya, &owner, "design-docs", "architecture"))
+    );
+    println!(
+        "  chen : {}",
+        ok(sys.read(&chen, &owner, "design-docs", "architecture"))
+    );
 
     println!("build-guide (Engineer@IBM OR Engineer@Google):");
-    println!("  priya: {}", ok(sys.read(&priya, &owner, "design-docs", "build-guide")));
-    println!("  jan  : {}  <- satisfies the OR, but holds no Google-issued key at all;", ok(sys.read(&jan, &owner, "design-docs", "build-guide")));
+    println!(
+        "  priya: {}",
+        ok(sys.read(&priya, &owner, "design-docs", "build-guide"))
+    );
+    println!(
+        "  jan  : {}  <- satisfies the OR, but holds no Google-issued key at all;",
+        ok(sys.read(&jan, &owner, "design-docs", "build-guide"))
+    );
     println!("              the scheme needs K from every involved authority (paper Eq. 1)");
 
     println!("budget (2-of-3 threshold):");
-    println!("  mona : {}", ok(sys.read(&mona, &owner, "design-docs", "budget")));
-    println!("  priya: {}", ok(sys.read(&priya, &owner, "design-docs", "budget")));
-    println!("  jan  : {}", ok(sys.read(&jan, &owner, "design-docs", "budget")));
+    println!(
+        "  mona : {}",
+        ok(sys.read(&mona, &owner, "design-docs", "budget"))
+    );
+    println!(
+        "  priya: {}",
+        ok(sys.read(&priya, &owner, "design-docs", "budget"))
+    );
+    println!(
+        "  jan  : {}",
+        ok(sys.read(&jan, &owner, "design-docs", "budget"))
+    );
 
     // Assertions documenting the example's claims.
-    assert!(sys.read(&priya, &owner, "design-docs", "architecture").is_ok());
-    assert!(sys.read(&chen, &owner, "design-docs", "architecture").is_err());
+    assert!(sys
+        .read(&priya, &owner, "design-docs", "architecture")
+        .is_ok());
+    assert!(sys
+        .read(&chen, &owner, "design-docs", "architecture")
+        .is_err());
     // priya satisfies the OR via Engineer@IBM and holds keys from both AAs.
-    assert!(sys.read(&priya, &owner, "design-docs", "build-guide").is_ok());
+    assert!(sys
+        .read(&priya, &owner, "design-docs", "build-guide")
+        .is_ok());
     // jan satisfies the OR too, but has no Google key: the documented
     // functional requirement of the paper's decryption denies him.
-    assert!(sys.read(&jan, &owner, "design-docs", "build-guide").is_err());
+    assert!(sys
+        .read(&jan, &owner, "design-docs", "build-guide")
+        .is_err());
     assert!(sys.read(&mona, &owner, "design-docs", "budget").is_ok());
     assert!(sys.read(&jan, &owner, "design-docs", "budget").is_err());
     println!("\njoint-project policies enforced ✔");

@@ -42,8 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &owner,
         "patient-record",
         &[
-            ("name", b"J. Doe".as_slice(), "Doctor@CityHospital OR Nurse@CityHospital OR Billing@CityHospital"),
-            ("vitals", b"bp 120/80".as_slice(), "Doctor@CityHospital OR Nurse@CityHospital"),
+            (
+                "name",
+                b"J. Doe".as_slice(),
+                "Doctor@CityHospital OR Nurse@CityHospital OR Billing@CityHospital",
+            ),
+            (
+                "vitals",
+                b"bp 120/80".as_slice(),
+                "Doctor@CityHospital OR Nurse@CityHospital",
+            ),
             (
                 "diagnosis",
                 b"condition X".as_slice(),
@@ -82,9 +90,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // hospital enrols the external auditor with a hospital-side badge
     // attribute; her actual access rights still come from the regulator.
     let auditor = sys.add_user("auditor-ann")?;
-    sys.grant(&auditor, &["Auditor@Regulator", "ExternalAuditor@CityHospital"])?;
+    sys.grant(
+        &auditor,
+        &["Auditor@Regulator", "ExternalAuditor@CityHospital"],
+    )?;
 
-    let labels = ["name", "vitals", "diagnosis", "trial-genome", "billing-code"];
+    let labels = [
+        "name",
+        "vitals",
+        "diagnosis",
+        "trial-genome",
+        "billing-code",
+    ];
     show_view(&mut sys, &dr_house, &owner, &labels);
     show_view(&mut sys, &dr_wilson, &owner, &labels);
     show_view(&mut sys, &nurse, &owner, &labels);
@@ -94,12 +111,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // authorities — can open the trial genome. No single authority could
     // have authorized that access alone, and no collusion of the others
     // can reconstruct it (their keys embed different UIDs).
-    assert!(sys.read(&dr_wilson, &owner, "patient-record", "trial-genome").is_ok());
-    assert!(sys.read(&dr_house, &owner, "patient-record", "trial-genome").is_err());
+    assert!(sys
+        .read(&dr_wilson, &owner, "patient-record", "trial-genome")
+        .is_ok());
+    assert!(sys
+        .read(&dr_house, &owner, "patient-record", "trial-genome")
+        .is_err());
     // The auditor reaches exactly the billing component, via the
     // cross-authority OR.
-    assert!(sys.read(&auditor, &owner, "patient-record", "billing-code").is_ok());
-    assert!(sys.read(&auditor, &owner, "patient-record", "diagnosis").is_err());
+    assert!(sys
+        .read(&auditor, &owner, "patient-record", "billing-code")
+        .is_ok());
+    assert!(sys
+        .read(&auditor, &owner, "patient-record", "diagnosis")
+        .is_err());
     println!("cross-authority conjunction enforced ✔");
     Ok(())
 }

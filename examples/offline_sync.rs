@@ -18,8 +18,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let bob = sys.add_user("bob")?;
     sys.grant(&bob, &["Doctor@MedOrg"])?;
-    sys.publish(&owner, "chart", &[("x", b"bp 120/80".as_slice(), "Doctor@MedOrg")])?;
-    println!("bob reads: {}", String::from_utf8_lossy(&sys.read(&bob, &owner, "chart", "x")?));
+    sys.publish(
+        &owner,
+        "chart",
+        &[("x", b"bp 120/80".as_slice(), "Doctor@MedOrg")],
+    )?;
+    println!(
+        "bob reads: {}",
+        String::from_utf8_lossy(&sys.read(&bob, &owner, "chart", "x")?)
+    );
 
     // Bob goes offline; three colleagues get revoked one after another.
     sys.set_offline(&bob);
@@ -31,7 +38,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!(
             "revocation {} done (MedOrg now v{})",
             i + 1,
-            sys.authority_version(&mabe::policy::AuthorityId::new("MedOrg")).unwrap()
+            sys.authority_version(&mabe::policy::AuthorityId::new("MedOrg"))
+                .unwrap()
         );
     }
 
@@ -48,9 +56,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sync_msgs = sys.wire().log().len();
     println!("sync: {sync_msgs} message(s), {sync_traffic} bytes (3 revocations compacted)");
 
-    println!("bob reads again: {}", String::from_utf8_lossy(&sys.read(&bob, &owner, "chart", "x")?));
+    println!(
+        "bob reads again: {}",
+        String::from_utf8_lossy(&sys.read(&bob, &owner, "chart", "x")?)
+    );
     assert_eq!(sys.read(&bob, &owner, "chart", "x")?, b"bp 120/80");
-    assert_eq!(sync_msgs, 1, "one composed update key per (owner, authority)");
+    assert_eq!(
+        sync_msgs, 1,
+        "one composed update key per (owner, authority)"
+    );
     println!("\noffline catch-up verified ✔");
     Ok(())
 }

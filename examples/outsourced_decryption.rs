@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let msg = Gt::random(&mut rng);
     let ct = owner.encrypt_message(&msg, &policy, &mut rng)?;
-    println!("policy rows: {}, involved authorities: {}", ct.rows(), ct.involved_authorities().len());
+    println!(
+        "policy rows: {}, involved authorities: {}",
+        ct.rows(),
+        ct.involved_authorities().len()
+    );
 
     // Path 1: the client decrypts itself (n_A + 2l pairings).
     let t0 = Instant::now();

@@ -30,7 +30,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &hospital,
         "patient-7",
         &[
-            ("ward-notes", b"temperature stable".as_slice(), "Doctor@MedOrg OR Nurse@MedOrg"),
+            (
+                "ward-notes",
+                b"temperature stable".as_slice(),
+                "Doctor@MedOrg OR Nurse@MedOrg",
+            ),
             (
                 "genome",
                 b"ACGT...".as_slice(),
@@ -41,12 +45,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 5. Access follows attributes.
     let notes = sys.read(&alice, &hospital, "patient-7", "ward-notes")?;
-    println!("alice reads ward-notes: {}", String::from_utf8_lossy(&notes));
+    println!(
+        "alice reads ward-notes: {}",
+        String::from_utf8_lossy(&notes)
+    );
     let genome = sys.read(&alice, &hospital, "patient-7", "genome")?;
-    println!("alice reads genome:     {}", String::from_utf8_lossy(&genome));
+    println!(
+        "alice reads genome:     {}",
+        String::from_utf8_lossy(&genome)
+    );
 
     let notes = sys.read(&bob, &hospital, "patient-7", "ward-notes")?;
-    println!("bob   reads ward-notes: {}", String::from_utf8_lossy(&notes));
+    println!(
+        "bob   reads ward-notes: {}",
+        String::from_utf8_lossy(&notes)
+    );
     match sys.read(&bob, &hospital, "patient-7", "genome") {
         Err(e) => println!("bob   denied genome:    {e}"),
         Ok(_) => unreachable!("bob lacks Doctor and Researcher"),

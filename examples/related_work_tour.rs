@@ -35,7 +35,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let gpsw = mabe::gpsw::GpswAuthority::setup(&mut rng);
     let gpsw_pk = gpsw.public_key();
     // The OWNER can only label data with attributes…
-    let ct = mabe::gpsw::encrypt(&msg, &attrset(&["Medical@Sys", "Y2012@Sys"]), &gpsw_pk, &mut rng);
+    let ct = mabe::gpsw::encrypt(
+        &msg,
+        &attrset(&["Medical@Sys", "Y2012@Sys"]),
+        &gpsw_pk,
+        &mut rng,
+    );
     // …the AUTHORITY decides who reads what by shaping key policies.
     let auditor_key = gpsw.keygen(
         &AccessStructure::from_policy(&parse("Medical@Sys AND Y2012@Sys")?)?,
@@ -66,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ct = mabe::chase::encrypt(&msg, &named, &chase_pk, &mut rng)?;
     // The central authority decrypts with NO attribute keys at all.
     assert_eq!(chase.central_decrypt(&ct), msg);
-    println!("   -> central authority decrypted without any attributes (the escrow the paper removes)\n");
+    println!(
+        "   -> central authority decrypted without any attributes (the escrow the paper removes)\n"
+    );
 
     // ------------------------------------------------------------------
     println!("4. The paper's scheme: owner policies + independent authorities + no escrow.");

@@ -36,15 +36,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let med = AuthorityId::new("MedOrg");
-    println!("MedOrg key version: v{}", sys.authority_version(&med).unwrap());
-    println!("alice reads: {}", text(sys.read(&alice, &owner, "study-42", "cohort")));
-    println!("bob   reads: {}", text(sys.read(&bob, &owner, "study-42", "cohort")));
+    println!(
+        "MedOrg key version: v{}",
+        sys.authority_version(&med).unwrap()
+    );
+    println!(
+        "alice reads: {}",
+        text(sys.read(&alice, &owner, "study-42", "cohort"))
+    );
+    println!(
+        "bob   reads: {}",
+        text(sys.read(&bob, &owner, "study-42", "cohort"))
+    );
 
     // --- Revocation: Alice loses Doctor@MedOrg. ------------------------
     println!("\n>>> revoking Doctor@MedOrg from alice");
     sys.reset_wire(); // isolate the revocation's communication cost
     sys.revoke(&alice, "Doctor@MedOrg")?;
-    println!("MedOrg key version: v{}", sys.authority_version(&med).unwrap());
+    println!(
+        "MedOrg key version: v{}",
+        sys.authority_version(&med).unwrap()
+    );
 
     // The whole protocol cost only these bytes on the wire — note the
     // absence of any re-keying traffic for the Trial authority and that
@@ -54,23 +66,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nafter revocation:");
-    println!("alice reads: {}", text(sys.read(&alice, &owner, "study-42", "cohort")));
-    println!("bob   reads: {}", text(sys.read(&bob, &owner, "study-42", "cohort")));
+    println!(
+        "alice reads: {}",
+        text(sys.read(&alice, &owner, "study-42", "cohort"))
+    );
+    println!(
+        "bob   reads: {}",
+        text(sys.read(&bob, &owner, "study-42", "cohort"))
+    );
 
     // New data under the new version: same outcome.
     sys.publish(
         &owner,
         "study-43",
-        &[("cohort", b"enrolled: 7 patients".as_slice(), "Doctor@MedOrg AND Researcher@Trial")],
+        &[(
+            "cohort",
+            b"enrolled: 7 patients".as_slice(),
+            "Doctor@MedOrg AND Researcher@Trial",
+        )],
     )?;
-    println!("alice reads new study: {}", text(sys.read(&alice, &owner, "study-43", "cohort")));
-    println!("bob   reads new study: {}", text(sys.read(&bob, &owner, "study-43", "cohort")));
+    println!(
+        "alice reads new study: {}",
+        text(sys.read(&alice, &owner, "study-43", "cohort"))
+    );
+    println!(
+        "bob   reads new study: {}",
+        text(sys.read(&bob, &owner, "study-43", "cohort"))
+    );
 
     // A newly joined doctor can still read the OLD (re-encrypted) study —
     // the point of re-encrypting rather than leaving stale ciphertext.
     let dana = sys.add_user("dana")?;
     sys.grant(&dana, &["Doctor@MedOrg", "Researcher@Trial"])?;
-    println!("dana  reads old study: {}", text(sys.read(&dana, &owner, "study-42", "cohort")));
+    println!(
+        "dana  reads old study: {}",
+        text(sys.read(&dana, &owner, "study-42", "cohort"))
+    );
 
     assert!(sys.read(&alice, &owner, "study-42", "cohort").is_err());
     assert!(sys.read(&bob, &owner, "study-42", "cohort").is_ok());

@@ -41,9 +41,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let trial = AuthorityId::new("Trial");
     challenger.query_key("adv", &hospital, &["Doctor@Hospital".parse()?])?;
     println!("phase 1: adv obtained Doctor@Hospital");
-    match challenger.query_key("adv", &AuthorityId::new("Insurer"), &["Adjuster@Insurer".parse()?]) {
+    match challenger.query_key(
+        "adv",
+        &AuthorityId::new("Insurer"),
+        &["Adjuster@Insurer".parse()?],
+    ) {
         Err(GameError::QueryAgainstCorrupted(_)) => {
-            println!("phase 1: query against corrupted Insurer refused (adv already has its secrets)")
+            println!(
+                "phase 1: query against corrupted Insurer refused (adv already has its secrets)"
+            )
         }
         other => panic!("unexpected: {other:?}"),
     }
@@ -91,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Guess.
     let won = challenger.guess(false)?;
-    println!("adv guessed b' = 0: {}", if won { "correct" } else { "wrong" });
+    println!(
+        "adv guessed b' = 0: {}",
+        if won { "correct" } else { "wrong" }
+    );
     println!("\n§III-B game mechanics verified ✔");
     Ok(())
 }

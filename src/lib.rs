@@ -59,8 +59,8 @@ pub use mabe_chase as chase;
 pub use mabe_cloud as cloud;
 pub use mabe_core as core;
 pub use mabe_crypto as crypto;
+pub use mabe_gpsw as gpsw;
 pub use mabe_lewko as lewko;
 pub use mabe_math as math;
 pub use mabe_policy as policy;
-pub use mabe_gpsw as gpsw;
 pub use mabe_waters as waters;

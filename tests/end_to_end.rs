@@ -10,30 +10,44 @@ use mabe::policy::AuthorityId;
 #[test]
 fn hospital_university_insurer_scenario() {
     let mut sys = CloudSystem::new(0xabcd);
-    sys.add_authority("Hospital", &["Doctor", "Nurse", "Pharmacist"]).unwrap();
-    sys.add_authority("University", &["Professor", "Student"]).unwrap();
+    sys.add_authority("Hospital", &["Doctor", "Nurse", "Pharmacist"])
+        .unwrap();
+    sys.add_authority("University", &["Professor", "Student"])
+        .unwrap();
     sys.add_authority("Insurer", &["Adjuster"]).unwrap();
 
     let hospital_data = sys.add_owner("hospital-data").unwrap();
     let research_data = sys.add_owner("research-data").unwrap();
 
     let dr_a = sys.add_user("dr-a").unwrap();
-    sys.grant(&dr_a, &["Doctor@Hospital", "Professor@University"]).unwrap();
+    sys.grant(&dr_a, &["Doctor@Hospital", "Professor@University"])
+        .unwrap();
     let nurse_b = sys.add_user("nurse-b").unwrap();
     sys.grant(&nurse_b, &["Nurse@Hospital"]).unwrap();
     let student_c = sys.add_user("student-c").unwrap();
-    sys.grant(&student_c, &["Student@University", "Pharmacist@Hospital"]).unwrap();
+    sys.grant(&student_c, &["Student@University", "Pharmacist@Hospital"])
+        .unwrap();
     let adjuster_d = sys.add_user("adjuster-d").unwrap();
-    sys.grant(&adjuster_d, &["Adjuster@Insurer", "Nurse@Hospital"]).unwrap();
+    sys.grant(&adjuster_d, &["Adjuster@Insurer", "Nurse@Hospital"])
+        .unwrap();
     let prof_e = sys.add_user("prof-e").unwrap();
-    sys.grant(&prof_e, &["Professor@University", "Doctor@Hospital"]).unwrap();
+    sys.grant(&prof_e, &["Professor@University", "Doctor@Hospital"])
+        .unwrap();
 
     sys.publish(
         &hospital_data,
         "ward-log",
         &[
-            ("entries", b"day 1: ...".as_slice(), "Doctor@Hospital OR Nurse@Hospital"),
-            ("scripts", b"amoxicillin".as_slice(), "Pharmacist@Hospital OR Doctor@Hospital"),
+            (
+                "entries",
+                b"day 1: ...".as_slice(),
+                "Doctor@Hospital OR Nurse@Hospital",
+            ),
+            (
+                "scripts",
+                b"amoxicillin".as_slice(),
+                "Pharmacist@Hospital OR Doctor@Hospital",
+            ),
         ],
     )
     .unwrap();
@@ -56,33 +70,67 @@ fn hospital_university_insurer_scenario() {
     .unwrap();
 
     // Access matrix before revocations.
-    assert!(sys.read(&dr_a, &hospital_data, "ward-log", "entries").is_ok());
-    assert!(sys.read(&nurse_b, &hospital_data, "ward-log", "entries").is_ok());
-    assert!(sys.read(&student_c, &hospital_data, "ward-log", "scripts").is_ok());
-    assert!(sys.read(&student_c, &hospital_data, "ward-log", "entries").is_err());
-    assert!(sys.read(&dr_a, &research_data, "paper-draft", "methods").is_ok());
-    assert!(sys.read(&prof_e, &research_data, "paper-draft", "methods").is_ok());
-    assert!(sys.read(&adjuster_d, &research_data, "paper-draft", "claims-data").is_ok());
-    assert!(sys.read(&nurse_b, &research_data, "paper-draft", "claims-data").is_err());
+    assert!(sys
+        .read(&dr_a, &hospital_data, "ward-log", "entries")
+        .is_ok());
+    assert!(sys
+        .read(&nurse_b, &hospital_data, "ward-log", "entries")
+        .is_ok());
+    assert!(sys
+        .read(&student_c, &hospital_data, "ward-log", "scripts")
+        .is_ok());
+    assert!(sys
+        .read(&student_c, &hospital_data, "ward-log", "entries")
+        .is_err());
+    assert!(sys
+        .read(&dr_a, &research_data, "paper-draft", "methods")
+        .is_ok());
+    assert!(sys
+        .read(&prof_e, &research_data, "paper-draft", "methods")
+        .is_ok());
+    assert!(sys
+        .read(&adjuster_d, &research_data, "paper-draft", "claims-data")
+        .is_ok());
+    assert!(sys
+        .read(&nurse_b, &research_data, "paper-draft", "claims-data")
+        .is_err());
 
     // Revoke dr-a's Doctor attribute; Hospital moves to v2 and both
     // owners' affected ciphertexts get re-encrypted.
     sys.revoke(&dr_a, "Doctor@Hospital").unwrap();
-    assert_eq!(sys.authority_version(&AuthorityId::new("Hospital")), Some(2));
+    assert_eq!(
+        sys.authority_version(&AuthorityId::new("Hospital")),
+        Some(2)
+    );
 
-    assert!(sys.read(&dr_a, &hospital_data, "ward-log", "entries").is_err());
-    assert!(sys.read(&dr_a, &research_data, "paper-draft", "methods").is_err());
+    assert!(sys
+        .read(&dr_a, &hospital_data, "ward-log", "entries")
+        .is_err());
+    assert!(sys
+        .read(&dr_a, &research_data, "paper-draft", "methods")
+        .is_err());
     // dr-a keeps Professor@University (different authority untouched).
     // prof-e unaffected across both owners.
-    assert!(sys.read(&prof_e, &hospital_data, "ward-log", "entries").is_ok());
-    assert!(sys.read(&prof_e, &research_data, "paper-draft", "methods").is_ok());
+    assert!(sys
+        .read(&prof_e, &hospital_data, "ward-log", "entries")
+        .is_ok());
+    assert!(sys
+        .read(&prof_e, &research_data, "paper-draft", "methods")
+        .is_ok());
     // University version unchanged.
-    assert_eq!(sys.authority_version(&AuthorityId::new("University")), Some(1));
+    assert_eq!(
+        sys.authority_version(&AuthorityId::new("University")),
+        Some(1)
+    );
 
     // Re-grant: dr-a is re-hired; gets fresh keys at the new version.
     sys.grant(&dr_a, &["Doctor@Hospital"]).unwrap();
-    assert!(sys.read(&dr_a, &hospital_data, "ward-log", "entries").is_ok());
-    assert!(sys.read(&dr_a, &research_data, "paper-draft", "methods").is_ok());
+    assert!(sys
+        .read(&dr_a, &hospital_data, "ward-log", "entries")
+        .is_ok());
+    assert!(sys
+        .read(&dr_a, &research_data, "paper-draft", "methods")
+        .is_ok());
 }
 
 /// Publishing continues to work across many revocations; versions chain.
@@ -94,7 +142,8 @@ fn many_revocations_stress() {
     let keeper = sys.add_user("keeper").unwrap();
     sys.grant(&keeper, &["A@Org", "B@Org"]).unwrap();
 
-    sys.publish(&owner, "doc", &[("x", b"payload".as_slice(), "A@Org")]).unwrap();
+    sys.publish(&owner, "doc", &[("x", b"payload".as_slice(), "A@Org")])
+        .unwrap();
 
     for i in 0..5 {
         let victim = sys.add_user(&format!("victim{i}")).unwrap();
@@ -116,7 +165,8 @@ fn revoked_user_cannot_use_cached_ciphertext_with_new_keys() {
     let owner = sys.add_owner("owner").unwrap();
     let mallory = sys.add_user("mallory").unwrap();
     sys.grant(&mallory, &["A@Org"]).unwrap();
-    sys.publish(&owner, "doc", &[("x", b"secret".as_slice(), "A@Org")]).unwrap();
+    sys.publish(&owner, "doc", &[("x", b"secret".as_slice(), "A@Org")])
+        .unwrap();
 
     // Mallory reads once (legitimately), is then revoked.
     assert!(sys.read(&mallory, &owner, "doc", "x").is_ok());
@@ -128,7 +178,8 @@ fn revoked_user_cannot_use_cached_ciphertext_with_new_keys() {
         sys.read(&mallory, &owner, "doc", "x"),
         Err(CloudError::Core(Error::PolicyNotSatisfied))
     ));
-    sys.publish(&owner, "doc2", &[("x", b"newer".as_slice(), "A@Org")]).unwrap();
+    sys.publish(&owner, "doc2", &[("x", b"newer".as_slice(), "A@Org")])
+        .unwrap();
     assert!(sys.read(&mallory, &owner, "doc2", "x").is_err());
 }
 
@@ -137,9 +188,9 @@ fn revoked_user_cannot_use_cached_ciphertext_with_new_keys() {
 /// same attributes.
 #[test]
 fn owner_key_scoping() {
-    use std::collections::BTreeMap;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use std::collections::BTreeMap;
 
     let mut rng = StdRng::seed_from_u64(4242);
     let mut ca = mabe::core::CertificateAuthority::new();
@@ -182,8 +233,10 @@ fn record_isolation_on_server() {
     let owner = sys.add_owner("owner").unwrap();
     let user = sys.add_user("u").unwrap();
     sys.grant(&user, &["A@Org"]).unwrap();
-    sys.publish(&owner, "r1", &[("x", b"one".as_slice(), "A@Org")]).unwrap();
-    sys.publish(&owner, "r2", &[("x", b"two".as_slice(), "A@Org")]).unwrap();
+    sys.publish(&owner, "r1", &[("x", b"one".as_slice(), "A@Org")])
+        .unwrap();
+    sys.publish(&owner, "r2", &[("x", b"two".as_slice(), "A@Org")])
+        .unwrap();
     assert_eq!(sys.read(&user, &owner, "r1", "x").unwrap(), b"one");
     assert_eq!(sys.read(&user, &owner, "r2", "x").unwrap(), b"two");
     assert_eq!(sys.server().record_count(), 2);
@@ -204,7 +257,8 @@ fn empty_attribute_key_still_counts_as_authority_key() {
     sys.grant(&user, &["a@X", "e@Z"]).unwrap();
 
     // Policy involves Z but is satisfiable by a@X alone.
-    sys.publish(&owner, "doc", &[("x", b"d".as_slice(), "a@X OR e@Z")]).unwrap();
+    sys.publish(&owner, "doc", &[("x", b"d".as_slice(), "a@X OR e@Z")])
+        .unwrap();
     assert!(sys.read(&user, &owner, "doc", "x").is_ok());
 
     // Revoke the user's only Z attribute: the fresh (empty-kx) Z key it
@@ -241,7 +295,8 @@ fn complex_policy_end_to_end() {
     let u3 = sys.add_user("u3").unwrap();
     sys.grant(&u3, &["a@X", "d@Y"]).unwrap(); // satisfies neither
 
-    sys.publish(&owner, "doc", &[("x", b"deep".as_slice(), policy)]).unwrap();
+    sys.publish(&owner, "doc", &[("x", b"deep".as_slice(), policy)])
+        .unwrap();
     assert_eq!(sys.read(&u1, &owner, "doc", "x").unwrap(), b"deep");
     assert_eq!(sys.read(&u2, &owner, "doc", "x").unwrap(), b"deep");
     assert!(sys.read(&u3, &owner, "doc", "x").is_err());

@@ -63,7 +63,10 @@ fn model_allows(
         return false;
     }
     // Scheme requirement: a key from every involved authority.
-    let ok = policy.authorities().into_iter().all(|aid| keyed.contains(aid));
+    let ok = policy
+        .authorities()
+        .into_iter()
+        .all(|aid| keyed.contains(aid));
     ok
 }
 

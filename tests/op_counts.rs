@@ -1,0 +1,173 @@
+//! Operation-count assertions against the paper's cost model (§VI-A,
+//! Table I), checked exactly via the telemetry op-accounting hooks
+//! rather than estimated from wall-clock time.
+//!
+//! * Decryption: `n_A + 2·|I|` pairings (Eq. 1) — `2·|I| + 1` in the
+//!   single-authority case.
+//! * Encryption: `2·l + 1` exponentiations in `G` (two per LSSS row
+//!   plus `C'`) and one exponentiation in `G_T` (the blinding factor).
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe_core::{
+    decrypt, decrypt_fast, encrypt, AttributeAuthority, CertificateAuthority, Ciphertext,
+    CiphertextId, OwnerId, OwnerMasterKey, UserPublicKey, UserSecretKey,
+};
+use mabe_math::Gt;
+use mabe_policy::{parse, AccessStructure, AuthorityId};
+use mabe_telemetry::measure;
+
+struct Fixture {
+    rng: StdRng,
+    ca: CertificateAuthority,
+    aas: Vec<AttributeAuthority>,
+    owner: OwnerId,
+    mk: OwnerMasterKey,
+    authority_keys: BTreeMap<AuthorityId, mabe_core::AuthorityPublicKeys>,
+}
+
+fn fixture() -> Fixture {
+    let mut rng = StdRng::seed_from_u64(20120618);
+    let mut ca = CertificateAuthority::new();
+    let owner = OwnerId::new("hospital");
+    let mk = OwnerMasterKey::random(&mut rng);
+    let mut aas = Vec::new();
+    for (name, attrs) in [
+        ("Med", vec!["Doctor", "Nurse"]),
+        ("Trial", vec!["Researcher", "Sponsor"]),
+    ] {
+        let aid = ca.register_authority(name).unwrap();
+        let mut aa = AttributeAuthority::new(aid, &attrs, &mut rng);
+        aa.register_owner(mk.secret_key(&owner)).unwrap();
+        aas.push(aa);
+    }
+    let authority_keys = aas
+        .iter()
+        .map(|aa| (aa.aid().clone(), aa.public_keys()))
+        .collect();
+    Fixture {
+        rng,
+        ca,
+        aas,
+        owner,
+        mk,
+        authority_keys,
+    }
+}
+
+impl Fixture {
+    fn enroll(
+        &mut self,
+        uid: &str,
+        attrs: &[&str],
+    ) -> (UserPublicKey, BTreeMap<AuthorityId, UserSecretKey>) {
+        let pk = self.ca.register_user(uid, &mut self.rng).unwrap();
+        let mut keys = BTreeMap::new();
+        for aa in &mut self.aas {
+            let mine: Vec<mabe_policy::Attribute> = attrs
+                .iter()
+                .filter_map(|s| s.parse::<mabe_policy::Attribute>().ok())
+                .filter(|a| a.authority() == aa.aid())
+                .collect();
+            if !mine.is_empty() {
+                aa.grant(&pk, mine).unwrap();
+                keys.insert(aa.aid().clone(), aa.keygen(&pk.uid, &self.owner).unwrap());
+            }
+        }
+        (pk, keys)
+    }
+
+    fn encrypt(&mut self, msg: &Gt, policy: &str) -> Ciphertext {
+        let access = AccessStructure::from_policy(&parse(policy).unwrap()).unwrap();
+        encrypt(
+            msg,
+            &access,
+            &self.mk,
+            &self.owner,
+            CiphertextId(1),
+            &self.authority_keys,
+            &mut self.rng,
+        )
+        .unwrap()
+        .0
+    }
+}
+
+/// One throwaway encrypt+decrypt so memoized state (the `G_T` generator
+/// pairing, the fixed-base window table) is built before any counting.
+fn warmed_fixture() -> Fixture {
+    let mut fx = fixture();
+    let msg = Gt::random(&mut fx.rng);
+    let ct = fx.encrypt(&msg, "Doctor@Med");
+    let (pk, keys) = fx.enroll("warmup", &["Doctor@Med"]);
+    assert_eq!(decrypt(&ct, &pk, &keys).unwrap(), msg);
+    fx
+}
+
+#[test]
+fn single_authority_decrypt_costs_2i_plus_1_pairings() {
+    let mut fx = warmed_fixture();
+    let msg = Gt::random(&mut fx.rng);
+    // |I| = 1 reconstruction row, n_A = 1 involved authority.
+    let ct = fx.encrypt(&msg, "Doctor@Med");
+    let (pk, keys) = fx.enroll("alice", &["Doctor@Med"]);
+
+    let rows = 1;
+    let (out, ops) = measure(|| decrypt(&ct, &pk, &keys).unwrap());
+    assert_eq!(out, msg);
+    assert_eq!(ops.pairings, 2 * rows + 1, "2·|I| + 1 pairings, |I| = 1");
+    assert_eq!(
+        ops.gt_pows, 1,
+        "one w_i·n_A recombination exponentiation per row"
+    );
+    assert_eq!(ops.g1_muls, 0, "reference decryption works entirely in G_T");
+}
+
+#[test]
+fn general_decrypt_costs_na_plus_2i_pairings() {
+    let mut fx = warmed_fixture();
+    let msg = Gt::random(&mut fx.rng);
+    // AND over three attributes from two authorities: l = |I| = 3, n_A = 2.
+    let ct = fx.encrypt(&msg, "Doctor@Med AND Nurse@Med AND Researcher@Trial");
+    let (pk, keys) = fx.enroll("bob", &["Doctor@Med", "Nurse@Med", "Researcher@Trial"]);
+
+    let (out, ops) = measure(|| decrypt(&ct, &pk, &keys).unwrap());
+    assert_eq!(out, msg);
+    assert_eq!(ops.pairings, 2 + 2 * 3, "n_A + 2·|I| pairings");
+    assert_eq!(ops.gt_pows, 3, "one recombination exponentiation per row");
+
+    // The optimized path runs the same pairing count through one shared
+    // final exponentiation, trading the G_T pows for G multiplications.
+    let (fast, fast_ops) = measure(|| decrypt_fast(&ct, &pk, &keys).unwrap());
+    assert_eq!(fast, msg);
+    assert_eq!(fast_ops.pairings, 2 + 2 * 3);
+    assert_eq!(fast_ops.gt_pows, 0);
+    assert_eq!(fast_ops.g1_muls, 2 * 3, "two scaled G points per row");
+}
+
+#[test]
+fn encrypt_costs_two_g_exponentiations_per_row_plus_blinding() {
+    let mut fx = warmed_fixture();
+    let msg = Gt::random(&mut fx.rng);
+    for (policy, rows) in [
+        ("Doctor@Med", 1),
+        ("Doctor@Med AND Researcher@Trial", 2),
+        (
+            "Doctor@Med AND Nurse@Med AND Researcher@Trial AND Sponsor@Trial",
+            4,
+        ),
+    ] {
+        let (ct, ops) = measure(|| fx.encrypt(&msg, policy));
+        assert_eq!(ct.rows(), rows);
+        assert_eq!(
+            ops.g1_muls,
+            2 * rows as u64 + 1,
+            "per row g^(r·λ_i) and PK_x^(-βs), plus C' = g^(βs) ({policy})"
+        );
+        assert_eq!(ops.gt_pows, 1, "one (Π PK_o)^s blinding exponentiation");
+        assert_eq!(ops.pairings, 0, "encryption needs no pairings");
+    }
+}

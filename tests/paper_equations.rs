@@ -8,9 +8,7 @@ use std::collections::BTreeMap;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use mabe::core::{
-    attribute_hash, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId,
-};
+use mabe::core::{attribute_hash, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId};
 use mabe::math::{pairing, G1Affine, Gt, G1};
 use mabe::policy::{parse, Attribute, AuthorityId};
 
@@ -101,8 +99,10 @@ fn eq1_inner_cancellation_is_subset_independent() {
     aa.register_owner(owner.owner_secret_key()).unwrap();
     owner.learn_authority_keys(aa.public_keys());
     let alice = ca.register_user("alice", &mut rng).unwrap();
-    let attrs: Vec<Attribute> =
-        ["x@A", "y@A", "z@A"].iter().map(|s| s.parse().unwrap()).collect();
+    let attrs: Vec<Attribute> = ["x@A", "y@A", "z@A"]
+        .iter()
+        .map(|s| s.parse().unwrap())
+        .collect();
     aa.grant(&alice, attrs.clone()).unwrap();
     let sk = aa.keygen(&alice.uid, owner.id()).unwrap();
 
@@ -115,12 +115,14 @@ fn eq1_inner_cancellation_is_subset_independent() {
     let blinding_for = |subset: &[&Attribute]| -> Gt {
         let set: std::collections::BTreeSet<Attribute> =
             subset.iter().map(|a| (*a).clone()).collect();
-        let coeffs = ct.access.reconstruction_coefficients(&set).expect("satisfies");
+        let coeffs = ct
+            .access
+            .reconstruction_coefficients(&set)
+            .expect("satisfies");
         let mut acc = Gt::one();
         for (row, wc) in &coeffs {
             let attr = &ct.access.rho()[*row];
-            let term = pairing(&ct.c_i[*row], &alice.pk)
-                .mul(&pairing(&ct.c_prime, &sk.kx[attr]));
+            let term = pairing(&ct.c_i[*row], &alice.pk).mul(&pairing(&ct.c_prime, &sk.kx[attr]));
             acc = acc.mul(&term.pow(wc));
         }
         acc
@@ -163,7 +165,10 @@ fn eq2_update_key_identities() {
     // UK2 = α̃/α: P̃K_x = PK_x^{UK2} for every attribute.
     for (attr, old) in &old_pks.attr_pks {
         let expect = G1Affine::from(G1::from(*old).mul(&uk.uk2));
-        assert_eq!(new_pks.attr_pks[attr], expect, "UK2 mapping broken for {attr}");
+        assert_eq!(
+            new_pks.attr_pks[attr], expect,
+            "UK2 mapping broken for {attr}"
+        );
     }
     // And PK̃_o = PK_o^{UK2}.
     assert_eq!(new_pks.owner_pk, old_pks.owner_pk.pow(&uk.uk2));

@@ -7,9 +7,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use mabe::core::{
-    decrypt_unchecked, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId,
-};
+use mabe::core::{decrypt_unchecked, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId};
 use mabe::math::{Fr, Gt};
 use mabe::policy::linalg::in_span;
 use mabe::policy::{parse, AccessStructure, Attribute, AuthorityId};
@@ -37,8 +35,7 @@ fn challenge_constraint_ok(
 
 #[test]
 fn span_check_matches_policy_semantics() {
-    let access =
-        AccessStructure::from_policy(&parse("(A@X AND B@Y) OR C@Z").unwrap()).unwrap();
+    let access = AccessStructure::from_policy(&parse("(A@X AND B@Y) OR C@Z").unwrap()).unwrap();
     let none = BTreeSet::new();
 
     // Querying A@X alone: constraint holds (cannot decrypt).
@@ -46,17 +43,24 @@ fn span_check_matches_policy_semantics() {
     assert!(challenge_constraint_ok(&access, &none, &q));
 
     // Querying A@X + B@Y: constraint violated (decryption possible).
-    let q: BTreeSet<Attribute> =
-        ["A@X".parse().unwrap(), "B@Y".parse().unwrap()].into();
+    let q: BTreeSet<Attribute> = ["A@X".parse().unwrap(), "B@Y".parse().unwrap()].into();
     assert!(!challenge_constraint_ok(&access, &none, &q));
 
     // Corrupting authority Z alone violates it (C@Z row spans e1).
     let corrupted: BTreeSet<AuthorityId> = [AuthorityId::new("Z")].into();
-    assert!(!challenge_constraint_ok(&access, &corrupted, &BTreeSet::new()));
+    assert!(!challenge_constraint_ok(
+        &access,
+        &corrupted,
+        &BTreeSet::new()
+    ));
 
     // Corrupting X but querying nothing from Y keeps the constraint.
     let corrupted: BTreeSet<AuthorityId> = [AuthorityId::new("X")].into();
-    assert!(challenge_constraint_ok(&access, &corrupted, &BTreeSet::new()));
+    assert!(challenge_constraint_ok(
+        &access,
+        &corrupted,
+        &BTreeSet::new()
+    ));
 }
 
 /// World with two honest authorities and one "corrupted" one whose full
@@ -84,7 +88,14 @@ fn corruption_world() -> CorruptionWorld {
         aa.register_owner(owner.owner_secret_key()).unwrap();
         owner.learn_authority_keys(aa.public_keys());
     }
-    CorruptionWorld { rng, ca, honest_x, honest_y, corrupt_z, owner }
+    CorruptionWorld {
+        rng,
+        ca,
+        honest_x,
+        honest_y,
+        corrupt_z,
+        owner,
+    }
 }
 
 /// With authority Z corrupted, a ciphertext whose policy still requires
@@ -94,9 +105,13 @@ fn corruption_world() -> CorruptionWorld {
 fn static_corruption_does_not_break_honest_conjunction() {
     let mut w = corruption_world();
     let adversary = w.ca.register_user("adversary", &mut w.rng).unwrap();
-    w.honest_x.grant(&adversary, ["a@X".parse().unwrap()]).unwrap();
+    w.honest_x
+        .grant(&adversary, ["a@X".parse().unwrap()])
+        .unwrap();
     // Corrupted authority issues whatever the adversary wants.
-    w.corrupt_z.grant(&adversary, ["c@Z".parse().unwrap()]).unwrap();
+    w.corrupt_z
+        .grant(&adversary, ["c@Z".parse().unwrap()])
+        .unwrap();
 
     let msg = Gt::random(&mut w.rng);
     let policy = parse("a@X AND b@Y AND c@Z").unwrap();
@@ -132,7 +147,9 @@ fn static_corruption_does_not_break_honest_conjunction() {
 fn corrupted_authority_power_is_bounded_to_its_domain() {
     let mut w = corruption_world();
     let adversary = w.ca.register_user("adversary", &mut w.rng).unwrap();
-    w.corrupt_z.grant(&adversary, ["c@Z".parse().unwrap()]).unwrap();
+    w.corrupt_z
+        .grant(&adversary, ["c@Z".parse().unwrap()])
+        .unwrap();
 
     let msg = Gt::random(&mut w.rng);
     let ct = w
@@ -225,9 +242,7 @@ fn revoked_user_with_leaked_update_key_fails() {
     // broadcast to owners/server for re-encryption); UK2 = α̃/α stays
     // inside authority-to-holder channels.
     let mut leaked = old_key;
-    leaked.k = mabe::math::G1Affine::from(
-        mabe::math::G1::from(leaked.k).add_mixed(&uk.uk1),
-    );
+    leaked.k = mabe::math::G1Affine::from(mabe::math::G1::from(leaked.k).add_mixed(&uk.uk1));
     leaked.version = 2;
     let keys = BTreeMap::from([(aid.clone(), leaked)]);
     let forged = decrypt_unchecked(&ct, &mallory, &keys).unwrap();

@@ -51,8 +51,14 @@ fn ten_by_ten_deployment_soak() {
             first_pass.push(sys.read(uid, &owner, &format!("rec{r}"), "payload").is_ok());
         }
     }
-    assert!(first_pass.iter().any(|&ok| ok), "someone can read something");
-    assert!(first_pass.iter().any(|&ok| !ok), "someone is denied something");
+    assert!(
+        first_pass.iter().any(|&ok| ok),
+        "someone can read something"
+    );
+    assert!(
+        first_pass.iter().any(|&ok| !ok),
+        "someone is denied something"
+    );
 
     // Interleave 5 revocations with reads.
     for round in 0..5 {
@@ -69,7 +75,10 @@ fn ten_by_ten_deployment_soak() {
 
     // Versions advanced exactly once per revocation at each touched AA.
     let total_version: u64 = (0..10)
-        .map(|a| sys.authority_version(&AuthorityId::new(format!("AA{a}"))).unwrap())
+        .map(|a| {
+            sys.authority_version(&AuthorityId::new(format!("AA{a}")))
+                .unwrap()
+        })
         .sum();
     assert_eq!(total_version, 10 + 5, "5 single-bump revocations");
 

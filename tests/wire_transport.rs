@@ -32,8 +32,12 @@ fn full_protocol_over_bytes() {
     let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
 
     // SK_o travels to the authorities as bytes.
-    aa_med.register_owner(pipe(&owner.owner_secret_key())).unwrap();
-    aa_trial.register_owner(pipe(&owner.owner_secret_key())).unwrap();
+    aa_med
+        .register_owner(pipe(&owner.owner_secret_key()))
+        .unwrap();
+    aa_trial
+        .register_owner(pipe(&owner.owner_secret_key()))
+        .unwrap();
 
     // Public keys travel to the owner as bytes.
     owner.learn_authority_keys(pipe(&aa_med.public_keys()));
@@ -49,21 +53,34 @@ fn full_protocol_over_bytes() {
         aa_trial.grant(pk, [researcher.clone()]).unwrap();
     }
     let mut alice_keys: BTreeMap<AuthorityId, UserSecretKey> = BTreeMap::new();
-    alice_keys.insert(med.clone(), pipe(&aa_med.keygen(&alice.uid, owner.id()).unwrap()));
-    alice_keys.insert(trial.clone(), pipe(&aa_trial.keygen(&alice.uid, owner.id()).unwrap()));
+    alice_keys.insert(
+        med.clone(),
+        pipe(&aa_med.keygen(&alice.uid, owner.id()).unwrap()),
+    );
+    alice_keys.insert(
+        trial.clone(),
+        pipe(&aa_trial.keygen(&alice.uid, owner.id()).unwrap()),
+    );
     let mut bob_keys: BTreeMap<AuthorityId, UserSecretKey> = BTreeMap::new();
-    bob_keys.insert(med.clone(), pipe(&aa_med.keygen(&bob.uid, owner.id()).unwrap()));
-    bob_keys.insert(trial.clone(), pipe(&aa_trial.keygen(&bob.uid, owner.id()).unwrap()));
+    bob_keys.insert(
+        med.clone(),
+        pipe(&aa_med.keygen(&bob.uid, owner.id()).unwrap()),
+    );
+    bob_keys.insert(
+        trial.clone(),
+        pipe(&aa_trial.keygen(&bob.uid, owner.id()).unwrap()),
+    );
 
     // Encrypt; the ciphertext is uploaded (bytes) and downloaded (bytes).
     let msg = Gt::random(&mut rng);
     let policy = parse("Doctor@Med AND Researcher@Trial").unwrap();
-    let ct_uploaded: Ciphertext =
-        pipe(&owner.encrypt_message(&msg, &policy, &mut rng).unwrap());
+    let ct_uploaded: Ciphertext = pipe(&owner.encrypt_message(&msg, &policy, &mut rng).unwrap());
     assert_eq!(decrypt(&ct_uploaded, &alice, &alice_keys).unwrap(), msg);
 
     // Revocation: the update key and update info cross the wire too.
-    let event = aa_med.revoke_attribute(&alice.uid, &doctor, &mut rng).unwrap();
+    let event = aa_med
+        .revoke_attribute(&alice.uid, &doctor, &mut rng)
+        .unwrap();
     let uk: UpdateKey = pipe(&event.update_keys[owner.id()]);
     owner.apply_update_key(&uk).unwrap();
     let ui: UpdateInfo = pipe(

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the subset of the criterion API this workspace's benches
+//! use — `Criterion::benchmark_group`, `bench_function`,
+//! `bench_with_input`, `Bencher::iter`/`iter_batched`,
+//! `criterion_group!`/`criterion_main!` — with straightforward
+//! wall-clock sampling and a text report on stdout. No statistics
+//! beyond min/mean/max: the real evaluation numbers come from the
+//! `mabe-bench` regeneration binaries and the telemetry registry, not
+//! from this shim.
+//!
+//! Sampling effort: each `bench_function` runs `sample_size` samples
+//! (default 10, settable per group exactly like criterion) of one
+//! iteration each, after one warmup iteration. Set `MABE_BENCH_SAMPLES`
+//! to override globally.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export matching `criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; sizing is ignored by
+/// this shim (every batch is one element).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// Setup output of unknown size.
+    PerIteration,
+}
+
+/// Identifier for parameterised benchmarks.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `BenchmarkId::new("function", parameter)`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Identifier carrying only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Per-iteration timer handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f` over the configured number of samples.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        black_box(f()); // warmup
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` over inputs produced by `setup`; setup time is
+    /// excluded from measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        black_box(routine(setup())); // warmup
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.recorded.push(start.elapsed());
+        }
+    }
+}
+
+fn env_samples() -> Option<usize> {
+    std::env::var("MABE_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+}
+
+fn report(group: &str, name: &str, recorded: &[Duration]) {
+    if recorded.is_empty() {
+        println!("{group}/{name}: no samples");
+        return;
+    }
+    let total: Duration = recorded.iter().sum();
+    let mean = total / recorded.len() as u32;
+    let min = recorded.iter().min().copied().unwrap_or_default();
+    let max = recorded.iter().max().copied().unwrap_or_default();
+    println!(
+        "{group}/{name}: mean {mean:?} (min {min:?}, max {max:?}, {n} samples)",
+        n = recorded.len()
+    );
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    samples: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for subsequent benchmarks.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.samples = env_samples().unwrap_or(n);
+        self
+    }
+
+    /// Sets the target measurement time; accepted for API parity,
+    /// ignored by this shim.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            recorded: Vec::new(),
+        };
+        f(&mut bencher);
+        report(&self.name, &name.to_string(), &bencher.recorded);
+        self
+    }
+
+    /// Runs one parameterised benchmark.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: self.samples,
+            recorded: Vec::new(),
+        };
+        f(&mut bencher, input);
+        report(&self.name, &id.to_string(), &bencher.recorded);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = env_samples().unwrap_or(10);
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            samples,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, name: impl fmt::Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("bench");
+        group.bench_function(name.to_string(), f);
+        group.finish();
+        self
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` executes harness-less bench targets with
+            // `--test`; a smoke pass there would dominate the test
+            // wall-clock, so only run under `cargo bench` (or when
+            // explicitly forced).
+            let test_mode = std::env::args().any(|a| a == "--test");
+            if test_mode && std::env::var("MABE_BENCH_FORCE").is_err() {
+                println!("skipping benches in test mode (set MABE_BENCH_FORCE=1 to run)");
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0u32;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 4, "warmup + 3 samples");
+    }
+
+    #[test]
+    fn iter_batched_separates_setup() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut setups = 0u32;
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &_v| {
+            b.iter_batched(|| setups += 1, |()| runs += 1, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(4).to_string(), "4");
+        assert_eq!(BenchmarkId::new("f", 4).to_string(), "f/4");
+    }
+}

@@ -1,0 +1,81 @@
+//! Offline stand-in for `crossbeam`: only [`thread::scope`], built on
+//! `std::thread::scope` (stable since 1.63). Panics in spawned threads
+//! surface as an `Err` from `scope`, matching crossbeam's contract.
+
+#![deny(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `Result`-returning API.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Scope handle passed to [`scope`] closures and to each spawned
+    /// thread's closure (crossbeam's nested-spawn API).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives the scope so it
+        /// can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Runs `f` with a scope in which threads can be spawned; returns
+    /// `Err` if any unjoined spawned thread (or `f` itself) panicked.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: FnOnce(&Scope<'_, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::thread;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn spawned_threads_run_to_completion() {
+        let total = AtomicU64::new(0);
+        let out = thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| total.fetch_add(1, Ordering::Relaxed));
+            }
+            42
+        })
+        .unwrap();
+        assert_eq!(out, 42);
+        assert_eq!(total.into_inner(), 4);
+    }
+
+    #[test]
+    fn panics_surface_as_err() {
+        let result = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawn_compiles() {
+        let hits = AtomicU64::new(0);
+        thread::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| hits.fetch_add(1, Ordering::Relaxed));
+            });
+        })
+        .unwrap();
+        assert_eq!(hits.into_inner(), 1);
+    }
+}

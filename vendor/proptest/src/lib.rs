@@ -1,0 +1,615 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Re-implements the subset of the proptest API this workspace uses:
+//! the [`proptest!`] macro, [`strategy::Strategy`] with `prop_map` /
+//! `prop_recursive` / `boxed`, [`strategy::Just`], `prop_oneof!`,
+//! `prop::collection::vec`, `any::<T>()`, simple `[class]{m,n}` string
+//! patterns, and the `prop_assert*` macros.
+//!
+//! Differences from upstream: generation is seeded deterministically
+//! per (module, test, case) so runs are reproducible, and there is **no
+//! shrinking** — a failing case reports its values via the assert
+//! message instead of a minimised counterexample.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies (no shrinking).
+
+    use rand::rngs::StdRng;
+    use rand::RngCore;
+    use std::ops::Range;
+    use std::rc::Rc;
+
+    /// The RNG handed to strategies.
+    pub type TestRng = StdRng;
+
+    /// A generator of values of type `Value`.
+    pub trait Strategy {
+        /// The generated type.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Recursive strategies: `f` receives a strategy for the inner
+        /// level and returns the composite level. `desired_size` and
+        /// `expected_branch_size` are accepted for API parity and
+        /// ignored; only `depth` bounds the recursion.
+        fn prop_recursive<R, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            f: F,
+        ) -> Recursive<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            R: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+        {
+            Recursive {
+                base: self.boxed(),
+                depth,
+                recurse: Rc::new(move |inner| f(inner).boxed()),
+            }
+        }
+
+        /// Type-erases the strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy {
+                inner: Rc::new(self),
+            }
+        }
+    }
+
+    /// A clonable type-erased strategy.
+    pub struct BoxedStrategy<T> {
+        inner: Rc<dyn Strategy<Value = T>>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                inner: Rc::clone(&self.inner),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.inner.generate(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// [`Strategy::prop_map`] adapter.
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, U, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> U,
+    {
+        type Value = U;
+        fn generate(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// [`Strategy::prop_recursive`] adapter.
+    pub struct Recursive<T> {
+        pub(crate) base: BoxedStrategy<T>,
+        pub(crate) depth: u32,
+        pub(crate) recurse: Rc<dyn Fn(BoxedStrategy<T>) -> BoxedStrategy<T>>,
+    }
+
+    impl<T> Clone for Recursive<T> {
+        fn clone(&self) -> Self {
+            Recursive {
+                base: self.base.clone(),
+                depth: self.depth,
+                recurse: Rc::clone(&self.recurse),
+            }
+        }
+    }
+
+    impl<T: 'static> Strategy for Recursive<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            // 1-in-4 chance of bottoming out early keeps tree shapes
+            // varied; depth 0 always bottoms out.
+            if self.depth == 0 || rng.next_u32().is_multiple_of(4) {
+                self.base.generate(rng)
+            } else {
+                let inner = Recursive {
+                    base: self.base.clone(),
+                    depth: self.depth - 1,
+                    recurse: Rc::clone(&self.recurse),
+                }
+                .boxed();
+                (self.recurse)(inner).generate(rng)
+            }
+        }
+    }
+
+    /// Uniform choice among boxed alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds from the macro's boxed arms.
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            let i = (rng.next_u64() % self.arms.len() as u64) as usize;
+            self.arms[i].generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),+) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end - self.start) as u128;
+                    let offset = (rng.next_u64() as u128 % span) as $t;
+                    self.start + offset
+                }
+            }
+        )+};
+    }
+    range_strategy!(u8, u16, u32, u64, usize);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident/$v:ident),+))+) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.generate(rng),)+)
+                }
+            }
+        )+};
+    }
+    tuple_strategy! {
+        (A/a)
+        (A/a, B/b)
+        (A/a, B/b, C/c)
+        (A/a, B/b, C/c, D/d)
+    }
+
+    /// Minimal `[class]{m,n}` string-pattern strategy. Supports one
+    /// bracketed character class of literals and `a-z` ranges followed
+    /// by a `{min,max}` repetition — exactly the shape this workspace's
+    /// fuzz tests use (e.g. `"[ -~]{0,64}"`).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn generate(&self, rng: &mut TestRng) -> String {
+            let (chars, min, max) = parse_pattern(self);
+            let len = min + (rng.next_u64() as usize) % (max - min + 1);
+            (0..len)
+                .map(|_| chars[(rng.next_u64() % chars.len() as u64) as usize])
+                .collect()
+        }
+    }
+
+    fn unsupported(pattern: &str) -> ! {
+        panic!("unsupported string pattern {pattern:?} (stub supports `[class]{{m,n}}`)")
+    }
+
+    fn parse_pattern(pattern: &str) -> (Vec<char>, usize, usize) {
+        let rest = pattern
+            .strip_prefix('[')
+            .unwrap_or_else(|| unsupported(pattern));
+        let (class, rest) = rest.split_once(']').unwrap_or_else(|| unsupported(pattern));
+        let reps = rest
+            .strip_prefix('{')
+            .and_then(|r| r.strip_suffix('}'))
+            .unwrap_or_else(|| unsupported(pattern));
+        let (min, max) = reps.split_once(',').unwrap_or_else(|| unsupported(pattern));
+        let min: usize = min.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+        let max: usize = max.trim().parse().unwrap_or_else(|_| unsupported(pattern));
+        assert!(min <= max, "bad repetition in pattern {pattern:?}");
+
+        let mut chars = Vec::new();
+        let raw: Vec<char> = class.chars().collect();
+        let mut i = 0;
+        while i < raw.len() {
+            if i + 2 < raw.len() && raw[i + 1] == '-' {
+                let (lo, hi) = (raw[i] as u32, raw[i + 2] as u32);
+                assert!(lo <= hi, "bad char range in pattern {pattern:?}");
+                chars.extend((lo..=hi).filter_map(char::from_u32));
+                i += 3;
+            } else {
+                chars.push(raw[i]);
+                i += 1;
+            }
+        }
+        assert!(!chars.is_empty(), "empty char class in pattern {pattern:?}");
+        (chars, min, max)
+    }
+}
+
+pub mod arbitrary {
+    //! `any::<T>()` for primitive types.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::RngCore;
+
+    /// Types with a canonical full-range strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),+) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    let mut bytes = [0u8; core::mem::size_of::<$t>()];
+                    rng.fill_bytes(&mut bytes);
+                    <$t>::from_le_bytes(bytes)
+                }
+            }
+        )+};
+    }
+    int_arbitrary!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u32() & 1 == 1
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            any::<T>()
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the full-range strategy for `T`.
+    pub fn any<T>() -> Any<T> {
+        Any {
+            _marker: core::marker::PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::{Strategy, TestRng};
+    use rand::RngCore;
+    use std::ops::Range;
+
+    /// Vector strategy with a length range.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            assert!(self.len.start < self.len.end, "empty length range");
+            let span = (self.len.end - self.len.start) as u64;
+            let len = self.len.start + (rng.next_u64() % span) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(elem, len_range)`.
+    pub fn vec<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+}
+
+pub mod test_runner {
+    //! Configuration, case errors and the deterministic per-case RNG.
+
+    use rand::SeedableRng;
+
+    /// Runner configuration (only `cases` is honoured).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// Config running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        /// The case was rejected by `prop_assume!` — not a failure.
+        Reject(String),
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure.
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        /// Builds a rejection.
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl core::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            match self {
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+                TestCaseError::Fail(r) => write!(f, "failed: {r}"),
+            }
+        }
+    }
+
+    /// Deterministic per-case RNG: FNV-1a over (module, test, case).
+    pub fn rng_for(module: &str, test: &str, case: u32) -> super::strategy::TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in module.bytes().chain(test.bytes()).chain(case.to_le_bytes()) {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        super::strategy::TestRng::seed_from_u64(h)
+    }
+}
+
+pub mod prelude {
+    //! One-stop imports mirroring `proptest::prelude`.
+
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        //! The `prop::` module namespace from upstream's prelude.
+        pub use crate::collection;
+    }
+}
+
+/// Declares property tests. Each case draws fresh values from the bound
+/// strategies; `prop_assume!` rejections skip the case.
+#[macro_export]
+macro_rules! proptest {
+    (@cfg ($config:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($bind:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            for case in 0..config.cases {
+                let mut proptest_rng =
+                    $crate::test_runner::rng_for(module_path!(), stringify!($name), case);
+                $(let $bind = $crate::strategy::Strategy::generate(&($strat), &mut proptest_rng);)*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| { $body Ok(()) })();
+                match outcome {
+                    Ok(()) => {}
+                    Err($crate::test_runner::TestCaseError::Reject(_)) => continue,
+                    Err(e) => panic!("{} case {}/{}: {}", stringify!($name), case, config.cases, e),
+                }
+            }
+        }
+    )*};
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the proptest runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: {} != {}\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..9) {
+            prop_assert!((3..9).contains(&x));
+        }
+
+        #[test]
+        fn assume_rejects_cleanly(x in any::<u64>()) {
+            prop_assume!(x.is_multiple_of(2));
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn vec_lengths_respect_range(v in prop::collection::vec(any::<u8>(), 2..5)) {
+            prop_assert!((2..5).contains(&v.len()));
+        }
+
+        #[test]
+        fn oneof_and_just_mix(v in prop_oneof![Just(1u8), Just(2u8), 3u8..5]) {
+            prop_assert!((1..5).contains(&v));
+        }
+
+        #[test]
+        fn string_patterns_generate_printables(s in "[ -~]{0,8}") {
+            prop_assert!(s.len() <= 8);
+            prop_assert!(s.chars().all(|c| (' '..='~').contains(&c)));
+        }
+
+        #[test]
+        fn tuples_and_map(pair in (0usize..4, 10usize..12).prop_map(|(a, b)| a + b)) {
+            prop_assert!((10..16).contains(&pair));
+        }
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(usize),
+        Node(Vec<Tree>),
+    }
+
+    impl Tree {
+        fn depth(&self) -> usize {
+            match self {
+                Tree::Leaf(_) => 1,
+                Tree::Node(cs) => 1 + cs.iter().map(Tree::depth).max().unwrap_or(0),
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn recursive_strategies_terminate(
+            t in (0usize..4).prop_map(Tree::Leaf).prop_recursive(3, 12, 3, |inner| {
+                prop::collection::vec(inner, 2..4).prop_map(Tree::Node)
+            })
+        ) {
+            prop_assert!(t.depth() <= 4);
+        }
+    }
+}
