@@ -68,6 +68,38 @@ pub enum AuditEvent {
         /// New key version.
         new_version: u64,
     },
+    /// The journaled **intent** of a revocation: the authority has
+    /// re-keyed (phase 1), but update-key delivery and proxy
+    /// re-encryption (phase 2) have not completed. A `RevocationBegun`
+    /// without a matching `RevocationCompleted` marks an in-flight
+    /// revocation that [`crate::CloudSystem::recover`] must roll
+    /// forward.
+    RevocationBegun {
+        /// Affected user.
+        uid: String,
+        /// Authority that re-keyed.
+        aid: String,
+        /// Version before the re-key.
+        from_version: u64,
+        /// Version being moved to.
+        to_version: u64,
+    },
+    /// Phase 2 finished: every update key was delivered (or queued for
+    /// offline users) and every affected ciphertext re-encrypted.
+    RevocationCompleted {
+        /// The authority whose revocation converged.
+        aid: String,
+        /// The version the system converged to.
+        version: u64,
+    },
+    /// A revocation that had crashed mid-flight was rolled forward to
+    /// completion by [`crate::CloudSystem::recover`].
+    RevocationRecovered {
+        /// The authority whose revocation was recovered.
+        aid: String,
+        /// The version the system converged to.
+        version: u64,
+    },
 }
 
 impl fmt::Display for AuditEvent {
@@ -107,6 +139,21 @@ impl fmt::Display for AuditEvent {
                 "revoke {uid} -{} @{aid} (v{new_version})",
                 attributes.join(",")
             ),
+            AuditEvent::RevocationBegun {
+                uid,
+                aid,
+                from_version,
+                to_version,
+            } => write!(
+                f,
+                "revocation-begun {uid} @{aid} (v{from_version}->v{to_version})"
+            ),
+            AuditEvent::RevocationCompleted { aid, version } => {
+                write!(f, "revocation-completed @{aid} (v{version})")
+            }
+            AuditEvent::RevocationRecovered { aid, version } => {
+                write!(f, "revocation-recovered @{aid} (v{version})")
+            }
         }
     }
 }
@@ -248,6 +295,26 @@ impl AuditLog {
             .iter()
             .filter(|e| matches!(e.event, AuditEvent::Read { allowed: false, .. }))
     }
+
+    /// `(aid, to_version)` pairs whose [`AuditEvent::RevocationBegun`]
+    /// intent has no matching [`AuditEvent::RevocationCompleted`] — the
+    /// revocations a crash left in flight. An empty answer is the audit
+    /// log's view of "every revocation converged".
+    pub fn incomplete_revocations(&self) -> Vec<(String, u64)> {
+        let mut open: Vec<(String, u64)> = Vec::new();
+        for entry in &self.entries {
+            match &entry.event {
+                AuditEvent::RevocationBegun {
+                    aid, to_version, ..
+                } => open.push((aid.clone(), *to_version)),
+                AuditEvent::RevocationCompleted { aid, version } => {
+                    open.retain(|(a, v)| !(a == aid && v == version));
+                }
+                _ => {}
+            }
+        }
+        open
+    }
 }
 
 #[cfg(test)]
@@ -380,5 +447,48 @@ mod tests {
         let rendered: Vec<String> = log.entries().iter().map(|e| e.event.to_string()).collect();
         assert!(rendered[2].contains("Doctor@Med"));
         assert!(rendered[4].contains("DENIED"));
+    }
+
+    #[test]
+    fn incomplete_revocations_track_begun_vs_completed() {
+        let mut log = AuditLog::new();
+        assert!(log.incomplete_revocations().is_empty());
+        log.record(AuditEvent::RevocationBegun {
+            uid: "alice".into(),
+            aid: "Med".into(),
+            from_version: 1,
+            to_version: 2,
+        });
+        log.record(AuditEvent::RevocationBegun {
+            uid: "bob".into(),
+            aid: "Trial".into(),
+            from_version: 1,
+            to_version: 2,
+        });
+        assert_eq!(
+            log.incomplete_revocations(),
+            vec![("Med".to_string(), 2), ("Trial".to_string(), 2)]
+        );
+        log.record(AuditEvent::RevocationCompleted {
+            aid: "Med".into(),
+            version: 2,
+        });
+        assert_eq!(log.incomplete_revocations(), vec![("Trial".to_string(), 2)]);
+        log.record(AuditEvent::RevocationRecovered {
+            aid: "Trial".into(),
+            version: 2,
+        });
+        log.record(AuditEvent::RevocationCompleted {
+            aid: "Trial".into(),
+            version: 2,
+        });
+        assert!(log.incomplete_revocations().is_empty());
+        assert!(log.verify());
+        // The new events render distinctly.
+        let rendered: Vec<String> = log.entries().iter().map(|e| e.event.to_string()).collect();
+        assert!(rendered[0].contains("revocation-begun alice @Med (v1->v2)"));
+        assert!(rendered[2].contains("revocation-completed @Med"));
+        assert!(rendered[3].contains("revocation-recovered @Trial"));
+        assert!(rendered[4].contains("revocation-completed @Trial"));
     }
 }

@@ -12,7 +12,10 @@
 //!   anyone, re-encrypts on revocation without ever decrypting.
 //! * [`system`] — [`CloudSystem`], the orchestrator running the full
 //!   protocol lifecycle (setup → grant → publish → read → revoke →
-//!   re-encrypt).
+//!   re-encrypt) with retry-wrapped operations and named fault points
+//!   for seeded chaos testing (`mabe-faults`).
+//! * [`recovery`] — the journaled two-phase revocation state machine
+//!   that [`CloudSystem::recover`] rolls forward after a crash.
 //!
 //! This crate substitutes for the authors' physical testbed: entities are
 //! in-process actors, and "network cost" is the serialized size of what
@@ -38,12 +41,14 @@
 
 pub mod audit;
 pub mod concurrent;
+pub mod recovery;
 pub mod server;
 pub mod system;
 pub mod wire;
 
 pub use audit::{AuditEntry, AuditEvent, AuditLog};
 pub use concurrent::{run_concurrent_reads, ReaderSpec, ThroughputReport};
+pub use recovery::{PendingRevocation, RevocationStage};
 pub use server::CloudServer;
-pub use system::{CloudError, CloudSystem, StorageReport};
-pub use wire::{Endpoint, PairClass, Transmission, Wire};
+pub use system::{fault_points, CloudError, CloudSystem, StorageReport};
+pub use wire::{DeliveryReport, Disposition, Endpoint, PairClass, Transmission, Wire};

@@ -1,0 +1,142 @@
+//! Crash-safe revocation: the journaled two-phase state machine.
+//!
+//! The paper's revocation (§V-C) is a distributed exchange with three
+//! legs after the authority's `ReKey`:
+//!
+//! 1. fresh (attribute-reduced) secret keys to the revoked user,
+//! 2. update keys `UK_AID` to every non-revoked holder and every owner,
+//! 3. owner-produced update information and server-side proxy
+//!    re-encryption of every affected ciphertext.
+//!
+//! In-process, the seed implementation ran these as one infallible
+//! sequence; under a mid-flight crash that leaves keys and ciphertexts
+//! silently inconsistent (holders at v2 but ciphertexts at v1, or a
+//! revoked user who can still decrypt a not-yet-re-encrypted record).
+//!
+//! This module makes the exchange *journaled and resumable*: when the
+//! authority re-keys, the [`crate::CloudSystem`] records a
+//! [`crate::AuditEvent::RevocationBegun`] intent and parks a
+//! [`PendingRevocation`] carrying the full
+//! [`mabe_core::RevocationEvent`]. The driver then walks the
+//! [`RevocationStage`]s, checkpointing per-holder delivery and per-owner
+//! updates so that a crash (injected via `mabe-faults` or real) can be
+//! rolled **forward** by [`crate::CloudSystem::recover`] without
+//! re-applying anything twice:
+//!
+//! * fresh-key and update-key delivery is guarded by explicit
+//!   checkpoint sets (`delivered_holders`, `updated_owners`);
+//! * key application tolerates "already at the target version", so an
+//!   injected duplicate delivery is harmless;
+//! * re-encryption derives its worklist from
+//!   [`crate::CloudServer::affected_ciphertexts`], which only returns
+//!   components still at the old version — replaying a half-finished
+//!   phase 3 naturally skips what was already re-encrypted.
+//!
+//! Convergence is therefore idempotent: driving a pending revocation any
+//! number of times, interleaved with crashes, ends in the same state as
+//! one fault-free run.
+
+use std::collections::BTreeSet;
+
+use mabe_core::{OwnerId, RevocationEvent, Uid};
+
+/// Where an in-flight revocation currently stands.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RevocationStage {
+    /// Intent journaled; fresh keys and update keys not yet (fully)
+    /// delivered.
+    KeyDelivery,
+    /// All user-side key material delivered (or queued for offline
+    /// users); owner updates and server re-encryption still running.
+    ReEncryption,
+}
+
+/// One journaled, resumable revocation.
+#[derive(Clone, Debug)]
+pub struct PendingRevocation {
+    /// Monotone journal id (orders recovery; revocations at one
+    /// authority must complete in id order because versions chain).
+    pub id: u64,
+    /// Everything the authority's `ReKey` produced.
+    pub event: RevocationEvent,
+    /// Current stage.
+    pub stage: RevocationStage,
+    /// Whether the revoked user's fresh (reduced) keys were delivered.
+    pub fresh_keys_delivered: bool,
+    /// Holders whose update keys were applied or queued.
+    pub delivered_holders: BTreeSet<Uid>,
+    /// Owners that applied their update key (phase 3 prerequisite).
+    pub updated_owners: BTreeSet<OwnerId>,
+}
+
+impl PendingRevocation {
+    /// Journals a fresh intent at the `KeyDelivery` stage.
+    pub fn new(id: u64, event: RevocationEvent) -> Self {
+        PendingRevocation {
+            id,
+            event,
+            stage: RevocationStage::KeyDelivery,
+            fresh_keys_delivered: false,
+            delivered_holders: BTreeSet::new(),
+            updated_owners: BTreeSet::new(),
+        }
+    }
+
+    /// Human-readable progress summary (for logs and bench output).
+    pub fn progress(&self) -> String {
+        format!(
+            "revocation #{} @{} v{}->v{} [{:?}] fresh:{} holders:{} owners:{}",
+            self.id,
+            self.event.aid,
+            self.event.from_version,
+            self.event.to_version,
+            self.stage,
+            self.fresh_keys_delivered,
+            self.delivered_holders.len(),
+            self.updated_owners.len(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabe_policy::AuthorityId;
+    use std::collections::{BTreeMap, BTreeSet};
+
+    fn event() -> RevocationEvent {
+        RevocationEvent {
+            aid: AuthorityId::new("Med"),
+            from_version: 1,
+            to_version: 2,
+            revoked_uid: Uid::new("alice"),
+            revoked_attributes: BTreeSet::new(),
+            update_keys: BTreeMap::new(),
+            revoked_user_keys: BTreeMap::new(),
+            new_public_keys: mabe_core::AuthorityPublicKeys {
+                aid: AuthorityId::new("Med"),
+                version: 2,
+                owner_pk: mabe_math::Gt::generator(),
+                attr_pks: BTreeMap::new(),
+            },
+        }
+    }
+
+    #[test]
+    fn new_pending_starts_at_key_delivery() {
+        let p = PendingRevocation::new(3, event());
+        assert_eq!(p.stage, RevocationStage::KeyDelivery);
+        assert!(!p.fresh_keys_delivered);
+        assert!(p.delivered_holders.is_empty());
+        assert!(p.updated_owners.is_empty());
+        let s = p.progress();
+        assert!(s.contains("#3"));
+        assert!(s.contains("@Med"));
+        assert!(s.contains("v1->v2"));
+    }
+
+    #[test]
+    fn stages_are_ordered() {
+        assert!(RevocationStage::KeyDelivery < RevocationStage::ReEncryption);
+    }
+}

@@ -119,33 +119,31 @@ impl CloudServer {
     pub fn restore(bytes: &[u8]) -> Result<Self, Error> {
         use mabe_core::{Reader, WireCodec};
         let mut r = Reader::new(bytes);
-        let count = {
-            let mut n = [0u8; 4];
-            for b in n.iter_mut() {
-                *b = r.u8()?;
-            }
-            u32::from_be_bytes(n)
-        };
-        if count > 1 << 20 {
+        let count = r.u32()?;
+        // Each record costs at least 8 bytes of framing (two u16 string
+        // lengths + one u32 envelope length), so a count beyond
+        // remaining/8 can never be satisfied — reject before looping.
+        if count > 1 << 20 || count as usize > r.remaining() / 8 {
             return Err(Error::Malformed("implausible record count"));
         }
         let mut records = BTreeMap::new();
         for _ in 0..count {
             let owner = read_string(&mut r)?;
-            let name = read_string(&mut r)?;
-            let len = {
-                let mut n = [0u8; 4];
-                for b in n.iter_mut() {
-                    *b = r.u8()?;
-                }
-                u32::from_be_bytes(n) as usize
-            };
-            let mut env_bytes = Vec::with_capacity(len.min(1 << 20));
-            for _ in 0..len {
-                env_bytes.push(r.u8()?);
+            if owner.is_empty() {
+                return Err(Error::Malformed("empty owner id"));
             }
-            let envelope = DataEnvelope::from_wire_bytes(&env_bytes)?;
-            records.insert((OwnerId::new(owner), name), envelope);
+            let name = read_string(&mut r)?;
+            let len = r.u32()? as usize;
+            if len > r.remaining() {
+                return Err(Error::Malformed("oversized envelope length"));
+            }
+            let envelope = DataEnvelope::from_wire_bytes(r.bytes(len)?)?;
+            if records
+                .insert((OwnerId::new(owner), name), envelope)
+                .is_some()
+            {
+                return Err(Error::Malformed("duplicate record in snapshot"));
+            }
         }
         if !r.is_exhausted() {
             return Err(Error::Malformed("trailing bytes"));
@@ -273,6 +271,38 @@ mod tests {
                 .record_count(),
             0
         );
+    }
+
+    #[test]
+    fn restore_rejects_hostile_snapshots() {
+        // A claimed record count far beyond what the input could hold is
+        // rejected before any per-record work.
+        assert!(CloudServer::restore(&100u32.to_be_bytes()).is_err());
+
+        let server = CloudServer::new();
+        server.store(OwnerId::new("o"), "r", DataEnvelope::new());
+        let snap = server.snapshot();
+
+        // An envelope length field claiming u32::MAX must fail cleanly
+        // instead of attempting a 4 GiB read. Layout: 4 (count) + 2+1
+        // (owner "o") + 2+1 (name "r"), so the length field sits at 10.
+        let mut oversized = snap.clone();
+        oversized[10..14].copy_from_slice(&u32::MAX.to_be_bytes());
+        assert!(CloudServer::restore(&oversized).is_err());
+
+        // Duplicate record keys cannot silently collapse into one.
+        let record = &snap[4..];
+        let mut dup = 2u32.to_be_bytes().to_vec();
+        dup.extend_from_slice(record);
+        dup.extend_from_slice(record);
+        assert!(CloudServer::restore(&dup).is_err());
+
+        // Single-bit corruption anywhere never panics.
+        for pos in 0..snap.len() {
+            let mut corrupted = snap.clone();
+            corrupted[pos] ^= 0x01;
+            let _ = CloudServer::restore(&corrupted);
+        }
     }
 
     #[test]

@@ -13,13 +13,43 @@ use rand::SeedableRng;
 
 use mabe_core::{
     open_component, seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner, Error,
-    OwnerId, Uid, UserPublicKey, UserSecretKey, ZP_BYTES,
+    OwnerId, Uid, UpdateKey, UserPublicKey, UserSecretKey, ZP_BYTES,
 };
+use mabe_faults::{FaultInjector, FaultKind, RetryError, RetryPolicy};
 use mabe_policy::{parse, Attribute, AuthorityId, ParsePolicyError, Policy};
 
 use crate::audit::{AuditEvent, AuditLog};
+use crate::recovery::{PendingRevocation, RevocationStage};
 use crate::server::CloudServer;
-use crate::wire::{Endpoint, Wire};
+use crate::wire::{Disposition, Endpoint, Wire};
+
+/// Named fault points the system consults its [`FaultInjector`] at.
+///
+/// Chaos plans reference these constants when scheduling faults
+/// (`FaultPlan::at(fault_points::REVOKE_REENCRYPT, 1, FaultKind::Crash)`),
+/// so the instrumented sites and the test schedules cannot drift apart.
+pub mod fault_points {
+    /// Authority-side `KeyGen` during an attribute grant.
+    pub const GRANT_KEYGEN: &str = "grant.keygen";
+    /// Secret-key delivery from an authority to the granted user.
+    pub const GRANT_DELIVER: &str = "grant.deliver";
+    /// Owner upload of a sealed record to the server.
+    pub const PUBLISH_STORE: &str = "publish.store";
+    /// Server-to-user component download on a read.
+    pub const READ_FETCH: &str = "read.fetch";
+    /// The authority's `ReKey` step at the start of a revocation.
+    pub const REVOKE_REKEY: &str = "revoke.rekey";
+    /// Delivery of fresh (attribute-reduced) keys to the revoked user.
+    pub const REVOKE_FRESH_KEY: &str = "revoke.fresh_key";
+    /// Update-key delivery to a non-revoked holder.
+    pub const REVOKE_UPDATE_DELIVER: &str = "revoke.update_deliver";
+    /// Update-key delivery to a data owner.
+    pub const REVOKE_OWNER_UPDATE: &str = "revoke.owner_update";
+    /// Server-side proxy re-encryption of one affected ciphertext.
+    pub const REVOKE_REENCRYPT: &str = "revoke.reencrypt";
+    /// Composed update-key delivery when an offline user syncs.
+    pub const SYNC_DELIVER: &str = "sync.deliver";
+}
 
 /// Errors from system-level operations.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -36,6 +66,56 @@ pub enum CloudError {
     UnknownComponent(String),
     /// Entity lookup failed.
     UnknownEntity(String),
+    /// The authority exists but is unreachable (administratively down or
+    /// an injected outage). Transient: retrying may succeed.
+    AuthorityUnavailable(AuthorityId),
+    /// A storage-layer operation failed. Transient.
+    Storage(&'static str),
+    /// A transmission was lost in transit (dropped or corrupted) and the
+    /// retry budget has not yet absorbed it. Transient.
+    Lost {
+        /// The fault point where the loss occurred.
+        point: &'static str,
+    },
+    /// A simulated crash fired mid-operation. Fatal for the current call;
+    /// journaled state lets [`CloudSystem::recover`] roll forward.
+    Crashed {
+        /// The fault point where the crash fired.
+        point: &'static str,
+    },
+    /// A transient error persisted through every allowed retry.
+    RetriesExhausted {
+        /// The operation (fault point) that kept failing.
+        op: &'static str,
+        /// Attempts performed, including the first.
+        attempts: u32,
+        /// The last transient error observed.
+        last: Box<CloudError>,
+    },
+}
+
+impl CloudError {
+    /// Whether retrying the failed operation could help.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            CloudError::AuthorityUnavailable(_) | CloudError::Storage(_) | CloudError::Lost { .. }
+        )
+    }
+
+    /// Collapses a [`RetryError`] into a `CloudError`, wrapping exhausted
+    /// retries with the operation name and attempt count.
+    fn from_retry(op: &'static str, err: RetryError<CloudError>) -> CloudError {
+        match err {
+            RetryError::Fatal(e) => e,
+            RetryError::GaveUp { attempts, last }
+            | RetryError::DeadlineExceeded { attempts, last } => CloudError::RetriesExhausted {
+                op,
+                attempts,
+                last: Box::new(last),
+            },
+        }
+    }
 }
 
 impl fmt::Display for CloudError {
@@ -47,11 +127,29 @@ impl fmt::Display for CloudError {
             CloudError::UnknownRecord(r) => write!(f, "unknown record {r}"),
             CloudError::UnknownComponent(c) => write!(f, "unknown component {c}"),
             CloudError::UnknownEntity(e) => write!(f, "unknown entity {e}"),
+            CloudError::AuthorityUnavailable(a) => write!(f, "authority {a} unavailable"),
+            CloudError::Storage(p) => write!(f, "storage error at {p}"),
+            CloudError::Lost { point } => write!(f, "transmission lost at {point}"),
+            CloudError::Crashed { point } => write!(f, "crashed at {point}"),
+            CloudError::RetriesExhausted { op, attempts, last } => {
+                write!(f, "{op} failed after {attempts} attempts: {last}")
+            }
         }
     }
 }
 
 impl std::error::Error for CloudError {}
+
+/// Applies an update key, treating "the key already advanced to (or past)
+/// the target version" as success — the idempotency that makes replayed
+/// deliveries during crash recovery harmless.
+fn apply_update_tolerant(key: &mut UserSecretKey, uk: &UpdateKey) -> Result<(), CloudError> {
+    match key.apply_update(uk) {
+        Ok(()) => Ok(()),
+        Err(Error::VersionMismatch { found, .. }) if found >= uk.to_version => Ok(()),
+        Err(e) => Err(e.into()),
+    }
+}
 
 impl From<Error> for CloudError {
     fn from(e: Error) -> Self {
@@ -94,15 +192,30 @@ pub struct CloudSystem {
     users: BTreeMap<Uid, UserState>,
     grants: BTreeMap<Uid, BTreeSet<Attribute>>,
     offline: BTreeSet<Uid>,
-    pending_updates: BTreeMap<Uid, Vec<(OwnerId, mabe_core::UpdateKey)>>,
+    pending_updates: BTreeMap<Uid, Vec<(OwnerId, UpdateKey)>>,
     server: CloudServer,
     wire: Wire,
     audit: AuditLog,
+    faults: FaultInjector,
+    retry: RetryPolicy,
+    /// Jitter draws come from a dedicated stream so fault schedules never
+    /// perturb the crypto determinism of `rng`.
+    retry_rng: StdRng,
+    down: BTreeSet<AuthorityId>,
+    in_flight: BTreeMap<u64, PendingRevocation>,
+    next_revocation: u64,
 }
 
 impl CloudSystem {
-    /// Creates an empty system with a deterministic RNG seed.
+    /// Creates an empty system with a deterministic RNG seed and no fault
+    /// injection (the production configuration).
     pub fn new(seed: u64) -> Self {
+        Self::with_faults(seed, FaultInjector::none())
+    }
+
+    /// Creates a system whose instrumented operations consult `faults` —
+    /// the entry point for seeded chaos runs.
+    pub fn with_faults(seed: u64, faults: FaultInjector) -> Self {
         CloudSystem {
             rng: StdRng::seed_from_u64(seed),
             ca: CertificateAuthority::new(),
@@ -115,7 +228,147 @@ impl CloudSystem {
             server: CloudServer::new(),
             wire: Wire::new(),
             audit: AuditLog::new(),
+            faults,
+            retry: RetryPolicy::default(),
+            retry_rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
+            down: BTreeSet::new(),
+            in_flight: BTreeMap::new(),
+            next_revocation: 0,
         }
+    }
+
+    /// Sends one message through the wire under the retry policy,
+    /// consulting the fault injector at `point` on every attempt.
+    ///
+    /// Drops and corruptions burn bandwidth (the lossy transmission is
+    /// still byte-accounted) and are retried with backoff; successful
+    /// retries are logged as [`Disposition::Retransmit`] so the delivery
+    /// report keeps exact counts. Injected duplicates deliver twice.
+    /// Storage errors and authority outages at a transmit point are
+    /// treated as transient unavailability of the receiving end.
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Crashed`] on an injected crash,
+    /// [`CloudError::RetriesExhausted`] when transient faults outlast the
+    /// retry budget.
+    fn transmit(
+        &mut self,
+        point: &'static str,
+        from: Endpoint,
+        to: Endpoint,
+        what: &str,
+        bytes: usize,
+    ) -> Result<(), CloudError> {
+        let Self {
+            faults,
+            wire,
+            retry,
+            retry_rng,
+            ..
+        } = self;
+        retry
+            .run(
+                retry_rng,
+                point,
+                |attempt| {
+                    let ok_disposition = if attempt > 1 {
+                        Disposition::Retransmit
+                    } else {
+                        Disposition::Delivered
+                    };
+                    match faults.decide(point) {
+                        Some(FaultKind::Crash) => Err(CloudError::Crashed { point }),
+                        Some(FaultKind::Drop) => {
+                            wire.send_with(
+                                from.clone(),
+                                to.clone(),
+                                what,
+                                bytes,
+                                Disposition::Dropped,
+                            );
+                            Err(CloudError::Lost { point })
+                        }
+                        Some(FaultKind::Corrupt) => {
+                            wire.send_with(
+                                from.clone(),
+                                to.clone(),
+                                what,
+                                bytes,
+                                Disposition::Corrupted,
+                            );
+                            Err(CloudError::Lost { point })
+                        }
+                        Some(FaultKind::Duplicate) => {
+                            wire.send_with(from.clone(), to.clone(), what, bytes, ok_disposition);
+                            wire.send_with(
+                                from.clone(),
+                                to.clone(),
+                                what,
+                                bytes,
+                                Disposition::Duplicate,
+                            );
+                            Ok(())
+                        }
+                        Some(FaultKind::StorageError) => Err(CloudError::Storage(point)),
+                        Some(FaultKind::AuthorityDown) => Err(CloudError::Lost { point }),
+                        Some(FaultKind::Delay) => {
+                            mabe_telemetry::global()
+                                .counter("mabe_fault_delay_us_total", &[("point", point)])
+                                .add(faults.delay_us());
+                            wire.send_with(from.clone(), to.clone(), what, bytes, ok_disposition);
+                            Ok(())
+                        }
+                        None => {
+                            wire.send_with(from.clone(), to.clone(), what, bytes, ok_disposition);
+                            Ok(())
+                        }
+                    }
+                },
+                CloudError::is_transient,
+            )
+            .map_err(|e| CloudError::from_retry(point, e))
+    }
+
+    /// Consults the fault injector at a local (non-wire) operation point
+    /// under the retry policy. Drop/duplicate/corrupt kinds are
+    /// meaningless off the wire and are ignored.
+    fn local_op(
+        &mut self,
+        point: &'static str,
+        aid: Option<&AuthorityId>,
+    ) -> Result<(), CloudError> {
+        let Self {
+            faults,
+            retry,
+            retry_rng,
+            ..
+        } = self;
+        retry
+            .run(
+                retry_rng,
+                point,
+                |_| match faults.decide(point) {
+                    Some(FaultKind::Crash) => Err(CloudError::Crashed { point }),
+                    Some(FaultKind::StorageError) => Err(CloudError::Storage(point)),
+                    Some(FaultKind::AuthorityDown) => Err(match aid {
+                        Some(a) => CloudError::AuthorityUnavailable(a.clone()),
+                        None => CloudError::Lost { point },
+                    }),
+                    Some(FaultKind::Delay) => {
+                        mabe_telemetry::global()
+                            .counter("mabe_fault_delay_us_total", &[("point", point)])
+                            .add(faults.delay_us());
+                        Ok(())
+                    }
+                    Some(FaultKind::Drop)
+                    | Some(FaultKind::Duplicate)
+                    | Some(FaultKind::Corrupt)
+                    | None => Ok(()),
+                },
+                CloudError::is_transient,
+            )
+            .map_err(|e| CloudError::from_retry(point, e))
     }
 
     /// Registers an attribute authority managing `attribute_names`, and
@@ -242,14 +495,19 @@ impl CloudSystem {
     /// Grants attributes to a user: the relevant authorities record the
     /// grant and issue secret keys scoped to every owner.
     ///
+    /// Key generation and delivery run under the retry policy at the
+    /// [`fault_points::GRANT_KEYGEN`] / [`fault_points::GRANT_DELIVER`]
+    /// fault points; a downed authority fails fast with
+    /// [`CloudError::AuthorityUnavailable`].
+    ///
     /// # Errors
     ///
-    /// Fails on unknown user/authority/attribute.
+    /// Fails on unknown user/authority/attribute, downed authorities, or
+    /// unrecovered injected faults.
     pub fn grant(&mut self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
-        let state = self
-            .users
-            .get_mut(uid)
-            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
+        if !self.users.contains_key(uid) {
+            return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
+        }
         let mut by_authority: BTreeMap<AuthorityId, Vec<Attribute>> = BTreeMap::new();
         for raw in attributes {
             let attr: Attribute = raw
@@ -261,24 +519,41 @@ impl CloudSystem {
                 .push(attr);
         }
         for (aid, attrs) in by_authority {
-            let aa = self
-                .authorities
-                .get_mut(&aid)
-                .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
-            aa.grant(&state.pk, attrs.iter().cloned())?;
+            if !self.authorities.contains_key(&aid) {
+                return Err(CloudError::UnknownAuthority(aid.clone()));
+            }
+            if self.down.contains(&aid) {
+                return Err(CloudError::AuthorityUnavailable(aid.clone()));
+            }
+            self.local_op(fault_points::GRANT_KEYGEN, Some(&aid))?;
+            {
+                let state = self.users.get(uid).expect("checked above");
+                let aa = self.authorities.get_mut(&aid).expect("checked above");
+                aa.grant(&state.pk, attrs.iter().cloned())?;
+            }
             self.grants
                 .get_mut(uid)
                 .expect("user exists")
                 .extend(attrs.iter().cloned());
-            for owner_id in self.owners.keys() {
-                let key = aa.keygen(uid, owner_id)?;
-                self.wire.send(
+            let owner_ids: Vec<OwnerId> = self.owners.keys().cloned().collect();
+            for owner_id in owner_ids {
+                let key = self
+                    .authorities
+                    .get(&aid)
+                    .expect("checked above")
+                    .keygen(uid, &owner_id)?;
+                self.transmit(
+                    fault_points::GRANT_DELIVER,
                     Endpoint::Authority(aid.clone()),
                     Endpoint::User(uid.clone()),
                     "user secret key",
                     key.wire_size(),
-                );
-                state.keys.insert((owner_id.clone(), aid.clone()), key);
+                )?;
+                self.users
+                    .get_mut(uid)
+                    .expect("checked above")
+                    .keys
+                    .insert((owner_id, aid.clone()), key);
             }
         }
         self.audit.record(AuditEvent::Granted {
@@ -315,12 +590,16 @@ impl CloudSystem {
             .map(|((label, data, _), policy)| (*label, *data, policy))
             .collect();
         let envelope = seal_envelope(owner, &specs, &mut self.rng)?;
-        self.wire.send(
+        // The upload consults PUBLISH_STORE: transient storage errors and
+        // drops are retried; a crash aborts *before* the store, so a
+        // failed publish never leaves a half-written record.
+        self.transmit(
+            fault_points::PUBLISH_STORE,
             Endpoint::Owner(owner_id.clone()),
             Endpoint::Server,
-            format!("record {record}"),
+            &format!("record {record}"),
             envelope.stored_size(),
-        );
+        )?;
         self.server.store(owner_id.clone(), record, envelope);
         self.audit.record(AuditEvent::Published {
             owner: owner_id.to_string(),
@@ -344,10 +623,9 @@ impl CloudSystem {
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
         let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read")]);
-        let state = self
-            .users
-            .get(uid)
-            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
+        if !self.users.contains_key(uid) {
+            return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
+        }
         let envelope = self
             .server
             .fetch(owner_id, record)
@@ -355,12 +633,17 @@ impl CloudSystem {
         let component = envelope
             .component(label)
             .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
-        self.wire.send(
+        // Reads are server-side only: they keep working while authorities
+        // are down (graceful degradation at the last consistent version),
+        // and transient download faults are retried at READ_FETCH.
+        self.transmit(
+            fault_points::READ_FETCH,
             Endpoint::Server,
             Endpoint::User(uid.clone()),
-            format!("component {record}/{label}"),
+            &format!("component {record}/{label}"),
             component.stored_size(),
-        );
+        )?;
+        let state = self.users.get(uid).expect("checked above");
         let keys: BTreeMap<AuthorityId, UserSecretKey> = state
             .keys
             .iter()
@@ -446,14 +729,20 @@ impl CloudSystem {
         Ok(result?)
     }
 
-    /// Revokes one attribute from one user, running the full protocol:
-    /// fresh keys for the revoked user, update keys to every other
-    /// (online) holder and every owner, owner-side public-key updates,
-    /// and server-side re-encryption of every affected ciphertext.
+    /// Revokes one attribute from one user, running the full two-phase
+    /// protocol: the authority re-keys, the intent is journaled to the
+    /// audit log, then fresh keys flow to the revoked user, update keys
+    /// to every other holder and every owner, and the server
+    /// re-encrypts every affected ciphertext.
+    ///
+    /// A crash mid-flight leaves a journaled [`PendingRevocation`] that
+    /// [`Self::recover`] rolls forward; every step is idempotent under
+    /// replay.
     ///
     /// # Errors
     ///
-    /// Unknown user/authority, or the user does not hold the attribute.
+    /// Unknown user/authority, the user not holding the attribute, a
+    /// downed authority, or an unrecovered injected fault.
     pub fn revoke(&mut self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
         // End-to-end revocation latency: ReKey at the authority through
         // the last server-side re-encryption.
@@ -462,28 +751,326 @@ impl CloudSystem {
             .parse()
             .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
         let aid = attr.authority().clone();
-        let aa = self
-            .authorities
-            .get_mut(&aid)
-            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+        self.precheck_revocation(&aid)?;
+        let aa = self.authorities.get_mut(&aid).expect("prechecked");
         let event = aa.revoke_attribute(uid, &attr, &mut self.rng)?;
-        self.apply_revocation_event(event)
+        let id = self.begin_revocation(event);
+        self.drive_revocation(id, false)
     }
 
     /// User-level revocation at one authority: strips all of the user's
-    /// attributes from that domain in a single version bump.
+    /// attributes from that domain in a single version bump. Same
+    /// two-phase, crash-safe machinery as [`Self::revoke`].
     ///
     /// # Errors
     ///
-    /// Unknown user/authority, or no attributes held there.
+    /// Unknown user/authority, no attributes held there, a downed
+    /// authority, or an unrecovered injected fault.
     pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
-        let aa = self
-            .authorities
-            .get_mut(aid)
-            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+        self.precheck_revocation(aid)?;
+        let aa = self.authorities.get_mut(aid).expect("prechecked");
         let event = aa.revoke_user(uid, &mut self.rng)?;
-        self.apply_revocation_event(event)
+        let id = self.begin_revocation(event);
+        self.drive_revocation(id, false)
+    }
+
+    /// Gates a revocation: the authority must exist, be reachable, pass
+    /// the [`fault_points::REVOKE_REKEY`] fault point, and have no
+    /// in-flight revocation (versions chain, so revocations at one
+    /// authority serialize — any crashed predecessor is driven to
+    /// completion first).
+    fn precheck_revocation(&mut self, aid: &AuthorityId) -> Result<(), CloudError> {
+        if !self.authorities.contains_key(aid) {
+            return Err(CloudError::UnknownAuthority(aid.clone()));
+        }
+        if self.down.contains(aid) {
+            return Err(CloudError::AuthorityUnavailable(aid.clone()));
+        }
+        self.local_op(fault_points::REVOKE_REKEY, Some(aid))?;
+        let stalled: Vec<u64> = self
+            .in_flight
+            .iter()
+            .filter(|(_, p)| &p.event.aid == aid)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stalled {
+            self.drive_revocation(id, true)?;
+        }
+        Ok(())
+    }
+
+    /// Journals the intent of a revocation (audit `RevocationBegun` +
+    /// `Revoked`), removes the revoked grants, purges now-stale queued
+    /// update keys for the revoked user at that authority, and parks the
+    /// event as a [`PendingRevocation`]. Returns the journal id.
+    fn begin_revocation(&mut self, event: mabe_core::RevocationEvent) -> u64 {
+        let id = self.next_revocation;
+        self.next_revocation += 1;
+        let aid = event.aid.clone();
+        let uid = event.revoked_uid.clone();
+        self.audit.record(AuditEvent::RevocationBegun {
+            uid: uid.to_string(),
+            aid: aid.to_string(),
+            from_version: event.from_version,
+            to_version: event.to_version,
+        });
+        self.audit.record(AuditEvent::Revoked {
+            uid: uid.to_string(),
+            attributes: event
+                .revoked_attributes
+                .iter()
+                .map(|a| a.to_string())
+                .collect(),
+            aid: aid.to_string(),
+            new_version: event.to_version,
+        });
+        if let Some(grants) = self.grants.get_mut(&uid) {
+            for attr in &event.revoked_attributes {
+                grants.remove(attr);
+            }
+        }
+        // Update keys still queued for the revoked user at this authority
+        // are superseded by the fresh reduced keys (already at the new
+        // version): replaying them on sync would only fail. Purge them so
+        // an offline revoked user syncs cleanly.
+        if let Some(queue) = self.pending_updates.get_mut(&uid) {
+            let before = queue.len();
+            queue.retain(|(_, uk)| uk.aid != aid);
+            let purged = (before - queue.len()) as u64;
+            if purged > 0 {
+                mabe_telemetry::global()
+                    .counter("mabe_stale_update_keys_dropped_total", &[("op", "revoke")])
+                    .add(purged);
+            }
+        }
+        self.in_flight.insert(id, PendingRevocation::new(id, event));
+        id
+    }
+
+    /// Drives one journaled revocation to completion. On success the
+    /// audit log gains `RevocationCompleted` (plus `RevocationRecovered`
+    /// when `recovered`); on failure the pending entry is re-parked with
+    /// its checkpoints intact so a later drive resumes, not restarts.
+    fn drive_revocation(&mut self, id: u64, recovered: bool) -> Result<(), CloudError> {
+        let Some(mut pending) = self.in_flight.remove(&id) else {
+            return Ok(());
+        };
+        match self.drive_phases(&mut pending) {
+            Ok(()) => {
+                self.audit.record(AuditEvent::RevocationCompleted {
+                    aid: pending.event.aid.to_string(),
+                    version: pending.event.to_version,
+                });
+                if recovered {
+                    self.audit.record(AuditEvent::RevocationRecovered {
+                        aid: pending.event.aid.to_string(),
+                        version: pending.event.to_version,
+                    });
+                    mabe_telemetry::global()
+                        .counter("mabe_revocations_recovered_total", &[])
+                        .inc();
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.in_flight.insert(id, pending);
+                Err(e)
+            }
+        }
+    }
+
+    fn drive_phases(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
+        if pending.stage == RevocationStage::KeyDelivery {
+            self.deliver_keys(pending)?;
+            pending.stage = RevocationStage::ReEncryption;
+        }
+        self.reencrypt_phase(pending)
+    }
+
+    /// Phase 1: fresh reduced keys to the revoked user (delivered eagerly
+    /// even if offline — the old keys must die), then update keys to
+    /// every other holder (queued for offline holders). Checkpointed per
+    /// holder; key application is version-tolerant, so replays after a
+    /// crash are no-ops.
+    fn deliver_keys(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
+        let aid = pending.event.aid.clone();
+        let uid = pending.event.revoked_uid.clone();
+        if !pending.fresh_keys_delivered {
+            if self.users.contains_key(&uid) {
+                let fresh: Vec<(OwnerId, UserSecretKey)> = pending
+                    .event
+                    .revoked_user_keys
+                    .iter()
+                    .map(|(o, k)| (o.clone(), k.clone()))
+                    .collect();
+                for (owner_id, key) in fresh {
+                    self.transmit(
+                        fault_points::REVOKE_FRESH_KEY,
+                        Endpoint::Authority(aid.clone()),
+                        Endpoint::User(uid.clone()),
+                        "re-issued secret key",
+                        key.wire_size(),
+                    )?;
+                    self.users
+                        .get_mut(&uid)
+                        .expect("checked above")
+                        .keys
+                        .insert((owner_id, aid.clone()), key);
+                }
+            }
+            pending.fresh_keys_delivered = true;
+        }
+        let holders: Vec<Uid> = self
+            .grants
+            .iter()
+            .filter(|(holder, attrs)| {
+                **holder != uid && attrs.iter().any(|a| a.authority() == &aid)
+            })
+            .map(|(holder, _)| holder.clone())
+            .collect();
+        for holder in holders {
+            if pending.delivered_holders.contains(&holder) {
+                continue;
+            }
+            if self.offline.contains(&holder) {
+                let queue = self.pending_updates.entry(holder.clone()).or_default();
+                for (owner_id, uk) in &pending.event.update_keys {
+                    queue.push((owner_id.clone(), uk.clone()));
+                }
+                pending.delivered_holders.insert(holder);
+                continue;
+            }
+            let slots: Vec<(OwnerId, UpdateKey)> = pending
+                .event
+                .update_keys
+                .iter()
+                .filter(|(owner_id, _)| {
+                    self.users
+                        .get(&holder)
+                        .is_some_and(|s| s.keys.contains_key(&((*owner_id).clone(), aid.clone())))
+                })
+                .map(|(o, uk)| (o.clone(), uk.clone()))
+                .collect();
+            for (owner_id, uk) in slots {
+                self.transmit(
+                    fault_points::REVOKE_UPDATE_DELIVER,
+                    Endpoint::Authority(aid.clone()),
+                    Endpoint::User(holder.clone()),
+                    "update key",
+                    uk.wire_size(),
+                )?;
+                let state = self.users.get_mut(&holder).expect("holder exists");
+                let key = state
+                    .keys
+                    .get_mut(&(owner_id, aid.clone()))
+                    .expect("filtered above");
+                apply_update_tolerant(key, &uk)?;
+            }
+            pending.delivered_holders.insert(holder);
+        }
+        Ok(())
+    }
+
+    /// Phase 2: owners apply their update keys (checkpointed), then the
+    /// server re-encrypts every affected ciphertext. The worklist comes
+    /// from [`CloudServer::affected_ciphertexts`], which only returns
+    /// components still at the old version — replaying a half-finished
+    /// phase naturally skips what is already done.
+    fn reencrypt_phase(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
+        let aid = pending.event.aid.clone();
+        let owner_ids: Vec<OwnerId> = self.owners.keys().cloned().collect();
+        for owner_id in owner_ids {
+            let Some(uk) = pending.event.update_keys.get(&owner_id).cloned() else {
+                continue;
+            };
+            if !pending.updated_owners.contains(&owner_id) {
+                self.transmit(
+                    fault_points::REVOKE_OWNER_UPDATE,
+                    Endpoint::Authority(aid.clone()),
+                    Endpoint::Owner(owner_id.clone()),
+                    "update key",
+                    uk.wire_size(),
+                )?;
+                let owner = self.owners.get_mut(&owner_id).expect("owner exists");
+                match owner.apply_update_key(&uk) {
+                    Ok(()) => {}
+                    Err(Error::VersionMismatch { found, .. }) if found >= uk.to_version => {}
+                    Err(e) => return Err(e.into()),
+                }
+                pending.updated_owners.insert(owner_id.clone());
+            }
+            let affected =
+                self.server
+                    .affected_ciphertexts(&owner_id, &aid, pending.event.from_version);
+            for (record_key, label, ct_id) in affected {
+                self.local_op(fault_points::REVOKE_REENCRYPT, None)?;
+                let owner = self.owners.get(&owner_id).expect("owner exists");
+                let ui = owner.update_info_for(
+                    ct_id,
+                    &aid,
+                    pending.event.from_version,
+                    pending.event.to_version,
+                )?;
+                self.wire.send(
+                    Endpoint::Owner(owner_id.clone()),
+                    Endpoint::Server,
+                    "update key + update info",
+                    uk.wire_size() + ui.wire_size(),
+                );
+                self.server
+                    .reencrypt_component(&record_key, &label, &uk, &ui)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls every journaled in-flight revocation forward to completion
+    /// (crash recovery). Returns how many revocations converged. Partial
+    /// progress is retained on failure, so calling `recover` again after
+    /// clearing the fault continues where it stopped.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault that still blocks convergence.
+    pub fn recover(&mut self) -> Result<usize, CloudError> {
+        let ids: Vec<u64> = self.in_flight.keys().copied().collect();
+        let mut completed = 0;
+        for id in ids {
+            self.drive_revocation(id, true)?;
+            completed += 1;
+        }
+        Ok(completed)
+    }
+
+    /// Whether any revocation is journaled but not yet converged.
+    pub fn needs_recovery(&self) -> bool {
+        !self.in_flight.is_empty()
+    }
+
+    /// Progress summaries of every in-flight revocation.
+    pub fn pending_revocations(&self) -> Vec<String> {
+        self.in_flight
+            .values()
+            .map(PendingRevocation::progress)
+            .collect()
+    }
+
+    /// Marks an authority unreachable: grants and revocations against it
+    /// fail with [`CloudError::AuthorityUnavailable`], while reads keep
+    /// serving the last consistent version (graceful degradation).
+    pub fn set_authority_down(&mut self, aid: &AuthorityId) {
+        self.down.insert(aid.clone());
+    }
+
+    /// Brings a downed authority back.
+    pub fn set_authority_up(&mut self, aid: &AuthorityId) {
+        self.down.remove(aid);
+    }
+
+    /// Whether an authority is currently marked down.
+    pub fn authority_is_down(&self, aid: &AuthorityId) -> bool {
+        self.down.contains(aid)
     }
 
     /// Full user-level revocation: runs [`Self::revoke_user_at`] against
@@ -521,18 +1108,41 @@ impl CloudSystem {
     /// so a user offline through `n` revocations downloads one update
     /// key per authority, not `n`.
     ///
+    /// Queued updates the user's key has already moved past — e.g. the
+    /// fresh reduced keys delivered when the user was revoked while
+    /// offline land at the *new* version — are dropped, not replayed, so
+    /// syncing never resurrects stale key material. Delivery runs at the
+    /// [`fault_points::SYNC_DELIVER`] fault point; on failure the
+    /// undelivered remainder is re-queued so a later sync resumes.
+    ///
     /// # Errors
     ///
-    /// Propagates key-update failures (e.g. corrupted queues).
+    /// Propagates key-update failures (e.g. corrupted queues) and
+    /// unrecovered injected faults.
     pub fn sync_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
         self.offline.remove(uid);
         let Some(queue) = self.pending_updates.remove(uid) else {
             return Ok(());
         };
-        // Compact chains per (owner, authority).
-        let mut compacted: BTreeMap<(OwnerId, AuthorityId), mabe_core::UpdateKey> = BTreeMap::new();
+        let versions: BTreeMap<(OwnerId, AuthorityId), u64> = self
+            .users
+            .get(uid)
+            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?
+            .keys
+            .iter()
+            .map(|(slot, key)| (slot.clone(), key.version))
+            .collect();
+        // Compact chains per (owner, authority), dropping entries the
+        // key has already advanced past.
+        let mut compacted: BTreeMap<(OwnerId, AuthorityId), UpdateKey> = BTreeMap::new();
+        let mut stale = 0u64;
         for (owner_id, uk) in queue {
             let slot = (owner_id, uk.aid.clone());
+            let current = versions.get(&slot).copied().unwrap_or(0);
+            if uk.from_version < current {
+                stale += 1;
+                continue;
+            }
             match compacted.remove(&slot) {
                 Some(prev) => {
                     compacted.insert(slot, prev.compose(&uk)?);
@@ -542,120 +1152,32 @@ impl CloudSystem {
                 }
             }
         }
-        let state = self
-            .users
-            .get_mut(uid)
-            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
-        for ((owner_id, aid), uk) in compacted {
-            self.wire.send(
-                Endpoint::Authority(aid.clone()),
+        if stale > 0 {
+            mabe_telemetry::global()
+                .counter("mabe_stale_update_keys_dropped_total", &[("op", "sync")])
+                .add(stale);
+        }
+        let work: Vec<((OwnerId, AuthorityId), UpdateKey)> = compacted.into_iter().collect();
+        for (i, (slot, uk)) in work.iter().enumerate() {
+            if let Err(e) = self.transmit(
+                fault_points::SYNC_DELIVER,
+                Endpoint::Authority(slot.1.clone()),
                 Endpoint::User(uid.clone()),
                 "composed deferred update key",
                 uk.wire_size(),
-            );
-            if let Some(key) = state.keys.get_mut(&(owner_id, aid)) {
-                key.apply_update(&uk)?;
+            ) {
+                // Crash-safety: re-queue the undelivered remainder so the
+                // next sync picks up exactly where this one stopped.
+                let requeue: Vec<(OwnerId, UpdateKey)> = work[i..]
+                    .iter()
+                    .map(|((owner_id, _), uk)| (owner_id.clone(), uk.clone()))
+                    .collect();
+                self.pending_updates.insert(uid.clone(), requeue);
+                return Err(e);
             }
-        }
-        Ok(())
-    }
-
-    /// Distributes one revocation event through the whole system.
-    fn apply_revocation_event(
-        &mut self,
-        event: mabe_core::RevocationEvent,
-    ) -> Result<(), CloudError> {
-        let aid = event.aid.clone();
-        let uid = event.revoked_uid.clone();
-        self.audit.record(AuditEvent::Revoked {
-            uid: uid.to_string(),
-            attributes: event
-                .revoked_attributes
-                .iter()
-                .map(|a| a.to_string())
-                .collect(),
-            aid: aid.to_string(),
-            new_version: event.to_version,
-        });
-        if let Some(grants) = self.grants.get_mut(&uid) {
-            for attr in &event.revoked_attributes {
-                grants.remove(attr);
-            }
-        }
-
-        // 1. Fresh (attribute-reduced) keys to the revoked user.
-        if let Some(state) = self.users.get_mut(&uid) {
-            for (owner_id, key) in &event.revoked_user_keys {
-                self.wire.send(
-                    Endpoint::Authority(aid.clone()),
-                    Endpoint::User(uid.clone()),
-                    "re-issued secret key",
-                    key.wire_size(),
-                );
-                state
-                    .keys
-                    .insert((owner_id.clone(), aid.clone()), key.clone());
-            }
-        }
-
-        // 2. Update keys to every other user holding attributes from
-        //    this authority; offline holders get them queued.
-        let holders: Vec<Uid> = self
-            .grants
-            .iter()
-            .filter(|(holder, attrs)| {
-                **holder != uid && attrs.iter().any(|a| a.authority() == &aid)
-            })
-            .map(|(holder, _)| holder.clone())
-            .collect();
-        for holder in holders {
-            if self.offline.contains(&holder) {
-                let queue = self.pending_updates.entry(holder).or_default();
-                for (owner_id, uk) in &event.update_keys {
-                    queue.push((owner_id.clone(), uk.clone()));
-                }
-                continue;
-            }
-            let state = self.users.get_mut(&holder).expect("holder exists");
-            for (owner_id, uk) in &event.update_keys {
-                if let Some(key) = state.keys.get_mut(&(owner_id.clone(), aid.clone())) {
-                    self.wire.send(
-                        Endpoint::Authority(aid.clone()),
-                        Endpoint::User(holder.clone()),
-                        "update key",
-                        uk.wire_size(),
-                    );
-                    key.apply_update(uk)?;
-                }
-            }
-        }
-
-        // 3. Owners update public keys, then 4. produce update info so the
-        //    server can re-encrypt affected ciphertexts.
-        for (owner_id, owner) in self.owners.iter_mut() {
-            let uk = &event.update_keys[owner_id];
-            self.wire.send(
-                Endpoint::Authority(aid.clone()),
-                Endpoint::Owner(owner_id.clone()),
-                "update key",
-                uk.wire_size(),
-            );
-            owner.apply_update_key(uk)?;
-
-            let affected = self
-                .server
-                .affected_ciphertexts(owner_id, &aid, event.from_version);
-            for (record_key, label, ct_id) in affected {
-                let ui =
-                    owner.update_info_for(ct_id, &aid, event.from_version, event.to_version)?;
-                self.wire.send(
-                    Endpoint::Owner(owner_id.clone()),
-                    Endpoint::Server,
-                    "update key + update info",
-                    uk.wire_size() + ui.wire_size(),
-                );
-                self.server
-                    .reencrypt_component(&record_key, &label, uk, &ui)?;
+            let state = self.users.get_mut(uid).expect("checked above");
+            if let Some(key) = state.keys.get_mut(slot) {
+                apply_update_tolerant(key, uk)?;
             }
         }
         Ok(())
@@ -674,6 +1196,28 @@ impl CloudSystem {
     /// Resets communication accounting (e.g. between experiment phases).
     pub fn reset_wire(&mut self) {
         self.wire.reset();
+    }
+
+    /// The fault injector (inspect the injection log, hit counters).
+    pub fn faults(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// Mutable access to the fault injector (arm/disarm mid-run, e.g. to
+    /// clear chaos before asserting convergence).
+    pub fn faults_mut(&mut self) -> &mut FaultInjector {
+        &mut self.faults
+    }
+
+    /// The retry policy applied to instrumented operations.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Replaces the retry policy (e.g. `RetryPolicy::none()` to surface
+    /// every transient fault).
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
     }
 
     /// JSON snapshot of the global telemetry registry: crypto-op
@@ -731,10 +1275,10 @@ mod tests {
     use super::*;
     use crate::wire::PairClass;
 
-    /// Builds the paper's running example: a medical authority and a
-    /// clinical-trial authority, one hospital owner, three users.
-    fn medical_system() -> (CloudSystem, Uid, Uid, Uid, OwnerId) {
-        let mut sys = CloudSystem::new(42);
+    /// Populates the paper's running example in an existing system: a
+    /// medical authority and a clinical-trial authority, one hospital
+    /// owner, three users.
+    fn medical_world(sys: &mut CloudSystem) -> (Uid, Uid, Uid, OwnerId) {
         sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
         sys.add_authority("Trial", &["Researcher", "Sponsor"])
             .unwrap();
@@ -748,6 +1292,12 @@ mod tests {
             .unwrap();
         sys.grant(&carol, &["Nurse@MedOrg", "Researcher@Trial"])
             .unwrap();
+        (alice, bob, carol, owner)
+    }
+
+    fn medical_system() -> (CloudSystem, Uid, Uid, Uid, OwnerId) {
+        let mut sys = CloudSystem::new(42);
+        let (alice, bob, carol, owner) = medical_world(&mut sys);
         (sys, alice, bob, carol, owner)
     }
 
@@ -952,8 +1502,9 @@ mod tests {
         let audit = sys.audit();
         assert!(audit.verify(), "hash chain intact");
         // 2 AAs + 1 owner + 3 users + 3 grants + 1 publish + 3 reads +
-        // 1 revocation = 14 entries.
-        assert_eq!(audit.entries().len(), 14);
+        // 3 for the revocation (begun + revoked + completed) = 16.
+        assert_eq!(audit.entries().len(), 16);
+        assert!(audit.incomplete_revocations().is_empty());
         assert_eq!(audit.denials().count(), 1);
         assert!(audit.for_user("alice").count() >= 4);
         // The denial is alice's post-revocation read.
@@ -1072,5 +1623,181 @@ mod tests {
         assert_eq!(sys.read(&bob, &owner, "r", "x").unwrap(), b"v");
         // Carol lost access.
         assert!(sys.read(&carol, &owner, "r", "x").is_err());
+    }
+
+    #[test]
+    fn authority_outage_blocks_control_plane_not_reads() {
+        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+        let med = AuthorityId::new("MedOrg");
+        sys.set_authority_down(&med);
+        assert!(sys.authority_is_down(&med));
+        // Control-plane operations against the downed authority fail...
+        assert!(matches!(
+            sys.revoke(&alice, "Doctor@MedOrg"),
+            Err(CloudError::AuthorityUnavailable(_))
+        ));
+        assert!(matches!(
+            sys.grant(&bob, &["Nurse@MedOrg"]),
+            Err(CloudError::AuthorityUnavailable(_))
+        ));
+        // ...but the data plane still serves the last consistent version.
+        assert_eq!(sys.read(&alice, &owner, "r", "x").unwrap(), b"v");
+        // Back up, the revocation goes through.
+        sys.set_authority_up(&med);
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        assert!(sys.read(&alice, &owner, "r", "x").is_err());
+        assert_eq!(sys.read(&bob, &owner, "r", "x").unwrap(), b"v");
+    }
+
+    #[test]
+    fn crash_mid_reencryption_recovers_forward() {
+        use mabe_faults::FaultPlan;
+        let plan = FaultPlan::new(11).at(fault_points::REVOKE_REENCRYPT, 1, FaultKind::Crash);
+        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, bob, _carol, owner) = medical_world(&mut sys);
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+
+        let err = sys.revoke(&alice, "Doctor@MedOrg").unwrap_err();
+        assert!(matches!(err, CloudError::Crashed { .. }), "got {err}");
+        assert!(sys.needs_recovery());
+        assert_eq!(sys.audit().incomplete_revocations().len(), 1);
+        assert_eq!(sys.pending_revocations().len(), 1);
+
+        // The scheduled crash fired once; recovery rolls the journaled
+        // revocation forward to convergence.
+        assert_eq!(sys.recover().unwrap(), 1);
+        assert!(!sys.needs_recovery());
+        assert!(sys.audit().incomplete_revocations().is_empty());
+        assert!(sys.audit().verify());
+        assert!(
+            sys.read(&alice, &owner, "r", "x").is_err(),
+            "revoked stays revoked after recovery"
+        );
+        assert_eq!(
+            sys.read(&bob, &owner, "r", "x").unwrap(),
+            b"v",
+            "holder converged"
+        );
+        assert!(sys
+            .metrics_snapshot()
+            .contains("mabe_revocations_recovered_total"));
+    }
+
+    #[test]
+    fn crash_during_key_delivery_is_resumable_and_idempotent() {
+        use mabe_faults::FaultPlan;
+        // Crash on the very first holder update-key delivery.
+        let plan = FaultPlan::new(3).at(fault_points::REVOKE_UPDATE_DELIVER, 1, FaultKind::Crash);
+        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, bob, carol, owner) = medical_world(&mut sys);
+        sys.publish(
+            &owner,
+            "r",
+            &[("x", b"v".as_slice(), "Nurse@MedOrg OR Doctor@MedOrg")],
+        )
+        .unwrap();
+
+        assert!(sys.revoke(&alice, "Doctor@MedOrg").is_err());
+        assert!(sys.needs_recovery());
+        // recover() twice: the second call must be a clean no-op.
+        assert_eq!(sys.recover().unwrap(), 1);
+        assert_eq!(sys.recover().unwrap(), 0);
+        assert_eq!(sys.read(&bob, &owner, "r", "x").unwrap(), b"v");
+        assert_eq!(sys.read(&carol, &owner, "r", "x").unwrap(), b"v");
+        assert!(sys.read(&alice, &owner, "r", "x").is_err());
+    }
+
+    #[test]
+    fn a_new_revocation_first_drives_a_stalled_one() {
+        use mabe_faults::FaultPlan;
+        let plan = FaultPlan::new(7).at(fault_points::REVOKE_REENCRYPT, 1, FaultKind::Crash);
+        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, bob, carol, owner) = medical_world(&mut sys);
+        sys.publish(
+            &owner,
+            "r",
+            &[("x", b"v".as_slice(), "Nurse@MedOrg OR Doctor@MedOrg")],
+        )
+        .unwrap();
+        assert!(sys.revoke(&alice, "Doctor@MedOrg").is_err());
+        assert!(sys.needs_recovery());
+        // Versions chain: revoking carol at the same authority first
+        // rolls the stalled revocation forward, then re-keys.
+        sys.revoke(&carol, "Nurse@MedOrg").unwrap();
+        assert!(!sys.needs_recovery());
+        assert_eq!(sys.authority_version(&AuthorityId::new("MedOrg")), Some(3));
+        assert_eq!(sys.read(&bob, &owner, "r", "x").unwrap(), b"v");
+        assert!(sys.read(&alice, &owner, "r", "x").is_err());
+        assert!(sys.read(&carol, &owner, "r", "x").is_err());
+    }
+
+    #[test]
+    fn transient_drops_are_retried_transparently() {
+        use mabe_faults::FaultPlan;
+        let plan = FaultPlan::new(5)
+            .rate(fault_points::READ_FETCH, FaultKind::Drop, 0.4)
+            .budget(6);
+        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, _bob, _carol, owner) = medical_world(&mut sys);
+        sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
+            .unwrap();
+        for _ in 0..8 {
+            assert_eq!(sys.read(&alice, &owner, "r", "x").unwrap(), b"v");
+        }
+        let report = sys.wire().delivery_report();
+        assert!(report.dropped > 0, "some fetches were dropped: {report:?}");
+        // Every read succeeded, so each drop burst ended in a delivered
+        // retransmission (consecutive drops within one operation share
+        // one final retransmit).
+        assert!(
+            report.retried > 0 && report.retried <= report.dropped,
+            "drops ended in retransmissions: {report:?}"
+        );
+        assert_eq!(
+            report.bytes_sent,
+            report.bytes_delivered + report.bytes_lost
+        );
+        assert!(sys.faults().injected(FaultKind::Drop) > 0);
+    }
+
+    #[test]
+    fn syncing_an_offline_revoked_user_does_not_resurrect_stale_keys() {
+        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        sys.publish(
+            &owner,
+            "r",
+            &[
+                ("med", b"m".as_slice(), "Doctor@MedOrg"),
+                ("trial", b"t".as_slice(), "Sponsor@Trial"),
+            ],
+        )
+        .unwrap();
+        assert!(sys.read(&bob, &owner, "r", "med").is_ok());
+
+        sys.set_offline(&bob);
+        // A revocation bob misses queues an update key (v1 -> v2)...
+        sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+        // ...then bob himself is revoked at MedOrg while still offline:
+        // fresh reduced keys (already at v3) are delivered eagerly.
+        sys.revoke(&bob, "Doctor@MedOrg").unwrap();
+        assert_eq!(sys.authority_version(&AuthorityId::new("MedOrg")), Some(3));
+
+        // The old failure mode: sync replayed the stale v1->v2 update
+        // onto the fresh v3 key and died with VersionMismatch.
+        sys.sync_user(&bob).unwrap();
+        assert!(
+            sys.read(&bob, &owner, "r", "med").is_err(),
+            "revoked attribute stays revoked after sync"
+        );
+        assert_eq!(
+            sys.read(&bob, &owner, "r", "trial").unwrap(),
+            b"t",
+            "unrelated authority unaffected"
+        );
+        // Syncing again is a no-op.
+        sys.sync_user(&bob).unwrap();
     }
 }

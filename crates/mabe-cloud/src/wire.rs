@@ -98,6 +98,48 @@ impl fmt::Display for PairClass {
     }
 }
 
+/// What happened to a transmission on the (simulated, possibly faulty)
+/// wire. Under fault injection a logical message may appear several
+/// times in the log — e.g. one `Dropped` entry followed by a
+/// `Retransmit` that got through — so byte accounting stays exact:
+/// every entry is bandwidth that was actually spent.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+pub enum Disposition {
+    /// Delivered on the first attempt (the no-fault default).
+    #[default]
+    Delivered,
+    /// A delivered retransmission of a previously dropped or corrupted
+    /// message.
+    Retransmit,
+    /// An injected duplicate delivery (bytes spent twice).
+    Duplicate,
+    /// Lost in transit — bandwidth spent, nothing delivered.
+    Dropped,
+    /// Arrived corrupted and was rejected by the receiver.
+    Corrupted,
+}
+
+impl Disposition {
+    /// Stable label for metric series.
+    pub fn metric_label(&self) -> &'static str {
+        match self {
+            Disposition::Delivered => "delivered",
+            Disposition::Retransmit => "retransmit",
+            Disposition::Duplicate => "duplicate",
+            Disposition::Dropped => "dropped",
+            Disposition::Corrupted => "corrupted",
+        }
+    }
+
+    /// Whether the payload reached (and was accepted by) the receiver.
+    pub fn is_delivered(&self) -> bool {
+        matches!(
+            self,
+            Disposition::Delivered | Disposition::Retransmit | Disposition::Duplicate
+        )
+    }
+}
+
 /// One recorded transmission.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Transmission {
@@ -109,6 +151,33 @@ pub struct Transmission {
     pub what: String,
     /// Paper-accounted size in bytes.
     pub bytes: usize,
+    /// Delivery outcome (always `Delivered` without fault injection).
+    pub disposition: Disposition,
+}
+
+/// Message/byte accounting broken down by delivery outcome, so the
+/// paper's bandwidth numbers stay exact under injected faults:
+/// `bytes_sent == bytes_delivered + bytes_lost`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DeliveryReport {
+    /// Messages put on the wire (all dispositions).
+    pub sent: u64,
+    /// Messages that reached the receiver (incl. retransmits/duplicates).
+    pub delivered: u64,
+    /// Injected drops.
+    pub dropped: u64,
+    /// Delivered retransmissions after a drop or corruption.
+    pub retried: u64,
+    /// Injected duplicate deliveries.
+    pub duplicated: u64,
+    /// Corrupted-and-rejected deliveries.
+    pub corrupted: u64,
+    /// Bandwidth spent, in bytes (every entry).
+    pub bytes_sent: usize,
+    /// Bytes that arrived intact.
+    pub bytes_delivered: usize,
+    /// Bytes spent on drops and corrupted deliveries.
+    pub bytes_lost: usize,
 }
 
 /// The byte-accounting transport.
@@ -123,10 +192,25 @@ impl Wire {
         Self::default()
     }
 
-    /// Records one message — in the local log (for the paper's Table IV
-    /// reports) and in the global telemetry registry (per-pair byte and
-    /// message counters).
+    /// Records one delivered message — in the local log (for the paper's
+    /// Table IV reports) and in the global telemetry registry (per-pair
+    /// byte and message counters).
     pub fn send(&mut self, from: Endpoint, to: Endpoint, what: impl Into<String>, bytes: usize) {
+        self.send_with(from, to, what, bytes, Disposition::Delivered);
+    }
+
+    /// Records one message with an explicit delivery outcome. Dropped
+    /// and corrupted transmissions still spend bandwidth, so they are
+    /// logged and counted like any other — only the delivery report
+    /// distinguishes them.
+    pub fn send_with(
+        &mut self,
+        from: Endpoint,
+        to: Endpoint,
+        what: impl Into<String>,
+        bytes: usize,
+        disposition: Disposition,
+    ) {
         let pair = PairClass::of(&from, &to).metric_label();
         let registry = mabe_telemetry::global();
         registry
@@ -135,11 +219,20 @@ impl Wire {
         registry
             .counter("mabe_wire_messages_total", &[("pair", pair)])
             .inc();
+        if disposition != Disposition::Delivered {
+            registry
+                .counter(
+                    "mabe_wire_delivery_total",
+                    &[("disposition", disposition.metric_label())],
+                )
+                .inc();
+        }
         self.log.push(Transmission {
             from,
             to,
             what: what.into(),
             bytes,
+            disposition,
         });
     }
 
@@ -160,6 +253,29 @@ impl Wire {
             *out.entry(PairClass::of(&t.from, &t.to)).or_insert(0) += t.bytes;
         }
         out
+    }
+
+    /// Message and byte accounting broken down by delivery outcome.
+    pub fn delivery_report(&self) -> DeliveryReport {
+        let mut r = DeliveryReport::default();
+        for t in &self.log {
+            r.sent += 1;
+            r.bytes_sent += t.bytes;
+            match t.disposition {
+                Disposition::Delivered => {}
+                Disposition::Retransmit => r.retried += 1,
+                Disposition::Duplicate => r.duplicated += 1,
+                Disposition::Dropped => r.dropped += 1,
+                Disposition::Corrupted => r.corrupted += 1,
+            }
+            if t.disposition.is_delivered() {
+                r.delivered += 1;
+                r.bytes_delivered += t.bytes;
+            } else {
+                r.bytes_lost += t.bytes;
+            }
+        }
+        r
     }
 
     /// Bytes exchanged between one concrete pair of endpoints
@@ -242,5 +358,48 @@ mod tests {
         assert_eq!(user("a").to_string(), "User:a");
         assert_eq!(Endpoint::Server.to_string(), "Server");
         assert_eq!(PairClass::AuthorityUser.to_string(), "AA<->User");
+    }
+
+    #[test]
+    fn delivery_report_accounts_every_byte() {
+        let mut w = Wire::new();
+        // A message is dropped, retransmitted, then an unrelated one is
+        // duplicated and a third arrives corrupted.
+        w.send_with(aa("M"), user("a"), "uk", 85, Disposition::Dropped);
+        w.send_with(aa("M"), user("a"), "uk", 85, Disposition::Retransmit);
+        w.send(Endpoint::Server, user("a"), "ct", 500);
+        w.send_with(
+            Endpoint::Server,
+            user("a"),
+            "ct",
+            500,
+            Disposition::Duplicate,
+        );
+        w.send_with(aa("M"), user("b"), "uk", 85, Disposition::Corrupted);
+
+        let r = w.delivery_report();
+        assert_eq!(r.sent, 5);
+        assert_eq!(r.delivered, 3);
+        assert_eq!(r.dropped, 1);
+        assert_eq!(r.retried, 1);
+        assert_eq!(r.duplicated, 1);
+        assert_eq!(r.corrupted, 1);
+        assert_eq!(r.bytes_sent, 85 + 85 + 500 + 500 + 85);
+        assert_eq!(r.bytes_delivered, 85 + 500 + 500);
+        assert_eq!(r.bytes_lost, 85 + 85);
+        assert_eq!(r.bytes_sent, r.bytes_delivered + r.bytes_lost);
+        // The classic report still counts total bandwidth.
+        assert_eq!(w.total_bytes(), r.bytes_sent);
+    }
+
+    #[test]
+    fn default_sends_are_delivered() {
+        let mut w = Wire::new();
+        w.send(aa("M"), user("a"), "sk", 10);
+        let r = w.delivery_report();
+        assert_eq!(r.sent, 1);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.dropped + r.retried + r.duplicated + r.corrupted, 0);
+        assert!(w.log()[0].disposition.is_delivered());
     }
 }

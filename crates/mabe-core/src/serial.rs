@@ -68,21 +68,45 @@ impl<'a> Reader<'a> {
         Ok(self.take(1)?[0])
     }
 
-    fn u16(&mut self) -> Result<u16, Error> {
+    /// Reads a big-endian `u16`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] on truncated input.
+    pub fn u16(&mut self) -> Result<u16, Error> {
         let b = self.take(2)?;
         Ok(u16::from_be_bytes([b[0], b[1]]))
     }
 
-    fn u32(&mut self) -> Result<u32, Error> {
+    /// Reads a big-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] on truncated input.
+    pub fn u32(&mut self) -> Result<u32, Error> {
         let b = self.take(4)?;
         Ok(u32::from_be_bytes([b[0], b[1], b[2], b[3]]))
     }
 
-    fn u64(&mut self) -> Result<u64, Error> {
+    /// Reads a big-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] on truncated input.
+    pub fn u64(&mut self) -> Result<u64, Error> {
         let b = self.take(8)?;
         let mut a = [0u8; 8];
         a.copy_from_slice(b);
         Ok(u64::from_be_bytes(a))
+    }
+
+    /// Reads `n` raw bytes (bounds-checked, zero-copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Malformed`] when fewer than `n` bytes remain.
+    pub fn bytes(&mut self, n: usize) -> Result<&'a [u8], Error> {
+        self.take(n)
     }
 }
 
@@ -166,12 +190,42 @@ fn get_attribute(r: &mut Reader<'_>) -> Result<Attribute, Error> {
         .map_err(|_| Error::Malformed("invalid attribute literal"))
 }
 
+// The id constructors (`Uid::new`, `OwnerId::new`, `AuthorityId::new`)
+// assert on invalid input — fine for programmer-supplied literals, fatal
+// for wire bytes. These guards turn those panics into `Malformed`.
+
+fn get_authority_id(r: &mut Reader<'_>) -> Result<AuthorityId, Error> {
+    AuthorityId::try_new(get_string(r)?).map_err(|_| Error::Malformed("invalid authority id"))
+}
+
+fn get_uid(r: &mut Reader<'_>) -> Result<Uid, Error> {
+    let s = get_string(r)?;
+    if s.is_empty() {
+        return Err(Error::Malformed("empty uid"));
+    }
+    Ok(Uid::new(s))
+}
+
+fn get_owner_id(r: &mut Reader<'_>) -> Result<OwnerId, Error> {
+    let s = get_string(r)?;
+    if s.is_empty() {
+        return Err(Error::Malformed("empty owner id"));
+    }
+    Ok(OwnerId::new(s))
+}
+
 const MAX_MAP_ENTRIES: u32 = 1 << 20;
 
 fn get_count(r: &mut Reader<'_>) -> Result<usize, Error> {
     let n = r.u32()?;
     if n > MAX_MAP_ENTRIES {
         return Err(Error::Malformed("implausible entry count"));
+    }
+    // Every encoded entry occupies at least one byte, so a count larger
+    // than the unread input is malformed. Rejecting it here bounds any
+    // count-proportional allocation by the actual input size.
+    if n as usize > r.remaining() {
+        return Err(Error::Malformed("entry count exceeds input"));
     }
     Ok(n as usize)
 }
@@ -220,12 +274,8 @@ impl WireCodec for UserPublicKey {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        let uid = get_string(r)?;
-        if uid.is_empty() {
-            return Err(Error::Malformed("empty uid"));
-        }
         Ok(UserPublicKey {
-            uid: Uid::new(uid),
+            uid: get_uid(r)?,
             pk: get_g1(r)?,
         })
     }
@@ -239,12 +289,8 @@ impl WireCodec for OwnerSecretKey {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        let owner = get_string(r)?;
-        if owner.is_empty() {
-            return Err(Error::Malformed("empty owner id"));
-        }
         Ok(OwnerSecretKey {
-            owner: OwnerId::new(owner),
+            owner: get_owner_id(r)?,
             g_inv_beta: get_g1(r)?,
             r_over_beta: get_fr(r)?,
         })
@@ -264,7 +310,7 @@ impl WireCodec for AuthorityPublicKeys {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        let aid = AuthorityId::new(get_string(r)?);
+        let aid = get_authority_id(r)?;
         let version = r.u64()?;
         let owner_pk = get_gt(r)?;
         let n = get_count(r)?;
@@ -301,9 +347,9 @@ impl WireCodec for UserSecretKey {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        let uid = Uid::new(get_string(r)?);
-        let aid = AuthorityId::new(get_string(r)?);
-        let owner = OwnerId::new(get_string(r)?);
+        let uid = get_uid(r)?;
+        let aid = get_authority_id(r)?;
+        let owner = get_owner_id(r)?;
         let version = r.u64()?;
         let k = get_g1(r)?;
         let n = get_count(r)?;
@@ -337,14 +383,18 @@ impl WireCodec for UpdateKey {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        Ok(UpdateKey {
-            aid: AuthorityId::new(get_string(r)?),
+        let uk = UpdateKey {
+            aid: get_authority_id(r)?,
             from_version: r.u64()?,
             to_version: r.u64()?,
-            owner: OwnerId::new(get_string(r)?),
+            owner: get_owner_id(r)?,
             uk1: get_g1(r)?,
             uk2: get_fr(r)?,
-        })
+        };
+        if uk.from_version >= uk.to_version {
+            return Err(Error::Malformed("update key versions not increasing"));
+        }
+        Ok(uk)
     }
 }
 
@@ -362,7 +412,7 @@ impl WireCodec for UpdateInfo {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        let aid = AuthorityId::new(get_string(r)?);
+        let aid = get_authority_id(r)?;
         let ct_id = CiphertextId(r.u64()?);
         let from_version = r.u64()?;
         let to_version = r.u64()?;
@@ -400,13 +450,13 @@ impl WireCodec for crate::outsource::TransformKey {
     }
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
-        let uid = Uid::new(get_string(r)?);
-        let owner = OwnerId::new(get_string(r)?);
+        let uid = get_uid(r)?;
+        let owner = get_owner_id(r)?;
         let blinded_pk = get_g1(r)?;
         let n = get_count(r)?;
         let mut entries = BTreeMap::new();
         for _ in 0..n {
-            let aid = AuthorityId::new(get_string(r)?);
+            let aid = get_authority_id(r)?;
             let version = r.u64()?;
             let k = get_g1(r)?;
             let m = get_count(r)?;
@@ -464,7 +514,7 @@ impl WireCodec for Ciphertext {
 
     fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
         let id = CiphertextId(r.u64()?);
-        let owner = OwnerId::new(get_string(r)?);
+        let owner = get_owner_id(r)?;
         let c = get_gt(r)?;
         let c_prime = get_g1(r)?;
         let n = get_count(r)?;
@@ -482,7 +532,7 @@ impl WireCodec for Ciphertext {
         let m = get_count(r)?;
         let mut versions = BTreeMap::new();
         for _ in 0..m {
-            let aid = AuthorityId::new(get_string(r)?);
+            let aid = get_authority_id(r)?;
             versions.insert(aid, r.u64()?);
         }
         if versions
@@ -605,6 +655,16 @@ mod tests {
         let mut extended = bytes.clone();
         extended.push(0);
         assert!(T::from_wire_bytes(&extended).is_err());
+        // Single-bit corruption must never panic. Decoding may still
+        // succeed (flips inside opaque payload bytes are invisible to
+        // the codec layer) but must always return cleanly.
+        for pos in (0..bytes.len()).step_by(step) {
+            for bit in [0x01u8, 0x40] {
+                let mut corrupted = bytes.clone();
+                corrupted[pos] ^= bit;
+                let _ = T::from_wire_bytes(&corrupted);
+            }
+        }
     }
 
     #[test]
@@ -776,6 +836,14 @@ mod tests {
         bytes.extend_from_slice(&1u64.to_be_bytes());
         put_gt(&mut bytes, &pks.owner_pk);
         bytes.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(matches!(
+            AuthorityPublicKeys::from_wire_bytes(&bytes),
+            Err(Error::Malformed(_))
+        ));
+        // A count under the hard cap but larger than the unread input is
+        // equally impossible and rejected before allocation.
+        let last = bytes.len() - 4;
+        bytes[last..].copy_from_slice(&100_000u32.to_be_bytes());
         assert!(matches!(
             AuthorityPublicKeys::from_wire_bytes(&bytes),
             Err(Error::Malformed(_))

@@ -1,0 +1,257 @@
+//! The runtime fault injector.
+//!
+//! Instrumented code calls [`FaultInjector::decide`] at each named fault
+//! point; the injector consults its [`FaultPlan`] (scheduled hits first,
+//! then per-point rates, then global rates) and returns the fault to
+//! simulate, if any. Decisions are a pure function of the plan's seed
+//! and the sequence of `decide` calls, so a failing chaos schedule is
+//! replayed exactly by re-running with the same seed.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::plan::{FaultKind, FaultPlan};
+
+/// One fault that actually fired, for post-run inspection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InjectedFault {
+    /// The fault point that was hit.
+    pub point: &'static str,
+    /// How many times that point had been hit when this fired (1-based).
+    pub hit: u64,
+    /// What was injected.
+    pub kind: FaultKind,
+}
+
+/// Consults a [`FaultPlan`] at named fault points, deterministically.
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: StdRng,
+    hits: BTreeMap<&'static str, u64>,
+    log: Vec<InjectedFault>,
+    armed: bool,
+    remaining: Option<u64>,
+}
+
+impl FaultInjector {
+    /// Builds an injector executing `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = StdRng::seed_from_u64(plan.seed());
+        let remaining = plan.budget;
+        FaultInjector {
+            plan,
+            rng,
+            hits: BTreeMap::new(),
+            log: Vec::new(),
+            armed: true,
+            remaining,
+        }
+    }
+
+    /// An injector that never fires (the production default).
+    pub fn none() -> Self {
+        FaultInjector::new(FaultPlan::default())
+    }
+
+    /// Asks whether a fault fires at `point`. Increments the point's hit
+    /// counter either way.
+    pub fn decide(&mut self, point: &'static str) -> Option<FaultKind> {
+        let hit = self.hits.entry(point).or_insert(0);
+        *hit += 1;
+        let hit = *hit;
+        if !self.armed || self.remaining == Some(0) {
+            return None;
+        }
+        let kind = self.plan.scheduled.remove(&(point, hit)).or_else(|| {
+            let point_rules = self
+                .plan
+                .point_rules
+                .get(point)
+                .cloned()
+                .unwrap_or_default();
+            point_rules
+                .iter()
+                .chain(self.plan.global_rules.iter())
+                .find(|rule| {
+                    // One draw per rule keeps the stream deterministic
+                    // regardless of which rule fires.
+                    let draw = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                    draw < rule.rate
+                })
+                .map(|rule| rule.kind)
+        })?;
+        if let Some(r) = self.remaining.as_mut() {
+            *r -= 1;
+        }
+        self.log.push(InjectedFault { point, hit, kind });
+        mabe_telemetry::global()
+            .counter(
+                "mabe_faults_injected_total",
+                &[("point", point), ("kind", kind.label())],
+            )
+            .inc();
+        Some(kind)
+    }
+
+    /// Stops injecting (hit counters keep advancing). Used by chaos
+    /// suites to "clear" faults before asserting convergence.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+
+    /// Resumes injecting.
+    pub fn arm(&mut self) {
+        self.armed = true;
+    }
+
+    /// Whether the injector is currently armed.
+    pub fn is_armed(&self) -> bool {
+        self.armed
+    }
+
+    /// Faults the budget still allows (`None` = unlimited).
+    pub fn remaining_budget(&self) -> Option<u64> {
+        self.remaining
+    }
+
+    /// Flips one seeded-random bit of `bytes` (no-op on empty input) —
+    /// the canonical payload corruption for [`FaultKind::Corrupt`].
+    pub fn corrupt_bytes(&mut self, bytes: &mut [u8]) {
+        if bytes.is_empty() {
+            return;
+        }
+        let bit = self.rng.next_u64() as usize % (bytes.len() * 8);
+        bytes[bit / 8] ^= 1 << (bit % 8);
+    }
+
+    /// Virtual microseconds one [`FaultKind::Delay`] costs.
+    pub fn delay_us(&self) -> u64 {
+        self.plan.delay_us
+    }
+
+    /// How many times `point` has been hit.
+    pub fn hits(&self, point: &str) -> u64 {
+        self.hits.get(point).copied().unwrap_or(0)
+    }
+
+    /// Every fault that fired, in order.
+    pub fn log(&self) -> &[InjectedFault] {
+        &self.log
+    }
+
+    /// Total faults injected so far.
+    pub fn injected_total(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// Faults of one kind injected so far.
+    pub fn injected(&self, kind: FaultKind) -> u64 {
+        self.log.iter().filter(|f| f.kind == kind).count() as u64
+    }
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fires() {
+        let mut inj = FaultInjector::none();
+        for _ in 0..100 {
+            assert_eq!(inj.decide("x"), None);
+        }
+        assert_eq!(inj.hits("x"), 100);
+        assert_eq!(inj.injected_total(), 0);
+    }
+
+    #[test]
+    fn scheduled_fault_fires_on_exact_hit() {
+        let mut inj = FaultInjector::new(FaultPlan::new(1).at("p", 3, FaultKind::Crash));
+        assert_eq!(inj.decide("p"), None);
+        assert_eq!(inj.decide("p"), None);
+        assert_eq!(inj.decide("p"), Some(FaultKind::Crash));
+        assert_eq!(inj.decide("p"), None);
+        assert_eq!(
+            inj.log(),
+            &[InjectedFault {
+                point: "p",
+                hit: 3,
+                kind: FaultKind::Crash
+            }]
+        );
+    }
+
+    #[test]
+    fn decisions_are_deterministic_per_seed() {
+        let plan = |seed| {
+            FaultPlan::new(seed)
+                .rate("a", FaultKind::Drop, 0.3)
+                .rate_all(FaultKind::Delay, 0.1)
+        };
+        let mut a = FaultInjector::new(plan(99));
+        let mut b = FaultInjector::new(plan(99));
+        let mut c = FaultInjector::new(plan(100));
+        let seq_a: Vec<_> = (0..200).map(|_| a.decide("a")).collect();
+        let seq_b: Vec<_> = (0..200).map(|_| b.decide("a")).collect();
+        let seq_c: Vec<_> = (0..200).map(|_| c.decide("a")).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_ne!(seq_a, seq_c, "different seeds diverge");
+        assert!(seq_a.iter().any(Option::is_some), "rates actually fire");
+        assert!(seq_a.iter().any(Option::is_none));
+    }
+
+    #[test]
+    fn rate_one_always_fires_and_rate_zero_never() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(5).rate("always", FaultKind::Drop, 1.0).rate(
+                "never",
+                FaultKind::Drop,
+                0.0,
+            ));
+        for _ in 0..50 {
+            assert_eq!(inj.decide("always"), Some(FaultKind::Drop));
+            assert_eq!(inj.decide("never"), None);
+        }
+    }
+
+    #[test]
+    fn budget_exhausts_then_quiet() {
+        let mut inj =
+            FaultInjector::new(FaultPlan::new(5).rate("p", FaultKind::Drop, 1.0).budget(3));
+        let fired: Vec<_> = (0..10).filter_map(|_| inj.decide("p")).collect();
+        assert_eq!(fired.len(), 3);
+        assert_eq!(inj.remaining_budget(), Some(0));
+    }
+
+    #[test]
+    fn disarm_silences_and_arm_resumes() {
+        let mut inj = FaultInjector::new(FaultPlan::new(5).rate("p", FaultKind::Drop, 1.0));
+        assert!(inj.decide("p").is_some());
+        inj.disarm();
+        assert!(!inj.is_armed());
+        assert_eq!(inj.decide("p"), None);
+        inj.arm();
+        assert!(inj.decide("p").is_some());
+        assert_eq!(inj.injected(FaultKind::Drop), 2);
+    }
+
+    #[test]
+    fn corrupt_flips_exactly_one_bit() {
+        let mut inj = FaultInjector::new(FaultPlan::new(8));
+        let mut buf = [0u8; 16];
+        inj.corrupt_bytes(&mut buf);
+        let flipped: u32 = buf.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(flipped, 1);
+        let mut empty: [u8; 0] = [];
+        inj.corrupt_bytes(&mut empty);
+    }
+}

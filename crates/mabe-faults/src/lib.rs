@@ -1,0 +1,43 @@
+//! # mabe-faults
+//!
+//! Deterministic fault injection and retry policies for the MA-ABAC
+//! cloud deployment.
+//!
+//! The paper's revocation protocol (§V-C) is a multi-step distributed
+//! exchange: the attribute authority re-keys, update keys travel to every
+//! non-revoked user and every owner, and the server proxy-re-encrypts
+//! each affected ciphertext. Correctness under *partial failure* — a
+//! dropped update key, a crashed server mid-re-encryption, an authority
+//! outage — is what makes the protocol deployable, so this crate supplies
+//! the machinery to exercise exactly those failures, reproducibly:
+//!
+//! * [`plan`] — [`FaultPlan`]: a seeded, declarative schedule of faults
+//!   (drop / duplicate / corrupt / delay / outage / storage error /
+//!   crash) attached to **named fault points**, either probabilistically
+//!   or pinned to the n-th hit of a point;
+//! * [`inject`] — [`FaultInjector`]: the runtime consulted at each fault
+//!   point; deterministic per seed, budget-bounded so chaos schedules
+//!   eventually go quiet and the system can be asserted to converge;
+//! * [`retry`] — [`RetryPolicy`]: bounded exponential backoff with
+//!   seeded jitter and per-operation virtual deadlines, plus the
+//!   [`retry::RetryError`] classification consumers use to distinguish
+//!   "gave up on a transient fault" from "fatal".
+//!
+//! All injected faults and every retry/give-up are exported through
+//! `mabe-telemetry` (`mabe_faults_injected_total`, `mabe_retries_total`,
+//! `mabe_giveups_total`), so chaos runs leave an auditable metric trail.
+//!
+//! Delays and backoff waits are **virtual**: they are accounted in
+//! microsecond counters instead of sleeping, keeping seeded chaos suites
+//! fast and exactly reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod inject;
+pub mod plan;
+pub mod retry;
+
+pub use inject::{FaultInjector, InjectedFault};
+pub use plan::{FaultKind, FaultPlan};
+pub use retry::{RetryError, RetryPolicy};

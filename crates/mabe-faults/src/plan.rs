@@ -1,0 +1,190 @@
+//! Declarative, seeded fault schedules.
+//!
+//! A [`FaultPlan`] names *what* can go wrong and *where*: each rule binds
+//! a [`FaultKind`] to a named fault point (a `&'static str` the
+//! instrumented code passes to [`crate::FaultInjector::decide`]), either
+//! with a probability (drawn from the injector's seeded RNG) or pinned to
+//! the n-th hit of that point. Plans are plain data — building one
+//! performs no I/O and injects nothing until handed to an injector.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One kind of injected failure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// The message is lost in transit; the sender must retransmit.
+    Drop,
+    /// The message is delivered twice; the receiver must deduplicate.
+    Duplicate,
+    /// The payload arrives corrupted; the receiver rejects it and the
+    /// sender must retransmit.
+    Corrupt,
+    /// Delivery is delayed (virtual microseconds, accounted not slept).
+    Delay,
+    /// The target attribute authority is unreachable for this attempt.
+    AuthorityDown,
+    /// The cloud server's storage backend fails this operation.
+    StorageError,
+    /// The in-flight multi-step operation crashes at this point, leaving
+    /// whatever it had already done in place. Recovery must roll the
+    /// operation forward.
+    Crash,
+}
+
+impl FaultKind {
+    /// Stable label for metric series and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::Drop => "drop",
+            FaultKind::Duplicate => "duplicate",
+            FaultKind::Corrupt => "corrupt",
+            FaultKind::Delay => "delay",
+            FaultKind::AuthorityDown => "authority_down",
+            FaultKind::StorageError => "storage_error",
+            FaultKind::Crash => "crash",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A probabilistic rule: fire `kind` with probability `rate` (in
+/// [0, 1]) each time the point is hit.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub(crate) struct RateRule {
+    pub(crate) kind: FaultKind,
+    pub(crate) rate: f64,
+}
+
+/// A deterministic, seed-driven schedule of faults.
+///
+/// ```
+/// use mabe_faults::{FaultKind, FaultPlan};
+///
+/// let plan = FaultPlan::new(42)
+///     .rate("revoke.update_deliver", FaultKind::Drop, 0.25)
+///     .at("revoke.reencrypt", 2, FaultKind::Crash)
+///     .budget(16);
+/// assert_eq!(plan.seed(), 42);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    pub(crate) point_rules: BTreeMap<&'static str, Vec<RateRule>>,
+    pub(crate) global_rules: Vec<RateRule>,
+    pub(crate) scheduled: BTreeMap<(&'static str, u64), FaultKind>,
+    pub(crate) budget: Option<u64>,
+    pub(crate) delay_us: u64,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan (no faults) with the RNG seed the injector
+    /// will draw probabilistic decisions and corruption bits from.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_us: 500,
+            ..FaultPlan::default()
+        }
+    }
+
+    /// The plan's RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Fires `kind` with probability `rate` every time `point` is hit.
+    pub fn rate(mut self, point: &'static str, kind: FaultKind, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.point_rules
+            .entry(point)
+            .or_default()
+            .push(RateRule { kind, rate });
+        self
+    }
+
+    /// Fires `kind` with probability `rate` at **every** fault point
+    /// (point-specific rules are consulted first).
+    pub fn rate_all(mut self, kind: FaultKind, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate must be in [0, 1]");
+        self.global_rules.push(RateRule { kind, rate });
+        self
+    }
+
+    /// Fires `kind` exactly on the `nth` hit (1-based) of `point`,
+    /// regardless of probabilities. Scheduled faults ignore the budget's
+    /// remaining count but still consume from it.
+    pub fn at(mut self, point: &'static str, nth: u64, kind: FaultKind) -> Self {
+        assert!(nth >= 1, "hits are 1-based");
+        self.scheduled.insert((point, nth), kind);
+        self
+    }
+
+    /// Caps the total number of injected faults. Once the budget is
+    /// spent the injector goes quiet, which is what lets chaos suites
+    /// assert convergence ("revocation converges once faults clear").
+    pub fn budget(mut self, n: u64) -> Self {
+        self.budget = Some(n);
+        self
+    }
+
+    /// Virtual microseconds a [`FaultKind::Delay`] adds (default 500).
+    pub fn delay_us(mut self, us: u64) -> Self {
+        self.delay_us = us;
+        self
+    }
+
+    /// True if the plan can never fire anything.
+    pub fn is_empty(&self) -> bool {
+        self.point_rules.is_empty() && self.global_rules.is_empty() && self.scheduled.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_collects_rules() {
+        let plan = FaultPlan::new(7)
+            .rate("a", FaultKind::Drop, 0.5)
+            .rate("a", FaultKind::Corrupt, 0.1)
+            .rate_all(FaultKind::Delay, 0.01)
+            .at("b", 3, FaultKind::Crash)
+            .budget(5);
+        assert_eq!(plan.seed(), 7);
+        assert_eq!(plan.point_rules["a"].len(), 2);
+        assert_eq!(plan.global_rules.len(), 1);
+        assert_eq!(plan.scheduled[&("b", 3)], FaultKind::Crash);
+        assert_eq!(plan.budget, Some(5));
+        assert!(!plan.is_empty());
+        assert!(FaultPlan::new(0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in")]
+    fn rate_out_of_range_panics() {
+        let _ = FaultPlan::new(0).rate("a", FaultKind::Drop, 1.5);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        for (kind, label) in [
+            (FaultKind::Drop, "drop"),
+            (FaultKind::Duplicate, "duplicate"),
+            (FaultKind::Corrupt, "corrupt"),
+            (FaultKind::Delay, "delay"),
+            (FaultKind::AuthorityDown, "authority_down"),
+            (FaultKind::StorageError, "storage_error"),
+            (FaultKind::Crash, "crash"),
+        ] {
+            assert_eq!(kind.label(), label);
+            assert_eq!(kind.to_string(), label);
+        }
+    }
+}

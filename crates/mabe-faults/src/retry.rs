@@ -1,0 +1,297 @@
+//! Bounded retry with exponential backoff and seeded jitter.
+//!
+//! Waits are **virtual**: instead of sleeping, the policy accounts the
+//! backoff it *would* have waited in the `mabe_retry_backoff_us_total`
+//! counter, so seeded chaos runs stay fast and reproducible while the
+//! accounted latency still shows up in telemetry.
+
+use rand::RngCore;
+
+/// Why a retried operation ultimately failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RetryError<E> {
+    /// A non-transient error: retrying would not help.
+    Fatal(E),
+    /// Every allowed attempt failed with a transient error.
+    GaveUp {
+        /// Attempts performed (including the first).
+        attempts: u32,
+        /// The last transient error observed.
+        last: E,
+    },
+    /// The per-operation virtual deadline was exceeded before the
+    /// attempt budget ran out.
+    DeadlineExceeded {
+        /// Attempts performed before the deadline hit.
+        attempts: u32,
+        /// The last transient error observed.
+        last: E,
+    },
+}
+
+impl<E> RetryError<E> {
+    /// The underlying error, whatever the classification.
+    pub fn into_inner(self) -> E {
+        match self {
+            RetryError::Fatal(e)
+            | RetryError::GaveUp { last: e, .. }
+            | RetryError::DeadlineExceeded { last: e, .. } => e,
+        }
+    }
+}
+
+/// Bounded exponential backoff: `base · 2^attempt`, capped, with
+/// multiplicative jitter drawn from the caller's seeded RNG.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Maximum attempts including the first (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry, in virtual microseconds.
+    pub base_delay_us: u64,
+    /// Backoff ceiling, in virtual microseconds.
+    pub max_delay_us: u64,
+    /// Jitter as a percentage of the computed backoff (0–100): the
+    /// actual wait is uniform in `[backoff·(1-j), backoff·(1+j)]`.
+    pub jitter_pct: u32,
+    /// Total virtual time budget for the operation; once cumulative
+    /// backoff exceeds it, the operation fails with
+    /// [`RetryError::DeadlineExceeded`].
+    pub deadline_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 5,
+            base_delay_us: 200,
+            max_delay_us: 20_000,
+            jitter_pct: 25,
+            deadline_us: 1_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries (one attempt, fail fast).
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The jittered backoff before retry number `attempt` (1-based: the
+    /// wait after the first failure is `backoff_us(1, ..)`).
+    pub fn backoff_us<R: RngCore + ?Sized>(&self, attempt: u32, rng: &mut R) -> u64 {
+        let exp = attempt.saturating_sub(1).min(32);
+        let raw = self
+            .base_delay_us
+            .saturating_mul(1u64 << exp)
+            .min(self.max_delay_us);
+        if self.jitter_pct == 0 || raw == 0 {
+            return raw;
+        }
+        let spread = raw * u64::from(self.jitter_pct) / 100;
+        let lo = raw - spread;
+        let width = 2 * spread + 1;
+        lo + rng.next_u64() % width
+    }
+
+    /// Runs `f` under this policy. `f` receives the attempt number
+    /// (1-based); `is_transient` classifies its errors. Retries and
+    /// give-ups are recorded as `mabe_retries_total{op}` /
+    /// `mabe_giveups_total{op}`, and accumulated virtual backoff as
+    /// `mabe_retry_backoff_us_total`.
+    ///
+    /// # Errors
+    ///
+    /// [`RetryError::Fatal`] on the first non-transient error,
+    /// [`RetryError::GaveUp`] / [`RetryError::DeadlineExceeded`] when the
+    /// attempt or time budget runs out.
+    pub fn run<T, E, R, F, C>(
+        &self,
+        rng: &mut R,
+        op: &'static str,
+        mut f: F,
+        is_transient: C,
+    ) -> Result<T, RetryError<E>>
+    where
+        R: RngCore + ?Sized,
+        F: FnMut(u32) -> Result<T, E>,
+        C: Fn(&E) -> bool,
+    {
+        let registry = mabe_telemetry::global();
+        let mut waited_us = 0u64;
+        let mut attempt = 1u32;
+        loop {
+            match f(attempt) {
+                Ok(v) => return Ok(v),
+                Err(e) if !is_transient(&e) => return Err(RetryError::Fatal(e)),
+                Err(e) => {
+                    if attempt >= self.max_attempts.max(1) {
+                        registry.counter("mabe_giveups_total", &[("op", op)]).inc();
+                        return Err(RetryError::GaveUp {
+                            attempts: attempt,
+                            last: e,
+                        });
+                    }
+                    let backoff = self.backoff_us(attempt, rng);
+                    waited_us = waited_us.saturating_add(backoff);
+                    if waited_us > self.deadline_us {
+                        registry.counter("mabe_giveups_total", &[("op", op)]).inc();
+                        return Err(RetryError::DeadlineExceeded {
+                            attempts: attempt,
+                            last: e,
+                        });
+                    }
+                    registry.counter("mabe_retries_total", &[("op", op)]).inc();
+                    registry
+                        .counter("mabe_retry_backoff_us_total", &[("op", op)])
+                        .add(backoff);
+                    attempt += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn succeeds_first_try_without_backoff() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let out: Result<u32, RetryError<&str>> =
+            RetryPolicy::default().run(&mut rng, "t", |_| Ok(7), |_| true);
+        assert_eq!(out.unwrap(), 7);
+    }
+
+    #[test]
+    fn retries_transient_until_success() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = RetryPolicy::default().run(
+            &mut rng,
+            "t",
+            |attempt| {
+                if attempt < 3 {
+                    Err("flaky")
+                } else {
+                    Ok(attempt)
+                }
+            },
+            |_| true,
+        );
+        assert_eq!(out.unwrap(), 3);
+    }
+
+    #[test]
+    fn fatal_error_short_circuits() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut calls = 0;
+        let out: Result<(), _> = RetryPolicy::default().run(
+            &mut rng,
+            "t",
+            |_| {
+                calls += 1;
+                Err("fatal")
+            },
+            |_| false,
+        );
+        assert_eq!(out, Err(RetryError::Fatal("fatal")));
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn gives_up_after_max_attempts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let out: Result<(), _> = policy.run(&mut rng, "t", |_| Err("down"), |_| true);
+        assert_eq!(
+            out,
+            Err(RetryError::GaveUp {
+                attempts: 3,
+                last: "down"
+            })
+        );
+    }
+
+    #[test]
+    fn deadline_cuts_the_attempt_budget_short() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_delay_us: 400,
+            max_delay_us: 400,
+            jitter_pct: 0,
+            deadline_us: 1_000,
+        };
+        let out: Result<(), _> = policy.run(&mut rng, "t", |_| Err("slow"), |_| true);
+        // 400us, 800us > deadline on the 3rd wait computation.
+        assert!(matches!(out, Err(RetryError::DeadlineExceeded { attempts, .. }) if attempts <= 3));
+    }
+
+    #[test]
+    fn backoff_grows_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay_us: 100,
+            max_delay_us: 1_000,
+            jitter_pct: 0,
+            deadline_us: u64::MAX,
+        };
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(policy.backoff_us(1, &mut rng), 100);
+        assert_eq!(policy.backoff_us(2, &mut rng), 200);
+        assert_eq!(policy.backoff_us(3, &mut rng), 400);
+        assert_eq!(policy.backoff_us(40, &mut rng), 1_000, "capped");
+    }
+
+    #[test]
+    fn jitter_stays_within_bounds_and_is_seeded() {
+        let policy = RetryPolicy {
+            jitter_pct: 25,
+            base_delay_us: 1_000,
+            max_delay_us: 1_000_000,
+            ..RetryPolicy::default()
+        };
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        for attempt in 1..6 {
+            let x = policy.backoff_us(attempt, &mut a);
+            let y = policy.backoff_us(attempt, &mut b);
+            assert_eq!(x, y, "same seed, same jitter");
+            let raw = (1_000u64 << (attempt - 1)).min(1_000_000);
+            assert!(
+                x >= raw - raw / 4 && x <= raw + raw / 4,
+                "{x} out of ±25% of {raw}"
+            );
+        }
+    }
+
+    #[test]
+    fn into_inner_unwraps_every_variant() {
+        assert_eq!(RetryError::Fatal("a").into_inner(), "a");
+        assert_eq!(
+            RetryError::GaveUp {
+                attempts: 2,
+                last: "b"
+            }
+            .into_inner(),
+            "b"
+        );
+        assert_eq!(
+            RetryError::DeadlineExceeded {
+                attempts: 2,
+                last: "c"
+            }
+            .into_inner(),
+            "c"
+        );
+    }
+}

@@ -25,6 +25,20 @@ impl AuthorityId {
         AuthorityId(id)
     }
 
+    /// Fallible constructor for untrusted input (e.g. wire decoding).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseAttributeError`] under the same lexical rules that
+    /// make [`AuthorityId::new`] panic.
+    pub fn try_new(id: impl Into<String>) -> Result<Self, ParseAttributeError> {
+        let id = id.into();
+        if !is_valid_ident(&id) {
+            return Err(ParseAttributeError(format!("{id:?}")));
+        }
+        Ok(AuthorityId(id))
+    }
+
     /// The identifier as a string slice.
     pub fn as_str(&self) -> &str {
         &self.0
