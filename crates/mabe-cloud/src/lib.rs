@@ -16,6 +16,10 @@
 //!   for seeded chaos testing (`mabe-faults`).
 //! * [`recovery`] — the journaled two-phase revocation state machine
 //!   that [`CloudSystem::recover`] rolls forward after a crash.
+//! * [`persist`] — [`DurableSystem`], the write-ahead-logged wrapper:
+//!   every acknowledged mutation journals to a `mabe-store` WAL before
+//!   returning, state checkpoints into snapshots, and
+//!   [`DurableSystem::open`] replays whatever bytes survived a crash.
 //!
 //! This crate substitutes for the authors' physical testbed: entities are
 //! in-process actors, and "network cost" is the serialized size of what
@@ -41,13 +45,15 @@
 
 pub mod audit;
 pub mod concurrent;
+pub mod persist;
 pub mod recovery;
 pub mod server;
 pub mod system;
 pub mod wire;
 
-pub use audit::{AuditEntry, AuditEvent, AuditLog};
+pub use audit::{AuditEntry, AuditEvent, AuditLoadError, AuditLog};
 pub use concurrent::{run_concurrent_reads, ReaderSpec, ThroughputReport};
+pub use persist::{DurableSystem, OpenError, OpenFailure, OpenReport};
 pub use recovery::{PendingRevocation, RevocationStage};
 pub use server::CloudServer;
 pub use system::{fault_points, CloudError, CloudSystem, StorageReport};

@@ -1,0 +1,1561 @@
+//! Durable persistence for the deployment: WAL + snapshots over
+//! [`mabe_store`].
+//!
+//! [`DurableSystem`] wraps a [`CloudSystem`] so that every acknowledged
+//! state mutation is journaled to an append-only, checksummed write-ahead
+//! log **before** the call returns (`acked ⇒ durable`), and the full
+//! system state is periodically checkpointed into a generation-numbered
+//! snapshot. [`DurableSystem::open`] rebuilds the system from whatever
+//! bytes survived a crash: it loads the committed snapshot, replays the
+//! WAL tail, re-verifies the audit hash chain, and rolls every journaled
+//! in-flight revocation forward — the paper's requirement that committed
+//! version keys and update keys are never forgotten (§V).
+//!
+//! # Journal format
+//!
+//! Each WAL record is one complete logical operation:
+//!
+//! * Operations whose outcome depends on the RNG (authority setup, owner
+//!   setup, user registration, revocation re-keying) journal the
+//!   **serialized result** — replay installs the exact sampled secrets
+//!   through the same `install_*` paths the live call used.
+//! * Deterministic operations (grants, syncs, revocation drives) journal
+//!   only their **inputs** — replay re-executes them with faults
+//!   disarmed, regenerating identical state and identical audit entries.
+//! * Revocation journals its intent (`RevocationBegun`, carrying the
+//!   post-`ReKey` authority) *before* any delivery starts, so a crash at
+//!   any later point replays into an in-flight [`PendingRevocation`]
+//!   that recovery drives to completion.
+//!
+//! Because [`AuditLog`](crate::AuditLog) entries are a pure function of
+//! the event order, replay regenerates the byte-identical hash chain —
+//! [`DurableSystem::open`] rejects the store if it does not verify.
+//!
+//! RNG streams, wire accounting and authority up/down flags are
+//! runtime-only: each incarnation gets a fresh seed, and crypto secrets
+//! travel inside the journaled objects, never through the new RNG.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::time::Instant;
+
+use mabe_core::{
+    AttributeAuthority, CiphertextId, DataEnvelope, DataOwner, Error, OwnerId, RevocationEvent,
+    Uid, UpdateKey, UserPublicKey, UserSecretKey, WireCodec,
+};
+use mabe_faults::FaultInjector;
+use mabe_math::Fr;
+use mabe_policy::{Attribute, AuthorityId};
+use mabe_store::{RecoveryReport, Storage, StoreError, Wal};
+
+use crate::audit::{AuditEvent, AuditLoadError, AuditLog};
+use crate::recovery::{PendingRevocation, RevocationStage};
+use crate::server::CloudServer;
+use crate::system::{fault_points, CloudError, CloudSystem};
+
+/// Magic prefix of a system snapshot payload.
+const SNAPSHOT_MAGIC: &[u8; 8] = b"MSYS0001";
+
+/// Fault-point name reported once a durable system has poisoned itself
+/// after a journal-write failure.
+pub const POISONED_POINT: &str = "store.poisoned";
+
+// ---------------------------------------------------------------------
+// Byte helpers (the mabe-core serial primitives are crate-private).
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// `u16`-length-prefixed UTF-8, matching [`mabe_core::read_string`].
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// `u32`-length-prefixed opaque bytes.
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+fn get_bytes(r: &mut mabe_core::Reader<'_>) -> Result<Vec<u8>, Error> {
+    let n = r.u32()? as usize;
+    Ok(r.bytes(n)?.to_vec())
+}
+
+fn put_fr(out: &mut Vec<u8>, v: &Fr) {
+    out.extend_from_slice(&v.to_canonical_bytes());
+}
+
+fn get_fr(r: &mut mabe_core::Reader<'_>) -> Result<Fr, Error> {
+    let bytes = r.bytes(24)?;
+    Fr::from_canonical_bytes(bytes).ok_or(Error::Malformed("non-canonical field element"))
+}
+
+fn get_count(r: &mut mabe_core::Reader<'_>) -> Result<usize, Error> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(Error::Malformed("count exceeds input"));
+    }
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------
+
+/// One journaled logical operation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum WalRecord {
+    /// `add_authority` result: the post-setup authority (all sampled
+    /// version/secret keys and owner registrations included).
+    AuthorityAdded { name: String, authority: Vec<u8> },
+    /// `add_owner` result: the post-install owner.
+    OwnerAdded { owner: Vec<u8> },
+    /// `add_user` result: the CA secret `u` and the public key.
+    UserAdded { u: Fr, pk: Vec<u8> },
+    /// `grant` inputs, caller order preserved (the audit entry's
+    /// rendering depends on it).
+    Granted {
+        uid: String,
+        attributes: Vec<String>,
+    },
+    /// `publish` result: the sealed envelope plus the per-ciphertext
+    /// encryption secrets the owner must retain for re-encryption.
+    Published {
+        owner: String,
+        record: String,
+        envelope: Vec<u8>,
+        secrets: Vec<(u64, Fr)>,
+    },
+    /// A read that reached the audit log (allowed or denied).
+    ReadAudited {
+        uid: String,
+        owner: String,
+        record: String,
+        component: String,
+        allowed: bool,
+    },
+    /// Write-ahead revocation intent: the post-`ReKey` authority and the
+    /// [`RevocationEvent`], journaled before any delivery.
+    RevocationBegun { authority: Vec<u8>, event: Vec<u8> },
+    /// A journaled revocation was driven to completion.
+    RevocationDriven { id: u64, recovered: bool },
+    /// A user went offline (update keys start queueing).
+    UserOffline { uid: String },
+    /// An offline user synced its queued update keys.
+    UserSynced { uid: String },
+}
+
+impl WalRecord {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::AuthorityAdded { name, authority } => {
+                out.push(1);
+                put_str(&mut out, name);
+                put_bytes(&mut out, authority);
+            }
+            WalRecord::OwnerAdded { owner } => {
+                out.push(2);
+                put_bytes(&mut out, owner);
+            }
+            WalRecord::UserAdded { u, pk } => {
+                out.push(3);
+                put_fr(&mut out, u);
+                put_bytes(&mut out, pk);
+            }
+            WalRecord::Granted { uid, attributes } => {
+                out.push(4);
+                put_str(&mut out, uid);
+                put_u32(&mut out, attributes.len() as u32);
+                for a in attributes {
+                    put_str(&mut out, a);
+                }
+            }
+            WalRecord::Published {
+                owner,
+                record,
+                envelope,
+                secrets,
+            } => {
+                out.push(5);
+                put_str(&mut out, owner);
+                put_str(&mut out, record);
+                put_bytes(&mut out, envelope);
+                put_u32(&mut out, secrets.len() as u32);
+                for (id, s) in secrets {
+                    put_u64(&mut out, *id);
+                    put_fr(&mut out, s);
+                }
+            }
+            WalRecord::ReadAudited {
+                uid,
+                owner,
+                record,
+                component,
+                allowed,
+            } => {
+                out.push(6);
+                put_str(&mut out, uid);
+                put_str(&mut out, owner);
+                put_str(&mut out, record);
+                put_str(&mut out, component);
+                out.push(u8::from(*allowed));
+            }
+            WalRecord::RevocationBegun { authority, event } => {
+                out.push(7);
+                put_bytes(&mut out, authority);
+                put_bytes(&mut out, event);
+            }
+            WalRecord::RevocationDriven { id, recovered } => {
+                out.push(8);
+                put_u64(&mut out, *id);
+                out.push(u8::from(*recovered));
+            }
+            WalRecord::UserOffline { uid } => {
+                out.push(9);
+                put_str(&mut out, uid);
+            }
+            WalRecord::UserSynced { uid } => {
+                out.push(10);
+                put_str(&mut out, uid);
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, Error> {
+        let mut r = mabe_core::Reader::new(bytes);
+        let rec = match r.u8()? {
+            1 => WalRecord::AuthorityAdded {
+                name: mabe_core::read_string(&mut r)?,
+                authority: get_bytes(&mut r)?,
+            },
+            2 => WalRecord::OwnerAdded {
+                owner: get_bytes(&mut r)?,
+            },
+            3 => WalRecord::UserAdded {
+                u: get_fr(&mut r)?,
+                pk: get_bytes(&mut r)?,
+            },
+            4 => {
+                let uid = mabe_core::read_string(&mut r)?;
+                let n = get_count(&mut r)?;
+                let mut attributes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    attributes.push(mabe_core::read_string(&mut r)?);
+                }
+                WalRecord::Granted { uid, attributes }
+            }
+            5 => {
+                let owner = mabe_core::read_string(&mut r)?;
+                let record = mabe_core::read_string(&mut r)?;
+                let envelope = get_bytes(&mut r)?;
+                let n = get_count(&mut r)?;
+                let mut secrets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.u64()?;
+                    secrets.push((id, get_fr(&mut r)?));
+                }
+                WalRecord::Published {
+                    owner,
+                    record,
+                    envelope,
+                    secrets,
+                }
+            }
+            6 => WalRecord::ReadAudited {
+                uid: mabe_core::read_string(&mut r)?,
+                owner: mabe_core::read_string(&mut r)?,
+                record: mabe_core::read_string(&mut r)?,
+                component: mabe_core::read_string(&mut r)?,
+                allowed: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(Error::Malformed("bad boolean")),
+                },
+            },
+            7 => WalRecord::RevocationBegun {
+                authority: get_bytes(&mut r)?,
+                event: get_bytes(&mut r)?,
+            },
+            8 => WalRecord::RevocationDriven {
+                id: r.u64()?,
+                recovered: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(Error::Malformed("bad boolean")),
+                },
+            },
+            9 => WalRecord::UserOffline {
+                uid: mabe_core::read_string(&mut r)?,
+            },
+            10 => WalRecord::UserSynced {
+                uid: mabe_core::read_string(&mut r)?,
+            },
+            _ => return Err(Error::Malformed("unknown journal record tag")),
+        };
+        if !r.is_exhausted() {
+            return Err(Error::Malformed("trailing bytes after journal record"));
+        }
+        Ok(rec)
+    }
+}
+
+// ---------------------------------------------------------------------
+// System snapshots
+// ---------------------------------------------------------------------
+
+/// Serializes the full persistent state of a [`CloudSystem`] into a
+/// checkpoint snapshot payload.
+fn encode_system(sys: &CloudSystem) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(SNAPSHOT_MAGIC);
+    put_bytes(&mut out, &sys.ca.to_wire_bytes());
+    put_u32(&mut out, sys.authorities.len() as u32);
+    for aa in sys.authorities.values() {
+        put_bytes(&mut out, &aa.to_wire_bytes());
+    }
+    put_u32(&mut out, sys.owners.len() as u32);
+    for owner in sys.owners.values() {
+        put_bytes(&mut out, &owner.to_wire_bytes());
+    }
+    put_u32(&mut out, sys.users.len() as u32);
+    for (uid, state) in &sys.users {
+        put_str(&mut out, uid.as_str());
+        put_bytes(&mut out, &state.pk.to_wire_bytes());
+        put_u32(&mut out, state.keys.len() as u32);
+        for ((owner, aid), key) in &state.keys {
+            put_str(&mut out, owner.as_str());
+            put_str(&mut out, aid.as_str());
+            put_bytes(&mut out, &key.to_wire_bytes());
+        }
+    }
+    put_u32(&mut out, sys.grants.len() as u32);
+    for (uid, attrs) in &sys.grants {
+        put_str(&mut out, uid.as_str());
+        put_u32(&mut out, attrs.len() as u32);
+        for a in attrs {
+            put_str(&mut out, &a.to_string());
+        }
+    }
+    put_u32(&mut out, sys.offline.len() as u32);
+    for uid in &sys.offline {
+        put_str(&mut out, uid.as_str());
+    }
+    put_u32(&mut out, sys.pending_updates.len() as u32);
+    for (uid, queue) in &sys.pending_updates {
+        put_str(&mut out, uid.as_str());
+        put_u32(&mut out, queue.len() as u32);
+        for (owner, uk) in queue {
+            put_str(&mut out, owner.as_str());
+            put_bytes(&mut out, &uk.to_wire_bytes());
+        }
+    }
+    put_bytes(&mut out, &sys.server.snapshot());
+    put_bytes(&mut out, &sys.audit.save());
+    put_u32(&mut out, sys.in_flight.len() as u32);
+    for (id, pending) in &sys.in_flight {
+        put_u64(&mut out, *id);
+        put_bytes(&mut out, &pending.event.to_wire_bytes());
+        out.push(match pending.stage {
+            RevocationStage::KeyDelivery => 0,
+            RevocationStage::ReEncryption => 1,
+        });
+        out.push(u8::from(pending.fresh_keys_delivered));
+        put_u32(&mut out, pending.delivered_holders.len() as u32);
+        for uid in &pending.delivered_holders {
+            put_str(&mut out, uid.as_str());
+        }
+        put_u32(&mut out, pending.updated_owners.len() as u32);
+        for owner in &pending.updated_owners {
+            put_str(&mut out, owner.as_str());
+        }
+    }
+    put_u64(&mut out, sys.next_revocation);
+    out
+}
+
+fn snap_err(what: &'static str) -> OpenError {
+    OpenError::Snapshot(Error::Malformed(what))
+}
+
+/// Rebuilds a [`CloudSystem`] from a checkpoint snapshot. The restored
+/// system gets a fresh RNG from `seed` and no fault injection; the
+/// caller installs the injector after replay.
+fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
+    let mut sys = CloudSystem::new(seed);
+    let mut r = mabe_core::Reader::new(bytes);
+    if r.bytes(8).map_err(OpenError::Snapshot)? != SNAPSHOT_MAGIC {
+        return Err(snap_err("bad snapshot magic"));
+    }
+    let snap = |e: Error| OpenError::Snapshot(e);
+
+    sys.ca = mabe_core::CertificateAuthority::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?)
+        .map_err(snap)?;
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let aa =
+            AttributeAuthority::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+        if sys.authorities.insert(aa.aid().clone(), aa).is_some() {
+            return Err(snap_err("duplicate authority in snapshot"));
+        }
+    }
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let owner = DataOwner::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+        if sys.owners.insert(owner.id().clone(), owner).is_some() {
+            return Err(snap_err("duplicate owner in snapshot"));
+        }
+    }
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let uid = Uid::new(mabe_core::read_string(&mut r).map_err(snap)?);
+        let pk = UserPublicKey::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+        let mut state = crate::system::UserState {
+            pk,
+            keys: Default::default(),
+        };
+        let k = get_count(&mut r).map_err(snap)?;
+        for _ in 0..k {
+            let owner = OwnerId::new(mabe_core::read_string(&mut r).map_err(snap)?);
+            let aid = AuthorityId::new(mabe_core::read_string(&mut r).map_err(snap)?);
+            let key =
+                UserSecretKey::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+            if state.keys.insert((owner, aid), key).is_some() {
+                return Err(snap_err("duplicate key slot in snapshot"));
+            }
+        }
+        if sys.users.insert(uid, state).is_some() {
+            return Err(snap_err("duplicate user in snapshot"));
+        }
+    }
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let uid = Uid::new(mabe_core::read_string(&mut r).map_err(snap)?);
+        let k = get_count(&mut r).map_err(snap)?;
+        let mut attrs = BTreeSet::new();
+        for _ in 0..k {
+            let raw = mabe_core::read_string(&mut r).map_err(snap)?;
+            let attr: Attribute = raw
+                .parse()
+                .map_err(|_| snap_err("unparseable attribute in snapshot"))?;
+            attrs.insert(attr);
+        }
+        if sys.grants.insert(uid, attrs).is_some() {
+            return Err(snap_err("duplicate grant set in snapshot"));
+        }
+    }
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        sys.offline
+            .insert(Uid::new(mabe_core::read_string(&mut r).map_err(snap)?));
+    }
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let uid = Uid::new(mabe_core::read_string(&mut r).map_err(snap)?);
+        let k = get_count(&mut r).map_err(snap)?;
+        let mut queue = Vec::with_capacity(k);
+        for _ in 0..k {
+            let owner = OwnerId::new(mabe_core::read_string(&mut r).map_err(snap)?);
+            let uk = UpdateKey::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+            queue.push((owner, uk));
+        }
+        if sys.pending_updates.insert(uid, queue).is_some() {
+            return Err(snap_err("duplicate update queue in snapshot"));
+        }
+    }
+    sys.server = CloudServer::restore(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+    sys.audit = AuditLog::load(&get_bytes(&mut r).map_err(snap)?).map_err(OpenError::Audit)?;
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let id = r.u64().map_err(snap)?;
+        let event =
+            RevocationEvent::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+        let stage = match r.u8().map_err(snap)? {
+            0 => RevocationStage::KeyDelivery,
+            1 => RevocationStage::ReEncryption,
+            _ => return Err(snap_err("bad revocation stage")),
+        };
+        let fresh_keys_delivered = match r.u8().map_err(snap)? {
+            0 => false,
+            1 => true,
+            _ => return Err(snap_err("bad boolean")),
+        };
+        let mut delivered_holders = BTreeSet::new();
+        let k = get_count(&mut r).map_err(snap)?;
+        for _ in 0..k {
+            delivered_holders.insert(Uid::new(mabe_core::read_string(&mut r).map_err(snap)?));
+        }
+        let mut updated_owners = BTreeSet::new();
+        let k = get_count(&mut r).map_err(snap)?;
+        for _ in 0..k {
+            updated_owners.insert(OwnerId::new(mabe_core::read_string(&mut r).map_err(snap)?));
+        }
+        let pending = PendingRevocation {
+            id,
+            event,
+            stage,
+            fresh_keys_delivered,
+            delivered_holders,
+            updated_owners,
+        };
+        if sys.in_flight.insert(id, pending).is_some() {
+            return Err(snap_err("duplicate pending revocation in snapshot"));
+        }
+    }
+    sys.next_revocation = r.u64().map_err(snap)?;
+    if !r.is_exhausted() {
+        return Err(snap_err("trailing bytes after snapshot"));
+    }
+    Ok(sys)
+}
+
+// ---------------------------------------------------------------------
+// Replay
+// ---------------------------------------------------------------------
+
+/// Re-applies one journaled record to the system being rebuilt. Runs
+/// with fault injection disarmed — replay must be deterministic.
+fn apply_record(sys: &mut CloudSystem, rec: WalRecord) -> Result<(), CloudError> {
+    match rec {
+        WalRecord::AuthorityAdded { name, authority } => {
+            let aa = AttributeAuthority::from_wire_bytes(&authority)?;
+            let aid = sys.ca.register_authority(&name)?;
+            if &aid != aa.aid() {
+                return Err(CloudError::UnknownEntity(format!(
+                    "journaled authority {} does not match registration {aid}",
+                    aa.aid()
+                )));
+            }
+            sys.install_authority(aa)?;
+        }
+        WalRecord::OwnerAdded { owner } => {
+            sys.install_owner(DataOwner::from_wire_bytes(&owner)?)?;
+        }
+        WalRecord::UserAdded { u, pk } => {
+            let pk = UserPublicKey::from_wire_bytes(&pk)?;
+            sys.ca.import_user(u, pk.clone())?;
+            sys.install_user(pk);
+        }
+        WalRecord::Granted { uid, attributes } => {
+            let uid = Uid::new(uid);
+            let refs: Vec<&str> = attributes.iter().map(String::as_str).collect();
+            sys.grant(&uid, &refs)?;
+        }
+        WalRecord::Published {
+            owner,
+            record,
+            envelope,
+            secrets,
+        } => {
+            let owner_id = OwnerId::new(owner);
+            let envelope = DataEnvelope::from_wire_bytes(&envelope)?;
+            let components: Vec<String> = envelope
+                .components
+                .iter()
+                .map(|c| c.label.clone())
+                .collect();
+            {
+                let owner = sys.owners.get_mut(&owner_id).ok_or_else(|| {
+                    CloudError::UnknownEntity(format!("journaled owner {owner_id}"))
+                })?;
+                for comp in &envelope.components {
+                    let s = secrets
+                        .iter()
+                        .find(|(id, _)| *id == comp.key_ct.id.0)
+                        .map(|(_, s)| *s)
+                        .ok_or_else(|| {
+                            CloudError::UnknownEntity(format!(
+                                "journaled publish missing secret for ciphertext {}",
+                                comp.key_ct.id.0
+                            ))
+                        })?;
+                    owner.adopt_record(
+                        CiphertextId(comp.key_ct.id.0),
+                        s,
+                        comp.key_ct.access.rho().to_vec(),
+                    );
+                }
+            }
+            sys.server.store(owner_id.clone(), &record, envelope);
+            sys.audit.record(AuditEvent::Published {
+                owner: owner_id.to_string(),
+                record,
+                components,
+            });
+        }
+        WalRecord::ReadAudited {
+            uid,
+            owner,
+            record,
+            component,
+            allowed,
+        } => {
+            sys.audit.record(AuditEvent::Read {
+                uid,
+                owner,
+                record,
+                component,
+                allowed,
+            });
+        }
+        WalRecord::RevocationBegun { authority, event } => {
+            // Install the journaled post-ReKey authority, then park the
+            // event exactly as the live call did. Whether it completed
+            // is decided by a later RevocationDriven record (or, absent
+            // one, by recovery after replay).
+            let aa = AttributeAuthority::from_wire_bytes(&authority)?;
+            sys.authorities.insert(aa.aid().clone(), aa);
+            let event = RevocationEvent::from_wire_bytes(&event)?;
+            sys.begin_revocation(event);
+        }
+        WalRecord::RevocationDriven { id, recovered } => {
+            sys.drive_revocation(id, recovered)?;
+        }
+        WalRecord::UserOffline { uid } => {
+            sys.set_offline(&Uid::new(uid));
+        }
+        WalRecord::UserSynced { uid } => {
+            sys.sync_user(&Uid::new(uid))?;
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Open errors / report
+// ---------------------------------------------------------------------
+
+/// Why [`DurableSystem::open`] rejected the surviving bytes.
+#[derive(Debug)]
+pub enum OpenError {
+    /// The backing store failed (corrupt pointer, checksum-failed
+    /// committed snapshot, injected I/O fault).
+    Store(StoreError),
+    /// The checkpoint snapshot payload failed structural validation.
+    Snapshot(Error),
+    /// The audit trail embedded in the snapshot was tampered with or
+    /// reordered.
+    Audit(AuditLoadError),
+    /// WAL record `index` survived the checksum but failed to decode.
+    Record {
+        /// Zero-based position among the replayed records.
+        index: usize,
+        /// The decode failure.
+        error: Error,
+    },
+    /// WAL record `index` decoded but could not be re-applied.
+    Replay {
+        /// Zero-based position among the replayed records.
+        index: usize,
+        /// The replay failure.
+        error: Box<CloudError>,
+    },
+    /// The replayed audit hash chain failed verification.
+    AuditChain,
+    /// Rolling journaled in-flight revocations forward failed.
+    Recovery(Box<CloudError>),
+}
+
+impl fmt::Display for OpenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OpenError::Store(e) => write!(f, "store: {e}"),
+            OpenError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            OpenError::Audit(e) => write!(f, "audit trail: {e}"),
+            OpenError::Record { index, error } => {
+                write!(f, "journal record {index}: {error}")
+            }
+            OpenError::Replay { index, error } => {
+                write!(f, "replaying journal record {index}: {error}")
+            }
+            OpenError::AuditChain => write!(f, "replayed audit chain failed verification"),
+            OpenError::Recovery(e) => write!(f, "recovering in-flight revocations: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpenError {}
+
+/// A failed [`DurableSystem::open`]: the error **plus the backing
+/// store**, handed back so the surviving bytes are never lost — the
+/// caller can inspect them, disarm an injector, and reopen.
+pub struct OpenFailure<S> {
+    /// What went wrong.
+    pub error: OpenError,
+    /// The storage `open` was called with.
+    pub storage: S,
+}
+
+impl<S> fmt::Debug for OpenFailure<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("OpenFailure")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> fmt::Display for OpenFailure<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.error.fmt(f)
+    }
+}
+
+impl<S> std::error::Error for OpenFailure<S> {}
+
+/// What [`DurableSystem::open`] found and rebuilt.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OpenReport {
+    /// Low-level WAL recovery details (generation, salvage, drops).
+    pub wal: RecoveryReport,
+    /// Journal records replayed on top of the snapshot.
+    pub records_replayed: usize,
+    /// In-flight revocations rolled forward to completion during open.
+    pub revocations_recovered: usize,
+    /// Wall-clock open latency in milliseconds.
+    pub duration_ms: u64,
+}
+
+// ---------------------------------------------------------------------
+// DurableSystem
+// ---------------------------------------------------------------------
+
+/// A [`CloudSystem`] whose every acknowledged mutation is journaled to a
+/// write-ahead log and periodically checkpointed, over any
+/// [`Storage`] backend.
+#[derive(Debug)]
+pub struct DurableSystem<S: Storage> {
+    sys: CloudSystem,
+    wal: Wal<S>,
+    ops_since_checkpoint: usize,
+    checkpoint_interval: usize,
+    poisoned: bool,
+}
+
+fn store_to_cloud(e: StoreError) -> CloudError {
+    match e {
+        StoreError::Crashed { point } => CloudError::Crashed { point },
+        StoreError::Transient { point } => CloudError::Storage(point),
+        StoreError::Corrupt(what) => CloudError::Storage(what),
+        StoreError::Missing(what) => CloudError::Storage(what),
+    }
+}
+
+impl<S: Storage> DurableSystem<S> {
+    /// Opens (or initialises) a durable system over `storage` with no
+    /// fault injection on the cloud operations.
+    ///
+    /// # Errors
+    ///
+    /// Any [`OpenError`]; the storage is always handed back inside the
+    /// [`OpenFailure`].
+    pub fn open(storage: S, seed: u64) -> Result<(Self, OpenReport), OpenFailure<S>> {
+        Self::open_with_faults(storage, seed, FaultInjector::none())
+    }
+
+    /// Opens a durable system whose cloud-level operations consult
+    /// `faults`. The injector is installed only **after** snapshot
+    /// restore, replay and recovery complete — reopening is always
+    /// performed against a quiesced system, the way a restarted process
+    /// replays its log before serving traffic.
+    ///
+    /// # Errors
+    ///
+    /// Any [`OpenError`]; the storage is always handed back inside the
+    /// [`OpenFailure`].
+    pub fn open_with_faults(
+        storage: S,
+        seed: u64,
+        faults: FaultInjector,
+    ) -> Result<(Self, OpenReport), OpenFailure<S>> {
+        let start = Instant::now();
+        let (wal, snapshot, records, wal_report) = match Wal::open(storage) {
+            Ok(parts) => parts,
+            Err(failure) => {
+                return Err(OpenFailure {
+                    error: OpenError::Store(failure.error),
+                    storage: failure.store,
+                })
+            }
+        };
+        let mut sys = match &snapshot {
+            Some(bytes) => match decode_system(bytes, seed) {
+                Ok(sys) => sys,
+                Err(error) => {
+                    return Err(OpenFailure {
+                        error,
+                        storage: wal.into_store(),
+                    })
+                }
+            },
+            None => CloudSystem::new(seed),
+        };
+        for (index, payload) in records.iter().enumerate() {
+            let rec = match WalRecord::decode(payload) {
+                Ok(rec) => rec,
+                Err(error) => {
+                    return Err(OpenFailure {
+                        error: OpenError::Record { index, error },
+                        storage: wal.into_store(),
+                    })
+                }
+            };
+            if let Err(e) = apply_record(&mut sys, rec) {
+                return Err(OpenFailure {
+                    error: OpenError::Replay {
+                        index,
+                        error: Box::new(e),
+                    },
+                    storage: wal.into_store(),
+                });
+            }
+        }
+        if !sys.audit.verify() {
+            return Err(OpenFailure {
+                error: OpenError::AuditChain,
+                storage: wal.into_store(),
+            });
+        }
+        sys.faults = faults;
+        let mut durable = DurableSystem {
+            sys,
+            wal,
+            ops_since_checkpoint: records.len(),
+            checkpoint_interval: 64,
+            poisoned: false,
+        };
+        let revocations_recovered = match durable.recover() {
+            Ok(n) => n,
+            Err(e) => {
+                return Err(OpenFailure {
+                    error: OpenError::Recovery(Box::new(e)),
+                    storage: durable.wal.into_store(),
+                })
+            }
+        };
+        let duration_ms = start.elapsed().as_millis() as u64;
+        mabe_telemetry::global()
+            .histogram("mabe_recovery_duration_ms", &[])
+            .record(duration_ms);
+        Ok((
+            durable,
+            OpenReport {
+                wal: wal_report,
+                records_replayed: records.len(),
+                revocations_recovered,
+                duration_ms,
+            },
+        ))
+    }
+
+    fn check_poisoned(&self) -> Result<(), CloudError> {
+        if self.poisoned {
+            return Err(CloudError::Crashed {
+                point: POISONED_POINT,
+            });
+        }
+        Ok(())
+    }
+
+    /// Appends one record and syncs: the op is acknowledged only once
+    /// the journal entry is durable. Any journal failure poisons the
+    /// system — in-memory state may now be ahead of the log, so no
+    /// further mutation is accepted; reopen from storage instead.
+    fn log(&mut self, record: &WalRecord) -> Result<(), CloudError> {
+        let bytes = record.encode();
+        let res = self.wal.append(&bytes).and_then(|()| self.wal.sync());
+        match res {
+            Ok(()) => {
+                self.ops_since_checkpoint += 1;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(store_to_cloud(e))
+            }
+        }
+    }
+
+    fn maybe_checkpoint(&mut self) -> Result<(), CloudError> {
+        if self.ops_since_checkpoint >= self.checkpoint_interval {
+            self.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Forces a checkpoint: the full system state is written as the next
+    /// generation's snapshot and the WAL truncated. A failed checkpoint
+    /// poisons the system (the store may hold a half-written
+    /// generation; the committed one is untouched and reopening
+    /// recovers from it).
+    ///
+    /// # Errors
+    ///
+    /// [`CloudError::Crashed`] / [`CloudError::Storage`] mapped from the
+    /// store failure.
+    pub fn checkpoint(&mut self) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        let payload = encode_system(&self.sys);
+        match self.wal.checkpoint(&payload) {
+            Ok(()) => {
+                self.ops_since_checkpoint = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.poisoned = true;
+                Err(store_to_cloud(e))
+            }
+        }
+    }
+
+    /// Sets how many journaled ops accumulate before an automatic
+    /// checkpoint.
+    pub fn set_checkpoint_interval(&mut self, interval: usize) {
+        self.checkpoint_interval = interval.max(1);
+    }
+
+    /// Registers an attribute authority (durably).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::add_authority`], plus journal
+    /// failures.
+    pub fn add_authority(
+        &mut self,
+        name: &str,
+        attribute_names: &[&str],
+    ) -> Result<AuthorityId, CloudError> {
+        self.check_poisoned()?;
+        let aid = self.sys.add_authority(name, attribute_names)?;
+        let authority = self
+            .sys
+            .authorities
+            .get(&aid)
+            .expect("just added")
+            .to_wire_bytes();
+        self.log(&WalRecord::AuthorityAdded {
+            name: name.to_owned(),
+            authority,
+        })?;
+        self.maybe_checkpoint()?;
+        Ok(aid)
+    }
+
+    /// Registers a data owner (durably).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::add_owner`], plus journal
+    /// failures.
+    pub fn add_owner(&mut self, name: &str) -> Result<OwnerId, CloudError> {
+        self.check_poisoned()?;
+        let id = self.sys.add_owner(name)?;
+        let owner = self
+            .sys
+            .owners
+            .get(&id)
+            .expect("just added")
+            .to_wire_bytes();
+        self.log(&WalRecord::OwnerAdded { owner })?;
+        self.maybe_checkpoint()?;
+        Ok(id)
+    }
+
+    /// Registers a user (durably).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::add_user`], plus journal
+    /// failures.
+    pub fn add_user(&mut self, name: &str) -> Result<Uid, CloudError> {
+        self.check_poisoned()?;
+        let uid = self.sys.add_user(name)?;
+        let (u, pk) = self.sys.ca.export_user(&uid).expect("just registered");
+        self.log(&WalRecord::UserAdded {
+            u,
+            pk: pk.to_wire_bytes(),
+        })?;
+        self.maybe_checkpoint()?;
+        Ok(uid)
+    }
+
+    /// Grants attributes to a user (durably).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::grant`], plus journal failures.
+    pub fn grant(&mut self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        self.sys.grant(uid, attributes)?;
+        self.log(&WalRecord::Granted {
+            uid: uid.to_string(),
+            attributes: attributes.iter().map(|a| (*a).to_owned()).collect(),
+        })?;
+        self.maybe_checkpoint()
+    }
+
+    /// Publishes a record (durably): the sealed envelope and the owner's
+    /// retained encryption secrets are journaled so replay restores both
+    /// the server copy and the owner's ability to re-encrypt it.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::publish`], plus journal failures.
+    pub fn publish(
+        &mut self,
+        owner_id: &OwnerId,
+        record: &str,
+        components: &[(&str, &[u8], &str)],
+    ) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        self.sys.publish(owner_id, record, components)?;
+        let envelope = self
+            .sys
+            .server
+            .fetch(owner_id, record)
+            .expect("just published");
+        let owner = self.sys.owners.get(owner_id).expect("just published");
+        let secrets: Vec<(u64, Fr)> = envelope
+            .components
+            .iter()
+            .map(|c| {
+                let s = owner
+                    .encryption_secret(c.key_ct.id)
+                    .expect("owner sealed this ciphertext");
+                (c.key_ct.id.0, s)
+            })
+            .collect();
+        self.log(&WalRecord::Published {
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            envelope: envelope.to_wire_bytes(),
+            secrets,
+        })?;
+        self.maybe_checkpoint()
+    }
+
+    /// A user reads one component ([`CloudSystem::read`]); the audited
+    /// outcome (allowed or denied) is journaled so the replayed audit
+    /// trail matches the live one.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::read`]; journal failures take
+    /// precedence over the read result.
+    pub fn read(
+        &mut self,
+        uid: &Uid,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+    ) -> Result<Vec<u8>, CloudError> {
+        self.check_poisoned()?;
+        let before = self.sys.audit.entries().len();
+        let result = self.sys.read(uid, owner_id, record, label);
+        self.log_read_if_audited(before, uid, owner_id, record, label, result.is_ok())?;
+        result
+    }
+
+    /// Outsourced-decryption read ([`CloudSystem::read_outsourced`]),
+    /// with the same audit journaling as [`Self::read`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::read_outsourced`]; journal
+    /// failures take precedence.
+    pub fn read_outsourced(
+        &mut self,
+        uid: &Uid,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+    ) -> Result<Vec<u8>, CloudError> {
+        self.check_poisoned()?;
+        let before = self.sys.audit.entries().len();
+        let result = self.sys.read_outsourced(uid, owner_id, record, label);
+        self.log_read_if_audited(before, uid, owner_id, record, label, result.is_ok())?;
+        result
+    }
+
+    /// Journals a `ReadAudited` record iff the underlying call reached
+    /// the audit log (failures before the policy decision — unknown
+    /// record, lost download — are not audited and not journaled).
+    fn log_read_if_audited(
+        &mut self,
+        audit_len_before: usize,
+        uid: &Uid,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+        allowed: bool,
+    ) -> Result<(), CloudError> {
+        if self.sys.audit.entries().len() == audit_len_before {
+            return Ok(());
+        }
+        self.log(&WalRecord::ReadAudited {
+            uid: uid.to_string(),
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            component: label.to_owned(),
+            allowed,
+        })?;
+        self.maybe_checkpoint()
+    }
+
+    /// Marks a user offline (durably).
+    ///
+    /// # Errors
+    ///
+    /// Journal failures only.
+    pub fn set_offline(&mut self, uid: &Uid) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        self.sys.set_offline(uid);
+        self.log(&WalRecord::UserOffline {
+            uid: uid.to_string(),
+        })?;
+        self.maybe_checkpoint()
+    }
+
+    /// Brings an offline user back and replays its queued update keys
+    /// (durably). The sync is journaled only once it fully succeeds; a
+    /// crash mid-sync therefore replays to the pre-sync state with the
+    /// queue intact, and the composed reapplication converges to the
+    /// same key versions (at-least-once delivery, idempotent
+    /// application).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::sync_user`], plus journal
+    /// failures.
+    pub fn sync_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        self.sys.sync_user(uid)?;
+        self.log(&WalRecord::UserSynced {
+            uid: uid.to_string(),
+        })?;
+        self.maybe_checkpoint()
+    }
+
+    /// Revokes one attribute from one user (durably). The write-ahead
+    /// intent — the re-keyed authority plus the full
+    /// [`RevocationEvent`] — is journaled and synced **before** any key
+    /// delivery, so a crash at any point of the two-phase protocol
+    /// replays into an in-flight revocation that recovery completes.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::revoke`], plus journal failures.
+    pub fn revoke(&mut self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
+        let attr: Attribute = attribute
+            .parse()
+            .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
+        let aid = attr.authority().clone();
+        self.precheck_logged(&aid)?;
+        let aa = self.sys.authorities.get_mut(&aid).expect("prechecked");
+        let event = aa.revoke_attribute(uid, &attr, &mut self.sys.rng)?;
+        self.begin_logged(&aid, event)
+    }
+
+    /// User-level revocation at one authority (durably); see
+    /// [`CloudSystem::revoke_user_at`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`CloudSystem::revoke_user_at`], plus journal
+    /// failures.
+    pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
+        self.precheck_logged(aid)?;
+        let aa = self.sys.authorities.get_mut(aid).expect("prechecked");
+        let event = aa.revoke_user(uid, &mut self.sys.rng)?;
+        self.begin_logged(aid, event)
+    }
+
+    /// Full user-level revocation across every authority where the user
+    /// holds attributes (durably); see [`CloudSystem::revoke_user`].
+    ///
+    /// # Errors
+    ///
+    /// Unknown user; propagates per-authority failures.
+    pub fn revoke_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
+        self.check_poisoned()?;
+        let involved: Vec<AuthorityId> = self
+            .sys
+            .grants
+            .get(uid)
+            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?
+            .iter()
+            .map(|a| a.authority().clone())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        for aid in involved {
+            self.revoke_user_at(uid, &aid)?;
+        }
+        Ok(())
+    }
+
+    /// The durable twin of [`CloudSystem::precheck_revocation`]: any
+    /// stalled predecessor at this authority is driven through the
+    /// journaled path so its completion is logged too.
+    fn precheck_logged(&mut self, aid: &AuthorityId) -> Result<(), CloudError> {
+        if !self.sys.authorities.contains_key(aid) {
+            return Err(CloudError::UnknownAuthority(aid.clone()));
+        }
+        if self.sys.down.contains(aid) {
+            return Err(CloudError::AuthorityUnavailable(aid.clone()));
+        }
+        self.sys.local_op(fault_points::REVOKE_REKEY, Some(aid))?;
+        let stalled: Vec<u64> = self
+            .sys
+            .in_flight
+            .iter()
+            .filter(|(_, p)| &p.event.aid == aid)
+            .map(|(id, _)| *id)
+            .collect();
+        for id in stalled {
+            self.drive_logged(id, true)?;
+        }
+        Ok(())
+    }
+
+    /// Journals the intent, parks the pending revocation, and drives it.
+    fn begin_logged(
+        &mut self,
+        aid: &AuthorityId,
+        event: RevocationEvent,
+    ) -> Result<(), CloudError> {
+        let authority = self
+            .sys
+            .authorities
+            .get(aid)
+            .expect("prechecked")
+            .to_wire_bytes();
+        self.log(&WalRecord::RevocationBegun {
+            authority,
+            event: event.to_wire_bytes(),
+        })?;
+        let id = self.sys.begin_revocation(event);
+        self.drive_logged(id, false)?;
+        self.maybe_checkpoint()
+    }
+
+    /// Drives one journaled revocation and logs its completion. A crash
+    /// between the drive and the log replays the revocation as still
+    /// in-flight and recovery re-drives it — every delivery step is
+    /// idempotent, so at-least-once execution is safe.
+    fn drive_logged(&mut self, id: u64, recovered: bool) -> Result<(), CloudError> {
+        self.sys.drive_revocation(id, recovered)?;
+        self.log(&WalRecord::RevocationDriven { id, recovered })
+    }
+
+    /// Rolls every journaled in-flight revocation forward, logging each
+    /// completion. Returns how many converged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first fault that still blocks convergence.
+    pub fn recover(&mut self) -> Result<usize, CloudError> {
+        self.check_poisoned()?;
+        let ids: Vec<u64> = self.sys.in_flight.keys().copied().collect();
+        let mut completed = 0;
+        for id in ids {
+            self.drive_logged(id, true)?;
+            completed += 1;
+        }
+        Ok(completed)
+    }
+
+    /// Read access to the wrapped system (audit trail, server, wire
+    /// accounting, storage report, versions).
+    pub fn system(&self) -> &CloudSystem {
+        &self.sys
+    }
+
+    /// The tamper-evident audit trail.
+    pub fn audit(&self) -> &AuditLog {
+        self.sys.audit()
+    }
+
+    /// Whether any revocation is journaled but not yet converged.
+    pub fn needs_recovery(&self) -> bool {
+        self.sys.needs_recovery()
+    }
+
+    /// Whether a journal-write failure has poisoned this handle (reopen
+    /// from storage to continue).
+    pub fn poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Mutable access to the **cloud-level** fault injector (the store
+    /// has its own, owned by the backend).
+    pub fn faults_mut(&mut self) -> &mut FaultInjector {
+        self.sys.faults_mut()
+    }
+
+    /// The committed checkpoint generation.
+    pub fn generation(&self) -> u64 {
+        self.wal.generation()
+    }
+
+    /// Read access to the backing store.
+    pub fn storage(&self) -> &S {
+        self.wal.store()
+    }
+
+    /// Mutable access to the backing store (e.g. to arm a simulated
+    /// disk's injector mid-run).
+    pub fn storage_mut(&mut self) -> &mut S {
+        self.wal.store_mut()
+    }
+
+    /// Consumes the system, returning the backing store — the crash
+    /// sweep's "power cut": drop everything in memory, keep the disk.
+    pub fn into_storage(self) -> S {
+        self.wal.into_store()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabe_faults::FaultKind;
+    use mabe_store::{store_points, SimDisk};
+
+    const DOC_POLICY: &str = "Doctor@MedOrg";
+    const SHARED_POLICY: &str = "Doctor@MedOrg OR Nurse@MedOrg";
+
+    /// Builds a world exercising **every** journal record type: authority
+    /// and owner setup, two users, grants, two publishes, an offline
+    /// user riding out a revocation, a sync, and an allowed plus a
+    /// denied read.
+    fn full_world(
+        mut ds: DurableSystem<SimDisk>,
+    ) -> (DurableSystem<SimDisk>, Uid, Uid, OwnerId, AuthorityId) {
+        let aid = ds.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
+        let owner = ds.add_owner("hospital").unwrap();
+        let alice = ds.add_user("alice").unwrap();
+        let bob = ds.add_user("bob").unwrap();
+        ds.grant(&alice, &["Doctor@MedOrg"]).unwrap();
+        ds.grant(&bob, &["Nurse@MedOrg"]).unwrap();
+        ds.publish(
+            &owner,
+            "rec-doc",
+            &[("diagnosis", b"doctors only".as_slice(), DOC_POLICY)],
+        )
+        .unwrap();
+        ds.publish(
+            &owner,
+            "rec-shared",
+            &[("note", b"ward note".as_slice(), SHARED_POLICY)],
+        )
+        .unwrap();
+        ds.set_offline(&bob).unwrap();
+        ds.revoke(&alice, "Doctor@MedOrg").unwrap();
+        ds.sync_user(&bob).unwrap();
+        assert_eq!(
+            ds.read(&bob, &owner, "rec-shared", "note").unwrap(),
+            b"ward note"
+        );
+        // Alice was revoked: the denied read is audited (allowed=false).
+        assert!(ds.read(&alice, &owner, "rec-doc", "diagnosis").is_err());
+        (ds, alice, bob, owner, aid)
+    }
+
+    fn open_fresh(seed: u64) -> DurableSystem<SimDisk> {
+        DurableSystem::open(SimDisk::unfaulted(), seed).unwrap().0
+    }
+
+    #[test]
+    fn reopen_after_crash_restores_state_and_audit_chain() {
+        let (ds, alice, bob, owner, aid) = full_world(open_fresh(42));
+        let expected_audit = ds.audit().clone();
+        let expected_version = ds.system().authority_version(&aid);
+        assert!(!ds.needs_recovery());
+
+        let mut disk = ds.into_storage();
+        disk.crash(); // drop anything unsynced — acked ops must survive
+
+        let (mut ds2, report) = DurableSystem::open(disk, 9999).unwrap();
+        assert!(report.records_replayed >= 12, "all ops journaled");
+        assert_eq!(report.revocations_recovered, 0);
+        assert_eq!(
+            ds2.audit(),
+            &expected_audit,
+            "replayed audit chain identical"
+        );
+        assert_eq!(ds2.system().authority_version(&aid), expected_version);
+        assert!(!ds2.needs_recovery());
+
+        // Paper invariants hold in the reopened incarnation: the
+        // non-revoked user still decrypts, the revoked one never does.
+        assert_eq!(
+            ds2.read(&bob, &owner, "rec-shared", "note").unwrap(),
+            b"ward note"
+        );
+        assert!(ds2.read(&alice, &owner, "rec-doc", "diagnosis").is_err());
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_reopen_replays_only_the_tail() {
+        let (mut ds, _, bob, owner, _) = full_world(open_fresh(7));
+        ds.checkpoint().unwrap();
+        let generation = ds.generation();
+        assert!(generation >= 1);
+        // One post-checkpoint op rides in the new generation's log.
+        ds.publish(
+            &owner,
+            "rec-late",
+            &[("x", b"tail".as_slice(), SHARED_POLICY)],
+        )
+        .unwrap();
+        let expected_audit = ds.audit().clone();
+
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let (mut ds2, report) = DurableSystem::open(disk, 1).unwrap();
+        assert!(report.wal.had_snapshot);
+        assert_eq!(report.records_replayed, 1, "only the tail replays");
+        assert_eq!(ds2.generation(), generation);
+        assert_eq!(ds2.audit(), &expected_audit);
+        assert_eq!(ds2.read(&bob, &owner, "rec-late", "x").unwrap(), b"tail");
+    }
+
+    #[test]
+    fn journal_bitflip_fuzz_never_panics_and_fails_typed() {
+        let (ds, _, _, _, _) = full_world(open_fresh(11));
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let log = disk.durable_bytes("wal-0").unwrap().to_vec();
+        let step = (log.len() / 96).max(1);
+        let mut opened = 0usize;
+        for pos in (0..log.len()).step_by(step) {
+            let mut damaged = log.clone();
+            damaged[pos] ^= 1 << (pos % 8);
+            let mut d = SimDisk::unfaulted();
+            d.set_durable("wal.current", 0u64.to_be_bytes().to_vec());
+            d.set_durable("wal-0", damaged);
+            match DurableSystem::open(d, 3) {
+                Ok((sys, report)) => {
+                    // The flip was absorbed by dropping a record suffix:
+                    // whatever prefix survived must be a coherent history.
+                    assert!(sys.audit().verify());
+                    assert!(report.records_replayed <= 14);
+                    opened += 1;
+                }
+                Err(failure) => {
+                    assert!(
+                        matches!(failure.error, OpenError::Store(StoreError::Corrupt(_))),
+                        "pos {pos}: unexpected error {}",
+                        failure.error
+                    );
+                }
+            }
+        }
+        assert!(opened > 0, "some flips must land in droppable payloads");
+    }
+
+    #[test]
+    fn open_failure_hands_back_storage_for_repair() {
+        let mut ds = open_fresh(5);
+        ds.add_authority("Solo", &["A"]).unwrap();
+        ds.checkpoint().unwrap();
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let snap = disk.durable_bytes("snapshot-1").unwrap().to_vec();
+
+        let mut damaged = snap.clone();
+        *damaged.last_mut().unwrap() ^= 0xff;
+        disk.set_durable("snapshot-1", damaged);
+        let failure = DurableSystem::open(disk, 5).unwrap_err();
+        assert!(matches!(
+            failure.error,
+            OpenError::Store(StoreError::Corrupt(_))
+        ));
+        // The surviving bytes come back: repair and reopen.
+        let mut disk = failure.storage;
+        disk.set_durable("snapshot-1", snap);
+        let (ds, report) = DurableSystem::open(disk, 5).unwrap();
+        assert!(report.wal.had_snapshot);
+        assert!(ds
+            .system()
+            .authority_version(&AuthorityId::new("Solo"))
+            .is_some());
+    }
+
+    #[test]
+    fn journal_write_failure_poisons_the_handle() {
+        let mut ds = open_fresh(21);
+        ds.add_authority("MedOrg", &["Doctor"]).unwrap();
+        let alice = ds.add_user("alice").unwrap();
+        let audited = ds.audit().entries().len();
+
+        ds.storage_mut()
+            .injector_mut()
+            .schedule(store_points::APPEND, 1, FaultKind::Crash);
+        let err = ds.grant(&alice, &["Doctor@MedOrg"]).unwrap_err();
+        assert_eq!(
+            err,
+            CloudError::Crashed {
+                point: store_points::APPEND
+            }
+        );
+        // Memory may be ahead of the journal now: the handle refuses
+        // further mutations instead of silently diverging.
+        assert!(ds.poisoned());
+        assert_eq!(
+            ds.add_user("bob").unwrap_err(),
+            CloudError::Crashed {
+                point: POISONED_POINT
+            }
+        );
+
+        // Reopen from the surviving bytes: the unacknowledged grant
+        // never happened.
+        let mut disk = ds.into_storage();
+        disk.crash();
+        disk.injector_mut().disarm();
+        let (ds2, _) = DurableSystem::open(disk, 22).unwrap();
+        assert_eq!(ds2.audit().entries().len(), audited);
+        assert!(ds2
+            .system()
+            .authority_version(&AuthorityId::new("MedOrg"))
+            .is_some());
+    }
+
+    #[test]
+    fn recovery_telemetry_families_export() {
+        let mut ds = open_fresh(31);
+        ds.add_user("solo").unwrap();
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let _ = DurableSystem::open(disk, 32).unwrap();
+
+        let json = mabe_telemetry::global().snapshot_json();
+        let prom = mabe_telemetry::global().prometheus();
+        for family in [
+            "mabe_recovery_duration_ms",
+            "mabe_wal_records_replayed_total",
+        ] {
+            assert!(json.contains(family), "{family} missing from JSON export");
+            assert!(
+                prom.contains(family),
+                "{family} missing from Prometheus export"
+            );
+        }
+    }
+}

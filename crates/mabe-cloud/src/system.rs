@@ -163,10 +163,12 @@ impl From<ParsePolicyError> for CloudError {
     }
 }
 
+/// Per-user runtime state: the CA-issued public key plus every secret
+/// key, slotted by `(owner, authority)`.
 #[derive(Debug)]
-struct UserState {
-    pk: UserPublicKey,
-    keys: BTreeMap<(OwnerId, AuthorityId), UserSecretKey>,
+pub(crate) struct UserState {
+    pub(crate) pk: UserPublicKey,
+    pub(crate) keys: BTreeMap<(OwnerId, AuthorityId), UserSecretKey>,
 }
 
 /// Paper-accounted storage overhead per entity class (Table III).
@@ -185,25 +187,25 @@ pub struct StorageReport {
 /// The complete simulated deployment.
 #[derive(Debug)]
 pub struct CloudSystem {
-    rng: StdRng,
-    ca: CertificateAuthority,
-    authorities: BTreeMap<AuthorityId, AttributeAuthority>,
-    owners: BTreeMap<OwnerId, DataOwner>,
-    users: BTreeMap<Uid, UserState>,
-    grants: BTreeMap<Uid, BTreeSet<Attribute>>,
-    offline: BTreeSet<Uid>,
-    pending_updates: BTreeMap<Uid, Vec<(OwnerId, UpdateKey)>>,
-    server: CloudServer,
-    wire: Wire,
-    audit: AuditLog,
-    faults: FaultInjector,
-    retry: RetryPolicy,
+    pub(crate) rng: StdRng,
+    pub(crate) ca: CertificateAuthority,
+    pub(crate) authorities: BTreeMap<AuthorityId, AttributeAuthority>,
+    pub(crate) owners: BTreeMap<OwnerId, DataOwner>,
+    pub(crate) users: BTreeMap<Uid, UserState>,
+    pub(crate) grants: BTreeMap<Uid, BTreeSet<Attribute>>,
+    pub(crate) offline: BTreeSet<Uid>,
+    pub(crate) pending_updates: BTreeMap<Uid, Vec<(OwnerId, UpdateKey)>>,
+    pub(crate) server: CloudServer,
+    pub(crate) wire: Wire,
+    pub(crate) audit: AuditLog,
+    pub(crate) faults: FaultInjector,
+    pub(crate) retry: RetryPolicy,
     /// Jitter draws come from a dedicated stream so fault schedules never
     /// perturb the crypto determinism of `rng`.
-    retry_rng: StdRng,
-    down: BTreeSet<AuthorityId>,
-    in_flight: BTreeMap<u64, PendingRevocation>,
-    next_revocation: u64,
+    pub(crate) retry_rng: StdRng,
+    pub(crate) down: BTreeSet<AuthorityId>,
+    pub(crate) in_flight: BTreeMap<u64, PendingRevocation>,
+    pub(crate) next_revocation: u64,
 }
 
 impl CloudSystem {
@@ -310,7 +312,12 @@ impl CloudSystem {
                             );
                             Ok(())
                         }
-                        Some(FaultKind::StorageError) => Err(CloudError::Storage(point)),
+                        Some(
+                            FaultKind::StorageError
+                            | FaultKind::TornWrite
+                            | FaultKind::PartialFlush
+                            | FaultKind::ReadCorrupt,
+                        ) => Err(CloudError::Storage(point)),
                         Some(FaultKind::AuthorityDown) => Err(CloudError::Lost { point }),
                         Some(FaultKind::Delay) => {
                             mabe_telemetry::global()
@@ -333,7 +340,7 @@ impl CloudSystem {
     /// Consults the fault injector at a local (non-wire) operation point
     /// under the retry policy. Drop/duplicate/corrupt kinds are
     /// meaningless off the wire and are ignored.
-    fn local_op(
+    pub(crate) fn local_op(
         &mut self,
         point: &'static str,
         aid: Option<&AuthorityId>,
@@ -350,7 +357,15 @@ impl CloudSystem {
                 point,
                 |_| match faults.decide(point) {
                     Some(FaultKind::Crash) => Err(CloudError::Crashed { point }),
-                    Some(FaultKind::StorageError) => Err(CloudError::Storage(point)),
+                    // The disk-level kinds only shape byte survival inside
+                    // mabe-store; on a cloud op they degrade to a transient
+                    // storage error.
+                    Some(
+                        FaultKind::StorageError
+                        | FaultKind::TornWrite
+                        | FaultKind::PartialFlush
+                        | FaultKind::ReadCorrupt,
+                    ) => Err(CloudError::Storage(point)),
                     Some(FaultKind::AuthorityDown) => Err(match aid {
                         Some(a) => CloudError::AuthorityUnavailable(a.clone()),
                         None => CloudError::Lost { point },
@@ -384,16 +399,33 @@ impl CloudSystem {
         attribute_names: &[&str],
     ) -> Result<AuthorityId, CloudError> {
         let aid = self.ca.register_authority(name)?;
-        let mut aa = AttributeAuthority::new(aid.clone(), attribute_names, &mut self.rng);
+        let aa = AttributeAuthority::new(aid.clone(), attribute_names, &mut self.rng);
+        self.install_authority(aa)
+    }
+
+    /// Introduces a (freshly set-up or journal-restored) authority to the
+    /// system: every existing owner not already registered with it
+    /// exchanges `SK_o`, every owner re-learns its public keys, and the
+    /// registration is audited. Factored out of [`Self::add_authority`]
+    /// so durable replay installs the serialized post-setup authority
+    /// through the exact same path (regenerating identical wire
+    /// accounting and audit entries).
+    pub(crate) fn install_authority(
+        &mut self,
+        mut aa: AttributeAuthority,
+    ) -> Result<AuthorityId, CloudError> {
+        let aid = aa.aid().clone();
         for owner in self.owners.values_mut() {
-            let sk = owner.owner_secret_key();
-            self.wire.send(
-                Endpoint::Owner(owner.id().clone()),
-                Endpoint::Authority(aid.clone()),
-                "owner secret key",
-                sk.wire_size(),
-            );
-            aa.register_owner(sk)?;
+            if !aa.has_owner(owner.id()) {
+                let sk = owner.owner_secret_key();
+                self.wire.send(
+                    Endpoint::Owner(owner.id().clone()),
+                    Endpoint::Authority(aid.clone()),
+                    "owner secret key",
+                    sk.wire_size(),
+                );
+                aa.register_owner(sk)?;
+            }
             let pks = aa.public_keys();
             self.wire.send(
                 Endpoint::Authority(aid.clone()),
@@ -422,16 +454,30 @@ impl CloudSystem {
         if self.owners.contains_key(&id) {
             return Err(CloudError::Core(Error::AlreadyRegistered(name.to_owned())));
         }
-        let mut owner = DataOwner::new(id.clone(), &mut self.rng);
+        let owner = DataOwner::new(id.clone(), &mut self.rng);
+        self.install_owner(owner)
+    }
+
+    /// Installs a (fresh or journal-restored) owner: exchanges keys with
+    /// every authority it is not yet registered with, issues this owner's
+    /// user secret keys to every already-granted user, and audits the
+    /// registration. The replay twin of [`Self::install_authority`].
+    pub(crate) fn install_owner(&mut self, mut owner: DataOwner) -> Result<OwnerId, CloudError> {
+        let id = owner.id().clone();
+        if self.owners.contains_key(&id) {
+            return Err(CloudError::Core(Error::AlreadyRegistered(id.to_string())));
+        }
         for (aid, aa) in self.authorities.iter_mut() {
-            let sk = owner.owner_secret_key();
-            self.wire.send(
-                Endpoint::Owner(id.clone()),
-                Endpoint::Authority(aid.clone()),
-                "owner secret key",
-                sk.wire_size(),
-            );
-            aa.register_owner(sk)?;
+            if !aa.has_owner(&id) {
+                let sk = owner.owner_secret_key();
+                self.wire.send(
+                    Endpoint::Owner(id.clone()),
+                    Endpoint::Authority(aid.clone()),
+                    "owner secret key",
+                    sk.wire_size(),
+                );
+                aa.register_owner(sk)?;
+            }
             let pks = aa.public_keys();
             self.wire.send(
                 Endpoint::Authority(aid.clone()),
@@ -471,6 +517,13 @@ impl CloudSystem {
     /// Fails if the UID collides.
     pub fn add_user(&mut self, name: &str) -> Result<Uid, CloudError> {
         let pk = self.ca.register_user(name, &mut self.rng)?;
+        Ok(self.install_user(pk))
+    }
+
+    /// Installs a CA-registered user (fresh or journal-restored): the key
+    /// delivery is byte-accounted, runtime state allocated, and the
+    /// registration audited.
+    pub(crate) fn install_user(&mut self, pk: UserPublicKey) -> Uid {
         let uid = pk.uid.clone();
         self.wire.send(
             Endpoint::Ca,
@@ -489,7 +542,7 @@ impl CloudSystem {
         self.audit.record(AuditEvent::UserAdded {
             uid: uid.to_string(),
         });
-        Ok(uid)
+        uid
     }
 
     /// Grants attributes to a user: the relevant authorities record the
@@ -780,7 +833,7 @@ impl CloudSystem {
     /// in-flight revocation (versions chain, so revocations at one
     /// authority serialize — any crashed predecessor is driven to
     /// completion first).
-    fn precheck_revocation(&mut self, aid: &AuthorityId) -> Result<(), CloudError> {
+    pub(crate) fn precheck_revocation(&mut self, aid: &AuthorityId) -> Result<(), CloudError> {
         if !self.authorities.contains_key(aid) {
             return Err(CloudError::UnknownAuthority(aid.clone()));
         }
@@ -804,7 +857,7 @@ impl CloudSystem {
     /// `Revoked`), removes the revoked grants, purges now-stale queued
     /// update keys for the revoked user at that authority, and parks the
     /// event as a [`PendingRevocation`]. Returns the journal id.
-    fn begin_revocation(&mut self, event: mabe_core::RevocationEvent) -> u64 {
+    pub(crate) fn begin_revocation(&mut self, event: mabe_core::RevocationEvent) -> u64 {
         let id = self.next_revocation;
         self.next_revocation += 1;
         let aid = event.aid.clone();
@@ -852,7 +905,7 @@ impl CloudSystem {
     /// audit log gains `RevocationCompleted` (plus `RevocationRecovered`
     /// when `recovered`); on failure the pending entry is re-parked with
     /// its checkpoints intact so a later drive resumes, not restarts.
-    fn drive_revocation(&mut self, id: u64, recovered: bool) -> Result<(), CloudError> {
+    pub(crate) fn drive_revocation(&mut self, id: u64, recovered: bool) -> Result<(), CloudError> {
         let Some(mut pending) = self.in_flight.remove(&id) else {
             return Ok(());
         };

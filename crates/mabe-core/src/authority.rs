@@ -29,7 +29,7 @@ pub fn attribute_hash(attr: &Attribute) -> Fr {
 /// Everything an attribute revocation produces (paper §V-C Phase 1):
 /// fresh keys for the revoked user, per-owner update keys for everyone
 /// else, and the authority's new public keys.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RevocationEvent {
     /// The authority that performed the revocation.
     pub aid: AuthorityId,
@@ -131,6 +131,12 @@ impl AttributeAuthority {
             owner_pk,
             attr_pks,
         }
+    }
+
+    /// Whether `owner` has already registered its `SK_o` here — lets a
+    /// restore path re-run the registration exchange idempotently.
+    pub fn has_owner(&self, owner: &OwnerId) -> bool {
+        self.owners.contains_key(owner)
     }
 
     /// Receives an owner's `SK_o` over the (modelled) secure channel.
@@ -367,6 +373,93 @@ fn nonzero_scalar<R: RngCore + ?Sized>(rng: &mut R) -> Fr {
     }
 }
 
+// The authority's full private state (version key included) travels only
+// into the deployment's durable snapshots, never over the modelled
+// network — but it uses the same validated wire primitives.
+impl crate::serial::WireCodec for AttributeAuthority {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use crate::serial::{put_attribute, put_fr, put_string};
+        put_string(out, self.aid.as_str());
+        out.extend_from_slice(&self.version_key.version.to_be_bytes());
+        put_fr(out, &self.version_key.alpha);
+        out.extend_from_slice(&(self.attributes.len() as u32).to_be_bytes());
+        for attr in &self.attributes {
+            put_attribute(out, attr);
+        }
+        out.extend_from_slice(&(self.owners.len() as u32).to_be_bytes());
+        for sk in self.owners.values() {
+            sk.encode(out);
+        }
+        out.extend_from_slice(&(self.users.len() as u32).to_be_bytes());
+        for record in self.users.values() {
+            record.pk.encode(out);
+            out.extend_from_slice(&(record.attrs.len() as u32).to_be_bytes());
+            for attr in &record.attrs {
+                put_attribute(out, attr);
+            }
+        }
+    }
+
+    fn decode(r: &mut crate::serial::Reader<'_>) -> Result<Self, Error> {
+        use crate::serial::{get_attribute, get_authority_id, get_count, get_fr};
+        let aid = get_authority_id(r)?;
+        let version = r.u64()?;
+        if version == 0 {
+            return Err(Error::Malformed("authority version must be positive"));
+        }
+        let alpha = get_fr(r)?;
+        if alpha.is_zero() {
+            return Err(Error::Malformed("zero version key"));
+        }
+        let n = get_count(r)?;
+        let mut attributes = BTreeSet::new();
+        for _ in 0..n {
+            let attr = get_attribute(r)?;
+            if attr.authority() != &aid {
+                return Err(Error::Malformed("attribute under wrong authority"));
+            }
+            attributes.insert(attr);
+        }
+        let n = get_count(r)?;
+        let mut owners = BTreeMap::new();
+        for _ in 0..n {
+            let sk = OwnerSecretKey::decode(r)?;
+            if owners.insert(sk.owner.clone(), sk).is_some() {
+                return Err(Error::Malformed("duplicate owner in authority state"));
+            }
+        }
+        let n = get_count(r)?;
+        let mut users = BTreeMap::new();
+        for _ in 0..n {
+            let pk = UserPublicKey::decode(r)?;
+            let m = get_count(r)?;
+            let mut attrs = BTreeSet::new();
+            for _ in 0..m {
+                let attr = get_attribute(r)?;
+                if !attributes.contains(&attr) {
+                    return Err(Error::Malformed("granted attribute outside universe"));
+                }
+                attrs.insert(attr);
+            }
+            let uid = pk.uid.clone();
+            if users.insert(uid, UserRecord { pk, attrs }).is_some() {
+                return Err(Error::Malformed("duplicate user in authority state"));
+            }
+        }
+        Ok(AttributeAuthority {
+            version_key: VersionKey {
+                aid: aid.clone(),
+                version,
+                alpha,
+            },
+            aid,
+            attributes,
+            owners,
+            users,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -555,6 +648,55 @@ mod tests {
             aa.revoke_attribute(&alice.uid, &doctor, &mut r),
             Err(Error::AttributeNotHeld { .. })
         ));
+    }
+
+    #[test]
+    fn authority_state_roundtrips_through_wire_codec() {
+        use crate::serial::WireCodec;
+        let (mut r, _, mut aa, alice) = setup();
+        let owner = OwnerId::new("o");
+        let mk = OwnerMasterKey::random(&mut r);
+        aa.register_owner(mk.secret_key(&owner)).unwrap();
+        let doctor: Attribute = "Doctor@MedOrg".parse().unwrap();
+        let nurse: Attribute = "Nurse@MedOrg".parse().unwrap();
+        aa.grant(&alice, [doctor.clone(), nurse]).unwrap();
+        // Bump the version so non-trivial version keys are exercised.
+        aa.revoke_attribute(&alice.uid, &doctor, &mut r).unwrap();
+
+        let bytes = aa.to_wire_bytes();
+        let restored = AttributeAuthority::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(restored.aid(), aa.aid());
+        assert_eq!(restored.version(), aa.version());
+        assert_eq!(restored.attributes(), aa.attributes());
+        assert_eq!(restored.public_keys(), aa.public_keys());
+        assert!(restored.has_owner(&owner));
+        assert_eq!(
+            restored.granted_attributes(&alice.uid).unwrap(),
+            aa.granted_attributes(&alice.uid).unwrap()
+        );
+        // Keys issued by the restored authority are byte-identical:
+        // restart must be invisible to key material.
+        assert_eq!(
+            restored.keygen(&alice.uid, &owner).unwrap(),
+            aa.keygen(&alice.uid, &owner).unwrap()
+        );
+
+        // Truncation and trailing bytes fail cleanly.
+        for cut in (0..bytes.len()).step_by((bytes.len() / 29).max(1)) {
+            assert!(AttributeAuthority::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(AttributeAuthority::from_wire_bytes(&extended).is_err());
+
+        // A granted attribute outside the universe is rejected.
+        let mut forged = bytes.clone();
+        // (single-bit corruption sweep: must never panic)
+        for pos in (0..forged.len()).step_by((forged.len() / 41).max(1)) {
+            forged[pos] ^= 0x01;
+            let _ = AttributeAuthority::from_wire_bytes(&forged);
+            forged[pos] ^= 0x01;
+        }
     }
 
     #[test]

@@ -26,8 +26,8 @@ pub struct CertificateAuthority {
 #[derive(Debug)]
 struct RegisteredUser {
     /// The CA-held exponent `u`; kept only so re-registration can be
-    /// detected and audits performed — never used for decryption.
-    #[allow(dead_code)]
+    /// detected, audits performed, and registrations restored from
+    /// durable state — never used for decryption.
     u: Fr,
     pk: UserPublicKey,
 }
@@ -98,6 +98,66 @@ impl CertificateAuthority {
     pub fn user_count(&self) -> usize {
         self.users.len()
     }
+
+    /// Exports a registration (`u`, `PK_UID`) for durable journaling.
+    pub fn export_user(&self, uid: &Uid) -> Option<(Fr, UserPublicKey)> {
+        self.users.get(uid).map(|r| (r.u, r.pk.clone()))
+    }
+
+    /// Re-installs a registration exported by [`Self::export_user`],
+    /// revalidating `PK_UID = g^u`.
+    ///
+    /// # Errors
+    ///
+    /// * [`Error::Malformed`] if the key does not match the exponent.
+    /// * [`Error::AlreadyRegistered`] if the UID is taken.
+    pub fn import_user(&mut self, u: Fr, pk: UserPublicKey) -> Result<(), Error> {
+        if u.is_zero() || pk.pk != G1Affine::from(mabe_math::generator_mul(&u)) {
+            return Err(Error::Malformed("public key does not match exponent"));
+        }
+        if self.users.contains_key(&pk.uid) {
+            return Err(Error::AlreadyRegistered(pk.uid.to_string()));
+        }
+        self.users.insert(pk.uid.clone(), RegisteredUser { u, pk });
+        Ok(())
+    }
+}
+
+// CA state travels only into durable snapshots (it holds the user
+// exponents), reusing the validated wire primitives.
+impl crate::serial::WireCodec for CertificateAuthority {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use crate::serial::{put_fr, put_string};
+        out.extend_from_slice(&(self.users.len() as u32).to_be_bytes());
+        for record in self.users.values() {
+            put_fr(out, &record.u);
+            record.pk.encode(out);
+        }
+        out.extend_from_slice(&(self.authorities.len() as u32).to_be_bytes());
+        for aid in &self.authorities {
+            put_string(out, aid.as_str());
+        }
+    }
+
+    fn decode(r: &mut crate::serial::Reader<'_>) -> Result<Self, Error> {
+        use crate::serial::{get_authority_id, get_count, get_fr};
+        let mut ca = CertificateAuthority::new();
+        let n = get_count(r)?;
+        for _ in 0..n {
+            let u = get_fr(r)?;
+            let pk = UserPublicKey::decode(r)?;
+            ca.import_user(u, pk)?;
+        }
+        let n = get_count(r)?;
+        for _ in 0..n {
+            let aid = get_authority_id(r)?;
+            if ca.authorities.contains(&aid) {
+                return Err(Error::Malformed("duplicate authority in CA state"));
+            }
+            ca.authorities.push(aid);
+        }
+        Ok(ca)
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +209,53 @@ mod tests {
         assert!(matches!(
             ca.user_public_key(&Uid::new("ghost")),
             Err(Error::UnknownUser(_))
+        ));
+    }
+
+    #[test]
+    fn ca_state_roundtrips_through_wire_codec() {
+        use crate::serial::WireCodec;
+        let mut ca = CertificateAuthority::new();
+        let mut r = rng();
+        let alice = ca.register_user("alice", &mut r).unwrap();
+        ca.register_user("bob", &mut r).unwrap();
+        ca.register_authority("MedOrg").unwrap();
+        ca.register_authority("Trial").unwrap();
+
+        let bytes = ca.to_wire_bytes();
+        let restored = CertificateAuthority::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(restored.user_count(), 2);
+        assert_eq!(restored.authorities(), ca.authorities());
+        assert_eq!(
+            restored.user_public_key(&Uid::new("alice")).unwrap(),
+            &alice
+        );
+        assert_eq!(
+            restored.export_user(&Uid::new("bob")),
+            ca.export_user(&Uid::new("bob"))
+        );
+
+        for cut in 0..bytes.len() {
+            assert!(CertificateAuthority::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn import_user_rejects_mismatched_key() {
+        let mut ca = CertificateAuthority::new();
+        let mut r = rng();
+        let pk = ca.register_user("alice", &mut r).unwrap();
+        let (u, _) = ca.export_user(&Uid::new("alice")).unwrap();
+        let mut other = CertificateAuthority::new();
+        let wrong = Fr::random(&mut r);
+        assert!(matches!(
+            other.import_user(wrong, pk.clone()),
+            Err(Error::Malformed(_))
+        ));
+        other.import_user(u, pk.clone()).unwrap();
+        assert!(matches!(
+            other.import_user(u, pk),
+            Err(Error::AlreadyRegistered(_))
         ));
     }
 

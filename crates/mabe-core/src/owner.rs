@@ -235,6 +235,126 @@ impl DataOwner {
     pub fn random_content_key<R: RngCore + ?Sized>(rng: &mut R) -> Gt {
         Gt::random(rng)
     }
+
+    /// The retained encryption exponent `s` of one ciphertext (durable
+    /// journaling needs it; without `s` the owner cannot regenerate
+    /// update information after a restart).
+    pub fn encryption_secret(&self, id: CiphertextId) -> Option<Fr> {
+        self.records.get(&id).map(|r| r.s)
+    }
+
+    /// Re-installs a ciphertext record captured by
+    /// [`Self::encryption_secret`] (journal replay): the exponent `s`
+    /// plus the row labelling, keyed by the original id. Advances the id
+    /// counter past `id` so later encryptions never collide.
+    pub fn adopt_record(&mut self, id: CiphertextId, s: Fr, attributes: Vec<Attribute>) {
+        self.records.insert(id, EncryptionRecord { s, attributes });
+        self.next_id = self.next_id.max(id.0 + 1);
+    }
+}
+
+// Owner state (master key and per-ciphertext exponents included) travels
+// only into durable snapshots, reusing the validated wire primitives.
+impl crate::serial::WireCodec for DataOwner {
+    fn encode(&self, out: &mut Vec<u8>) {
+        use crate::serial::{put_attribute, put_fr, put_g1, put_string};
+        put_string(out, self.id.as_str());
+        put_fr(out, &self.mk.beta);
+        put_fr(out, &self.mk.r);
+        out.extend_from_slice(&(self.authority_keys.len() as u32).to_be_bytes());
+        for keys in self.authority_keys.values() {
+            keys.encode(out);
+        }
+        out.extend_from_slice(&(self.attr_pk_history.len() as u32).to_be_bytes());
+        for ((aid, version), pks) in &self.attr_pk_history {
+            put_string(out, aid.as_str());
+            out.extend_from_slice(&version.to_be_bytes());
+            out.extend_from_slice(&(pks.len() as u32).to_be_bytes());
+            for (attr, pk) in pks {
+                put_attribute(out, attr);
+                put_g1(out, pk);
+            }
+        }
+        out.extend_from_slice(&(self.records.len() as u32).to_be_bytes());
+        for (id, record) in &self.records {
+            out.extend_from_slice(&id.0.to_be_bytes());
+            put_fr(out, &record.s);
+            out.extend_from_slice(&(record.attributes.len() as u32).to_be_bytes());
+            for attr in &record.attributes {
+                put_attribute(out, attr);
+            }
+        }
+        out.extend_from_slice(&self.next_id.to_be_bytes());
+    }
+
+    fn decode(r: &mut crate::serial::Reader<'_>) -> Result<Self, Error> {
+        use crate::serial::{
+            get_attribute, get_authority_id, get_count, get_fr, get_g1, get_owner_id,
+        };
+        let id = get_owner_id(r)?;
+        let beta = get_fr(r)?;
+        let mk_r = get_fr(r)?;
+        if beta.is_zero() || mk_r.is_zero() {
+            return Err(Error::Malformed("zero owner master key component"));
+        }
+        let n = get_count(r)?;
+        let mut authority_keys = BTreeMap::new();
+        for _ in 0..n {
+            let keys = AuthorityPublicKeys::decode(r)?;
+            if authority_keys.insert(keys.aid.clone(), keys).is_some() {
+                return Err(Error::Malformed("duplicate authority in owner state"));
+            }
+        }
+        let n = get_count(r)?;
+        let mut attr_pk_history = BTreeMap::new();
+        for _ in 0..n {
+            let aid = get_authority_id(r)?;
+            let version = r.u64()?;
+            let m = get_count(r)?;
+            let mut pks = BTreeMap::new();
+            for _ in 0..m {
+                let attr = get_attribute(r)?;
+                if attr.authority() != &aid {
+                    return Err(Error::Malformed("attribute under wrong authority"));
+                }
+                pks.insert(attr, get_g1(r)?);
+            }
+            if attr_pk_history.insert((aid, version), pks).is_some() {
+                return Err(Error::Malformed("duplicate history entry in owner state"));
+            }
+        }
+        let n = get_count(r)?;
+        let mut records = BTreeMap::new();
+        let mut max_id = 0u64;
+        for _ in 0..n {
+            let ct_id = CiphertextId(r.u64()?);
+            let s = get_fr(r)?;
+            let m = get_count(r)?;
+            let mut attributes = Vec::with_capacity(m);
+            for _ in 0..m {
+                attributes.push(get_attribute(r)?);
+            }
+            max_id = max_id.max(ct_id.0);
+            if records
+                .insert(ct_id, EncryptionRecord { s, attributes })
+                .is_some()
+            {
+                return Err(Error::Malformed("duplicate ciphertext record"));
+            }
+        }
+        let next_id = r.u64()?;
+        if next_id <= max_id {
+            return Err(Error::Malformed("ciphertext id counter behind records"));
+        }
+        Ok(DataOwner {
+            id,
+            mk: OwnerMasterKey { beta, r: mk_r },
+            authority_keys,
+            attr_pk_history,
+            records,
+            next_id,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +468,84 @@ mod tests {
         ));
         assert_eq!(owner.known_version(&aid), Some(1));
         assert_eq!(owner.known_version(&AuthorityId::new("Nowhere")), None);
+    }
+
+    #[test]
+    fn owner_state_roundtrips_through_wire_codec() {
+        use crate::serial::WireCodec;
+        let mut rng = StdRng::seed_from_u64(81);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Med").unwrap();
+        let mut aa = AttributeAuthority::new(aid.clone(), &["Doctor", "Nurse"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        aa.register_owner(owner.owner_secret_key()).unwrap();
+        owner.learn_authority_keys(aa.public_keys());
+        let msg = Gt::random(&mut rng);
+        let ct = owner
+            .encrypt_message(&msg, &parse("Doctor@Med OR Nurse@Med").unwrap(), &mut rng)
+            .unwrap();
+        // Bump to version 2 so the history map has two entries.
+        let uid = crate::ids::Uid::new("ghost");
+        aa.grant(
+            &ca.register_user("ghost", &mut rng).unwrap(),
+            ["Doctor@Med".parse().unwrap()],
+        )
+        .unwrap();
+        let event = aa
+            .revoke_attribute(&uid, &"Doctor@Med".parse().unwrap(), &mut rng)
+            .unwrap();
+        owner
+            .apply_update_key(event.update_keys.get(&OwnerId::new("o")).unwrap())
+            .unwrap();
+
+        let bytes = owner.to_wire_bytes();
+        let restored = DataOwner::from_wire_bytes(&bytes).unwrap();
+        assert_eq!(restored.id(), owner.id());
+        assert_eq!(restored.owner_secret_key(), owner.owner_secret_key());
+        assert_eq!(restored.known_version(&aid), owner.known_version(&aid));
+        assert_eq!(restored.ciphertext_count(), owner.ciphertext_count());
+        assert_eq!(
+            restored.encryption_secret(ct.id),
+            owner.encryption_secret(ct.id)
+        );
+        // The restored owner regenerates identical update information —
+        // the property replay actually depends on.
+        assert_eq!(
+            restored.update_info_for(ct.id, &aid, 1, 2).unwrap(),
+            owner.update_info_for(ct.id, &aid, 1, 2).unwrap()
+        );
+
+        for cut in (0..bytes.len()).step_by((bytes.len() / 31).max(1)) {
+            assert!(DataOwner::from_wire_bytes(&bytes[..cut]).is_err());
+        }
+        let mut extended = bytes.clone();
+        extended.push(7);
+        assert!(DataOwner::from_wire_bytes(&extended).is_err());
+    }
+
+    #[test]
+    fn adopt_record_advances_id_counter() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let mut ca = CertificateAuthority::new();
+        let aid = ca.register_authority("Med").unwrap();
+        let mut aa = AttributeAuthority::new(aid, &["Doctor"], &mut rng);
+        let mut owner = DataOwner::new(OwnerId::new("o"), &mut rng);
+        aa.register_owner(owner.owner_secret_key()).unwrap();
+        owner.learn_authority_keys(aa.public_keys());
+        owner.adopt_record(
+            CiphertextId(9),
+            Fr::from_u64(3),
+            vec!["Doctor@Med".parse().unwrap()],
+        );
+        assert_eq!(
+            owner.encryption_secret(CiphertextId(9)),
+            Some(Fr::from_u64(3))
+        );
+        let msg = Gt::random(&mut rng);
+        let ct = owner
+            .encrypt_message(&msg, &parse("Doctor@Med").unwrap(), &mut rng)
+            .unwrap();
+        assert_eq!(ct.id, CiphertextId(10));
     }
 
     #[test]

@@ -112,7 +112,7 @@ impl<'a> Reader<'a> {
 
 // ---------- primitive codecs ----------
 
-fn put_string(out: &mut Vec<u8>, s: &str) {
+pub(crate) fn put_string(out: &mut Vec<u8>, s: &str) {
     let bytes = s.as_bytes();
     assert!(
         bytes.len() <= u16::MAX as usize,
@@ -122,7 +122,7 @@ fn put_string(out: &mut Vec<u8>, s: &str) {
     out.extend_from_slice(bytes);
 }
 
-fn get_string(r: &mut Reader<'_>) -> Result<String, Error> {
+pub(crate) fn get_string(r: &mut Reader<'_>) -> Result<String, Error> {
     let len = r.u16()? as usize;
     let bytes = r.take(len)?;
     String::from_utf8(bytes.to_vec()).map_err(|_| Error::Malformed("non-utf8 string"))
@@ -139,52 +139,52 @@ pub fn read_string(r: &mut Reader<'_>) -> Result<String, Error> {
     get_string(r)
 }
 
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
     assert!(b.len() <= u32::MAX as usize);
     out.extend_from_slice(&(b.len() as u32).to_be_bytes());
     out.extend_from_slice(b);
 }
 
-fn get_bytes(r: &mut Reader<'_>) -> Result<Vec<u8>, Error> {
+pub(crate) fn get_bytes(r: &mut Reader<'_>) -> Result<Vec<u8>, Error> {
     let len = r.u32()? as usize;
     Ok(r.take(len)?.to_vec())
 }
 
-fn put_g1(out: &mut Vec<u8>, p: &G1Affine) {
+pub(crate) fn put_g1(out: &mut Vec<u8>, p: &G1Affine) {
     out.extend_from_slice(&p.to_bytes());
 }
 
-fn get_g1(r: &mut Reader<'_>) -> Result<G1Affine, Error> {
+pub(crate) fn get_g1(r: &mut Reader<'_>) -> Result<G1Affine, Error> {
     G1Affine::from_bytes(r.take(65)?).ok_or(Error::Malformed("invalid group element"))
 }
 
-fn put_gt(out: &mut Vec<u8>, e: &Gt) {
+pub(crate) fn put_gt(out: &mut Vec<u8>, e: &Gt) {
     out.extend_from_slice(&e.to_bytes());
 }
 
-fn get_gt(r: &mut Reader<'_>) -> Result<Gt, Error> {
+pub(crate) fn get_gt(r: &mut Reader<'_>) -> Result<Gt, Error> {
     Gt::from_bytes(r.take(128)?).ok_or(Error::Malformed("invalid target-group element"))
 }
 
 /// Scalars travel as 20 big-endian bytes (the group order is 160 bits).
-fn put_fr(out: &mut Vec<u8>, x: &Fr) {
+pub(crate) fn put_fr(out: &mut Vec<u8>, x: &Fr) {
     let full = x.to_canonical_bytes(); // 24 bytes, top 4 always zero
     debug_assert!(full[..4].iter().all(|&b| b == 0));
     out.extend_from_slice(&full[4..]);
 }
 
-fn get_fr(r: &mut Reader<'_>) -> Result<Fr, Error> {
+pub(crate) fn get_fr(r: &mut Reader<'_>) -> Result<Fr, Error> {
     let raw = r.take(20)?;
     let mut full = [0u8; 24];
     full[4..].copy_from_slice(raw);
     Fr::from_canonical_bytes(&full).ok_or(Error::Malformed("scalar out of range"))
 }
 
-fn put_attribute(out: &mut Vec<u8>, a: &Attribute) {
+pub(crate) fn put_attribute(out: &mut Vec<u8>, a: &Attribute) {
     put_string(out, &a.to_string());
 }
 
-fn get_attribute(r: &mut Reader<'_>) -> Result<Attribute, Error> {
+pub(crate) fn get_attribute(r: &mut Reader<'_>) -> Result<Attribute, Error> {
     get_string(r)?
         .parse()
         .map_err(|_| Error::Malformed("invalid attribute literal"))
@@ -194,11 +194,11 @@ fn get_attribute(r: &mut Reader<'_>) -> Result<Attribute, Error> {
 // assert on invalid input — fine for programmer-supplied literals, fatal
 // for wire bytes. These guards turn those panics into `Malformed`.
 
-fn get_authority_id(r: &mut Reader<'_>) -> Result<AuthorityId, Error> {
+pub(crate) fn get_authority_id(r: &mut Reader<'_>) -> Result<AuthorityId, Error> {
     AuthorityId::try_new(get_string(r)?).map_err(|_| Error::Malformed("invalid authority id"))
 }
 
-fn get_uid(r: &mut Reader<'_>) -> Result<Uid, Error> {
+pub(crate) fn get_uid(r: &mut Reader<'_>) -> Result<Uid, Error> {
     let s = get_string(r)?;
     if s.is_empty() {
         return Err(Error::Malformed("empty uid"));
@@ -206,7 +206,7 @@ fn get_uid(r: &mut Reader<'_>) -> Result<Uid, Error> {
     Ok(Uid::new(s))
 }
 
-fn get_owner_id(r: &mut Reader<'_>) -> Result<OwnerId, Error> {
+pub(crate) fn get_owner_id(r: &mut Reader<'_>) -> Result<OwnerId, Error> {
     let s = get_string(r)?;
     if s.is_empty() {
         return Err(Error::Malformed("empty owner id"));
@@ -216,7 +216,7 @@ fn get_owner_id(r: &mut Reader<'_>) -> Result<OwnerId, Error> {
 
 const MAX_MAP_ENTRIES: u32 = 1 << 20;
 
-fn get_count(r: &mut Reader<'_>) -> Result<usize, Error> {
+pub(crate) fn get_count(r: &mut Reader<'_>) -> Result<usize, Error> {
     let n = r.u32()?;
     if n > MAX_MAP_ENTRIES {
         return Err(Error::Malformed("implausible entry count"));
@@ -557,6 +557,83 @@ impl WireCodec for Ciphertext {
     }
 }
 
+impl WireCodec for crate::authority::RevocationEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        put_string(out, self.aid.as_str());
+        out.extend_from_slice(&self.from_version.to_be_bytes());
+        out.extend_from_slice(&self.to_version.to_be_bytes());
+        put_string(out, self.revoked_uid.as_str());
+        out.extend_from_slice(&(self.revoked_attributes.len() as u32).to_be_bytes());
+        for attr in &self.revoked_attributes {
+            put_attribute(out, attr);
+        }
+        out.extend_from_slice(&(self.update_keys.len() as u32).to_be_bytes());
+        for uk in self.update_keys.values() {
+            uk.encode(out);
+        }
+        out.extend_from_slice(&(self.revoked_user_keys.len() as u32).to_be_bytes());
+        for key in self.revoked_user_keys.values() {
+            key.encode(out);
+        }
+        self.new_public_keys.encode(out);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Result<Self, Error> {
+        let aid = get_authority_id(r)?;
+        let from_version = r.u64()?;
+        let to_version = r.u64()?;
+        if to_version != from_version + 1 {
+            return Err(Error::Malformed("revocation must bump version by one"));
+        }
+        let revoked_uid = get_uid(r)?;
+        let n = get_count(r)?;
+        let mut revoked_attributes = std::collections::BTreeSet::new();
+        for _ in 0..n {
+            let attr = get_attribute(r)?;
+            if attr.authority() != &aid {
+                return Err(Error::Malformed("attribute under wrong authority"));
+            }
+            revoked_attributes.insert(attr);
+        }
+        let n = get_count(r)?;
+        let mut update_keys = BTreeMap::new();
+        for _ in 0..n {
+            let uk = UpdateKey::decode(r)?;
+            if uk.aid != aid || uk.from_version != from_version || uk.to_version != to_version {
+                return Err(Error::Malformed("update key outside this revocation"));
+            }
+            if update_keys.insert(uk.owner.clone(), uk).is_some() {
+                return Err(Error::Malformed("duplicate owner update key"));
+            }
+        }
+        let n = get_count(r)?;
+        let mut revoked_user_keys = BTreeMap::new();
+        for _ in 0..n {
+            let key = UserSecretKey::decode(r)?;
+            if key.aid != aid || key.uid != revoked_uid || key.version != to_version {
+                return Err(Error::Malformed("fresh key outside this revocation"));
+            }
+            if revoked_user_keys.insert(key.owner.clone(), key).is_some() {
+                return Err(Error::Malformed("duplicate owner fresh key"));
+            }
+        }
+        let new_public_keys = AuthorityPublicKeys::decode(r)?;
+        if new_public_keys.aid != aid || new_public_keys.version != to_version {
+            return Err(Error::Malformed("public keys outside this revocation"));
+        }
+        Ok(crate::authority::RevocationEvent {
+            aid,
+            from_version,
+            to_version,
+            revoked_uid,
+            revoked_attributes,
+            update_keys,
+            revoked_user_keys,
+            new_public_keys,
+        })
+    }
+}
+
 impl WireCodec for SealedComponent {
     fn encode(&self, out: &mut Vec<u8>) {
         put_string(out, &self.label);
@@ -727,6 +804,28 @@ mod tests {
         w.owner.apply_update_key(&uk).unwrap();
         let ui = w.owner.update_info_for(ct.id, w.aa.aid(), 1, 2).unwrap();
         roundtrip(&ui);
+    }
+
+    #[test]
+    fn revocation_event_roundtrip() {
+        let mut w = world();
+        let attr: Attribute = "a@Org".parse().unwrap();
+        let event =
+            w.aa.revoke_attribute(&w.user.uid, &attr, &mut w.rng)
+                .unwrap();
+        roundtrip(&event);
+
+        // Cross-field tampering is rejected: an update key claiming a
+        // different version window cannot ride inside the event.
+        let mut forged = event.clone();
+        for uk in forged.update_keys.values_mut() {
+            uk.from_version += 1;
+            uk.to_version += 1;
+        }
+        assert!(matches!(
+            crate::authority::RevocationEvent::from_wire_bytes(&forged.to_wire_bytes()),
+            Err(Error::Malformed(_))
+        ));
     }
 
     #[test]

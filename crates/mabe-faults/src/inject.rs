@@ -96,6 +96,15 @@ impl FaultInjector {
         Some(kind)
     }
 
+    /// Schedules `kind` to fire on the `nth` subsequent hit (1-based) of
+    /// `point`, counted from the hits already observed — so harnesses can
+    /// plant faults into an injector that is already running.
+    pub fn schedule(&mut self, point: &'static str, nth: u64, kind: FaultKind) {
+        assert!(nth >= 1, "hits are 1-based");
+        let at = self.hits(point) + nth;
+        self.plan.scheduled.insert((point, at), kind);
+    }
+
     /// Stops injecting (hit counters keep advancing). Used by chaos
     /// suites to "clear" faults before asserting convergence.
     pub fn disarm(&mut self) {
@@ -125,6 +134,17 @@ impl FaultInjector {
         }
         let bit = self.rng.next_u64() as usize % (bytes.len() * 8);
         bytes[bit / 8] ^= 1 << (bit % 8);
+    }
+
+    /// Seeded strict-prefix length for torn writes and partial flushes:
+    /// how many of `len` pending bytes survive, in `[0, len)`. Zero
+    /// input yields zero. Draws from the same RNG stream as rate rules,
+    /// so schedules that tear writes stay replayable by seed.
+    pub fn partial_len(&mut self, len: usize) -> usize {
+        if len == 0 {
+            return 0;
+        }
+        self.rng.next_u64() as usize % len
     }
 
     /// Virtual microseconds one [`FaultKind::Delay`] costs.
@@ -242,6 +262,73 @@ mod tests {
         inj.arm();
         assert!(inj.decide("p").is_some());
         assert_eq!(inj.injected(FaultKind::Drop), 2);
+    }
+
+    #[test]
+    fn storage_kinds_schedule_and_replay_deterministically() {
+        let plan = |seed| {
+            FaultPlan::new(seed)
+                .at("store.append", 2, FaultKind::TornWrite)
+                .at("store.sync", 1, FaultKind::PartialFlush)
+                .rate("store.read", FaultKind::ReadCorrupt, 0.4)
+        };
+        let run = |seed| {
+            let mut inj = FaultInjector::new(plan(seed));
+            let mut seq = Vec::new();
+            let mut prefixes = Vec::new();
+            for _ in 0..20 {
+                seq.push(inj.decide("store.append"));
+                seq.push(inj.decide("store.sync"));
+                seq.push(inj.decide("store.read"));
+                prefixes.push(inj.partial_len(64));
+            }
+            ((seq, prefixes), inj.log().to_vec())
+        };
+        let (seq_a, log_a) = run(7);
+        let (seq_b, log_b) = run(7);
+        let (seq_c, _) = run(8);
+        assert_eq!(seq_a, seq_b, "same seed replays identically");
+        assert_eq!(log_a, log_b);
+        assert_ne!(seq_a, seq_c, "different seeds diverge");
+        assert_eq!(seq_a.0[1], Some(FaultKind::PartialFlush));
+        assert_eq!(seq_a.0[3], Some(FaultKind::TornWrite));
+        assert!(
+            log_a.iter().any(|f| f.kind == FaultKind::ReadCorrupt),
+            "rate-driven read corruption fires"
+        );
+    }
+
+    #[test]
+    fn budget_counts_storage_kinds() {
+        let mut inj = FaultInjector::new(
+            FaultPlan::new(3)
+                .rate("w", FaultKind::TornWrite, 1.0)
+                .rate("f", FaultKind::PartialFlush, 1.0)
+                .rate("r", FaultKind::ReadCorrupt, 1.0)
+                .budget(4),
+        );
+        let mut fired = 0;
+        for _ in 0..10 {
+            for p in ["w", "f", "r"] {
+                if inj.decide(p).is_some() {
+                    fired += 1;
+                }
+            }
+        }
+        assert_eq!(fired, 4, "storage faults draw down the shared budget");
+        assert_eq!(inj.remaining_budget(), Some(0));
+        assert!(inj.injected(FaultKind::TornWrite) >= 1);
+        assert!(inj.injected(FaultKind::PartialFlush) >= 1);
+    }
+
+    #[test]
+    fn partial_len_is_a_strict_prefix() {
+        let mut inj = FaultInjector::new(FaultPlan::new(11));
+        assert_eq!(inj.partial_len(0), 0);
+        for len in 1..64usize {
+            let n = inj.partial_len(len);
+            assert!(n < len, "prefix of {len} must be strict, got {n}");
+        }
     }
 
     #[test]

@@ -30,6 +30,15 @@ pub enum FaultKind {
     /// whatever it had already done in place. Recovery must roll the
     /// operation forward.
     Crash,
+    /// A disk append is torn: only a seeded strict prefix of the bytes
+    /// reaches durable media before the process dies.
+    TornWrite,
+    /// An fsync is interrupted: only a seeded prefix of the dirty bytes
+    /// is flushed before the process dies.
+    PartialFlush,
+    /// A read returns bit-rotted bytes (one seeded bit flipped); the
+    /// durable bytes themselves are untouched.
+    ReadCorrupt,
 }
 
 impl FaultKind {
@@ -43,6 +52,9 @@ impl FaultKind {
             FaultKind::AuthorityDown => "authority_down",
             FaultKind::StorageError => "storage_error",
             FaultKind::Crash => "crash",
+            FaultKind::TornWrite => "torn_write",
+            FaultKind::PartialFlush => "partial_flush",
+            FaultKind::ReadCorrupt => "read_corrupt",
         }
     }
 }
@@ -182,6 +194,9 @@ mod tests {
             (FaultKind::AuthorityDown, "authority_down"),
             (FaultKind::StorageError, "storage_error"),
             (FaultKind::Crash, "crash"),
+            (FaultKind::TornWrite, "torn_write"),
+            (FaultKind::PartialFlush, "partial_flush"),
+            (FaultKind::ReadCorrupt, "read_corrupt"),
         ] {
             assert_eq!(kind.label(), label);
             assert_eq!(kind.to_string(), label);

@@ -1,0 +1,30 @@
+//! Durable persistence for the MA-ABAC deployment.
+//!
+//! The paper's revocation protocol (§V) assumes the cloud side never
+//! forgets which version keys and update keys have been committed. This
+//! crate provides that durability layer for the simulated deployment:
+//!
+//! * [`Storage`] — a minimal object store contract (append / sync / put /
+//!   read / delete) over named byte objects.
+//! * [`SimDisk`] — the deterministic in-memory backend. Every operation
+//!   consults a [`mabe_faults::FaultInjector`] at named fault points
+//!   ([`store_points`]), so torn writes, partial flushes, bit rot, read
+//!   errors, and crashes before/after sync are all seeded and replayable.
+//! * [`Wal`] — an append-only, length-prefixed, CRC32-checksummed
+//!   write-ahead log with generation-numbered checkpoint snapshots and an
+//!   atomically committed `wal.current` pointer. Recovery drops at most
+//!   the torn tail of the newest log and never falls back past a
+//!   committed checkpoint.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod crc;
+mod sim;
+mod storage;
+mod wal;
+
+pub use crc::crc32;
+pub use sim::SimDisk;
+pub use storage::{store_points, Storage, StoreError};
+pub use wal::{RecoveryReport, Wal, WalOpenError};

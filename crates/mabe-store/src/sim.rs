@@ -1,0 +1,325 @@
+//! The deterministic, fault-injected in-memory disk.
+
+use std::collections::BTreeMap;
+
+use mabe_faults::{FaultInjector, FaultKind};
+
+use crate::storage::{store_points, Storage, StoreError};
+
+/// One simulated object: the bytes that survived the last flush plus the
+/// live (page-cache) view that a crash discards.
+#[derive(Clone, Debug, Default)]
+struct SimObject {
+    durable: Vec<u8>,
+    shadow: Vec<u8>,
+}
+
+/// An in-memory [`Storage`] backend whose failure behaviour is driven by
+/// a seeded [`FaultInjector`], so every torn write and mid-fsync crash is
+/// replayable from a seed.
+///
+/// Fault semantics at each [`store_points`] point:
+///
+/// * `Crash` — the operation dies before doing anything durable (at
+///   [`store_points::SYNC_POST`]: *after* durability, losing only the
+///   acknowledgement).
+/// * `TornWrite` (append/put) — a seeded strict prefix of the new bytes
+///   reaches durable media, then the process dies.
+/// * `PartialFlush` (sync) — a seeded strict prefix of the dirty bytes is
+///   flushed, then the process dies.
+/// * `Corrupt` (append/put) — the write succeeds but one seeded bit of
+///   the written bytes rots.
+/// * `ReadCorrupt` (read) — the returned copy has one bit flipped; the
+///   stored bytes are untouched.
+/// * `StorageError` — the operation fails transiently.
+///
+/// After any `Crashed` error the harness calls [`SimDisk::crash`], which
+/// drops every object's unflushed bytes — exactly what power loss does to
+/// a page cache.
+#[derive(Debug, Default)]
+pub struct SimDisk {
+    objects: BTreeMap<String, SimObject>,
+    faults: FaultInjector,
+}
+
+impl SimDisk {
+    /// A disk driven by `faults`.
+    pub fn new(faults: FaultInjector) -> Self {
+        SimDisk {
+            objects: BTreeMap::new(),
+            faults,
+        }
+    }
+
+    /// A disk that never fails (the production stand-in).
+    pub fn unfaulted() -> Self {
+        SimDisk::default()
+    }
+
+    /// Simulates power loss: every object's unflushed bytes vanish.
+    pub fn crash(&mut self) {
+        for obj in self.objects.values_mut() {
+            obj.shadow = obj.durable.clone();
+        }
+    }
+
+    /// The driving injector.
+    pub fn injector(&self) -> &FaultInjector {
+        &self.faults
+    }
+
+    /// The driving injector, mutably (disarm/re-arm between phases).
+    pub fn injector_mut(&mut self) -> &mut FaultInjector {
+        &mut self.faults
+    }
+
+    /// Durable (post-crash) bytes of `name`, for tests and fuzzing.
+    pub fn durable_bytes(&self, name: &str) -> Option<&[u8]> {
+        self.objects.get(name).map(|o| o.durable.as_slice())
+    }
+
+    /// Overwrites `name`'s durable and live bytes directly — the fuzz
+    /// corpus uses this to plant corrupted on-disk states.
+    pub fn set_durable(&mut self, name: &str, bytes: Vec<u8>) {
+        let obj = self.objects.entry(name.to_owned()).or_default();
+        obj.durable = bytes.clone();
+        obj.shadow = bytes;
+    }
+
+    /// Total durable bytes across all objects.
+    pub fn total_durable_bytes(&self) -> usize {
+        self.objects.values().map(|o| o.durable.len()).sum()
+    }
+
+    /// Counts a virtual delay against telemetry, like the cloud layer.
+    fn count_delay(&self, point: &'static str) {
+        mabe_telemetry::global()
+            .counter("mabe_fault_delay_us_total", &[("point", point)])
+            .add(self.faults.delay_us());
+    }
+}
+
+impl Storage for SimDisk {
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let point = store_points::APPEND;
+        match self.faults.decide(point) {
+            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
+            Some(FaultKind::TornWrite) => {
+                // The OS had flushed part of this write when power failed:
+                // a strict prefix lands durably, the rest never existed.
+                let n = self.faults.partial_len(bytes.len());
+                let obj = self.objects.entry(name.to_owned()).or_default();
+                obj.durable.extend_from_slice(&bytes[..n]);
+                obj.shadow = obj.durable.clone();
+                return Err(StoreError::Crashed { point });
+            }
+            Some(FaultKind::Corrupt) => {
+                let mut rotted = bytes.to_vec();
+                self.faults.corrupt_bytes(&mut rotted);
+                self.objects
+                    .entry(name.to_owned())
+                    .or_default()
+                    .shadow
+                    .extend_from_slice(&rotted);
+                return Ok(());
+            }
+            Some(FaultKind::Delay) => self.count_delay(point),
+            _ => {}
+        }
+        self.objects
+            .entry(name.to_owned())
+            .or_default()
+            .shadow
+            .extend_from_slice(bytes);
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> Result<(), StoreError> {
+        let point = store_points::SYNC;
+        match self.faults.decide(point) {
+            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
+            Some(FaultKind::PartialFlush) => {
+                // Power failed mid-fsync: a strict prefix of the dirty
+                // bytes made it to media.
+                if let Some(obj) = self.objects.get_mut(name) {
+                    let dirty = obj.shadow.len().saturating_sub(obj.durable.len());
+                    let n = self.faults.partial_len(dirty);
+                    let keep = obj.durable.len() + n;
+                    obj.durable = obj.shadow[..keep.min(obj.shadow.len())].to_vec();
+                    obj.shadow = obj.durable.clone();
+                }
+                return Err(StoreError::Crashed { point });
+            }
+            Some(FaultKind::Delay) => self.count_delay(point),
+            _ => {}
+        }
+        if let Some(obj) = self.objects.get_mut(name) {
+            obj.durable = obj.shadow.clone();
+        }
+        let post = store_points::SYNC_POST;
+        if let Some(FaultKind::Crash) = self.faults.decide(post) {
+            // The flush completed but the ack was lost.
+            return Err(StoreError::Crashed { point: post });
+        }
+        Ok(())
+    }
+
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
+        let point = store_points::PUT;
+        match self.faults.decide(point) {
+            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
+            Some(FaultKind::TornWrite) => {
+                let n = self.faults.partial_len(bytes.len());
+                let obj = self.objects.entry(name.to_owned()).or_default();
+                obj.durable = bytes[..n].to_vec();
+                obj.shadow = obj.durable.clone();
+                return Err(StoreError::Crashed { point });
+            }
+            Some(FaultKind::Corrupt) => {
+                let mut rotted = bytes.to_vec();
+                self.faults.corrupt_bytes(&mut rotted);
+                self.objects.entry(name.to_owned()).or_default().shadow = rotted;
+                return Ok(());
+            }
+            Some(FaultKind::Delay) => self.count_delay(point),
+            _ => {}
+        }
+        self.objects.entry(name.to_owned()).or_default().shadow = bytes.to_vec();
+        Ok(())
+    }
+
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
+        let point = store_points::READ;
+        match self.faults.decide(point) {
+            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
+            Some(FaultKind::ReadCorrupt) => {
+                let mut copy = match self.objects.get(name) {
+                    Some(obj) => obj.shadow.clone(),
+                    None => return Ok(None),
+                };
+                self.faults.corrupt_bytes(&mut copy);
+                return Ok(Some(copy));
+            }
+            Some(FaultKind::Delay) => self.count_delay(point),
+            _ => {}
+        }
+        Ok(self.objects.get(name).map(|o| o.shadow.clone()))
+    }
+
+    fn delete(&mut self, name: &str) -> Result<(), StoreError> {
+        self.objects.remove(name);
+        Ok(())
+    }
+
+    fn list(&self) -> Vec<String> {
+        self.objects.keys().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mabe_faults::FaultPlan;
+
+    #[test]
+    fn unsynced_bytes_die_in_a_crash() {
+        let mut disk = SimDisk::unfaulted();
+        disk.append("log", b"durable").unwrap();
+        disk.sync("log").unwrap();
+        disk.append("log", b" volatile").unwrap();
+        assert_eq!(disk.read("log").unwrap().unwrap(), b"durable volatile");
+        disk.crash();
+        assert_eq!(disk.read("log").unwrap().unwrap(), b"durable");
+    }
+
+    #[test]
+    fn torn_write_leaves_a_strict_durable_prefix() {
+        let mut disk = SimDisk::new(FaultInjector::new(FaultPlan::new(5).at(
+            store_points::APPEND,
+            2,
+            FaultKind::TornWrite,
+        )));
+        disk.append("log", b"head.").unwrap();
+        disk.sync("log").unwrap();
+        let err = disk.append("log", b"0123456789").unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::Crashed {
+                point: store_points::APPEND
+            }
+        );
+        disk.crash();
+        let bytes = disk.read("log").unwrap().unwrap();
+        assert!(bytes.starts_with(b"head."));
+        assert!(
+            bytes.len() < b"head.0123456789".len(),
+            "tear must lose at least one byte"
+        );
+        assert_eq!(&bytes[..], &b"head.0123456789"[..bytes.len()]);
+    }
+
+    #[test]
+    fn partial_flush_tears_only_the_dirty_suffix() {
+        let mut disk = SimDisk::new(FaultInjector::new(FaultPlan::new(5).at(
+            store_points::SYNC,
+            2,
+            FaultKind::PartialFlush,
+        )));
+        disk.append("log", b"committed;").unwrap();
+        disk.sync("log").unwrap();
+        disk.append("log", b"pending").unwrap();
+        assert!(matches!(disk.sync("log"), Err(StoreError::Crashed { .. })));
+        disk.crash();
+        let bytes = disk.read("log").unwrap().unwrap();
+        assert!(bytes.starts_with(b"committed;"));
+        assert!(bytes.len() < b"committed;pending".len());
+    }
+
+    #[test]
+    fn read_corrupt_flips_one_bit_without_touching_disk() {
+        let mut disk = SimDisk::new(FaultInjector::new(FaultPlan::new(5).at(
+            store_points::READ,
+            1,
+            FaultKind::ReadCorrupt,
+        )));
+        disk.put("obj", b"stable bytes").unwrap();
+        disk.sync("obj").unwrap();
+        let rotted = disk.read("obj").unwrap().unwrap();
+        assert_ne!(rotted, b"stable bytes");
+        let clean = disk.read("obj").unwrap().unwrap();
+        assert_eq!(clean, b"stable bytes");
+    }
+
+    #[test]
+    fn crash_after_sync_is_durable_but_unacked() {
+        let mut disk = SimDisk::new(FaultInjector::new(FaultPlan::new(5).at(
+            store_points::SYNC_POST,
+            1,
+            FaultKind::Crash,
+        )));
+        disk.append("log", b"acked?").unwrap();
+        let err = disk.sync("log").unwrap_err();
+        assert_eq!(
+            err,
+            StoreError::Crashed {
+                point: store_points::SYNC_POST
+            }
+        );
+        disk.crash();
+        assert_eq!(disk.read("log").unwrap().unwrap(), b"acked?");
+    }
+
+    #[test]
+    fn put_then_crash_without_sync_keeps_old_contents() {
+        let mut disk = SimDisk::unfaulted();
+        disk.put("ptr", b"old").unwrap();
+        disk.sync("ptr").unwrap();
+        disk.put("ptr", b"new").unwrap();
+        disk.crash();
+        assert_eq!(disk.read("ptr").unwrap().unwrap(), b"old");
+    }
+}

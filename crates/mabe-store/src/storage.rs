@@ -1,0 +1,80 @@
+//! The storage contract the WAL runs over.
+
+use std::fmt;
+
+/// Named fault points a [`Storage`] backend consults, mirroring the
+/// `fault_points` convention in `mabe-cloud`.
+pub mod store_points {
+    /// Appending bytes to an object (`TornWrite` tears here).
+    pub const APPEND: &str = "store.append";
+    /// Flushing an object's dirty bytes (`PartialFlush` tears here).
+    pub const SYNC: &str = "store.sync";
+    /// Just after a flush durably completed — a crash here loses the
+    /// acknowledgement but not the bytes (at-least-once territory).
+    pub const SYNC_POST: &str = "store.sync.post";
+    /// Reading an object (`ReadCorrupt` bit-rots the returned copy).
+    pub const READ: &str = "store.read";
+    /// Replacing an object wholesale (snapshot and pointer writes).
+    pub const PUT: &str = "store.put";
+}
+
+/// A storage operation's failure.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StoreError {
+    /// The process died at this fault point; whatever the backend had
+    /// already made durable survives, everything else is gone.
+    Crashed {
+        /// The fault point that crashed.
+        point: &'static str,
+    },
+    /// A transient backend failure; the operation may be retried.
+    Transient {
+        /// The fault point that failed.
+        point: &'static str,
+    },
+    /// Durable bytes failed validation (bad checksum, bad pointer). Not
+    /// retryable: the caller must decide how much state to give up.
+    Corrupt(&'static str),
+    /// An object required for recovery is missing.
+    Missing(&'static str),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Crashed { point } => write!(f, "crashed at {point}"),
+            StoreError::Transient { point } => write!(f, "transient storage failure at {point}"),
+            StoreError::Corrupt(what) => write!(f, "corrupt storage: {what}"),
+            StoreError::Missing(what) => write!(f, "missing storage object: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// A minimal object store: named byte objects with append, whole-object
+/// replace, and an explicit durability barrier.
+///
+/// Writes (`append`, `put`, `delete`) land in a volatile buffer that a
+/// crash discards; [`Storage::sync`] moves an object's buffered bytes to
+/// durable media. Reads observe the live (buffered) view, like a process
+/// reading through the OS page cache.
+pub trait Storage {
+    /// Appends `bytes` to `name`, creating the object if absent.
+    fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Durably flushes `name`'s buffered bytes.
+    fn sync(&mut self, name: &str) -> Result<(), StoreError>;
+
+    /// Replaces `name`'s contents with `bytes` (buffered until synced).
+    fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError>;
+
+    /// Reads `name`'s live contents (`None` if the object is absent).
+    fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, StoreError>;
+
+    /// Removes `name` (both buffered and durable state).
+    fn delete(&mut self, name: &str) -> Result<(), StoreError>;
+
+    /// Names of all live objects.
+    fn list(&self) -> Vec<String>;
+}

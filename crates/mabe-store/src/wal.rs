@@ -1,0 +1,512 @@
+//! Append-only write-ahead log with checkpointed snapshots.
+//!
+//! On-disk layout (three object families in a [`Storage`]):
+//!
+//! * `wal.current` — 8 big-endian bytes naming the committed generation
+//!   `g`. Replacing this object (put + sync) is the atomic commit point
+//!   of a checkpoint.
+//! * `snapshot-<g>` — `b"MSNP0001" ‖ u32 crc32(payload) ‖ payload`, the
+//!   full state as of generation `g`'s checkpoint (absent for `g = 0`).
+//! * `wal-<g>` — `b"MWAL0001"` followed by records framed as
+//!   `u32 len ‖ u32 crc32(payload) ‖ payload`, the mutations since that
+//!   checkpoint.
+//!
+//! Recovery reads `wal.current`, loads the generation's snapshot (its
+//! checksum must verify — a committed checkpoint is never silently
+//! abandoned for an older one), then replays `wal-<g>` records until the
+//! first bad frame (short header, impossible length, checksum mismatch)
+//! and drops the tail from there. A missing `wal-<g>` is an empty log:
+//! the only window where it can be missing is a crash between committing
+//! `wal.current` and initialising the fresh log, when the snapshot
+//! already holds everything.
+
+use std::fmt;
+
+use crate::crc::crc32;
+use crate::storage::{Storage, StoreError};
+
+const WAL_MAGIC: &[u8; 8] = b"MWAL0001";
+const SNAP_MAGIC: &[u8; 8] = b"MSNP0001";
+const CURRENT: &str = "wal.current";
+
+/// Largest record payload the codec will believe (16 MiB); anything
+/// larger is treated as frame corruption.
+const MAX_RECORD_LEN: u32 = 16 << 20;
+
+fn wal_name(generation: u64) -> String {
+    format!("wal-{generation}")
+}
+
+fn snap_name(generation: u64) -> String {
+    format!("snapshot-{generation}")
+}
+
+/// What [`Wal::open`] found and salvaged.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// The committed generation recovery started from.
+    pub generation: u64,
+    /// Whether a checkpoint snapshot was loaded.
+    pub had_snapshot: bool,
+    /// Snapshot payload size in bytes.
+    pub snapshot_bytes: usize,
+    /// Intact records recovered from the log.
+    pub records: usize,
+    /// Total payload bytes across recovered records.
+    pub record_bytes: usize,
+    /// Bytes dropped from the log's tail (torn or corrupt frames).
+    pub dropped_bytes: usize,
+}
+
+/// A failed [`Wal::open`]: the error **plus the backing store**, handed
+/// back so callers can salvage the surviving bytes — inspect them,
+/// disarm a fault injector, and reopen — instead of losing the disk with
+/// the error.
+pub struct WalOpenError<S> {
+    /// What went wrong.
+    pub error: StoreError,
+    /// The store `open` was called with, unchanged beyond any reads and
+    /// first-time initialisation writes already performed.
+    pub store: S,
+}
+
+impl<S> fmt::Debug for WalOpenError<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WalOpenError")
+            .field("error", &self.error)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> fmt::Display for WalOpenError<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.error)
+    }
+}
+
+impl<S> std::error::Error for WalOpenError<S> {}
+
+/// The write-ahead log over a [`Storage`] backend.
+#[derive(Debug)]
+pub struct Wal<S: Storage> {
+    store: S,
+    generation: u64,
+}
+
+impl<S: Storage> Wal<S> {
+    /// Opens (or initialises) the log in `store`, returning the
+    /// checkpoint snapshot payload (if any), every intact record since
+    /// it, and a salvage report.
+    ///
+    /// # Errors
+    ///
+    /// * [`StoreError::Corrupt`] if the committed pointer, the committed
+    ///   generation's snapshot, or the log's magic fail validation —
+    ///   recovery never falls back past a committed checkpoint.
+    /// * Any backend error (including injected ones) from the reads and
+    ///   the first-time initialisation writes.
+    ///
+    /// Every error arrives wrapped in a [`WalOpenError`] carrying the
+    /// store back to the caller.
+    #[allow(clippy::type_complexity)]
+    pub fn open(
+        mut store: S,
+    ) -> Result<(Self, Option<Vec<u8>>, Vec<Vec<u8>>, RecoveryReport), WalOpenError<S>> {
+        match Self::open_inner(&mut store) {
+            Ok((generation, snapshot, records, report)) => {
+                Ok((Wal { store, generation }, snapshot, records, report))
+            }
+            Err(error) => Err(WalOpenError { error, store }),
+        }
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn open_inner(
+        store: &mut S,
+    ) -> Result<(u64, Option<Vec<u8>>, Vec<Vec<u8>>, RecoveryReport), StoreError> {
+        let pointer = store.read(CURRENT)?;
+        // A short pointer alongside no other objects means the very
+        // first `put + sync` of the pointer tore or flushed partially
+        // before committing: nothing was ever acknowledged, so
+        // reinitializing is safe. With other objects present, a short
+        // pointer is indistinguishable from bit rot on a committed one —
+        // falling back to generation 0 could resurrect pre-checkpoint
+        // state, so that stays a typed error.
+        let never_committed = matches!(&pointer, Some(b) if b.len() != 8)
+            && store.list().iter().all(|name| name == CURRENT);
+        let generation = match pointer {
+            Some(bytes) if !never_committed => {
+                let raw: [u8; 8] = bytes
+                    .as_slice()
+                    .try_into()
+                    .map_err(|_| StoreError::Corrupt("current pointer"))?;
+                u64::from_be_bytes(raw)
+            }
+            _ => {
+                store.put(CURRENT, &0u64.to_be_bytes())?;
+                store.sync(CURRENT)?;
+                store.put(&wal_name(0), WAL_MAGIC)?;
+                store.sync(&wal_name(0))?;
+                0
+            }
+        };
+
+        let snapshot = if generation == 0 {
+            None
+        } else {
+            let framed = store
+                .read(&snap_name(generation))?
+                .ok_or(StoreError::Missing("committed snapshot"))?;
+            Some(decode_snapshot(&framed)?)
+        };
+
+        let log_bytes = store.read(&wal_name(generation))?.unwrap_or_default();
+        let (records, dropped_bytes) = parse_records(&log_bytes)?;
+
+        let report = RecoveryReport {
+            generation,
+            had_snapshot: snapshot.is_some(),
+            snapshot_bytes: snapshot.as_ref().map_or(0, Vec::len),
+            records: records.len(),
+            record_bytes: records.iter().map(Vec::len).sum(),
+            dropped_bytes,
+        };
+        mabe_telemetry::global()
+            .counter("mabe_wal_records_replayed_total", &[])
+            .add(report.records as u64);
+
+        Ok((generation, snapshot, records, report))
+    }
+
+    /// Appends one record (framed and checksummed). Not durable until
+    /// [`Wal::sync`].
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        let mut frame = Vec::with_capacity(8 + payload.len());
+        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        frame.extend_from_slice(&crc32(payload).to_be_bytes());
+        frame.extend_from_slice(payload);
+        self.store.append(&wal_name(self.generation), &frame)?;
+        let registry = mabe_telemetry::global();
+        registry.counter("mabe_wal_appends_total", &[]).inc();
+        registry
+            .counter("mabe_wal_bytes_total", &[])
+            .add(frame.len() as u64);
+        Ok(())
+    }
+
+    /// Durably flushes the log.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        self.store.sync(&wal_name(self.generation))
+    }
+
+    /// Checkpoints: writes `snapshot_payload` as generation `g+1`,
+    /// commits the pointer, starts a fresh empty log, and drops the old
+    /// generation's objects.
+    ///
+    /// Crash windows: before the pointer commit, recovery still sees the
+    /// old generation (snapshot + full old log); after it, the new
+    /// snapshot alone carries the state (the new log may not exist yet,
+    /// which recovery treats as empty).
+    pub fn checkpoint(&mut self, snapshot_payload: &[u8]) -> Result<(), StoreError> {
+        let next = self.generation + 1;
+        let mut framed = Vec::with_capacity(12 + snapshot_payload.len());
+        framed.extend_from_slice(SNAP_MAGIC);
+        framed.extend_from_slice(&crc32(snapshot_payload).to_be_bytes());
+        framed.extend_from_slice(snapshot_payload);
+        self.store.put(&snap_name(next), &framed)?;
+        self.store.sync(&snap_name(next))?;
+        self.store.put(CURRENT, &next.to_be_bytes())?;
+        self.store.sync(CURRENT)?; // commit point
+        self.store.put(&wal_name(next), WAL_MAGIC)?;
+        self.store.sync(&wal_name(next))?;
+        let old = self.generation;
+        self.generation = next;
+        // Best-effort garbage collection: stale objects are harmless
+        // because the pointer no longer names them.
+        let _ = self.store.delete(&wal_name(old));
+        let _ = self.store.delete(&snap_name(old));
+        mabe_telemetry::global()
+            .counter("mabe_snapshots_written_total", &[])
+            .inc();
+        Ok(())
+    }
+
+    /// The committed generation.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// The backing store.
+    pub fn store(&self) -> &S {
+        &self.store
+    }
+
+    /// The backing store, mutably.
+    pub fn store_mut(&mut self) -> &mut S {
+        &mut self.store
+    }
+
+    /// Consumes the log, handing back the backing store (the crash sweep
+    /// uses this to reopen from the surviving bytes).
+    pub fn into_store(self) -> S {
+        self.store
+    }
+}
+
+fn decode_snapshot(framed: &[u8]) -> Result<Vec<u8>, StoreError> {
+    if framed.len() < 12 || &framed[..8] != SNAP_MAGIC {
+        return Err(StoreError::Corrupt("snapshot header"));
+    }
+    let want = u32::from_be_bytes(framed[8..12].try_into().expect("4 bytes"));
+    let payload = &framed[12..];
+    if crc32(payload) != want {
+        return Err(StoreError::Corrupt("snapshot checksum"));
+    }
+    Ok(payload.to_vec())
+}
+
+/// Splits a log object into intact record payloads, dropping the tail
+/// from the first bad frame. A log shorter than its magic is a torn
+/// creation and yields nothing; a *wrong* magic is corruption.
+fn parse_records(bytes: &[u8]) -> Result<(Vec<Vec<u8>>, usize), StoreError> {
+    if bytes.len() < WAL_MAGIC.len() {
+        return Ok((Vec::new(), bytes.len()));
+    }
+    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
+        return Err(StoreError::Corrupt("wal header"));
+    }
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    while pos < bytes.len() {
+        let remaining = bytes.len() - pos;
+        if remaining < 8 {
+            break; // torn frame header
+        }
+        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let want = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN || len as usize > remaining - 8 {
+            break; // torn or corrupt length
+        }
+        let payload = &bytes[pos + 8..pos + 8 + len as usize];
+        if crc32(payload) != want {
+            break; // corrupt payload (or a length corrupted into range)
+        }
+        records.push(payload.to_vec());
+        pos += 8 + len as usize;
+    }
+    Ok((records, bytes.len() - pos))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::SimDisk;
+    use crate::storage::store_points;
+    use mabe_faults::FaultKind;
+
+    #[allow(clippy::type_complexity)]
+    fn reopen(disk: SimDisk) -> (Wal<SimDisk>, Option<Vec<u8>>, Vec<Vec<u8>>, RecoveryReport) {
+        Wal::open(disk).expect("clean open")
+    }
+
+    #[test]
+    fn fresh_open_is_empty_generation_zero() {
+        let (wal, snapshot, records, report) = reopen(SimDisk::unfaulted());
+        assert_eq!(wal.generation(), 0);
+        assert!(snapshot.is_none());
+        assert!(records.is_empty());
+        assert_eq!(report.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn torn_initialization_reopens_fresh_but_torn_committed_pointer_stays_fatal() {
+        // Crash during the very first pointer sync: the pointer object
+        // exists with zero durable bytes and nothing was ever committed,
+        // so reopening must reinitialize, not error.
+        let disk = SimDisk::new(mabe_faults::FaultInjector::new(
+            mabe_faults::FaultPlan::new(3).at(store_points::SYNC, 1, FaultKind::Crash),
+        ));
+        let failure = Wal::open(disk).unwrap_err();
+        let mut disk = failure.store;
+        disk.crash();
+        disk.injector_mut().disarm();
+        let (wal, snapshot, records, _) = reopen(disk);
+        assert_eq!(wal.generation(), 0);
+        assert!(snapshot.is_none());
+        assert!(records.is_empty());
+
+        // A partial flush of that first sync leaves a nonzero strict
+        // prefix of the pointer durable — still nothing committed, still
+        // a fresh reopen.
+        let disk = SimDisk::new(mabe_faults::FaultInjector::new(
+            mabe_faults::FaultPlan::new(3).at(store_points::SYNC, 1, FaultKind::PartialFlush),
+        ));
+        let failure = Wal::open(disk).unwrap_err();
+        let mut disk = failure.store;
+        disk.crash();
+        disk.injector_mut().disarm();
+        let (wal, snapshot, records, _) = reopen(disk);
+        assert_eq!(wal.generation(), 0);
+        assert!(snapshot.is_none());
+        assert!(records.is_empty());
+
+        // But a short pointer NEXT TO committed objects is bit rot on a
+        // committed pointer: falling back could resurrect pre-checkpoint
+        // state, so it must stay a typed error.
+        let mut disk = SimDisk::unfaulted();
+        disk.set_durable("wal.current", Vec::new());
+        disk.set_durable("snapshot-1", b"anything".to_vec());
+        assert!(matches!(
+            Wal::open(disk).map(|_| ()).map_err(|f| f.error),
+            Err(StoreError::Corrupt("current pointer"))
+        ));
+    }
+
+    #[test]
+    fn synced_records_survive_a_crash() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"one").unwrap();
+        wal.append(b"two").unwrap();
+        wal.sync().unwrap();
+        wal.append(b"unsynced").unwrap();
+        let mut disk = wal.into_store();
+        disk.crash();
+        let (_, snapshot, records, report) = reopen(disk);
+        assert!(snapshot.is_none());
+        assert_eq!(records, vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(report.records, 2);
+        assert_eq!(report.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn checkpoint_rolls_generation_and_clears_log() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"pre").unwrap();
+        wal.sync().unwrap();
+        wal.checkpoint(b"STATE-1").unwrap();
+        assert_eq!(wal.generation(), 1);
+        wal.append(b"post").unwrap();
+        wal.sync().unwrap();
+        let mut disk = wal.into_store();
+        disk.crash();
+        let (wal, snapshot, records, report) = reopen(disk);
+        assert_eq!(wal.generation(), 1);
+        assert_eq!(snapshot.as_deref(), Some(&b"STATE-1"[..]));
+        assert_eq!(records, vec![b"post".to_vec()]);
+        assert!(report.had_snapshot);
+        // Old generation's objects were collected.
+        assert!(!wal.store().list().iter().any(|n| n == "wal-0"));
+    }
+
+    #[test]
+    fn crash_before_pointer_commit_keeps_old_generation() {
+        // The snapshot put+sync succeed, then the pointer put crashes:
+        // recovery must still see generation 0 with the full log.
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"op").unwrap();
+        wal.sync().unwrap();
+        wal.store_mut()
+            .injector_mut()
+            .schedule(store_points::PUT, 2, FaultKind::Crash);
+        assert!(wal.checkpoint(b"STATE").is_err());
+        let mut disk = wal.into_store();
+        disk.crash();
+        disk.injector_mut().disarm();
+        let (wal, snapshot, records, _) = reopen(disk);
+        assert_eq!(wal.generation(), 0);
+        assert!(snapshot.is_none());
+        assert_eq!(records, vec![b"op".to_vec()]);
+    }
+
+    #[test]
+    fn crash_after_pointer_commit_uses_new_snapshot() {
+        // The pointer commit lands but the fresh log's creation crashes:
+        // recovery sees the new generation with an empty (missing) log.
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"op").unwrap();
+        wal.sync().unwrap();
+        wal.store_mut()
+            .injector_mut()
+            .schedule(store_points::PUT, 3, FaultKind::Crash);
+        assert!(wal.checkpoint(b"STATE").is_err());
+        let mut disk = wal.into_store();
+        disk.crash();
+        disk.injector_mut().disarm();
+        let (wal, snapshot, records, _) = reopen(disk);
+        assert_eq!(wal.generation(), 1);
+        assert_eq!(snapshot.as_deref(), Some(&b"STATE"[..]));
+        assert!(records.is_empty());
+    }
+
+    #[test]
+    fn torn_append_drops_only_the_tail_record() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"intact-1").unwrap();
+        wal.append(b"intact-2").unwrap();
+        wal.sync().unwrap();
+        wal.store_mut()
+            .injector_mut()
+            .schedule(store_points::APPEND, 1, FaultKind::TornWrite);
+        assert!(matches!(
+            wal.append(b"torn-record-payload"),
+            Err(StoreError::Crashed { .. })
+        ));
+        let mut disk = wal.into_store();
+        disk.crash();
+        disk.injector_mut().disarm();
+        let (_, _, records, report) = reopen(disk);
+        assert_eq!(records, vec![b"intact-1".to_vec(), b"intact-2".to_vec()]);
+        assert_eq!(report.records, 2);
+    }
+
+    #[test]
+    fn corrupt_snapshot_is_a_typed_error_not_a_fallback() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"pre").unwrap();
+        wal.sync().unwrap();
+        wal.checkpoint(b"COMMITTED").unwrap();
+        let mut disk = wal.into_store();
+        let mut snap = disk.durable_bytes("snapshot-1").unwrap().to_vec();
+        let last = snap.len() - 1;
+        snap[last] ^= 0x40;
+        disk.set_durable("snapshot-1", snap);
+        match Wal::open(disk) {
+            Err(failure) => {
+                assert!(matches!(
+                    failure.error,
+                    StoreError::Corrupt("snapshot checksum")
+                ));
+                // The store comes back with the failure — nothing lost.
+                assert!(failure.store.durable_bytes("snapshot-1").is_some());
+            }
+            Ok(_) => panic!("corrupt snapshot opened cleanly"),
+        }
+    }
+
+    #[test]
+    fn corrupt_pointer_is_a_typed_error() {
+        let (wal, ..) = reopen(SimDisk::unfaulted());
+        let mut disk = wal.into_store();
+        disk.set_durable("wal.current", b"xx".to_vec());
+        assert!(matches!(
+            Wal::open(disk).map(|_| ()).map_err(|f| f.error),
+            Err(StoreError::Corrupt("current pointer"))
+        ));
+    }
+
+    #[test]
+    fn oversized_length_field_is_treated_as_torn_tail() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"good").unwrap();
+        wal.sync().unwrap();
+        let mut disk = wal.into_store();
+        let mut log = disk.durable_bytes("wal-0").unwrap().to_vec();
+        let mut frame = (u32::MAX).to_be_bytes().to_vec();
+        frame.extend_from_slice(&[0; 4]);
+        log.extend_from_slice(&frame);
+        disk.set_durable("wal-0", log);
+        let (_, _, records, report) = reopen(disk);
+        assert_eq!(records, vec![b"good".to_vec()]);
+        assert_eq!(report.dropped_bytes, 8);
+    }
+}
