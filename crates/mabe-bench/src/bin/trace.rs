@@ -1,0 +1,181 @@
+//! Trace-overhead bench: what does the flight recorder cost?
+//!
+//! Two measurements, both reported as ns/op TSV rows and dumped as
+//! `BENCH_trace_overhead.json` when `MABE_METRICS_DIR` is set:
+//!
+//! * **micro** — a tight loop opening and dropping one span plus one
+//!   typed event, with the recorder enabled, disabled, and (as the
+//!   floor) a bare relaxed atomic load. The disabled path is specified
+//!   to be a single relaxed load — the same guarantee the telemetry
+//!   registry made in its PR — so `disabled` must sit within noise of
+//!   `atomic_load`.
+//! * **macro** — a fixed cloud workload (grants, publishes, audited
+//!   reads, one revocation) run end to end with tracing enabled vs
+//!   disabled, showing the recorder disappears inside real pairing
+//!   work.
+//!
+//! Usage: `trace [micro_iters] [macro_ops]` (defaults 2000000 and 24;
+//! CI's smoke job passes small values). `RANDOM_SEED=<u64>` overrides
+//! the world seed.
+
+use std::hint::black_box;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Instant;
+
+use mabe_cloud::CloudSystem;
+
+struct Row {
+    mode: &'static str,
+    iters: u64,
+    ns_per_op: f64,
+}
+
+fn time_loop(iters: u64, mut body: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..iters {
+        body();
+    }
+    start.elapsed().as_secs_f64() * 1e9 / iters as f64
+}
+
+/// The floor: one relaxed atomic load, the documented cost of every
+/// disabled-path trace call.
+fn micro_atomic_load(iters: u64) -> Row {
+    let flag = AtomicBool::new(false);
+    let ns = time_loop(iters, || {
+        black_box(flag.load(Ordering::Relaxed));
+    });
+    Row {
+        mode: "atomic_load",
+        iters,
+        ns_per_op: ns,
+    }
+}
+
+/// One span open/drop plus one static (non-allocating) event per op.
+fn micro_trace(mode: &'static str, enabled: bool, iters: u64) -> Row {
+    mabe_trace::set_enabled(enabled);
+    let ns = time_loop(iters, || {
+        let span = mabe_trace::Span::root("bench.span");
+        mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "bench" });
+        black_box(&span);
+    });
+    mabe_trace::set_enabled(true);
+    // Throw away whatever the enabled pass recorded so a following
+    // mode (or the registry dump) is not skewed by bench spans.
+    mabe_trace::recorder::global().clear();
+    Row {
+        mode,
+        iters,
+        ns_per_op: ns,
+    }
+}
+
+/// The fixed macro workload: `ops` publishes with interleaved audited
+/// reads, closed by one attribute revocation (re-key, key update,
+/// proxy re-encryption).
+fn macro_workload(seed: u64, ops: usize) -> f64 {
+    let mut sys = CloudSystem::new(seed);
+    sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
+    let owner = sys.add_owner("hospital").unwrap();
+    let alice = sys.add_user("alice").unwrap();
+    let bob = sys.add_user("bob").unwrap();
+    sys.grant(&alice, &["Doctor@MedOrg"]).unwrap();
+    sys.grant(&bob, &["Nurse@MedOrg"]).unwrap();
+
+    let start = Instant::now();
+    for i in 0..ops {
+        sys.publish(
+            &owner,
+            &format!("rec-{i}"),
+            &[("f", b"payload".as_slice(), "Doctor@MedOrg OR Nurse@MedOrg")],
+        )
+        .unwrap();
+        if i % 4 == 3 {
+            let _ = sys.read(&bob, &owner, &format!("rec-{i}"), "f");
+        }
+    }
+    sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+    start.elapsed().as_secs_f64() * 1e9
+}
+
+fn macro_row(mode: &'static str, enabled: bool, seed: u64, ops: usize) -> Row {
+    mabe_trace::set_enabled(enabled);
+    let total_ns = macro_workload(seed, ops);
+    mabe_trace::set_enabled(true);
+    mabe_trace::recorder::global().clear();
+    Row {
+        mode,
+        iters: ops as u64,
+        ns_per_op: total_ns / ops as f64,
+    }
+}
+
+fn emit_json(rows: &[Row]) {
+    let Some(dir) = std::env::var_os("MABE_METRICS_DIR") else {
+        return;
+    };
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"mode\": \"{}\", \"iters\": {}, \"ns_per_op\": {:.2}}}",
+                r.mode, r.iters, r.ns_per_op
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n\"bench\": \"trace_overhead\",\n\"rows\": [\n{}\n]}}\n",
+        body.join(",\n")
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_trace_overhead.json");
+    let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_trace_overhead.json failed: {e}"),
+    }
+}
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
+    let micro_iters = args.first().copied().unwrap_or(2_000_000);
+    let macro_ops = args.get(1).copied().unwrap_or(24) as usize;
+    let seed: u64 = std::env::var("RANDOM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42);
+    eprintln!("# trace overhead: {micro_iters} micro iters, {macro_ops} macro ops, seed {seed}");
+    println!("mode\titers\tns_per_op");
+
+    // Warm the loop (page in the recorder, settle the clock) before the
+    // timed passes.
+    let _ = micro_trace("warmup", true, micro_iters.min(100_000));
+
+    let rows = vec![
+        micro_atomic_load(micro_iters),
+        micro_trace("micro_disabled", false, micro_iters),
+        micro_trace("micro_enabled", true, micro_iters),
+        macro_row("macro_disabled", false, seed, macro_ops),
+        macro_row("macro_enabled", true, seed, macro_ops),
+    ];
+    for r in &rows {
+        println!("{}\t{}\t{:.2}", r.mode, r.iters, r.ns_per_op);
+    }
+
+    // The headline claim, stated where CI logs can grep it: the
+    // disabled path costs an atomic load, not a syscall or a lock.
+    let load = rows[0].ns_per_op;
+    let disabled = rows[1].ns_per_op;
+    eprintln!(
+        "# disabled-path overhead: {disabled:.2} ns/op vs {load:.2} ns/op bare atomic load \
+         ({:+.2} ns)",
+        disabled - load
+    );
+
+    emit_json(&rows);
+    mabe_bench::metrics::emit("trace_overhead");
+}

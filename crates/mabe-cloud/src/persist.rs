@@ -737,6 +737,7 @@ pub struct OpenReport {
 pub struct DurableSystem<S: Storage> {
     sys: CloudSystem,
     wal: Wal<S>,
+    seed: u64,
     ops_since_checkpoint: usize,
     checkpoint_interval: usize,
     poisoned: bool,
@@ -748,6 +749,13 @@ fn store_to_cloud(e: StoreError) -> CloudError {
         StoreError::Transient { point } => CloudError::Storage(point),
         StoreError::Corrupt(what) => CloudError::Storage(what),
         StoreError::Missing(what) => CloudError::Storage(what),
+    }
+}
+
+fn store_point(e: &StoreError) -> &'static str {
+    match e {
+        StoreError::Crashed { point } | StoreError::Transient { point } => point,
+        StoreError::Corrupt(what) | StoreError::Missing(what) => what,
     }
 }
 
@@ -779,6 +787,9 @@ impl<S: Storage> DurableSystem<S> {
         faults: FaultInjector,
     ) -> Result<(Self, OpenReport), OpenFailure<S>> {
         let start = Instant::now();
+        // Root span over the whole open: the WAL's replay event and
+        // recovery's drive spans all land in one causal tree.
+        let _trace = mabe_trace::Span::root("durable.open");
         let (wal, snapshot, records, wal_report) = match Wal::open(storage) {
             Ok(parts) => parts,
             Err(failure) => {
@@ -830,6 +841,7 @@ impl<S: Storage> DurableSystem<S> {
         let mut durable = DurableSystem {
             sys,
             wal,
+            seed,
             ops_since_checkpoint: records.len(),
             checkpoint_interval: 64,
             poisoned: false,
@@ -881,9 +893,19 @@ impl<S: Storage> DurableSystem<S> {
             }
             Err(e) => {
                 self.poisoned = true;
+                self.note_poisoned(&e);
                 Err(store_to_cloud(e))
             }
         }
+    }
+
+    /// Records the poison on the active span and, when `MABE_TRACE_DIR`
+    /// is set, dumps the flight recorder — the in-memory state is now
+    /// ahead of the journal, which is exactly when forensics matter.
+    fn note_poisoned(&self, e: &StoreError) {
+        let point = store_point(e);
+        mabe_trace::event(mabe_trace::TraceEvent::Poisoned { point });
+        mabe_trace::dump_if_configured(self.seed, &format!("poison_{point}"));
     }
 
     fn maybe_checkpoint(&mut self) -> Result<(), CloudError> {
@@ -913,6 +935,7 @@ impl<S: Storage> DurableSystem<S> {
             }
             Err(e) => {
                 self.poisoned = true;
+                self.note_poisoned(&e);
                 Err(store_to_cloud(e))
             }
         }
@@ -996,6 +1019,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Same contract as [`CloudSystem::grant`], plus journal failures.
     pub fn grant(&mut self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        let _trace = mabe_trace::Span::child("durable.grant").detail(uid.to_string());
         self.sys.grant(uid, attributes)?;
         self.log(&WalRecord::Granted {
             uid: uid.to_string(),
@@ -1018,6 +1042,8 @@ impl<S: Storage> DurableSystem<S> {
         components: &[(&str, &[u8], &str)],
     ) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        let _trace =
+            mabe_trace::Span::child("durable.publish").detail(format!("{owner_id}/{record}"));
         self.sys.publish(owner_id, record, components)?;
         let envelope = self
             .sys
@@ -1060,6 +1086,7 @@ impl<S: Storage> DurableSystem<S> {
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
         self.check_poisoned()?;
+        let _trace = mabe_trace::Span::child("durable.read").detail(format!("{record}/{label}"));
         let before = self.sys.audit.entries().len();
         let result = self.sys.read(uid, owner_id, record, label);
         self.log_read_if_audited(before, uid, owner_id, record, label, result.is_ok())?;
@@ -1081,6 +1108,8 @@ impl<S: Storage> DurableSystem<S> {
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
         self.check_poisoned()?;
+        let _trace =
+            mabe_trace::Span::child("durable.read_outsourced").detail(format!("{record}/{label}"));
         let before = self.sys.audit.entries().len();
         let result = self.sys.read_outsourced(uid, owner_id, record, label);
         self.log_read_if_audited(before, uid, owner_id, record, label, result.is_ok())?;
@@ -1119,6 +1148,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Journal failures only.
     pub fn set_offline(&mut self, uid: &Uid) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        let _trace = mabe_trace::Span::child("durable.set_offline").detail(uid.to_string());
         self.sys.set_offline(uid);
         self.log(&WalRecord::UserOffline {
             uid: uid.to_string(),
@@ -1139,6 +1169,7 @@ impl<S: Storage> DurableSystem<S> {
     /// failures.
     pub fn sync_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        let _trace = mabe_trace::Span::child("durable.sync_user").detail(uid.to_string());
         self.sys.sync_user(uid)?;
         self.log(&WalRecord::UserSynced {
             uid: uid.to_string(),
@@ -1157,6 +1188,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Same contract as [`CloudSystem::revoke`], plus journal failures.
     pub fn revoke(&mut self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        let _trace = mabe_trace::Span::child("durable.revoke").detail(format!("{uid} {attribute}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         let attr: Attribute = attribute
             .parse()
@@ -1177,6 +1209,8 @@ impl<S: Storage> DurableSystem<S> {
     /// failures.
     pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        let _trace =
+            mabe_trace::Span::child("durable.revoke_user_at").detail(format!("{uid} @{aid}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         self.precheck_logged(aid)?;
         let aa = self.sys.authorities.get_mut(aid).expect("prechecked");
@@ -1270,6 +1304,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Propagates the first fault that still blocks convergence.
     pub fn recover(&mut self) -> Result<usize, CloudError> {
         self.check_poisoned()?;
+        let _trace = mabe_trace::Span::child("durable.recover");
         let ids: Vec<u64> = self.sys.in_flight.keys().copied().collect();
         let mut completed = 0;
         for id in ids {

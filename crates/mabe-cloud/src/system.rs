@@ -558,6 +558,7 @@ impl CloudSystem {
     /// Fails on unknown user/authority/attribute, downed authorities, or
     /// unrecovered injected faults.
     pub fn grant(&mut self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
+        let _trace = mabe_trace::Span::child("cloud.grant").detail(uid.to_string());
         if !self.users.contains_key(uid) {
             return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
         }
@@ -629,6 +630,7 @@ impl CloudSystem {
         components: &[(&str, &[u8], &str)],
     ) -> Result<(), CloudError> {
         let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "publish")]);
+        let _trace = mabe_trace::Span::child("cloud.publish").detail(record.to_owned());
         let owner = self
             .owners
             .get_mut(owner_id)
@@ -676,6 +678,7 @@ impl CloudSystem {
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
         let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read")]);
+        let _trace = mabe_trace::Span::child("cloud.read").detail(format!("{record}/{label}"));
         if !self.users.contains_key(uid) {
             return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
         }
@@ -733,6 +736,8 @@ impl CloudSystem {
     ) -> Result<Vec<u8>, CloudError> {
         let _span =
             mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read_outsourced")]);
+        let _trace =
+            mabe_trace::Span::child("cloud.read_outsourced").detail(format!("{record}/{label}"));
         let state = self
             .users
             .get(uid)
@@ -800,6 +805,7 @@ impl CloudSystem {
         // End-to-end revocation latency: ReKey at the authority through
         // the last server-side re-encryption.
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
+        let _trace = mabe_trace::Span::child("cloud.revoke").detail(format!("{uid} {attribute}"));
         let attr: Attribute = attribute
             .parse()
             .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
@@ -821,6 +827,8 @@ impl CloudSystem {
     /// authority, or an unrecovered injected fault.
     pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
+        let _trace =
+            mabe_trace::Span::child("cloud.revoke_user_at").detail(format!("{uid} @{aid}"));
         self.precheck_revocation(aid)?;
         let aa = self.authorities.get_mut(aid).expect("prechecked");
         let event = aa.revoke_user(uid, &mut self.rng)?;
@@ -898,6 +906,7 @@ impl CloudSystem {
             }
         }
         self.in_flight.insert(id, PendingRevocation::new(id, event));
+        mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "begun" });
         id
     }
 
@@ -915,6 +924,7 @@ impl CloudSystem {
                     aid: pending.event.aid.to_string(),
                     version: pending.event.to_version,
                 });
+                mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "complete" });
                 if recovered {
                     self.audit.record(AuditEvent::RevocationRecovered {
                         aid: pending.event.aid.to_string(),
@@ -923,6 +933,9 @@ impl CloudSystem {
                     mabe_telemetry::global()
                         .counter("mabe_revocations_recovered_total", &[])
                         .inc();
+                    mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
+                        stage: "recovered",
+                    });
                 }
                 Ok(())
             }
@@ -935,9 +948,15 @@ impl CloudSystem {
 
     fn drive_phases(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
         if pending.stage == RevocationStage::KeyDelivery {
+            mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
+                stage: "key_delivery",
+            });
             self.deliver_keys(pending)?;
             pending.stage = RevocationStage::ReEncryption;
         }
+        mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
+            stage: "re_encryption",
+        });
         self.reencrypt_phase(pending)
     }
 
@@ -947,6 +966,8 @@ impl CloudSystem {
     /// holder; key application is version-tolerant, so replays after a
     /// crash are no-ops.
     fn deliver_keys(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
+        let _trace =
+            mabe_trace::Span::child("cloud.deliver_keys").detail(format!("@{}", pending.event.aid));
         let aid = pending.event.aid.clone();
         let uid = pending.event.revoked_uid.clone();
         if !pending.fresh_keys_delivered {
@@ -1031,6 +1052,8 @@ impl CloudSystem {
     /// components still at the old version — replaying a half-finished
     /// phase naturally skips what is already done.
     fn reencrypt_phase(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
+        let _trace = mabe_trace::Span::child("cloud.reencrypt_phase")
+            .detail(format!("@{}", pending.event.aid));
         let aid = pending.event.aid.clone();
         let owner_ids: Vec<OwnerId> = self.owners.keys().cloned().collect();
         for owner_id in owner_ids {
@@ -1057,6 +1080,8 @@ impl CloudSystem {
                 self.server
                     .affected_ciphertexts(&owner_id, &aid, pending.event.from_version);
             for (record_key, label, ct_id) in affected {
+                let _trace = mabe_trace::Span::child("cloud.reencrypt")
+                    .detail(format!("{}/{}/{label}", record_key.0, record_key.1));
                 self.local_op(fault_points::REVOKE_REENCRYPT, None)?;
                 let owner = self.owners.get(&owner_id).expect("owner exists");
                 let ui = owner.update_info_for(
@@ -1087,6 +1112,7 @@ impl CloudSystem {
     ///
     /// Propagates the first fault that still blocks convergence.
     pub fn recover(&mut self) -> Result<usize, CloudError> {
+        let _trace = mabe_trace::Span::child("cloud.recover");
         let ids: Vec<u64> = self.in_flight.keys().copied().collect();
         let mut completed = 0;
         for id in ids {
@@ -1173,6 +1199,7 @@ impl CloudSystem {
     /// Propagates key-update failures (e.g. corrupted queues) and
     /// unrecovered injected faults.
     pub fn sync_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
+        let _trace = mabe_trace::Span::child("cloud.sync_user").detail(uid.to_string());
         self.offline.remove(uid);
         let Some(queue) = self.pending_updates.remove(uid) else {
             return Ok(());

@@ -125,6 +125,10 @@ fn revoke_until_begun(
 
 /// One full chaos schedule followed by convergence and invariant checks.
 fn run_scenario(seed: u64) {
+    // On any assertion failure below, dump the flight recorder to
+    // `trace_<seed>_chaos.json` (under `MABE_TRACE_DIR`, or
+    // `target/trace-artifacts`) before the panic propagates.
+    let _forensics = mabe_trace::FailureDump::new(seed, "chaos");
     let mut w = chaotic_world(seed);
 
     // Background traffic while faults are live: every outcome is
@@ -138,7 +142,10 @@ fn run_scenario(seed: u64) {
 
     // An authority outage: control plane blocked, reads unaffected.
     w.sys.set_authority_down(&w.med);
-    assert!(w.sys.grant(&w.alice, &["Nurse@MedOrg"]).is_err());
+    assert!(
+        w.sys.grant(&w.alice, &["Nurse@MedOrg"]).is_err(),
+        "seed {seed}: grant succeeded against a downed authority"
+    );
     let _ = w.sys.read(&w.bob, &w.hospital, "med", "m");
     w.sys.set_authority_up(&w.med);
 
@@ -221,11 +228,13 @@ fn run_scenario(seed: u64) {
     );
     assert_eq!(
         w.sys.read(&w.bob, &w.hospital, "nursing", "n").unwrap(),
-        b"charts"
+        b"charts",
+        "seed {seed}: bob's untouched nursing access broke"
     );
     assert_eq!(
         w.sys.read(&w.carol, &w.hospital, "trial", "t").unwrap(),
-        b"cohort"
+        b"cohort",
+        "seed {seed}: carol (never revoked) lost Trial access"
     );
     assert_eq!(
         w.sys.read(&w.dave, &w.hospital, "nursing", "n").unwrap(),
@@ -234,14 +243,18 @@ fn run_scenario(seed: u64) {
     );
     assert_eq!(
         w.sys.read(&w.bob, &w.hospital, "late", "l").unwrap(),
-        b"post-revocation"
+        b"post-revocation",
+        "seed {seed}: post-revocation publish unreadable after convergence"
     );
 
     // A second sync must be a no-op (no stale keys parked anywhere).
     for uid in [&w.alice, &w.bob, &w.carol, &w.dave] {
         w.sys.sync_user(uid).expect("idempotent resync");
     }
-    assert!(w.sys.read(&w.alice, &w.hospital, "med", "m").is_err());
+    assert!(
+        w.sys.read(&w.alice, &w.hospital, "med", "m").is_err(),
+        "seed {seed}: alice regained revoked access after a resync"
+    );
 
     // ---- invariant 4: exact byte accounting under faults ----
     let report = w.sys.wire().delivery_report();
@@ -250,7 +263,12 @@ fn run_scenario(seed: u64) {
         report.bytes_delivered + report.bytes_lost,
         "seed {seed}: wire byte accounting drifted"
     );
-    assert!(report.sent >= report.delivered);
+    assert!(
+        report.sent >= report.delivered,
+        "seed {seed}: delivered {} messages out of {} sent",
+        report.delivered,
+        report.sent
+    );
 
     // ---- invariant 5: persistence survives, corruption never panics ----
     let snapshot = w.sys.server().snapshot();

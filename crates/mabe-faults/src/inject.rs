@@ -93,6 +93,11 @@ impl FaultInjector {
                 &[("point", point), ("kind", kind.label())],
             )
             .inc();
+        mabe_trace::event(mabe_trace::TraceEvent::FaultInjected {
+            point,
+            kind: kind.label(),
+            hit,
+        });
         Some(kind)
     }
 

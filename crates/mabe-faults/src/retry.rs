@@ -130,6 +130,10 @@ impl RetryPolicy {
                 Err(e) => {
                     if attempt >= self.max_attempts.max(1) {
                         registry.counter("mabe_giveups_total", &[("op", op)]).inc();
+                        mabe_trace::event(mabe_trace::TraceEvent::RetryGaveUp {
+                            op,
+                            attempts: attempt,
+                        });
                         return Err(RetryError::GaveUp {
                             attempts: attempt,
                             last: e,
@@ -139,6 +143,10 @@ impl RetryPolicy {
                     waited_us = waited_us.saturating_add(backoff);
                     if waited_us > self.deadline_us {
                         registry.counter("mabe_giveups_total", &[("op", op)]).inc();
+                        mabe_trace::event(mabe_trace::TraceEvent::RetryGaveUp {
+                            op,
+                            attempts: attempt,
+                        });
                         return Err(RetryError::DeadlineExceeded {
                             attempts: attempt,
                             last: e,
@@ -148,6 +156,8 @@ impl RetryPolicy {
                     registry
                         .counter("mabe_retry_backoff_us_total", &[("op", op)])
                         .add(backoff);
+                    mabe_trace::event(mabe_trace::TraceEvent::RetryAttempt { op, attempt });
+                    mabe_trace::event(mabe_trace::TraceEvent::Backoff { op, us: backoff });
                     attempt += 1;
                 }
             }

@@ -99,11 +99,18 @@ impl SimDisk {
     }
 }
 
+/// A crash return: the simulated process dies at `point` — noted on
+/// the active trace span before the typed error propagates.
+fn crashed(point: &'static str) -> StoreError {
+    mabe_trace::event(mabe_trace::TraceEvent::CrashInjected { point });
+    StoreError::Crashed { point }
+}
+
 impl Storage for SimDisk {
     fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let point = store_points::APPEND;
         match self.faults.decide(point) {
-            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::Crash) => return Err(crashed(point)),
             Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
             Some(FaultKind::TornWrite) => {
                 // The OS had flushed part of this write when power failed:
@@ -112,7 +119,7 @@ impl Storage for SimDisk {
                 let obj = self.objects.entry(name.to_owned()).or_default();
                 obj.durable.extend_from_slice(&bytes[..n]);
                 obj.shadow = obj.durable.clone();
-                return Err(StoreError::Crashed { point });
+                return Err(crashed(point));
             }
             Some(FaultKind::Corrupt) => {
                 let mut rotted = bytes.to_vec();
@@ -138,7 +145,7 @@ impl Storage for SimDisk {
     fn sync(&mut self, name: &str) -> Result<(), StoreError> {
         let point = store_points::SYNC;
         match self.faults.decide(point) {
-            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::Crash) => return Err(crashed(point)),
             Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
             Some(FaultKind::PartialFlush) => {
                 // Power failed mid-fsync: a strict prefix of the dirty
@@ -150,7 +157,7 @@ impl Storage for SimDisk {
                     obj.durable = obj.shadow[..keep.min(obj.shadow.len())].to_vec();
                     obj.shadow = obj.durable.clone();
                 }
-                return Err(StoreError::Crashed { point });
+                return Err(crashed(point));
             }
             Some(FaultKind::Delay) => self.count_delay(point),
             _ => {}
@@ -161,7 +168,7 @@ impl Storage for SimDisk {
         let post = store_points::SYNC_POST;
         if let Some(FaultKind::Crash) = self.faults.decide(post) {
             // The flush completed but the ack was lost.
-            return Err(StoreError::Crashed { point: post });
+            return Err(crashed(post));
         }
         Ok(())
     }
@@ -169,14 +176,14 @@ impl Storage for SimDisk {
     fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let point = store_points::PUT;
         match self.faults.decide(point) {
-            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::Crash) => return Err(crashed(point)),
             Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
             Some(FaultKind::TornWrite) => {
                 let n = self.faults.partial_len(bytes.len());
                 let obj = self.objects.entry(name.to_owned()).or_default();
                 obj.durable = bytes[..n].to_vec();
                 obj.shadow = obj.durable.clone();
-                return Err(StoreError::Crashed { point });
+                return Err(crashed(point));
             }
             Some(FaultKind::Corrupt) => {
                 let mut rotted = bytes.to_vec();
@@ -194,7 +201,7 @@ impl Storage for SimDisk {
     fn read(&mut self, name: &str) -> Result<Option<Vec<u8>>, StoreError> {
         let point = store_points::READ;
         match self.faults.decide(point) {
-            Some(FaultKind::Crash) => return Err(StoreError::Crashed { point }),
+            Some(FaultKind::Crash) => return Err(crashed(point)),
             Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
             Some(FaultKind::ReadCorrupt) => {
                 let mut copy = match self.objects.get(name) {

@@ -174,6 +174,11 @@ impl<S: Storage> Wal<S> {
         mabe_telemetry::global()
             .counter("mabe_wal_records_replayed_total", &[])
             .add(report.records as u64);
+        mabe_trace::event(mabe_trace::TraceEvent::WalReplayed {
+            generation,
+            records: report.records as u64,
+            dropped_bytes: report.dropped_bytes as u64,
+        });
 
         Ok((generation, snapshot, records, report))
     }
@@ -191,12 +196,20 @@ impl<S: Storage> Wal<S> {
         registry
             .counter("mabe_wal_bytes_total", &[])
             .add(frame.len() as u64);
+        mabe_trace::event(mabe_trace::TraceEvent::JournalAppend {
+            object: wal_name(self.generation),
+            bytes: frame.len() as u64,
+        });
         Ok(())
     }
 
     /// Durably flushes the log.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.store.sync(&wal_name(self.generation))
+        self.store.sync(&wal_name(self.generation))?;
+        mabe_trace::event(mabe_trace::TraceEvent::JournalSync {
+            object: wal_name(self.generation),
+        });
+        Ok(())
     }
 
     /// Checkpoints: writes `snapshot_payload` as generation `g+1`,
@@ -228,6 +241,7 @@ impl<S: Storage> Wal<S> {
         mabe_telemetry::global()
             .counter("mabe_snapshots_written_total", &[])
             .inc();
+        mabe_trace::event(mabe_trace::TraceEvent::CheckpointWritten { generation: next });
         Ok(())
     }
 

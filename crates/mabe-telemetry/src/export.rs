@@ -33,11 +33,20 @@ fn json_labels(key: &Key) -> String {
     format!("{{{}}}", fields.join(","))
 }
 
+/// Escapes a label value per the Prometheus text exposition format:
+/// backslash first, then quote and newline (a raw newline would split
+/// the sample line and corrupt the whole scrape).
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
 fn prom_labels(key: &Key, extra: Option<(&str, String)>) -> String {
     let mut pairs: Vec<String> = key
         .labels
         .iter()
-        .map(|(k, v)| format!("{}=\"{}\"", k, v.replace('\\', "\\\\").replace('"', "\\\"")))
+        .map(|(k, v)| format!("{}=\"{}\"", k, prom_escape(v)))
         .collect();
     if let Some((k, v)) = extra {
         pairs.push(format!("{k}=\"{v}\""));
@@ -219,6 +228,28 @@ mod tests {
         let text = r.prometheus();
         assert_eq!(text.matches("# TYPE ops_total counter").count(), 1);
         assert_eq!(text.matches("# TYPE other_total counter").count(), 1);
+    }
+
+    #[test]
+    fn prometheus_escapes_quote_backslash_and_newline_in_labels() {
+        let r = Registry::new();
+        r.counter(
+            "weird_total",
+            &[("path", "a\\b"), ("msg", "say \"hi\"\nbye")],
+        )
+        .inc();
+        let text = r.prometheus();
+        assert!(
+            text.contains("path=\"a\\\\b\""),
+            "backslash escaped: {text}"
+        );
+        assert!(
+            text.contains("msg=\"say \\\"hi\\\"\\nbye\""),
+            "quote and newline escaped: {text}"
+        );
+        // A raw newline inside a label value would split the sample
+        // line and corrupt the whole scrape.
+        assert!(!text.contains("\nbye"), "raw newline leaked: {text}");
     }
 
     #[test]

@@ -219,6 +219,36 @@ mod tests {
     #[test]
     fn empty_histogram_has_no_quantiles() {
         assert_eq!(Histogram::new().snapshot().p50(), None);
+        // ... at any q, including the clamped extremes.
+        let empty = Histogram::new().snapshot();
+        for q in [-1.0, 0.0, 0.5, 1.0, 2.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+    }
+
+    #[test]
+    fn single_sample_answers_every_quantile() {
+        let h = Histogram::new();
+        h.record(6); // bucket 3, upper bound 7
+        let s = h.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s.quantile(q), Some(7));
+        }
+        // Out-of-range q clamps instead of panicking or skewing.
+        assert_eq!(s.quantile(-3.0), Some(7));
+        assert_eq!(s.quantile(42.0), Some(7));
+    }
+
+    #[test]
+    fn quantile_extremes_hit_the_min_and_max_buckets() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1 << 20);
+        let s = h.snapshot();
+        // q=0 is rank 1 — the smallest observation's bucket, not "below
+        // everything"; q=1 is rank n — the largest bucket, not past it.
+        assert_eq!(s.quantile(0.0), Some(0));
+        assert_eq!(s.quantile(1.0), Some((1u64 << 21) - 1));
     }
 
     #[test]

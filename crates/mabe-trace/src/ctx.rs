@@ -1,0 +1,39 @@
+//! The propagated trace context.
+
+/// Identity of one span inside one trace: the ids that let a child be
+/// stitched under its parent after the fact.
+///
+/// Contexts are plain `Copy` data so they can be threaded through
+/// `CloudSystem`/`DurableSystem` call chains, captured before a
+/// thread boundary, and re-entered on the other side with
+/// [`crate::Span::follow`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TraceCtx {
+    /// The causal tree this span belongs to. Allocated once per root
+    /// span; every descendant inherits it.
+    pub trace_id: u64,
+    /// This span's own id, unique process-wide.
+    pub span_id: u64,
+    /// The parent span's id, or [`TraceCtx::NO_PARENT`] for a root.
+    pub parent_id: u64,
+}
+
+impl TraceCtx {
+    /// The `parent_id` of a root span.
+    pub const NO_PARENT: u64 = 0;
+
+    /// Whether this span is a trace root.
+    pub fn is_root(&self) -> bool {
+        self.parent_id == Self::NO_PARENT
+    }
+
+    /// The context a child span of this one would carry (ids still to
+    /// be allocated): same trace, this span as parent.
+    pub fn child_of(&self, span_id: u64) -> TraceCtx {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id,
+            parent_id: self.span_id,
+        }
+    }
+}

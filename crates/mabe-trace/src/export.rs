@@ -1,0 +1,301 @@
+//! Exporters over a span snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::ctx::TraceCtx;
+use crate::recorder::SpanRecord;
+
+/// JSON string-escapes `s` (quotes, backslashes, control characters).
+pub(crate) fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders `spans` as Chrome `trace_event` JSON (the "JSON array
+/// format"): one `ph:"X"` complete event per span and one `ph:"i"`
+/// instant event per attached [`crate::TraceEvent`]. Load the output
+/// in `chrome://tracing` or Perfetto; traces appear as rows (`tid` is
+/// the trace id), spans nest by timestamp.
+pub fn chrome_trace(spans: &[SpanRecord]) -> String {
+    let mut out = String::from("[\n");
+    let mut first = true;
+    for span in spans {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+             \"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":{},\"span_id\":{},\
+             \"parent_id\":{},\"detail\":\"{}\",\"error\":{}}}}}",
+            esc(span.name),
+            span.start_us,
+            span.dur_us.max(1),
+            span.ctx.trace_id,
+            span.ctx.trace_id,
+            span.ctx.span_id,
+            span.ctx.parent_id,
+            esc(&span.detail),
+            match &span.error {
+                Some(e) => format!("\"{}\"", esc(e)),
+                None => "null".to_owned(),
+            },
+        );
+        for (ts, ev) in &span.events {
+            let _ = write!(
+                out,
+                ",\n{{\"name\":\"{}\",\"cat\":\"event\",\"ph\":\"i\",\"ts\":{ts},\
+                 \"pid\":1,\"tid\":{},\"s\":\"t\",\"args\":{}}}",
+                esc(ev.kind()),
+                span.ctx.trace_id,
+                ev.args_json(),
+            );
+        }
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn span_tree_json(span: &SpanRecord, children: &BTreeMap<u64, Vec<&SpanRecord>>) -> String {
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"span_id\":{},\"parent_id\":{},\"detail\":\"{}\",\
+         \"start_us\":{},\"dur_us\":{},\"error\":{},\"events\":[",
+        esc(span.name),
+        span.ctx.span_id,
+        span.ctx.parent_id,
+        esc(&span.detail),
+        span.start_us,
+        span.dur_us,
+        match &span.error {
+            Some(e) => format!("\"{}\"", esc(e)),
+            None => "null".to_owned(),
+        },
+    );
+    for (i, (ts, ev)) in span.events.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"t_us\":{ts},\"kind\":\"{}\",\"args\":{}}}",
+            esc(ev.kind()),
+            ev.args_json()
+        );
+    }
+    out.push_str("],\"children\":[");
+    for (i, child) in children
+        .get(&span.ctx.span_id)
+        .map(Vec::as_slice)
+        .unwrap_or_default()
+        .iter()
+        .enumerate()
+    {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&span_tree_json(child, children));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders `spans` as a self-describing parent/child forest, grouped
+/// by trace:
+///
+/// ```json
+/// {"format":"mabe-trace/v1","traces":[{"trace_id":1,"roots":[...]}]}
+/// ```
+///
+/// A span whose parent was already overwritten by ring wrap-around is
+/// promoted to a root of its trace rather than dropped.
+pub fn tree_json(spans: &[SpanRecord]) -> String {
+    let present: std::collections::BTreeSet<u64> = spans.iter().map(|s| s.ctx.span_id).collect();
+    let mut children: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    let mut traces: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for span in spans {
+        if span.ctx.parent_id != TraceCtx::NO_PARENT && present.contains(&span.ctx.parent_id) {
+            children.entry(span.ctx.parent_id).or_default().push(span);
+        } else {
+            traces.entry(span.ctx.trace_id).or_default().push(span);
+        }
+    }
+    let mut out = String::from("{\"format\":\"mabe-trace/v1\",\"traces\":[");
+    for (i, (trace_id, roots)) in traces.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"trace_id\":{trace_id},\"roots\":[");
+        for (j, root) in roots.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&span_tree_json(root, &children));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceEvent;
+
+    /// Minimal JSON well-formedness check: balanced structure, legal
+    /// string escapes, non-empty. Not a full parser — enough to catch
+    /// a broken exporter.
+    pub(crate) fn assert_well_formed_json(s: &str) {
+        let bytes = s.as_bytes();
+        let mut depth: i64 = 0;
+        let mut stack = Vec::new();
+        let mut in_str = false;
+        let mut escaped = false;
+        for &b in bytes {
+            if in_str {
+                if escaped {
+                    assert!(
+                        matches!(
+                            b,
+                            b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't' | b'u'
+                        ),
+                        "illegal escape \\{} in {s}",
+                        b as char
+                    );
+                    escaped = false;
+                } else if b == b'\\' {
+                    escaped = true;
+                } else if b == b'"' {
+                    in_str = false;
+                } else {
+                    assert!(b >= 0x20, "raw control byte {b:#04x} inside string");
+                }
+                continue;
+            }
+            match b {
+                b'"' => in_str = true,
+                b'{' | b'[' => {
+                    depth += 1;
+                    stack.push(b);
+                }
+                b'}' => {
+                    assert_eq!(stack.pop(), Some(b'{'), "mismatched }} in {s}");
+                    depth -= 1;
+                }
+                b']' => {
+                    assert_eq!(stack.pop(), Some(b'['), "mismatched ] in {s}");
+                    depth -= 1;
+                }
+                _ => {}
+            }
+        }
+        assert!(!in_str, "unterminated string");
+        assert_eq!(depth, 0, "unbalanced brackets");
+        assert!(!s.trim().is_empty());
+    }
+
+    fn sample() -> Vec<SpanRecord> {
+        let root = SpanRecord {
+            seq: 0,
+            ctx: TraceCtx {
+                trace_id: 9,
+                span_id: 1,
+                parent_id: 0,
+            },
+            name: "revoke",
+            detail: "alice / Doctor@MedOrg \"quoted\"\nline".into(),
+            start_us: 10,
+            dur_us: 100,
+            error: None,
+            events: vec![
+                (
+                    12,
+                    TraceEvent::FaultInjected {
+                        point: "revoke.rekey",
+                        kind: "authority_down",
+                        hit: 1,
+                    },
+                ),
+                (
+                    15,
+                    TraceEvent::RetryAttempt {
+                        op: "t",
+                        attempt: 1,
+                    },
+                ),
+            ],
+        };
+        let child = SpanRecord {
+            seq: 1,
+            ctx: TraceCtx {
+                trace_id: 9,
+                span_id: 2,
+                parent_id: 1,
+            },
+            name: "reencrypt",
+            detail: String::new(),
+            start_us: 40,
+            dur_us: 20,
+            error: Some("boom".into()),
+            events: Vec::new(),
+        };
+        vec![root, child]
+    }
+
+    #[test]
+    fn chrome_trace_is_well_formed_and_complete() {
+        let out = chrome_trace(&sample());
+        assert_well_formed_json(&out);
+        assert!(out.trim_start().starts_with('['));
+        assert!(out.contains("\"ph\":\"X\""), "complete events present");
+        assert!(out.contains("\"ph\":\"i\""), "instant events present");
+        assert!(out.contains("\"name\":\"revoke\""));
+        assert!(out.contains("\"name\":\"fault_injected\""));
+        assert!(out.contains("\\\"quoted\\\""), "details are escaped");
+        assert!(!out.contains("alice / Doctor@MedOrg \"quoted\"\nline"));
+    }
+
+    #[test]
+    fn tree_json_nests_children_under_parents() {
+        let out = tree_json(&sample());
+        assert_well_formed_json(&out);
+        let revoke = out.find("\"name\":\"revoke\"").unwrap();
+        let reenc = out.find("\"name\":\"reencrypt\"").unwrap();
+        assert!(reenc > revoke, "child rendered inside parent");
+        assert_eq!(out.matches("\"trace_id\":9").count(), 1, "one trace group");
+        assert!(out.contains("\"error\":\"boom\""));
+        assert!(out.contains("\"kind\":\"retry_attempt\""));
+    }
+
+    #[test]
+    fn orphaned_spans_are_promoted_to_roots() {
+        let mut spans = sample();
+        spans.remove(0); // parent evicted by wrap-around
+        let out = tree_json(&spans);
+        assert_well_formed_json(&out);
+        assert!(out.contains("\"name\":\"reencrypt\""), "orphan survives");
+    }
+
+    #[test]
+    fn escapes_cover_quotes_backslashes_and_newlines() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

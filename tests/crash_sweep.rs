@@ -209,6 +209,10 @@ fn crash_and_reopen(
     ctx: &str,
     reopen_may_fail_typed: bool,
 ) -> bool {
+    // If any invariant below panics, the flight recorder is dumped to
+    // `trace_<seed>_<case>.json` so the failing case ships its own
+    // causal history (fault points hit, retries, journal writes).
+    let _forensics = mabe_trace::FailureDump::new(seed(), ctx);
     let mut disk = match DurableSystem::open_with_faults(world_disk, seed(), cloud_faults) {
         Ok((mut ds, _)) => {
             let _ = run_scenario(&mut ds);
@@ -266,7 +270,7 @@ fn crash_point_sweep_recovers_at_every_fault_point() {
     // Cloud-level crashes: the process dies mid-protocol, the journal
     // survives.
     for (point, hits) in cloud_hits {
-        assert!(hits > 0, "scenario never exercises {point}");
+        assert!(hits > 0, "seed {seed}: scenario never exercises {point}");
         for nth in 1..=depth(hits) {
             let injector =
                 FaultInjector::new(FaultPlan::new(seed ^ nth).at(point, nth, FaultKind::Crash));
@@ -276,14 +280,20 @@ fn crash_point_sweep_recovers_at_every_fault_point() {
                 &format!("cloud {point}#{nth}"),
                 false,
             );
-            assert!(reopened);
+            assert!(
+                reopened,
+                "seed {seed}: reopen after crash at {point} (hit #{nth}) was rejected"
+            );
         }
     }
 
     // Disk-level faults: the journal write itself dies (or tears, or
     // flushes partially).
     for (point, kind, may_fail, hits) in store_hits {
-        assert!(hits > 0, "scenario never exercises store {point}");
+        assert!(
+            hits > 0,
+            "seed {seed}: scenario never exercises store {point}"
+        );
         for nth in 1..=depth(hits) {
             let disk = SimDisk::new(FaultInjector::new(
                 FaultPlan::new(seed ^ (nth << 8)).at(point, nth, kind),
@@ -311,7 +321,10 @@ fn torn_append_sweep_drops_at_most_the_torn_record() {
     run_scenario(&mut ds).expect("clean scenario");
     let appends = ds.storage().injector().hits(store_points::APPEND);
     let records = ds.audit().entries().len();
-    assert!(appends > 10, "scenario journals every op");
+    assert!(
+        appends > 10,
+        "seed {seed}: scenario journaled only {appends} appends"
+    );
     drop(ds);
 
     let max = if full_sweep() { appends } else { 2 };
