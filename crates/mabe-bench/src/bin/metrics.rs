@@ -12,7 +12,7 @@
 use mabe_cloud::CloudSystem;
 
 fn main() {
-    let mut sys = CloudSystem::new(2026);
+    let sys = CloudSystem::new(2026);
     let med = sys
         .add_authority("MedOrg", &["Doctor", "Nurse"])
         .expect("fresh AID");

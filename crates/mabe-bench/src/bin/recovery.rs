@@ -34,8 +34,7 @@ struct Row {
 /// revoke/re-grant churn every eighth op, so replay exercises every
 /// record type including re-keys and proxy re-encryption.
 fn build(ops: usize, seed: u64) -> DurableSystem<SimDisk> {
-    let (mut ds, _) =
-        DurableSystem::open(SimDisk::unfaulted(), seed).expect("fresh open never fails");
+    let (ds, _) = DurableSystem::open(SimDisk::unfaulted(), seed).expect("fresh open never fails");
     ds.set_checkpoint_interval(usize::MAX);
     ds.add_authority("MedOrg", &["Doctor", "Nurse"])
         .expect("setup");

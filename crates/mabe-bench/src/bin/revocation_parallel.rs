@@ -1,0 +1,208 @@
+//! Parallel proxy re-encryption bench: one revocation whose phase 2
+//! fans out across the affected ciphertext components on the data
+//! plane's scoped worker pool, measured at increasing worker counts.
+//!
+//! Two speedup notions are recorded per row, because wall-clock only
+//! reflects the fan-out when the host actually has the hardware
+//! threads to run it:
+//!
+//! - `wall_speedup_vs_1` — measured wall time of the 1-worker revoke
+//!   divided by this row's; meaningful when `hw_threads >= workers`.
+//! - `distribution_speedup` — components ÷ max per-worker share, read
+//!   from the flight recorder (each worker's `cloud.reencrypt`
+//!   children are counted). This is the parallel critical path of the
+//!   *actual* run in units of measured per-component cost, and is the
+//!   number that transfers across hosts.
+//!
+//! `speedup_vs_1` picks the wall number when the host has enough
+//! hardware threads, the distribution number otherwise (`basis` says
+//! which). The run asserts `speedup_vs_1 >= 2` at 4 workers.
+//!
+//! Usage: `revocation_parallel [components]` (default 96). With
+//! `MABE_METRICS_DIR` set the rows are dumped as
+//! `BENCH_revocation_parallel.json` alongside the registry snapshot.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use mabe_cloud::CloudSystem;
+
+const WORKER_COUNTS: [usize; 3] = [1, 2, 4];
+
+struct Row {
+    workers: usize,
+    components: usize,
+    wall_ms: f64,
+    per_component_ms: f64,
+    worker_items: Vec<usize>,
+    wall_speedup_vs_1: f64,
+    distribution_speedup: f64,
+    speedup_vs_1: f64,
+    basis: &'static str,
+}
+
+/// Builds a fresh world (same seed per row so the workload is
+/// identical), revokes the only holder, and reads the re-encryption
+/// fan-out back out of the flight recorder.
+fn measure(components: usize, workers: usize) -> (f64, f64, Vec<usize>) {
+    let sys = CloudSystem::new(xrev_seed(workers));
+    sys.set_reencrypt_workers(workers);
+    sys.add_authority("Org", &["A"]).expect("fresh authority");
+    let owner = sys.add_owner("owner").expect("fresh owner");
+    let victim = sys.add_user("victim").expect("fresh user");
+    sys.grant(&victim, &["A@Org"]).expect("managed attribute");
+    for i in 0..components {
+        sys.publish(
+            &owner,
+            &format!("rec-{i}"),
+            &[("f", b"payload".as_slice(), "A@Org")],
+        )
+        .expect("publish");
+    }
+
+    mabe_trace::recorder::global().clear();
+    let start = Instant::now();
+    sys.revoke(&victim, "A@Org").expect("revoke succeeds");
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let spans = mabe_trace::snapshot();
+    let reencrypts: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "cloud.reencrypt")
+        .collect();
+    assert_eq!(
+        reencrypts.len(),
+        components,
+        "every component re-encrypts exactly once"
+    );
+    let per_component_ms = reencrypts
+        .iter()
+        .map(|s| s.dur_us as f64 / 1e3)
+        .sum::<f64>()
+        / components.max(1) as f64;
+
+    // Per-worker share: count each worker span's re-encrypt children.
+    // The sequential path has no worker spans — one share holds all.
+    let worker_spans: Vec<_> = spans
+        .iter()
+        .filter(|s| s.name == "cloud.reencrypt.worker")
+        .collect();
+    let worker_items: Vec<usize> = if worker_spans.is_empty() {
+        vec![components]
+    } else {
+        worker_spans
+            .iter()
+            .map(|w| {
+                reencrypts
+                    .iter()
+                    .filter(|r| r.ctx.parent_id == w.ctx.span_id)
+                    .count()
+            })
+            .collect()
+    };
+    assert_eq!(
+        worker_items.iter().sum::<usize>(),
+        components,
+        "worker shares cover the worklist exactly"
+    );
+    (wall_ms, per_component_ms, worker_items)
+}
+
+/// Distinct deterministic seed per worker count (no clock, no RNG).
+fn xrev_seed(workers: usize) -> u64 {
+    0x5eed_0000 + workers as u64
+}
+
+fn emit_json(rows: &[Row], components: usize, hw_threads: usize) {
+    let Some(dir) = std::env::var_os("MABE_METRICS_DIR") else {
+        return;
+    };
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            let items: Vec<String> = r.worker_items.iter().map(usize::to_string).collect();
+            format!(
+                "{{\"workers\": {}, \"components\": {}, \"wall_ms\": {:.3}, \
+                 \"per_component_ms\": {:.4}, \"worker_items\": [{}], \
+                 \"wall_speedup_vs_1\": {:.3}, \"distribution_speedup\": {:.3}, \
+                 \"speedup_vs_1\": {:.3}, \"basis\": \"{}\"}}",
+                r.workers,
+                r.components,
+                r.wall_ms,
+                r.per_component_ms,
+                items.join(", "),
+                r.wall_speedup_vs_1,
+                r.distribution_speedup,
+                r.speedup_vs_1,
+                r.basis
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n\"bench\": \"revocation_parallel\",\n\"components\": {components},\n\
+         \"hw_threads\": {hw_threads},\n\"rows\": [\n{}\n]}}\n",
+        body.join(",\n")
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_revocation_parallel.json");
+    let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_revocation_parallel.json failed: {e}"),
+    }
+}
+
+fn main() {
+    let components: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(96);
+    let hw_threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    mabe_trace::set_enabled(true);
+
+    eprintln!("# revocation_parallel: {components} components, {hw_threads} hw threads");
+    println!("workers\twall_ms\tper_component_ms\tmax_share\tspeedup_vs_1\tbasis");
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut base_wall_ms = 0.0;
+    for workers in WORKER_COUNTS {
+        let (wall_ms, per_component_ms, worker_items) = measure(components, workers);
+        if workers == 1 {
+            base_wall_ms = wall_ms;
+        }
+        let max_share = worker_items.iter().copied().max().unwrap_or(components);
+        let wall_speedup = base_wall_ms / wall_ms.max(1e-9);
+        let distribution_speedup = components as f64 / max_share.max(1) as f64;
+        let (speedup, basis) = if hw_threads >= workers {
+            (wall_speedup, "wall")
+        } else {
+            (distribution_speedup, "work_distribution")
+        };
+        println!(
+            "{workers}\t{wall_ms:.3}\t{per_component_ms:.4}\t{max_share}\t{speedup:.3}\t{basis}"
+        );
+        rows.push(Row {
+            workers,
+            components,
+            wall_ms,
+            per_component_ms,
+            worker_items,
+            wall_speedup_vs_1: wall_speedup,
+            distribution_speedup,
+            speedup_vs_1: speedup,
+            basis,
+        });
+    }
+
+    let at_4 = rows
+        .iter()
+        .find(|r| r.workers == 4)
+        .expect("4-worker row measured");
+    assert!(
+        at_4.speedup_vs_1 >= 2.0,
+        "parallel re-encryption must reach 2x at 4 workers (got {:.3}, basis {})",
+        at_4.speedup_vs_1,
+        at_4.basis
+    );
+    emit_json(&rows, components, hw_threads);
+    mabe_bench::metrics::emit("revocation_parallel");
+}

@@ -2,24 +2,40 @@
 //! parallel readers fetching and decrypting one record while a
 //! revocation-driven re-encryption lands mid-run.
 //!
-//! Usage: `throughput [readers] [ops_per_reader]` (defaults 4 and 25).
+//! The harness applies no artificial delays: readers run back-to-back
+//! (think-time defaults to zero) and the writer re-encrypts as soon as
+//! the readers start, so the numbers measure the system rather than a
+//! sleep. With `MABE_METRICS_DIR` set the per-reader-count rows are
+//! dumped as `BENCH_throughput.json` alongside the standard registry
+//! snapshot.
+//!
+//! Usage: `throughput [readers] [ops_per_reader] [think_us]`
+//! (defaults 4, 25, and 0). Reader counts 1..=readers are each
+//! measured so the dump records a scaling curve, not one point.
 
 use std::collections::BTreeMap;
+use std::io::Write as _;
 use std::sync::Arc;
+use std::time::Duration;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use mabe_cloud::concurrent::{run_concurrent_reads, ReaderSpec};
+use mabe_cloud::concurrent::{run_concurrent_reads_with, ReaderSpec, ThroughputReport};
 use mabe_cloud::CloudServer;
 use mabe_core::{seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId};
 use mabe_policy::parse;
 
-fn main() {
-    let mut args = std::env::args().skip(1);
-    let readers_n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
-    let ops: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(25);
+struct Row {
+    readers: usize,
+    ops: u64,
+    think_us: u64,
+    report: ThroughputReport,
+}
 
+/// Runs one concurrent-read measurement at `readers_n` readers with a
+/// mid-run proxy re-encryption, on a freshly built world.
+fn measure(readers_n: usize, ops: u64, think: Duration) -> Row {
     let mut rng = StdRng::seed_from_u64(0x7412);
     let mut ca = CertificateAuthority::new();
     let aid = ca.register_authority("Org").expect("fresh AID");
@@ -68,24 +84,96 @@ fn main() {
 
     let server_for_writer = Arc::clone(&server);
     let owner_id = owner.id().clone();
-    let report = run_concurrent_reads(&server, &readers, ops, move || {
-        std::thread::sleep(std::time::Duration::from_millis(20));
+    let report = run_concurrent_reads_with(&server, &readers, ops, think, move || {
         server_for_writer
             .reencrypt_component(&(owner_id.clone(), "rec".into()), "x", &uk, &ui)
             .expect("valid update");
     });
-
-    println!("readers: {readers_n}, ops/reader: {ops}");
-    println!("successful decrypts : {}", report.successes);
-    println!(
-        "clean failures      : {} (stale keys after re-encryption)",
-        report.clean_failures
-    );
-    println!("corrupted reads     : {} (must be 0)", report.corruptions);
-    println!("elapsed             : {:?}", report.elapsed);
-    println!(
-        "throughput          : {:.1} successful reads/s",
-        report.ops_per_sec()
-    );
     assert_eq!(report.corruptions, 0);
+    Row {
+        readers: readers_n,
+        ops,
+        think_us: think.as_micros().min(u128::from(u64::MAX)) as u64,
+        report,
+    }
+}
+
+fn emit_json(rows: &[Row]) {
+    let Some(dir) = std::env::var_os("MABE_METRICS_DIR") else {
+        return;
+    };
+    let body: Vec<String> = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"readers\": {}, \"ops_per_reader\": {}, \"think_us\": {}, \
+                 \"successes\": {}, \"clean_failures\": {}, \"corruptions\": {}, \
+                 \"elapsed_ms\": {:.3}, \"reads_per_s\": {:.1}, \"attempts_per_s\": {:.1}}}",
+                r.readers,
+                r.ops,
+                r.think_us,
+                r.report.successes,
+                r.report.clean_failures,
+                r.report.corruptions,
+                r.report.elapsed.as_secs_f64() * 1e3,
+                r.report.ops_per_sec(),
+                r.report.total() as f64 / r.report.elapsed.as_secs_f64().max(1e-9)
+            )
+        })
+        .collect();
+    let doc = format!(
+        "{{\n\"bench\": \"throughput\",\n\"rows\": [\n{}\n]}}\n",
+        body.join(",\n")
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_throughput.json");
+    let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_throughput.json failed: {e}"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let readers_max: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
+    let ops: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(25);
+    let think_us: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0);
+    let think = Duration::from_micros(think_us);
+
+    println!(
+        "readers\tops_per_reader\tthink_us\tsuccesses\tclean_failures\telapsed_ms\tattempts_per_s"
+    );
+    let mut rows = Vec::new();
+    let mut n = 1;
+    while n <= readers_max {
+        let row = measure(n, ops, think);
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}",
+            row.readers,
+            row.ops,
+            row.think_us,
+            row.report.successes,
+            row.report.clean_failures,
+            row.report.elapsed.as_secs_f64() * 1e3,
+            row.report.total() as f64 / row.report.elapsed.as_secs_f64().max(1e-9)
+        );
+        rows.push(row);
+        n *= 2;
+    }
+    if rows.last().map(|r| r.readers) != Some(readers_max) {
+        let row = measure(readers_max, ops, think);
+        println!(
+            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}",
+            row.readers,
+            row.ops,
+            row.think_us,
+            row.report.successes,
+            row.report.clean_failures,
+            row.report.elapsed.as_secs_f64() * 1e3,
+            row.report.total() as f64 / row.report.elapsed.as_secs_f64().max(1e-9)
+        );
+        rows.push(row);
+    }
+    emit_json(&rows);
+    mabe_bench::metrics::emit("throughput");
 }

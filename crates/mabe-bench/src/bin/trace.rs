@@ -76,7 +76,7 @@ fn micro_trace(mode: &'static str, enabled: bool, iters: u64) -> Row {
 /// reads, closed by one attribute revocation (re-key, key update,
 /// proxy re-encryption).
 fn macro_workload(seed: u64, ops: usize) -> f64 {
-    let mut sys = CloudSystem::new(seed);
+    let sys = CloudSystem::new(seed);
     sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
     let owner = sys.add_owner("hospital").unwrap();
     let alice = sys.add_user("alice").unwrap();

@@ -250,7 +250,7 @@ const PAYLOAD: &[u8] = b"0123456789abcdef0123456789abcdef"; // 32 B component
 /// all-attributes user, one record sealed under the all-attributes AND
 /// policy.
 pub fn deploy(shape: Shape) -> CloudSystem {
-    let mut sys = CloudSystem::new(0xc10d);
+    let sys = CloudSystem::new(0xc10d);
     let attr_names: Vec<String> = (0..shape.attrs_per_authority)
         .map(|x| format!("attr{x}"))
         .collect();

@@ -9,7 +9,7 @@
 //! corrupted result.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -66,6 +66,10 @@ impl ThroughputReport {
 /// in parallel threads, optionally interleaving a `writer` closure on
 /// the calling thread (e.g. performing re-encryptions).
 ///
+/// Readers run with zero think-time: the harness measures the system,
+/// not a sleep. Use [`run_concurrent_reads_with`] to model readers that
+/// pause between requests.
+///
 /// # Panics
 ///
 /// Panics if a reader thread panics.
@@ -73,6 +77,27 @@ pub fn run_concurrent_reads<F>(
     server: &Arc<CloudServer>,
     readers: &[ReaderSpec],
     ops_per_reader: u64,
+    writer: F,
+) -> ThroughputReport
+where
+    F: FnMut(),
+{
+    run_concurrent_reads_with(server, readers, ops_per_reader, Duration::ZERO, writer)
+}
+
+/// [`run_concurrent_reads`] with an explicit per-op reader `think`
+/// pause. `Duration::ZERO` (the default entry point) means readers
+/// hammer the server back-to-back; a non-zero value models clients that
+/// idle between requests, which deliberately shrinks contention.
+///
+/// # Panics
+///
+/// Panics if a reader thread panics.
+pub fn run_concurrent_reads_with<F>(
+    server: &Arc<CloudServer>,
+    readers: &[ReaderSpec],
+    ops_per_reader: u64,
+    think: Duration,
     mut writer: F,
 ) -> ThroughputReport
 where
@@ -81,7 +106,6 @@ where
     let successes = AtomicU64::new(0);
     let clean_failures = AtomicU64::new(0);
     let corruptions = AtomicU64::new(0);
-    let stop = AtomicBool::new(false);
     let start = Instant::now();
 
     thread::scope(|scope| {
@@ -92,6 +116,9 @@ where
             let corruptions = &corruptions;
             scope.spawn(move |_| {
                 for _ in 0..ops_per_reader {
+                    if !think.is_zero() {
+                        std::thread::sleep(think);
+                    }
                     let Some(envelope) = server.fetch(&spec.owner, &spec.record) else {
                         clean_failures.fetch_add(1, Ordering::Relaxed);
                         continue;
@@ -116,7 +143,6 @@ where
         }
         // The writer runs on this thread while readers hammer the server.
         writer();
-        stop.store(true, Ordering::Relaxed);
     })
     .expect("reader thread panicked");
 
@@ -222,6 +248,29 @@ mod tests {
     }
 
     #[test]
+    fn think_time_pause_preserves_results() {
+        let mut w = world();
+        let policy = parse("A@Org").unwrap();
+        let envelope = seal_envelope(
+            &mut w.owner,
+            &[("x", b"payload".as_slice(), &policy)],
+            &mut w.rng,
+        )
+        .unwrap();
+        w.server.store(w.owner.id().clone(), "rec", envelope);
+
+        let readers: Vec<ReaderSpec> = (0..2)
+            .map(|i| reader(&mut w, &format!("r{i}"), b"payload"))
+            .collect();
+        let report =
+            run_concurrent_reads_with(&w.server, &readers, 5, Duration::from_micros(200), || {});
+        assert_eq!(report.successes, 10);
+        assert_eq!(report.corruptions, 0);
+        // Ten paced ops cannot finish faster than the pacing allows.
+        assert!(report.elapsed >= Duration::from_micros(5 * 200));
+    }
+
+    #[test]
     fn readers_race_reencryption_without_corruption() {
         // Readers hold version-1 keys while the writer re-encrypts the
         // record to version 2 mid-run. Every read must be either a
@@ -255,9 +304,9 @@ mod tests {
 
         let server = Arc::clone(&w.server);
         let owner_id = w.owner.id().clone();
+        // No staged delay: the writer races the readers from the first
+        // fetch, and the invariant must hold wherever the flip lands.
         let report = run_concurrent_reads(&w.server, &readers, 50, move || {
-            // Let some reads land first, then flip the ciphertext.
-            std::thread::sleep(Duration::from_millis(5));
             server
                 .reencrypt_component(&(owner_id.clone(), "rec".into()), "x", &uk, &ui)
                 .unwrap();

@@ -1,0 +1,405 @@
+//! Data plane: publish, read, outsourced read, and proxy
+//! re-encryption.
+//!
+//! Every data-plane entry point takes `&self`: the ciphertext store is
+//! the already-concurrent [`CloudServer`] behind an `Arc`, and reader
+//! state (user keys) is cloned out of the directory under a short read
+//! lock. Reads therefore proceed while a revocation holds an authority
+//! shard — they serve the last consistent version, exactly the
+//! graceful degradation the paper's semi-trusted-server model wants.
+//!
+//! Re-encryption after a revocation fans out across the affected
+//! ciphertext components on a scoped worker pool
+//! ([`CloudSystem::set_reencrypt_workers`]); each worker joins the
+//! revocation's causal tree via [`mabe_trace::Span::follow`], so the
+//! forensics invariant (one tree, no orphan spans) survives the
+//! parallelism.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use mabe_core::{
+    open_component, seal_envelope, CiphertextId, Error, OwnerId, Uid, UpdateKey, UserSecretKey,
+};
+use mabe_policy::{parse, AuthorityId, Policy};
+
+use crate::audit::AuditEvent;
+use crate::recovery::PendingRevocation;
+use crate::server::{CloudServer, RecordKey};
+use crate::system::{fault_points, CloudError, CloudSystem};
+use crate::wire::Endpoint;
+
+/// The data plane: the shared ciphertext store plus the re-encryption
+/// fan-out width.
+#[derive(Debug)]
+pub(crate) struct DataPlane {
+    pub(crate) server: Arc<CloudServer>,
+    /// Worker count for the re-encryption pool; 1 = sequential (the
+    /// deterministic default every chaos/crash-sweep schedule assumes).
+    pub(crate) reencrypt_workers: AtomicUsize,
+}
+
+impl DataPlane {
+    pub(crate) fn new() -> Self {
+        DataPlane {
+            server: Arc::new(CloudServer::new()),
+            reencrypt_workers: AtomicUsize::new(1),
+        }
+    }
+}
+
+impl CloudSystem {
+    /// Publishes a record: each `(label, data, policy)` component is
+    /// sealed (fresh content key, CP-ABE-wrapped) and uploaded.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unknown owner, bad policy, or encryption errors.
+    pub fn publish(
+        &self,
+        owner_id: &OwnerId,
+        record: &str,
+        components: &[(&str, &[u8], &str)],
+    ) -> Result<(), CloudError> {
+        let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "publish")]);
+        let _trace = mabe_trace::Span::child("cloud.publish").detail(record.to_owned());
+        if !self.directory.owners.read().contains_key(owner_id) {
+            return Err(CloudError::Core(Error::UnknownOwner(owner_id.clone())));
+        }
+        let policies: Vec<Policy> = components
+            .iter()
+            .map(|(_, _, p)| parse(p))
+            .collect::<Result<_, _>>()?;
+        let specs: Vec<(&str, &[u8], &Policy)> = components
+            .iter()
+            .zip(policies.iter())
+            .map(|((label, data, _), policy)| (*label, *data, policy))
+            .collect();
+        let envelope = {
+            let mut owners = self.directory.owners.write();
+            let owner = owners.get_mut(owner_id).expect("checked above");
+            seal_envelope(owner, &specs, &mut *self.rng.lock())?
+        };
+        // The upload consults PUBLISH_STORE: transient storage errors and
+        // drops are retried; a crash aborts *before* the store, so a
+        // failed publish never leaves a half-written record.
+        self.transmit(
+            fault_points::PUBLISH_STORE,
+            Endpoint::Owner(owner_id.clone()),
+            Endpoint::Server,
+            &format!("record {record}"),
+            envelope.stored_size(),
+        )?;
+        self.data.server.store(owner_id.clone(), record, envelope);
+        self.audit.lock().record(AuditEvent::Published {
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            components: components.iter().map(|(l, _, _)| (*l).to_owned()).collect(),
+        });
+        Ok(())
+    }
+
+    /// A user downloads one component of a record and decrypts it.
+    ///
+    /// Takes `&self`: concurrent readers share the server and clone
+    /// their key view out of the directory, so reads race neither each
+    /// other nor the control plane.
+    ///
+    /// # Errors
+    ///
+    /// Unknown record/component, or any decryption error (unsatisfied
+    /// policy, missing authority key, stale versions).
+    pub fn read(
+        &self,
+        uid: &Uid,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+    ) -> Result<Vec<u8>, CloudError> {
+        let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read")]);
+        let _trace = mabe_trace::Span::child("cloud.read").detail(format!("{record}/{label}"));
+        if !self.directory.users.read().users.contains_key(uid) {
+            return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
+        }
+        let envelope = self
+            .data
+            .server
+            .fetch(owner_id, record)
+            .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+        let component = envelope
+            .component(label)
+            .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+        // Reads are server-side only: they keep working while authorities
+        // are down (graceful degradation at the last consistent version),
+        // and transient download faults are retried at READ_FETCH.
+        self.transmit(
+            fault_points::READ_FETCH,
+            Endpoint::Server,
+            Endpoint::User(uid.clone()),
+            &format!("component {record}/{label}"),
+            component.stored_size(),
+        )?;
+        let (pk, keys) = {
+            let users = self.directory.users.read();
+            let state = users.users.get(uid).expect("checked above");
+            let keys: BTreeMap<AuthorityId, UserSecretKey> = state
+                .keys
+                .iter()
+                .filter(|((o, _), _)| o == owner_id)
+                .map(|((_, aid), key)| (aid.clone(), key.clone()))
+                .collect();
+            (state.pk.clone(), keys)
+        };
+        let result = open_component(component, &pk, &keys);
+        self.audit.lock().record(AuditEvent::Read {
+            uid: uid.to_string(),
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            component: label.to_owned(),
+            allowed: result.is_ok(),
+        });
+        Ok(result?)
+    }
+
+    /// Like [`Self::read`], but decryption is outsourced: the user sends
+    /// a blinded transform key, the **server** runs all pairings and
+    /// returns a token, and the user finishes with one `G_T`
+    /// exponentiation (the DAC-MACS-style extension in
+    /// `mabe_core::outsource`). The server learns nothing: the token
+    /// carries the user's `1/z` blinding.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::read`].
+    pub fn read_outsourced(
+        &self,
+        uid: &Uid,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+    ) -> Result<Vec<u8>, CloudError> {
+        let _span =
+            mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read_outsourced")]);
+        let _trace =
+            mabe_trace::Span::child("cloud.read_outsourced").detail(format!("{record}/{label}"));
+        let (pk, keys) = {
+            let users = self.directory.users.read();
+            let state = users
+                .users
+                .get(uid)
+                .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
+            let keys: BTreeMap<AuthorityId, UserSecretKey> = state
+                .keys
+                .iter()
+                .filter(|((o, _), _)| o == owner_id)
+                .map(|((_, aid), key)| (aid.clone(), key.clone()))
+                .collect();
+            (state.pk.clone(), keys)
+        };
+        let envelope = self
+            .data
+            .server
+            .fetch(owner_id, record)
+            .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+        let component = envelope
+            .component(label)
+            .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+        let (tk, rk) = mabe_core::make_transform_key(&pk, &keys, &mut *self.rng.lock())?;
+        // The blinded key travels to the server (same element count as
+        // the underlying secret keys plus the blinded PK).
+        let tk_bytes: usize =
+            keys.values().map(UserSecretKey::wire_size).sum::<usize>() + mabe_core::G_BYTES;
+        self.wire.send(
+            Endpoint::User(uid.clone()),
+            Endpoint::Server,
+            "transform key",
+            tk_bytes,
+        );
+        let token = mabe_core::server_transform(&component.key_ct, &tk)?;
+        // Only the 128-byte token comes back — not the ciphertext.
+        self.wire.send(
+            Endpoint::Server,
+            Endpoint::User(uid.clone()),
+            format!("transform token {record}/{label}"),
+            mabe_core::GT_BYTES + component.sealed.len() + component.nonce.len(),
+        );
+        let kem = mabe_core::client_recover(&component.key_ct, &token, &rk);
+        let result = mabe_core::open_component_with_kem(component, &kem);
+        self.audit.lock().record(AuditEvent::Read {
+            uid: uid.to_string(),
+            owner: owner_id.to_string(),
+            record: record.to_owned(),
+            component: label.to_owned(),
+            allowed: result.is_ok(),
+        });
+        Ok(result?)
+    }
+
+    /// Sets the worker count for the re-encryption pool. `1` (the
+    /// default) keeps phase 2 strictly sequential — byte-for-byte the
+    /// behavior every seeded chaos schedule replays — while `n > 1`
+    /// fans the affected components out over `n` scoped workers.
+    pub fn set_reencrypt_workers(&self, workers: usize) {
+        self.data
+            .reencrypt_workers
+            .store(workers.max(1), Ordering::Relaxed);
+    }
+
+    /// The configured re-encryption fan-out width.
+    pub fn reencrypt_workers(&self) -> usize {
+        self.data.reencrypt_workers.load(Ordering::Relaxed)
+    }
+
+    /// Phase 2: owners apply their update keys (checkpointed), then the
+    /// server re-encrypts every affected ciphertext. The worklist comes
+    /// from [`CloudServer::affected_ciphertexts`], which only returns
+    /// components still at the old version — replaying a half-finished
+    /// phase naturally skips what is already done (and is what makes a
+    /// parallel run idempotent too: workers that already advanced a
+    /// component before a failure simply shrink the next worklist).
+    pub(crate) fn reencrypt_phase(
+        &self,
+        pending: &mut PendingRevocation,
+    ) -> Result<(), CloudError> {
+        let _trace = mabe_trace::Span::child("cloud.reencrypt_phase")
+            .detail(format!("@{}", pending.event.aid));
+        let aid = pending.event.aid.clone();
+        let from = pending.event.from_version;
+        let to = pending.event.to_version;
+        let owner_ids: Vec<OwnerId> = self.directory.owners.read().keys().cloned().collect();
+        for owner_id in owner_ids {
+            let Some(uk) = pending.event.update_keys.get(&owner_id).cloned() else {
+                continue;
+            };
+            if !pending.updated_owners.contains(&owner_id) {
+                self.transmit(
+                    fault_points::REVOKE_OWNER_UPDATE,
+                    Endpoint::Authority(aid.clone()),
+                    Endpoint::Owner(owner_id.clone()),
+                    "update key",
+                    uk.wire_size(),
+                )?;
+                {
+                    let mut owners = self.directory.owners.write();
+                    let owner = owners.get_mut(&owner_id).expect("owner exists");
+                    match owner.apply_update_key(&uk) {
+                        Ok(()) => {}
+                        Err(Error::VersionMismatch { found, .. }) if found >= uk.to_version => {}
+                        Err(e) => return Err(e.into()),
+                    }
+                }
+                pending.updated_owners.insert(owner_id.clone());
+            }
+            let affected = self.data.server.affected_ciphertexts(&owner_id, &aid, from);
+            let workers = self
+                .data
+                .reencrypt_workers
+                .load(Ordering::Relaxed)
+                .clamp(1, affected.len().max(1));
+            if workers <= 1 {
+                for item in &affected {
+                    self.reencrypt_one(&aid, from, to, &owner_id, &uk, item)?;
+                }
+            } else {
+                self.reencrypt_parallel(&aid, from, to, &owner_id, &uk, &affected, workers)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-encrypts one affected component: fault point, per-ciphertext
+    /// update info from the owner, byte-accounted upload, server-side
+    /// component update. Safe to call from worker threads — every
+    /// touched structure is interior-mutable or read-locked.
+    fn reencrypt_one(
+        &self,
+        aid: &AuthorityId,
+        from: u64,
+        to: u64,
+        owner_id: &OwnerId,
+        uk: &UpdateKey,
+        item: &(RecordKey, String, CiphertextId),
+    ) -> Result<(), CloudError> {
+        let (record_key, label, ct_id) = item;
+        let _trace = mabe_trace::Span::child("cloud.reencrypt")
+            .detail(format!("{}/{}/{label}", record_key.0, record_key.1));
+        self.local_op(fault_points::REVOKE_REENCRYPT, None)?;
+        let ui = {
+            let owners = self.directory.owners.read();
+            let owner = owners.get(owner_id).expect("owner exists");
+            owner.update_info_for(*ct_id, aid, from, to)?
+        };
+        self.wire.send(
+            Endpoint::Owner(owner_id.clone()),
+            Endpoint::Server,
+            "update key + update info",
+            uk.wire_size() + ui.wire_size(),
+        );
+        self.data
+            .server
+            .reencrypt_component(record_key, label, uk, &ui)?;
+        Ok(())
+    }
+
+    /// Fans the affected-component worklist out over `workers` scoped
+    /// threads. Each worker opens a span with [`mabe_trace::Span::follow`]
+    /// on the caller's context, so its `cloud.reencrypt` children land
+    /// in the revocation's causal tree instead of orphaned roots. On
+    /// failure the lowest-index error is returned; other workers stop
+    /// at their next pull, and whatever they already re-encrypted stays
+    /// done (idempotent worklist).
+    #[allow(clippy::too_many_arguments)]
+    fn reencrypt_parallel(
+        &self,
+        aid: &AuthorityId,
+        from: u64,
+        to: u64,
+        owner_id: &OwnerId,
+        uk: &UpdateKey,
+        affected: &[(RecordKey, String, CiphertextId)],
+        workers: usize,
+    ) -> Result<(), CloudError> {
+        let parent = mabe_trace::current_ctx();
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        let failures: Mutex<Vec<(usize, CloudError)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let next = &next;
+                let stop = &stop;
+                let failures = &failures;
+                scope.spawn(move || {
+                    let _span = parent.map(|ctx| {
+                        mabe_trace::Span::follow(ctx, "cloud.reencrypt.worker")
+                            .detail(format!("worker {w}"))
+                    });
+                    loop {
+                        if stop.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= affected.len() {
+                            break;
+                        }
+                        if let Err(e) =
+                            self.reencrypt_one(aid, from, to, owner_id, uk, &affected[i])
+                        {
+                            failures.lock().push((i, e));
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                });
+            }
+        });
+        let mut collected = std::mem::take(&mut *failures.lock());
+        collected.sort_by_key(|(i, _)| *i);
+        match collected.into_iter().next() {
+            Some((_, e)) => Err(e),
+            None => Ok(()),
+        }
+    }
+}

@@ -10,10 +10,12 @@
 //!   source of the Table IV communication-cost numbers.
 //! * [`server`] — the honest-but-curious server: stores envelopes, serves
 //!   anyone, re-encrypts on revocation without ever decrypting.
-//! * [`system`] — [`CloudSystem`], the orchestrator running the full
-//!   protocol lifecycle (setup → grant → publish → read → revoke →
-//!   re-encrypt) with retry-wrapped operations and named fault points
-//!   for seeded chaos testing (`mabe-faults`).
+//! * [`system`] — [`CloudSystem`], the orchestrating shell over three
+//!   layered modules: the **directory** (identities and registries),
+//!   the **control plane** (grant / revoke / key delivery / recovery,
+//!   serialized per authority shard), and the **data plane** (publish /
+//!   read / re-encrypt, all `&self`). Operations are retry-wrapped with
+//!   named fault points for seeded chaos testing (`mabe-faults`).
 //! * [`recovery`] — the journaled two-phase revocation state machine
 //!   that [`CloudSystem::recover`] rolls forward after a crash.
 //! * [`persist`] — [`DurableSystem`], the write-ahead-logged wrapper:
@@ -30,7 +32,7 @@
 //! ```
 //! use mabe_cloud::CloudSystem;
 //!
-//! let mut sys = CloudSystem::new(7);
+//! let sys = CloudSystem::new(7);
 //! sys.add_authority("MedOrg", &["Doctor"])?;
 //! let owner = sys.add_owner("hospital")?;
 //! let alice = sys.add_user("alice")?;
@@ -45,6 +47,9 @@
 
 pub mod audit;
 pub mod concurrent;
+pub(crate) mod control;
+pub(crate) mod data;
+pub(crate) mod directory;
 pub mod persist;
 pub mod recovery;
 pub mod server;

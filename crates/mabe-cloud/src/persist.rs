@@ -31,13 +31,30 @@
 //! the event order, replay regenerates the byte-identical hash chain —
 //! [`DurableSystem::open`] rejects the store if it does not verify.
 //!
+//! # Concurrency and group commit
+//!
+//! Every mutating operation takes `&self`: appliers serialize on one
+//! *op lock* that covers the in-memory mutation **and** the staging of
+//! the journal record, so WAL order always equals apply order equals
+//! audit order. The expensive part — the disk sync — happens *outside*
+//! that lock through [`mabe_store::GroupWal`]: concurrent committers
+//! batch their staged records under a single sync (group commit), so N
+//! parallel journaled ops cost one disk flush instead of N. The one
+//! exception is the write-ahead `RevocationBegun` record, which must be
+//! durable *before* the system applies the begin, and therefore commits
+//! while the op lock is held.
+//!
 //! RNG streams, wire accounting and authority up/down flags are
 //! runtime-only: each incarnation gets a fresh seed, and crypto secrets
 //! travel inside the journaled objects, never through the new RNG.
 
 use std::collections::BTreeSet;
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
+
+use parking_lot::Mutex;
 
 use mabe_core::{
     AttributeAuthority, CiphertextId, DataEnvelope, DataOwner, Error, OwnerId, RevocationEvent,
@@ -46,9 +63,11 @@ use mabe_core::{
 use mabe_faults::FaultInjector;
 use mabe_math::Fr;
 use mabe_policy::{Attribute, AuthorityId};
-use mabe_store::{RecoveryReport, Storage, StoreError, Wal};
+use mabe_store::{GroupWal, RecoveryReport, Storage, StoreError, StoreRef};
 
 use crate::audit::{AuditEvent, AuditLoadError, AuditLog};
+use crate::control::{AuthorityShard, ShardState};
+use crate::directory::UserState;
 use crate::recovery::{PendingRevocation, RevocationStage};
 use crate::server::CloudServer;
 use crate::system::{fault_points, CloudError, CloudSystem};
@@ -316,72 +335,94 @@ impl WalRecord {
 // ---------------------------------------------------------------------
 
 /// Serializes the full persistent state of a [`CloudSystem`] into a
-/// checkpoint snapshot payload.
+/// checkpoint snapshot payload. The byte format is independent of the
+/// in-memory sharding: authorities encode in AID order, and in-flight
+/// revocations merge across shards in global journal-id order.
 fn encode_system(sys: &CloudSystem) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(SNAPSHOT_MAGIC);
-    put_bytes(&mut out, &sys.ca.to_wire_bytes());
-    put_u32(&mut out, sys.authorities.len() as u32);
-    for aa in sys.authorities.values() {
-        put_bytes(&mut out, &aa.to_wire_bytes());
-    }
-    put_u32(&mut out, sys.owners.len() as u32);
-    for owner in sys.owners.values() {
-        put_bytes(&mut out, &owner.to_wire_bytes());
-    }
-    put_u32(&mut out, sys.users.len() as u32);
-    for (uid, state) in &sys.users {
-        put_str(&mut out, uid.as_str());
-        put_bytes(&mut out, &state.pk.to_wire_bytes());
-        put_u32(&mut out, state.keys.len() as u32);
-        for ((owner, aid), key) in &state.keys {
-            put_str(&mut out, owner.as_str());
-            put_str(&mut out, aid.as_str());
-            put_bytes(&mut out, &key.to_wire_bytes());
+    put_bytes(&mut out, &sys.directory.ca.lock().to_wire_bytes());
+    {
+        let shards = sys.control.shards.read();
+        put_u32(&mut out, shards.len() as u32);
+        for shard in shards.values() {
+            put_bytes(&mut out, &shard.state.lock().authority.to_wire_bytes());
         }
     }
-    put_u32(&mut out, sys.grants.len() as u32);
-    for (uid, attrs) in &sys.grants {
-        put_str(&mut out, uid.as_str());
-        put_u32(&mut out, attrs.len() as u32);
-        for a in attrs {
-            put_str(&mut out, &a.to_string());
+    {
+        let owners = sys.directory.owners.read();
+        put_u32(&mut out, owners.len() as u32);
+        for owner in owners.values() {
+            put_bytes(&mut out, &owner.to_wire_bytes());
         }
     }
-    put_u32(&mut out, sys.offline.len() as u32);
-    for uid in &sys.offline {
-        put_str(&mut out, uid.as_str());
-    }
-    put_u32(&mut out, sys.pending_updates.len() as u32);
-    for (uid, queue) in &sys.pending_updates {
-        put_str(&mut out, uid.as_str());
-        put_u32(&mut out, queue.len() as u32);
-        for (owner, uk) in queue {
-            put_str(&mut out, owner.as_str());
-            put_bytes(&mut out, &uk.to_wire_bytes());
+    {
+        let users = sys.directory.users.read();
+        put_u32(&mut out, users.users.len() as u32);
+        for (uid, state) in &users.users {
+            put_str(&mut out, uid.as_str());
+            put_bytes(&mut out, &state.pk.to_wire_bytes());
+            put_u32(&mut out, state.keys.len() as u32);
+            for ((owner, aid), key) in &state.keys {
+                put_str(&mut out, owner.as_str());
+                put_str(&mut out, aid.as_str());
+                put_bytes(&mut out, &key.to_wire_bytes());
+            }
         }
-    }
-    put_bytes(&mut out, &sys.server.snapshot());
-    put_bytes(&mut out, &sys.audit.save());
-    put_u32(&mut out, sys.in_flight.len() as u32);
-    for (id, pending) in &sys.in_flight {
-        put_u64(&mut out, *id);
-        put_bytes(&mut out, &pending.event.to_wire_bytes());
-        out.push(match pending.stage {
-            RevocationStage::KeyDelivery => 0,
-            RevocationStage::ReEncryption => 1,
-        });
-        out.push(u8::from(pending.fresh_keys_delivered));
-        put_u32(&mut out, pending.delivered_holders.len() as u32);
-        for uid in &pending.delivered_holders {
+        put_u32(&mut out, users.grants.len() as u32);
+        for (uid, attrs) in &users.grants {
+            put_str(&mut out, uid.as_str());
+            put_u32(&mut out, attrs.len() as u32);
+            for a in attrs {
+                put_str(&mut out, &a.to_string());
+            }
+        }
+        put_u32(&mut out, users.offline.len() as u32);
+        for uid in &users.offline {
             put_str(&mut out, uid.as_str());
         }
-        put_u32(&mut out, pending.updated_owners.len() as u32);
-        for owner in &pending.updated_owners {
-            put_str(&mut out, owner.as_str());
+        put_u32(&mut out, users.pending_updates.len() as u32);
+        for (uid, queue) in &users.pending_updates {
+            put_str(&mut out, uid.as_str());
+            put_u32(&mut out, queue.len() as u32);
+            for (owner, uk) in queue {
+                put_str(&mut out, owner.as_str());
+                put_bytes(&mut out, &uk.to_wire_bytes());
+            }
         }
     }
-    put_u64(&mut out, sys.next_revocation);
+    put_bytes(&mut out, &sys.data.server.snapshot());
+    put_bytes(&mut out, &sys.audit.lock().save());
+    {
+        let shards = sys.control.shards.read();
+        let mut pendings: Vec<PendingRevocation> = Vec::new();
+        for shard in shards.values() {
+            let st = shard.state.lock();
+            for pending in st.in_flight.values() {
+                pendings.push(pending.clone());
+            }
+        }
+        pendings.sort_by_key(|p| p.id);
+        put_u32(&mut out, pendings.len() as u32);
+        for pending in &pendings {
+            put_u64(&mut out, pending.id);
+            put_bytes(&mut out, &pending.event.to_wire_bytes());
+            out.push(match pending.stage {
+                RevocationStage::KeyDelivery => 0,
+                RevocationStage::ReEncryption => 1,
+            });
+            out.push(u8::from(pending.fresh_keys_delivered));
+            put_u32(&mut out, pending.delivered_holders.len() as u32);
+            for uid in &pending.delivered_holders {
+                put_str(&mut out, uid.as_str());
+            }
+            put_u32(&mut out, pending.updated_owners.len() as u32);
+            for owner in &pending.updated_owners {
+                put_str(&mut out, owner.as_str());
+            }
+        }
+    }
+    put_u64(&mut out, sys.control.next_revocation.load(Ordering::SeqCst));
     out
 }
 
@@ -400,20 +441,28 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
     }
     let snap = |e: Error| OpenError::Snapshot(e);
 
-    sys.ca = mabe_core::CertificateAuthority::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?)
-        .map_err(snap)?;
+    *sys.directory.ca.lock() =
+        mabe_core::CertificateAuthority::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?)
+            .map_err(snap)?;
     let n = get_count(&mut r).map_err(snap)?;
     for _ in 0..n {
         let aa =
             AttributeAuthority::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
-        if sys.authorities.insert(aa.aid().clone(), aa).is_some() {
+        if sys.control.shard(aa.aid()).is_some() {
             return Err(snap_err("duplicate authority in snapshot"));
         }
+        sys.control.insert_authority(aa);
     }
     let n = get_count(&mut r).map_err(snap)?;
     for _ in 0..n {
         let owner = DataOwner::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
-        if sys.owners.insert(owner.id().clone(), owner).is_some() {
+        if sys
+            .directory
+            .owners
+            .write()
+            .insert(owner.id().clone(), owner)
+            .is_some()
+        {
             return Err(snap_err("duplicate owner in snapshot"));
         }
     }
@@ -421,7 +470,7 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
     for _ in 0..n {
         let uid = Uid::new(mabe_core::read_string(&mut r).map_err(snap)?);
         let pk = UserPublicKey::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
-        let mut state = crate::system::UserState {
+        let mut state = UserState {
             pk,
             keys: Default::default(),
         };
@@ -435,7 +484,14 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
                 return Err(snap_err("duplicate key slot in snapshot"));
             }
         }
-        if sys.users.insert(uid, state).is_some() {
+        if sys
+            .directory
+            .users
+            .write()
+            .users
+            .insert(uid, state)
+            .is_some()
+        {
             return Err(snap_err("duplicate user in snapshot"));
         }
     }
@@ -451,13 +507,23 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
                 .map_err(|_| snap_err("unparseable attribute in snapshot"))?;
             attrs.insert(attr);
         }
-        if sys.grants.insert(uid, attrs).is_some() {
+        if sys
+            .directory
+            .users
+            .write()
+            .grants
+            .insert(uid, attrs)
+            .is_some()
+        {
             return Err(snap_err("duplicate grant set in snapshot"));
         }
     }
     let n = get_count(&mut r).map_err(snap)?;
     for _ in 0..n {
-        sys.offline
+        sys.directory
+            .users
+            .write()
+            .offline
             .insert(Uid::new(mabe_core::read_string(&mut r).map_err(snap)?));
     }
     let n = get_count(&mut r).map_err(snap)?;
@@ -470,12 +536,21 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
             let uk = UpdateKey::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
             queue.push((owner, uk));
         }
-        if sys.pending_updates.insert(uid, queue).is_some() {
+        if sys
+            .directory
+            .users
+            .write()
+            .pending_updates
+            .insert(uid, queue)
+            .is_some()
+        {
             return Err(snap_err("duplicate update queue in snapshot"));
         }
     }
-    sys.server = CloudServer::restore(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
-    sys.audit = AuditLog::load(&get_bytes(&mut r).map_err(snap)?).map_err(OpenError::Audit)?;
+    sys.data.server =
+        Arc::new(CloudServer::restore(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?);
+    *sys.audit.lock() =
+        AuditLog::load(&get_bytes(&mut r).map_err(snap)?).map_err(OpenError::Audit)?;
     let n = get_count(&mut r).map_err(snap)?;
     for _ in 0..n {
         let id = r.u64().map_err(snap)?;
@@ -509,11 +584,17 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
             delivered_holders,
             updated_owners,
         };
-        if sys.in_flight.insert(id, pending).is_some() {
+        let shard = sys
+            .control
+            .shard(&pending.event.aid)
+            .ok_or_else(|| snap_err("pending revocation for unknown authority"))?;
+        if shard.state.lock().in_flight.insert(id, pending).is_some() {
             return Err(snap_err("duplicate pending revocation in snapshot"));
         }
     }
-    sys.next_revocation = r.u64().map_err(snap)?;
+    sys.control
+        .next_revocation
+        .store(r.u64().map_err(snap)?, Ordering::SeqCst);
     if !r.is_exhausted() {
         return Err(snap_err("trailing bytes after snapshot"));
     }
@@ -526,11 +607,11 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
 
 /// Re-applies one journaled record to the system being rebuilt. Runs
 /// with fault injection disarmed — replay must be deterministic.
-fn apply_record(sys: &mut CloudSystem, rec: WalRecord) -> Result<(), CloudError> {
+fn apply_record(sys: &CloudSystem, rec: WalRecord) -> Result<(), CloudError> {
     match rec {
         WalRecord::AuthorityAdded { name, authority } => {
             let aa = AttributeAuthority::from_wire_bytes(&authority)?;
-            let aid = sys.ca.register_authority(&name)?;
+            let aid = sys.directory.ca.lock().register_authority(&name)?;
             if &aid != aa.aid() {
                 return Err(CloudError::UnknownEntity(format!(
                     "journaled authority {} does not match registration {aid}",
@@ -544,7 +625,7 @@ fn apply_record(sys: &mut CloudSystem, rec: WalRecord) -> Result<(), CloudError>
         }
         WalRecord::UserAdded { u, pk } => {
             let pk = UserPublicKey::from_wire_bytes(&pk)?;
-            sys.ca.import_user(u, pk.clone())?;
+            sys.directory.ca.lock().import_user(u, pk.clone())?;
             sys.install_user(pk);
         }
         WalRecord::Granted { uid, attributes } => {
@@ -566,7 +647,8 @@ fn apply_record(sys: &mut CloudSystem, rec: WalRecord) -> Result<(), CloudError>
                 .map(|c| c.label.clone())
                 .collect();
             {
-                let owner = sys.owners.get_mut(&owner_id).ok_or_else(|| {
+                let mut owners = sys.directory.owners.write();
+                let owner = owners.get_mut(&owner_id).ok_or_else(|| {
                     CloudError::UnknownEntity(format!("journaled owner {owner_id}"))
                 })?;
                 for comp in &envelope.components {
@@ -587,8 +669,8 @@ fn apply_record(sys: &mut CloudSystem, rec: WalRecord) -> Result<(), CloudError>
                     );
                 }
             }
-            sys.server.store(owner_id.clone(), &record, envelope);
-            sys.audit.record(AuditEvent::Published {
+            sys.data.server.store(owner_id.clone(), &record, envelope);
+            sys.audit.lock().record(AuditEvent::Published {
                 owner: owner_id.to_string(),
                 record,
                 components,
@@ -601,7 +683,7 @@ fn apply_record(sys: &mut CloudSystem, rec: WalRecord) -> Result<(), CloudError>
             component,
             allowed,
         } => {
-            sys.audit.record(AuditEvent::Read {
+            sys.audit.lock().record(AuditEvent::Read {
                 uid,
                 owner,
                 record,
@@ -615,7 +697,7 @@ fn apply_record(sys: &mut CloudSystem, rec: WalRecord) -> Result<(), CloudError>
             // is decided by a later RevocationDriven record (or, absent
             // one, by recovery after replay).
             let aa = AttributeAuthority::from_wire_bytes(&authority)?;
-            sys.authorities.insert(aa.aid().clone(), aa);
+            sys.control.insert_authority(aa);
             let event = RevocationEvent::from_wire_bytes(&event)?;
             sys.begin_revocation(event);
         }
@@ -730,17 +812,30 @@ pub struct OpenReport {
 // DurableSystem
 // ---------------------------------------------------------------------
 
+/// Journaling bookkeeping serialized under the op lock.
+#[derive(Debug)]
+struct OpState {
+    ops_since_checkpoint: usize,
+    checkpoint_interval: usize,
+}
+
 /// A [`CloudSystem`] whose every acknowledged mutation is journaled to a
 /// write-ahead log and periodically checkpointed, over any
 /// [`Storage`] backend.
+///
+/// Every operation takes `&self`: appliers serialize on an internal op
+/// lock (in-memory mutation plus journal staging), while the disk syncs
+/// batch across threads through [`GroupWal`] group commit.
 #[derive(Debug)]
 pub struct DurableSystem<S: Storage> {
     sys: CloudSystem,
-    wal: Wal<S>,
+    wal: GroupWal<S>,
     seed: u64,
-    ops_since_checkpoint: usize,
-    checkpoint_interval: usize,
-    poisoned: bool,
+    /// Serializes apply + stage so WAL order == apply order == audit
+    /// order. Ordered *above* every `CloudSystem` lock; commits happen
+    /// outside it whenever write-ahead semantics allow.
+    op: Mutex<OpState>,
+    poisoned: AtomicBool,
 }
 
 fn store_to_cloud(e: StoreError) -> CloudError {
@@ -790,7 +885,7 @@ impl<S: Storage> DurableSystem<S> {
         // Root span over the whole open: the WAL's replay event and
         // recovery's drive spans all land in one causal tree.
         let _trace = mabe_trace::Span::root("durable.open");
-        let (wal, snapshot, records, wal_report) = match Wal::open(storage) {
+        let (wal, snapshot, records, wal_report) = match GroupWal::open(storage) {
             Ok(parts) => parts,
             Err(failure) => {
                 return Err(OpenFailure {
@@ -821,7 +916,7 @@ impl<S: Storage> DurableSystem<S> {
                     })
                 }
             };
-            if let Err(e) = apply_record(&mut sys, rec) {
+            if let Err(e) = apply_record(&sys, rec) {
                 return Err(OpenFailure {
                     error: OpenError::Replay {
                         index,
@@ -831,20 +926,22 @@ impl<S: Storage> DurableSystem<S> {
                 });
             }
         }
-        if !sys.audit.verify() {
+        if !sys.audit.lock().verify() {
             return Err(OpenFailure {
                 error: OpenError::AuditChain,
                 storage: wal.into_store(),
             });
         }
         sys.faults = faults;
-        let mut durable = DurableSystem {
+        let durable = DurableSystem {
             sys,
             wal,
             seed,
-            ops_since_checkpoint: records.len(),
-            checkpoint_interval: 64,
-            poisoned: false,
+            op: Mutex::new(OpState {
+                ops_since_checkpoint: records.len(),
+                checkpoint_interval: 64,
+            }),
+            poisoned: AtomicBool::new(false),
         };
         let revocations_recovered = match durable.recover() {
             Ok(n) => n,
@@ -871,7 +968,7 @@ impl<S: Storage> DurableSystem<S> {
     }
 
     fn check_poisoned(&self) -> Result<(), CloudError> {
-        if self.poisoned {
+        if self.poisoned.load(Ordering::SeqCst) {
             return Err(CloudError::Crashed {
                 point: POISONED_POINT,
             });
@@ -879,24 +976,41 @@ impl<S: Storage> DurableSystem<S> {
         Ok(())
     }
 
-    /// Appends one record and syncs: the op is acknowledged only once
-    /// the journal entry is durable. Any journal failure poisons the
-    /// system — in-memory state may now be ahead of the log, so no
-    /// further mutation is accepted; reopen from storage instead.
-    fn log(&mut self, record: &WalRecord) -> Result<(), CloudError> {
-        let bytes = record.encode();
-        let res = self.wal.append(&bytes).and_then(|()| self.wal.sync());
-        match res {
-            Ok(()) => {
-                self.ops_since_checkpoint += 1;
-                Ok(())
-            }
+    /// Marks the handle poisoned after a journal failure: in-memory
+    /// state may now be ahead of the log, so no further mutation is
+    /// accepted; reopen from storage instead.
+    fn poison(&self, e: &StoreError) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        self.note_poisoned(e);
+    }
+
+    /// Blocks until everything staged at or before `seq` is durable —
+    /// the group-commit rendezvous. Called *without* the op lock
+    /// whenever possible so concurrent committers batch under one sync.
+    fn commit(&self, seq: u64) -> Result<(), CloudError> {
+        match self.wal.commit(seq) {
+            Ok(()) => Ok(()),
             Err(e) => {
-                self.poisoned = true;
-                self.note_poisoned(&e);
+                self.poison(&e);
                 Err(store_to_cloud(e))
             }
         }
+    }
+
+    /// Stages one record under the op lock, returning the sequence for
+    /// the caller to commit after releasing it.
+    fn stage_locked(&self, op: &mut OpState, record: &WalRecord) -> u64 {
+        op.ops_since_checkpoint += 1;
+        self.wal.stage(&record.encode())
+    }
+
+    /// Stages one record and blocks until it is durable while the
+    /// caller holds the op lock — the write-ahead path (and the
+    /// serialized revocation path), where durability must precede the
+    /// next state transition.
+    fn log_locked(&self, op: &mut OpState, record: &WalRecord) -> Result<(), CloudError> {
+        let seq = self.stage_locked(op, record);
+        self.commit(seq)
     }
 
     /// Records the poison on the active span and, when `MABE_TRACE_DIR`
@@ -908,11 +1022,32 @@ impl<S: Storage> DurableSystem<S> {
         mabe_trace::dump_if_configured(self.seed, &format!("poison_{point}"));
     }
 
-    fn maybe_checkpoint(&mut self) -> Result<(), CloudError> {
-        if self.ops_since_checkpoint >= self.checkpoint_interval {
-            self.checkpoint()?;
+    fn maybe_checkpoint(&self) -> Result<(), CloudError> {
+        let mut op = self.op.lock();
+        self.maybe_checkpoint_locked(&mut op)
+    }
+
+    fn maybe_checkpoint_locked(&self, op: &mut OpState) -> Result<(), CloudError> {
+        if op.ops_since_checkpoint >= op.checkpoint_interval {
+            self.checkpoint_locked(op)?;
         }
         Ok(())
+    }
+
+    /// Snapshots the full system state and truncates the WAL, with the
+    /// op lock held (no shard lock may be held — encoding takes them).
+    fn checkpoint_locked(&self, op: &mut OpState) -> Result<(), CloudError> {
+        let payload = encode_system(&self.sys);
+        match self.wal.checkpoint(&payload) {
+            Ok(()) => {
+                op.ops_since_checkpoint = 0;
+                Ok(())
+            }
+            Err(e) => {
+                self.poison(&e);
+                Err(store_to_cloud(e))
+            }
+        }
     }
 
     /// Forces a checkpoint: the full system state is written as the next
@@ -925,26 +1060,16 @@ impl<S: Storage> DurableSystem<S> {
     ///
     /// [`CloudError::Crashed`] / [`CloudError::Storage`] mapped from the
     /// store failure.
-    pub fn checkpoint(&mut self) -> Result<(), CloudError> {
+    pub fn checkpoint(&self) -> Result<(), CloudError> {
         self.check_poisoned()?;
-        let payload = encode_system(&self.sys);
-        match self.wal.checkpoint(&payload) {
-            Ok(()) => {
-                self.ops_since_checkpoint = 0;
-                Ok(())
-            }
-            Err(e) => {
-                self.poisoned = true;
-                self.note_poisoned(&e);
-                Err(store_to_cloud(e))
-            }
-        }
+        let mut op = self.op.lock();
+        self.checkpoint_locked(&mut op)
     }
 
     /// Sets how many journaled ops accumulate before an automatic
     /// checkpoint.
-    pub fn set_checkpoint_interval(&mut self, interval: usize) {
-        self.checkpoint_interval = interval.max(1);
+    pub fn set_checkpoint_interval(&self, interval: usize) {
+        self.op.lock().checkpoint_interval = interval.max(1);
     }
 
     /// Registers an attribute authority (durably).
@@ -954,22 +1079,33 @@ impl<S: Storage> DurableSystem<S> {
     /// Same contract as [`CloudSystem::add_authority`], plus journal
     /// failures.
     pub fn add_authority(
-        &mut self,
+        &self,
         name: &str,
         attribute_names: &[&str],
     ) -> Result<AuthorityId, CloudError> {
         self.check_poisoned()?;
-        let aid = self.sys.add_authority(name, attribute_names)?;
-        let authority = self
-            .sys
-            .authorities
-            .get(&aid)
-            .expect("just added")
-            .to_wire_bytes();
-        self.log(&WalRecord::AuthorityAdded {
-            name: name.to_owned(),
-            authority,
-        })?;
+        let (aid, seq) = {
+            let mut op = self.op.lock();
+            let aid = self.sys.add_authority(name, attribute_names)?;
+            let authority = self
+                .sys
+                .control
+                .shard(&aid)
+                .expect("just added")
+                .state
+                .lock()
+                .authority
+                .to_wire_bytes();
+            let seq = self.stage_locked(
+                &mut op,
+                &WalRecord::AuthorityAdded {
+                    name: name.to_owned(),
+                    authority,
+                },
+            );
+            (aid, seq)
+        };
+        self.commit(seq)?;
         self.maybe_checkpoint()?;
         Ok(aid)
     }
@@ -980,16 +1116,23 @@ impl<S: Storage> DurableSystem<S> {
     ///
     /// Same contract as [`CloudSystem::add_owner`], plus journal
     /// failures.
-    pub fn add_owner(&mut self, name: &str) -> Result<OwnerId, CloudError> {
+    pub fn add_owner(&self, name: &str) -> Result<OwnerId, CloudError> {
         self.check_poisoned()?;
-        let id = self.sys.add_owner(name)?;
-        let owner = self
-            .sys
-            .owners
-            .get(&id)
-            .expect("just added")
-            .to_wire_bytes();
-        self.log(&WalRecord::OwnerAdded { owner })?;
+        let (id, seq) = {
+            let mut op = self.op.lock();
+            let id = self.sys.add_owner(name)?;
+            let owner = self
+                .sys
+                .directory
+                .owners
+                .read()
+                .get(&id)
+                .expect("just added")
+                .to_wire_bytes();
+            let seq = self.stage_locked(&mut op, &WalRecord::OwnerAdded { owner });
+            (id, seq)
+        };
+        self.commit(seq)?;
         self.maybe_checkpoint()?;
         Ok(id)
     }
@@ -1000,14 +1143,28 @@ impl<S: Storage> DurableSystem<S> {
     ///
     /// Same contract as [`CloudSystem::add_user`], plus journal
     /// failures.
-    pub fn add_user(&mut self, name: &str) -> Result<Uid, CloudError> {
+    pub fn add_user(&self, name: &str) -> Result<Uid, CloudError> {
         self.check_poisoned()?;
-        let uid = self.sys.add_user(name)?;
-        let (u, pk) = self.sys.ca.export_user(&uid).expect("just registered");
-        self.log(&WalRecord::UserAdded {
-            u,
-            pk: pk.to_wire_bytes(),
-        })?;
+        let (uid, seq) = {
+            let mut op = self.op.lock();
+            let uid = self.sys.add_user(name)?;
+            let (u, pk) = self
+                .sys
+                .directory
+                .ca
+                .lock()
+                .export_user(&uid)
+                .expect("just registered");
+            let seq = self.stage_locked(
+                &mut op,
+                &WalRecord::UserAdded {
+                    u,
+                    pk: pk.to_wire_bytes(),
+                },
+            );
+            (uid, seq)
+        };
+        self.commit(seq)?;
         self.maybe_checkpoint()?;
         Ok(uid)
     }
@@ -1017,14 +1174,21 @@ impl<S: Storage> DurableSystem<S> {
     /// # Errors
     ///
     /// Same contract as [`CloudSystem::grant`], plus journal failures.
-    pub fn grant(&mut self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
+    pub fn grant(&self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
         self.check_poisoned()?;
         let _trace = mabe_trace::Span::child("durable.grant").detail(uid.to_string());
-        self.sys.grant(uid, attributes)?;
-        self.log(&WalRecord::Granted {
-            uid: uid.to_string(),
-            attributes: attributes.iter().map(|a| (*a).to_owned()).collect(),
-        })?;
+        let seq = {
+            let mut op = self.op.lock();
+            self.sys.grant(uid, attributes)?;
+            self.stage_locked(
+                &mut op,
+                &WalRecord::Granted {
+                    uid: uid.to_string(),
+                    attributes: attributes.iter().map(|a| (*a).to_owned()).collect(),
+                },
+            )
+        };
+        self.commit(seq)?;
         self.maybe_checkpoint()
     }
 
@@ -1036,7 +1200,7 @@ impl<S: Storage> DurableSystem<S> {
     ///
     /// Same contract as [`CloudSystem::publish`], plus journal failures.
     pub fn publish(
-        &mut self,
+        &self,
         owner_id: &OwnerId,
         record: &str,
         components: &[(&str, &[u8], &str)],
@@ -1044,29 +1208,40 @@ impl<S: Storage> DurableSystem<S> {
         self.check_poisoned()?;
         let _trace =
             mabe_trace::Span::child("durable.publish").detail(format!("{owner_id}/{record}"));
-        self.sys.publish(owner_id, record, components)?;
-        let envelope = self
-            .sys
-            .server
-            .fetch(owner_id, record)
-            .expect("just published");
-        let owner = self.sys.owners.get(owner_id).expect("just published");
-        let secrets: Vec<(u64, Fr)> = envelope
-            .components
-            .iter()
-            .map(|c| {
-                let s = owner
-                    .encryption_secret(c.key_ct.id)
-                    .expect("owner sealed this ciphertext");
-                (c.key_ct.id.0, s)
-            })
-            .collect();
-        self.log(&WalRecord::Published {
-            owner: owner_id.to_string(),
-            record: record.to_owned(),
-            envelope: envelope.to_wire_bytes(),
-            secrets,
-        })?;
+        let seq = {
+            let mut op = self.op.lock();
+            self.sys.publish(owner_id, record, components)?;
+            let envelope = self
+                .sys
+                .data
+                .server
+                .fetch(owner_id, record)
+                .expect("just published");
+            let secrets: Vec<(u64, Fr)> = {
+                let owners = self.sys.directory.owners.read();
+                let owner = owners.get(owner_id).expect("just published");
+                envelope
+                    .components
+                    .iter()
+                    .map(|c| {
+                        let s = owner
+                            .encryption_secret(c.key_ct.id)
+                            .expect("owner sealed this ciphertext");
+                        (c.key_ct.id.0, s)
+                    })
+                    .collect()
+            };
+            self.stage_locked(
+                &mut op,
+                &WalRecord::Published {
+                    owner: owner_id.to_string(),
+                    record: record.to_owned(),
+                    envelope: envelope.to_wire_bytes(),
+                    secrets,
+                },
+            )
+        };
+        self.commit(seq)?;
         self.maybe_checkpoint()
     }
 
@@ -1079,7 +1254,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Same contract as [`CloudSystem::read`]; journal failures take
     /// precedence over the read result.
     pub fn read(
-        &mut self,
+        &self,
         uid: &Uid,
         owner_id: &OwnerId,
         record: &str,
@@ -1087,9 +1262,20 @@ impl<S: Storage> DurableSystem<S> {
     ) -> Result<Vec<u8>, CloudError> {
         self.check_poisoned()?;
         let _trace = mabe_trace::Span::child("durable.read").detail(format!("{record}/{label}"));
-        let before = self.sys.audit.entries().len();
-        let result = self.sys.read(uid, owner_id, record, label);
-        self.log_read_if_audited(before, uid, owner_id, record, label, result.is_ok())?;
+        let (result, seq) = self.apply_read(
+            || self.sys.read(uid, owner_id, record, label),
+            |allowed| WalRecord::ReadAudited {
+                uid: uid.to_string(),
+                owner: owner_id.to_string(),
+                record: record.to_owned(),
+                component: label.to_owned(),
+                allowed,
+            },
+        );
+        if let Some(seq) = seq {
+            self.commit(seq)?;
+            self.maybe_checkpoint()?;
+        }
         result
     }
 
@@ -1101,7 +1287,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Same contract as [`CloudSystem::read_outsourced`]; journal
     /// failures take precedence.
     pub fn read_outsourced(
-        &mut self,
+        &self,
         uid: &Uid,
         owner_id: &OwnerId,
         record: &str,
@@ -1110,35 +1296,41 @@ impl<S: Storage> DurableSystem<S> {
         self.check_poisoned()?;
         let _trace =
             mabe_trace::Span::child("durable.read_outsourced").detail(format!("{record}/{label}"));
-        let before = self.sys.audit.entries().len();
-        let result = self.sys.read_outsourced(uid, owner_id, record, label);
-        self.log_read_if_audited(before, uid, owner_id, record, label, result.is_ok())?;
+        let (result, seq) = self.apply_read(
+            || self.sys.read_outsourced(uid, owner_id, record, label),
+            |allowed| WalRecord::ReadAudited {
+                uid: uid.to_string(),
+                owner: owner_id.to_string(),
+                record: record.to_owned(),
+                component: label.to_owned(),
+                allowed,
+            },
+        );
+        if let Some(seq) = seq {
+            self.commit(seq)?;
+            self.maybe_checkpoint()?;
+        }
         result
     }
 
-    /// Journals a `ReadAudited` record iff the underlying call reached
-    /// the audit log (failures before the policy decision — unknown
-    /// record, lost download — are not audited and not journaled).
-    fn log_read_if_audited(
-        &mut self,
-        audit_len_before: usize,
-        uid: &Uid,
-        owner_id: &OwnerId,
-        record: &str,
-        label: &str,
-        allowed: bool,
-    ) -> Result<(), CloudError> {
-        if self.sys.audit.entries().len() == audit_len_before {
-            return Ok(());
+    /// Runs one read under the op lock and stages a `ReadAudited`
+    /// record iff the call reached the audit log (failures before the
+    /// policy decision — unknown record, lost download — are not
+    /// audited and not journaled). Returns the read result plus the
+    /// staged sequence for the caller to commit lock-free.
+    fn apply_read(
+        &self,
+        read: impl FnOnce() -> Result<Vec<u8>, CloudError>,
+        record_for: impl FnOnce(bool) -> WalRecord,
+    ) -> (Result<Vec<u8>, CloudError>, Option<u64>) {
+        let mut op = self.op.lock();
+        let before = self.sys.audit.lock().entries().len();
+        let result = read();
+        if self.sys.audit.lock().entries().len() == before {
+            return (result, None);
         }
-        self.log(&WalRecord::ReadAudited {
-            uid: uid.to_string(),
-            owner: owner_id.to_string(),
-            record: record.to_owned(),
-            component: label.to_owned(),
-            allowed,
-        })?;
-        self.maybe_checkpoint()
+        let seq = self.stage_locked(&mut op, &record_for(result.is_ok()));
+        (result, Some(seq))
     }
 
     /// Marks a user offline (durably).
@@ -1146,13 +1338,20 @@ impl<S: Storage> DurableSystem<S> {
     /// # Errors
     ///
     /// Journal failures only.
-    pub fn set_offline(&mut self, uid: &Uid) -> Result<(), CloudError> {
+    pub fn set_offline(&self, uid: &Uid) -> Result<(), CloudError> {
         self.check_poisoned()?;
         let _trace = mabe_trace::Span::child("durable.set_offline").detail(uid.to_string());
-        self.sys.set_offline(uid);
-        self.log(&WalRecord::UserOffline {
-            uid: uid.to_string(),
-        })?;
+        let seq = {
+            let mut op = self.op.lock();
+            self.sys.set_offline(uid);
+            self.stage_locked(
+                &mut op,
+                &WalRecord::UserOffline {
+                    uid: uid.to_string(),
+                },
+            )
+        };
+        self.commit(seq)?;
         self.maybe_checkpoint()
     }
 
@@ -1167,13 +1366,20 @@ impl<S: Storage> DurableSystem<S> {
     ///
     /// Same contract as [`CloudSystem::sync_user`], plus journal
     /// failures.
-    pub fn sync_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
+    pub fn sync_user(&self, uid: &Uid) -> Result<(), CloudError> {
         self.check_poisoned()?;
         let _trace = mabe_trace::Span::child("durable.sync_user").detail(uid.to_string());
-        self.sys.sync_user(uid)?;
-        self.log(&WalRecord::UserSynced {
-            uid: uid.to_string(),
-        })?;
+        let seq = {
+            let mut op = self.op.lock();
+            self.sys.sync_user(uid)?;
+            self.stage_locked(
+                &mut op,
+                &WalRecord::UserSynced {
+                    uid: uid.to_string(),
+                },
+            )
+        };
+        self.commit(seq)?;
         self.maybe_checkpoint()
     }
 
@@ -1186,7 +1392,7 @@ impl<S: Storage> DurableSystem<S> {
     /// # Errors
     ///
     /// Same contract as [`CloudSystem::revoke`], plus journal failures.
-    pub fn revoke(&mut self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
+    pub fn revoke(&self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
         self.check_poisoned()?;
         let _trace = mabe_trace::Span::child("durable.revoke").detail(format!("{uid} {attribute}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
@@ -1194,10 +1400,21 @@ impl<S: Storage> DurableSystem<S> {
             .parse()
             .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
         let aid = attr.authority().clone();
-        self.precheck_logged(&aid)?;
-        let aa = self.sys.authorities.get_mut(&aid).expect("prechecked");
-        let event = aa.revoke_attribute(uid, &attr, &mut self.sys.rng)?;
-        self.begin_logged(&aid, event)
+        let mut op = self.op.lock();
+        let shard = self
+            .sys
+            .control
+            .shard(&aid)
+            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+        {
+            let mut st = shard.state.lock();
+            self.precheck_logged(&mut op, &aid, &mut st)?;
+            let event = st
+                .authority
+                .revoke_attribute(uid, &attr, &mut *self.sys.rng.lock())?;
+            self.begin_logged(&mut op, &mut st, event)?;
+        }
+        self.maybe_checkpoint_locked(&mut op)
     }
 
     /// User-level revocation at one authority (durably); see
@@ -1207,15 +1424,24 @@ impl<S: Storage> DurableSystem<S> {
     ///
     /// Same contract as [`CloudSystem::revoke_user_at`], plus journal
     /// failures.
-    pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
+    pub fn revoke_user_at(&self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
         self.check_poisoned()?;
         let _trace =
             mabe_trace::Span::child("durable.revoke_user_at").detail(format!("{uid} @{aid}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
-        self.precheck_logged(aid)?;
-        let aa = self.sys.authorities.get_mut(aid).expect("prechecked");
-        let event = aa.revoke_user(uid, &mut self.sys.rng)?;
-        self.begin_logged(aid, event)
+        let mut op = self.op.lock();
+        let shard = self
+            .sys
+            .control
+            .shard(aid)
+            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+        {
+            let mut st = shard.state.lock();
+            self.precheck_logged(&mut op, aid, &mut st)?;
+            let event = st.authority.revoke_user(uid, &mut *self.sys.rng.lock())?;
+            self.begin_logged(&mut op, &mut st, event)?;
+        }
+        self.maybe_checkpoint_locked(&mut op)
     }
 
     /// Full user-level revocation across every authority where the user
@@ -1224,76 +1450,80 @@ impl<S: Storage> DurableSystem<S> {
     /// # Errors
     ///
     /// Unknown user; propagates per-authority failures.
-    pub fn revoke_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
+    pub fn revoke_user(&self, uid: &Uid) -> Result<(), CloudError> {
         self.check_poisoned()?;
-        let involved: Vec<AuthorityId> = self
-            .sys
-            .grants
-            .get(uid)
-            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?
-            .iter()
-            .map(|a| a.authority().clone())
-            .collect::<BTreeSet<_>>()
-            .into_iter()
-            .collect();
+        let involved: Vec<AuthorityId> = {
+            let users = self.sys.directory.users.read();
+            users
+                .grants
+                .get(uid)
+                .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?
+                .iter()
+                .map(|a| a.authority().clone())
+                .collect::<BTreeSet<_>>()
+                .into_iter()
+                .collect()
+        };
         for aid in involved {
             self.revoke_user_at(uid, &aid)?;
         }
         Ok(())
     }
 
-    /// The durable twin of [`CloudSystem::precheck_revocation`]: any
+    /// The durable twin of the control plane's shard precheck: any
     /// stalled predecessor at this authority is driven through the
     /// journaled path so its completion is logged too.
-    fn precheck_logged(&mut self, aid: &AuthorityId) -> Result<(), CloudError> {
-        if !self.sys.authorities.contains_key(aid) {
-            return Err(CloudError::UnknownAuthority(aid.clone()));
-        }
-        if self.sys.down.contains(aid) {
+    fn precheck_logged(
+        &self,
+        op: &mut OpState,
+        aid: &AuthorityId,
+        st: &mut ShardState,
+    ) -> Result<(), CloudError> {
+        if st.down {
             return Err(CloudError::AuthorityUnavailable(aid.clone()));
         }
         self.sys.local_op(fault_points::REVOKE_REKEY, Some(aid))?;
-        let stalled: Vec<u64> = self
-            .sys
-            .in_flight
-            .iter()
-            .filter(|(_, p)| &p.event.aid == aid)
-            .map(|(id, _)| *id)
-            .collect();
+        let stalled: Vec<u64> = st.in_flight.keys().copied().collect();
         for id in stalled {
-            self.drive_logged(id, true)?;
+            self.drive_logged(op, st, id, true)?;
         }
         Ok(())
     }
 
     /// Journals the intent, parks the pending revocation, and drives it.
+    /// The `RevocationBegun` record is committed durable *before* the
+    /// system applies the begin — the write-ahead step.
     fn begin_logged(
-        &mut self,
-        aid: &AuthorityId,
+        &self,
+        op: &mut OpState,
+        st: &mut ShardState,
         event: RevocationEvent,
     ) -> Result<(), CloudError> {
-        let authority = self
-            .sys
-            .authorities
-            .get(aid)
-            .expect("prechecked")
-            .to_wire_bytes();
-        self.log(&WalRecord::RevocationBegun {
-            authority,
-            event: event.to_wire_bytes(),
-        })?;
-        let id = self.sys.begin_revocation(event);
-        self.drive_logged(id, false)?;
-        self.maybe_checkpoint()
+        let authority = st.authority.to_wire_bytes();
+        self.log_locked(
+            op,
+            &WalRecord::RevocationBegun {
+                authority,
+                event: event.to_wire_bytes(),
+            },
+        )?;
+        let id = self.sys.begin_in_shard(st, event);
+        self.drive_logged(op, st, id, false)
     }
 
     /// Drives one journaled revocation and logs its completion. A crash
     /// between the drive and the log replays the revocation as still
     /// in-flight and recovery re-drives it — every delivery step is
     /// idempotent, so at-least-once execution is safe.
-    fn drive_logged(&mut self, id: u64, recovered: bool) -> Result<(), CloudError> {
-        self.sys.drive_revocation(id, recovered)?;
-        self.log(&WalRecord::RevocationDriven { id, recovered })
+    fn drive_logged(
+        &self,
+        op: &mut OpState,
+        st: &mut ShardState,
+        id: u64,
+        recovered: bool,
+    ) -> Result<(), CloudError> {
+        self.sys.drive_in_shard(st, id, recovered)?;
+        self.log_locked(op, &WalRecord::RevocationDriven { id, recovered })
     }
 
     /// Rolls every journaled in-flight revocation forward, logging each
@@ -1302,13 +1532,22 @@ impl<S: Storage> DurableSystem<S> {
     /// # Errors
     ///
     /// Propagates the first fault that still blocks convergence.
-    pub fn recover(&mut self) -> Result<usize, CloudError> {
+    pub fn recover(&self) -> Result<usize, CloudError> {
         self.check_poisoned()?;
         let _trace = mabe_trace::Span::child("durable.recover");
-        let ids: Vec<u64> = self.sys.in_flight.keys().copied().collect();
+        let mut op = self.op.lock();
+        let mut work: Vec<(u64, Arc<AuthorityShard>)> = Vec::new();
+        for shard in self.sys.control.shards.read().values() {
+            let st = shard.state.lock();
+            for id in st.in_flight.keys() {
+                work.push((*id, Arc::clone(shard)));
+            }
+        }
+        work.sort_by_key(|(id, _)| *id);
         let mut completed = 0;
-        for id in ids {
-            self.drive_logged(id, true)?;
+        for (id, shard) in work {
+            let mut st = shard.state.lock();
+            self.drive_logged(&mut op, &mut st, id, true)?;
             completed += 1;
         }
         Ok(completed)
@@ -1320,8 +1559,9 @@ impl<S: Storage> DurableSystem<S> {
         &self.sys
     }
 
-    /// The tamper-evident audit trail.
-    pub fn audit(&self) -> &AuditLog {
+    /// The tamper-evident audit trail (a lock guard dereferencing to
+    /// the [`AuditLog`]).
+    pub fn audit(&self) -> impl std::ops::Deref<Target = AuditLog> + '_ {
         self.sys.audit()
     }
 
@@ -1333,7 +1573,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Whether a journal-write failure has poisoned this handle (reopen
     /// from storage to continue).
     pub fn poisoned(&self) -> bool {
-        self.poisoned
+        self.poisoned.load(Ordering::SeqCst)
     }
 
     /// Mutable access to the **cloud-level** fault injector (the store
@@ -1347,9 +1587,10 @@ impl<S: Storage> DurableSystem<S> {
         self.wal.generation()
     }
 
-    /// Read access to the backing store.
-    pub fn storage(&self) -> &S {
-        self.wal.store()
+    /// Read access to the backing store (a guard dereferencing to `S`,
+    /// held through the log's lock for the duration of the borrow).
+    pub fn storage(&self) -> StoreRef<'_, S> {
+        self.wal.storage()
     }
 
     /// Mutable access to the backing store (e.g. to arm a simulated
@@ -1379,7 +1620,7 @@ mod tests {
     /// user riding out a revocation, a sync, and an allowed plus a
     /// denied read.
     fn full_world(
-        mut ds: DurableSystem<SimDisk>,
+        ds: DurableSystem<SimDisk>,
     ) -> (DurableSystem<SimDisk>, Uid, Uid, OwnerId, AuthorityId) {
         let aid = ds.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
         let owner = ds.add_owner("hospital").unwrap();
@@ -1425,11 +1666,11 @@ mod tests {
         let mut disk = ds.into_storage();
         disk.crash(); // drop anything unsynced — acked ops must survive
 
-        let (mut ds2, report) = DurableSystem::open(disk, 9999).unwrap();
+        let (ds2, report) = DurableSystem::open(disk, 9999).unwrap();
         assert!(report.records_replayed >= 12, "all ops journaled");
         assert_eq!(report.revocations_recovered, 0);
         assert_eq!(
-            ds2.audit(),
+            &*ds2.audit(),
             &expected_audit,
             "replayed audit chain identical"
         );
@@ -1447,7 +1688,7 @@ mod tests {
 
     #[test]
     fn checkpoint_compacts_and_reopen_replays_only_the_tail() {
-        let (mut ds, _, bob, owner, _) = full_world(open_fresh(7));
+        let (ds, _, bob, owner, _) = full_world(open_fresh(7));
         ds.checkpoint().unwrap();
         let generation = ds.generation();
         assert!(generation >= 1);
@@ -1462,11 +1703,11 @@ mod tests {
 
         let mut disk = ds.into_storage();
         disk.crash();
-        let (mut ds2, report) = DurableSystem::open(disk, 1).unwrap();
+        let (ds2, report) = DurableSystem::open(disk, 1).unwrap();
         assert!(report.wal.had_snapshot);
         assert_eq!(report.records_replayed, 1, "only the tail replays");
         assert_eq!(ds2.generation(), generation);
-        assert_eq!(ds2.audit(), &expected_audit);
+        assert_eq!(&*ds2.audit(), &expected_audit);
         assert_eq!(ds2.read(&bob, &owner, "rec-late", "x").unwrap(), b"tail");
     }
 
@@ -1506,7 +1747,7 @@ mod tests {
 
     #[test]
     fn open_failure_hands_back_storage_for_repair() {
-        let mut ds = open_fresh(5);
+        let ds = open_fresh(5);
         ds.add_authority("Solo", &["A"]).unwrap();
         ds.checkpoint().unwrap();
         let mut disk = ds.into_storage();
@@ -1574,7 +1815,7 @@ mod tests {
 
     #[test]
     fn recovery_telemetry_families_export() {
-        let mut ds = open_fresh(31);
+        let ds = open_fresh(31);
         ds.add_user("solo").unwrap();
         let mut disk = ds.into_storage();
         disk.crash();
@@ -1592,5 +1833,36 @@ mod tests {
                 "{family} missing from Prometheus export"
             );
         }
+    }
+
+    #[test]
+    fn concurrent_journaled_reads_survive_crash_and_replay() {
+        let (ds, _alice, bob, owner, _aid) = full_world(open_fresh(55));
+        let base_audit = ds.audit().entries().len();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ds = &ds;
+                let bob = &bob;
+                let owner = &owner;
+                scope.spawn(move || {
+                    for _ in 0..8 {
+                        assert_eq!(
+                            ds.read(bob, owner, "rec-shared", "note").unwrap(),
+                            b"ward note"
+                        );
+                    }
+                });
+            }
+        });
+        assert_eq!(ds.audit().entries().len(), base_audit + 32);
+        assert!(ds.audit().verify());
+
+        // Every acked read is journaled in apply order: the replayed
+        // audit chain carries all 32 concurrent reads byte-identically.
+        let expected_audit = ds.audit().clone();
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let (ds2, _) = DurableSystem::open(disk, 56).unwrap();
+        assert_eq!(&*ds2.audit(), &expected_audit);
     }
 }

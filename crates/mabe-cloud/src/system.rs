@@ -1,25 +1,34 @@
 //! End-to-end orchestration of the five-entity deployment (paper Fig. 1).
 //!
-//! [`CloudSystem`] wires together the CA, the attribute authorities, the
-//! data owners, the users and the semi-trusted server, routing every key
-//! and ciphertext through the byte-accounted [`Wire`] so the paper's
-//! storage and communication experiments fall out of ordinary operation.
+//! [`CloudSystem`] is a thin shell over three layered modules — the
+//! [directory](crate::directory) (identities and registries), the
+//! [control plane](crate::control) (grant / revoke / key delivery /
+//! recovery, serialized per authority shard), and the
+//! [data plane](crate::data) (publish / read / re-encrypt) — routing
+//! every key and ciphertext through the byte-accounted [`Wire`] so the
+//! paper's storage and communication experiments fall out of ordinary
+//! operation.
+//!
+//! Every public operation takes `&self`: shared state lives behind the
+//! lock hierarchy documented in DESIGN.md §12, so concurrent readers,
+//! a live revocation, and chaos bookkeeping coexist on one system.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
 
+use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{RngCore, SeedableRng};
 
-use mabe_core::{
-    open_component, seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner, Error,
-    OwnerId, Uid, UpdateKey, UserPublicKey, UserSecretKey, ZP_BYTES,
-};
+use mabe_core::{Error, OwnerId, Uid, UpdateKey, UserSecretKey, ZP_BYTES};
 use mabe_faults::{FaultInjector, FaultKind, RetryError, RetryPolicy};
-use mabe_policy::{parse, Attribute, AuthorityId, ParsePolicyError, Policy};
+use mabe_policy::{AuthorityId, ParsePolicyError};
 
-use crate::audit::{AuditEvent, AuditLog};
-use crate::recovery::{PendingRevocation, RevocationStage};
+use crate::audit::AuditLog;
+use crate::control::ControlPlane;
+use crate::data::DataPlane;
+use crate::directory::Directory;
 use crate::server::CloudServer;
 use crate::wire::{Disposition, Endpoint, Wire};
 
@@ -143,7 +152,10 @@ impl std::error::Error for CloudError {}
 /// Applies an update key, treating "the key already advanced to (or past)
 /// the target version" as success — the idempotency that makes replayed
 /// deliveries during crash recovery harmless.
-fn apply_update_tolerant(key: &mut UserSecretKey, uk: &UpdateKey) -> Result<(), CloudError> {
+pub(crate) fn apply_update_tolerant(
+    key: &mut UserSecretKey,
+    uk: &UpdateKey,
+) -> Result<(), CloudError> {
     match key.apply_update(uk) {
         Ok(()) => Ok(()),
         Err(Error::VersionMismatch { found, .. }) if found >= uk.to_version => Ok(()),
@@ -163,14 +175,6 @@ impl From<ParsePolicyError> for CloudError {
     }
 }
 
-/// Per-user runtime state: the CA-issued public key plus every secret
-/// key, slotted by `(owner, authority)`.
-#[derive(Debug)]
-pub(crate) struct UserState {
-    pub(crate) pk: UserPublicKey,
-    pub(crate) keys: BTreeMap<(OwnerId, AuthorityId), UserSecretKey>,
-}
-
 /// Paper-accounted storage overhead per entity class (Table III).
 #[derive(Clone, Debug, PartialEq, Eq, Default)]
 pub struct StorageReport {
@@ -184,28 +188,42 @@ pub struct StorageReport {
     pub server: usize,
 }
 
-/// The complete simulated deployment.
+/// An [`RngCore`] view over a mutex-guarded RNG: each draw takes the
+/// lock, so `&self` call sites share one deterministic stream without
+/// holding it across unrelated work.
+pub(crate) struct LockedRng<'a>(pub(crate) &'a Mutex<StdRng>);
+
+impl RngCore for LockedRng<'_> {
+    fn next_u32(&mut self) -> u32 {
+        self.0.lock().next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.lock().next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.0.lock().fill_bytes(dest)
+    }
+}
+
+/// The complete simulated deployment, layered as directory / control
+/// plane / data plane (see the module docs and DESIGN.md §12).
 #[derive(Debug)]
 pub struct CloudSystem {
-    pub(crate) rng: StdRng,
-    pub(crate) ca: CertificateAuthority,
-    pub(crate) authorities: BTreeMap<AuthorityId, AttributeAuthority>,
-    pub(crate) owners: BTreeMap<OwnerId, DataOwner>,
-    pub(crate) users: BTreeMap<Uid, UserState>,
-    pub(crate) grants: BTreeMap<Uid, BTreeSet<Attribute>>,
-    pub(crate) offline: BTreeSet<Uid>,
-    pub(crate) pending_updates: BTreeMap<Uid, Vec<(OwnerId, UpdateKey)>>,
-    pub(crate) server: CloudServer,
+    /// Crypto randomness. A leaf lock: taken per draw, never while
+    /// calling back into another layer.
+    pub(crate) rng: Mutex<StdRng>,
+    pub(crate) directory: Directory,
+    pub(crate) control: ControlPlane,
+    pub(crate) data: DataPlane,
     pub(crate) wire: Wire,
-    pub(crate) audit: AuditLog,
+    pub(crate) audit: Mutex<AuditLog>,
     pub(crate) faults: FaultInjector,
-    pub(crate) retry: RetryPolicy,
+    pub(crate) retry: RwLock<RetryPolicy>,
     /// Jitter draws come from a dedicated stream so fault schedules never
     /// perturb the crypto determinism of `rng`.
-    pub(crate) retry_rng: StdRng,
-    pub(crate) down: BTreeSet<AuthorityId>,
-    pub(crate) in_flight: BTreeMap<u64, PendingRevocation>,
-    pub(crate) next_revocation: u64,
+    pub(crate) retry_rng: Mutex<StdRng>,
 }
 
 impl CloudSystem {
@@ -219,23 +237,15 @@ impl CloudSystem {
     /// the entry point for seeded chaos runs.
     pub fn with_faults(seed: u64, faults: FaultInjector) -> Self {
         CloudSystem {
-            rng: StdRng::seed_from_u64(seed),
-            ca: CertificateAuthority::new(),
-            authorities: BTreeMap::new(),
-            owners: BTreeMap::new(),
-            users: BTreeMap::new(),
-            grants: BTreeMap::new(),
-            offline: BTreeSet::new(),
-            pending_updates: BTreeMap::new(),
-            server: CloudServer::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            directory: Directory::new(),
+            control: ControlPlane::new(),
+            data: DataPlane::new(),
             wire: Wire::new(),
-            audit: AuditLog::new(),
+            audit: Mutex::new(AuditLog::new()),
             faults,
-            retry: RetryPolicy::default(),
-            retry_rng: StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15),
-            down: BTreeSet::new(),
-            in_flight: BTreeMap::new(),
-            next_revocation: 0,
+            retry: RwLock::new(RetryPolicy::default()),
+            retry_rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15)),
         }
     }
 
@@ -254,24 +264,18 @@ impl CloudSystem {
     /// [`CloudError::Crashed`] on an injected crash,
     /// [`CloudError::RetriesExhausted`] when transient faults outlast the
     /// retry budget.
-    fn transmit(
-        &mut self,
+    pub(crate) fn transmit(
+        &self,
         point: &'static str,
         from: Endpoint,
         to: Endpoint,
         what: &str,
         bytes: usize,
     ) -> Result<(), CloudError> {
-        let Self {
-            faults,
-            wire,
-            retry,
-            retry_rng,
-            ..
-        } = self;
+        let retry = *self.retry.read();
         retry
             .run(
-                retry_rng,
+                &mut LockedRng(&self.retry_rng),
                 point,
                 |attempt| {
                     let ok_disposition = if attempt > 1 {
@@ -279,10 +283,10 @@ impl CloudSystem {
                     } else {
                         Disposition::Delivered
                     };
-                    match faults.decide(point) {
+                    match self.faults.decide(point) {
                         Some(FaultKind::Crash) => Err(CloudError::Crashed { point }),
                         Some(FaultKind::Drop) => {
-                            wire.send_with(
+                            self.wire.send_with(
                                 from.clone(),
                                 to.clone(),
                                 what,
@@ -292,7 +296,7 @@ impl CloudSystem {
                             Err(CloudError::Lost { point })
                         }
                         Some(FaultKind::Corrupt) => {
-                            wire.send_with(
+                            self.wire.send_with(
                                 from.clone(),
                                 to.clone(),
                                 what,
@@ -302,8 +306,14 @@ impl CloudSystem {
                             Err(CloudError::Lost { point })
                         }
                         Some(FaultKind::Duplicate) => {
-                            wire.send_with(from.clone(), to.clone(), what, bytes, ok_disposition);
-                            wire.send_with(
+                            self.wire.send_with(
+                                from.clone(),
+                                to.clone(),
+                                what,
+                                bytes,
+                                ok_disposition,
+                            );
+                            self.wire.send_with(
                                 from.clone(),
                                 to.clone(),
                                 what,
@@ -322,12 +332,24 @@ impl CloudSystem {
                         Some(FaultKind::Delay) => {
                             mabe_telemetry::global()
                                 .counter("mabe_fault_delay_us_total", &[("point", point)])
-                                .add(faults.delay_us());
-                            wire.send_with(from.clone(), to.clone(), what, bytes, ok_disposition);
+                                .add(self.faults.delay_us());
+                            self.wire.send_with(
+                                from.clone(),
+                                to.clone(),
+                                what,
+                                bytes,
+                                ok_disposition,
+                            );
                             Ok(())
                         }
                         None => {
-                            wire.send_with(from.clone(), to.clone(), what, bytes, ok_disposition);
+                            self.wire.send_with(
+                                from.clone(),
+                                to.clone(),
+                                what,
+                                bytes,
+                                ok_disposition,
+                            );
                             Ok(())
                         }
                     }
@@ -341,21 +363,16 @@ impl CloudSystem {
     /// under the retry policy. Drop/duplicate/corrupt kinds are
     /// meaningless off the wire and are ignored.
     pub(crate) fn local_op(
-        &mut self,
+        &self,
         point: &'static str,
         aid: Option<&AuthorityId>,
     ) -> Result<(), CloudError> {
-        let Self {
-            faults,
-            retry,
-            retry_rng,
-            ..
-        } = self;
+        let retry = *self.retry.read();
         retry
             .run(
-                retry_rng,
+                &mut LockedRng(&self.retry_rng),
                 point,
-                |_| match faults.decide(point) {
+                |_| match self.faults.decide(point) {
                     Some(FaultKind::Crash) => Err(CloudError::Crashed { point }),
                     // The disk-level kinds only shape byte survival inside
                     // mabe-store; on a cloud op they degrade to a transient
@@ -373,7 +390,7 @@ impl CloudSystem {
                     Some(FaultKind::Delay) => {
                         mabe_telemetry::global()
                             .counter("mabe_fault_delay_us_total", &[("point", point)])
-                            .add(faults.delay_us());
+                            .add(self.faults.delay_us());
                         Ok(())
                     }
                     Some(FaultKind::Drop)
@@ -386,918 +403,45 @@ impl CloudSystem {
             .map_err(|e| CloudError::from_retry(point, e))
     }
 
-    /// Registers an attribute authority managing `attribute_names`, and
-    /// introduces it to every existing owner (SK_o registration plus
-    /// public-key download, both byte-accounted).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the AID is taken.
-    pub fn add_authority(
-        &mut self,
-        name: &str,
-        attribute_names: &[&str],
-    ) -> Result<AuthorityId, CloudError> {
-        let aid = self.ca.register_authority(name)?;
-        let aa = AttributeAuthority::new(aid.clone(), attribute_names, &mut self.rng);
-        self.install_authority(aa)
-    }
-
-    /// Introduces a (freshly set-up or journal-restored) authority to the
-    /// system: every existing owner not already registered with it
-    /// exchanges `SK_o`, every owner re-learns its public keys, and the
-    /// registration is audited. Factored out of [`Self::add_authority`]
-    /// so durable replay installs the serialized post-setup authority
-    /// through the exact same path (regenerating identical wire
-    /// accounting and audit entries).
-    pub(crate) fn install_authority(
-        &mut self,
-        mut aa: AttributeAuthority,
-    ) -> Result<AuthorityId, CloudError> {
-        let aid = aa.aid().clone();
-        for owner in self.owners.values_mut() {
-            if !aa.has_owner(owner.id()) {
-                let sk = owner.owner_secret_key();
-                self.wire.send(
-                    Endpoint::Owner(owner.id().clone()),
-                    Endpoint::Authority(aid.clone()),
-                    "owner secret key",
-                    sk.wire_size(),
-                );
-                aa.register_owner(sk)?;
-            }
-            let pks = aa.public_keys();
-            self.wire.send(
-                Endpoint::Authority(aid.clone()),
-                Endpoint::Owner(owner.id().clone()),
-                "authority public keys",
-                pks.wire_size(),
-            );
-            owner.learn_authority_keys(pks);
-        }
-        self.authorities.insert(aid.clone(), aa);
-        self.audit.record(AuditEvent::AuthorityAdded {
-            aid: aid.to_string(),
-        });
-        Ok(aid)
-    }
-
-    /// Registers a data owner, exchanging `SK_o` / public keys with every
-    /// existing authority and issuing this owner's user secret keys to
-    /// every already-granted user.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the owner id collides.
-    pub fn add_owner(&mut self, name: &str) -> Result<OwnerId, CloudError> {
-        let id = OwnerId::new(name);
-        if self.owners.contains_key(&id) {
-            return Err(CloudError::Core(Error::AlreadyRegistered(name.to_owned())));
-        }
-        let owner = DataOwner::new(id.clone(), &mut self.rng);
-        self.install_owner(owner)
-    }
-
-    /// Installs a (fresh or journal-restored) owner: exchanges keys with
-    /// every authority it is not yet registered with, issues this owner's
-    /// user secret keys to every already-granted user, and audits the
-    /// registration. The replay twin of [`Self::install_authority`].
-    pub(crate) fn install_owner(&mut self, mut owner: DataOwner) -> Result<OwnerId, CloudError> {
-        let id = owner.id().clone();
-        if self.owners.contains_key(&id) {
-            return Err(CloudError::Core(Error::AlreadyRegistered(id.to_string())));
-        }
-        for (aid, aa) in self.authorities.iter_mut() {
-            if !aa.has_owner(&id) {
-                let sk = owner.owner_secret_key();
-                self.wire.send(
-                    Endpoint::Owner(id.clone()),
-                    Endpoint::Authority(aid.clone()),
-                    "owner secret key",
-                    sk.wire_size(),
-                );
-                aa.register_owner(sk)?;
-            }
-            let pks = aa.public_keys();
-            self.wire.send(
-                Endpoint::Authority(aid.clone()),
-                Endpoint::Owner(id.clone()),
-                "authority public keys",
-                pks.wire_size(),
-            );
-            owner.learn_authority_keys(pks);
-        }
-        // Existing users need keys scoped to the new owner.
-        for (uid, attrs) in &self.grants {
-            let state = self.users.get_mut(uid).expect("granted user exists");
-            let involved: BTreeSet<&AuthorityId> = attrs.iter().map(|a| a.authority()).collect();
-            for aid in involved {
-                let aa = self.authorities.get(aid).expect("authority exists");
-                let key = aa.keygen(uid, &id)?;
-                self.wire.send(
-                    Endpoint::Authority(aid.clone()),
-                    Endpoint::User(uid.clone()),
-                    "user secret key",
-                    key.wire_size(),
-                );
-                state.keys.insert((id.clone(), aid.clone()), key);
-            }
-        }
-        self.owners.insert(id.clone(), owner);
-        self.audit.record(AuditEvent::OwnerAdded {
-            owner: id.to_string(),
-        });
-        Ok(id)
-    }
-
-    /// Registers a user with the CA.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the UID collides.
-    pub fn add_user(&mut self, name: &str) -> Result<Uid, CloudError> {
-        let pk = self.ca.register_user(name, &mut self.rng)?;
-        Ok(self.install_user(pk))
-    }
-
-    /// Installs a CA-registered user (fresh or journal-restored): the key
-    /// delivery is byte-accounted, runtime state allocated, and the
-    /// registration audited.
-    pub(crate) fn install_user(&mut self, pk: UserPublicKey) -> Uid {
-        let uid = pk.uid.clone();
-        self.wire.send(
-            Endpoint::Ca,
-            Endpoint::User(uid.clone()),
-            "uid + public key",
-            pk.wire_size(),
-        );
-        self.users.insert(
-            uid.clone(),
-            UserState {
-                pk,
-                keys: BTreeMap::new(),
-            },
-        );
-        self.grants.insert(uid.clone(), BTreeSet::new());
-        self.audit.record(AuditEvent::UserAdded {
-            uid: uid.to_string(),
-        });
-        uid
-    }
-
-    /// Grants attributes to a user: the relevant authorities record the
-    /// grant and issue secret keys scoped to every owner.
-    ///
-    /// Key generation and delivery run under the retry policy at the
-    /// [`fault_points::GRANT_KEYGEN`] / [`fault_points::GRANT_DELIVER`]
-    /// fault points; a downed authority fails fast with
-    /// [`CloudError::AuthorityUnavailable`].
-    ///
-    /// # Errors
-    ///
-    /// Fails on unknown user/authority/attribute, downed authorities, or
-    /// unrecovered injected faults.
-    pub fn grant(&mut self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
-        let _trace = mabe_trace::Span::child("cloud.grant").detail(uid.to_string());
-        if !self.users.contains_key(uid) {
-            return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
-        }
-        let mut by_authority: BTreeMap<AuthorityId, Vec<Attribute>> = BTreeMap::new();
-        for raw in attributes {
-            let attr: Attribute = raw
-                .parse()
-                .map_err(|_| CloudError::UnknownEntity(format!("attribute {raw}")))?;
-            by_authority
-                .entry(attr.authority().clone())
-                .or_default()
-                .push(attr);
-        }
-        for (aid, attrs) in by_authority {
-            if !self.authorities.contains_key(&aid) {
-                return Err(CloudError::UnknownAuthority(aid.clone()));
-            }
-            if self.down.contains(&aid) {
-                return Err(CloudError::AuthorityUnavailable(aid.clone()));
-            }
-            self.local_op(fault_points::GRANT_KEYGEN, Some(&aid))?;
-            {
-                let state = self.users.get(uid).expect("checked above");
-                let aa = self.authorities.get_mut(&aid).expect("checked above");
-                aa.grant(&state.pk, attrs.iter().cloned())?;
-            }
-            self.grants
-                .get_mut(uid)
-                .expect("user exists")
-                .extend(attrs.iter().cloned());
-            let owner_ids: Vec<OwnerId> = self.owners.keys().cloned().collect();
-            for owner_id in owner_ids {
-                let key = self
-                    .authorities
-                    .get(&aid)
-                    .expect("checked above")
-                    .keygen(uid, &owner_id)?;
-                self.transmit(
-                    fault_points::GRANT_DELIVER,
-                    Endpoint::Authority(aid.clone()),
-                    Endpoint::User(uid.clone()),
-                    "user secret key",
-                    key.wire_size(),
-                )?;
-                self.users
-                    .get_mut(uid)
-                    .expect("checked above")
-                    .keys
-                    .insert((owner_id, aid.clone()), key);
-            }
-        }
-        self.audit.record(AuditEvent::Granted {
-            uid: uid.to_string(),
-            attributes: attributes.iter().map(|a| a.to_string()).collect(),
-        });
-        Ok(())
-    }
-
-    /// Publishes a record: each `(label, data, policy)` component is
-    /// sealed (fresh content key, CP-ABE-wrapped) and uploaded.
-    ///
-    /// # Errors
-    ///
-    /// Fails on unknown owner, bad policy, or encryption errors.
-    pub fn publish(
-        &mut self,
-        owner_id: &OwnerId,
-        record: &str,
-        components: &[(&str, &[u8], &str)],
-    ) -> Result<(), CloudError> {
-        let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "publish")]);
-        let _trace = mabe_trace::Span::child("cloud.publish").detail(record.to_owned());
-        let owner = self
-            .owners
-            .get_mut(owner_id)
-            .ok_or_else(|| CloudError::Core(Error::UnknownOwner(owner_id.clone())))?;
-        let policies: Vec<Policy> = components
-            .iter()
-            .map(|(_, _, p)| parse(p))
-            .collect::<Result<_, _>>()?;
-        let specs: Vec<(&str, &[u8], &Policy)> = components
-            .iter()
-            .zip(policies.iter())
-            .map(|((label, data, _), policy)| (*label, *data, policy))
-            .collect();
-        let envelope = seal_envelope(owner, &specs, &mut self.rng)?;
-        // The upload consults PUBLISH_STORE: transient storage errors and
-        // drops are retried; a crash aborts *before* the store, so a
-        // failed publish never leaves a half-written record.
-        self.transmit(
-            fault_points::PUBLISH_STORE,
-            Endpoint::Owner(owner_id.clone()),
-            Endpoint::Server,
-            &format!("record {record}"),
-            envelope.stored_size(),
-        )?;
-        self.server.store(owner_id.clone(), record, envelope);
-        self.audit.record(AuditEvent::Published {
-            owner: owner_id.to_string(),
-            record: record.to_owned(),
-            components: components.iter().map(|(l, _, _)| (*l).to_owned()).collect(),
-        });
-        Ok(())
-    }
-
-    /// A user downloads one component of a record and decrypts it.
-    ///
-    /// # Errors
-    ///
-    /// Unknown record/component, or any decryption error (unsatisfied
-    /// policy, missing authority key, stale versions).
-    pub fn read(
-        &mut self,
-        uid: &Uid,
-        owner_id: &OwnerId,
-        record: &str,
-        label: &str,
-    ) -> Result<Vec<u8>, CloudError> {
-        let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read")]);
-        let _trace = mabe_trace::Span::child("cloud.read").detail(format!("{record}/{label}"));
-        if !self.users.contains_key(uid) {
-            return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
-        }
-        let envelope = self
-            .server
-            .fetch(owner_id, record)
-            .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
-        let component = envelope
-            .component(label)
-            .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
-        // Reads are server-side only: they keep working while authorities
-        // are down (graceful degradation at the last consistent version),
-        // and transient download faults are retried at READ_FETCH.
-        self.transmit(
-            fault_points::READ_FETCH,
-            Endpoint::Server,
-            Endpoint::User(uid.clone()),
-            &format!("component {record}/{label}"),
-            component.stored_size(),
-        )?;
-        let state = self.users.get(uid).expect("checked above");
-        let keys: BTreeMap<AuthorityId, UserSecretKey> = state
-            .keys
-            .iter()
-            .filter(|((o, _), _)| o == owner_id)
-            .map(|((_, aid), key)| (aid.clone(), key.clone()))
-            .collect();
-        let result = open_component(component, &state.pk, &keys);
-        self.audit.record(AuditEvent::Read {
-            uid: uid.to_string(),
-            owner: owner_id.to_string(),
-            record: record.to_owned(),
-            component: label.to_owned(),
-            allowed: result.is_ok(),
-        });
-        Ok(result?)
-    }
-
-    /// Like [`Self::read`], but decryption is outsourced: the user sends
-    /// a blinded transform key, the **server** runs all pairings and
-    /// returns a token, and the user finishes with one `G_T`
-    /// exponentiation (the DAC-MACS-style extension in
-    /// `mabe_core::outsource`). The server learns nothing: the token
-    /// carries the user's `1/z` blinding.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Self::read`].
-    pub fn read_outsourced(
-        &mut self,
-        uid: &Uid,
-        owner_id: &OwnerId,
-        record: &str,
-        label: &str,
-    ) -> Result<Vec<u8>, CloudError> {
-        let _span =
-            mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read_outsourced")]);
-        let _trace =
-            mabe_trace::Span::child("cloud.read_outsourced").detail(format!("{record}/{label}"));
-        let state = self
-            .users
-            .get(uid)
-            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
-        let envelope = self
-            .server
-            .fetch(owner_id, record)
-            .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
-        let component = envelope
-            .component(label)
-            .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
-
-        let keys: BTreeMap<AuthorityId, UserSecretKey> = state
-            .keys
-            .iter()
-            .filter(|((o, _), _)| o == owner_id)
-            .map(|((_, aid), key)| (aid.clone(), key.clone()))
-            .collect();
-        let (tk, rk) = mabe_core::make_transform_key(&state.pk, &keys, &mut self.rng)?;
-        // The blinded key travels to the server (same element count as
-        // the underlying secret keys plus the blinded PK).
-        let tk_bytes: usize =
-            keys.values().map(UserSecretKey::wire_size).sum::<usize>() + mabe_core::G_BYTES;
-        self.wire.send(
-            Endpoint::User(uid.clone()),
-            Endpoint::Server,
-            "transform key",
-            tk_bytes,
-        );
-        let token = mabe_core::server_transform(&component.key_ct, &tk)?;
-        // Only the 128-byte token comes back — not the ciphertext.
-        self.wire.send(
-            Endpoint::Server,
-            Endpoint::User(uid.clone()),
-            format!("transform token {record}/{label}"),
-            mabe_core::GT_BYTES + component.sealed.len() + component.nonce.len(),
-        );
-        let kem = mabe_core::client_recover(&component.key_ct, &token, &rk);
-        let result = mabe_core::open_component_with_kem(component, &kem);
-        self.audit.record(AuditEvent::Read {
-            uid: uid.to_string(),
-            owner: owner_id.to_string(),
-            record: record.to_owned(),
-            component: label.to_owned(),
-            allowed: result.is_ok(),
-        });
-        Ok(result?)
-    }
-
-    /// Revokes one attribute from one user, running the full two-phase
-    /// protocol: the authority re-keys, the intent is journaled to the
-    /// audit log, then fresh keys flow to the revoked user, update keys
-    /// to every other holder and every owner, and the server
-    /// re-encrypts every affected ciphertext.
-    ///
-    /// A crash mid-flight leaves a journaled [`PendingRevocation`] that
-    /// [`Self::recover`] rolls forward; every step is idempotent under
-    /// replay.
-    ///
-    /// # Errors
-    ///
-    /// Unknown user/authority, the user not holding the attribute, a
-    /// downed authority, or an unrecovered injected fault.
-    pub fn revoke(&mut self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
-        // End-to-end revocation latency: ReKey at the authority through
-        // the last server-side re-encryption.
-        let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
-        let _trace = mabe_trace::Span::child("cloud.revoke").detail(format!("{uid} {attribute}"));
-        let attr: Attribute = attribute
-            .parse()
-            .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
-        let aid = attr.authority().clone();
-        self.precheck_revocation(&aid)?;
-        let aa = self.authorities.get_mut(&aid).expect("prechecked");
-        let event = aa.revoke_attribute(uid, &attr, &mut self.rng)?;
-        let id = self.begin_revocation(event);
-        self.drive_revocation(id, false)
-    }
-
-    /// User-level revocation at one authority: strips all of the user's
-    /// attributes from that domain in a single version bump. Same
-    /// two-phase, crash-safe machinery as [`Self::revoke`].
-    ///
-    /// # Errors
-    ///
-    /// Unknown user/authority, no attributes held there, a downed
-    /// authority, or an unrecovered injected fault.
-    pub fn revoke_user_at(&mut self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
-        let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
-        let _trace =
-            mabe_trace::Span::child("cloud.revoke_user_at").detail(format!("{uid} @{aid}"));
-        self.precheck_revocation(aid)?;
-        let aa = self.authorities.get_mut(aid).expect("prechecked");
-        let event = aa.revoke_user(uid, &mut self.rng)?;
-        let id = self.begin_revocation(event);
-        self.drive_revocation(id, false)
-    }
-
-    /// Gates a revocation: the authority must exist, be reachable, pass
-    /// the [`fault_points::REVOKE_REKEY`] fault point, and have no
-    /// in-flight revocation (versions chain, so revocations at one
-    /// authority serialize — any crashed predecessor is driven to
-    /// completion first).
-    pub(crate) fn precheck_revocation(&mut self, aid: &AuthorityId) -> Result<(), CloudError> {
-        if !self.authorities.contains_key(aid) {
-            return Err(CloudError::UnknownAuthority(aid.clone()));
-        }
-        if self.down.contains(aid) {
-            return Err(CloudError::AuthorityUnavailable(aid.clone()));
-        }
-        self.local_op(fault_points::REVOKE_REKEY, Some(aid))?;
-        let stalled: Vec<u64> = self
-            .in_flight
-            .iter()
-            .filter(|(_, p)| &p.event.aid == aid)
-            .map(|(id, _)| *id)
-            .collect();
-        for id in stalled {
-            self.drive_revocation(id, true)?;
-        }
-        Ok(())
-    }
-
-    /// Journals the intent of a revocation (audit `RevocationBegun` +
-    /// `Revoked`), removes the revoked grants, purges now-stale queued
-    /// update keys for the revoked user at that authority, and parks the
-    /// event as a [`PendingRevocation`]. Returns the journal id.
-    pub(crate) fn begin_revocation(&mut self, event: mabe_core::RevocationEvent) -> u64 {
-        let id = self.next_revocation;
-        self.next_revocation += 1;
-        let aid = event.aid.clone();
-        let uid = event.revoked_uid.clone();
-        self.audit.record(AuditEvent::RevocationBegun {
-            uid: uid.to_string(),
-            aid: aid.to_string(),
-            from_version: event.from_version,
-            to_version: event.to_version,
-        });
-        self.audit.record(AuditEvent::Revoked {
-            uid: uid.to_string(),
-            attributes: event
-                .revoked_attributes
-                .iter()
-                .map(|a| a.to_string())
-                .collect(),
-            aid: aid.to_string(),
-            new_version: event.to_version,
-        });
-        if let Some(grants) = self.grants.get_mut(&uid) {
-            for attr in &event.revoked_attributes {
-                grants.remove(attr);
-            }
-        }
-        // Update keys still queued for the revoked user at this authority
-        // are superseded by the fresh reduced keys (already at the new
-        // version): replaying them on sync would only fail. Purge them so
-        // an offline revoked user syncs cleanly.
-        if let Some(queue) = self.pending_updates.get_mut(&uid) {
-            let before = queue.len();
-            queue.retain(|(_, uk)| uk.aid != aid);
-            let purged = (before - queue.len()) as u64;
-            if purged > 0 {
-                mabe_telemetry::global()
-                    .counter("mabe_stale_update_keys_dropped_total", &[("op", "revoke")])
-                    .add(purged);
-            }
-        }
-        self.in_flight.insert(id, PendingRevocation::new(id, event));
-        mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "begun" });
-        id
-    }
-
-    /// Drives one journaled revocation to completion. On success the
-    /// audit log gains `RevocationCompleted` (plus `RevocationRecovered`
-    /// when `recovered`); on failure the pending entry is re-parked with
-    /// its checkpoints intact so a later drive resumes, not restarts.
-    pub(crate) fn drive_revocation(&mut self, id: u64, recovered: bool) -> Result<(), CloudError> {
-        let Some(mut pending) = self.in_flight.remove(&id) else {
-            return Ok(());
-        };
-        match self.drive_phases(&mut pending) {
-            Ok(()) => {
-                self.audit.record(AuditEvent::RevocationCompleted {
-                    aid: pending.event.aid.to_string(),
-                    version: pending.event.to_version,
-                });
-                mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "complete" });
-                if recovered {
-                    self.audit.record(AuditEvent::RevocationRecovered {
-                        aid: pending.event.aid.to_string(),
-                        version: pending.event.to_version,
-                    });
-                    mabe_telemetry::global()
-                        .counter("mabe_revocations_recovered_total", &[])
-                        .inc();
-                    mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
-                        stage: "recovered",
-                    });
-                }
-                Ok(())
-            }
-            Err(e) => {
-                self.in_flight.insert(id, pending);
-                Err(e)
-            }
-        }
-    }
-
-    fn drive_phases(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
-        if pending.stage == RevocationStage::KeyDelivery {
-            mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
-                stage: "key_delivery",
-            });
-            self.deliver_keys(pending)?;
-            pending.stage = RevocationStage::ReEncryption;
-        }
-        mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
-            stage: "re_encryption",
-        });
-        self.reencrypt_phase(pending)
-    }
-
-    /// Phase 1: fresh reduced keys to the revoked user (delivered eagerly
-    /// even if offline — the old keys must die), then update keys to
-    /// every other holder (queued for offline holders). Checkpointed per
-    /// holder; key application is version-tolerant, so replays after a
-    /// crash are no-ops.
-    fn deliver_keys(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
-        let _trace =
-            mabe_trace::Span::child("cloud.deliver_keys").detail(format!("@{}", pending.event.aid));
-        let aid = pending.event.aid.clone();
-        let uid = pending.event.revoked_uid.clone();
-        if !pending.fresh_keys_delivered {
-            if self.users.contains_key(&uid) {
-                let fresh: Vec<(OwnerId, UserSecretKey)> = pending
-                    .event
-                    .revoked_user_keys
-                    .iter()
-                    .map(|(o, k)| (o.clone(), k.clone()))
-                    .collect();
-                for (owner_id, key) in fresh {
-                    self.transmit(
-                        fault_points::REVOKE_FRESH_KEY,
-                        Endpoint::Authority(aid.clone()),
-                        Endpoint::User(uid.clone()),
-                        "re-issued secret key",
-                        key.wire_size(),
-                    )?;
-                    self.users
-                        .get_mut(&uid)
-                        .expect("checked above")
-                        .keys
-                        .insert((owner_id, aid.clone()), key);
-                }
-            }
-            pending.fresh_keys_delivered = true;
-        }
-        let holders: Vec<Uid> = self
-            .grants
-            .iter()
-            .filter(|(holder, attrs)| {
-                **holder != uid && attrs.iter().any(|a| a.authority() == &aid)
-            })
-            .map(|(holder, _)| holder.clone())
-            .collect();
-        for holder in holders {
-            if pending.delivered_holders.contains(&holder) {
-                continue;
-            }
-            if self.offline.contains(&holder) {
-                let queue = self.pending_updates.entry(holder.clone()).or_default();
-                for (owner_id, uk) in &pending.event.update_keys {
-                    queue.push((owner_id.clone(), uk.clone()));
-                }
-                pending.delivered_holders.insert(holder);
-                continue;
-            }
-            let slots: Vec<(OwnerId, UpdateKey)> = pending
-                .event
-                .update_keys
-                .iter()
-                .filter(|(owner_id, _)| {
-                    self.users
-                        .get(&holder)
-                        .is_some_and(|s| s.keys.contains_key(&((*owner_id).clone(), aid.clone())))
-                })
-                .map(|(o, uk)| (o.clone(), uk.clone()))
-                .collect();
-            for (owner_id, uk) in slots {
-                self.transmit(
-                    fault_points::REVOKE_UPDATE_DELIVER,
-                    Endpoint::Authority(aid.clone()),
-                    Endpoint::User(holder.clone()),
-                    "update key",
-                    uk.wire_size(),
-                )?;
-                let state = self.users.get_mut(&holder).expect("holder exists");
-                let key = state
-                    .keys
-                    .get_mut(&(owner_id, aid.clone()))
-                    .expect("filtered above");
-                apply_update_tolerant(key, &uk)?;
-            }
-            pending.delivered_holders.insert(holder);
-        }
-        Ok(())
-    }
-
-    /// Phase 2: owners apply their update keys (checkpointed), then the
-    /// server re-encrypts every affected ciphertext. The worklist comes
-    /// from [`CloudServer::affected_ciphertexts`], which only returns
-    /// components still at the old version — replaying a half-finished
-    /// phase naturally skips what is already done.
-    fn reencrypt_phase(&mut self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
-        let _trace = mabe_trace::Span::child("cloud.reencrypt_phase")
-            .detail(format!("@{}", pending.event.aid));
-        let aid = pending.event.aid.clone();
-        let owner_ids: Vec<OwnerId> = self.owners.keys().cloned().collect();
-        for owner_id in owner_ids {
-            let Some(uk) = pending.event.update_keys.get(&owner_id).cloned() else {
-                continue;
-            };
-            if !pending.updated_owners.contains(&owner_id) {
-                self.transmit(
-                    fault_points::REVOKE_OWNER_UPDATE,
-                    Endpoint::Authority(aid.clone()),
-                    Endpoint::Owner(owner_id.clone()),
-                    "update key",
-                    uk.wire_size(),
-                )?;
-                let owner = self.owners.get_mut(&owner_id).expect("owner exists");
-                match owner.apply_update_key(&uk) {
-                    Ok(()) => {}
-                    Err(Error::VersionMismatch { found, .. }) if found >= uk.to_version => {}
-                    Err(e) => return Err(e.into()),
-                }
-                pending.updated_owners.insert(owner_id.clone());
-            }
-            let affected =
-                self.server
-                    .affected_ciphertexts(&owner_id, &aid, pending.event.from_version);
-            for (record_key, label, ct_id) in affected {
-                let _trace = mabe_trace::Span::child("cloud.reencrypt")
-                    .detail(format!("{}/{}/{label}", record_key.0, record_key.1));
-                self.local_op(fault_points::REVOKE_REENCRYPT, None)?;
-                let owner = self.owners.get(&owner_id).expect("owner exists");
-                let ui = owner.update_info_for(
-                    ct_id,
-                    &aid,
-                    pending.event.from_version,
-                    pending.event.to_version,
-                )?;
-                self.wire.send(
-                    Endpoint::Owner(owner_id.clone()),
-                    Endpoint::Server,
-                    "update key + update info",
-                    uk.wire_size() + ui.wire_size(),
-                );
-                self.server
-                    .reencrypt_component(&record_key, &label, &uk, &ui)?;
-            }
-        }
-        Ok(())
-    }
-
-    /// Rolls every journaled in-flight revocation forward to completion
-    /// (crash recovery). Returns how many revocations converged. Partial
-    /// progress is retained on failure, so calling `recover` again after
-    /// clearing the fault continues where it stopped.
-    ///
-    /// # Errors
-    ///
-    /// Propagates the first fault that still blocks convergence.
-    pub fn recover(&mut self) -> Result<usize, CloudError> {
-        let _trace = mabe_trace::Span::child("cloud.recover");
-        let ids: Vec<u64> = self.in_flight.keys().copied().collect();
-        let mut completed = 0;
-        for id in ids {
-            self.drive_revocation(id, true)?;
-            completed += 1;
-        }
-        Ok(completed)
-    }
-
-    /// Whether any revocation is journaled but not yet converged.
-    pub fn needs_recovery(&self) -> bool {
-        !self.in_flight.is_empty()
-    }
-
-    /// Progress summaries of every in-flight revocation.
-    pub fn pending_revocations(&self) -> Vec<String> {
-        self.in_flight
-            .values()
-            .map(PendingRevocation::progress)
-            .collect()
-    }
-
-    /// Marks an authority unreachable: grants and revocations against it
-    /// fail with [`CloudError::AuthorityUnavailable`], while reads keep
-    /// serving the last consistent version (graceful degradation).
-    pub fn set_authority_down(&mut self, aid: &AuthorityId) {
-        self.down.insert(aid.clone());
-    }
-
-    /// Brings a downed authority back.
-    pub fn set_authority_up(&mut self, aid: &AuthorityId) {
-        self.down.remove(aid);
-    }
-
-    /// Whether an authority is currently marked down.
-    pub fn authority_is_down(&self, aid: &AuthorityId) -> bool {
-        self.down.contains(aid)
-    }
-
-    /// Full user-level revocation: runs [`Self::revoke_user_at`] against
-    /// every authority where the user currently holds attributes.
-    ///
-    /// # Errors
-    ///
-    /// Unknown user; propagates per-authority failures.
-    pub fn revoke_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
-        let involved: Vec<AuthorityId> = self
-            .grants
-            .get(uid)
-            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?
-            .iter()
-            .map(|a| a.authority().clone())
-            .collect::<BTreeSet<_>>()
-            .into_iter()
-            .collect();
-        for aid in involved {
-            self.revoke_user_at(uid, &aid)?;
-        }
-        Ok(())
-    }
-
-    /// Marks a user offline: update keys queue up instead of being
-    /// applied (the paper sends `UK` to all non-revoked users; offline
-    /// ones catch up later via [`Self::sync_user`]).
-    pub fn set_offline(&mut self, uid: &Uid) {
-        self.offline.insert(uid.clone());
-    }
-
-    /// Brings a user back online and replays any queued update keys.
-    /// Consecutive updates per `(owner, authority)` are **composed**
-    /// into one compact key first ([`mabe_core::UpdateKey::compose`]),
-    /// so a user offline through `n` revocations downloads one update
-    /// key per authority, not `n`.
-    ///
-    /// Queued updates the user's key has already moved past — e.g. the
-    /// fresh reduced keys delivered when the user was revoked while
-    /// offline land at the *new* version — are dropped, not replayed, so
-    /// syncing never resurrects stale key material. Delivery runs at the
-    /// [`fault_points::SYNC_DELIVER`] fault point; on failure the
-    /// undelivered remainder is re-queued so a later sync resumes.
-    ///
-    /// # Errors
-    ///
-    /// Propagates key-update failures (e.g. corrupted queues) and
-    /// unrecovered injected faults.
-    pub fn sync_user(&mut self, uid: &Uid) -> Result<(), CloudError> {
-        let _trace = mabe_trace::Span::child("cloud.sync_user").detail(uid.to_string());
-        self.offline.remove(uid);
-        let Some(queue) = self.pending_updates.remove(uid) else {
-            return Ok(());
-        };
-        let versions: BTreeMap<(OwnerId, AuthorityId), u64> = self
-            .users
-            .get(uid)
-            .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?
-            .keys
-            .iter()
-            .map(|(slot, key)| (slot.clone(), key.version))
-            .collect();
-        // Compact chains per (owner, authority), dropping entries the
-        // key has already advanced past.
-        let mut compacted: BTreeMap<(OwnerId, AuthorityId), UpdateKey> = BTreeMap::new();
-        let mut stale = 0u64;
-        for (owner_id, uk) in queue {
-            let slot = (owner_id, uk.aid.clone());
-            let current = versions.get(&slot).copied().unwrap_or(0);
-            if uk.from_version < current {
-                stale += 1;
-                continue;
-            }
-            match compacted.remove(&slot) {
-                Some(prev) => {
-                    compacted.insert(slot, prev.compose(&uk)?);
-                }
-                None => {
-                    compacted.insert(slot, uk);
-                }
-            }
-        }
-        if stale > 0 {
-            mabe_telemetry::global()
-                .counter("mabe_stale_update_keys_dropped_total", &[("op", "sync")])
-                .add(stale);
-        }
-        let work: Vec<((OwnerId, AuthorityId), UpdateKey)> = compacted.into_iter().collect();
-        for (i, (slot, uk)) in work.iter().enumerate() {
-            if let Err(e) = self.transmit(
-                fault_points::SYNC_DELIVER,
-                Endpoint::Authority(slot.1.clone()),
-                Endpoint::User(uid.clone()),
-                "composed deferred update key",
-                uk.wire_size(),
-            ) {
-                // Crash-safety: re-queue the undelivered remainder so the
-                // next sync picks up exactly where this one stopped.
-                let requeue: Vec<(OwnerId, UpdateKey)> = work[i..]
-                    .iter()
-                    .map(|((owner_id, _), uk)| (owner_id.clone(), uk.clone()))
-                    .collect();
-                self.pending_updates.insert(uid.clone(), requeue);
-                return Err(e);
-            }
-            let state = self.users.get_mut(uid).expect("checked above");
-            if let Some(key) = state.keys.get_mut(slot) {
-                apply_update_tolerant(key, uk)?;
-            }
-        }
-        Ok(())
-    }
-
     /// The byte-accounted transport log.
     pub fn wire(&self) -> &Wire {
         &self.wire
     }
 
     /// The tamper-evident audit trail of every system operation.
-    pub fn audit(&self) -> &AuditLog {
-        &self.audit
+    ///
+    /// Returns a lock guard dereferencing to the [`AuditLog`]; method
+    /// calls work as before (`sys.audit().verify()`), comparisons need
+    /// an explicit `&*`.
+    pub fn audit(&self) -> impl std::ops::Deref<Target = AuditLog> + '_ {
+        self.audit.lock()
     }
 
     /// Resets communication accounting (e.g. between experiment phases).
-    pub fn reset_wire(&mut self) {
+    pub fn reset_wire(&self) {
         self.wire.reset();
     }
 
-    /// The fault injector (inspect the injection log, hit counters).
+    /// The fault injector (inspect the injection log, hit counters,
+    /// arm/disarm mid-run — all interior-mutable).
     pub fn faults(&self) -> &FaultInjector {
         &self.faults
     }
 
-    /// Mutable access to the fault injector (arm/disarm mid-run, e.g. to
-    /// clear chaos before asserting convergence).
+    /// Replaces the fault injector wholesale (e.g. a fresh chaos plan).
     pub fn faults_mut(&mut self) -> &mut FaultInjector {
         &mut self.faults
     }
 
     /// The retry policy applied to instrumented operations.
     pub fn retry_policy(&self) -> RetryPolicy {
-        self.retry
+        *self.retry.read()
     }
 
     /// Replaces the retry policy (e.g. `RetryPolicy::none()` to surface
     /// every transient fault).
-    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
-        self.retry = policy;
+    pub fn set_retry_policy(&self, policy: RetryPolicy) {
+        *self.retry.write() = policy;
     }
 
     /// JSON snapshot of the global telemetry registry: crypto-op
@@ -1314,38 +458,56 @@ impl CloudSystem {
 
     /// The cloud server.
     pub fn server(&self) -> &CloudServer {
-        &self.server
+        &self.data.server
+    }
+
+    /// A shared handle on the cloud server, for harnesses that drive
+    /// reads from worker threads while this system mutates state.
+    pub fn server_arc(&self) -> Arc<CloudServer> {
+        Arc::clone(&self.data.server)
     }
 
     /// Current key version of an authority.
     pub fn authority_version(&self, aid: &AuthorityId) -> Option<u64> {
-        self.authorities.get(aid).map(|a| a.version())
+        self.control
+            .shard(aid)
+            .map(|shard| shard.state.lock().authority.version())
     }
 
     /// Paper-accounted storage overhead per entity (Table III).
     pub fn storage_report(&self) -> StorageReport {
+        let authorities = self
+            .control
+            .shards
+            .read()
+            .keys()
+            .map(|aid| (aid.clone(), ZP_BYTES))
+            .collect();
+        let owners = self
+            .directory
+            .owners
+            .read()
+            .iter()
+            .map(|(id, o)| (id.clone(), o.storage_size()))
+            .collect();
+        let users = self
+            .directory
+            .users
+            .read()
+            .users
+            .iter()
+            .map(|(uid, s)| {
+                (
+                    uid.clone(),
+                    s.keys.values().map(UserSecretKey::wire_size).sum(),
+                )
+            })
+            .collect();
         StorageReport {
-            authorities: self
-                .authorities
-                .keys()
-                .map(|aid| (aid.clone(), ZP_BYTES))
-                .collect(),
-            owners: self
-                .owners
-                .iter()
-                .map(|(id, o)| (id.clone(), o.storage_size()))
-                .collect(),
-            users: self
-                .users
-                .iter()
-                .map(|(uid, s)| {
-                    (
-                        uid.clone(),
-                        s.keys.values().map(UserSecretKey::wire_size).sum(),
-                    )
-                })
-                .collect(),
-            server: self.server.storage_size(),
+            authorities,
+            owners,
+            users,
+            server: self.data.server.storage_size(),
         }
     }
 }
@@ -1358,7 +520,7 @@ mod tests {
     /// Populates the paper's running example in an existing system: a
     /// medical authority and a clinical-trial authority, one hospital
     /// owner, three users.
-    fn medical_world(sys: &mut CloudSystem) -> (Uid, Uid, Uid, OwnerId) {
+    fn medical_world(sys: &CloudSystem) -> (Uid, Uid, Uid, OwnerId) {
         sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
         sys.add_authority("Trial", &["Researcher", "Sponsor"])
             .unwrap();
@@ -1376,14 +538,14 @@ mod tests {
     }
 
     fn medical_system() -> (CloudSystem, Uid, Uid, Uid, OwnerId) {
-        let mut sys = CloudSystem::new(42);
-        let (alice, bob, carol, owner) = medical_world(&mut sys);
+        let sys = CloudSystem::new(42);
+        let (alice, bob, carol, owner) = medical_world(&sys);
         (sys, alice, bob, carol, owner)
     }
 
     #[test]
     fn end_to_end_publish_and_read() {
-        let (mut sys, alice, bob, carol, owner) = medical_system();
+        let (sys, alice, bob, carol, owner) = medical_system();
         sys.publish(
             &owner,
             "patient-7",
@@ -1420,7 +582,7 @@ mod tests {
 
     #[test]
     fn revocation_lifecycle_through_the_system() {
-        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        let (sys, alice, bob, _carol, owner) = medical_system();
         sys.publish(
             &owner,
             "rec",
@@ -1456,7 +618,7 @@ mod tests {
 
     #[test]
     fn late_owner_gets_keys_flowing() {
-        let (mut sys, alice, _bob, _carol, _owner) = medical_system();
+        let (sys, alice, _bob, _carol, _owner) = medical_system();
         let clinic = sys.add_owner("clinic").unwrap();
         sys.publish(
             &clinic,
@@ -1469,7 +631,7 @@ mod tests {
 
     #[test]
     fn wire_accounting_accumulates_per_pair() {
-        let (mut sys, alice, _bob, _carol, owner) = medical_system();
+        let (sys, alice, _bob, _carol, owner) = medical_system();
         sys.publish(&owner, "r", &[("x", b"d".as_slice(), "Doctor@MedOrg")])
             .unwrap();
         sys.read(&alice, &owner, "r", "x").unwrap();
@@ -1494,7 +656,7 @@ mod tests {
 
     #[test]
     fn unknown_lookups_error() {
-        let (mut sys, alice, _bob, _carol, owner) = medical_system();
+        let (sys, alice, _bob, _carol, owner) = medical_system();
         assert!(matches!(
             sys.read(&alice, &owner, "nope", "x"),
             Err(CloudError::UnknownRecord(_))
@@ -1521,7 +683,7 @@ mod tests {
 
     #[test]
     fn revocation_reencrypts_every_owners_ciphertexts() {
-        let (mut sys, alice, bob, _carol, hospital) = medical_system();
+        let (sys, alice, bob, _carol, hospital) = medical_system();
         let clinic = sys.add_owner("clinic").unwrap();
         sys.publish(
             &hospital,
@@ -1545,7 +707,7 @@ mod tests {
 
     #[test]
     fn outsourced_read_matches_direct_read() {
-        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        let (sys, alice, bob, _carol, owner) = medical_system();
         sys.publish(
             &owner,
             "r",
@@ -1571,7 +733,7 @@ mod tests {
 
     #[test]
     fn audit_trail_records_lifecycle() {
-        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        let (sys, alice, bob, _carol, owner) = medical_system();
         sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
             .unwrap();
         let _ = sys.read(&alice, &owner, "r", "x");
@@ -1594,7 +756,7 @@ mod tests {
 
     #[test]
     fn user_level_revocation() {
-        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        let (sys, alice, bob, _carol, owner) = medical_system();
         sys.publish(
             &owner,
             "r",
@@ -1628,7 +790,7 @@ mod tests {
 
     #[test]
     fn offline_user_catches_up_with_queued_update_keys() {
-        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        let (sys, alice, bob, _carol, owner) = medical_system();
         sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
             .unwrap();
         assert!(sys.read(&bob, &owner, "r", "x").is_ok());
@@ -1655,7 +817,7 @@ mod tests {
 
     #[test]
     fn metrics_exports_cover_the_lifecycle() {
-        let (mut sys, alice, _bob, _carol, owner) = medical_system();
+        let (sys, alice, _bob, _carol, owner) = medical_system();
         sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
             .unwrap();
         sys.read(&alice, &owner, "r", "x").unwrap();
@@ -1686,7 +848,7 @@ mod tests {
 
     #[test]
     fn multiple_revocations_chain_versions() {
-        let (mut sys, alice, bob, carol, owner) = medical_system();
+        let (sys, alice, bob, carol, owner) = medical_system();
         sys.publish(
             &owner,
             "r",
@@ -1707,7 +869,7 @@ mod tests {
 
     #[test]
     fn authority_outage_blocks_control_plane_not_reads() {
-        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        let (sys, alice, bob, _carol, owner) = medical_system();
         sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
             .unwrap();
         let med = AuthorityId::new("MedOrg");
@@ -1735,8 +897,8 @@ mod tests {
     fn crash_mid_reencryption_recovers_forward() {
         use mabe_faults::FaultPlan;
         let plan = FaultPlan::new(11).at(fault_points::REVOKE_REENCRYPT, 1, FaultKind::Crash);
-        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
-        let (alice, bob, _carol, owner) = medical_world(&mut sys);
+        let sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, bob, _carol, owner) = medical_world(&sys);
         sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
             .unwrap();
 
@@ -1771,8 +933,8 @@ mod tests {
         use mabe_faults::FaultPlan;
         // Crash on the very first holder update-key delivery.
         let plan = FaultPlan::new(3).at(fault_points::REVOKE_UPDATE_DELIVER, 1, FaultKind::Crash);
-        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
-        let (alice, bob, carol, owner) = medical_world(&mut sys);
+        let sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, bob, carol, owner) = medical_world(&sys);
         sys.publish(
             &owner,
             "r",
@@ -1794,8 +956,8 @@ mod tests {
     fn a_new_revocation_first_drives_a_stalled_one() {
         use mabe_faults::FaultPlan;
         let plan = FaultPlan::new(7).at(fault_points::REVOKE_REENCRYPT, 1, FaultKind::Crash);
-        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
-        let (alice, bob, carol, owner) = medical_world(&mut sys);
+        let sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, bob, carol, owner) = medical_world(&sys);
         sys.publish(
             &owner,
             "r",
@@ -1820,8 +982,8 @@ mod tests {
         let plan = FaultPlan::new(5)
             .rate(fault_points::READ_FETCH, FaultKind::Drop, 0.4)
             .budget(6);
-        let mut sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
-        let (alice, _bob, _carol, owner) = medical_world(&mut sys);
+        let sys = CloudSystem::with_faults(42, FaultInjector::new(plan));
+        let (alice, _bob, _carol, owner) = medical_world(&sys);
         sys.publish(&owner, "r", &[("x", b"v".as_slice(), "Doctor@MedOrg")])
             .unwrap();
         for _ in 0..8 {
@@ -1845,7 +1007,7 @@ mod tests {
 
     #[test]
     fn syncing_an_offline_revoked_user_does_not_resurrect_stale_keys() {
-        let (mut sys, alice, bob, _carol, owner) = medical_system();
+        let (sys, alice, bob, _carol, owner) = medical_system();
         sys.publish(
             &owner,
             "r",
@@ -1879,5 +1041,38 @@ mod tests {
         );
         // Syncing again is a no-op.
         sys.sync_user(&bob).unwrap();
+    }
+
+    #[test]
+    fn parallel_reencryption_matches_sequential_results() {
+        // Same seed, same world: one system re-encrypts sequentially,
+        // the other with a 4-worker pool. Access control must agree.
+        let run = |workers: usize| {
+            let sys = CloudSystem::new(42);
+            let (alice, bob, _carol, owner) = medical_world(&sys);
+            for i in 0..6 {
+                sys.publish(
+                    &owner,
+                    &format!("rec-{i}"),
+                    &[("x", b"v".as_slice(), "Doctor@MedOrg")],
+                )
+                .unwrap();
+            }
+            sys.set_reencrypt_workers(workers);
+            sys.revoke(&alice, "Doctor@MedOrg").unwrap();
+            let alice_reads: Vec<bool> = (0..6)
+                .map(|i| sys.read(&alice, &owner, &format!("rec-{i}"), "x").is_ok())
+                .collect();
+            let bob_reads: Vec<bool> = (0..6)
+                .map(|i| sys.read(&bob, &owner, &format!("rec-{i}"), "x").is_ok())
+                .collect();
+            (alice_reads, bob_reads)
+        };
+        let (a1, b1) = run(1);
+        let (a4, b4) = run(4);
+        assert!(a1.iter().all(|ok| !ok), "revoked reader locked out");
+        assert!(b1.iter().all(|ok| *ok), "holder keeps access");
+        assert_eq!(a1, a4);
+        assert_eq!(b1, b4);
     }
 }

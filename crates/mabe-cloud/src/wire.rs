@@ -180,10 +180,12 @@ pub struct DeliveryReport {
     pub bytes_lost: usize,
 }
 
-/// The byte-accounting transport.
+/// The byte-accounting transport. Internally synchronized: concurrent
+/// `&self` readers and the sharded control plane account bandwidth on
+/// one shared wire; entries land in arrival order.
 #[derive(Debug, Default)]
 pub struct Wire {
-    log: Vec<Transmission>,
+    log: parking_lot::Mutex<Vec<Transmission>>,
 }
 
 impl Wire {
@@ -195,7 +197,7 @@ impl Wire {
     /// Records one delivered message — in the local log (for the paper's
     /// Table IV reports) and in the global telemetry registry (per-pair
     /// byte and message counters).
-    pub fn send(&mut self, from: Endpoint, to: Endpoint, what: impl Into<String>, bytes: usize) {
+    pub fn send(&self, from: Endpoint, to: Endpoint, what: impl Into<String>, bytes: usize) {
         self.send_with(from, to, what, bytes, Disposition::Delivered);
     }
 
@@ -204,7 +206,7 @@ impl Wire {
     /// logged and counted like any other — only the delivery report
     /// distinguishes them.
     pub fn send_with(
-        &mut self,
+        &self,
         from: Endpoint,
         to: Endpoint,
         what: impl Into<String>,
@@ -227,7 +229,7 @@ impl Wire {
                 )
                 .inc();
         }
-        self.log.push(Transmission {
+        self.log.lock().push(Transmission {
             from,
             to,
             what: what.into(),
@@ -236,20 +238,21 @@ impl Wire {
         });
     }
 
-    /// Full transmission log.
-    pub fn log(&self) -> &[Transmission] {
-        &self.log
+    /// Full transmission log (a snapshot copy — sends may continue
+    /// concurrently).
+    pub fn log(&self) -> Vec<Transmission> {
+        self.log.lock().clone()
     }
 
     /// Total bytes transmitted.
     pub fn total_bytes(&self) -> usize {
-        self.log.iter().map(|t| t.bytes).sum()
+        self.log.lock().iter().map(|t| t.bytes).sum()
     }
 
     /// Aggregated bytes per entity-pair class (Table IV rows).
     pub fn report(&self) -> BTreeMap<PairClass, usize> {
         let mut out = BTreeMap::new();
-        for t in &self.log {
+        for t in self.log.lock().iter() {
             *out.entry(PairClass::of(&t.from, &t.to)).or_insert(0) += t.bytes;
         }
         out
@@ -258,7 +261,7 @@ impl Wire {
     /// Message and byte accounting broken down by delivery outcome.
     pub fn delivery_report(&self) -> DeliveryReport {
         let mut r = DeliveryReport::default();
-        for t in &self.log {
+        for t in self.log.lock().iter() {
             r.sent += 1;
             r.bytes_sent += t.bytes;
             match t.disposition {
@@ -282,6 +285,7 @@ impl Wire {
     /// (direction-insensitive).
     pub fn between(&self, a: &Endpoint, b: &Endpoint) -> usize {
         self.log
+            .lock()
             .iter()
             .filter(|t| (&t.from == a && &t.to == b) || (&t.from == b && &t.to == a))
             .map(|t| t.bytes)
@@ -289,8 +293,8 @@ impl Wire {
     }
 
     /// Clears the log (e.g. between experiment phases).
-    pub fn reset(&mut self) {
-        self.log.clear();
+    pub fn reset(&self) {
+        self.log.lock().clear();
     }
 }
 
@@ -308,7 +312,7 @@ mod tests {
 
     #[test]
     fn records_and_totals() {
-        let mut w = Wire::new();
+        let w = Wire::new();
         w.send(aa("Med"), user("alice"), "secret key", 130);
         w.send(Endpoint::Server, user("alice"), "ciphertext", 500);
         assert_eq!(w.total_bytes(), 630);
@@ -317,7 +321,7 @@ mod tests {
 
     #[test]
     fn pair_classes() {
-        let mut w = Wire::new();
+        let w = Wire::new();
         w.send(aa("Med"), user("alice"), "sk", 10);
         w.send(user("alice"), aa("Med"), "req", 5);
         w.send(
@@ -336,7 +340,7 @@ mod tests {
 
     #[test]
     fn between_is_symmetric() {
-        let mut w = Wire::new();
+        let w = Wire::new();
         w.send(aa("Med"), user("a"), "x", 10);
         w.send(user("a"), aa("Med"), "y", 4);
         assert_eq!(w.between(&aa("Med"), &user("a")), 14);
@@ -346,7 +350,7 @@ mod tests {
 
     #[test]
     fn reset_clears() {
-        let mut w = Wire::new();
+        let w = Wire::new();
         w.send(aa("Med"), user("a"), "x", 10);
         w.reset();
         assert_eq!(w.total_bytes(), 0);
@@ -362,7 +366,7 @@ mod tests {
 
     #[test]
     fn delivery_report_accounts_every_byte() {
-        let mut w = Wire::new();
+        let w = Wire::new();
         // A message is dropped, retransmitted, then an unrelated one is
         // duplicated and a third arrives corrupted.
         w.send_with(aa("M"), user("a"), "uk", 85, Disposition::Dropped);
@@ -394,7 +398,7 @@ mod tests {
 
     #[test]
     fn default_sends_are_delivered() {
-        let mut w = Wire::new();
+        let w = Wire::new();
         w.send(aa("M"), user("a"), "sk", 10);
         let r = w.delivery_report();
         assert_eq!(r.sent, 1);

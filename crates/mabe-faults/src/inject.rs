@@ -6,9 +6,17 @@
 //! simulate, if any. Decisions are a pure function of the plan's seed
 //! and the sequence of `decide` calls, so a failing chaos schedule is
 //! replayed exactly by re-running with the same seed.
+//!
+//! The injector is internally synchronized: every operation takes
+//! `&self`, so instrumented read paths that run concurrently (the
+//! sharded `mabe-cloud` data plane) share one injector without an outer
+//! lock. Determinism then holds per *serialized* decision sequence —
+//! single-threaded harnesses (chaos, crash sweep) replay exactly as
+//! before, while concurrent runs serialize decisions in arrival order.
 
 use std::collections::BTreeMap;
 
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{RngCore, SeedableRng};
 
@@ -25,9 +33,10 @@ pub struct InjectedFault {
     pub kind: FaultKind,
 }
 
-/// Consults a [`FaultPlan`] at named fault points, deterministically.
+/// Mutable injector state, behind one mutex so decisions are atomic
+/// (hit count, RNG draw, budget, and log entry move together).
 #[derive(Debug)]
-pub struct FaultInjector {
+struct Inner {
     plan: FaultPlan,
     rng: StdRng,
     hits: BTreeMap<&'static str, u64>,
@@ -36,18 +45,26 @@ pub struct FaultInjector {
     remaining: Option<u64>,
 }
 
+/// Consults a [`FaultPlan`] at named fault points, deterministically.
+#[derive(Debug)]
+pub struct FaultInjector {
+    inner: Mutex<Inner>,
+}
+
 impl FaultInjector {
     /// Builds an injector executing `plan`.
     pub fn new(plan: FaultPlan) -> Self {
         let rng = StdRng::seed_from_u64(plan.seed());
         let remaining = plan.budget;
         FaultInjector {
-            plan,
-            rng,
-            hits: BTreeMap::new(),
-            log: Vec::new(),
-            armed: true,
-            remaining,
+            inner: Mutex::new(Inner {
+                plan,
+                rng,
+                hits: BTreeMap::new(),
+                log: Vec::new(),
+                armed: true,
+                remaining,
+            }),
         }
     }
 
@@ -58,35 +75,43 @@ impl FaultInjector {
 
     /// Asks whether a fault fires at `point`. Increments the point's hit
     /// counter either way.
-    pub fn decide(&mut self, point: &'static str) -> Option<FaultKind> {
-        let hit = self.hits.entry(point).or_insert(0);
-        *hit += 1;
-        let hit = *hit;
-        if !self.armed || self.remaining == Some(0) {
-            return None;
-        }
-        let kind = self.plan.scheduled.remove(&(point, hit)).or_else(|| {
-            let point_rules = self
-                .plan
-                .point_rules
-                .get(point)
-                .cloned()
-                .unwrap_or_default();
-            point_rules
-                .iter()
-                .chain(self.plan.global_rules.iter())
-                .find(|rule| {
-                    // One draw per rule keeps the stream deterministic
-                    // regardless of which rule fires.
-                    let draw = (self.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
-                    draw < rule.rate
-                })
-                .map(|rule| rule.kind)
-        })?;
-        if let Some(r) = self.remaining.as_mut() {
-            *r -= 1;
-        }
-        self.log.push(InjectedFault { point, hit, kind });
+    pub fn decide(&self, point: &'static str) -> Option<FaultKind> {
+        let (kind, hit) = {
+            let mut inner = self.inner.lock();
+            let hit = inner.hits.entry(point).or_insert(0);
+            *hit += 1;
+            let hit = *hit;
+            if !inner.armed || inner.remaining == Some(0) {
+                return None;
+            }
+            let kind = match inner.plan.scheduled.remove(&(point, hit)) {
+                Some(kind) => Some(kind),
+                None => {
+                    let point_rules = inner
+                        .plan
+                        .point_rules
+                        .get(point)
+                        .cloned()
+                        .unwrap_or_default();
+                    let global_rules = inner.plan.global_rules.clone();
+                    point_rules
+                        .iter()
+                        .chain(global_rules.iter())
+                        .find(|rule| {
+                            // One draw per rule keeps the stream
+                            // deterministic regardless of which rule fires.
+                            let draw = (inner.rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+                            draw < rule.rate
+                        })
+                        .map(|rule| rule.kind)
+                }
+            }?;
+            if let Some(r) = inner.remaining.as_mut() {
+                *r -= 1;
+            }
+            inner.log.push(InjectedFault { point, hit, kind });
+            (kind, hit)
+        };
         mabe_telemetry::global()
             .counter(
                 "mabe_faults_injected_total",
@@ -104,40 +129,41 @@ impl FaultInjector {
     /// Schedules `kind` to fire on the `nth` subsequent hit (1-based) of
     /// `point`, counted from the hits already observed — so harnesses can
     /// plant faults into an injector that is already running.
-    pub fn schedule(&mut self, point: &'static str, nth: u64, kind: FaultKind) {
+    pub fn schedule(&self, point: &'static str, nth: u64, kind: FaultKind) {
         assert!(nth >= 1, "hits are 1-based");
-        let at = self.hits(point) + nth;
-        self.plan.scheduled.insert((point, at), kind);
+        let mut inner = self.inner.lock();
+        let at = inner.hits.get(point).copied().unwrap_or(0) + nth;
+        inner.plan.scheduled.insert((point, at), kind);
     }
 
     /// Stops injecting (hit counters keep advancing). Used by chaos
     /// suites to "clear" faults before asserting convergence.
-    pub fn disarm(&mut self) {
-        self.armed = false;
+    pub fn disarm(&self) {
+        self.inner.lock().armed = false;
     }
 
     /// Resumes injecting.
-    pub fn arm(&mut self) {
-        self.armed = true;
+    pub fn arm(&self) {
+        self.inner.lock().armed = true;
     }
 
     /// Whether the injector is currently armed.
     pub fn is_armed(&self) -> bool {
-        self.armed
+        self.inner.lock().armed
     }
 
     /// Faults the budget still allows (`None` = unlimited).
     pub fn remaining_budget(&self) -> Option<u64> {
-        self.remaining
+        self.inner.lock().remaining
     }
 
     /// Flips one seeded-random bit of `bytes` (no-op on empty input) —
     /// the canonical payload corruption for [`FaultKind::Corrupt`].
-    pub fn corrupt_bytes(&mut self, bytes: &mut [u8]) {
+    pub fn corrupt_bytes(&self, bytes: &mut [u8]) {
         if bytes.is_empty() {
             return;
         }
-        let bit = self.rng.next_u64() as usize % (bytes.len() * 8);
+        let bit = self.inner.lock().rng.next_u64() as usize % (bytes.len() * 8);
         bytes[bit / 8] ^= 1 << (bit % 8);
     }
 
@@ -145,36 +171,42 @@ impl FaultInjector {
     /// how many of `len` pending bytes survive, in `[0, len)`. Zero
     /// input yields zero. Draws from the same RNG stream as rate rules,
     /// so schedules that tear writes stay replayable by seed.
-    pub fn partial_len(&mut self, len: usize) -> usize {
+    pub fn partial_len(&self, len: usize) -> usize {
         if len == 0 {
             return 0;
         }
-        self.rng.next_u64() as usize % len
+        self.inner.lock().rng.next_u64() as usize % len
     }
 
     /// Virtual microseconds one [`FaultKind::Delay`] costs.
     pub fn delay_us(&self) -> u64 {
-        self.plan.delay_us
+        self.inner.lock().plan.delay_us
     }
 
     /// How many times `point` has been hit.
     pub fn hits(&self, point: &str) -> u64 {
-        self.hits.get(point).copied().unwrap_or(0)
+        self.inner.lock().hits.get(point).copied().unwrap_or(0)
     }
 
-    /// Every fault that fired, in order.
-    pub fn log(&self) -> &[InjectedFault] {
-        &self.log
+    /// Every fault that fired so far, in order (a snapshot copy — the
+    /// injector may keep running concurrently).
+    pub fn log(&self) -> Vec<InjectedFault> {
+        self.inner.lock().log.clone()
     }
 
     /// Total faults injected so far.
     pub fn injected_total(&self) -> u64 {
-        self.log.len() as u64
+        self.inner.lock().log.len() as u64
     }
 
     /// Faults of one kind injected so far.
     pub fn injected(&self, kind: FaultKind) -> u64 {
-        self.log.iter().filter(|f| f.kind == kind).count() as u64
+        self.inner
+            .lock()
+            .log
+            .iter()
+            .filter(|f| f.kind == kind)
+            .count() as u64
     }
 }
 
@@ -190,7 +222,7 @@ mod tests {
 
     #[test]
     fn none_never_fires() {
-        let mut inj = FaultInjector::none();
+        let inj = FaultInjector::none();
         for _ in 0..100 {
             assert_eq!(inj.decide("x"), None);
         }
@@ -200,7 +232,7 @@ mod tests {
 
     #[test]
     fn scheduled_fault_fires_on_exact_hit() {
-        let mut inj = FaultInjector::new(FaultPlan::new(1).at("p", 3, FaultKind::Crash));
+        let inj = FaultInjector::new(FaultPlan::new(1).at("p", 3, FaultKind::Crash));
         assert_eq!(inj.decide("p"), None);
         assert_eq!(inj.decide("p"), None);
         assert_eq!(inj.decide("p"), Some(FaultKind::Crash));
@@ -222,9 +254,9 @@ mod tests {
                 .rate("a", FaultKind::Drop, 0.3)
                 .rate_all(FaultKind::Delay, 0.1)
         };
-        let mut a = FaultInjector::new(plan(99));
-        let mut b = FaultInjector::new(plan(99));
-        let mut c = FaultInjector::new(plan(100));
+        let a = FaultInjector::new(plan(99));
+        let b = FaultInjector::new(plan(99));
+        let c = FaultInjector::new(plan(100));
         let seq_a: Vec<_> = (0..200).map(|_| a.decide("a")).collect();
         let seq_b: Vec<_> = (0..200).map(|_| b.decide("a")).collect();
         let seq_c: Vec<_> = (0..200).map(|_| c.decide("a")).collect();
@@ -236,12 +268,11 @@ mod tests {
 
     #[test]
     fn rate_one_always_fires_and_rate_zero_never() {
-        let mut inj =
-            FaultInjector::new(FaultPlan::new(5).rate("always", FaultKind::Drop, 1.0).rate(
-                "never",
-                FaultKind::Drop,
-                0.0,
-            ));
+        let inj = FaultInjector::new(FaultPlan::new(5).rate("always", FaultKind::Drop, 1.0).rate(
+            "never",
+            FaultKind::Drop,
+            0.0,
+        ));
         for _ in 0..50 {
             assert_eq!(inj.decide("always"), Some(FaultKind::Drop));
             assert_eq!(inj.decide("never"), None);
@@ -250,8 +281,7 @@ mod tests {
 
     #[test]
     fn budget_exhausts_then_quiet() {
-        let mut inj =
-            FaultInjector::new(FaultPlan::new(5).rate("p", FaultKind::Drop, 1.0).budget(3));
+        let inj = FaultInjector::new(FaultPlan::new(5).rate("p", FaultKind::Drop, 1.0).budget(3));
         let fired: Vec<_> = (0..10).filter_map(|_| inj.decide("p")).collect();
         assert_eq!(fired.len(), 3);
         assert_eq!(inj.remaining_budget(), Some(0));
@@ -259,7 +289,7 @@ mod tests {
 
     #[test]
     fn disarm_silences_and_arm_resumes() {
-        let mut inj = FaultInjector::new(FaultPlan::new(5).rate("p", FaultKind::Drop, 1.0));
+        let inj = FaultInjector::new(FaultPlan::new(5).rate("p", FaultKind::Drop, 1.0));
         assert!(inj.decide("p").is_some());
         inj.disarm();
         assert!(!inj.is_armed());
@@ -278,7 +308,7 @@ mod tests {
                 .rate("store.read", FaultKind::ReadCorrupt, 0.4)
         };
         let run = |seed| {
-            let mut inj = FaultInjector::new(plan(seed));
+            let inj = FaultInjector::new(plan(seed));
             let mut seq = Vec::new();
             let mut prefixes = Vec::new();
             for _ in 0..20 {
@@ -305,7 +335,7 @@ mod tests {
 
     #[test]
     fn budget_counts_storage_kinds() {
-        let mut inj = FaultInjector::new(
+        let inj = FaultInjector::new(
             FaultPlan::new(3)
                 .rate("w", FaultKind::TornWrite, 1.0)
                 .rate("f", FaultKind::PartialFlush, 1.0)
@@ -328,7 +358,7 @@ mod tests {
 
     #[test]
     fn partial_len_is_a_strict_prefix() {
-        let mut inj = FaultInjector::new(FaultPlan::new(11));
+        let inj = FaultInjector::new(FaultPlan::new(11));
         assert_eq!(inj.partial_len(0), 0);
         for len in 1..64usize {
             let n = inj.partial_len(len);
@@ -338,12 +368,28 @@ mod tests {
 
     #[test]
     fn corrupt_flips_exactly_one_bit() {
-        let mut inj = FaultInjector::new(FaultPlan::new(8));
+        let inj = FaultInjector::new(FaultPlan::new(8));
         let mut buf = [0u8; 16];
         inj.corrupt_bytes(&mut buf);
         let flipped: u32 = buf.iter().map(|b| b.count_ones()).sum();
         assert_eq!(flipped, 1);
         let mut empty: [u8; 0] = [];
         inj.corrupt_bytes(&mut empty);
+    }
+
+    #[test]
+    fn decide_is_shareable_across_threads() {
+        let inj = FaultInjector::new(FaultPlan::new(9).rate("p", FaultKind::Drop, 0.5).budget(8));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..50 {
+                        let _ = inj.decide("p");
+                    }
+                });
+            }
+        });
+        assert_eq!(inj.hits("p"), 200);
+        assert_eq!(inj.injected_total(), 8, "budget bounds concurrent firing");
     }
 }

@@ -15,16 +15,22 @@
 //!   atomically committed `wal.current` pointer. Recovery drops at most
 //!   the torn tail of the newest log and never falls back past a
 //!   committed checkpoint.
+//! * [`GroupWal`] — group commit over the [`Wal`]: concurrent writers
+//!   stage records and the elected leader batches every staged record
+//!   under a single sync, so N concurrent journal writes cost one disk
+//!   flush instead of N.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod crc;
+mod group;
 mod sim;
 mod storage;
 mod wal;
 
 pub use crc::crc32;
+pub use group::{GroupWal, StoreRef};
 pub use sim::SimDisk;
 pub use storage::{store_points, Storage, StoreError};
 pub use wal::{RecoveryReport, Wal, WalOpenError};

@@ -15,7 +15,7 @@
 use mabe::cloud::CloudSystem;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sys = CloudSystem::new(1440);
+    let sys = CloudSystem::new(1440);
     sys.add_authority("IBM", &["Engineer", "ProjectMember", "Manager"])?;
     sys.add_authority("Google", &["Engineer", "ProjectMember", "Manager"])?;
 

@@ -12,7 +12,7 @@
 use mabe::cloud::CloudSystem;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sys = CloudSystem::new(808);
+    let sys = CloudSystem::new(808);
     sys.add_authority("MedOrg", &["Doctor", "Nurse"])?;
     let owner = sys.add_owner("hospital")?;
 

@@ -9,7 +9,7 @@ use mabe::cloud::CloudSystem;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. System setup: CA assigns AIDs; each AA manages its own domain.
-    let mut sys = CloudSystem::new(2012);
+    let sys = CloudSystem::new(2012);
     sys.add_authority("MedOrg", &["Doctor", "Nurse"])?;
     sys.add_authority("Trial", &["Researcher"])?;
 

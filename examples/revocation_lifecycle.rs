@@ -15,7 +15,7 @@ use mabe::cloud::CloudSystem;
 use mabe::policy::AuthorityId;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut sys = CloudSystem::new(99);
+    let sys = CloudSystem::new(99);
     sys.add_authority("MedOrg", &["Doctor", "Nurse"])?;
     sys.add_authority("Trial", &["Researcher"])?;
     let owner = sys.add_owner("hospital")?;

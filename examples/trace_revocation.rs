@@ -23,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the authority down. `AuthorityUnavailable` is transient, so the
     // retry loop backs off and the second attempt goes through.
     let plan = FaultPlan::new(seed).at(fault_points::REVOKE_REKEY, 1, FaultKind::AuthorityDown);
-    let (mut ds, _) =
+    let (ds, _) =
         DurableSystem::open_with_faults(SimDisk::unfaulted(), seed, FaultInjector::new(plan))?;
 
     ds.add_authority("MedOrg", &["Doctor", "Nurse"])?;

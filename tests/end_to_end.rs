@@ -9,7 +9,7 @@ use mabe::policy::AuthorityId;
 /// policies, interleaved publishes/reads/revocations.
 #[test]
 fn hospital_university_insurer_scenario() {
-    let mut sys = CloudSystem::new(0xabcd);
+    let sys = CloudSystem::new(0xabcd);
     sys.add_authority("Hospital", &["Doctor", "Nurse", "Pharmacist"])
         .unwrap();
     sys.add_authority("University", &["Professor", "Student"])
@@ -136,7 +136,7 @@ fn hospital_university_insurer_scenario() {
 /// Publishing continues to work across many revocations; versions chain.
 #[test]
 fn many_revocations_stress() {
-    let mut sys = CloudSystem::new(0x5eed);
+    let sys = CloudSystem::new(0x5eed);
     sys.add_authority("Org", &["A", "B"]).unwrap();
     let owner = sys.add_owner("owner").unwrap();
     let keeper = sys.add_user("keeper").unwrap();
@@ -160,7 +160,7 @@ fn many_revocations_stress() {
 /// The revoked user cannot regain access by replaying an old download.
 #[test]
 fn revoked_user_cannot_use_cached_ciphertext_with_new_keys() {
-    let mut sys = CloudSystem::new(0xf00d);
+    let sys = CloudSystem::new(0xf00d);
     sys.add_authority("Org", &["A"]).unwrap();
     let owner = sys.add_owner("owner").unwrap();
     let mallory = sys.add_user("mallory").unwrap();
@@ -228,7 +228,7 @@ fn owner_key_scoping() {
 /// Components sealed for distinct records don't leak across records.
 #[test]
 fn record_isolation_on_server() {
-    let mut sys = CloudSystem::new(0xbeef);
+    let sys = CloudSystem::new(0xbeef);
     sys.add_authority("Org", &["A"]).unwrap();
     let owner = sys.add_owner("owner").unwrap();
     let user = sys.add_user("u").unwrap();
@@ -249,7 +249,7 @@ fn record_isolation_on_server() {
 /// authority's attributes.
 #[test]
 fn empty_attribute_key_still_counts_as_authority_key() {
-    let mut sys = CloudSystem::new(0x1dea);
+    let sys = CloudSystem::new(0x1dea);
     sys.add_authority("X", &["a"]).unwrap();
     sys.add_authority("Z", &["e"]).unwrap();
     let owner = sys.add_owner("owner").unwrap();
@@ -280,7 +280,7 @@ fn empty_attribute_key_still_counts_as_authority_key() {
 /// Deep policies run end-to-end through the stack.
 #[test]
 fn complex_policy_end_to_end() {
-    let mut sys = CloudSystem::new(0xd00d);
+    let sys = CloudSystem::new(0xd00d);
     sys.add_authority("X", &["a", "b", "c"]).unwrap();
     sys.add_authority("Y", &["d", "e", "f"]).unwrap();
     let owner = sys.add_owner("owner").unwrap();

@@ -1,0 +1,212 @@
+//! System-level race tests: concurrent readers against a **live**
+//! `revoke()` on the full `CloudSystem` stack (directory + control
+//! plane + data plane), not just the server-level re-encryption race.
+//!
+//! The invariant is the paper's: a reader either decrypts the correct
+//! plaintext or fails cleanly (stale keys vs. re-encrypted ciphertext)
+//! — never a wrong plaintext. After the revocation lands, the revoked
+//! user must fail on every record while still-granted readers succeed
+//! at the bumped version.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use mabe::cloud::CloudSystem;
+use mabe::policy::AuthorityId;
+
+const RECORDS: usize = 8;
+const READER_THREADS: usize = 3;
+const OPS_PER_READER: usize = 12;
+
+fn record_name(i: usize) -> String {
+    format!("rec-{i}")
+}
+
+fn payload(i: usize) -> Vec<u8> {
+    format!("secret-{i}").into_bytes()
+}
+
+/// Builds the world, races `READER_THREADS` readers (plus the revoked
+/// victim reading too) against one live `revoke()`, and checks the
+/// corruption/clean-failure invariants; `workers` selects the
+/// re-encryption fan-out width.
+fn race_live_revocation(seed: u64, workers: usize) {
+    let sys = CloudSystem::new(seed);
+    sys.set_reencrypt_workers(workers);
+    sys.add_authority("Org", &["A", "B"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+
+    let readers: Vec<_> = (0..READER_THREADS)
+        .map(|i| {
+            let uid = sys.add_user(&format!("reader-{i}")).unwrap();
+            sys.grant(&uid, &["A@Org"]).unwrap();
+            uid
+        })
+        .collect();
+    let victim = sys.add_user("victim").unwrap();
+    sys.grant(&victim, &["A@Org"]).unwrap();
+
+    for i in 0..RECORDS {
+        sys.publish(&owner, &record_name(i), &[("f", &payload(i)[..], "A@Org")])
+            .unwrap();
+    }
+
+    let corruptions = AtomicU64::new(0);
+    let successes = AtomicU64::new(0);
+    let clean_failures = AtomicU64::new(0);
+    // +1 reader thread for the victim, +1 for the revoking main thread.
+    let start = Barrier::new(READER_THREADS + 2);
+
+    std::thread::scope(|scope| {
+        for uid in &readers {
+            let sys = &sys;
+            let owner = &owner;
+            let start = &start;
+            let (successes, clean_failures, corruptions) =
+                (&successes, &clean_failures, &corruptions);
+            scope.spawn(move || {
+                start.wait();
+                for op in 0..OPS_PER_READER {
+                    let i = op % RECORDS;
+                    match sys.read(uid, owner, &record_name(i), "f") {
+                        Ok(data) if data == payload(i) => {
+                            successes.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(_) => {
+                            corruptions.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Err(_) => {
+                            clean_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // The victim reads concurrently too: correct plaintext before
+        // the bump or a clean failure after — never a wrong plaintext.
+        {
+            let sys = &sys;
+            let owner = &owner;
+            let victim = &victim;
+            let start = &start;
+            let corruptions = &corruptions;
+            scope.spawn(move || {
+                start.wait();
+                for op in 0..OPS_PER_READER {
+                    let i = op % RECORDS;
+                    if let Ok(data) = sys.read(victim, owner, &record_name(i), "f") {
+                        if data != payload(i) {
+                            corruptions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+            });
+        }
+        // The live revocation races the readers from the first fetch.
+        start.wait();
+        sys.revoke(&victim, "A@Org").unwrap();
+    });
+
+    assert_eq!(
+        corruptions.load(Ordering::Relaxed),
+        0,
+        "a read produced a WRONG plaintext during a live revocation"
+    );
+    assert_eq!(
+        successes.load(Ordering::Relaxed) + clean_failures.load(Ordering::Relaxed),
+        (READER_THREADS * OPS_PER_READER) as u64,
+        "every read must finish as success or clean failure"
+    );
+
+    // The revocation completed: Org is at version 2 and nothing is
+    // left stalled in the control plane.
+    assert_eq!(sys.authority_version(&AuthorityId::new("Org")), Some(2));
+    assert!(!sys.needs_recovery());
+
+    // Revoked reader fails cleanly on every record after the bump...
+    for i in 0..RECORDS {
+        assert!(
+            sys.read(&victim, &owner, &record_name(i), "f").is_err(),
+            "revoked victim still decrypted {}",
+            record_name(i)
+        );
+    }
+    // ...while still-granted readers decrypt every record at v2.
+    for uid in &readers {
+        for i in 0..RECORDS {
+            assert_eq!(
+                sys.read(uid, &owner, &record_name(i), "f").unwrap(),
+                payload(i)
+            );
+        }
+    }
+    assert!(sys.audit().verify());
+}
+
+#[test]
+fn concurrent_readers_vs_live_revoke_sequential_reencrypt() {
+    race_live_revocation(0xace1, 1);
+}
+
+#[test]
+fn concurrent_readers_vs_live_revoke_parallel_reencrypt() {
+    race_live_revocation(0xace2, 4);
+}
+
+/// Back-to-back revocations under concurrent readers: versions chain
+/// v1→v2→v3 per authority while reads stay corruption-free, and a
+/// re-granted user comes back at the newest version.
+#[test]
+fn revoke_regrant_churn_under_concurrent_readers() {
+    let sys = CloudSystem::new(0xace3);
+    sys.set_reencrypt_workers(2);
+    sys.add_authority("Org", &["A"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+    let reader = sys.add_user("reader").unwrap();
+    sys.grant(&reader, &["A@Org"]).unwrap();
+    let victim = sys.add_user("victim").unwrap();
+    sys.grant(&victim, &["A@Org"]).unwrap();
+    for i in 0..4 {
+        sys.publish(&owner, &record_name(i), &[("f", &payload(i)[..], "A@Org")])
+            .unwrap();
+    }
+
+    let corruptions = AtomicU64::new(0);
+    let start = Barrier::new(2);
+    std::thread::scope(|scope| {
+        let sys = &sys;
+        let owner = &owner;
+        let reader = &reader;
+        let start = &start;
+        let corruptions = &corruptions;
+        scope.spawn(move || {
+            start.wait();
+            for op in 0..24 {
+                let i = op % 4;
+                if let Ok(data) = sys.read(reader, owner, &record_name(i), "f") {
+                    if data != payload(i) {
+                        corruptions.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+        });
+        start.wait();
+        for _ in 0..2 {
+            sys.revoke(&victim, "A@Org").unwrap();
+            sys.grant(&victim, &["A@Org"]).unwrap();
+        }
+    });
+
+    assert_eq!(corruptions.load(Ordering::Relaxed), 0);
+    assert_eq!(sys.authority_version(&AuthorityId::new("Org")), Some(3));
+    // Both the untouched reader and the re-granted victim decrypt at v3.
+    for uid in [&reader, &victim] {
+        for i in 0..4 {
+            assert_eq!(
+                sys.read(uid, &owner, &record_name(i), "f").unwrap(),
+                payload(i)
+            );
+        }
+    }
+    assert!(sys.audit().verify());
+}

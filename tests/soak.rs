@@ -9,7 +9,7 @@ use mabe::policy::AuthorityId;
 #[test]
 #[ignore = "heavy; run with --release -- --ignored"]
 fn ten_by_ten_deployment_soak() {
-    let mut sys = CloudSystem::new(0x50aa);
+    let sys = CloudSystem::new(0x50aa);
     let attr_names: Vec<String> = (0..10).map(|i| format!("attr{i}")).collect();
     let refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
     for a in 0..10 {

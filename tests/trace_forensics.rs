@@ -25,7 +25,7 @@ fn doctor_world(
     authority: &str,
     faults: FaultInjector,
 ) -> (DurableSystem<SimDisk>, mabe_core::Uid) {
-    let (mut ds, _) =
+    let (ds, _) =
         DurableSystem::open_with_faults(SimDisk::unfaulted(), SEED, faults).expect("fresh open");
     let doctor = format!("Doctor@{authority}");
     ds.add_authority(authority, &["Doctor", "Nurse"]).unwrap();
@@ -55,7 +55,7 @@ fn trace_of(spans: &[SpanRecord], trace_id: u64) -> Vec<&SpanRecord> {
 fn revocation_under_outage_is_one_causal_tree() {
     let authority = "TraceOrg";
     let plan = FaultPlan::new(SEED).at(fault_points::REVOKE_REKEY, 1, FaultKind::AuthorityDown);
-    let (mut ds, bob) = doctor_world(authority, FaultInjector::new(plan));
+    let (ds, bob) = doctor_world(authority, FaultInjector::new(plan));
 
     // The outage fires on the first rekey precheck; the retry policy
     // absorbs it and the revocation completes.
@@ -155,9 +155,107 @@ fn revocation_under_outage_is_one_causal_tree() {
 }
 
 #[test]
+fn parallel_reencryption_workers_join_the_revocation_tree() {
+    let authority = "ParallelOrg";
+    let (ds, bob) = doctor_world(authority, FaultInjector::none());
+    let doctor = format!("Doctor@{authority}");
+    // A second owner with several records so phase 2 has a worklist
+    // worth fanning out (the single-record owner stays sequential —
+    // the pool clamps to the worklist size).
+    let clinic = ds.add_owner("clinic").unwrap();
+    for i in 0..6 {
+        ds.publish(
+            &clinic,
+            &format!("chart-{i}"),
+            &[("notes", b"doctors only".as_slice(), doctor.as_str())],
+        )
+        .unwrap();
+    }
+    ds.system().set_reencrypt_workers(4);
+
+    ds.revoke(&bob, &doctor).expect("revocation completes");
+
+    let spans = mabe_trace::snapshot();
+    let root = spans
+        .iter()
+        .filter(|s| s.name == "durable.revoke" && s.detail.contains(authority))
+        .max_by_key(|s| s.seq)
+        .expect("durable.revoke span recorded");
+    let trace = trace_of(&spans, root.ctx.trace_id);
+
+    // Still exactly one root: the worker threads attached to the
+    // revocation via follow-from instead of opening their own traces.
+    let roots: Vec<_> = trace.iter().filter(|s| s.ctx.is_root()).collect();
+    assert_eq!(
+        roots.len(),
+        1,
+        "parallel re-encryption split the revocation into {} traces",
+        roots.len()
+    );
+    assert_eq!(roots[0].ctx.span_id, root.ctx.span_id);
+
+    // No orphans anywhere in the tree: every parent id resolves to a
+    // span of the same trace (workers included).
+    let ids: BTreeSet<u64> = trace.iter().map(|s| s.ctx.span_id).collect();
+    for s in &trace {
+        assert!(
+            s.ctx.is_root() || ids.contains(&s.ctx.parent_id),
+            "span {} (id {}) has dangling parent {}",
+            s.name,
+            s.ctx.span_id,
+            s.ctx.parent_id
+        );
+    }
+
+    // The pool really ran: worker spans exist, each follows from the
+    // re-encryption phase span of *this* revocation.
+    let workers: Vec<_> = trace
+        .iter()
+        .filter(|s| s.name == "cloud.reencrypt.worker")
+        .collect();
+    assert!(
+        workers.len() >= 2,
+        "expected a real fan-out, got {} worker spans",
+        workers.len()
+    );
+    let by_id: std::collections::BTreeMap<u64, &&SpanRecord> =
+        trace.iter().map(|s| (s.ctx.span_id, s)).collect();
+    for w in &workers {
+        let parent = by_id
+            .get(&w.ctx.parent_id)
+            .expect("worker parent is in the same trace");
+        assert_eq!(
+            parent.name, "cloud.reencrypt_phase",
+            "worker follows from the phase span, not {}",
+            parent.name
+        );
+    }
+
+    // Every per-component re-encrypt span sits under the tree: either
+    // below a worker (parallel share) or below the phase directly
+    // (the single-component owner's sequential share).
+    let worker_ids: BTreeSet<u64> = workers.iter().map(|w| w.ctx.span_id).collect();
+    let reencrypts: Vec<_> = trace
+        .iter()
+        .filter(|s| s.name == "cloud.reencrypt")
+        .collect();
+    assert_eq!(
+        reencrypts.len(),
+        7,
+        "one re-encrypt span per affected component"
+    );
+    assert!(
+        reencrypts
+            .iter()
+            .any(|s| worker_ids.contains(&s.ctx.parent_id)),
+        "no re-encrypt span ran on a pool worker"
+    );
+}
+
+#[test]
 fn chrome_trace_export_of_a_live_run_is_well_formed() {
     let authority = "ChromeOrg";
-    let (mut ds, bob) = doctor_world(authority, FaultInjector::none());
+    let (ds, bob) = doctor_world(authority, FaultInjector::none());
     ds.revoke(&bob, &format!("Doctor@{authority}")).unwrap();
 
     let spans = mabe_trace::snapshot();
