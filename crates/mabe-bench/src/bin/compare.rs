@@ -1,0 +1,54 @@
+//! Perf gate: diffs fresh `BENCH_*.json` artifacts against the
+//! checked-in baselines and exits nonzero on any regression.
+//!
+//! Usage: `compare <baseline_dir> <fresh_dir> [--update]`
+//!
+//! * `baseline_dir` — directory of `mabe-bench-baseline/v1` documents
+//!   (normally `crates/mabe-bench/benches/baselines`).
+//! * `fresh_dir` — directory holding this run's `BENCH_*.json` dumps
+//!   (the `MABE_METRICS_DIR` the bench bins wrote into).
+//! * `--update` — instead of gating, rewrite each baseline's `value`
+//!   fields from the fresh run (tolerances and paths are kept). Use
+//!   after an intentional perf change, then commit the diff.
+//!
+//! Exit status: 0 when every metric stays inside its band, 1 on any
+//! regression / missing artifact / malformed baseline, 2 on usage
+//! errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use mabe_bench::baseline::gate_dirs;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let update = args.iter().any(|a| a == "--update");
+    let dirs: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    let [baseline_dir, fresh_dir] = dirs.as_slice() else {
+        eprintln!("usage: compare <baseline_dir> <fresh_dir> [--update]");
+        return ExitCode::from(2);
+    };
+    let result = match gate_dirs(
+        &PathBuf::from(baseline_dir),
+        &PathBuf::from(fresh_dir),
+        update,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    print!("{}", result.report);
+    println!(
+        "perf gate: {} passed, {} failed{}",
+        result.passed,
+        result.failed,
+        if update { " (update mode)" } else { "" }
+    );
+    if result.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -155,4 +155,5 @@ fn main() {
     }
     emit_json(&rows);
     mabe_bench::metrics::emit("recovery");
+    mabe_obs::profiler::emit("recovery");
 }

@@ -205,4 +205,5 @@ fn main() {
     );
     emit_json(&rows, components, hw_threads);
     mabe_bench::metrics::emit("revocation_parallel");
+    mabe_obs::profiler::emit("revocation_parallel");
 }

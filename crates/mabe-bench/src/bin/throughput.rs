@@ -7,96 +7,17 @@
 //! the readers start, so the numbers measure the system rather than a
 //! sleep. With `MABE_METRICS_DIR` set the per-reader-count rows are
 //! dumped as `BENCH_throughput.json` alongside the standard registry
-//! snapshot.
+//! snapshot; with `MABE_OBS_DIR` set the span profiler writes
+//! `profile_throughput.folded` (flamegraph.pl / inferno input).
 //!
 //! Usage: `throughput [readers] [ops_per_reader] [think_us]`
 //! (defaults 4, 25, and 0). Reader counts 1..=readers are each
 //! measured so the dump records a scaling curve, not one point.
 
-use std::collections::BTreeMap;
 use std::io::Write as _;
-use std::sync::Arc;
 use std::time::Duration;
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-
-use mabe_cloud::concurrent::{run_concurrent_reads_with, ReaderSpec, ThroughputReport};
-use mabe_cloud::CloudServer;
-use mabe_core::{seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId};
-use mabe_policy::parse;
-
-struct Row {
-    readers: usize,
-    ops: u64,
-    think_us: u64,
-    report: ThroughputReport,
-}
-
-/// Runs one concurrent-read measurement at `readers_n` readers with a
-/// mid-run proxy re-encryption, on a freshly built world.
-fn measure(readers_n: usize, ops: u64, think: Duration) -> Row {
-    let mut rng = StdRng::seed_from_u64(0x7412);
-    let mut ca = CertificateAuthority::new();
-    let aid = ca.register_authority("Org").expect("fresh AID");
-    let mut aa = AttributeAuthority::new(aid.clone(), &["A"], &mut rng);
-    let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
-    aa.register_owner(owner.owner_secret_key())
-        .expect("fresh owner");
-    owner.learn_authority_keys(aa.public_keys());
-
-    let policy = parse("A@Org").expect("valid policy");
-    let envelope =
-        seal_envelope(&mut owner, &[("x", b"payload", &policy)], &mut rng).expect("seal succeeds");
-    let ct_id = envelope.components[0].key_ct.id;
-    let server = Arc::new(CloudServer::new());
-    server.store(owner.id().clone(), "rec", envelope);
-
-    let attr: mabe_policy::Attribute = "A@Org".parse().expect("valid");
-    let readers: Vec<ReaderSpec> = (0..readers_n)
-        .map(|i| {
-            let pk = ca.register_user(format!("r{i}"), &mut rng).expect("fresh");
-            aa.grant(&pk, [attr.clone()]).expect("managed");
-            let keys = BTreeMap::from([(
-                aid.clone(),
-                aa.keygen(&pk.uid, owner.id()).expect("registered"),
-            )]);
-            ReaderSpec {
-                user_pk: pk,
-                keys,
-                owner: owner.id().clone(),
-                record: "rec".into(),
-                label: "x".into(),
-                expected: b"payload".to_vec(),
-            }
-        })
-        .collect();
-
-    // Mid-run revocation of a scapegoat (re-encrypts the record).
-    let scapegoat = ca.register_user("scapegoat", &mut rng).expect("fresh");
-    aa.grant(&scapegoat, [attr.clone()]).expect("managed");
-    let event = aa
-        .revoke_attribute(&scapegoat.uid, &attr, &mut rng)
-        .expect("held");
-    let uk = event.update_keys[owner.id()].clone();
-    owner.apply_update_key(&uk).expect("chains");
-    let ui = owner.update_info_for(ct_id, &aid, 1, 2).expect("history");
-
-    let server_for_writer = Arc::clone(&server);
-    let owner_id = owner.id().clone();
-    let report = run_concurrent_reads_with(&server, &readers, ops, think, move || {
-        server_for_writer
-            .reencrypt_component(&(owner_id.clone(), "rec".into()), "x", &uk, &ui)
-            .expect("valid update");
-    });
-    assert_eq!(report.corruptions, 0);
-    Row {
-        readers: readers_n,
-        ops,
-        think_us: think.as_micros().min(u128::from(u64::MAX)) as u64,
-        report,
-    }
-}
+use mabe_bench::throughput::{measure, Row};
 
 fn emit_json(rows: &[Row]) {
     let Some(dir) = std::env::var_os("MABE_METRICS_DIR") else {
@@ -133,6 +54,19 @@ fn emit_json(rows: &[Row]) {
     }
 }
 
+fn print_row(row: &Row) {
+    println!(
+        "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}",
+        row.readers,
+        row.ops,
+        row.think_us,
+        row.report.successes,
+        row.report.clean_failures,
+        row.report.elapsed.as_secs_f64() * 1e3,
+        row.report.total() as f64 / row.report.elapsed.as_secs_f64().max(1e-9)
+    );
+}
+
 fn main() {
     let mut args = std::env::args().skip(1);
     let readers_max: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(4);
@@ -147,33 +81,16 @@ fn main() {
     let mut n = 1;
     while n <= readers_max {
         let row = measure(n, ops, think);
-        println!(
-            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}",
-            row.readers,
-            row.ops,
-            row.think_us,
-            row.report.successes,
-            row.report.clean_failures,
-            row.report.elapsed.as_secs_f64() * 1e3,
-            row.report.total() as f64 / row.report.elapsed.as_secs_f64().max(1e-9)
-        );
+        print_row(&row);
         rows.push(row);
         n *= 2;
     }
     if rows.last().map(|r| r.readers) != Some(readers_max) {
         let row = measure(readers_max, ops, think);
-        println!(
-            "{}\t{}\t{}\t{}\t{}\t{:.3}\t{:.1}",
-            row.readers,
-            row.ops,
-            row.think_us,
-            row.report.successes,
-            row.report.clean_failures,
-            row.report.elapsed.as_secs_f64() * 1e3,
-            row.report.total() as f64 / row.report.elapsed.as_secs_f64().max(1e-9)
-        );
+        print_row(&row);
         rows.push(row);
     }
     emit_json(&rows);
     mabe_bench::metrics::emit("throughput");
+    mabe_obs::profiler::emit("throughput");
 }

@@ -178,4 +178,5 @@ fn main() {
 
     emit_json(&rows);
     mabe_bench::metrics::emit("trace_overhead");
+    mabe_obs::profiler::emit("trace_overhead");
 }

@@ -19,9 +19,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod baseline;
 pub mod figures;
 pub mod metrics;
 pub mod tables;
+pub mod throughput;
 pub mod timing;
 pub mod workload;
 

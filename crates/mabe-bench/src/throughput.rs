@@ -1,0 +1,137 @@
+//! The concurrent read-throughput workload, shared between the
+//! `throughput` binary and the observability tests.
+//!
+//! One measurement builds a fresh single-authority world, stores one
+//! sealed record, then fans `readers` parallel readers over it while a
+//! revocation-driven proxy re-encryption lands mid-run (the
+//! `mabe_cloud::concurrent` harness). The whole measurement runs under
+//! a `bench.throughput` trace root with setup/reader/writer child
+//! spans, so a span-profiler capture of a run yields a real call tree
+//! — this is what `profile_throughput.folded` renders as a flamegraph.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use mabe_cloud::concurrent::{run_concurrent_reads_with, ReaderSpec, ThroughputReport};
+use mabe_cloud::CloudServer;
+use mabe_core::{seal_envelope, AttributeAuthority, CertificateAuthority, DataOwner, OwnerId};
+use mabe_policy::parse;
+
+/// One measured row of the scaling curve.
+pub struct Row {
+    /// Parallel readers in this measurement.
+    pub readers: usize,
+    /// Read+decrypt operations each reader performed.
+    pub ops: u64,
+    /// Per-op reader think time (µs; 0 = back-to-back).
+    pub think_us: u64,
+    /// The harness's aggregate outcome.
+    pub report: ThroughputReport,
+}
+
+/// Runs one concurrent-read measurement at `readers_n` readers with a
+/// mid-run proxy re-encryption, on a freshly built world.
+///
+/// # Panics
+///
+/// Panics if the world fails to build or any read returns a wrong
+/// plaintext (`corruptions != 0`) — both are bench-invariant
+/// violations, not measurement noise.
+pub fn measure(readers_n: usize, ops: u64, think: Duration) -> Row {
+    let bench_span =
+        mabe_trace::Span::root("bench.throughput").detail(format!("readers={readers_n}"));
+
+    let setup_span = mabe_trace::Span::child("bench.setup");
+    let mut rng = StdRng::seed_from_u64(0x7412);
+    let mut ca = CertificateAuthority::new();
+    let aid = ca.register_authority("Org").expect("fresh AID");
+    let mut aa = AttributeAuthority::new(aid.clone(), &["A"], &mut rng);
+    let mut owner = DataOwner::new(OwnerId::new("owner"), &mut rng);
+    aa.register_owner(owner.owner_secret_key())
+        .expect("fresh owner");
+    owner.learn_authority_keys(aa.public_keys());
+
+    let policy = parse("A@Org").expect("valid policy");
+    let envelope = {
+        let _seal_span = mabe_trace::Span::child("bench.seal");
+        seal_envelope(&mut owner, &[("x", b"payload", &policy)], &mut rng).expect("seal succeeds")
+    };
+    let ct_id = envelope.components[0].key_ct.id;
+    let server = Arc::new(CloudServer::new());
+    server.store(owner.id().clone(), "rec", envelope);
+
+    let attr: mabe_policy::Attribute = "A@Org".parse().expect("valid");
+    let readers: Vec<ReaderSpec> = {
+        let _keygen_span = mabe_trace::Span::child("bench.keygen");
+        (0..readers_n)
+            .map(|i| {
+                let pk = ca.register_user(format!("r{i}"), &mut rng).expect("fresh");
+                aa.grant(&pk, [attr.clone()]).expect("managed");
+                let keys = BTreeMap::from([(
+                    aid.clone(),
+                    aa.keygen(&pk.uid, owner.id()).expect("registered"),
+                )]);
+                ReaderSpec {
+                    user_pk: pk,
+                    keys,
+                    owner: owner.id().clone(),
+                    record: "rec".into(),
+                    label: "x".into(),
+                    expected: b"payload".to_vec(),
+                }
+            })
+            .collect()
+    };
+
+    // Mid-run revocation of a scapegoat (re-encrypts the record).
+    let (uk, ui) = {
+        let _revoke_span = mabe_trace::Span::child("bench.revoke_prep");
+        let scapegoat = ca.register_user("scapegoat", &mut rng).expect("fresh");
+        aa.grant(&scapegoat, [attr.clone()]).expect("managed");
+        let event = aa
+            .revoke_attribute(&scapegoat.uid, &attr, &mut rng)
+            .expect("held");
+        let uk = event.update_keys[owner.id()].clone();
+        owner.apply_update_key(&uk).expect("chains");
+        let ui = owner.update_info_for(ct_id, &aid, 1, 2).expect("history");
+        (uk, ui)
+    };
+    drop(setup_span);
+
+    let server_for_writer = Arc::clone(&server);
+    let owner_id = owner.id().clone();
+    let report = run_concurrent_reads_with(&server, &readers, ops, think, move || {
+        server_for_writer
+            .reencrypt_component(&(owner_id.clone(), "rec".into()), "x", &uk, &ui)
+            .expect("valid update");
+    });
+    drop(bench_span);
+    assert_eq!(report.corruptions, 0);
+    Row {
+        readers: readers_n,
+        ops,
+        think_us: think.as_micros().min(u128::from(u64::MAX)) as u64,
+        report,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_measurement_reads_cleanly_and_traces_a_call_tree() {
+        let row = measure(2, 3, Duration::ZERO);
+        assert_eq!(row.readers, 2);
+        assert_eq!(row.report.corruptions, 0);
+        assert!(row.report.total() >= 6);
+        let spans = mabe_trace::snapshot();
+        assert!(spans.iter().any(|s| s.name == "bench.throughput"));
+        assert!(spans.iter().any(|s| s.name == "harness.reader"));
+        assert!(spans.iter().any(|s| s.name == "server.fetch"));
+    }
+}

@@ -106,6 +106,10 @@ where
     let successes = AtomicU64::new(0);
     let clean_failures = AtomicU64::new(0);
     let corruptions = AtomicU64::new(0);
+    // Reader threads join the caller's trace (if any) via follow, so a
+    // bench root span owns the whole fan-out and the span profiler sees
+    // one call tree instead of per-thread orphans.
+    let parent = mabe_trace::current_ctx();
     let start = Instant::now();
 
     thread::scope(|scope| {
@@ -115,10 +119,15 @@ where
             let clean_failures = &clean_failures;
             let corruptions = &corruptions;
             scope.spawn(move |_| {
+                let _reader_span = match parent {
+                    Some(ctx) => mabe_trace::Span::follow(ctx, "harness.reader"),
+                    None => mabe_trace::Span::root("harness.reader"),
+                };
                 for _ in 0..ops_per_reader {
                     if !think.is_zero() {
                         std::thread::sleep(think);
                     }
+                    let _op_span = mabe_trace::Span::child("harness.read");
                     let Some(envelope) = server.fetch(&spec.owner, &spec.record) else {
                         clean_failures.fetch_add(1, Ordering::Relaxed);
                         continue;
@@ -142,6 +151,7 @@ where
             });
         }
         // The writer runs on this thread while readers hammer the server.
+        let _writer_span = mabe_trace::Span::child("harness.writer");
         writer();
     })
     .expect("reader thread panicked");

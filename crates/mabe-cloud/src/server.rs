@@ -37,6 +37,7 @@ impl CloudServer {
     /// Stores (or replaces) a record.
     pub fn store(&self, owner: OwnerId, name: impl Into<String>, envelope: DataEnvelope) {
         let _span = mabe_telemetry::Span::with_labels("mabe_server_op", &[("op", "store")]);
+        let _trace = mabe_trace::Span::child("server.store");
         self.records.write().insert((owner, name.into()), envelope);
     }
 
@@ -44,6 +45,7 @@ impl CloudServer {
     /// share memory with clients).
     pub fn fetch(&self, owner: &OwnerId, name: &str) -> Option<DataEnvelope> {
         let _span = mabe_telemetry::Span::with_labels("mabe_server_op", &[("op", "fetch")]);
+        let _trace = mabe_trace::Span::child("server.fetch");
         self.records
             .read()
             .get(&(owner.clone(), name.to_owned()))
@@ -167,6 +169,7 @@ impl CloudServer {
         ui: &UpdateInfo,
     ) -> Result<(), Error> {
         let _span = mabe_telemetry::Span::with_labels("mabe_server_op", &[("op", "reencrypt")]);
+        let _trace = mabe_trace::Span::child("server.reencrypt");
         let mut records = self.records.write();
         let envelope = records
             .get_mut(record)

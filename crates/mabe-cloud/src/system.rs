@@ -474,6 +474,19 @@ impl CloudSystem {
             .map(|shard| shard.state.lock().authority.version())
     }
 
+    /// Every installed authority shard with its current liveness
+    /// (`true` = serving, `false` = marked down). This is the view the
+    /// observability plane's `/readyz` probes scrape, so it takes each
+    /// shard lock only long enough to read the `down` flag.
+    pub fn authority_liveness(&self) -> Vec<(AuthorityId, bool)> {
+        self.control
+            .shards
+            .read()
+            .iter()
+            .map(|(aid, shard)| (aid.clone(), !shard.state.lock().down))
+            .collect()
+    }
+
     /// Paper-accounted storage overhead per entity (Table III).
     pub fn storage_report(&self) -> StorageReport {
         let authorities = self

@@ -1,0 +1,118 @@
+//! Readiness probes: named boolean checks the `/readyz` endpoint
+//! evaluates on every request.
+//!
+//! A probe is a closure over whatever state the embedding process
+//! wants to expose — `DurableSystem::poisoned()`, per-authority shard
+//! liveness, a WAL-recovery flag. The server never caches results:
+//! readiness is recomputed per scrape, so a system that poisons
+//! itself mid-run flips `/readyz` to 503 on the very next request.
+
+use std::fmt;
+
+/// One named readiness check.
+pub struct Probe {
+    name: String,
+    check: Box<dyn Fn() -> bool + Send + Sync>,
+}
+
+impl Probe {
+    /// A probe that reports ready while `check` returns `true`.
+    pub fn new(name: impl Into<String>, check: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        Probe {
+            name: name.into(),
+            check: Box::new(check),
+        }
+    }
+
+    /// The probe's name as `/readyz` reports it.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Evaluates the probe now.
+    pub fn ok(&self) -> bool {
+        (self.check)()
+    }
+}
+
+impl fmt::Debug for Probe {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Probe").field("name", &self.name).finish()
+    }
+}
+
+/// The outcome of evaluating every registered probe once.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ReadinessReport {
+    /// Each probe's name and current verdict, in registration order.
+    pub probes: Vec<(String, bool)>,
+}
+
+impl ReadinessReport {
+    /// Evaluates `probes` now. An empty probe list is ready — a
+    /// process that registers no checks has nothing to be unready
+    /// about.
+    pub fn evaluate(probes: &[Probe]) -> Self {
+        ReadinessReport {
+            probes: probes
+                .iter()
+                .map(|p| (p.name().to_owned(), p.ok()))
+                .collect(),
+        }
+    }
+
+    /// Ready iff every probe passed.
+    pub fn ready(&self) -> bool {
+        self.probes.iter().all(|(_, ok)| *ok)
+    }
+
+    /// The report as the `/readyz` JSON body.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"ready\":");
+        out.push_str(if self.ready() { "true" } else { "false" });
+        out.push_str(",\"probes\":[");
+        for (i, (name, ok)) in self.probes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"ok\":{}}}",
+                crate::json::escape(name),
+                ok
+            ));
+        }
+        out.push_str("]}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_probe_list_is_ready() {
+        let report = ReadinessReport::evaluate(&[]);
+        assert!(report.ready());
+        assert!(report.to_json().contains("\"ready\":true"));
+    }
+
+    #[test]
+    fn one_failing_probe_flips_readiness() {
+        let healthy = Arc::new(AtomicBool::new(true));
+        let h = Arc::clone(&healthy);
+        let probes = vec![
+            Probe::new("wal_unpoisoned", move || h.load(Ordering::SeqCst)),
+            Probe::new("always", || true),
+        ];
+        assert!(ReadinessReport::evaluate(&probes).ready());
+        healthy.store(false, Ordering::SeqCst);
+        let report = ReadinessReport::evaluate(&probes);
+        assert!(!report.ready());
+        let json = report.to_json();
+        assert!(json.contains("\"name\":\"wal_unpoisoned\",\"ok\":false"));
+        assert!(json.contains("\"name\":\"always\",\"ok\":true"));
+    }
+}

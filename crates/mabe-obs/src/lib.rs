@@ -1,0 +1,91 @@
+//! # mabe-obs
+//!
+//! The live observability plane for the MA-ABAC workspace. Where
+//! `mabe-telemetry` collects and `mabe-trace` records, this crate
+//! *exposes*: a long-running process becomes externally inspectable
+//! over plain HTTP while chaos suites, soak tests or real load run
+//! against it — the auditable runtime evidence an access-control
+//! service owes its operators.
+//!
+//! Three pieces, all hand-rolled over `std` (no external
+//! dependencies, like every other crate in the workspace):
+//!
+//! * [`http`] — a minimal embedded HTTP/1.1 server
+//!   ([`ObsServer`]) over `std::net::TcpListener` with a bounded
+//!   worker pool and graceful shutdown, serving
+//!   - `GET /metrics` — the telemetry registry in Prometheus text
+//!     exposition format (`text/plain; version=0.0.4`),
+//!   - `GET /metrics.json` — the JSON snapshot,
+//!   - `GET /healthz` — liveness: uptime, pid, version,
+//!   - `GET /readyz` — readiness: every registered [`Probe`] must
+//!     pass, otherwise 503 (a poisoned `DurableSystem` or a downed
+//!     authority shard flips this),
+//!   - `GET /tracez` — the most recent spans from the `mabe-trace`
+//!     flight recorder as the self-describing tree JSON,
+//!   - `GET /profilez` — the span profiler's collapsed-stack text.
+//! * [`profiler`] — aggregates completed spans into
+//!   call-path → (count, total/self wall time) profiles exported in
+//!   collapsed-stack format (directly consumable by inferno /
+//!   `flamegraph.pl`) plus a top-N self-time table; bench binaries
+//!   dump `profile_<tag>.folded` under `MABE_OBS_DIR`.
+//! * [`procinfo`] — process self-metrics folded into the registry
+//!   before each scrape: uptime, RSS/VM size from `/proc/self/status`
+//!   (gracefully absent off-Linux), and a `mabe_build_info` gauge.
+//!
+//! [`json`] is a small strict JSON reader used by the `mabe-bench`
+//! `compare` perf gate to diff fresh `BENCH_*.json` runs against
+//! checked-in baselines.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! let server = mabe_obs::ObsServer::bind("127.0.0.1:0", Vec::new()).unwrap();
+//! println!("scrape http://{}/metrics", server.addr());
+//! // ... run the workload ...
+//! server.shutdown();
+//! ```
+//!
+//! Long-running harnesses use [`serve_if_configured`]: set
+//! `MABE_OBS_ADDR=127.0.0.1:9184` and the process serves the plane
+//! for its lifetime, silently skipping it when the variable is unset.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod health;
+pub mod http;
+pub mod json;
+pub mod procinfo;
+pub mod profiler;
+
+pub use health::{Probe, ReadinessReport};
+pub use http::{ObsServer, PROMETHEUS_CONTENT_TYPE};
+pub use profiler::Profile;
+
+/// Environment variable naming the address the observability plane
+/// should listen on (e.g. `127.0.0.1:9184`, or `127.0.0.1:0` for an
+/// ephemeral port). When unset, [`serve_if_configured`] is a no-op.
+pub const ADDR_ENV: &str = "MABE_OBS_ADDR";
+
+/// Environment variable naming the directory `profile_<tag>.folded`
+/// dumps land in (see [`profiler::emit`]). When unset, dumping is
+/// skipped so library code never litters by default.
+pub const DIR_ENV: &str = "MABE_OBS_DIR";
+
+/// Binds an [`ObsServer`] on [`ADDR_ENV`] when that variable is set;
+/// returns `None` (and stays silent) otherwise. Bind failures are
+/// reported on stderr, never fatal — observability must not take the
+/// workload down with it.
+pub fn serve_if_configured(probes: Vec<Probe>) -> Option<ObsServer> {
+    let addr = std::env::var(ADDR_ENV).ok()?;
+    match ObsServer::bind(&addr, probes) {
+        Ok(server) => {
+            eprintln!("# observability plane on http://{}/", server.addr());
+            Some(server)
+        }
+        Err(e) => {
+            eprintln!("# observability plane failed to bind {addr}: {e}");
+            None
+        }
+    }
+}

@@ -1,0 +1,139 @@
+//! Process self-metrics: uptime, memory footprint, build info.
+//!
+//! [`refresh`] folds them into a `mabe-telemetry` registry as gauges,
+//! so they ride the existing `/metrics` and `/metrics.json` exports —
+//! the scrape endpoint calls it before every export, keeping the
+//! values current without a background sampler thread.
+//!
+//! Memory numbers come from `/proc/self/status` (`VmRSS` / `VmSize`,
+//! reported by the kernel in kB); on platforms without procfs
+//! [`memory`] returns `None` and the memory gauges are simply not
+//! registered — everything else still works.
+
+use std::sync::OnceLock;
+use std::time::Instant;
+
+use mabe_telemetry::Registry;
+
+static START: OnceLock<Instant> = OnceLock::new();
+
+/// Anchors the uptime clock. Idempotent; called by `ObsServer::bind`
+/// and lazily by [`uptime_seconds`], so the first caller defines the
+/// process epoch.
+pub fn init_start_time() {
+    let _ = START.get_or_init(Instant::now);
+}
+
+/// Whole seconds since the uptime epoch (first call to this module).
+pub fn uptime_seconds() -> u64 {
+    START.get_or_init(Instant::now).elapsed().as_secs()
+}
+
+/// A point-in-time memory reading.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemInfo {
+    /// Resident set size in bytes.
+    pub rss_bytes: u64,
+    /// Virtual memory size in bytes.
+    pub vsize_bytes: u64,
+}
+
+fn parse_kb_line(line: &str) -> Option<u64> {
+    // "VmRSS:      1234 kB" — the kernel always reports kB.
+    line.split_whitespace().nth(1)?.parse::<u64>().ok()
+}
+
+fn parse_status(body: &str) -> Option<MemInfo> {
+    let mut rss = None;
+    let mut vsize = None;
+    for line in body.lines() {
+        if line.starts_with("VmRSS:") {
+            rss = parse_kb_line(line);
+        } else if line.starts_with("VmSize:") {
+            vsize = parse_kb_line(line);
+        }
+    }
+    Some(MemInfo {
+        rss_bytes: rss? * 1024,
+        vsize_bytes: vsize? * 1024,
+    })
+}
+
+/// Reads the process's current memory footprint, or `None` where
+/// procfs is unavailable (non-Linux) or unparsable.
+pub fn memory() -> Option<MemInfo> {
+    let body = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_status(&body)
+}
+
+/// Updates the process self-metric gauges in `registry`:
+///
+/// * `mabe_process_uptime_seconds`
+/// * `mabe_process_rss_bytes` / `mabe_process_vsize_bytes` (Linux)
+/// * `mabe_build_info{version="..."}` — constant `1`, the standard
+///   Prometheus idiom for exposing build metadata through labels.
+pub fn refresh(registry: &Registry) {
+    registry
+        .gauge("mabe_process_uptime_seconds", &[])
+        .set(uptime_seconds().min(i64::MAX as u64) as i64);
+    registry
+        .gauge("mabe_build_info", &[("version", env!("CARGO_PKG_VERSION"))])
+        .set(1);
+    if let Some(mem) = memory() {
+        registry
+            .gauge("mabe_process_rss_bytes", &[])
+            .set(mem.rss_bytes.min(i64::MAX as u64) as i64);
+        registry
+            .gauge("mabe_process_vsize_bytes", &[])
+            .set(mem.vsize_bytes.min(i64::MAX as u64) as i64);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_status_body() {
+        let body = "Name:\tmabe\nVmSize:\t   2048 kB\nVmRSS:\t    512 kB\nThreads:\t4\n";
+        let mem = parse_status(body).unwrap();
+        assert_eq!(mem.rss_bytes, 512 * 1024);
+        assert_eq!(mem.vsize_bytes, 2048 * 1024);
+    }
+
+    #[test]
+    fn missing_fields_yield_none() {
+        assert!(parse_status("Name:\tmabe\n").is_none());
+        assert!(parse_status("VmRSS:\tgarbage kB\n").is_none());
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn live_memory_reading_is_sane() {
+        let mem = memory().expect("procfs available on linux");
+        assert!(mem.rss_bytes > 0);
+        assert!(mem.vsize_bytes >= mem.rss_bytes);
+    }
+
+    #[test]
+    fn refresh_registers_the_self_metric_gauges() {
+        let r = Registry::new();
+        refresh(&r);
+        let text = r.prometheus();
+        assert!(text.contains("mabe_process_uptime_seconds"));
+        assert!(text.contains("mabe_build_info{version=\""));
+        #[cfg(target_os = "linux")]
+        {
+            assert!(text.contains("mabe_process_rss_bytes"));
+            assert!(text.contains("mabe_process_vsize_bytes"));
+        }
+    }
+
+    #[test]
+    fn uptime_is_monotone() {
+        init_start_time();
+        let a = uptime_seconds();
+        let b = uptime_seconds();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,288 @@
+//! The span profiler: call-path aggregation over completed
+//! `mabe-trace` spans.
+//!
+//! Every span in a snapshot is assigned a *call path* — the `;`-joined
+//! chain of span names from its trace root down to itself, the same
+//! shape a sampling profiler's collapsed stack has. Paths aggregate
+//! into (count, total wall time, self wall time): *total* is the sum
+//! of span durations at that path, *self* subtracts time covered by
+//! child spans, clamped at zero when children overlap the parent (the
+//! parallel re-encryption workers legitimately overlap their
+//! revocation's span).
+//!
+//! Two exports:
+//!
+//! * [`Profile::folded`] — collapsed-stack text, one `path self_us`
+//!   line per call path, directly consumable by
+//!   [inferno](https://github.com/jonhoo/inferno) or Brendan Gregg's
+//!   `flamegraph.pl` (`flamegraph.pl profile.folded > flame.svg`);
+//! * [`Profile::top_table`] — a top-N self-time table for terminals
+//!   and CI logs.
+//!
+//! Bench binaries call [`emit`] at exit: with `MABE_OBS_DIR` set the
+//! profile lands as `profile_<tag>.folded` next to the `BENCH_*.json`
+//! artifacts; unset, nothing is written.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+use mabe_trace::{SpanRecord, TraceCtx};
+
+/// Aggregated wall time at one call path.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PathStat {
+    /// Spans that completed at this path.
+    pub count: u64,
+    /// Sum of span durations (µs), children included.
+    pub total_us: u64,
+    /// Sum of span durations minus time covered by child spans (µs).
+    pub self_us: u64,
+}
+
+/// A call-path profile over one span snapshot.
+#[derive(Clone, Debug, Default)]
+pub struct Profile {
+    paths: BTreeMap<String, PathStat>,
+}
+
+/// Ancestor chains deeper than this are truncated (defensive cap; a
+/// legitimate trace never approaches it).
+const MAX_DEPTH: usize = 128;
+
+/// Builds the profile for `spans` (typically a flight-recorder
+/// snapshot). A span whose parent was already evicted by ring
+/// wrap-around roots its path at itself, mirroring the tree exporter.
+pub fn profile(spans: &[SpanRecord]) -> Profile {
+    let by_id: BTreeMap<u64, &SpanRecord> = spans.iter().map(|s| (s.ctx.span_id, s)).collect();
+
+    // Child time per parent span, for self-time subtraction.
+    let mut child_us: BTreeMap<u64, u64> = BTreeMap::new();
+    for span in spans {
+        if span.ctx.parent_id != TraceCtx::NO_PARENT && by_id.contains_key(&span.ctx.parent_id) {
+            *child_us.entry(span.ctx.parent_id).or_default() += span.dur_us;
+        }
+    }
+
+    let mut paths: BTreeMap<String, PathStat> = BTreeMap::new();
+    for span in spans {
+        let mut chain = vec![span.name];
+        let mut cursor = span;
+        while chain.len() < MAX_DEPTH {
+            match by_id.get(&cursor.ctx.parent_id) {
+                Some(parent) if cursor.ctx.parent_id != TraceCtx::NO_PARENT => {
+                    chain.push(parent.name);
+                    cursor = parent;
+                }
+                _ => break,
+            }
+        }
+        chain.reverse();
+        let path = chain.join(";");
+        let covered = child_us.get(&span.ctx.span_id).copied().unwrap_or(0);
+        let stat = paths.entry(path).or_default();
+        stat.count += 1;
+        stat.total_us += span.dur_us;
+        stat.self_us += span.dur_us.saturating_sub(covered);
+    }
+    Profile { paths }
+}
+
+/// Profiles everything the global flight recorder currently holds.
+pub fn capture() -> Profile {
+    profile(&mabe_trace::snapshot())
+}
+
+impl Profile {
+    /// Distinct call paths in the profile.
+    pub fn len(&self) -> usize {
+        self.paths.len()
+    }
+
+    /// True when no spans were profiled.
+    pub fn is_empty(&self) -> bool {
+        self.paths.is_empty()
+    }
+
+    /// The stat recorded at one exact call path.
+    pub fn get(&self, path: &str) -> Option<&PathStat> {
+        self.paths.get(path)
+    }
+
+    /// All paths with their stats, lexicographic.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &PathStat)> {
+        self.paths.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Collapsed-stack text: one `path self_us` line per call path,
+    /// sorted for deterministic output. Feed straight into
+    /// `flamegraph.pl` or `inferno-flamegraph`.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (path, stat) in &self.paths {
+            let _ = writeln!(out, "{} {}", path, stat.self_us);
+        }
+        out
+    }
+
+    /// The `n` hottest paths by self time, descending (ties broken by
+    /// path for determinism).
+    pub fn top(&self, n: usize) -> Vec<(&str, &PathStat)> {
+        let mut all: Vec<(&str, &PathStat)> = self.iter().collect();
+        all.sort_by(|a, b| b.1.self_us.cmp(&a.1.self_us).then(a.0.cmp(b.0)));
+        all.truncate(n);
+        all
+    }
+
+    /// A human-readable top-N self-time table.
+    pub fn top_table(&self, n: usize) -> String {
+        let mut out = String::from("self_us\ttotal_us\tcount\tpath\n");
+        for (path, stat) in self.top(n) {
+            let _ = writeln!(
+                out,
+                "{}\t{}\t{}\t{}",
+                stat.self_us, stat.total_us, stat.count, path
+            );
+        }
+        out
+    }
+}
+
+/// Writes `profile_<tag>.folded` into `dir` (created if absent).
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_to(dir: &Path, tag: &str) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("profile_{tag}.folded"));
+    std::fs::write(&path, capture().folded())?;
+    Ok(path)
+}
+
+/// Dumps the current profile as `profile_<tag>.folded` under
+/// [`crate::DIR_ENV`] when that variable is set; returns the written
+/// path, or `None` when dumping is not requested. Write failures are
+/// reported on stderr, never fatal.
+pub fn emit(tag: &str) -> Option<PathBuf> {
+    let dir = std::env::var_os(crate::DIR_ENV)?;
+    match write_to(Path::new(&dir), tag) {
+        Ok(path) => {
+            eprintln!("# span profile dumped to {}", path.display());
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!("# span profile dump for {tag} failed: {e}");
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, trace: u64, id: u64, parent: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            seq: id,
+            ctx: TraceCtx {
+                trace_id: trace,
+                span_id: id,
+                parent_id: parent,
+            },
+            name,
+            detail: String::new(),
+            start_us: 0,
+            dur_us: dur,
+            error: None,
+            events: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn paths_aggregate_count_total_and_self_time() {
+        const NP: u64 = TraceCtx::NO_PARENT;
+        let spans = vec![
+            span("read", 1, 1, NP, 100),
+            span("fetch", 1, 2, 1, 30),
+            span("decrypt", 1, 3, 1, 50),
+            span("read", 2, 4, NP, 80),
+            span("fetch", 2, 5, 4, 80),
+        ];
+        let p = profile(&spans);
+        assert_eq!(p.len(), 3);
+        let read = p.get("read").unwrap();
+        assert_eq!(read.count, 2);
+        assert_eq!(read.total_us, 180);
+        // 100-80 covered by children, 80-80 fully covered.
+        assert_eq!(read.self_us, 20);
+        assert_eq!(p.get("read;fetch").unwrap().total_us, 110);
+        assert_eq!(p.get("read;decrypt").unwrap().self_us, 50);
+    }
+
+    #[test]
+    fn overlapping_children_clamp_self_time_at_zero() {
+        const NP: u64 = TraceCtx::NO_PARENT;
+        // Two parallel workers each as long as the parent (follow-span
+        // overlap): self time must clamp, not underflow.
+        let spans = vec![
+            span("revoke", 1, 1, NP, 100),
+            span("worker", 1, 2, 1, 100),
+            span("worker", 1, 3, 1, 100),
+        ];
+        let p = profile(&spans);
+        assert_eq!(p.get("revoke").unwrap().self_us, 0);
+        assert_eq!(p.get("revoke;worker").unwrap().count, 2);
+    }
+
+    #[test]
+    fn evicted_parents_root_the_orphan_at_itself() {
+        let spans = vec![span("child", 1, 7, 999, 10)];
+        let p = profile(&spans);
+        assert_eq!(p.get("child").unwrap().count, 1);
+    }
+
+    #[test]
+    fn folded_lines_are_flamegraph_shaped() {
+        const NP: u64 = TraceCtx::NO_PARENT;
+        let spans = vec![span("a", 1, 1, NP, 10), span("b", 1, 2, 1, 4)];
+        let folded = profile(&spans).folded();
+        assert!(folded.contains("a 6\n"));
+        assert!(folded.contains("a;b 4\n"));
+        for line in folded.lines() {
+            let (path, value) = line.rsplit_once(' ').unwrap();
+            assert!(!path.is_empty());
+            value.parse::<u64>().expect("numeric sample value");
+        }
+    }
+
+    #[test]
+    fn top_table_ranks_by_self_time() {
+        const NP: u64 = TraceCtx::NO_PARENT;
+        let spans = vec![
+            span("cold", 1, 1, NP, 5),
+            span("hot", 2, 2, NP, 500),
+            span("warm", 3, 3, NP, 50),
+        ];
+        let p = profile(&spans);
+        let top = p.top(2);
+        assert_eq!(top[0].0, "hot");
+        assert_eq!(top[1].0, "warm");
+        let table = p.top_table(2);
+        assert!(table.starts_with("self_us\t"));
+        assert!(table.contains("hot"));
+        assert!(!table.contains("cold"));
+    }
+
+    #[test]
+    fn write_to_produces_the_conventional_filename() {
+        let root = mabe_trace::Span::root("profiler_write_probe");
+        drop(root);
+        let dir = std::env::temp_dir().join("mabe-obs-profile-test");
+        let path = write_to(&dir, "unit").unwrap();
+        assert!(path.ends_with("profile_unit.folded"));
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("profiler_write_probe"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

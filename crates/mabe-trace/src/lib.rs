@@ -76,3 +76,9 @@ pub fn set_enabled(on: bool) {
 pub fn snapshot() -> Vec<SpanRecord> {
     recorder::global().snapshot()
 }
+
+/// The most recent `n` spans held by the global flight recorder,
+/// oldest first.
+pub fn recent(n: usize) -> Vec<SpanRecord> {
+    recorder::global().recent(n)
+}

@@ -141,6 +141,17 @@ impl FlightRecorder {
         spans
     }
 
+    /// The most recent `n` retained spans, oldest first. This is the
+    /// direct accessor live consumers (the `/tracez` endpoint, tests)
+    /// use — no `MABE_TRACE_DIR` file round-trip required.
+    pub fn recent(&self, n: usize) -> Vec<SpanRecord> {
+        let mut spans = self.snapshot();
+        if spans.len() > n {
+            spans.drain(..spans.len() - n);
+        }
+        spans
+    }
+
     /// Empties the ring (ids and counters keep advancing). Benches and
     /// examples use this to start a clean capture; tests sharing the
     /// global recorder should filter by trace id instead.
@@ -221,6 +232,20 @@ mod tests {
         assert_eq!(spans.len(), 800);
         let seqs: Vec<u64> = spans.iter().map(|s| s.seq).collect();
         assert!(seqs.windows(2).all(|w| w[0] < w[1]), "snapshot is sorted");
+    }
+
+    #[test]
+    fn recent_returns_the_tail_oldest_first() {
+        let rec = FlightRecorder::with_capacity(8);
+        for i in 0..6 {
+            rec.commit(record("op", 1, i + 1));
+        }
+        let tail = rec.recent(2);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].seq, 4);
+        assert_eq!(tail[1].seq, 5);
+        assert_eq!(rec.recent(100).len(), 6, "n past the ring is clamped");
+        assert!(rec.recent(0).is_empty());
     }
 
     #[test]

@@ -18,6 +18,10 @@ use mabe_store::SimDisk;
 use mabe_trace::TraceEvent;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // With MABE_OBS_ADDR set (e.g. `127.0.0.1:9100`) the whole episode
+    // is also scrapeable live: /metrics, /tracez and /healthz serve
+    // while the example runs.
+    let _obs = mabe_obs::serve_if_configured(Vec::new());
     let seed = 7;
     // The outage: the first hit on the revocation re-key point finds
     // the authority down. `AuthorityUnavailable` is transient, so the

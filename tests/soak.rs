@@ -3,13 +3,23 @@
 //! deployment with many users, records, reads and interleaved
 //! revocations, checking consistency end to end.
 
+use std::sync::Arc;
+
 use mabe::cloud::CloudSystem;
 use mabe::policy::AuthorityId;
 
 #[test]
 #[ignore = "heavy; run with --release -- --ignored"]
 fn ten_by_ten_deployment_soak() {
-    let sys = CloudSystem::new(0x50aa);
+    let sys = Arc::new(CloudSystem::new(0x50aa));
+    // With MABE_OBS_ADDR set the soak exposes live /metrics, /tracez
+    // and a /readyz probe over per-authority shard liveness — point a
+    // browser or `curl` at it while the soak runs.
+    let obs_sys = Arc::clone(&sys);
+    let _obs =
+        mabe_obs::serve_if_configured(vec![mabe_obs::Probe::new("authorities_up", move || {
+            obs_sys.authority_liveness().iter().all(|(_, up)| *up)
+        })]);
     let attr_names: Vec<String> = (0..10).map(|i| format!("attr{i}")).collect();
     let refs: Vec<&str> = attr_names.iter().map(String::as_str).collect();
     for a in 0..10 {
