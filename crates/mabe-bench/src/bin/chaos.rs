@@ -2,7 +2,8 @@
 //! schedules and reports convergence plus fault/retry/recovery counts.
 //!
 //! One row per seed: the scenario injects drops, delays, duplicates,
-//! corruption, storage errors, and mid-revocation crashes while users
+//! corruption, storage errors, disk-full rejections, torn manifests,
+//! and mid-revocation crashes while users
 //! read, publish, go offline, and get revoked; then faults are disarmed
 //! and the system is driven to convergence. Any violated invariant (a
 //! revoked attribute that still decrypts, a pending revocation after
@@ -52,6 +53,8 @@ fn run_scenario(seed: u64) -> Result<Outcome, String> {
         .rate_all(FaultKind::Duplicate, 0.05)
         .rate(fault_points::READ_FETCH, FaultKind::Corrupt, 0.10)
         .rate(fault_points::PUBLISH_STORE, FaultKind::StorageError, 0.10)
+        .rate(fault_points::PUBLISH_STORE, FaultKind::NoSpace, 0.05)
+        .rate(fault_points::READ_FETCH, FaultKind::ManifestTorn, 0.05)
         .rate(fault_points::REVOKE_UPDATE_DELIVER, FaultKind::Crash, 0.20)
         .rate(fault_points::REVOKE_REENCRYPT, FaultKind::Crash, 0.20)
         .delay_us(750)

@@ -58,7 +58,10 @@ pub mod wire;
 
 pub use audit::{AuditEntry, AuditEvent, AuditLoadError, AuditLog};
 pub use concurrent::{run_concurrent_reads, ReaderSpec, ThroughputReport};
-pub use persist::{DurableSystem, OpenError, OpenFailure, OpenReport};
+pub use persist::{
+    DurableSystem, MaintenanceHandle, OpenError, OpenFailure, OpenReport, DEFAULT_DEGRADE_HEADROOM,
+    DEGRADED_POINT, POISONED_POINT,
+};
 pub use recovery::{PendingRevocation, RevocationStage};
 pub use server::CloudServer;
 pub use system::{fault_points, CloudError, CloudSystem, StorageReport};

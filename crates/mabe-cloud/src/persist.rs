@@ -50,9 +50,9 @@
 
 use std::collections::BTreeSet;
 use std::fmt;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
@@ -63,7 +63,9 @@ use mabe_core::{
 use mabe_faults::FaultInjector;
 use mabe_math::Fr;
 use mabe_policy::{Attribute, AuthorityId};
-use mabe_store::{GroupWal, RecoveryReport, Storage, StoreError, StoreRef};
+use mabe_store::{
+    GroupWal, RecoveryReport, ScrubReport, Storage, StoreError, StoreRef, DEFAULT_SEGMENT_BUDGET,
+};
 
 use crate::audit::{AuditEvent, AuditLoadError, AuditLog};
 use crate::control::{AuthorityShard, ShardState};
@@ -78,6 +80,14 @@ const SNAPSHOT_MAGIC: &[u8; 8] = b"MSYS0001";
 /// Fault-point name reported once a durable system has poisoned itself
 /// after a journal-write failure.
 pub const POISONED_POINT: &str = "store.poisoned";
+
+/// Fault-point name reported by the disk-full pre-flight gate while the
+/// system is degraded to read-only.
+pub const DEGRADED_POINT: &str = "store.degraded";
+
+/// Default free-space floor (bytes) below which mutations degrade to
+/// read-only instead of risking a mid-journal ENOSPC.
+pub const DEFAULT_DEGRADE_HEADROOM: usize = 4096;
 
 // ---------------------------------------------------------------------
 // Byte helpers (the mabe-core serial primitives are crate-private).
@@ -817,6 +827,10 @@ pub struct OpenReport {
 struct OpState {
     ops_since_checkpoint: usize,
     checkpoint_interval: usize,
+    /// Live log bytes (cold + active segments) above which the next
+    /// `maybe_checkpoint` compacts regardless of the op count — the
+    /// knob that keeps disk usage bounded under journal-heavy loads.
+    wal_budget: usize,
 }
 
 /// A [`CloudSystem`] whose every acknowledged mutation is journaled to a
@@ -836,12 +850,21 @@ pub struct DurableSystem<S: Storage> {
     /// outside it whenever write-ahead semantics allow.
     op: Mutex<OpState>,
     poisoned: AtomicBool,
+    /// Set while the store is too full to accept mutations safely:
+    /// writes fail fast with [`CloudError::StoreFull`], reads keep
+    /// serving, and the flag clears itself the moment compaction (or an
+    /// operator) restores headroom. Orthogonal to `poisoned` — a full
+    /// disk is an environmental condition, not a consistency violation.
+    degraded: AtomicBool,
+    /// Free-space floor (bytes) enforced by the pre-flight gate.
+    degrade_headroom: AtomicUsize,
 }
 
 fn store_to_cloud(e: StoreError) -> CloudError {
     match e {
         StoreError::Crashed { point } => CloudError::Crashed { point },
         StoreError::Transient { point } => CloudError::Storage(point),
+        StoreError::NoSpace { point } => CloudError::StoreFull { point },
         StoreError::Corrupt(what) => CloudError::Storage(what),
         StoreError::Missing(what) => CloudError::Storage(what),
     }
@@ -849,7 +872,9 @@ fn store_to_cloud(e: StoreError) -> CloudError {
 
 fn store_point(e: &StoreError) -> &'static str {
     match e {
-        StoreError::Crashed { point } | StoreError::Transient { point } => point,
+        StoreError::Crashed { point }
+        | StoreError::Transient { point }
+        | StoreError::NoSpace { point } => point,
         StoreError::Corrupt(what) | StoreError::Missing(what) => what,
     }
 }
@@ -940,8 +965,11 @@ impl<S: Storage> DurableSystem<S> {
             op: Mutex::new(OpState {
                 ops_since_checkpoint: records.len(),
                 checkpoint_interval: 64,
+                wal_budget: 4 * DEFAULT_SEGMENT_BUDGET,
             }),
             poisoned: AtomicBool::new(false),
+            degraded: AtomicBool::new(false),
+            degrade_headroom: AtomicUsize::new(DEFAULT_DEGRADE_HEADROOM),
         };
         let revocations_recovered = match durable.recover() {
             Ok(n) => n,
@@ -974,6 +1002,50 @@ impl<S: Storage> DurableSystem<S> {
             });
         }
         Ok(())
+    }
+
+    /// Pre-flight disk-full gate, consulted by every mutator *before*
+    /// it touches memory. Because in-memory state mutates ahead of
+    /// journaling, an ENOSPC discovered mid-journal would force a
+    /// poison; refusing up front keeps a full disk an environmental
+    /// (retryable) condition instead of a consistency violation. The
+    /// gate re-evaluates real usage on every call, so reclaimed space —
+    /// a compaction, an operator delete, a raised quota — lifts the
+    /// degradation automatically.
+    fn check_writable(&self) -> Result<(), CloudError> {
+        let free = match self.wal.storage().usage() {
+            // Unmetered backends never degrade.
+            None => {
+                self.clear_degraded();
+                return Ok(());
+            }
+            Some(usage) => usage.free(),
+        };
+        if free < self.degrade_headroom.load(Ordering::SeqCst) {
+            self.enter_degraded();
+            Err(CloudError::StoreFull {
+                point: DEGRADED_POINT,
+            })
+        } else {
+            self.clear_degraded();
+            Ok(())
+        }
+    }
+
+    fn enter_degraded(&self) {
+        if !self.degraded.swap(true, Ordering::SeqCst) {
+            mabe_telemetry::global()
+                .gauge("mabe_store_degraded", &[])
+                .set(1);
+        }
+    }
+
+    fn clear_degraded(&self) {
+        if self.degraded.swap(false, Ordering::SeqCst) {
+            mabe_telemetry::global()
+                .gauge("mabe_store_degraded", &[])
+                .set(0);
+        }
     }
 
     /// Marks the handle poisoned after a journal failure: in-memory
@@ -1028,38 +1100,62 @@ impl<S: Storage> DurableSystem<S> {
     }
 
     fn maybe_checkpoint_locked(&self, op: &mut OpState) -> Result<(), CloudError> {
-        if op.ops_since_checkpoint >= op.checkpoint_interval {
-            self.checkpoint_locked(op)?;
+        if op.ops_since_checkpoint >= op.checkpoint_interval
+            || self.wal.live_log_bytes() >= op.wal_budget
+        {
+            match self.checkpoint_locked(op) {
+                Ok(()) => {}
+                // The triggering op itself succeeded (it is durable and
+                // applied); a full disk only means compaction could not
+                // run yet. Degrade quietly instead of failing the ack —
+                // the next mutation hits the pre-flight gate.
+                Err(CloudError::StoreFull { .. }) => {}
+                Err(e) => return Err(e),
+            }
         }
         Ok(())
     }
 
     /// Snapshots the full system state and truncates the WAL, with the
     /// op lock held (no shard lock may be held — encoding takes them).
+    ///
+    /// Failure handling follows the store's clean/dirty classification:
+    /// a *dirty* failure (the manifest swap's outcome is ambiguous, or a
+    /// staged flush died) poisons the handle; a *clean* one leaves the
+    /// committed generation authoritative and the handle fully usable —
+    /// a clean ENOSPC additionally flips the read-only degradation flag.
     fn checkpoint_locked(&self, op: &mut OpState) -> Result<(), CloudError> {
         let payload = encode_system(&self.sys);
         match self.wal.checkpoint(&payload) {
             Ok(()) => {
                 op.ops_since_checkpoint = 0;
+                // Compaction just reclaimed every superseded segment:
+                // re-evaluate the disk-full degradation right away.
+                let _ = self.check_writable();
                 Ok(())
             }
-            Err(e) => {
-                self.poison(&e);
-                Err(store_to_cloud(e))
+            Err(failure) => {
+                if failure.dirty {
+                    self.poison(&failure.error);
+                } else if matches!(failure.error, StoreError::NoSpace { .. }) {
+                    self.enter_degraded();
+                }
+                Err(store_to_cloud(failure.error))
             }
         }
     }
 
     /// Forces a checkpoint: the full system state is written as the next
-    /// generation's snapshot and the WAL truncated. A failed checkpoint
-    /// poisons the system (the store may hold a half-written
-    /// generation; the committed one is untouched and reopening
-    /// recovers from it).
+    /// generation's snapshot, the manifest swaps to a fresh
+    /// single-segment generation, and every superseded object is
+    /// collected. Deliberately *not* gated on the disk-full flag — a
+    /// successful compaction is exactly what lifts it.
     ///
     /// # Errors
     ///
-    /// [`CloudError::Crashed`] / [`CloudError::Storage`] mapped from the
-    /// store failure.
+    /// [`CloudError::Crashed`] / [`CloudError::Storage`] /
+    /// [`CloudError::StoreFull`] mapped from the store failure; only
+    /// dirty failures poison the handle.
     pub fn checkpoint(&self) -> Result<(), CloudError> {
         self.check_poisoned()?;
         let mut op = self.op.lock();
@@ -1070,6 +1166,62 @@ impl<S: Storage> DurableSystem<S> {
     /// checkpoint.
     pub fn set_checkpoint_interval(&self, interval: usize) {
         self.op.lock().checkpoint_interval = interval.max(1);
+    }
+
+    /// Sets the live-log byte budget above which `maybe_checkpoint`
+    /// compacts regardless of the op count.
+    pub fn set_wal_budget(&self, bytes: usize) {
+        self.op.lock().wal_budget = bytes.max(1);
+    }
+
+    /// Sets the free-space floor (bytes) below which mutations degrade
+    /// to read-only.
+    pub fn set_degrade_headroom(&self, bytes: usize) {
+        self.degrade_headroom.store(bytes, Ordering::SeqCst);
+    }
+
+    /// Whether the disk-full gate has degraded this handle to read-only
+    /// (as of its last evaluation). Reads still serve; mutations fail
+    /// fast with [`CloudError::StoreFull`] until space is reclaimed.
+    pub fn degraded(&self) -> bool {
+        self.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Runs one scrubber pass: re-verifies every cold segment and the
+    /// committed snapshot. Rot is *repaired*, not fatal — the corrupt
+    /// objects are quarantined for forensics and a fresh checkpoint is
+    /// cut from the authoritative in-memory state, superseding them.
+    ///
+    /// # Errors
+    ///
+    /// A failed scrub read, or a failed repair (quarantine +
+    /// checkpoint); repair failures dump the flight recorder when
+    /// `MABE_TRACE_DIR` is set, since the log is rotting *and* cannot
+    /// be rewritten — the forensics may be all that survives.
+    pub fn scrub(&self) -> Result<ScrubReport, CloudError> {
+        self.check_poisoned()?;
+        let _trace = mabe_trace::Span::child("durable.scrub");
+        let mut op = self.op.lock();
+        let report = self.wal.scrub().map_err(store_to_cloud)?;
+        if !report.clean() {
+            let repaired = self
+                .wal
+                .quarantine(&report.corrupt)
+                .map_err(store_to_cloud)
+                .and_then(|()| self.checkpoint_locked(&mut op));
+            match repaired {
+                Ok(()) => {
+                    mabe_telemetry::global()
+                        .counter("mabe_wal_scrub_repairs_total", &[])
+                        .inc();
+                }
+                Err(e) => {
+                    mabe_trace::dump_if_configured(self.seed, "scrub_repair_failed");
+                    return Err(e);
+                }
+            }
+        }
+        Ok(report)
     }
 
     /// Registers an attribute authority (durably).
@@ -1084,6 +1236,7 @@ impl<S: Storage> DurableSystem<S> {
         attribute_names: &[&str],
     ) -> Result<AuthorityId, CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let (aid, seq) = {
             let mut op = self.op.lock();
             let aid = self.sys.add_authority(name, attribute_names)?;
@@ -1118,6 +1271,7 @@ impl<S: Storage> DurableSystem<S> {
     /// failures.
     pub fn add_owner(&self, name: &str) -> Result<OwnerId, CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let (id, seq) = {
             let mut op = self.op.lock();
             let id = self.sys.add_owner(name)?;
@@ -1145,6 +1299,7 @@ impl<S: Storage> DurableSystem<S> {
     /// failures.
     pub fn add_user(&self, name: &str) -> Result<Uid, CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let (uid, seq) = {
             let mut op = self.op.lock();
             let uid = self.sys.add_user(name)?;
@@ -1176,6 +1331,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Same contract as [`CloudSystem::grant`], plus journal failures.
     pub fn grant(&self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let _trace = mabe_trace::Span::child("durable.grant").detail(uid.to_string());
         let seq = {
             let mut op = self.op.lock();
@@ -1206,6 +1362,7 @@ impl<S: Storage> DurableSystem<S> {
         components: &[(&str, &[u8], &str)],
     ) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let _trace =
             mabe_trace::Span::child("durable.publish").detail(format!("{owner_id}/{record}"));
         let seq = {
@@ -1329,6 +1486,17 @@ impl<S: Storage> DurableSystem<S> {
         if self.sys.audit.lock().entries().len() == before {
             return (result, None);
         }
+        // Disk-full degradation: reads must keep serving and must never
+        // poison the handle, so while the store is out of headroom the
+        // audit record stays in memory only (best-effort auditing — the
+        // dropped records are counted, and replay after a crash simply
+        // lacks that tail).
+        if self.check_writable().is_err() {
+            mabe_telemetry::global()
+                .counter("mabe_read_audit_records_dropped_total", &[])
+                .inc();
+            return (result, None);
+        }
         let seq = self.stage_locked(&mut op, &record_for(result.is_ok()));
         (result, Some(seq))
     }
@@ -1340,6 +1508,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Journal failures only.
     pub fn set_offline(&self, uid: &Uid) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let _trace = mabe_trace::Span::child("durable.set_offline").detail(uid.to_string());
         let seq = {
             let mut op = self.op.lock();
@@ -1368,6 +1537,7 @@ impl<S: Storage> DurableSystem<S> {
     /// failures.
     pub fn sync_user(&self, uid: &Uid) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let _trace = mabe_trace::Span::child("durable.sync_user").detail(uid.to_string());
         let seq = {
             let mut op = self.op.lock();
@@ -1394,6 +1564,7 @@ impl<S: Storage> DurableSystem<S> {
     /// Same contract as [`CloudSystem::revoke`], plus journal failures.
     pub fn revoke(&self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let _trace = mabe_trace::Span::child("durable.revoke").detail(format!("{uid} {attribute}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         let attr: Attribute = attribute
@@ -1426,6 +1597,7 @@ impl<S: Storage> DurableSystem<S> {
     /// failures.
     pub fn revoke_user_at(&self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
         self.check_poisoned()?;
+        self.check_writable()?;
         let _trace =
             mabe_trace::Span::child("durable.revoke_user_at").detail(format!("{uid} @{aid}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
@@ -1587,6 +1759,21 @@ impl<S: Storage> DurableSystem<S> {
         self.wal.generation()
     }
 
+    /// Segments the committed manifest currently lists.
+    pub fn segments_live(&self) -> usize {
+        self.wal.segments_live()
+    }
+
+    /// Live log bytes (cold + active segments, snapshot excluded).
+    pub fn live_log_bytes(&self) -> usize {
+        self.wal.live_log_bytes()
+    }
+
+    /// Sets the per-segment rotation budget on the underlying log.
+    pub fn set_segment_budget(&self, bytes: usize) {
+        self.wal.set_segment_budget(bytes);
+    }
+
     /// Read access to the backing store (a guard dereferencing to `S`,
     /// held through the log's lock for the duration of the borrow).
     pub fn storage(&self) -> StoreRef<'_, S> {
@@ -1603,6 +1790,69 @@ impl<S: Storage> DurableSystem<S> {
     /// sweep's "power cut": drop everything in memory, keep the disk.
     pub fn into_storage(self) -> S {
         self.wal.into_store()
+    }
+}
+
+impl<S: Storage + Send + Sync + 'static> DurableSystem<S> {
+    /// Spawns the background maintenance loop: every `period` it runs
+    /// one scrubber pass (repairing any rot it finds) and an
+    /// opportunistic checkpoint check, until the returned handle is
+    /// stopped or dropped. Maintenance failures are absorbed — the
+    /// foreground path already owns poisoning and degradation — and the
+    /// loop parks itself permanently if the handle poisons.
+    pub fn spawn_maintenance(self: &Arc<Self>, period: Duration) -> MaintenanceHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let flag = Arc::clone(&stop);
+        let sys = Arc::clone(self);
+        let thread = std::thread::spawn(move || {
+            while !flag.load(Ordering::SeqCst) {
+                // Sleep in short slices so stop() returns promptly even
+                // with a long period.
+                let mut slept = Duration::ZERO;
+                while slept < period && !flag.load(Ordering::SeqCst) {
+                    let slice = (period - slept).min(Duration::from_millis(20));
+                    std::thread::sleep(slice);
+                    slept += slice;
+                }
+                if flag.load(Ordering::SeqCst) || sys.poisoned() {
+                    break;
+                }
+                let _ = sys.scrub();
+                let _ = sys.maybe_checkpoint();
+            }
+        });
+        MaintenanceHandle {
+            stop,
+            thread: Some(thread),
+        }
+    }
+}
+
+/// Stops the background maintenance loop when explicitly
+/// [`stopped`](MaintenanceHandle::stop) or dropped.
+#[derive(Debug)]
+pub struct MaintenanceHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MaintenanceHandle {
+    /// Signals the loop to exit and joins it.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MaintenanceHandle {
+    fn drop(&mut self) {
+        self.halt();
     }
 }
 
@@ -1716,15 +1966,16 @@ mod tests {
         let (ds, _, _, _, _) = full_world(open_fresh(11));
         let mut disk = ds.into_storage();
         disk.crash();
-        let log = disk.durable_bytes("wal-0").unwrap().to_vec();
+        let log = disk.durable_bytes("wal.0.0").unwrap().to_vec();
+        let manifest = disk.durable_bytes("manifest.1").unwrap().to_vec();
         let step = (log.len() / 96).max(1);
         let mut opened = 0usize;
         for pos in (0..log.len()).step_by(step) {
             let mut damaged = log.clone();
             damaged[pos] ^= 1 << (pos % 8);
             let mut d = SimDisk::unfaulted();
-            d.set_durable("wal.current", 0u64.to_be_bytes().to_vec());
-            d.set_durable("wal-0", damaged);
+            d.set_durable("manifest.1", manifest.clone());
+            d.set_durable("wal.0.0", damaged);
             match DurableSystem::open(d, 3) {
                 Ok((sys, report)) => {
                     // The flip was absorbed by dropping a record suffix:
@@ -1864,5 +2115,144 @@ mod tests {
         disk.crash();
         let (ds2, _) = DurableSystem::open(disk, 56).unwrap();
         assert_eq!(&*ds2.audit(), &expected_audit);
+    }
+
+    #[test]
+    fn a_full_disk_degrades_to_read_only_and_compaction_lifts_it() {
+        let (ds, _alice, bob, owner, _) = full_world(open_fresh(77));
+        ds.set_checkpoint_interval(1_000_000);
+        // Grow the journal well past what the snapshot will need, so
+        // compaction genuinely reclaims space.
+        for _ in 0..4000 {
+            ds.set_offline(&bob).unwrap();
+        }
+        let mut ds = ds;
+        let used = ds.storage().live_bytes();
+        ds.storage_mut().set_capacity(Some(used + 30_000));
+        ds.set_degrade_headroom(50_000);
+
+        // Mutations fail fast and typed; the handle is NOT poisoned.
+        let err = ds.set_offline(&bob).unwrap_err();
+        assert!(matches!(err, CloudError::StoreFull { .. }), "got {err}");
+        assert!(ds.degraded());
+        assert!(!ds.poisoned());
+        let generation = ds.generation();
+
+        // Reads keep serving while degraded — and still never poison.
+        assert_eq!(
+            ds.read(&bob, &owner, "rec-shared", "note").unwrap(),
+            b"ward note"
+        );
+        assert!(!ds.poisoned());
+
+        let json = mabe_telemetry::global().snapshot_json();
+        assert!(json.contains("mabe_store_degraded"));
+
+        // Compaction is allowed while degraded (it is the cure): the
+        // snapshot supersedes thousands of journal records, the sweep
+        // reclaims them, and the degradation lifts in-process.
+        ds.checkpoint().unwrap();
+        assert_eq!(ds.generation(), generation + 1);
+        assert!(!ds.degraded());
+        ds.set_offline(&bob).unwrap();
+        assert!(!ds.poisoned());
+    }
+
+    #[test]
+    fn the_wal_byte_budget_triggers_automatic_compaction() {
+        let ds = open_fresh(83);
+        let alice = ds.add_user("alice").unwrap();
+        // Op-count checkpointing effectively off: only the byte budget
+        // can compact.
+        ds.set_checkpoint_interval(1_000_000);
+        ds.set_wal_budget(4096);
+        for _ in 0..400 {
+            ds.set_offline(&alice).unwrap();
+        }
+        assert!(ds.generation() >= 1, "byte budget forced checkpoints");
+        assert!(
+            ds.live_log_bytes() < 2 * 4096,
+            "live bytes stay bounded: {}",
+            ds.live_log_bytes()
+        );
+    }
+
+    #[test]
+    fn scrub_repairs_cold_segment_rot_with_quarantine_and_checkpoint() {
+        let mut ds = open_fresh(91);
+        let alice = ds.add_user("alice").unwrap();
+        ds.set_checkpoint_interval(1_000_000);
+        ds.set_segment_budget(256);
+        for _ in 0..40 {
+            ds.set_offline(&alice).unwrap();
+        }
+        assert!(ds.segments_live() > 1, "rotation produced cold segments");
+
+        let mut bytes = {
+            let store = ds.storage();
+            store.durable_bytes("wal.0.0").unwrap().to_vec()
+        };
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        ds.storage_mut().set_durable("wal.0.0", bytes);
+
+        let report = ds.scrub().unwrap();
+        assert_eq!(report.corrupt, vec!["wal.0.0".to_string()]);
+        // The repair quarantined the rot and cut a fresh generation
+        // from the authoritative in-memory state.
+        assert!(ds.generation() >= 1);
+        assert!(ds
+            .storage()
+            .list()
+            .iter()
+            .any(|n| n == "quarantine.wal.0.0"));
+        assert!(ds.scrub().unwrap().clean());
+        assert!(!ds.poisoned());
+
+        // The healed store reopens — the rot is gone from the live set.
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let (ds2, report) = DurableSystem::open(disk, 92).unwrap();
+        assert!(report.wal.had_snapshot);
+        assert!(!ds2.needs_recovery());
+    }
+
+    #[test]
+    fn background_maintenance_repairs_rot_without_foreground_help() {
+        let mut ds = open_fresh(97);
+        let alice = ds.add_user("alice").unwrap();
+        ds.set_checkpoint_interval(1_000_000);
+        ds.set_segment_budget(256);
+        for _ in 0..40 {
+            ds.set_offline(&alice).unwrap();
+        }
+        assert!(ds.segments_live() > 1);
+        let mut bytes = {
+            let store = ds.storage();
+            store.durable_bytes("wal.0.0").unwrap().to_vec()
+        };
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        ds.storage_mut().set_durable("wal.0.0", bytes);
+
+        let ds = Arc::new(ds);
+        let handle = ds.spawn_maintenance(Duration::from_millis(2));
+        let mut repaired = false;
+        for _ in 0..2000 {
+            if ds.generation() >= 1 {
+                repaired = true;
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        handle.stop();
+        assert!(repaired, "the scrubber repaired the rot in background");
+        assert!(ds
+            .storage()
+            .list()
+            .iter()
+            .any(|n| n == "quarantine.wal.0.0"));
+        assert!(ds.scrub().unwrap().clean());
+        assert!(!ds.poisoned());
     }
 }

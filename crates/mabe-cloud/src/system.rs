@@ -80,6 +80,14 @@ pub enum CloudError {
     AuthorityUnavailable(AuthorityId),
     /// A storage-layer operation failed. Transient.
     Storage(&'static str),
+    /// The backing store is out of space: the durable system has
+    /// degraded to read-only. Reads keep serving; mutations fail fast
+    /// with this error until compaction (or an operator) reclaims
+    /// space, at which point writes resume automatically. Transient.
+    StoreFull {
+        /// The fault point (or gate) that observed the full disk.
+        point: &'static str,
+    },
     /// A transmission was lost in transit (dropped or corrupted) and the
     /// retry budget has not yet absorbed it. Transient.
     Lost {
@@ -108,7 +116,10 @@ impl CloudError {
     pub fn is_transient(&self) -> bool {
         matches!(
             self,
-            CloudError::AuthorityUnavailable(_) | CloudError::Storage(_) | CloudError::Lost { .. }
+            CloudError::AuthorityUnavailable(_)
+                | CloudError::Storage(_)
+                | CloudError::StoreFull { .. }
+                | CloudError::Lost { .. }
         )
     }
 
@@ -138,6 +149,12 @@ impl fmt::Display for CloudError {
             CloudError::UnknownEntity(e) => write!(f, "unknown entity {e}"),
             CloudError::AuthorityUnavailable(a) => write!(f, "authority {a} unavailable"),
             CloudError::Storage(p) => write!(f, "storage error at {p}"),
+            CloudError::StoreFull { point } => {
+                write!(
+                    f,
+                    "storage out of space at {point}: writes degraded to read-only"
+                )
+            }
             CloudError::Lost { point } => write!(f, "transmission lost at {point}"),
             CloudError::Crashed { point } => write!(f, "crashed at {point}"),
             CloudError::RetriesExhausted { op, attempts, last } => {
@@ -326,8 +343,10 @@ impl CloudSystem {
                             FaultKind::StorageError
                             | FaultKind::TornWrite
                             | FaultKind::PartialFlush
-                            | FaultKind::ReadCorrupt,
+                            | FaultKind::ReadCorrupt
+                            | FaultKind::ManifestTorn,
                         ) => Err(CloudError::Storage(point)),
+                        Some(FaultKind::NoSpace) => Err(CloudError::StoreFull { point }),
                         Some(FaultKind::AuthorityDown) => Err(CloudError::Lost { point }),
                         Some(FaultKind::Delay) => {
                             mabe_telemetry::global()
@@ -381,8 +400,10 @@ impl CloudSystem {
                         FaultKind::StorageError
                         | FaultKind::TornWrite
                         | FaultKind::PartialFlush
-                        | FaultKind::ReadCorrupt,
+                        | FaultKind::ReadCorrupt
+                        | FaultKind::ManifestTorn,
                     ) => Err(CloudError::Storage(point)),
+                    Some(FaultKind::NoSpace) => Err(CloudError::StoreFull { point }),
                     Some(FaultKind::AuthorityDown) => Err(match aid {
                         Some(a) => CloudError::AuthorityUnavailable(a.clone()),
                         None => CloudError::Lost { point },

@@ -39,6 +39,15 @@ pub enum FaultKind {
     /// A read returns bit-rotted bytes (one seeded bit flipped); the
     /// durable bytes themselves are untouched.
     ReadCorrupt,
+    /// The backing store is out of space: the operation fails cleanly
+    /// before writing anything (ENOSPC). Not a crash — the process
+    /// keeps running and should degrade to read-only until compaction
+    /// reclaims capacity.
+    NoSpace,
+    /// A manifest swap tears: only a seeded strict prefix of the new
+    /// manifest slot reaches durable media before the process dies.
+    /// Recovery must fall back to the surviving slot.
+    ManifestTorn,
 }
 
 impl FaultKind {
@@ -55,6 +64,8 @@ impl FaultKind {
             FaultKind::TornWrite => "torn_write",
             FaultKind::PartialFlush => "partial_flush",
             FaultKind::ReadCorrupt => "read_corrupt",
+            FaultKind::NoSpace => "no_space",
+            FaultKind::ManifestTorn => "manifest_torn",
         }
     }
 }
@@ -197,6 +208,8 @@ mod tests {
             (FaultKind::TornWrite, "torn_write"),
             (FaultKind::PartialFlush, "partial_flush"),
             (FaultKind::ReadCorrupt, "read_corrupt"),
+            (FaultKind::NoSpace, "no_space"),
+            (FaultKind::ManifestTorn, "manifest_torn"),
         ] {
             assert_eq!(kind.label(), label);
             assert_eq!(kind.to_string(), label);

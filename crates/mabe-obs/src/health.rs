@@ -6,20 +6,42 @@
 //! liveness, a WAL-recovery flag. The server never caches results:
 //! readiness is recomputed per scrape, so a system that poisons
 //! itself mid-run flips `/readyz` to 503 on the very next request.
+//!
+//! Probes come in two severities. A **critical** probe
+//! ([`Probe::new`]) gates readiness: any failure flips `/readyz` to
+//! 503 and load balancers stop routing. A **soft** probe
+//! ([`Probe::soft`]) reports *degradation* without failing readiness —
+//! the disk-full read-only mode is the canonical case: the process
+//! still serves every read, so it must keep receiving traffic, but
+//! operators need the degraded bit surfaced on the same endpoint.
 
 use std::fmt;
 
 /// One named readiness check.
 pub struct Probe {
     name: String,
+    critical: bool,
     check: Box<dyn Fn() -> bool + Send + Sync>,
 }
 
 impl Probe {
-    /// A probe that reports ready while `check` returns `true`.
+    /// A critical probe: reports ready while `check` returns `true`,
+    /// and fails `/readyz` (503) while it returns `false`.
     pub fn new(name: impl Into<String>, check: impl Fn() -> bool + Send + Sync + 'static) -> Self {
         Probe {
             name: name.into(),
+            critical: true,
+            check: Box::new(check),
+        }
+    }
+
+    /// A soft probe: while `check` returns `false` the report carries
+    /// `degraded: true`, but `/readyz` stays 200 — the process is
+    /// impaired, not unservable.
+    pub fn soft(name: impl Into<String>, check: impl Fn() -> bool + Send + Sync + 'static) -> Self {
+        Probe {
+            name: name.into(),
+            critical: false,
             check: Box::new(check),
         }
     }
@@ -27,6 +49,12 @@ impl Probe {
     /// The probe's name as `/readyz` reports it.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Whether a failure fails readiness (vs. merely flagging
+    /// degradation).
+    pub fn critical(&self) -> bool {
+        self.critical
     }
 
     /// Evaluates the probe now.
@@ -37,15 +65,30 @@ impl Probe {
 
 impl fmt::Debug for Probe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Probe").field("name", &self.name).finish()
+        f.debug_struct("Probe")
+            .field("name", &self.name)
+            .field("critical", &self.critical)
+            .finish()
     }
+}
+
+/// One probe's verdict inside a [`ReadinessReport`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ProbeStatus {
+    /// The probe's name.
+    pub name: String,
+    /// Its verdict at evaluation time.
+    pub ok: bool,
+    /// Whether a failure gates readiness (critical) or only flags
+    /// degradation (soft).
+    pub critical: bool,
 }
 
 /// The outcome of evaluating every registered probe once.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ReadinessReport {
-    /// Each probe's name and current verdict, in registration order.
-    pub probes: Vec<(String, bool)>,
+    /// Each probe's status, in registration order.
+    pub probes: Vec<ProbeStatus>,
 }
 
 impl ReadinessReport {
@@ -56,29 +99,43 @@ impl ReadinessReport {
         ReadinessReport {
             probes: probes
                 .iter()
-                .map(|p| (p.name().to_owned(), p.ok()))
+                .map(|p| ProbeStatus {
+                    name: p.name().to_owned(),
+                    ok: p.ok(),
+                    critical: p.critical(),
+                })
                 .collect(),
         }
     }
 
-    /// Ready iff every probe passed.
+    /// Ready iff every *critical* probe passed. Soft probes never fail
+    /// readiness.
     pub fn ready(&self) -> bool {
-        self.probes.iter().all(|(_, ok)| *ok)
+        self.probes.iter().all(|p| p.ok || !p.critical)
+    }
+
+    /// Degraded iff any *soft* probe failed — impaired but still
+    /// servable (e.g. a disk-full read-only mode).
+    pub fn degraded(&self) -> bool {
+        self.probes.iter().any(|p| !p.ok && !p.critical)
     }
 
     /// The report as the `/readyz` JSON body.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"ready\":");
         out.push_str(if self.ready() { "true" } else { "false" });
+        out.push_str(",\"degraded\":");
+        out.push_str(if self.degraded() { "true" } else { "false" });
         out.push_str(",\"probes\":[");
-        for (i, (name, ok)) in self.probes.iter().enumerate() {
+        for (i, p) in self.probes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ok\":{}}}",
-                crate::json::escape(name),
-                ok
+                "{{\"name\":\"{}\",\"ok\":{},\"critical\":{}}}",
+                crate::json::escape(&p.name),
+                p.ok,
+                p.critical
             ));
         }
         out.push_str("]}\n");
@@ -96,6 +153,7 @@ mod tests {
     fn empty_probe_list_is_ready() {
         let report = ReadinessReport::evaluate(&[]);
         assert!(report.ready());
+        assert!(!report.degraded());
         assert!(report.to_json().contains("\"ready\":true"));
     }
 
@@ -114,5 +172,27 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("\"name\":\"wal_unpoisoned\",\"ok\":false"));
         assert!(json.contains("\"name\":\"always\",\"ok\":true"));
+    }
+
+    #[test]
+    fn a_failing_soft_probe_degrades_without_failing_readiness() {
+        let writable = Arc::new(AtomicBool::new(true));
+        let w = Arc::clone(&writable);
+        let probes = vec![
+            Probe::new("wal_unpoisoned", || true),
+            Probe::soft("store_writable", move || w.load(Ordering::SeqCst)),
+        ];
+        let report = ReadinessReport::evaluate(&probes);
+        assert!(report.ready());
+        assert!(!report.degraded());
+
+        writable.store(false, Ordering::SeqCst);
+        let report = ReadinessReport::evaluate(&probes);
+        assert!(report.ready(), "soft failures never fail readiness");
+        assert!(report.degraded());
+        let json = report.to_json();
+        assert!(json.contains("\"ready\":true"));
+        assert!(json.contains("\"degraded\":true"));
+        assert!(json.contains("\"name\":\"store_writable\",\"ok\":false,\"critical\":false"));
     }
 }

@@ -426,6 +426,30 @@ mod tests {
     }
 
     #[test]
+    fn readyz_stays_200_with_a_degraded_body_on_soft_probe_failure() {
+        let writable = Arc::new(AtomicBool::new(true));
+        let w = Arc::clone(&writable);
+        let server = ObsServer::bind(
+            "127.0.0.1:0",
+            vec![
+                Probe::new("not_poisoned", || true),
+                Probe::soft("store_writable", move || w.load(Ordering::SeqCst)),
+            ],
+        )
+        .unwrap();
+        assert!(fetch_raw(server.addr(), "/readyz").contains("\"degraded\":false"));
+        writable.store(false, Ordering::SeqCst);
+        let degraded = fetch_raw(server.addr(), "/readyz");
+        // Read-only is impaired, not unservable: load balancers must
+        // keep routing, so the status stays 200.
+        assert!(degraded.starts_with("HTTP/1.1 200 "));
+        assert!(degraded.contains("\"ready\":true"));
+        assert!(degraded.contains("\"degraded\":true"));
+        assert!(degraded.contains("\"name\":\"store_writable\",\"ok\":false"));
+        server.shutdown();
+    }
+
+    #[test]
     fn query_params_parse() {
         assert_eq!(query_param("n=32&x=1", "n").as_deref(), Some("32"));
         assert_eq!(query_param("x=1", "n"), None);

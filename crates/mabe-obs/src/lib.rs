@@ -17,9 +17,11 @@
 //!     exposition format (`text/plain; version=0.0.4`),
 //!   - `GET /metrics.json` — the JSON snapshot,
 //!   - `GET /healthz` — liveness: uptime, pid, version,
-//!   - `GET /readyz` — readiness: every registered [`Probe`] must
-//!     pass, otherwise 503 (a poisoned `DurableSystem` or a downed
-//!     authority shard flips this),
+//!   - `GET /readyz` — readiness: every registered *critical*
+//!     [`Probe`] must pass, otherwise 503 (a poisoned `DurableSystem`
+//!     or a downed authority shard flips this); failing *soft* probes
+//!     ([`Probe::soft`], e.g. a disk-full read-only degradation) keep
+//!     the 200 but set `"degraded":true` in the body,
 //!   - `GET /tracez` — the most recent spans from the `mabe-trace`
 //!     flight recorder as the self-describing tree JSON,
 //!   - `GET /profilez` — the span profiler's collapsed-stack text.
@@ -58,7 +60,7 @@ pub mod json;
 pub mod procinfo;
 pub mod profiler;
 
-pub use health::{Probe, ReadinessReport};
+pub use health::{Probe, ProbeStatus, ReadinessReport};
 pub use http::{ObsServer, PROMETHEUS_CONTENT_TYPE};
 pub use profiler::Profile;
 

@@ -33,6 +33,8 @@
 
 use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
 
+use crate::compact::CheckpointFailure;
+use crate::scrub::ScrubReport;
 use crate::storage::{Storage, StoreError};
 use crate::wal::{RecoveryReport, Wal, WalOpenError};
 
@@ -179,12 +181,24 @@ impl<S: Storage> GroupWal<S> {
     }
 
     /// Flushes anything still staged, then checkpoints the underlying
-    /// log (see [`Wal::checkpoint`]). A failure poisons the log.
-    pub fn checkpoint(&self, snapshot_payload: &[u8]) -> Result<(), StoreError> {
+    /// log (see [`Wal::checkpoint`]).
+    ///
+    /// Failures are classified: a *dirty* one (the staged flush died,
+    /// or the manifest swap was attempted and its outcome is ambiguous)
+    /// poisons the log permanently; a *clean* one (e.g. ENOSPC on the
+    /// snapshot write, strictly before the swap) leaves the old
+    /// generation authoritative and the log fully usable — the caller
+    /// may retry once the cause clears. The returned
+    /// [`CheckpointFailure`] carries that classification so the durable
+    /// layer can decide whether to poison itself too.
+    pub fn checkpoint(&self, snapshot_payload: &[u8]) -> Result<(), CheckpointFailure> {
         let mut st = lock_ok(&self.state);
         loop {
             if let Some(err) = &st.failure {
-                return Err(err.clone());
+                return Err(CheckpointFailure {
+                    error: err.clone(),
+                    dirty: true,
+                });
             }
             if st.committing {
                 st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
@@ -197,12 +211,16 @@ impl<S: Storage> GroupWal<S> {
         let batch_end = st.next_seq;
         drop(st);
 
-        let result = {
+        // A failed flush of staged records is always dirty
+        // (acked-implies-durable is at stake); the checkpoint itself
+        // carries its own classification.
+        let result: Result<(), CheckpointFailure> = {
             let mut wal = lock_ok(&self.wal);
             batch
                 .iter()
                 .try_for_each(|payload| wal.append(payload))
                 .and_then(|()| if batch.is_empty() { Ok(()) } else { wal.sync() })
+                .map_err(|error| CheckpointFailure { error, dirty: true })
                 .and_then(|()| wal.checkpoint(snapshot_payload))
         };
 
@@ -213,13 +231,46 @@ impl<S: Storage> GroupWal<S> {
                 st.durable_seq = st.durable_seq.max(batch_end);
                 Ok(())
             }
-            Err(err) => {
-                st.failure = Some(err.clone());
-                Err(err)
+            Err(failure) => {
+                if failure.dirty {
+                    st.failure = Some(failure.error.clone());
+                } else {
+                    // Clean failure: the staged batch (if any) is
+                    // durable — the flush succeeded before the
+                    // checkpoint backed out.
+                    st.durable_seq = st.durable_seq.max(batch_end);
+                }
+                Err(failure)
             }
         };
         self.cv.notify_all();
         out
+    }
+
+    /// Runs one scrub pass over the cold segments (see [`Wal::scrub`]).
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        lock_ok(&self.wal).scrub()
+    }
+
+    /// Quarantines `names` for forensics (see [`Wal::quarantine`]).
+    pub fn quarantine(&self, names: &[String]) -> Result<(), StoreError> {
+        lock_ok(&self.wal).quarantine(names)
+    }
+
+    /// Live log bytes (cold + active segments, snapshot excluded).
+    pub fn live_log_bytes(&self) -> usize {
+        lock_ok(&self.wal).live_log_bytes()
+    }
+
+    /// Live segments the manifest currently lists.
+    pub fn segments_live(&self) -> usize {
+        lock_ok(&self.wal).segments_live()
+    }
+
+    /// Sets the per-segment rotation budget (see
+    /// [`Wal::set_segment_budget`]).
+    pub fn set_segment_budget(&self, budget: usize) {
+        lock_ok(&self.wal).set_segment_budget(budget)
     }
 
     /// The committed generation.
@@ -354,7 +405,27 @@ mod tests {
         let s2 = gw.stage(b"later");
         assert_eq!(gw.commit(s2).unwrap_err(), err);
         assert_eq!(gw.append_sync(b"more").unwrap_err(), err);
-        assert_eq!(gw.checkpoint(b"snap").unwrap_err(), err);
+        let failure = gw.checkpoint(b"snap").unwrap_err();
+        assert_eq!(failure.error, err);
+        assert!(failure.dirty, "a poisoned log reports dirty");
+    }
+
+    #[test]
+    fn a_clean_checkpoint_failure_leaves_the_log_usable() {
+        let mut gw = fresh();
+        gw.append_sync(b"op").unwrap();
+        gw.store_mut()
+            .injector_mut()
+            .schedule(store_points::COMPACT, 1, FaultKind::NoSpace);
+        // ENOSPC strictly before the manifest swap fails clean…
+        let failure = gw.checkpoint(b"SNAP").unwrap_err();
+        assert!(matches!(failure.error, StoreError::NoSpace { .. }));
+        assert!(!failure.dirty);
+        // …so the log is NOT poisoned: writes and a retried checkpoint
+        // both go through.
+        gw.append_sync(b"more").unwrap();
+        gw.checkpoint(b"SNAP").unwrap();
+        assert_eq!(gw.generation(), 1);
     }
 
     #[test]

@@ -10,11 +10,17 @@
 //!   consults a [`mabe_faults::FaultInjector`] at named fault points
 //!   ([`store_points`]), so torn writes, partial flushes, bit rot, read
 //!   errors, and crashes before/after sync are all seeded and replayable.
-//! * [`Wal`] — an append-only, length-prefixed, CRC32-checksummed
-//!   write-ahead log with generation-numbered checkpoint snapshots and an
-//!   atomically committed `wal.current` pointer. Recovery drops at most
-//!   the torn tail of the newest log and never falls back past a
-//!   committed checkpoint.
+//! * [`Wal`] — a segmented, length-prefixed, CRC32-checksummed
+//!   write-ahead log: `wal.<gen>.<seq>` segments capped by a byte budget,
+//!   a dual-slot atomically-swapped manifest naming the live set, and
+//!   generation-numbered checkpoint snapshots. Recovery drops at most the
+//!   torn tail of the *active* segment, requires cold segments to verify
+//!   strictly, and never falls back past a committed checkpoint.
+//! * Lifecycle management on the [`Wal`]: rotation (automatic, budget
+//!   driven), checkpoint-driven compaction with clean/dirty failure
+//!   classification ([`CheckpointFailure`] — a full disk fails clean and
+//!   must not poison), and a [`ScrubReport`]-producing scrubber that
+//!   re-verifies cold segments and quarantines rot.
 //! * [`GroupWal`] — group commit over the [`Wal`]: concurrent writers
 //!   stage records and the elected leader batches every staged record
 //!   under a single sync, so N concurrent journal writes cost one disk
@@ -23,14 +29,21 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compact;
 mod crc;
 mod group;
+mod manifest;
+mod scrub;
+mod segment;
 mod sim;
 mod storage;
 mod wal;
 
+pub use compact::CheckpointFailure;
 pub use crc::crc32;
 pub use group::{GroupWal, StoreRef};
+pub use manifest::{Manifest, SegmentEntry};
+pub use scrub::ScrubReport;
 pub use sim::SimDisk;
-pub use storage::{store_points, Storage, StoreError};
-pub use wal::{RecoveryReport, Wal, WalOpenError};
+pub use storage::{store_points, Storage, StorageUsage, StoreError};
+pub use wal::{RecoveryReport, Wal, WalOpenError, DEFAULT_SEGMENT_BUDGET};

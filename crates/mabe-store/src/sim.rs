@@ -4,7 +4,7 @@ use std::collections::BTreeMap;
 
 use mabe_faults::{FaultInjector, FaultKind};
 
-use crate::storage::{store_points, Storage, StoreError};
+use crate::storage::{store_points, Storage, StorageUsage, StoreError};
 
 /// One simulated object: the bytes that survived the last flush plus the
 /// live (page-cache) view that a crash discards.
@@ -32,6 +32,12 @@ struct SimObject {
 /// * `ReadCorrupt` (read) — the returned copy has one bit flipped; the
 ///   stored bytes are untouched.
 /// * `StorageError` — the operation fails transiently.
+/// * `NoSpace` (append/put) — the write fails with ENOSPC before touching
+///   anything; the process keeps running.
+///
+/// A capacity set via [`SimDisk::set_capacity`] makes ENOSPC organic too:
+/// any append/put that would push live bytes past it fails with
+/// [`StoreError::NoSpace`] without writing, and deletes reclaim space.
 ///
 /// After any `Crashed` error the harness calls [`SimDisk::crash`], which
 /// drops every object's unflushed bytes — exactly what power loss does to
@@ -40,6 +46,7 @@ struct SimObject {
 pub struct SimDisk {
     objects: BTreeMap<String, SimObject>,
     faults: FaultInjector,
+    capacity: Option<usize>,
 }
 
 impl SimDisk {
@@ -48,6 +55,7 @@ impl SimDisk {
         SimDisk {
             objects: BTreeMap::new(),
             faults,
+            capacity: None,
         }
     }
 
@@ -91,6 +99,37 @@ impl SimDisk {
         self.objects.values().map(|o| o.durable.len()).sum()
     }
 
+    /// Caps the disk at `capacity` live bytes (`None` = unbounded).
+    /// Writes that would exceed the cap fail with
+    /// [`StoreError::NoSpace`] before touching anything.
+    pub fn set_capacity(&mut self, capacity: Option<usize>) {
+        self.capacity = capacity;
+    }
+
+    /// Live bytes the disk currently holds (per object, the larger of
+    /// its durable and page-cache extents — what a real filesystem
+    /// would have allocated).
+    pub fn live_bytes(&self) -> usize {
+        self.objects
+            .values()
+            .map(|o| o.durable.len().max(o.shadow.len()))
+            .sum()
+    }
+
+    /// True if growing `name` by `grow` (append) or replacing it with
+    /// `new_len` bytes (put) would blow the capacity.
+    fn would_overflow(&self, name: &str, new_object_len: usize) -> bool {
+        let Some(cap) = self.capacity else {
+            return false;
+        };
+        let current = self
+            .objects
+            .get(name)
+            .map(|o| o.durable.len().max(o.shadow.len()))
+            .unwrap_or(0);
+        self.live_bytes() - current + new_object_len > cap
+    }
+
     /// Counts a virtual delay against telemetry, like the cloud layer.
     fn count_delay(&self, point: &'static str) {
         mabe_telemetry::global()
@@ -109,9 +148,18 @@ fn crashed(point: &'static str) -> StoreError {
 impl Storage for SimDisk {
     fn append(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let point = store_points::APPEND;
+        let grown = self
+            .objects
+            .get(name)
+            .map(|o| o.durable.len().max(o.shadow.len() + bytes.len()))
+            .unwrap_or(bytes.len());
+        if self.would_overflow(name, grown) {
+            return Err(StoreError::NoSpace { point });
+        }
         match self.faults.decide(point) {
             Some(FaultKind::Crash) => return Err(crashed(point)),
             Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
+            Some(FaultKind::NoSpace) => return Err(StoreError::NoSpace { point }),
             Some(FaultKind::TornWrite) => {
                 // The OS had flushed part of this write when power failed:
                 // a strict prefix lands durably, the rest never existed.
@@ -175,9 +223,18 @@ impl Storage for SimDisk {
 
     fn put(&mut self, name: &str, bytes: &[u8]) -> Result<(), StoreError> {
         let point = store_points::PUT;
+        let replaced = self
+            .objects
+            .get(name)
+            .map(|o| o.durable.len().max(bytes.len()))
+            .unwrap_or(bytes.len());
+        if self.would_overflow(name, replaced) {
+            return Err(StoreError::NoSpace { point });
+        }
         match self.faults.decide(point) {
             Some(FaultKind::Crash) => return Err(crashed(point)),
             Some(FaultKind::StorageError) => return Err(StoreError::Transient { point }),
+            Some(FaultKind::NoSpace) => return Err(StoreError::NoSpace { point }),
             Some(FaultKind::TornWrite) => {
                 let n = self.faults.partial_len(bytes.len());
                 let obj = self.objects.entry(name.to_owned()).or_default();
@@ -224,6 +281,17 @@ impl Storage for SimDisk {
 
     fn list(&self) -> Vec<String> {
         self.objects.keys().cloned().collect()
+    }
+
+    fn usage(&self) -> Option<StorageUsage> {
+        self.capacity.map(|capacity| StorageUsage {
+            used: self.live_bytes(),
+            capacity,
+        })
+    }
+
+    fn lifecycle_faults(&self) -> Option<&FaultInjector> {
+        Some(&self.faults)
     }
 }
 
@@ -318,6 +386,51 @@ mod tests {
         );
         disk.crash();
         assert_eq!(disk.read("log").unwrap().unwrap(), b"acked?");
+    }
+
+    #[test]
+    fn capacity_cap_fails_with_enospc_and_deletes_reclaim() {
+        let mut disk = SimDisk::unfaulted();
+        disk.set_capacity(Some(10));
+        disk.append("a", b"123456").unwrap();
+        assert_eq!(
+            disk.append("a", b"78901").unwrap_err(),
+            StoreError::NoSpace {
+                point: store_points::APPEND
+            }
+        );
+        // The failed write touched nothing.
+        assert_eq!(disk.read("a").unwrap().unwrap(), b"123456");
+        assert_eq!(disk.usage().unwrap().free(), 4);
+        // Replacing an object in place is judged on the net size.
+        disk.put("a", b"0123456789").unwrap();
+        assert_eq!(
+            disk.put("b", b"x").unwrap_err(),
+            StoreError::NoSpace {
+                point: store_points::PUT
+            }
+        );
+        disk.delete("a").unwrap();
+        disk.put("b", b"x").unwrap();
+    }
+
+    #[test]
+    fn injected_no_space_fails_without_writing() {
+        let mut disk = SimDisk::new(FaultInjector::new(FaultPlan::new(5).at(
+            store_points::APPEND,
+            2,
+            FaultKind::NoSpace,
+        )));
+        disk.append("log", b"fits").unwrap();
+        assert_eq!(
+            disk.append("log", b"enospc").unwrap_err(),
+            StoreError::NoSpace {
+                point: store_points::APPEND
+            }
+        );
+        assert_eq!(disk.read("log").unwrap().unwrap(), b"fits");
+        // Not a crash: the process keeps running and later writes work.
+        disk.append("log", b"+more").unwrap();
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use mabe_faults::FaultInjector;
+
 /// Named fault points a [`Storage`] backend consults, mirroring the
 /// `fault_points` convention in `mabe-cloud`.
 pub mod store_points {
@@ -14,8 +16,20 @@ pub mod store_points {
     pub const SYNC_POST: &str = "store.sync.post";
     /// Reading an object (`ReadCorrupt` bit-rots the returned copy).
     pub const READ: &str = "store.read";
-    /// Replacing an object wholesale (snapshot and pointer writes).
+    /// Replacing an object wholesale (snapshot and manifest writes).
     pub const PUT: &str = "store.put";
+    /// Sealing the active WAL segment and opening the next one
+    /// (`Crash` dies mid-rotation; `NoSpace` skips the rotation).
+    pub const ROTATE: &str = "store.rotate";
+    /// Checkpoint-driven compaction: snapshot write and the garbage
+    /// collection of superseded segments (`Crash` dies pre-swap or
+    /// mid-GC; `NoSpace` aborts the compaction cleanly).
+    pub const COMPACT: &str = "store.compact";
+    /// The background scrub pass re-verifying cold-segment checksums.
+    pub const SCRUB: &str = "store.scrub";
+    /// Atomically swapping the segment manifest (`ManifestTorn` tears
+    /// the slot being written; the surviving slot must recover).
+    pub const MANIFEST_SWAP: &str = "store.manifest_swap";
 }
 
 /// A storage operation's failure.
@@ -37,6 +51,13 @@ pub enum StoreError {
     Corrupt(&'static str),
     /// An object required for recovery is missing.
     Missing(&'static str),
+    /// The backend is out of space (ENOSPC): nothing was written. The
+    /// caller should degrade to read-only and reclaim via compaction —
+    /// this is the one write failure that never poisons a journal.
+    NoSpace {
+        /// The fault point that hit the full disk.
+        point: &'static str,
+    },
 }
 
 impl fmt::Display for StoreError {
@@ -46,11 +67,28 @@ impl fmt::Display for StoreError {
             StoreError::Transient { point } => write!(f, "transient storage failure at {point}"),
             StoreError::Corrupt(what) => write!(f, "corrupt storage: {what}"),
             StoreError::Missing(what) => write!(f, "missing storage object: {what}"),
+            StoreError::NoSpace { point } => write!(f, "storage out of space at {point}"),
         }
     }
 }
 
 impl std::error::Error for StoreError {}
+
+/// How full a capacity-bounded backend is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StorageUsage {
+    /// Live bytes currently occupying the store.
+    pub used: usize,
+    /// Total capacity in bytes.
+    pub capacity: usize,
+}
+
+impl StorageUsage {
+    /// Bytes still writable before the store is full.
+    pub fn free(&self) -> usize {
+        self.capacity.saturating_sub(self.used)
+    }
+}
 
 /// A minimal object store: named byte objects with append, whole-object
 /// replace, and an explicit durability barrier.
@@ -77,4 +115,19 @@ pub trait Storage {
 
     /// Names of all live objects.
     fn list(&self) -> Vec<String>;
+
+    /// Capacity accounting, if this backend is capacity-bounded
+    /// (`None` = unbounded). The WAL's degradation gate polls this.
+    fn usage(&self) -> Option<StorageUsage> {
+        None
+    }
+
+    /// The fault injector consulted at the log-lifecycle points
+    /// ([`store_points::ROTATE`], [`store_points::COMPACT`],
+    /// [`store_points::SCRUB`], [`store_points::MANIFEST_SWAP`]), if
+    /// this backend carries one. Production backends return `None` and
+    /// the lifecycle runs unfaulted.
+    fn lifecycle_faults(&self) -> Option<&FaultInjector> {
+        None
+    }
 }

@@ -1,44 +1,58 @@
-//! Append-only write-ahead log with checkpointed snapshots.
+//! Segmented write-ahead log with checkpointed snapshots and a managed
+//! lifecycle (rotation, compaction, scrubbing).
 //!
-//! On-disk layout (three object families in a [`Storage`]):
+//! On-disk layout (object families in a [`Storage`]):
 //!
-//! * `wal.current` — 8 big-endian bytes naming the committed generation
-//!   `g`. Replacing this object (put + sync) is the atomic commit point
-//!   of a checkpoint.
+//! * `manifest.0` / `manifest.1` — dual-slot segment manifest (see
+//!   [`crate::manifest`]). Swapping the stale slot (put + sync) is the
+//!   atomic commit point of both rotation and checkpointing; the
+//!   surviving slot makes a torn swap harmless.
+//! * `wal.<gen>.<seq>` — log segments (see [`crate::segment`]): magic
+//!   plus records framed as `u32 len ‖ u32 crc32(payload) ‖ payload`.
+//!   The highest seq listed by the manifest is the *active* segment;
+//!   appends land there until the segment budget rolls it.
 //! * `snapshot-<g>` — `b"MSNP0001" ‖ u32 crc32(payload) ‖ payload`, the
 //!   full state as of generation `g`'s checkpoint (absent for `g = 0`).
-//! * `wal-<g>` — `b"MWAL0001"` followed by records framed as
-//!   `u32 len ‖ u32 crc32(payload) ‖ payload`, the mutations since that
-//!   checkpoint.
+//! * `quarantine.<name>` — corrupt objects preserved by the scrubber
+//!   for forensics; never replayed, never garbage-collected.
 //!
-//! Recovery reads `wal.current`, loads the generation's snapshot (its
-//! checksum must verify — a committed checkpoint is never silently
-//! abandoned for an older one), then replays `wal-<g>` records until the
-//! first bad frame (short header, impossible length, checksum mismatch)
-//! and drops the tail from there. A missing `wal-<g>` is an empty log:
-//! the only window where it can be missing is a crash between committing
-//! `wal.current` and initialising the fresh log, when the snapshot
-//! already holds everything.
+//! Recovery decodes both manifest slots and trusts the valid one with
+//! the highest swap sequence. It then loads the generation's snapshot
+//! (its checksum must verify — a committed checkpoint is never silently
+//! abandoned for an older one) and replays every live segment in order.
+//! Cold segments (all but the last) were synced before any manifest
+//! swap referenced a successor, so they must verify *strictly*: a bad
+//! frame there is bit rot for the scrubber, not a tear, and recovery
+//! fails typed rather than silently dropping committed records. Only
+//! the active segment may have a torn tail (or be missing entirely —
+//! the crash window between a swap and the new segment's creation),
+//! and only its tail is dropped.
 
 use std::fmt;
 
+use mabe_faults::FaultKind;
+
 use crate::crc::crc32;
-use crate::storage::{Storage, StoreError};
+use crate::manifest::{slot_name, Manifest, SegmentEntry};
+use crate::segment::{frame, parse_frames, segment_name, verify_frames, SEG_MAGIC};
+use crate::storage::{store_points, Storage, StoreError};
 
-const WAL_MAGIC: &[u8; 8] = b"MWAL0001";
 const SNAP_MAGIC: &[u8; 8] = b"MSNP0001";
-const CURRENT: &str = "wal.current";
 
-/// Largest record payload the codec will believe (16 MiB); anything
-/// larger is treated as frame corruption.
-const MAX_RECORD_LEN: u32 = 16 << 20;
+/// Rotation keeps this many bytes of slack free: when the backend is
+/// too full to afford a new segment plus a manifest swap, the active
+/// segment simply grows past its budget instead of failing the append.
+const ROTATE_HEADROOM: usize = 1024;
 
-fn wal_name(generation: u64) -> String {
-    format!("wal-{generation}")
+pub(crate) fn snap_name(generation: u64) -> String {
+    format!("snapshot-{generation}")
 }
 
-fn snap_name(generation: u64) -> String {
-    format!("snapshot-{generation}")
+/// A crash return: the simulated process dies at `point` — noted on
+/// the active trace span before the typed error propagates.
+pub(crate) fn crashed(point: &'static str) -> StoreError {
+    mabe_trace::event(mabe_trace::TraceEvent::CrashInjected { point });
+    StoreError::Crashed { point }
 }
 
 /// What [`Wal::open`] found and salvaged.
@@ -46,6 +60,8 @@ fn snap_name(generation: u64) -> String {
 pub struct RecoveryReport {
     /// The committed generation recovery started from.
     pub generation: u64,
+    /// Live segments the manifest listed.
+    pub segments: usize,
     /// Whether a checkpoint snapshot was loaded.
     pub had_snapshot: bool,
     /// Snapshot payload size in bytes.
@@ -54,7 +70,7 @@ pub struct RecoveryReport {
     pub records: usize,
     /// Total payload bytes across recovered records.
     pub record_bytes: usize,
-    /// Bytes dropped from the log's tail (torn or corrupt frames).
+    /// Bytes dropped from the active segment's tail (torn frames).
     pub dropped_bytes: usize,
 }
 
@@ -89,9 +105,20 @@ impl<S> std::error::Error for WalOpenError<S> {}
 /// The write-ahead log over a [`Storage`] backend.
 #[derive(Debug)]
 pub struct Wal<S: Storage> {
-    store: S,
-    generation: u64,
+    pub(crate) store: S,
+    pub(crate) manifest: Manifest,
+    /// Bytes in the active segment (magic included).
+    pub(crate) active_bytes: usize,
+    /// Bytes across sealed (cold) segments.
+    pub(crate) cold_bytes: usize,
+    /// Rotate the active segment once it exceeds this many bytes.
+    pub(crate) segment_budget: usize,
 }
+
+/// Default per-segment byte budget: generous enough that unit-scale
+/// workloads never rotate (preserving their storage fault-point hit
+/// sequences) while still bounding any single recovery read.
+pub const DEFAULT_SEGMENT_BUDGET: usize = 256 << 10;
 
 impl<S: Storage> Wal<S> {
     /// Opens (or initialises) the log in `store`, returning the
@@ -100,9 +127,13 @@ impl<S: Storage> Wal<S> {
     ///
     /// # Errors
     ///
-    /// * [`StoreError::Corrupt`] if the committed pointer, the committed
-    ///   generation's snapshot, or the log's magic fail validation —
-    ///   recovery never falls back past a committed checkpoint.
+    /// * [`StoreError::Corrupt`] if both manifest slots are invalid
+    ///   beside committed objects, the committed generation's snapshot
+    ///   fails its checksum, or a *cold* segment fails strict
+    ///   verification — recovery never falls back past a committed
+    ///   checkpoint and never silently drops committed records.
+    /// * [`StoreError::Missing`] if the manifest names a snapshot or
+    ///   cold segment the store no longer has.
     /// * Any backend error (including injected ones) from the reads and
     ///   the first-time initialisation writes.
     ///
@@ -113,9 +144,18 @@ impl<S: Storage> Wal<S> {
         mut store: S,
     ) -> Result<(Self, Option<Vec<u8>>, Vec<Vec<u8>>, RecoveryReport), WalOpenError<S>> {
         match Self::open_inner(&mut store) {
-            Ok((generation, snapshot, records, report)) => {
-                Ok((Wal { store, generation }, snapshot, records, report))
-            }
+            Ok((manifest, active_bytes, cold_bytes, snapshot, records, report)) => Ok((
+                Wal {
+                    store,
+                    manifest,
+                    active_bytes,
+                    cold_bytes,
+                    segment_budget: DEFAULT_SEGMENT_BUDGET,
+                },
+                snapshot,
+                records,
+                report,
+            )),
             Err(error) => Err(WalOpenError { error, store }),
         }
     }
@@ -123,131 +163,275 @@ impl<S: Storage> Wal<S> {
     #[allow(clippy::type_complexity)]
     fn open_inner(
         store: &mut S,
-    ) -> Result<(u64, Option<Vec<u8>>, Vec<Vec<u8>>, RecoveryReport), StoreError> {
-        let pointer = store.read(CURRENT)?;
-        // A short pointer alongside no other objects means the very
-        // first `put + sync` of the pointer tore or flushed partially
-        // before committing: nothing was ever acknowledged, so
-        // reinitializing is safe. With other objects present, a short
-        // pointer is indistinguishable from bit rot on a committed one —
-        // falling back to generation 0 could resurrect pre-checkpoint
-        // state, so that stays a typed error.
-        let never_committed = matches!(&pointer, Some(b) if b.len() != 8)
-            && store.list().iter().all(|name| name == CURRENT);
-        let generation = match pointer {
-            Some(bytes) if !never_committed => {
-                let raw: [u8; 8] = bytes
-                    .as_slice()
-                    .try_into()
-                    .map_err(|_| StoreError::Corrupt("current pointer"))?;
-                u64::from_be_bytes(raw)
-            }
-            _ => {
-                store.put(CURRENT, &0u64.to_be_bytes())?;
-                store.sync(CURRENT)?;
-                store.put(&wal_name(0), WAL_MAGIC)?;
-                store.sync(&wal_name(0))?;
-                0
+    ) -> Result<
+        (
+            Manifest,
+            usize,
+            usize,
+            Option<Vec<u8>>,
+            Vec<Vec<u8>>,
+            RecoveryReport,
+        ),
+        StoreError,
+    > {
+        let slots = [store.read(&slot_name(0))?, store.read(&slot_name(1))?];
+        let manifest = slots
+            .iter()
+            .filter_map(|s| s.as_deref().and_then(Manifest::decode))
+            .max_by_key(|m| m.seq);
+        let manifest = match manifest {
+            Some(m) => m,
+            None => {
+                // No valid slot. Alongside nothing but (torn) manifest
+                // slots this is a crash during first-time init — nothing
+                // was ever acknowledged, so reinitializing is safe. Next
+                // to committed objects it is bit rot on both slots, and
+                // falling back to a fresh log could resurrect
+                // pre-checkpoint state, so that stays a typed error.
+                if !store
+                    .list()
+                    .iter()
+                    .all(|name| name.starts_with("manifest."))
+                {
+                    return Err(StoreError::Corrupt("manifest"));
+                }
+                let m = Manifest {
+                    seq: 1,
+                    generation: 0,
+                    segments: vec![SegmentEntry { seq: 0, bytes: 0 }],
+                };
+                let slot = slot_name(m.slot());
+                store.put(&slot, &m.encode())?;
+                store.sync(&slot)?;
+                let seg = segment_name(0, 0);
+                store.put(&seg, SEG_MAGIC)?;
+                store.sync(&seg)?;
+                m
             }
         };
 
-        let snapshot = if generation == 0 {
+        let snapshot = if manifest.generation == 0 {
             None
         } else {
             let framed = store
-                .read(&snap_name(generation))?
+                .read(&snap_name(manifest.generation))?
                 .ok_or(StoreError::Missing("committed snapshot"))?;
             Some(decode_snapshot(&framed)?)
         };
 
-        let log_bytes = store.read(&wal_name(generation))?.unwrap_or_default();
-        let (records, dropped_bytes) = parse_records(&log_bytes)?;
+        let mut records = Vec::new();
+        let mut dropped_bytes = 0;
+        let mut cold_bytes = 0;
+        let mut active_bytes = SEG_MAGIC.len();
+        let last = manifest.segments.last().expect("manifest never empty").seq;
+        for entry in &manifest.segments {
+            let name = segment_name(manifest.generation, entry.seq);
+            let bytes = store.read(&name)?;
+            if entry.seq == last {
+                // The active segment: may be missing (crash between the
+                // swap announcing it and its creation — the swap already
+                // carries everything) or have a torn tail to drop.
+                let bytes = bytes.unwrap_or_default();
+                let (mut recs, dropped) = parse_frames(&bytes)?;
+                records.append(&mut recs);
+                dropped_bytes = dropped;
+                active_bytes = (bytes.len() - dropped).max(SEG_MAGIC.len());
+                if dropped > 0 {
+                    // Heal: truncate the torn tail so post-recovery
+                    // appends frame cleanly after the intact prefix. A
+                    // crash mid-heal just re-runs this on next open.
+                    store.put(&name, &bytes[..bytes.len() - dropped])?;
+                    store.sync(&name)?;
+                }
+            } else {
+                // Cold segments were sealed at a recorded length and
+                // fully synced before the manifest ever referenced a
+                // successor: anything wrong here — wrong length (a
+                // truncation CRC framing alone cannot see), bad frame,
+                // missing object — is bit rot, surfaced typed for the
+                // scrubber to repair.
+                let bytes = bytes.ok_or(StoreError::Missing("cold wal segment"))?;
+                if bytes.len() as u64 != entry.bytes {
+                    return Err(StoreError::Corrupt("cold wal segment length"));
+                }
+                let mut recs = verify_frames(&bytes)?;
+                cold_bytes += bytes.len();
+                records.append(&mut recs);
+            }
+        }
 
         let report = RecoveryReport {
-            generation,
+            generation: manifest.generation,
+            segments: manifest.segments.len(),
             had_snapshot: snapshot.is_some(),
             snapshot_bytes: snapshot.as_ref().map_or(0, Vec::len),
             records: records.len(),
             record_bytes: records.iter().map(Vec::len).sum(),
             dropped_bytes,
         };
-        mabe_telemetry::global()
+        let registry = mabe_telemetry::global();
+        registry
             .counter("mabe_wal_records_replayed_total", &[])
             .add(report.records as u64);
+        registry
+            .gauge("mabe_wal_segments_live", &[])
+            .set(manifest.segments.len() as i64);
         mabe_trace::event(mabe_trace::TraceEvent::WalReplayed {
-            generation,
+            generation: manifest.generation,
             records: report.records as u64,
             dropped_bytes: report.dropped_bytes as u64,
         });
 
-        Ok((generation, snapshot, records, report))
+        Ok((
+            manifest,
+            active_bytes,
+            cold_bytes,
+            snapshot,
+            records,
+            report,
+        ))
     }
 
-    /// Appends one record (framed and checksummed). Not durable until
+    /// Appends one record (framed and checksummed), rotating the active
+    /// segment first if it is over budget. Not durable until
     /// [`Wal::sync`].
     pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
-        let mut frame = Vec::with_capacity(8 + payload.len());
-        frame.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        frame.extend_from_slice(&crc32(payload).to_be_bytes());
-        frame.extend_from_slice(payload);
-        self.store.append(&wal_name(self.generation), &frame)?;
+        let frame = frame(payload);
+        if self.active_bytes + frame.len() > self.segment_budget
+            && self.active_bytes > SEG_MAGIC.len()
+        {
+            self.rotate()?;
+        }
+        let name = self.active_name();
+        self.store.append(&name, &frame)?;
+        self.active_bytes += frame.len();
         let registry = mabe_telemetry::global();
         registry.counter("mabe_wal_appends_total", &[]).inc();
         registry
             .counter("mabe_wal_bytes_total", &[])
             .add(frame.len() as u64);
         mabe_trace::event(mabe_trace::TraceEvent::JournalAppend {
-            object: wal_name(self.generation),
+            object: name,
             bytes: frame.len() as u64,
         });
         Ok(())
     }
 
-    /// Durably flushes the log.
+    /// Durably flushes the active segment.
     pub fn sync(&mut self) -> Result<(), StoreError> {
-        self.store.sync(&wal_name(self.generation))?;
-        mabe_trace::event(mabe_trace::TraceEvent::JournalSync {
-            object: wal_name(self.generation),
-        });
+        let name = self.active_name();
+        self.store.sync(&name)?;
+        mabe_trace::event(mabe_trace::TraceEvent::JournalSync { object: name });
         Ok(())
     }
 
-    /// Checkpoints: writes `snapshot_payload` as generation `g+1`,
-    /// commits the pointer, starts a fresh empty log, and drops the old
-    /// generation's objects.
+    /// Seals the active segment and opens the next one: sync the old,
+    /// swap the manifest to announce the new seq (the commit point),
+    /// create the new segment. A crash anywhere leaves a recoverable
+    /// log — after the swap, recovery treats the missing new segment as
+    /// empty.
     ///
-    /// Crash windows: before the pointer commit, recovery still sees the
-    /// old generation (snapshot + full old log); after it, the new
-    /// snapshot alone carries the state (the new log may not exist yet,
-    /// which recovery treats as empty).
-    pub fn checkpoint(&mut self, snapshot_payload: &[u8]) -> Result<(), StoreError> {
-        let next = self.generation + 1;
-        let mut framed = Vec::with_capacity(12 + snapshot_payload.len());
-        framed.extend_from_slice(SNAP_MAGIC);
-        framed.extend_from_slice(&crc32(snapshot_payload).to_be_bytes());
-        framed.extend_from_slice(snapshot_payload);
-        self.store.put(&snap_name(next), &framed)?;
-        self.store.sync(&snap_name(next))?;
-        self.store.put(CURRENT, &next.to_be_bytes())?;
-        self.store.sync(CURRENT)?; // commit point
-        self.store.put(&wal_name(next), WAL_MAGIC)?;
-        self.store.sync(&wal_name(next))?;
-        let old = self.generation;
-        self.generation = next;
-        // Best-effort garbage collection: stale objects are harmless
-        // because the pointer no longer names them.
-        let _ = self.store.delete(&wal_name(old));
-        let _ = self.store.delete(&snap_name(old));
-        mabe_telemetry::global()
-            .counter("mabe_snapshots_written_total", &[])
-            .inc();
-        mabe_trace::event(mabe_trace::TraceEvent::CheckpointWritten { generation: next });
+    /// Skipped gracefully (the active segment keeps growing past its
+    /// budget) when the backend is too full to afford the new objects
+    /// or an injected `NoSpace` says the rotation itself would ENOSPC:
+    /// over-budget beats failing an append that still fits.
+    fn rotate(&mut self) -> Result<(), StoreError> {
+        let point = store_points::ROTATE;
+        match self.store.lifecycle_faults().and_then(|i| i.decide(point)) {
+            Some(FaultKind::Crash) => return Err(crashed(point)),
+            Some(FaultKind::NoSpace) => return Ok(()),
+            _ => {}
+        }
+        if let Some(usage) = self.store.usage() {
+            if usage.free() < ROTATE_HEADROOM {
+                return Ok(());
+            }
+        }
+        let active = self.active_name();
+        self.store.sync(&active)?;
+        let next_seq = self.manifest.segments.last().expect("never empty").seq + 1;
+        let mut next = self.manifest.clone();
+        next.seq += 1;
+        // Seal the outgoing active segment at its synced length — the
+        // recorded length is what catches frame-boundary truncation.
+        next.segments.last_mut().expect("never empty").bytes = self.active_bytes as u64;
+        next.segments.push(SegmentEntry {
+            seq: next_seq,
+            bytes: 0,
+        });
+        self.swap_manifest(next)?;
+        let new_name = self.active_name();
+        self.store.put(&new_name, SEG_MAGIC)?;
+        self.store.sync(&new_name)?;
+        self.cold_bytes += self.active_bytes;
+        self.active_bytes = SEG_MAGIC.len();
+        let registry = mabe_telemetry::global();
+        registry.counter("mabe_wal_rotations_total", &[]).inc();
+        registry
+            .gauge("mabe_wal_segments_live", &[])
+            .set(self.manifest.segments.len() as i64);
         Ok(())
+    }
+
+    /// Writes `next` to the stale manifest slot and syncs it — the
+    /// atomic commit point. On success the in-memory manifest follows.
+    pub(crate) fn swap_manifest(&mut self, next: Manifest) -> Result<(), StoreError> {
+        let point = store_points::MANIFEST_SWAP;
+        let encoded = next.encode();
+        let slot = slot_name(next.slot());
+        match self.store.lifecycle_faults().and_then(|i| i.decide(point)) {
+            Some(FaultKind::Crash) => return Err(crashed(point)),
+            Some(FaultKind::ManifestTorn) => {
+                // The swap tears: a seeded strict prefix of the new
+                // slot reaches durable media, then the process dies.
+                // The prefix fails its checksum on reopen, so recovery
+                // falls back to the surviving slot.
+                let n = self
+                    .store
+                    .lifecycle_faults()
+                    .map(|i| i.partial_len(encoded.len()))
+                    .unwrap_or(0);
+                let _ = self.store.put(&slot, &encoded[..n]);
+                let _ = self.store.sync(&slot);
+                return Err(crashed(point));
+            }
+            _ => {}
+        }
+        self.store.put(&slot, &encoded)?;
+        self.store.sync(&slot)?;
+        self.manifest = next;
+        Ok(())
+    }
+
+    /// Name of the active (highest-seq) segment.
+    pub(crate) fn active_name(&self) -> String {
+        segment_name(
+            self.manifest.generation,
+            self.manifest.segments.last().expect("never empty").seq,
+        )
     }
 
     /// The committed generation.
     pub fn generation(&self) -> u64 {
-        self.generation
+        self.manifest.generation
+    }
+
+    /// Live segments (cold + active) the manifest currently lists.
+    pub fn segments_live(&self) -> usize {
+        self.manifest.segments.len()
+    }
+
+    /// Bytes the live log occupies on disk (cold + active segments,
+    /// snapshot excluded) — what compaction can reclaim plus the
+    /// irreducible active tail.
+    pub fn live_log_bytes(&self) -> usize {
+        self.cold_bytes + self.active_bytes
+    }
+
+    /// Rotate the active segment once it grows past `budget` bytes
+    /// (default [`DEFAULT_SEGMENT_BUDGET`]).
+    pub fn set_segment_budget(&mut self, budget: usize) {
+        self.segment_budget = budget.max(SEG_MAGIC.len() + 1);
     }
 
     /// The backing store.
@@ -267,7 +451,15 @@ impl<S: Storage> Wal<S> {
     }
 }
 
-fn decode_snapshot(framed: &[u8]) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn encode_snapshot(payload: &[u8]) -> Vec<u8> {
+    let mut framed = Vec::with_capacity(12 + payload.len());
+    framed.extend_from_slice(SNAP_MAGIC);
+    framed.extend_from_slice(&crc32(payload).to_be_bytes());
+    framed.extend_from_slice(payload);
+    framed
+}
+
+pub(crate) fn decode_snapshot(framed: &[u8]) -> Result<Vec<u8>, StoreError> {
     if framed.len() < 12 || &framed[..8] != SNAP_MAGIC {
         return Err(StoreError::Corrupt("snapshot header"));
     }
@@ -279,43 +471,10 @@ fn decode_snapshot(framed: &[u8]) -> Result<Vec<u8>, StoreError> {
     Ok(payload.to_vec())
 }
 
-/// Splits a log object into intact record payloads, dropping the tail
-/// from the first bad frame. A log shorter than its magic is a torn
-/// creation and yields nothing; a *wrong* magic is corruption.
-fn parse_records(bytes: &[u8]) -> Result<(Vec<Vec<u8>>, usize), StoreError> {
-    if bytes.len() < WAL_MAGIC.len() {
-        return Ok((Vec::new(), bytes.len()));
-    }
-    if &bytes[..WAL_MAGIC.len()] != WAL_MAGIC {
-        return Err(StoreError::Corrupt("wal header"));
-    }
-    let mut records = Vec::new();
-    let mut pos = WAL_MAGIC.len();
-    while pos < bytes.len() {
-        let remaining = bytes.len() - pos;
-        if remaining < 8 {
-            break; // torn frame header
-        }
-        let len = u32::from_be_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
-        let want = u32::from_be_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
-        if len > MAX_RECORD_LEN || len as usize > remaining - 8 {
-            break; // torn or corrupt length
-        }
-        let payload = &bytes[pos + 8..pos + 8 + len as usize];
-        if crc32(payload) != want {
-            break; // corrupt payload (or a length corrupted into range)
-        }
-        records.push(payload.to_vec());
-        pos += 8 + len as usize;
-    }
-    Ok((records, bytes.len() - pos))
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::sim::SimDisk;
-    use crate::storage::store_points;
     use mabe_faults::FaultKind;
 
     #[allow(clippy::type_complexity)]
@@ -327,16 +486,17 @@ mod tests {
     fn fresh_open_is_empty_generation_zero() {
         let (wal, snapshot, records, report) = reopen(SimDisk::unfaulted());
         assert_eq!(wal.generation(), 0);
+        assert_eq!(wal.segments_live(), 1);
         assert!(snapshot.is_none());
         assert!(records.is_empty());
         assert_eq!(report.dropped_bytes, 0);
     }
 
     #[test]
-    fn torn_initialization_reopens_fresh_but_torn_committed_pointer_stays_fatal() {
-        // Crash during the very first pointer sync: the pointer object
-        // exists with zero durable bytes and nothing was ever committed,
-        // so reopening must reinitialize, not error.
+    fn torn_initialization_reopens_fresh_but_torn_committed_manifest_stays_fatal() {
+        // Crash during the very first manifest sync: the slot exists
+        // with zero durable bytes and nothing was ever committed, so
+        // reopening must reinitialize, not error.
         let disk = SimDisk::new(mabe_faults::FaultInjector::new(
             mabe_faults::FaultPlan::new(3).at(store_points::SYNC, 1, FaultKind::Crash),
         ));
@@ -350,8 +510,8 @@ mod tests {
         assert!(records.is_empty());
 
         // A partial flush of that first sync leaves a nonzero strict
-        // prefix of the pointer durable — still nothing committed, still
-        // a fresh reopen.
+        // prefix of the slot durable — it fails its checksum, nothing
+        // was committed, still a fresh reopen.
         let disk = SimDisk::new(mabe_faults::FaultInjector::new(
             mabe_faults::FaultPlan::new(3).at(store_points::SYNC, 1, FaultKind::PartialFlush),
         ));
@@ -364,15 +524,15 @@ mod tests {
         assert!(snapshot.is_none());
         assert!(records.is_empty());
 
-        // But a short pointer NEXT TO committed objects is bit rot on a
-        // committed pointer: falling back could resurrect pre-checkpoint
-        // state, so it must stay a typed error.
+        // But invalid slots NEXT TO committed objects are bit rot on a
+        // committed manifest: falling back to a fresh log could
+        // resurrect pre-checkpoint state, so it must stay typed.
         let mut disk = SimDisk::unfaulted();
-        disk.set_durable("wal.current", Vec::new());
+        disk.set_durable("manifest.1", b"rotted".to_vec());
         disk.set_durable("snapshot-1", b"anything".to_vec());
         assert!(matches!(
             Wal::open(disk).map(|_| ()).map_err(|f| f.error),
-            Err(StoreError::Corrupt("current pointer"))
+            Err(StoreError::Corrupt("manifest"))
         ));
     }
 
@@ -409,12 +569,12 @@ mod tests {
         assert_eq!(records, vec![b"post".to_vec()]);
         assert!(report.had_snapshot);
         // Old generation's objects were collected.
-        assert!(!wal.store().list().iter().any(|n| n == "wal-0"));
+        assert!(!wal.store().list().iter().any(|n| n == "wal.0.0"));
     }
 
     #[test]
-    fn crash_before_pointer_commit_keeps_old_generation() {
-        // The snapshot put+sync succeed, then the pointer put crashes:
+    fn crash_before_manifest_swap_keeps_old_generation() {
+        // The snapshot put+sync succeed, then the swap's put crashes:
         // recovery must still see generation 0 with the full log.
         let (mut wal, ..) = reopen(SimDisk::unfaulted());
         wal.append(b"op").unwrap();
@@ -433,9 +593,10 @@ mod tests {
     }
 
     #[test]
-    fn crash_after_pointer_commit_uses_new_snapshot() {
-        // The pointer commit lands but the fresh log's creation crashes:
-        // recovery sees the new generation with an empty (missing) log.
+    fn crash_after_manifest_swap_uses_new_snapshot() {
+        // The swap lands but the fresh segment's creation crashes:
+        // recovery sees the new generation with a missing (= empty)
+        // active segment.
         let (mut wal, ..) = reopen(SimDisk::unfaulted());
         wal.append(b"op").unwrap();
         wal.sync().unwrap();
@@ -474,6 +635,97 @@ mod tests {
     }
 
     #[test]
+    fn torn_tail_is_healed_so_later_appends_recover() {
+        // Reopen after a torn append, keep writing, crash again: the
+        // healed log must recover both the pre-tear and post-reopen
+        // records (the tear must not poison the byte stream).
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.append(b"before").unwrap();
+        wal.sync().unwrap();
+        wal.store_mut()
+            .injector_mut()
+            .schedule(store_points::APPEND, 1, FaultKind::TornWrite);
+        assert!(wal.append(b"torn-record-payload").is_err());
+        let mut disk = wal.into_store();
+        disk.crash();
+        disk.injector_mut().disarm();
+        let (mut wal, _, records, report) = reopen(disk);
+        assert_eq!(records, vec![b"before".to_vec()]);
+        assert!(report.dropped_bytes > 0);
+        wal.append(b"after").unwrap();
+        wal.sync().unwrap();
+        let mut disk = wal.into_store();
+        disk.crash();
+        let (_, _, records, report) = reopen(disk);
+        assert_eq!(records, vec![b"before".to_vec(), b"after".to_vec()]);
+        assert_eq!(report.dropped_bytes, 0);
+    }
+
+    #[test]
+    fn appends_past_the_budget_rotate_into_new_segments() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.set_segment_budget(64);
+        for i in 0..10u8 {
+            wal.append(&[i; 24]).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(
+            wal.segments_live() > 1,
+            "a 64-byte budget must rotate under 10×32-byte frames"
+        );
+        assert!(wal.active_bytes <= 64 + 32, "active segment stays bounded");
+        let mut disk = wal.into_store();
+        disk.crash();
+        let (wal, _, records, report) = reopen(disk);
+        assert_eq!(report.segments, wal.segments_live());
+        assert_eq!(records.len(), 10, "rotation loses nothing");
+        for (i, r) in records.iter().enumerate() {
+            assert_eq!(r, &vec![i as u8; 24]);
+        }
+    }
+
+    #[test]
+    fn crash_mid_rotation_loses_nothing_synced() {
+        // Crash at the rotation point itself, then at the manifest
+        // swap: in both cases every synced record survives reopen.
+        for (point, kind) in [
+            (store_points::ROTATE, FaultKind::Crash),
+            (store_points::MANIFEST_SWAP, FaultKind::Crash),
+            (store_points::MANIFEST_SWAP, FaultKind::ManifestTorn),
+        ] {
+            let (mut wal, ..) = reopen(SimDisk::unfaulted());
+            wal.set_segment_budget(64);
+            wal.append(&[1; 48]).unwrap();
+            wal.sync().unwrap();
+            wal.store_mut().injector_mut().schedule(point, 1, kind);
+            let err = wal.append(&[2; 48]).unwrap_err();
+            assert!(matches!(err, StoreError::Crashed { .. }), "{point}");
+            let mut disk = wal.into_store();
+            disk.crash();
+            disk.injector_mut().disarm();
+            let (_, _, records, _) = reopen(disk);
+            assert_eq!(records, vec![vec![1; 48]], "synced record survives {point}");
+        }
+    }
+
+    #[test]
+    fn no_space_at_rotation_grows_the_active_segment_instead() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.set_segment_budget(64);
+        wal.store_mut()
+            .injector_mut()
+            .schedule(store_points::ROTATE, 1, FaultKind::NoSpace);
+        for i in 0..4u8 {
+            wal.append(&[i; 48]).unwrap();
+        }
+        wal.sync().unwrap();
+        // The first rotation was skipped (ENOSPC), a later one landed.
+        assert!(wal.segments_live() >= 2);
+        let (_, _, records, _) = reopen(wal.into_store());
+        assert_eq!(records.len(), 4);
+    }
+
+    #[test]
     fn corrupt_snapshot_is_a_typed_error_not_a_fallback() {
         let (mut wal, ..) = reopen(SimDisk::unfaulted());
         wal.append(b"pre").unwrap();
@@ -498,13 +750,23 @@ mod tests {
     }
 
     #[test]
-    fn corrupt_pointer_is_a_typed_error() {
-        let (wal, ..) = reopen(SimDisk::unfaulted());
+    fn cold_segment_bit_rot_is_a_typed_error() {
+        let (mut wal, ..) = reopen(SimDisk::unfaulted());
+        wal.set_segment_budget(64);
+        for i in 0..6u8 {
+            wal.append(&[i; 32]).unwrap();
+        }
+        wal.sync().unwrap();
+        assert!(wal.segments_live() > 1);
+        let cold = segment_name(0, 0);
         let mut disk = wal.into_store();
-        disk.set_durable("wal.current", b"xx".to_vec());
+        let mut bytes = disk.durable_bytes(&cold).unwrap().to_vec();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x08;
+        disk.set_durable(&cold, bytes);
         assert!(matches!(
             Wal::open(disk).map(|_| ()).map_err(|f| f.error),
-            Err(StoreError::Corrupt("current pointer"))
+            Err(StoreError::Corrupt(_))
         ));
     }
 
@@ -514,11 +776,11 @@ mod tests {
         wal.append(b"good").unwrap();
         wal.sync().unwrap();
         let mut disk = wal.into_store();
-        let mut log = disk.durable_bytes("wal-0").unwrap().to_vec();
+        let mut log = disk.durable_bytes("wal.0.0").unwrap().to_vec();
         let mut frame = (u32::MAX).to_be_bytes().to_vec();
         frame.extend_from_slice(&[0; 4]);
         log.extend_from_slice(&frame);
-        disk.set_durable("wal-0", log);
+        disk.set_durable("wal.0.0", log);
         let (_, _, records, report) = reopen(disk);
         assert_eq!(records, vec![b"good".to_vec()]);
         assert_eq!(report.dropped_bytes, 8);

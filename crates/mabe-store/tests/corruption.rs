@@ -1,15 +1,17 @@
-//! Corruption fuzz corpus for the WAL codec.
+//! Corruption fuzz corpus for the segmented WAL codec.
 //!
 //! Every test here drives [`Wal::open`] over systematically damaged
 //! on-disk bytes: single-bit flips at every position, truncation at
-//! every byte offset, and checksum-breaking snapshot damage. Recovery
-//! must never panic, must drop at most the suffix starting at the first
-//! damaged frame (for pure truncation: at most the last partial
-//! record), and must never resurrect pre-checkpoint state.
+//! every byte offset — in the active segment, across cold segment
+//! boundaries, and inside the manifest slots — plus checksum-breaking
+//! snapshot damage. Recovery must never panic, must drop at most the
+//! suffix starting at the first damaged frame of the *active* segment
+//! (cold-segment damage is typed, for the scrubber), and must never
+//! resurrect pre-checkpoint state.
 
-use mabe_store::{SimDisk, StoreError, Wal};
+use mabe_store::{SimDisk, Storage, StoreError, Wal};
 
-const WAL_OBJ: &str = "wal-0";
+const ACTIVE_OBJ: &str = "wal.0.0";
 const RECORDS: &[&[u8]] = &[
     b"alpha",
     b"beta-record",
@@ -18,7 +20,7 @@ const RECORDS: &[&[u8]] = &[
     b"epsilon epsilon epsilon epsilon",
 ];
 
-/// A synced generation-0 log holding [`RECORDS`].
+/// A synced generation-0 log holding [`RECORDS`] in one segment.
 fn seeded_disk() -> SimDisk {
     let (mut wal, _, _, _) = Wal::open(SimDisk::unfaulted()).unwrap();
     for r in RECORDS {
@@ -28,17 +30,21 @@ fn seeded_disk() -> SimDisk {
     wal.into_store()
 }
 
+/// A seeded disk with `obj` replaced by `bytes` (manifest, snapshot,
+/// and every other object stay intact and valid).
+fn damaged(base: fn() -> SimDisk, obj: &str, bytes: Vec<u8>) -> SimDisk {
+    let mut disk = base();
+    disk.set_durable(obj, bytes);
+    disk
+}
+
 #[test]
 fn bit_flip_every_position_never_panics_and_only_drops_a_suffix() {
-    let baseline = seeded_disk();
-    let log = baseline.durable_bytes(WAL_OBJ).unwrap().to_vec();
+    let log = seeded_disk().durable_bytes(ACTIVE_OBJ).unwrap().to_vec();
     for bit in 0..log.len() * 8 {
-        let mut damaged = log.clone();
-        damaged[bit / 8] ^= 1 << (bit % 8);
-        let mut disk = SimDisk::unfaulted();
-        disk.set_durable("wal.current", 0u64.to_be_bytes().to_vec());
-        disk.set_durable(WAL_OBJ, damaged);
-        match Wal::open(disk) {
+        let mut flipped = log.clone();
+        flipped[bit / 8] ^= 1 << (bit % 8);
+        match Wal::open(damaged(seeded_disk, ACTIVE_OBJ, flipped)) {
             Ok((_, snapshot, records, report)) => {
                 assert!(snapshot.is_none());
                 assert!(
@@ -72,18 +78,16 @@ fn bit_flip_every_position_never_panics_and_only_drops_a_suffix() {
 
 #[test]
 fn truncate_every_offset_drops_at_most_the_last_partial_record() {
-    let baseline = seeded_disk();
-    let log = baseline.durable_bytes(WAL_OBJ).unwrap().to_vec();
+    let log = seeded_disk().durable_bytes(ACTIVE_OBJ).unwrap().to_vec();
     // Frame boundaries: offsets at which a whole number of records ends.
     let mut boundaries = vec![8usize];
     for r in RECORDS {
         boundaries.push(boundaries.last().unwrap() + 8 + r.len());
     }
     for cut in 0..=log.len() {
-        let mut disk = SimDisk::unfaulted();
-        disk.set_durable("wal.current", 0u64.to_be_bytes().to_vec());
-        disk.set_durable(WAL_OBJ, log[..cut].to_vec());
-        let (_, _, records, report) = Wal::open(disk).expect("truncation is always recoverable");
+        let (_, _, records, report) =
+            Wal::open(damaged(seeded_disk, ACTIVE_OBJ, log[..cut].to_vec()))
+                .expect("truncation of the active segment is always recoverable");
         let whole = boundaries
             .iter()
             .filter(|&&b| b <= cut)
@@ -103,31 +107,157 @@ fn truncate_every_offset_drops_at_most_the_last_partial_record() {
     }
 }
 
+/// A synced multi-segment generation-0 log (tiny budget forces
+/// rotation), for damage across segment boundaries.
+fn multi_segment_disk() -> SimDisk {
+    let (mut wal, _, _, _) = Wal::open(SimDisk::unfaulted()).unwrap();
+    wal.set_segment_budget(64);
+    for r in RECORDS {
+        wal.append(r).unwrap();
+    }
+    for r in RECORDS {
+        wal.append(r).unwrap();
+    }
+    wal.sync().unwrap();
+    assert!(wal.segments_live() > 1, "budget must force rotation");
+    wal.into_store()
+}
+
 #[test]
-fn post_checkpoint_damage_never_resurrects_pre_checkpoint_state() {
-    // Generation 1 snapshot commits "NEW"; the old generation held
-    // different records. Any damage to generation-1 objects must yield
-    // either generation-1 state or a typed error — never the old records.
+fn damage_across_segment_boundaries_never_panics_or_fabricates_records() {
+    let disk = multi_segment_disk();
+    let segments: Vec<String> = disk
+        .list()
+        .into_iter()
+        .filter(|n| n.starts_with("wal.0."))
+        .collect();
+    assert!(segments.len() > 1);
+    for seg in &segments {
+        let bytes = disk.durable_bytes(seg).unwrap().to_vec();
+        // Flip one bit per byte, and truncate at every offset: cheap
+        // full coverage of header, frame boundary, and payload bytes.
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x10;
+            check_damaged_open(seg, flipped, pos);
+            check_damaged_open(seg, bytes[..pos].to_vec(), pos);
+        }
+        // A missing segment: fine for the active one (the crash window
+        // between swap and creation), typed for a cold one.
+        let active = segments
+            .iter()
+            .filter_map(|n| n.rsplit('.').next()?.parse::<u64>().ok())
+            .max()
+            .unwrap();
+        let is_active = *seg == format!("wal.0.{active}");
+        let mut gone = multi_segment_disk();
+        gone.delete(seg).unwrap();
+        match Wal::open(gone) {
+            Ok(_) => assert!(is_active, "{seg}: cold segment vanished silently"),
+            Err(failure) => {
+                assert!(!is_active, "{seg}: missing active segment must be fine");
+                assert!(
+                    matches!(failure.error, StoreError::Missing(_)),
+                    "{seg}: {:?}",
+                    failure.error
+                );
+            }
+        }
+    }
+}
+
+fn check_damaged_open(seg: &str, bytes: Vec<u8>, pos: usize) {
+    match Wal::open(damaged(multi_segment_disk, seg, bytes)) {
+        Ok((_, _, records, _)) => {
+            // Whatever survives must be an unmodified prefix of the
+            // written sequence (two passes over RECORDS).
+            let written: Vec<&[u8]> = RECORDS.iter().chain(RECORDS.iter()).copied().collect();
+            assert!(records.len() <= written.len(), "{seg} pos {pos}: phantom");
+            for (i, rec) in records.iter().enumerate() {
+                assert_eq!(rec.as_slice(), written[i], "{seg} pos {pos}: mutated");
+            }
+        }
+        Err(failure) => assert!(
+            matches!(
+                failure.error,
+                StoreError::Corrupt(_) | StoreError::Missing(_)
+            ),
+            "{seg} pos {pos}: untyped error {:?}",
+            failure.error
+        ),
+    }
+}
+
+#[test]
+fn manifest_damage_falls_back_or_fails_typed_never_panics() {
+    // Generation-0, single swap: only manifest.1 exists. Any damage to
+    // it beside committed objects must be a typed error (no fallback
+    // slot, and reinitialising could resurrect nothing — but the log
+    // has acked records, so recovery must refuse).
+    let base = seeded_disk();
+    let slot = base.durable_bytes("manifest.1").unwrap().to_vec();
+    for pos in 0..slot.len() {
+        let mut flipped = slot.clone();
+        flipped[pos] ^= 0x40;
+        match Wal::open(damaged(seeded_disk, "manifest.1", flipped)) {
+            Err(failure) => assert!(
+                matches!(failure.error, StoreError::Corrupt("manifest")),
+                "pos {pos}: {:?}",
+                failure.error
+            ),
+            Ok(_) => panic!("pos {pos}: single-bit-damaged manifest decoded"),
+        }
+        match Wal::open(damaged(seeded_disk, "manifest.1", slot[..pos].to_vec())) {
+            Err(failure) => assert!(
+                matches!(failure.error, StoreError::Corrupt("manifest")),
+                "cut {pos}: {:?}",
+                failure.error
+            ),
+            Ok(_) => panic!("cut {pos}: truncated manifest decoded"),
+        }
+    }
+
+    // After a rotation both slots exist: damaging either one must fall
+    // back to the surviving slot — records acked before that slot's
+    // swap all survive, and nothing is fabricated.
+    let multi = multi_segment_disk();
+    for name in ["manifest.0", "manifest.1"] {
+        let bytes = multi.durable_bytes(name).unwrap().to_vec();
+        for pos in 0..bytes.len() {
+            let mut flipped = bytes.clone();
+            flipped[pos] ^= 0x04;
+            let (_, _, records, _) = Wal::open(damaged(multi_segment_disk, name, flipped))
+                .unwrap_or_else(|f| panic!("{name} pos {pos}: {:?} (surviving slot!)", f.error));
+            let written: Vec<&[u8]> = RECORDS.iter().chain(RECORDS.iter()).copied().collect();
+            for (i, rec) in records.iter().enumerate() {
+                assert_eq!(rec.as_slice(), written[i], "{name} pos {pos}");
+            }
+        }
+    }
+}
+
+/// A generation-1 disk: checkpointed state plus one post-checkpoint
+/// record.
+fn gen1_disk() -> SimDisk {
     let (mut wal, _, _, _) = Wal::open(SimDisk::unfaulted()).unwrap();
     wal.append(b"old-secret-grant").unwrap();
     wal.sync().unwrap();
     wal.checkpoint(b"NEW-STATE").unwrap();
     wal.append(b"post-checkpoint").unwrap();
     wal.sync().unwrap();
-    let disk = wal.into_store();
+    wal.into_store()
+}
 
+#[test]
+fn post_checkpoint_damage_never_resurrects_pre_checkpoint_state() {
+    let disk = gen1_disk();
     let snap = disk.durable_bytes("snapshot-1").unwrap().to_vec();
-    let log = disk.durable_bytes("wal-1").unwrap().to_vec();
 
     // Damage every byte of the snapshot: open must fail typed.
     for pos in 0..snap.len() {
-        let mut damaged = snap.clone();
-        damaged[pos] ^= 0x01;
-        let mut d = SimDisk::unfaulted();
-        d.set_durable("wal.current", 1u64.to_be_bytes().to_vec());
-        d.set_durable("snapshot-1", damaged);
-        d.set_durable("wal-1", log.clone());
-        match Wal::open(d) {
+        let mut flipped = snap.clone();
+        flipped[pos] ^= 0x01;
+        match Wal::open(damaged(gen1_disk, "snapshot-1", flipped)) {
             Err(failure) => {
                 assert!(
                     matches!(failure.error, StoreError::Corrupt(_)),
@@ -136,10 +266,6 @@ fn post_checkpoint_damage_never_resurrects_pre_checkpoint_state() {
                 );
             }
             Ok((_, snapshot, records, _)) => {
-                // A header-field flip that still checksums is impossible;
-                // but magic-preserving flips inside the payload must have
-                // been caught by the CRC, so reaching Ok means the flip
-                // was... nowhere. Fail loudly.
                 assert_eq!(snapshot.as_deref(), Some(&b"NEW-STATE"[..]), "pos {pos}");
                 assert!(
                     !records.iter().any(|r| r == b"old-secret-grant"),
@@ -150,19 +276,19 @@ fn post_checkpoint_damage_never_resurrects_pre_checkpoint_state() {
         }
     }
 
-    // Delete the generation-1 log entirely: state is the snapshot alone.
-    let mut d = SimDisk::unfaulted();
-    d.set_durable("wal.current", 1u64.to_be_bytes().to_vec());
-    d.set_durable("snapshot-1", snap.clone());
+    // Delete the generation-1 active segment entirely: that is the
+    // crash window between swap and creation — state is the snapshot
+    // alone, never the old records.
+    let mut d = gen1_disk();
+    d.delete("wal.1.0").unwrap();
     let (_, snapshot, records, _) = Wal::open(d).unwrap();
     assert_eq!(snapshot.as_deref(), Some(&b"NEW-STATE"[..]));
     assert!(records.is_empty());
 
     // A missing snapshot for a committed generation is a typed error,
     // not a silent fallback.
-    let mut d = SimDisk::unfaulted();
-    d.set_durable("wal.current", 1u64.to_be_bytes().to_vec());
-    d.set_durable("wal-1", log);
+    let mut d = gen1_disk();
+    d.delete("snapshot-1").unwrap();
     assert!(matches!(
         Wal::open(d).map(|_| ()).map_err(|f| f.error),
         Err(StoreError::Missing("committed snapshot"))
@@ -170,12 +296,18 @@ fn post_checkpoint_damage_never_resurrects_pre_checkpoint_state() {
 }
 
 #[test]
-fn pointer_fuzz_never_panics() {
-    for len in 0..12usize {
+fn manifest_slot_garbage_fuzz_never_panics() {
+    for len in 0..16usize {
         for fill in [0x00u8, 0x01, 0x7f, 0xff] {
             let mut d = SimDisk::unfaulted();
-            d.set_durable("wal.current", vec![fill; len]);
-            let _ = Wal::open(d); // must not panic; Err or fresh-open both fine
+            d.set_durable("manifest.0", vec![fill; len]);
+            // Garbage beside nothing: Err or fresh-open both fine.
+            let _ = Wal::open(d);
+            let mut d = seeded_disk();
+            d.set_durable("manifest.0", vec![fill; len]);
+            // Garbage in the stale slot beside a valid one: must open.
+            let (_, _, records, _) = Wal::open(d).expect("valid slot wins");
+            assert_eq!(records.len(), RECORDS.len());
         }
     }
 }
@@ -183,8 +315,12 @@ fn pointer_fuzz_never_panics() {
 #[test]
 fn wal_telemetry_families_export_in_json_and_prometheus() {
     let (mut wal, _, _, _) = Wal::open(SimDisk::unfaulted()).unwrap();
-    wal.append(b"counted").unwrap();
+    wal.set_segment_budget(64);
+    for i in 0..8u8 {
+        wal.append(&[i; 32]).unwrap();
+    }
     wal.sync().unwrap();
+    wal.scrub().unwrap();
     wal.checkpoint(b"SNAP").unwrap();
     wal.append(b"replayed-later").unwrap();
     wal.sync().unwrap();
@@ -199,6 +335,11 @@ fn wal_telemetry_families_export_in_json_and_prometheus() {
         "mabe_wal_bytes_total",
         "mabe_wal_records_replayed_total",
         "mabe_snapshots_written_total",
+        "mabe_wal_rotations_total",
+        "mabe_wal_bytes_reclaimed_total",
+        "mabe_wal_scrub_frames_checked_total",
+        "mabe_wal_scrub_passes_total",
+        "mabe_wal_segments_live",
     ] {
         assert!(json.contains(family), "{family} missing from JSON export");
         assert!(

@@ -58,6 +58,22 @@ const STORE_CASES: &[(&str, FaultKind, bool)] = &[
     (store_points::READ, FaultKind::Crash, false),
 ];
 
+/// Log-lifecycle cases, exercised by the lifecycle scenario (tiny
+/// segment budget + aggressive checkpoint interval + a scrub pass, so
+/// rotation, compaction, manifest swaps, and scrubbing all actually
+/// run). Every crash must reopen to a committed state: a torn manifest
+/// swap loses the swap but never the surviving slot, and a crashed GC
+/// leaves only strays the next compaction collects.
+const LIFECYCLE_CASES: &[(&str, FaultKind, bool)] = &[
+    (store_points::ROTATE, FaultKind::Crash, false),
+    (store_points::ROTATE, FaultKind::NoSpace, false),
+    (store_points::COMPACT, FaultKind::Crash, false),
+    (store_points::COMPACT, FaultKind::NoSpace, false),
+    (store_points::MANIFEST_SWAP, FaultKind::Crash, false),
+    (store_points::MANIFEST_SWAP, FaultKind::ManifestTorn, false),
+    (store_points::SCRUB, FaultKind::Crash, false),
+];
+
 fn seed() -> u64 {
     std::env::var("RANDOM_SEED")
         .ok()
@@ -99,6 +115,18 @@ fn run_scenario(ds: &mut DurableSystem<SimDisk>) -> Result<(), CloudError> {
     ds.revoke(&alice, "Doctor@MedOrg")?;
     ds.sync_user(&carol)?;
     ds.read(&bob, &owner, "rec-shared", "note").map(|_| ())
+}
+
+/// The scenario under aggressive log-lifecycle pressure: segments
+/// rotate every ~192 bytes, checkpoints fire every 6 ops, and a scrub
+/// pass plus a forced compaction close it out — so the rotation,
+/// compaction, manifest-swap, and scrub fault points are all hit.
+fn run_lifecycle_scenario(ds: &mut DurableSystem<SimDisk>) -> Result<(), CloudError> {
+    ds.set_segment_budget(192);
+    ds.set_checkpoint_interval(6);
+    run_scenario(ds)?;
+    ds.scrub()?;
+    ds.checkpoint()
 }
 
 /// What the surviving audit trail says happened.
@@ -209,13 +237,25 @@ fn crash_and_reopen(
     ctx: &str,
     reopen_may_fail_typed: bool,
 ) -> bool {
+    crash_and_reopen_with(world_disk, cloud_faults, ctx, reopen_may_fail_typed, |ds| {
+        run_scenario(ds)
+    })
+}
+
+fn crash_and_reopen_with(
+    world_disk: SimDisk,
+    cloud_faults: FaultInjector,
+    ctx: &str,
+    reopen_may_fail_typed: bool,
+    scenario: impl FnOnce(&mut DurableSystem<SimDisk>) -> Result<(), CloudError>,
+) -> bool {
     // If any invariant below panics, the flight recorder is dumped to
     // `trace_<seed>_<case>.json` so the failing case ships its own
     // causal history (fault points hit, retries, journal writes).
     let _forensics = mabe_trace::FailureDump::new(seed(), ctx);
     let mut disk = match DurableSystem::open_with_faults(world_disk, seed(), cloud_faults) {
         Ok((mut ds, _)) => {
-            let _ = run_scenario(&mut ds);
+            let _ = scenario(&mut ds);
             ds.into_storage()
         }
         // The fault fired while the world was first opening: keep the
@@ -303,6 +343,53 @@ fn crash_point_sweep_recovers_at_every_fault_point() {
                 FaultInjector::none(),
                 &format!("store {point}/{kind:?}#{nth}"),
                 may_fail,
+            );
+        }
+    }
+}
+
+/// The lifecycle sweep: the scenario runs under rotation, compaction
+/// and scrub pressure and is killed at every hit of every lifecycle
+/// fault point — rotation, compaction (both the entry and each GC
+/// delete), the manifest swap (crashed *and* torn), and the scrubber.
+/// Every kill must reopen to a committed generation with the paper's
+/// invariants intact.
+#[test]
+fn lifecycle_crash_sweep_recovers_at_rotation_compaction_and_scrub() {
+    let seed = seed();
+
+    // Profiling pass: count hits per lifecycle point under the
+    // lifecycle scenario.
+    let (mut ds, _) =
+        DurableSystem::open_with_faults(SimDisk::unfaulted(), seed, FaultInjector::none())
+            .expect("clean open");
+    run_lifecycle_scenario(&mut ds).expect("clean lifecycle scenario");
+    assert!(
+        ds.generation() >= 1,
+        "seed {seed}: the lifecycle scenario never compacted"
+    );
+    let hits: Vec<(&str, FaultKind, bool, u64)> = LIFECYCLE_CASES
+        .iter()
+        .map(|(p, k, may_fail)| (*p, *k, *may_fail, ds.storage().injector().hits(p)))
+        .collect();
+    assert_invariants(&mut { ds }, "clean lifecycle run");
+
+    let depth = |hits: u64| if full_sweep() { hits } else { hits.min(2) };
+    for (point, kind, may_fail, point_hits) in hits {
+        assert!(
+            point_hits > 0,
+            "seed {seed}: lifecycle scenario never exercises {point}"
+        );
+        for nth in 1..=depth(point_hits) {
+            let disk = SimDisk::new(FaultInjector::new(
+                FaultPlan::new(seed ^ (nth << 16)).at(point, nth, kind),
+            ));
+            crash_and_reopen_with(
+                disk,
+                FaultInjector::none(),
+                &format!("lifecycle {point}/{kind:?}#{nth}"),
+                may_fail,
+                run_lifecycle_scenario,
             );
         }
     }

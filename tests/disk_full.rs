@@ -1,0 +1,109 @@
+//! The disk-full acceptance scenario, end to end in one process:
+//!
+//! 1. a journaled deployment fills its disk — the next mutation fails
+//!    with the *typed* `CloudError::StoreFull` (never a panic, never a
+//!    poison),
+//! 2. while degraded, concurrent readers keep decrypting successfully
+//!    from other threads,
+//! 3. a checkpoint compacts the log, reclaims the superseded segments,
+//!    and writes resume in the same process — no restart, no operator.
+//!
+//! This is the integration-level twin of the `mabe-cloud` persist unit
+//! tests: same state machine, but exercised over the public API with
+//! real thread concurrency during the degraded window.
+
+use std::sync::Arc;
+
+use mabe_cloud::{CloudError, DurableSystem};
+use mabe_store::SimDisk;
+
+#[test]
+fn disk_full_degrades_reads_survive_and_compaction_restores_writes() {
+    let (ds, _) = DurableSystem::open(SimDisk::unfaulted(), 0xd15c).expect("fresh open");
+    ds.add_authority("MedOrg", &["Doctor", "Nurse"])
+        .expect("authority");
+    let owner = ds.add_owner("hospital").expect("owner");
+    let alice = ds.add_user("alice").expect("user");
+    ds.grant(&alice, &["Doctor@MedOrg"]).expect("grant");
+    ds.publish(
+        &owner,
+        "rec",
+        &[("note", b"ward note".as_slice(), "Doctor@MedOrg")],
+    )
+    .expect("publish");
+
+    // Bloat the log with reclaimable filler, then shrink the disk so
+    // the degrade headroom no longer fits. Auto-checkpointing is off:
+    // compaction must be the *cure*, not a background accident.
+    ds.set_checkpoint_interval(usize::MAX);
+    for _ in 0..4000 {
+        ds.set_offline(&alice).expect("filler");
+    }
+    let mut ds = ds;
+    let used = ds.storage().live_bytes();
+    ds.storage_mut().set_capacity(Some(used + 30_000));
+    ds.set_degrade_headroom(50_000);
+
+    // 1. Typed ENOSPC, no poison.
+    let err = ds
+        .grant(&alice, &["Nurse@MedOrg"])
+        .expect_err("mutation on a full disk must fail");
+    assert!(
+        matches!(err, CloudError::StoreFull { .. }),
+        "typed ENOSPC, got: {err}"
+    );
+    assert!(ds.degraded(), "the system must report read-only mode");
+    assert!(!ds.poisoned(), "a full disk must never poison");
+    let generation_before = ds.generation();
+
+    // 2. Concurrent readers during the degraded window, while the main
+    //    thread keeps hammering (and keeps being refused) mutations.
+    let ds = Arc::new(ds);
+    let readers: Vec<_> = (0..4)
+        .map(|_| {
+            let ds = Arc::clone(&ds);
+            let owner = owner.clone();
+            let alice = alice.clone();
+            std::thread::spawn(move || {
+                for _ in 0..25 {
+                    let plaintext = ds
+                        .read(&alice, &owner, "rec", "note")
+                        .expect("reads must survive a full disk");
+                    assert_eq!(plaintext, b"ward note");
+                }
+            })
+        })
+        .collect();
+    for _ in 0..8 {
+        let err = ds.set_offline(&alice).expect_err("still degraded");
+        assert!(matches!(err, CloudError::StoreFull { .. }), "{err}");
+    }
+    for reader in readers {
+        reader.join().expect("reader thread");
+    }
+    assert!(!ds.poisoned(), "degraded traffic must never poison");
+
+    // 3. Compaction reclaims the filler and lifts the degradation in
+    //    the same process.
+    ds.checkpoint().expect("checkpoint must fit and compact");
+    assert!(ds.generation() > generation_before, "no compaction ran");
+    assert!(!ds.degraded(), "reclaimed space must lift read-only mode");
+    ds.grant(&alice, &["Nurse@MedOrg"]).expect("writes resumed");
+    ds.set_offline(&alice).expect("writes stay resumed");
+
+    // The full cycle survives a power-cycle: reopen from the compacted
+    // generation and serve the same record.
+    let mut disk = Arc::into_inner(ds)
+        .expect("all readers joined")
+        .into_storage();
+    disk.crash();
+    let (ds, report) = DurableSystem::open(disk, 0xd15c ^ 1).expect("reopen");
+    assert!(
+        report.wal.had_snapshot,
+        "reopen must start from the snapshot"
+    );
+    assert_eq!(
+        ds.read(&alice, &owner, "rec", "note").unwrap(),
+        b"ward note"
+    );
+}

@@ -151,6 +151,74 @@ fn readyz_flips_to_503_when_the_durable_system_poisons() {
 }
 
 #[test]
+fn readyz_reports_disk_full_degradation_as_200_with_degraded_body() {
+    let (ds, _) = DurableSystem::open(SimDisk::unfaulted(), 0xF0).expect("fresh open");
+    ds.add_authority("MedOrg", &["Doctor"]).expect("authority");
+    let alice = ds.add_user("alice").expect("user");
+    let mut ds = ds;
+    let used = ds.storage().live_bytes();
+    // Leave less free space than the degrade headroom: the next
+    // mutation trips the read-only gate without touching the disk.
+    ds.storage_mut().set_capacity(Some(used + 512));
+
+    let shared = Arc::new(Mutex::new(ds));
+    let poisoned_view = Arc::clone(&shared);
+    let writable_view = Arc::clone(&shared);
+    let probes = vec![
+        Probe::new("wal_not_poisoned", move || {
+            poisoned_view
+                .lock()
+                .map(|ds| !ds.poisoned())
+                .unwrap_or(false)
+        }),
+        // Soft: a full disk is impaired, not unservable — reads still
+        // work, so the process must keep receiving traffic.
+        Probe::soft("store_writable", move || {
+            writable_view
+                .lock()
+                .map(|ds| !ds.degraded())
+                .unwrap_or(false)
+        }),
+    ];
+    let server = mabe_obs::ObsServer::bind("127.0.0.1:0", probes).expect("bind");
+    let addr = server.addr();
+
+    {
+        let ds = shared.lock().unwrap();
+        let err = ds.grant(&alice, &["Doctor@MedOrg"]).expect_err("disk full");
+        assert!(
+            matches!(err, mabe_cloud::CloudError::StoreFull { .. }),
+            "typed ENOSPC: {err}"
+        );
+        assert!(ds.degraded());
+        assert!(!ds.poisoned(), "a full disk must never poison");
+    }
+
+    let (status, _, body) = fetch(addr, "/readyz");
+    assert!(status.contains("200"), "degraded is still ready: {status}");
+    assert!(body.contains("\"ready\":true"), "{body}");
+    assert!(body.contains("\"degraded\":true"), "{body}");
+    assert!(
+        body.contains("\"name\":\"store_writable\",\"ok\":false"),
+        "{body}"
+    );
+
+    // Reclaimed space lifts the degradation on the next mutation, and
+    // the very next scrape reflects it.
+    {
+        let mut ds = shared.lock().unwrap();
+        ds.storage_mut().set_capacity(None);
+        ds.grant(&alice, &["Doctor@MedOrg"]).expect("writes resume");
+        assert!(!ds.degraded());
+    }
+    let (status, _, body) = fetch(addr, "/readyz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"degraded\":false"), "{body}");
+
+    server.shutdown();
+}
+
+#[test]
 fn tracez_returns_a_span_tree() {
     {
         let _root = mabe_trace::Span::root("obs.e2e");
