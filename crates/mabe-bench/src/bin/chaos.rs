@@ -10,6 +10,10 @@
 //! recovery, drifting wire byte accounting) aborts with a non-zero exit
 //! so CI fails loudly with the seed in the output.
 //!
+//! Every seed runs twice — eager and lazy revocation — so the deferred
+//! queue paths (`cloud.lazy_enqueue`, `cloud.lazy_drain`,
+//! `cloud.read_upgrade`) take the same beating as the eager ones.
+//!
 //! Usage: `chaos [seeds]` (default 8, sequential from the base seed).
 //! `RANDOM_SEED=<u64>` overrides the base seed (default 1) for
 //! exploratory runs — the seed is always printed, so every failure is
@@ -22,13 +26,14 @@ struct Outcome {
     injected: u64,
     crashes: u64,
     recovered: usize,
+    drained: usize,
     retried: u64,
     dropped: u64,
     bytes_sent: usize,
     bytes_lost: usize,
 }
 
-fn run_scenario(seed: u64) -> Result<Outcome, String> {
+fn run_scenario(seed: u64, lazy: bool) -> Result<Outcome, String> {
     let mut sys = CloudSystem::new(seed);
     let med = sys
         .add_authority("MedOrg", &["Doctor", "Nurse"])
@@ -57,8 +62,12 @@ fn run_scenario(seed: u64) -> Result<Outcome, String> {
         .rate(fault_points::READ_FETCH, FaultKind::ManifestTorn, 0.05)
         .rate(fault_points::REVOKE_UPDATE_DELIVER, FaultKind::Crash, 0.20)
         .rate(fault_points::REVOKE_REENCRYPT, FaultKind::Crash, 0.20)
+        .rate(fault_points::LAZY_ENQUEUE, FaultKind::Crash, 0.20)
+        .rate(fault_points::LAZY_DRAIN, FaultKind::Crash, 0.20)
+        .rate(fault_points::READ_UPGRADE, FaultKind::StorageError, 0.10)
         .delay_us(750)
         .budget(48);
+    sys.set_lazy_revocation(lazy);
     *sys.faults_mut() = FaultInjector::new(plan);
 
     sys.set_offline(&bob);
@@ -80,6 +89,9 @@ fn run_scenario(seed: u64) -> Result<Outcome, String> {
         &[("l", b"post".as_slice(), "Nurse@MedOrg")],
     );
 
+    // A crashed drain must release its claim and keep the queue intact.
+    let mut drained = sys.drain_lazy().unwrap_or(0);
+
     sys.faults_mut().disarm();
     let mut recovered = 0;
     for _ in 0..8 {
@@ -93,6 +105,13 @@ fn run_scenario(seed: u64) -> Result<Outcome, String> {
             "revocations still pending: {:?}",
             sys.pending_revocations()
         ));
+    }
+    while sys.lazy_queue_depth() > 0 {
+        let n = sys.drain_lazy().map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err("lazy queue stuck after faults disarmed".into());
+        }
+        drained += n;
     }
     sys.sync_user(&bob).map_err(|e| e.to_string())?;
     if sys.read(&alice, &hospital, "med", "m").is_ok() {
@@ -112,6 +131,7 @@ fn run_scenario(seed: u64) -> Result<Outcome, String> {
         injected: sys.faults().injected_total(),
         crashes: sys.faults().injected(FaultKind::Crash),
         recovered,
+        drained,
         retried: report.retried,
         dropped: report.dropped,
         bytes_sent: report.bytes_sent,
@@ -129,25 +149,29 @@ fn main() {
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(1);
-    eprintln!("# chaos: {count} seeded schedules starting at seed {base}");
-    println!("seed\tinjected\tcrashes\trecovered\tretried\tdropped\tbytes_sent\tbytes_lost");
+    eprintln!("# chaos: {count} seeded schedules starting at seed {base} (eager + lazy each)");
+    println!("seed\tlazy\tinjected\tcrashes\trecovered\tdrained\tretried\tdropped\tbytes_sent\tbytes_lost");
 
     let mut failures = 0u32;
     for seed in base..base.saturating_add(count) {
-        match run_scenario(seed) {
-            Ok(o) => println!(
-                "{seed}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
-                o.injected,
-                o.crashes,
-                o.recovered,
-                o.retried,
-                o.dropped,
-                o.bytes_sent,
-                o.bytes_lost
-            ),
-            Err(why) => {
-                eprintln!("chaos: seed {seed} FAILED: {why}");
-                failures += 1;
+        for lazy in [false, true] {
+            match run_scenario(seed, lazy) {
+                Ok(o) => println!(
+                    "{seed}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}",
+                    lazy as u8,
+                    o.injected,
+                    o.crashes,
+                    o.recovered,
+                    o.drained,
+                    o.retried,
+                    o.dropped,
+                    o.bytes_sent,
+                    o.bytes_lost
+                ),
+                Err(why) => {
+                    eprintln!("chaos: seed {seed} (lazy={lazy}) FAILED: {why}");
+                    failures += 1;
+                }
             }
         }
     }

@@ -1,0 +1,87 @@
+//! End-to-end observability check for lazy revocation: a live
+//! `CloudSystem` with a pending-upgrade queue behind a real
+//! `mabe-obs` HTTP server. The three lazy metric families must show
+//! up on `/metrics` and `/metrics.json`, and `/readyz` must report
+//! the non-empty queue as `draining: true` at 200 — never 503 — until
+//! the drain completes.
+
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use mabe_cloud::CloudSystem;
+use mabe_obs::{ObsServer, Probe};
+
+fn fetch(addr: std::net::SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .write_all(
+            format!("GET {target} HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n").as_bytes(),
+        )
+        .unwrap();
+    let mut out = String::new();
+    stream.read_to_string(&mut out).unwrap();
+    out
+}
+
+#[test]
+fn lazy_queue_metrics_and_draining_probe_are_observable() {
+    let sys = Arc::new(CloudSystem::new(0x0b5));
+    sys.set_lazy_revocation(true);
+    sys.add_authority("Org", &["A"]).unwrap();
+    let owner = sys.add_owner("owner").unwrap();
+    let alice = sys.add_user("alice").unwrap();
+    let bob = sys.add_user("bob").unwrap();
+    sys.grant(&alice, &["A@Org"]).unwrap();
+    sys.grant(&bob, &["A@Org"]).unwrap();
+    sys.publish(&owner, "rec", &[("f", b"payload".as_slice(), "A@Org")])
+        .unwrap();
+
+    let probe_sys = Arc::clone(&sys);
+    let server = ObsServer::bind(
+        "127.0.0.1:0",
+        vec![Probe::draining("lazy_queue_empty", move || {
+            probe_sys.lazy_queue_depth() == 0
+        })],
+    )
+    .unwrap();
+
+    sys.revoke(&alice, "A@Org").unwrap();
+    assert_eq!(sys.lazy_queue_depth(), 1);
+
+    // A pending queue is normal operation: 200 + draining, not 503.
+    let pending = fetch(server.addr(), "/readyz");
+    assert!(pending.starts_with("HTTP/1.1 200 "), "got: {pending}");
+    assert!(pending.contains("\"ready\":true"));
+    assert!(pending.contains("\"draining\":true"));
+
+    // A read of the still-stale component upgrades it in place
+    // (ticking the read-upgrade counter), then the drain clears the
+    // queue (gauge back to zero, staleness histogram recorded).
+    assert_eq!(sys.read(&bob, &owner, "rec", "f").unwrap(), b"payload");
+    assert!(sys.drain_lazy().unwrap() > 0);
+
+    let drained = fetch(server.addr(), "/readyz");
+    assert!(drained.starts_with("HTTP/1.1 200 "));
+    assert!(drained.contains("\"draining\":false"));
+
+    let prom = fetch(server.addr(), "/metrics");
+    for family in [
+        "mabe_lazy_queue_depth",
+        "mabe_lazy_staleness_ms",
+        "mabe_read_upgrades_total",
+    ] {
+        assert!(prom.contains(family), "{family} missing from /metrics");
+    }
+    assert!(prom.contains("mabe_lazy_queue_depth 0"));
+
+    let json = fetch(server.addr(), "/metrics.json");
+    for family in [
+        "mabe_lazy_queue_depth",
+        "mabe_lazy_staleness_ms",
+        "mabe_read_upgrades_total",
+    ] {
+        assert!(json.contains(family), "{family} missing from /metrics.json");
+    }
+    server.shutdown();
+}

@@ -141,6 +141,30 @@ pub enum AuditEvent {
         /// The version the system converged to.
         version: u64,
     },
+    /// The **security-complete** point of a lazy revocation: the
+    /// authority re-keyed, fresh reduced keys reached the revoked user,
+    /// update keys reached every holder and owner — but server-side
+    /// re-encryption was parked on the pending-upgrade queue instead of
+    /// running inline. The version check already denies the revoked
+    /// user, so a `RevocationDeferred` closes the matching
+    /// [`AuditEvent::RevocationBegun`] intent for security purposes;
+    /// ciphertext convergence is tracked separately by
+    /// [`AuditEvent::RevocationConverged`].
+    RevocationDeferred {
+        /// The authority whose re-encryption was deferred.
+        aid: String,
+        /// The version the deferred upgrade will converge to.
+        version: u64,
+    },
+    /// A deferred re-encryption batch drained: every component of the
+    /// authority reached `version` (through the background drain,
+    /// read-triggered upgrades, or both).
+    RevocationConverged {
+        /// The authority whose ciphertexts converged.
+        aid: String,
+        /// The version every affected component now carries.
+        version: u64,
+    },
 }
 
 impl fmt::Display for AuditEvent {
@@ -194,6 +218,12 @@ impl fmt::Display for AuditEvent {
             }
             AuditEvent::RevocationRecovered { aid, version } => {
                 write!(f, "revocation-recovered @{aid} (v{version})")
+            }
+            AuditEvent::RevocationDeferred { aid, version } => {
+                write!(f, "revocation-deferred @{aid} (v{version})")
+            }
+            AuditEvent::RevocationConverged { aid, version } => {
+                write!(f, "revocation-converged @{aid} (v{version})")
             }
         }
     }
@@ -427,9 +457,13 @@ impl AuditLog {
     }
 
     /// `(aid, to_version)` pairs whose [`AuditEvent::RevocationBegun`]
-    /// intent has no matching [`AuditEvent::RevocationCompleted`] — the
-    /// revocations a crash left in flight. An empty answer is the audit
-    /// log's view of "every revocation converged".
+    /// intent has no matching [`AuditEvent::RevocationCompleted`] **or**
+    /// [`AuditEvent::RevocationDeferred`] — the revocations a crash left
+    /// in flight. A deferred revocation is security-complete (keys
+    /// moved, version bumped; only ciphertext upgrades remain queued),
+    /// so it does not count as incomplete here. An empty answer is the
+    /// audit log's view of "every revocation's security phase
+    /// converged".
     pub fn incomplete_revocations(&self) -> Vec<(String, u64)> {
         let mut open: Vec<(String, u64)> = Vec::new();
         for entry in &self.entries {
@@ -437,7 +471,8 @@ impl AuditLog {
                 AuditEvent::RevocationBegun {
                     aid, to_version, ..
                 } => open.push((aid.clone(), *to_version)),
-                AuditEvent::RevocationCompleted { aid, version } => {
+                AuditEvent::RevocationCompleted { aid, version }
+                | AuditEvent::RevocationDeferred { aid, version } => {
                     open.retain(|(a, v)| !(a == aid && v == version));
                 }
                 _ => {}
@@ -594,6 +629,16 @@ mod wire {
                 put_string(out, aid);
                 out.extend_from_slice(&version.to_be_bytes());
             }
+            AuditEvent::RevocationDeferred { aid, version } => {
+                out.push(11);
+                put_string(out, aid);
+                out.extend_from_slice(&version.to_be_bytes());
+            }
+            AuditEvent::RevocationConverged { aid, version } => {
+                out.push(12);
+                put_string(out, aid);
+                out.extend_from_slice(&version.to_be_bytes());
+            }
         }
     }
 
@@ -639,6 +684,14 @@ mod wire {
                 version: r.u64()?,
             },
             10 => AuditEvent::RevocationRecovered {
+                aid: r.string()?,
+                version: r.u64()?,
+            },
+            11 => AuditEvent::RevocationDeferred {
+                aid: r.string()?,
+                version: r.u64()?,
+            },
+            12 => AuditEvent::RevocationConverged {
                 aid: r.string()?,
                 version: r.u64()?,
             },
@@ -809,6 +862,14 @@ mod tests {
             aid: "Med".into(),
             version: 2,
         });
+        log.record(AuditEvent::RevocationDeferred {
+            aid: "Med".into(),
+            version: 3,
+        });
+        log.record(AuditEvent::RevocationConverged {
+            aid: "Med".into(),
+            version: 3,
+        });
         log
     }
 
@@ -967,5 +1028,33 @@ mod tests {
         assert!(rendered[2].contains("revocation-completed @Med"));
         assert!(rendered[3].contains("revocation-recovered @Trial"));
         assert!(rendered[4].contains("revocation-completed @Trial"));
+    }
+
+    #[test]
+    fn deferred_revocation_is_security_complete() {
+        let mut log = AuditLog::new();
+        log.record(AuditEvent::RevocationBegun {
+            uid: "alice".into(),
+            aid: "Med".into(),
+            from_version: 1,
+            to_version: 2,
+        });
+        assert_eq!(log.incomplete_revocations(), vec![("Med".to_string(), 2)]);
+        // Deferring closes the intent: keys moved and the version check
+        // already denies alice — only ciphertext upgrades remain queued.
+        log.record(AuditEvent::RevocationDeferred {
+            aid: "Med".into(),
+            version: 2,
+        });
+        assert!(log.incomplete_revocations().is_empty());
+        log.record(AuditEvent::RevocationConverged {
+            aid: "Med".into(),
+            version: 2,
+        });
+        assert!(log.incomplete_revocations().is_empty());
+        assert!(log.verify());
+        let rendered: Vec<String> = log.entries().iter().map(|e| e.event.to_string()).collect();
+        assert!(rendered[1].contains("revocation-deferred @Med (v2)"));
+        assert!(rendered[2].contains("revocation-converged @Med (v2)"));
     }
 }

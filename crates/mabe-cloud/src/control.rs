@@ -189,19 +189,28 @@ impl CloudSystem {
     /// [`Self::recover`] rolls forward; every step is idempotent under
     /// replay.
     ///
+    /// With lazy revocation enabled ([`Self::set_lazy_revocation`]) only
+    /// the immediate phase runs inline — version bump, audit journal,
+    /// key delivery, owner key updates — and server-side re-encryption
+    /// is parked on the pending-upgrade queue (see [`crate::lazy`]).
+    /// The version check already denies the revoked user at that point;
+    /// queued components are healed by [`Self::drain_lazy`] workers or
+    /// read-triggered upgrade, whichever reaches them first.
+    ///
     /// # Errors
     ///
     /// Unknown user/authority, the user not holding the attribute, a
     /// downed authority, or an unrecovered injected fault.
     pub fn revoke(&self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
         // End-to-end revocation latency: ReKey at the authority through
-        // the last server-side re-encryption.
+        // the last server-side re-encryption (eager) or enqueue (lazy).
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         let _trace = mabe_trace::Span::child("cloud.revoke").detail(format!("{uid} {attribute}"));
         let attr: Attribute = attribute
             .parse()
             .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
         let aid = attr.authority().clone();
+        self.lazy_backpressure()?;
         let shard = self
             .control
             .shard(&aid)
@@ -212,7 +221,11 @@ impl CloudSystem {
             .authority
             .revoke_attribute(uid, &attr, &mut *self.rng.lock())?;
         let id = self.begin_in_shard(&mut st, event);
-        self.drive_in_shard(&mut st, id, false)
+        if self.lazy_revocation_enabled() {
+            self.defer_in_shard(&mut st, id)
+        } else {
+            self.drive_in_shard(&mut st, id, false)
+        }
     }
 
     /// User-level revocation at one authority: strips all of the user's
@@ -228,6 +241,7 @@ impl CloudSystem {
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         let _trace =
             mabe_trace::Span::child("cloud.revoke_user_at").detail(format!("{uid} @{aid}"));
+        self.lazy_backpressure()?;
         let shard = self
             .control
             .shard(aid)
@@ -236,7 +250,11 @@ impl CloudSystem {
         self.precheck_in_shard(aid, &mut st)?;
         let event = st.authority.revoke_user(uid, &mut *self.rng.lock())?;
         let id = self.begin_in_shard(&mut st, event);
-        self.drive_in_shard(&mut st, id, false)
+        if self.lazy_revocation_enabled() {
+            self.defer_in_shard(&mut st, id)
+        } else {
+            self.drive_in_shard(&mut st, id, false)
+        }
     }
 
     /// Full user-level revocation: runs [`Self::revoke_user_at`] against
@@ -335,6 +353,10 @@ impl CloudSystem {
                 }
             }
         }
+        // Park the per-owner update keys server-side regardless of mode:
+        // the archive is what lets read-triggered upgrade (and the lazy
+        // drain) advance any component that stayed behind.
+        self.archive_update_keys(&event);
         st.in_flight.insert(id, PendingRevocation::new(id, event));
         mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "begun" });
         id
@@ -393,7 +415,50 @@ impl CloudSystem {
         mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
             stage: "re_encryption",
         });
+        self.update_owners(pending)?;
         self.reencrypt_phase(pending)
+    }
+
+    /// The lazy counterpart of [`Self::drive_in_shard`]: runs only the
+    /// immediate phase — key delivery and owner key updates — then
+    /// parks server-side re-encryption on the pending-upgrade queue and
+    /// audits [`AuditEvent::RevocationDeferred`] (the security-complete
+    /// point: the version check now denies the revoked user everywhere).
+    /// On failure the pending entry is re-parked with checkpoints
+    /// intact; recovery then drives it *eagerly*, which is the
+    /// documented roll-forward for a crash between begin and defer.
+    pub(crate) fn defer_in_shard(&self, st: &mut ShardState, id: u64) -> Result<(), CloudError> {
+        let Some(mut pending) = st.in_flight.remove(&id) else {
+            return Ok(());
+        };
+        match self.defer_phases(&mut pending) {
+            Ok(()) => {
+                self.audit.lock().record(AuditEvent::RevocationDeferred {
+                    aid: pending.event.aid.to_string(),
+                    version: pending.event.to_version,
+                });
+                Ok(())
+            }
+            Err(e) => {
+                st.in_flight.insert(id, pending);
+                Err(e)
+            }
+        }
+    }
+
+    fn defer_phases(&self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
+        if pending.stage == RevocationStage::KeyDelivery {
+            mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase {
+                stage: "key_delivery",
+            });
+            self.deliver_keys(pending)?;
+            pending.stage = RevocationStage::ReEncryption;
+        }
+        // Owners update their attribute-key history inline even in lazy
+        // mode: update_info_for needs history at both ends of a span, so
+        // deferring this would leave read-triggered upgrade keyless.
+        self.update_owners(pending)?;
+        self.enqueue_lazy(pending)
     }
 
     /// Phase 1: fresh reduced keys to the revoked user (delivered eagerly
@@ -577,6 +642,24 @@ impl CloudSystem {
             .expect("authority installed before revocation replay");
         let mut st = shard.state.lock();
         self.begin_in_shard(&mut st, event)
+    }
+
+    /// Defers one journaled revocation by global id, locating its shard
+    /// first (durable replay path for `RevocationDeferred` records).
+    /// Unknown ids are a clean no-op.
+    pub(crate) fn defer_revocation(&self, id: u64) -> Result<(), CloudError> {
+        let shard = self
+            .control
+            .shards
+            .read()
+            .values()
+            .find(|s| s.state.lock().in_flight.contains_key(&id))
+            .cloned();
+        let Some(shard) = shard else {
+            return Ok(());
+        };
+        let mut st = shard.state.lock();
+        self.defer_in_shard(&mut st, id)
     }
 
     /// Drives one journaled revocation by global id, locating its shard

@@ -32,6 +32,14 @@ use crate::server::{CloudServer, RecordKey};
 use crate::system::{fault_points, CloudError, CloudSystem};
 use crate::wire::Endpoint;
 
+/// How many times a reader whose key view lags a concurrent
+/// revocation's key delivery will wait out the immediate phase and
+/// re-clone before giving up. Each pass absorbs one version bump that
+/// landed mid-read, so this only binds under a revocation storm denser
+/// than the reader's own retry loop — a revoked user burns the budget
+/// and is then denied deterministically.
+const MAX_READ_BARRIERS: usize = 8;
+
 /// The data plane: the shared ciphertext store plus the re-encryption
 /// fan-out width.
 #[derive(Debug)]
@@ -94,6 +102,13 @@ impl CloudSystem {
             envelope.stored_size(),
         )?;
         self.data.server.store(owner_id.clone(), record, envelope);
+        // A publish whose seal raced a revocation may have landed at the
+        // pre-bump version *after* the eager worklist stopped looking.
+        // Heal inline from the update-key archive, best-effort: anything
+        // this misses is still caught by read-triggered upgrade or the
+        // lazy drain, and a fault mid-heal must not fail the (already
+        // stored and audited-as-stored) publish.
+        self.heal_stale_components(owner_id, record);
         self.audit.lock().record(AuditEvent::Published {
             owner: owner_id.to_string(),
             record: record.to_owned(),
@@ -142,18 +157,69 @@ impl CloudSystem {
             &format!("component {record}/{label}"),
             component.stored_size(),
         )?;
-        let (pk, keys) = {
-            let users = self.directory.users.read();
-            let state = users.users.get(uid).expect("checked above");
-            let keys: BTreeMap<AuthorityId, UserSecretKey> = state
-                .keys
-                .iter()
-                .filter(|((o, _), _)| o == owner_id)
-                .map(|((_, aid), key)| (aid.clone(), key.clone()))
-                .collect();
-            (state.pk.clone(), keys)
+        let mut retried = false;
+        let mut barriers = 0;
+        let result = loop {
+            let mut envelope = self
+                .data
+                .server
+                .fetch(owner_id, record)
+                .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+            let component = envelope
+                .component(label)
+                .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            // Read-triggered upgrade: a component the archive can still
+            // advance is never served stale — hot objects converge ahead
+            // of the lazy drain, and an adversary holding pre-revocation
+            // keys never finds a matching pre-revocation ciphertext.
+            if self.upgrade_before_serve(owner_id, record, label, component)? {
+                envelope = self
+                    .data
+                    .server
+                    .fetch(owner_id, record)
+                    .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+            }
+            let component = envelope
+                .component(label)
+                .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            let (pk, keys) = {
+                let users = self.directory.users.read();
+                let state = users.users.get(uid).expect("checked above");
+                let keys: BTreeMap<AuthorityId, UserSecretKey> = state
+                    .keys
+                    .iter()
+                    .filter(|((o, _), _)| o == owner_id)
+                    .map(|((_, aid), key)| (aid.clone(), key.clone()))
+                    .collect();
+                (state.pk.clone(), keys)
+            };
+            match open_component(component, &pk, &keys) {
+                // The key view lags the component: a concurrent
+                // revocation advanced the ciphertext (possibly via our
+                // own upgrade-before-serve) while its key delivery was
+                // still in flight. Wait out the immediate phase and
+                // re-clone — a live holder's key catches up; a revoked
+                // user's never does and falls through to denial.
+                Err(Error::VersionMismatch {
+                    authority,
+                    expected,
+                    found,
+                }) if found < expected && barriers < MAX_READ_BARRIERS => {
+                    barriers += 1;
+                    self.key_delivery_barrier(&authority);
+                    continue;
+                }
+                // The inverse benign race — keys cloned just after a
+                // bump whose component upgrade this read ran ahead of.
+                // One retry re-fetches both sides; the refreshed
+                // upgrade-before-serve pass closes the gap.
+                Err(Error::VersionMismatch { .. }) if !retried => {
+                    retried = true;
+                    continue;
+                }
+                result => break result,
+            }
         };
-        let result = open_component(component, &pk, &keys);
         self.audit.lock().record(AuditEvent::Read {
             uid: uid.to_string(),
             owner: owner_id.to_string(),
@@ -185,49 +251,84 @@ impl CloudSystem {
             mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read_outsourced")]);
         let _trace =
             mabe_trace::Span::child("cloud.read_outsourced").detail(format!("{record}/{label}"));
-        let (pk, keys) = {
-            let users = self.directory.users.read();
-            let state = users
-                .users
-                .get(uid)
-                .ok_or_else(|| CloudError::Core(Error::UnknownUser(uid.clone())))?;
-            let keys: BTreeMap<AuthorityId, UserSecretKey> = state
-                .keys
-                .iter()
-                .filter(|((o, _), _)| o == owner_id)
-                .map(|((_, aid), key)| (aid.clone(), key.clone()))
-                .collect();
-            (state.pk.clone(), keys)
+        if !self.directory.users.read().users.contains_key(uid) {
+            return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
+        }
+        let mut retried = false;
+        let mut barriers = 0;
+        let result = loop {
+            let (pk, keys) = {
+                let users = self.directory.users.read();
+                let state = users.users.get(uid).expect("checked above");
+                let keys: BTreeMap<AuthorityId, UserSecretKey> = state
+                    .keys
+                    .iter()
+                    .filter(|((o, _), _)| o == owner_id)
+                    .map(|((_, aid), key)| (aid.clone(), key.clone()))
+                    .collect();
+                (state.pk.clone(), keys)
+            };
+            let mut envelope = self
+                .data
+                .server
+                .fetch(owner_id, record)
+                .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+            let component = envelope
+                .component(label)
+                .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            // Same read-triggered upgrade as [`Self::read`]: stale
+            // components are advanced in place before the server runs
+            // its transform.
+            if self.upgrade_before_serve(owner_id, record, label, component)? {
+                envelope = self
+                    .data
+                    .server
+                    .fetch(owner_id, record)
+                    .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+            }
+            let component = envelope
+                .component(label)
+                .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            let (tk, rk) = mabe_core::make_transform_key(&pk, &keys, &mut *self.rng.lock())?;
+            // The blinded key travels to the server (same element count as
+            // the underlying secret keys plus the blinded PK).
+            let tk_bytes: usize =
+                keys.values().map(UserSecretKey::wire_size).sum::<usize>() + mabe_core::G_BYTES;
+            self.wire.send(
+                Endpoint::User(uid.clone()),
+                Endpoint::Server,
+                "transform key",
+                tk_bytes,
+            );
+            let token = match mabe_core::server_transform(&component.key_ct, &tk) {
+                // Same two races as [`Self::read`]: lagging key view
+                // (wait out the in-flight delivery, bounded) or a key
+                // bump this read ran ahead of (one refetch).
+                Err(Error::VersionMismatch {
+                    authority,
+                    expected,
+                    found,
+                }) if found < expected && barriers < MAX_READ_BARRIERS => {
+                    barriers += 1;
+                    self.key_delivery_barrier(&authority);
+                    continue;
+                }
+                Err(Error::VersionMismatch { .. }) if !retried => {
+                    retried = true;
+                    continue;
+                }
+                token => token?,
+            };
+            // Only the 128-byte token comes back — not the ciphertext.
+            self.wire.send(
+                Endpoint::Server,
+                Endpoint::User(uid.clone()),
+                format!("transform token {record}/{label}"),
+                mabe_core::GT_BYTES + component.sealed.len() + component.nonce.len(),
+            );
+            let kem = mabe_core::client_recover(&component.key_ct, &token, &rk);
+            break mabe_core::open_component_with_kem(component, &kem);
         };
-        let envelope = self
-            .data
-            .server
-            .fetch(owner_id, record)
-            .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
-        let component = envelope
-            .component(label)
-            .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
-        let (tk, rk) = mabe_core::make_transform_key(&pk, &keys, &mut *self.rng.lock())?;
-        // The blinded key travels to the server (same element count as
-        // the underlying secret keys plus the blinded PK).
-        let tk_bytes: usize =
-            keys.values().map(UserSecretKey::wire_size).sum::<usize>() + mabe_core::G_BYTES;
-        self.wire.send(
-            Endpoint::User(uid.clone()),
-            Endpoint::Server,
-            "transform key",
-            tk_bytes,
-        );
-        let token = mabe_core::server_transform(&component.key_ct, &tk)?;
-        // Only the 128-byte token comes back — not the ciphertext.
-        self.wire.send(
-            Endpoint::Server,
-            Endpoint::User(uid.clone()),
-            format!("transform token {record}/{label}"),
-            mabe_core::GT_BYTES + component.sealed.len() + component.nonce.len(),
-        );
-        let kem = mabe_core::client_recover(&component.key_ct, &token, &rk);
-        let result = mabe_core::open_component_with_kem(component, &kem);
         self.audit.lock().record(AuditEvent::Read {
             uid: uid.to_string(),
             owner: owner_id.to_string(),
@@ -236,6 +337,19 @@ impl CloudSystem {
             allowed: result.is_ok(),
         });
         Ok(result?)
+    }
+
+    /// Waits out any in-flight revocation at `aid`. The immediate phase
+    /// (version bump, key delivery) runs entirely under the authority's
+    /// shard lock, so acquiring and dropping it is a happens-after
+    /// barrier: once it returns, the directory holds every key this
+    /// reader was owed by the revocation that outran its key clone.
+    /// Only the mismatch-retry path pays this — the hot read path still
+    /// takes no shard lock.
+    pub(crate) fn key_delivery_barrier(&self, aid: &AuthorityId) {
+        if let Some(shard) = self.control.shard(aid) {
+            drop(shard.state.lock());
+        }
     }
 
     /// Sets the worker count for the re-encryption pool. `1` (the
@@ -253,13 +367,55 @@ impl CloudSystem {
         self.data.reencrypt_workers.load(Ordering::Relaxed)
     }
 
-    /// Phase 2: owners apply their update keys (checkpointed), then the
-    /// server re-encrypts every affected ciphertext. The worklist comes
-    /// from [`CloudServer::affected_ciphertexts`], which only returns
+    /// Owners apply their update keys (checkpointed per owner in the
+    /// pending entry). Runs in the *immediate* phase of both eager and
+    /// lazy revocation: [`mabe_core::DataOwner::update_info_for`] needs
+    /// attribute-key history at both ends of a version span, so owner
+    /// histories must advance before any deferred or read-triggered
+    /// upgrade can produce update info.
+    pub(crate) fn update_owners(&self, pending: &mut PendingRevocation) -> Result<(), CloudError> {
+        let aid = pending.event.aid.clone();
+        let owner_ids: Vec<OwnerId> = self.directory.owners.read().keys().cloned().collect();
+        for owner_id in owner_ids {
+            let Some(uk) = pending.event.update_keys.get(&owner_id).cloned() else {
+                continue;
+            };
+            if pending.updated_owners.contains(&owner_id) {
+                continue;
+            }
+            self.transmit(
+                fault_points::REVOKE_OWNER_UPDATE,
+                Endpoint::Authority(aid.clone()),
+                Endpoint::Owner(owner_id.clone()),
+                "update key",
+                uk.wire_size(),
+            )?;
+            {
+                let mut owners = self.directory.owners.write();
+                let owner = owners.get_mut(&owner_id).expect("owner exists");
+                match owner.apply_update_key(&uk) {
+                    Ok(()) => {}
+                    Err(Error::VersionMismatch { found, .. }) if found >= uk.to_version => {}
+                    Err(e) => return Err(e.into()),
+                }
+            }
+            pending.updated_owners.insert(owner_id.clone());
+        }
+        Ok(())
+    }
+
+    /// Phase 2 (eager): the server re-encrypts every affected
+    /// ciphertext. The worklist comes from
+    /// [`CloudServer::affected_ciphertexts`], which only returns
     /// components still at the old version — replaying a half-finished
     /// phase naturally skips what is already done (and is what makes a
     /// parallel run idempotent too: workers that already advanced a
     /// component before a failure simply shrink the next worklist).
+    ///
+    /// The worklist is re-taken until a pass finds nothing: a publish
+    /// racing this revocation may seal at the pre-bump version and
+    /// store *after* the first snapshot, and a single-shot worklist
+    /// would strand it stale forever.
     pub(crate) fn reencrypt_phase(
         &self,
         pending: &mut PendingRevocation,
@@ -274,37 +430,23 @@ impl CloudSystem {
             let Some(uk) = pending.event.update_keys.get(&owner_id).cloned() else {
                 continue;
             };
-            if !pending.updated_owners.contains(&owner_id) {
-                self.transmit(
-                    fault_points::REVOKE_OWNER_UPDATE,
-                    Endpoint::Authority(aid.clone()),
-                    Endpoint::Owner(owner_id.clone()),
-                    "update key",
-                    uk.wire_size(),
-                )?;
-                {
-                    let mut owners = self.directory.owners.write();
-                    let owner = owners.get_mut(&owner_id).expect("owner exists");
-                    match owner.apply_update_key(&uk) {
-                        Ok(()) => {}
-                        Err(Error::VersionMismatch { found, .. }) if found >= uk.to_version => {}
-                        Err(e) => return Err(e.into()),
+            loop {
+                let affected = self.data.server.affected_ciphertexts(&owner_id, &aid, from);
+                if affected.is_empty() {
+                    break;
+                }
+                let workers = self
+                    .data
+                    .reencrypt_workers
+                    .load(Ordering::Relaxed)
+                    .clamp(1, affected.len());
+                if workers <= 1 {
+                    for item in &affected {
+                        self.reencrypt_one(&aid, from, to, &owner_id, &uk, item)?;
                     }
+                } else {
+                    self.reencrypt_parallel(&aid, from, to, &owner_id, &uk, &affected, workers)?;
                 }
-                pending.updated_owners.insert(owner_id.clone());
-            }
-            let affected = self.data.server.affected_ciphertexts(&owner_id, &aid, from);
-            let workers = self
-                .data
-                .reencrypt_workers
-                .load(Ordering::Relaxed)
-                .clamp(1, affected.len().max(1));
-            if workers <= 1 {
-                for item in &affected {
-                    self.reencrypt_one(&aid, from, to, &owner_id, &uk, item)?;
-                }
-            } else {
-                self.reencrypt_parallel(&aid, from, to, &owner_id, &uk, &affected, workers)?;
             }
         }
         Ok(())
@@ -338,10 +480,113 @@ impl CloudSystem {
             "update key + update info",
             uk.wire_size() + ui.wire_size(),
         );
-        self.data
+        match self
+            .data
             .server
-            .reencrypt_component(record_key, label, uk, &ui)?;
-        Ok(())
+            .reencrypt_component(record_key, label, uk, &ui)
+        {
+            Ok(()) => Ok(()),
+            // A concurrent read-triggered upgrade got here first and
+            // advanced the component past this revocation's target.
+            Err(Error::VersionMismatch { found, .. }) if found >= to => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// If the archive can advance any of a component's per-authority
+    /// versions, the component must not be served as-is. How it becomes
+    /// current depends on the revocation mode:
+    ///
+    /// - **eager** (consistency-first): a stale-but-advanceable
+    ///   component normally means an inline re-encryption pass is
+    ///   mid-flight under the authority's shard lock. The reader waits
+    ///   it out behind [`Self::key_delivery_barrier`] — when the lock
+    ///   drops the worklist has already advanced this component — so
+    ///   reads observe whole revocations, never a half-applied one.
+    /// - **lazy** (availability-first): the reader upgrades the
+    ///   component in place via the archived update-key chain (at the
+    ///   [`fault_points::READ_UPGRADE`] point) — hot objects converge
+    ///   ahead of the drain, and an adversary holding pre-revocation
+    ///   keys never finds a matching pre-revocation ciphertext.
+    ///
+    /// A component still stale after the eager barrier (a crashed
+    /// revocation left it behind, or a fresh bump landed between the
+    /// barrier and the re-fetch) falls through to the same in-place
+    /// upgrade, so eager mode keeps the read-triggered heal.
+    ///
+    /// Returns `true` if the stored component changed so the caller
+    /// re-fetches. Read-triggered upgrades are deliberately unjournaled
+    /// and unaudited: they are a pure server-side cache warm — the
+    /// durable queue still owns convergence, and audit streams must not
+    /// depend on which replica's reads ran first.
+    fn upgrade_before_serve(
+        &self,
+        owner_id: &OwnerId,
+        record: &str,
+        label: &str,
+        component: &mabe_core::SealedComponent,
+    ) -> Result<bool, CloudError> {
+        let mut stale = self.stale_versions(owner_id, &component.key_ct.versions);
+        if stale.is_empty() {
+            return Ok(false);
+        }
+        let _trace =
+            mabe_trace::Span::child("cloud.read_upgrade").detail(format!("{record}/{label}"));
+        let mut ct_id = component.key_ct.id;
+        if !self.lazy_revocation_enabled() {
+            for (aid, _) in &stale {
+                self.key_delivery_barrier(aid);
+            }
+            let envelope = self
+                .data
+                .server
+                .fetch(owner_id, record)
+                .ok_or_else(|| CloudError::UnknownRecord(record.to_owned()))?;
+            let component = envelope
+                .component(label)
+                .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            stale = self.stale_versions(owner_id, &component.key_ct.versions);
+            if stale.is_empty() {
+                return Ok(true);
+            }
+            ct_id = component.key_ct.id;
+        }
+        self.local_op(fault_points::READ_UPGRADE, None)?;
+        let record_key = (owner_id.clone(), record.to_owned());
+        for (aid, v) in &stale {
+            self.upgrade_one(aid, owner_id, *v, &record_key, label, ct_id)?;
+        }
+        mabe_telemetry::global()
+            .counter("mabe_read_upgrades_total", &[])
+            .inc();
+        Ok(true)
+    }
+
+    /// Post-store half of the publish/revoke race fix: upgrades any
+    /// just-stored component the archive can already advance.
+    /// Best-effort by design — no fault point, no audit, errors
+    /// swallowed — because the publish has already succeeded and the
+    /// drain / read-upgrade paths will converge whatever this misses.
+    fn heal_stale_components(&self, owner_id: &OwnerId, record: &str) {
+        if self.lazy.archive.read().is_empty() {
+            return;
+        }
+        let Some(envelope) = self.data.server.fetch(owner_id, record) else {
+            return;
+        };
+        let record_key = (owner_id.clone(), record.to_owned());
+        for component in &envelope.components {
+            for (aid, v) in self.stale_versions(owner_id, &component.key_ct.versions) {
+                let _ = self.upgrade_one(
+                    &aid,
+                    owner_id,
+                    v,
+                    &record_key,
+                    &component.label,
+                    component.key_ct.id,
+                );
+            }
+        }
     }
 
     /// Fans the affected-component worklist out over `workers` scoped

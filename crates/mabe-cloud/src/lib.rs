@@ -50,6 +50,7 @@ pub mod concurrent;
 pub(crate) mod control;
 pub(crate) mod data;
 pub(crate) mod directory;
+pub(crate) mod lazy;
 pub mod persist;
 pub mod recovery;
 pub mod server;
@@ -58,9 +59,10 @@ pub mod wire;
 
 pub use audit::{AuditEntry, AuditEvent, AuditLoadError, AuditLog};
 pub use concurrent::{run_concurrent_reads, ReaderSpec, ThroughputReport};
+pub use lazy::DEFAULT_LAZY_CAPACITY;
 pub use persist::{
-    DurableSystem, MaintenanceHandle, OpenError, OpenFailure, OpenReport, DEFAULT_DEGRADE_HEADROOM,
-    DEGRADED_POINT, POISONED_POINT,
+    DurableSystem, LazyDrainHandle, MaintenanceHandle, OpenError, OpenFailure, OpenReport,
+    DEFAULT_DEGRADE_HEADROOM, DEGRADED_POINT, POISONED_POINT,
 };
 pub use recovery::{PendingRevocation, RevocationStage};
 pub use server::CloudServer;

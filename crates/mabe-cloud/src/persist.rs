@@ -182,6 +182,15 @@ enum WalRecord {
     UserOffline { uid: String },
     /// An offline user synced its queued update keys.
     UserSynced { uid: String },
+    /// A journaled revocation finished its immediate (security) phase
+    /// and parked its re-encryption on the lazy pending-upgrade queue.
+    /// Logged *after* the defer succeeds: a crash in between replays
+    /// the revocation as still in-flight and recovery drives it
+    /// eagerly.
+    RevocationDeferred { id: u64 },
+    /// A lazy drain batch converged the named queued revocations.
+    /// Logged after completion, like `RevocationDriven`.
+    LazyDrained { ids: Vec<u64> },
 }
 
 impl WalRecord {
@@ -258,6 +267,17 @@ impl WalRecord {
                 out.push(10);
                 put_str(&mut out, uid);
             }
+            WalRecord::RevocationDeferred { id } => {
+                out.push(11);
+                put_u64(&mut out, *id);
+            }
+            WalRecord::LazyDrained { ids } => {
+                out.push(12);
+                put_u32(&mut out, ids.len() as u32);
+                for id in ids {
+                    put_u64(&mut out, *id);
+                }
+            }
         }
         out
     }
@@ -331,6 +351,15 @@ impl WalRecord {
             10 => WalRecord::UserSynced {
                 uid: mabe_core::read_string(&mut r)?,
             },
+            11 => WalRecord::RevocationDeferred { id: r.u64()? },
+            12 => {
+                let n = get_count(&mut r)?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(r.u64()?);
+                }
+                WalRecord::LazyDrained { ids }
+            }
             _ => return Err(Error::Malformed("unknown journal record tag")),
         };
         if !r.is_exhausted() {
@@ -433,6 +462,26 @@ fn encode_system(sys: &CloudSystem) -> Vec<u8> {
         }
     }
     put_u64(&mut out, sys.control.next_revocation.load(Ordering::SeqCst));
+    {
+        let queue = sys.lazy.queue.lock();
+        put_u32(&mut out, queue.len() as u32);
+        for (id, p) in queue.iter() {
+            put_u64(&mut out, *id);
+            put_str(&mut out, p.aid.as_str());
+            put_u64(&mut out, p.from_version);
+            put_u64(&mut out, p.to_version);
+        }
+    }
+    {
+        let archive = sys.lazy.archive.read();
+        put_u32(&mut out, archive.len() as u32);
+        for ((aid, owner, from), uk) in archive.iter() {
+            put_str(&mut out, aid.as_str());
+            put_str(&mut out, owner.as_str());
+            put_u64(&mut out, *from);
+            put_bytes(&mut out, &uk.to_wire_bytes());
+        }
+    }
     out
 }
 
@@ -605,6 +654,38 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
     sys.control
         .next_revocation
         .store(r.u64().map_err(snap)?, Ordering::SeqCst);
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let id = r.u64().map_err(snap)?;
+        let aid = AuthorityId::new(mabe_core::read_string(&mut r).map_err(snap)?);
+        let from_version = r.u64().map_err(snap)?;
+        let to_version = r.u64().map_err(snap)?;
+        let entry = crate::lazy::PendingUpgrade {
+            aid,
+            from_version,
+            to_version,
+            enqueued: Instant::now(),
+        };
+        if sys.lazy.queue.lock().insert(id, entry).is_some() {
+            return Err(snap_err("duplicate pending upgrade in snapshot"));
+        }
+    }
+    let n = get_count(&mut r).map_err(snap)?;
+    for _ in 0..n {
+        let aid = AuthorityId::new(mabe_core::read_string(&mut r).map_err(snap)?);
+        let owner = OwnerId::new(mabe_core::read_string(&mut r).map_err(snap)?);
+        let from = r.u64().map_err(snap)?;
+        let uk = UpdateKey::from_wire_bytes(&get_bytes(&mut r).map_err(snap)?).map_err(snap)?;
+        if sys
+            .lazy
+            .archive
+            .write()
+            .insert((aid, owner, from), uk)
+            .is_some()
+        {
+            return Err(snap_err("duplicate archived update key in snapshot"));
+        }
+    }
     if !r.is_exhausted() {
         return Err(snap_err("trailing bytes after snapshot"));
     }
@@ -719,6 +800,12 @@ fn apply_record(sys: &CloudSystem, rec: WalRecord) -> Result<(), CloudError> {
         }
         WalRecord::UserSynced { uid } => {
             sys.sync_user(&Uid::new(uid))?;
+        }
+        WalRecord::RevocationDeferred { id } => {
+            sys.defer_revocation(id)?;
+        }
+        WalRecord::LazyDrained { ids } => {
+            sys.replay_drain(&ids)?;
         }
     }
     Ok(())
@@ -980,6 +1067,10 @@ impl<S: Storage> DurableSystem<S> {
                 })
             }
         };
+        // Recovery only drives *in-flight* revocations; deferred ones
+        // replayed onto the lazy queue stay queued (acked ⇒ durable) for
+        // the drain workers or read-triggered upgrade to converge.
+        durable.sys.refresh_lazy_gauge();
         let duration_ms = start.elapsed().as_millis() as u64;
         mabe_telemetry::global()
             .histogram("mabe_recovery_duration_ms", &[])
@@ -1571,6 +1662,7 @@ impl<S: Storage> DurableSystem<S> {
             .parse()
             .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
         let aid = attr.authority().clone();
+        self.lazy_backpressure_logged()?;
         let mut op = self.op.lock();
         let shard = self
             .sys
@@ -1601,6 +1693,7 @@ impl<S: Storage> DurableSystem<S> {
         let _trace =
             mabe_trace::Span::child("durable.revoke_user_at").detail(format!("{uid} @{aid}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
+        self.lazy_backpressure_logged()?;
         let mut op = self.op.lock();
         let shard = self
             .sys
@@ -1680,7 +1773,26 @@ impl<S: Storage> DurableSystem<S> {
             },
         )?;
         let id = self.sys.begin_in_shard(st, event);
-        self.drive_logged(op, st, id, false)
+        if self.sys.lazy_revocation_enabled() {
+            self.defer_logged(op, st, id)
+        } else {
+            self.drive_logged(op, st, id, false)
+        }
+    }
+
+    /// Runs the lazy immediate phase and logs the defer. A crash
+    /// between the defer and the log replays the revocation as still
+    /// in-flight and recovery drives it eagerly — the documented
+    /// roll-forward; the security-gating steps are idempotent either
+    /// way.
+    fn defer_logged(
+        &self,
+        op: &mut OpState,
+        st: &mut ShardState,
+        id: u64,
+    ) -> Result<(), CloudError> {
+        self.sys.defer_in_shard(st, id)?;
+        self.log_locked(op, &WalRecord::RevocationDeferred { id })
     }
 
     /// Drives one journaled revocation and logs its completion. A crash
@@ -1723,6 +1835,79 @@ impl<S: Storage> DurableSystem<S> {
             completed += 1;
         }
         Ok(completed)
+    }
+
+    /// The durable backpressure gate: while the lazy queue sits at
+    /// capacity, this revoker drains (and journals) a batch inline
+    /// before enqueueing more. Runs *before* the op lock — the drain
+    /// takes it briefly for its own completion record.
+    fn lazy_backpressure_logged(&self) -> Result<(), CloudError> {
+        if !self.sys.lazy_revocation_enabled() {
+            return Ok(());
+        }
+        while self.sys.lazy_queue_depth() >= self.sys.lazy_capacity() {
+            mabe_telemetry::global()
+                .counter("mabe_lazy_backpressure_total", &[])
+                .inc();
+            if self.drain_lazy_batch()?.is_empty() {
+                break;
+            }
+        }
+        Ok(())
+    }
+
+    /// Claims and drains one authority's pending lazy batch to
+    /// convergence, journaling the completion (`LazyDrained`) so replay
+    /// converges the same revocations. Component upgrades run **outside**
+    /// the op lock — reads and other ops proceed during a drain; only
+    /// the completion record serializes with the journal. In degraded
+    /// (read-only) mode this is a clean no-op: the queue is preserved
+    /// and read-triggered upgrade keeps serving fresh bytes.
+    ///
+    /// # Errors
+    ///
+    /// Poisoned handle, journal failures, or unrecovered drain faults
+    /// (the claim is released and the queue kept intact for retry).
+    pub fn drain_lazy_batch(&self) -> Result<Vec<u64>, CloudError> {
+        self.check_poisoned()?;
+        if self.degraded() {
+            return Ok(Vec::new());
+        }
+        let Some(claim) = self.sys.claim_next() else {
+            return Ok(Vec::new());
+        };
+        let result = self.drain_claim_logged(&claim);
+        self.sys.release_claim(&claim.aid);
+        result
+    }
+
+    fn drain_claim_logged(&self, claim: &crate::lazy::LazyClaim) -> Result<Vec<u64>, CloudError> {
+        self.sys.drain_claim_components(claim)?;
+        let mut op = self.op.lock();
+        let ids = self.sys.complete_claim(claim);
+        if !ids.is_empty() {
+            self.log_locked(&mut op, &WalRecord::LazyDrained { ids: ids.clone() })?;
+            self.maybe_checkpoint_locked(&mut op)?;
+        }
+        Ok(ids)
+    }
+
+    /// Drains the entire lazy pending-upgrade queue durably. Returns
+    /// how many deferred revocations converged.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first failing batch; earlier batches stay
+    /// converged and journaled.
+    pub fn drain_lazy(&self) -> Result<usize, CloudError> {
+        let mut converged = 0;
+        loop {
+            let ids = self.drain_lazy_batch()?;
+            if ids.is_empty() {
+                return Ok(converged);
+            }
+            converged += ids.len();
+        }
     }
 
     /// Read access to the wrapped system (audit trail, server, wire
@@ -1826,6 +2011,44 @@ impl<S: Storage + Send + Sync + 'static> DurableSystem<S> {
             thread: Some(thread),
         }
     }
+
+    /// Spawns the bounded lazy-drain worker pool: `workers` threads
+    /// each repeatedly claim and drain one authority's pending batch
+    /// (journaling completions) and sleep `period` when the queue is
+    /// empty or a fault blocks a batch (the claim is released, so the
+    /// next tick retries). Workers park permanently if the handle
+    /// poisons; drain errors are absorbed — foreground revokes apply
+    /// backpressure and reads self-heal regardless.
+    pub fn spawn_lazy_drain(self: &Arc<Self>, workers: usize, period: Duration) -> LazyDrainHandle {
+        let stop = Arc::new(AtomicBool::new(false));
+        let mut threads = Vec::new();
+        for _ in 0..workers.max(1) {
+            let flag = Arc::clone(&stop);
+            let sys = Arc::clone(self);
+            threads.push(std::thread::spawn(move || {
+                while !flag.load(Ordering::SeqCst) {
+                    if sys.poisoned() {
+                        break;
+                    }
+                    if let Ok(ids) = sys.drain_lazy_batch() {
+                        if !ids.is_empty() {
+                            // Keep draining while there is claimable work.
+                            continue;
+                        }
+                    }
+                    // Idle (or transiently faulted): sleep in short
+                    // slices so stop() returns promptly.
+                    let mut slept = Duration::ZERO;
+                    while slept < period && !flag.load(Ordering::SeqCst) {
+                        let slice = (period - slept).min(Duration::from_millis(20));
+                        std::thread::sleep(slice);
+                        slept += slice;
+                    }
+                }
+            }));
+        }
+        LazyDrainHandle { stop, threads }
+    }
 }
 
 /// Stops the background maintenance loop when explicitly
@@ -1856,10 +2079,38 @@ impl Drop for MaintenanceHandle {
     }
 }
 
+/// Stops the lazy-drain worker pool when explicitly
+/// [`stopped`](LazyDrainHandle::stop) or dropped.
+#[derive(Debug)]
+pub struct LazyDrainHandle {
+    stop: Arc<AtomicBool>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl LazyDrainHandle {
+    /// Signals every worker to exit and joins them.
+    pub fn stop(mut self) {
+        self.halt();
+    }
+
+    fn halt(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for thread in self.threads.drain(..) {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for LazyDrainHandle {
+    fn drop(&mut self) {
+        self.halt();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mabe_faults::FaultKind;
+    use mabe_faults::{FaultKind, FaultPlan};
     use mabe_store::{store_points, SimDisk};
 
     const DOC_POLICY: &str = "Doctor@MedOrg";
@@ -1959,6 +2210,207 @@ mod tests {
         assert_eq!(ds2.generation(), generation);
         assert_eq!(&*ds2.audit(), &expected_audit);
         assert_eq!(ds2.read(&bob, &owner, "rec-late", "x").unwrap(), b"tail");
+    }
+
+    /// A small lazy-mode world: two authorities, two publishes, lazy
+    /// revocation enabled, one revoke deferred onto the queue.
+    fn lazy_world(ds: DurableSystem<SimDisk>) -> (DurableSystem<SimDisk>, Uid, Uid, OwnerId) {
+        ds.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
+        let owner = ds.add_owner("hospital").unwrap();
+        let alice = ds.add_user("alice").unwrap();
+        let bob = ds.add_user("bob").unwrap();
+        ds.grant(&alice, &["Doctor@MedOrg"]).unwrap();
+        ds.grant(&bob, &["Doctor@MedOrg"]).unwrap();
+        ds.publish(&owner, "rec-a", &[("x", b"aaa".as_slice(), DOC_POLICY)])
+            .unwrap();
+        ds.publish(&owner, "rec-b", &[("y", b"bbb".as_slice(), DOC_POLICY)])
+            .unwrap();
+        ds.system().set_lazy_revocation(true);
+        ds.revoke(&alice, "Doctor@MedOrg").unwrap();
+        assert_eq!(ds.system().lazy_queue_depth(), 1);
+        (ds, alice, bob, owner)
+    }
+
+    #[test]
+    fn deferred_revocation_survives_a_crash_with_the_queue_intact() {
+        let (ds, alice, bob, owner) = lazy_world(open_fresh(21));
+        assert!(!ds.needs_recovery(), "deferred ≠ in-flight");
+        let mut disk = ds.into_storage();
+        disk.crash();
+
+        let (ds2, report) = DurableSystem::open(disk, 22).unwrap();
+        assert_eq!(report.revocations_recovered, 0);
+        assert_eq!(
+            ds2.system().lazy_queue_depth(),
+            1,
+            "acked lazy revoke is durable"
+        );
+        // Security survived the crash: the revoked user is denied even
+        // though the ciphertexts are still at the old version...
+        assert!(ds2.read(&alice, &owner, "rec-a", "x").is_err());
+        // ...and a live holder reads through the staleness.
+        assert_eq!(ds2.read(&bob, &owner, "rec-b", "y").unwrap(), b"bbb");
+        assert_eq!(ds2.drain_lazy().unwrap(), 1);
+        assert_eq!(ds2.system().lazy_queue_depth(), 0);
+        assert!(ds2.audit().verify());
+    }
+
+    #[test]
+    fn journaled_lazy_drain_replays_identically() {
+        let (ds, alice, bob, owner) = lazy_world(open_fresh(23));
+        assert_eq!(ds.drain_lazy().unwrap(), 1);
+        let expected_audit = ds.audit().clone();
+        let mut disk = ds.into_storage();
+        disk.crash();
+
+        let (ds2, _) = DurableSystem::open(disk, 24).unwrap();
+        assert_eq!(
+            &*ds2.audit(),
+            &expected_audit,
+            "defer + drain replay to the same audit chain"
+        );
+        assert_eq!(ds2.system().lazy_queue_depth(), 0);
+        assert!(ds2.read(&alice, &owner, "rec-a", "x").is_err());
+        assert_eq!(ds2.read(&bob, &owner, "rec-a", "x").unwrap(), b"aaa");
+    }
+
+    #[test]
+    fn checkpoint_persists_the_queue_and_update_key_archive() {
+        let (ds, _alice, bob, owner) = lazy_world(open_fresh(25));
+        ds.checkpoint().unwrap();
+        let mut disk = ds.into_storage();
+        disk.crash();
+
+        let (ds2, report) = DurableSystem::open(disk, 26).unwrap();
+        assert!(report.wal.had_snapshot);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(ds2.system().lazy_queue_depth(), 1);
+        // Draining after a snapshot-only reopen needs the archived
+        // update keys — they rode in the checkpoint.
+        assert_eq!(ds2.drain_lazy().unwrap(), 1);
+        assert_eq!(ds2.read(&bob, &owner, "rec-b", "y").unwrap(), b"bbb");
+        assert!(ds2.audit().verify());
+    }
+
+    #[test]
+    fn background_drain_workers_converge_a_storm() {
+        let ds = Arc::new(open_fresh(27));
+        ds.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
+        ds.add_authority("Trial", &["Researcher"]).unwrap();
+        let owner = ds.add_owner("hospital").unwrap();
+        let alice = ds.add_user("alice").unwrap();
+        let bob = ds.add_user("bob").unwrap();
+        ds.grant(&alice, &["Doctor@MedOrg", "Researcher@Trial"])
+            .unwrap();
+        ds.grant(&bob, &["Doctor@MedOrg"]).unwrap();
+        ds.publish(&owner, "rec", &[("x", b"sec".as_slice(), DOC_POLICY)])
+            .unwrap();
+        ds.system().set_lazy_revocation(true);
+        ds.revoke(&alice, "Doctor@MedOrg").unwrap();
+        ds.revoke(&bob, "Doctor@MedOrg").unwrap();
+        ds.revoke(&alice, "Researcher@Trial").unwrap();
+        assert_eq!(ds.system().lazy_queue_depth(), 3);
+
+        let handle = ds.spawn_lazy_drain(2, Duration::from_millis(10));
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while ds.system().lazy_queue_depth() > 0 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        handle.stop();
+        assert_eq!(
+            ds.system().lazy_queue_depth(),
+            0,
+            "workers drained the storm"
+        );
+        assert!(!ds.needs_recovery());
+        assert!(ds.audit().verify());
+        let converged = ds
+            .audit()
+            .entries()
+            .iter()
+            .filter(|e| matches!(e.event, AuditEvent::RevocationConverged { .. }))
+            .count();
+        assert_eq!(converged, 3);
+    }
+
+    /// One lazy lifecycle with a crash scheduled at the `hit`-th firing
+    /// of `point`, then a power cut and a reopen. Whatever the crash
+    /// interrupted, the reopened system must roll forward to the same
+    /// end state: queue drained, revoked uid denied, live holder
+    /// served, audit chain closed.
+    fn lazy_crash_scenario(point: &'static str, hit: u64) {
+        let plan = FaultPlan::new(0x1a2e).at(point, hit, FaultKind::Crash);
+        let (ds, _) =
+            DurableSystem::open_with_faults(SimDisk::unfaulted(), 41, FaultInjector::new(plan))
+                .unwrap();
+        ds.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
+        let owner = ds.add_owner("hospital").unwrap();
+        let alice = ds.add_user("alice").unwrap();
+        let bob = ds.add_user("bob").unwrap();
+        ds.grant(&alice, &["Doctor@MedOrg"]).unwrap();
+        ds.grant(&bob, &["Doctor@MedOrg"]).unwrap();
+        ds.publish(&owner, "rec-a", &[("x", b"aaa".as_slice(), DOC_POLICY)])
+            .unwrap();
+        ds.publish(&owner, "rec-b", &[("y", b"bbb".as_slice(), DOC_POLICY)])
+            .unwrap();
+        ds.system().set_lazy_revocation(true);
+
+        // Exactly one of these trips the scheduled crash; each outcome
+        // is tolerated here — the contract is what survives the cut.
+        let _ = ds.revoke(&alice, "Doctor@MedOrg"); // cloud.lazy_enqueue
+        let _ = ds.read(&bob, &owner, "rec-a", "x"); // cloud.read_upgrade
+        let _ = ds.drain_lazy(); // cloud.lazy_drain
+
+        // Security never waited for the deferred work: the version bump
+        // and key delivery are immediate, so alice is denied *now*,
+        // whatever state the crash left the queue in.
+        assert!(
+            ds.read(&alice, &owner, "rec-a", "x").is_err(),
+            "{point}#{hit}: revoked uid read before the power cut"
+        );
+
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let (ds2, _) = DurableSystem::open(disk, 42).unwrap();
+        // Roll forward: a crash before the defer was journaled leaves
+        // the revocation in-flight (recovery drives it eagerly); a
+        // crash after leaves it queued (drain converges it).
+        while ds2.needs_recovery() {
+            ds2.recover().unwrap();
+        }
+        ds2.drain_lazy().unwrap();
+        assert_eq!(
+            ds2.system().lazy_queue_depth(),
+            0,
+            "{point}#{hit}: queue did not converge after reopen"
+        );
+        assert!(
+            ds2.read(&alice, &owner, "rec-a", "x").is_err(),
+            "{point}#{hit}: revoked uid reads post-bump"
+        );
+        assert_eq!(
+            ds2.read(&bob, &owner, "rec-b", "y").unwrap(),
+            b"bbb",
+            "{point}#{hit}: live holder lost access"
+        );
+        assert!(ds2.audit().verify(), "{point}#{hit}: audit chain broken");
+        assert!(
+            ds2.audit().incomplete_revocations().is_empty(),
+            "{point}#{hit}: audit shows incomplete revocations"
+        );
+    }
+
+    #[test]
+    fn crash_sweep_over_lazy_fault_points() {
+        for (point, hits) in [
+            (fault_points::LAZY_ENQUEUE, 1),
+            (fault_points::LAZY_DRAIN, 2), // two stale components to kill between
+            (fault_points::READ_UPGRADE, 1),
+        ] {
+            for hit in 1..=hits {
+                lazy_crash_scenario(point, hit);
+            }
+        }
     }
 
     #[test]

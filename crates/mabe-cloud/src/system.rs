@@ -58,6 +58,15 @@ pub mod fault_points {
     pub const REVOKE_REENCRYPT: &str = "revoke.reencrypt";
     /// Composed update-key delivery when an offline user syncs.
     pub const SYNC_DELIVER: &str = "sync.deliver";
+    /// Parking a lazy revocation's re-encryption work on the
+    /// pending-upgrade queue (immediate phase of a lazy revoke).
+    pub const LAZY_ENQUEUE: &str = "cloud.lazy_enqueue";
+    /// One component upgrade performed by the lazy drain (background
+    /// worker or inline backpressure drain).
+    pub const LAZY_DRAIN: &str = "cloud.lazy_drain";
+    /// A read-triggered upgrade: a stale component is re-encrypted in
+    /// place before being served.
+    pub const READ_UPGRADE: &str = "cloud.read_upgrade";
 }
 
 /// Errors from system-level operations.
@@ -241,6 +250,9 @@ pub struct CloudSystem {
     /// Jitter draws come from a dedicated stream so fault schedules never
     /// perturb the crypto determinism of `rng`.
     pub(crate) retry_rng: Mutex<StdRng>,
+    /// Lazy-revocation machinery: the pending-upgrade queue, the
+    /// server-held update-key archive, and the drain claim set.
+    pub(crate) lazy: crate::lazy::LazyState,
 }
 
 impl CloudSystem {
@@ -263,6 +275,7 @@ impl CloudSystem {
             faults,
             retry: RwLock::new(RetryPolicy::default()),
             retry_rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15)),
+            lazy: crate::lazy::LazyState::new(),
         }
     }
 

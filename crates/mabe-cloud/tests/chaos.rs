@@ -18,6 +18,11 @@
 //! 5. server snapshots survive restore, and corrupted snapshots are
 //!    rejected without panicking.
 //!
+//! Every seed runs twice: once eager and once with lazy revocation,
+//! where the schedule additionally crashes the deferred-queue paths
+//! (`cloud.lazy_enqueue`, `cloud.lazy_drain`, `cloud.read_upgrade`) and
+//! convergence must also drain the pending-upgrade queue.
+//!
 //! Seeds are fixed so failures reproduce; set `RANDOM_SEED=<u64>` to run
 //! one extra exploratory schedule (CI logs the seed on failure).
 
@@ -37,8 +42,11 @@ struct World {
     dave: Uid,
 }
 
-/// Builds the world fault-free, then arms the seeded fault plan.
-fn chaotic_world(seed: u64) -> World {
+/// Builds the world fault-free, then arms the seeded fault plan. With
+/// `lazy` the revocations defer their re-encryption onto the pending
+/// queue, and the schedule additionally crashes the enqueue/drain/
+/// read-upgrade paths.
+fn chaotic_world(seed: u64, lazy: bool) -> World {
     let mut sys = CloudSystem::new(seed);
     let med = sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
     let trial = sys
@@ -85,8 +93,12 @@ fn chaotic_world(seed: u64) -> World {
         .rate(fault_points::REVOKE_UPDATE_DELIVER, FaultKind::Crash, 0.20)
         .rate(fault_points::REVOKE_REENCRYPT, FaultKind::Crash, 0.20)
         .rate(fault_points::REVOKE_FRESH_KEY, FaultKind::Drop, 0.25)
+        .rate(fault_points::LAZY_ENQUEUE, FaultKind::Crash, 0.20)
+        .rate(fault_points::LAZY_DRAIN, FaultKind::Crash, 0.20)
+        .rate(fault_points::READ_UPGRADE, FaultKind::StorageError, 0.10)
         .delay_us(750)
         .budget(48);
+    sys.set_lazy_revocation(lazy);
     *sys.faults_mut() = FaultInjector::new(plan);
 
     World {
@@ -124,12 +136,12 @@ fn revoke_until_begun(
 }
 
 /// One full chaos schedule followed by convergence and invariant checks.
-fn run_scenario(seed: u64) {
+fn run_scenario(seed: u64, lazy: bool) {
     // On any assertion failure below, dump the flight recorder to
     // `trace_<seed>_chaos.json` (under `MABE_TRACE_DIR`, or
     // `target/trace-artifacts`) before the panic propagates.
     let _forensics = mabe_trace::FailureDump::new(seed, "chaos");
-    let mut w = chaotic_world(seed);
+    let mut w = chaotic_world(seed, lazy);
 
     // Background traffic while faults are live: every outcome is
     // tolerated here, the contract is "no panic, exact accounting".
@@ -174,6 +186,10 @@ fn run_scenario(seed: u64) {
         let _ = w.sys.read(&w.carol, &w.hospital, "trial", "t");
         let _ = w.sys.read(&w.alice, &w.hospital, "med", "m");
     }
+    // Opportunistic drains racing the fault schedule: a crashed drain
+    // must release its claim and leave the queue intact for retry.
+    let _ = w.sys.drain_lazy();
+    let _ = w.sys.drain_lazy();
 
     // ---- convergence ----
     w.sys.faults_mut().disarm();
@@ -188,6 +204,10 @@ fn run_scenario(seed: u64) {
         "seed {seed}: revocations still pending after recovery: {:?}",
         w.sys.pending_revocations()
     );
+    while w.sys.lazy_queue_depth() > 0 {
+        let drained = w.sys.drain_lazy().expect("drain_lazy with faults disarmed");
+        assert!(drained > 0, "seed {seed}: lazy queue stuck");
+    }
     assert!(
         w.sys.audit().incomplete_revocations().is_empty(),
         "seed {seed}: audit journal shows incomplete revocations"
@@ -289,25 +309,33 @@ fn run_scenario(seed: u64) {
 }
 
 macro_rules! chaos_seed {
-    ($($name:ident: $seed:expr,)*) => {
+    ($($name:ident: $seed:expr => $lazy:expr,)*) => {
         $(
             #[test]
             fn $name() {
-                run_scenario($seed);
+                run_scenario($seed, $lazy);
             }
         )*
     };
 }
 
 chaos_seed! {
-    chaos_seed_0x01: 0x01,
-    chaos_seed_0x2a: 0x2a,
-    chaos_seed_0x6b: 0x6b,
-    chaos_seed_0xd3: 0xd3,
-    chaos_seed_1337: 1337,
-    chaos_seed_4242: 4242,
-    chaos_seed_9001: 9001,
-    chaos_seed_31415: 31415,
+    chaos_seed_0x01: 0x01 => false,
+    chaos_seed_0x2a: 0x2a => false,
+    chaos_seed_0x6b: 0x6b => false,
+    chaos_seed_0xd3: 0xd3 => false,
+    chaos_seed_1337: 1337 => false,
+    chaos_seed_4242: 4242 => false,
+    chaos_seed_9001: 9001 => false,
+    chaos_seed_31415: 31415 => false,
+    lazy_chaos_seed_0x01: 0x01 => true,
+    lazy_chaos_seed_0x2a: 0x2a => true,
+    lazy_chaos_seed_0x6b: 0x6b => true,
+    lazy_chaos_seed_0xd3: 0xd3 => true,
+    lazy_chaos_seed_1337: 1337 => true,
+    lazy_chaos_seed_4242: 4242 => true,
+    lazy_chaos_seed_9001: 9001 => true,
+    lazy_chaos_seed_31415: 31415 => true,
 }
 
 /// Exploratory schedule: `RANDOM_SEED=<u64> cargo test -p mabe-cloud
@@ -320,7 +348,8 @@ fn chaos_random_seed_from_env() {
     };
     let seed: u64 = raw.parse().expect("RANDOM_SEED must be a u64");
     eprintln!("chaos: running exploratory schedule with seed {seed}");
-    run_scenario(seed);
+    run_scenario(seed, false);
+    run_scenario(seed, true);
 }
 
 /// The telemetry families promised in DESIGN.md §failure-model show up

@@ -7,20 +7,37 @@
 //! readiness is recomputed per scrape, so a system that poisons
 //! itself mid-run flips `/readyz` to 503 on the very next request.
 //!
-//! Probes come in two severities. A **critical** probe
+//! Probes come in three severities. A **critical** probe
 //! ([`Probe::new`]) gates readiness: any failure flips `/readyz` to
 //! 503 and load balancers stop routing. A **soft** probe
 //! ([`Probe::soft`]) reports *degradation* without failing readiness —
 //! the disk-full read-only mode is the canonical case: the process
 //! still serves every read, so it must keep receiving traffic, but
-//! operators need the degraded bit surfaced on the same endpoint.
+//! operators need the degraded bit surfaced on the same endpoint. A
+//! **draining** probe ([`Probe::draining`]) reports *background work
+//! still converging* — the lazy-revocation pending-upgrade queue is
+//! the canonical case: security is already enforced (version bumps and
+//! key delivery are synchronous), only server-side re-encryption is
+//! outstanding, so `/readyz` stays 200 with `draining: true` until the
+//! queue empties.
 
 use std::fmt;
+
+/// How a probe's failure is reported on `/readyz`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Severity {
+    /// Failure fails readiness (503).
+    Critical,
+    /// Failure flags `degraded: true` at 200.
+    Soft,
+    /// Failure flags `draining: true` at 200.
+    Draining,
+}
 
 /// One named readiness check.
 pub struct Probe {
     name: String,
-    critical: bool,
+    severity: Severity,
     check: Box<dyn Fn() -> bool + Send + Sync>,
 }
 
@@ -30,7 +47,7 @@ impl Probe {
     pub fn new(name: impl Into<String>, check: impl Fn() -> bool + Send + Sync + 'static) -> Self {
         Probe {
             name: name.into(),
-            critical: true,
+            severity: Severity::Critical,
             check: Box::new(check),
         }
     }
@@ -41,7 +58,22 @@ impl Probe {
     pub fn soft(name: impl Into<String>, check: impl Fn() -> bool + Send + Sync + 'static) -> Self {
         Probe {
             name: name.into(),
-            critical: false,
+            severity: Severity::Soft,
+            check: Box::new(check),
+        }
+    }
+
+    /// A draining probe: while `check` returns `false` the report
+    /// carries `draining: true`, but `/readyz` stays 200 — deferred
+    /// background work (a non-empty lazy-revocation queue) is still
+    /// converging, which is normal operation, not an outage.
+    pub fn draining(
+        name: impl Into<String>,
+        check: impl Fn() -> bool + Send + Sync + 'static,
+    ) -> Self {
+        Probe {
+            name: name.into(),
+            severity: Severity::Draining,
             check: Box::new(check),
         }
     }
@@ -52,9 +84,14 @@ impl Probe {
     }
 
     /// Whether a failure fails readiness (vs. merely flagging
-    /// degradation).
+    /// degradation or drain-in-progress).
     pub fn critical(&self) -> bool {
-        self.critical
+        self.severity == Severity::Critical
+    }
+
+    /// Whether a failure reports background work still draining.
+    pub fn is_draining_kind(&self) -> bool {
+        self.severity == Severity::Draining
     }
 
     /// Evaluates the probe now.
@@ -67,7 +104,7 @@ impl fmt::Debug for Probe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Probe")
             .field("name", &self.name)
-            .field("critical", &self.critical)
+            .field("severity", &self.severity)
             .finish()
     }
 }
@@ -80,8 +117,11 @@ pub struct ProbeStatus {
     /// Its verdict at evaluation time.
     pub ok: bool,
     /// Whether a failure gates readiness (critical) or only flags
-    /// degradation (soft).
+    /// degradation / drain-in-progress.
     pub critical: bool,
+    /// Whether a failure means deferred background work is still
+    /// draining rather than the process being impaired.
+    pub draining: bool,
 }
 
 /// The outcome of evaluating every registered probe once.
@@ -103,6 +143,7 @@ impl ReadinessReport {
                     name: p.name().to_owned(),
                     ok: p.ok(),
                     critical: p.critical(),
+                    draining: p.is_draining_kind(),
                 })
                 .collect(),
         }
@@ -117,7 +158,16 @@ impl ReadinessReport {
     /// Degraded iff any *soft* probe failed — impaired but still
     /// servable (e.g. a disk-full read-only mode).
     pub fn degraded(&self) -> bool {
-        self.probes.iter().any(|p| !p.ok && !p.critical)
+        self.probes
+            .iter()
+            .any(|p| !p.ok && !p.critical && !p.draining)
+    }
+
+    /// Draining iff any *draining* probe failed — deferred background
+    /// work (e.g. the lazy-revocation pending-upgrade queue) has not
+    /// converged yet. Normal operation, never an outage.
+    pub fn draining(&self) -> bool {
+        self.probes.iter().any(|p| !p.ok && p.draining)
     }
 
     /// The report as the `/readyz` JSON body.
@@ -126,16 +176,19 @@ impl ReadinessReport {
         out.push_str(if self.ready() { "true" } else { "false" });
         out.push_str(",\"degraded\":");
         out.push_str(if self.degraded() { "true" } else { "false" });
+        out.push_str(",\"draining\":");
+        out.push_str(if self.draining() { "true" } else { "false" });
         out.push_str(",\"probes\":[");
         for (i, p) in self.probes.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             out.push_str(&format!(
-                "{{\"name\":\"{}\",\"ok\":{},\"critical\":{}}}",
+                "{{\"name\":\"{}\",\"ok\":{},\"critical\":{},\"draining\":{}}}",
                 crate::json::escape(&p.name),
                 p.ok,
-                p.critical
+                p.critical,
+                p.draining
             ));
         }
         out.push_str("]}\n");
@@ -194,5 +247,29 @@ mod tests {
         assert!(json.contains("\"ready\":true"));
         assert!(json.contains("\"degraded\":true"));
         assert!(json.contains("\"name\":\"store_writable\",\"ok\":false,\"critical\":false"));
+    }
+
+    #[test]
+    fn a_draining_probe_reports_drain_in_progress_without_degrading() {
+        let idle = Arc::new(AtomicBool::new(false));
+        let i = Arc::clone(&idle);
+        let probes = vec![
+            Probe::new("wal_unpoisoned", || true),
+            Probe::draining("lazy_queue_empty", move || i.load(Ordering::SeqCst)),
+        ];
+        let report = ReadinessReport::evaluate(&probes);
+        assert!(report.ready(), "a draining queue never fails readiness");
+        assert!(!report.degraded(), "draining is not degradation");
+        assert!(report.draining());
+        let json = report.to_json();
+        assert!(json.contains("\"ready\":true"));
+        assert!(json.contains("\"degraded\":false"));
+        assert!(json.contains("\"draining\":true"));
+        assert!(json.contains(
+            "\"name\":\"lazy_queue_empty\",\"ok\":false,\"critical\":false,\"draining\":true"
+        ));
+
+        idle.store(true, Ordering::SeqCst);
+        assert!(!ReadinessReport::evaluate(&probes).draining());
     }
 }

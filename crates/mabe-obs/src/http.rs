@@ -450,6 +450,34 @@ mod tests {
     }
 
     #[test]
+    fn readyz_stays_200_while_the_lazy_queue_drains() {
+        let depth = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let d = Arc::clone(&depth);
+        let server = ObsServer::bind(
+            "127.0.0.1:0",
+            vec![
+                Probe::new("not_poisoned", || true),
+                Probe::draining("lazy_queue_empty", move || d.load(Ordering::SeqCst) == 0),
+            ],
+        )
+        .unwrap();
+        assert!(fetch_raw(server.addr(), "/readyz").contains("\"draining\":false"));
+        depth.store(7, Ordering::SeqCst);
+        let draining = fetch_raw(server.addr(), "/readyz");
+        // A non-empty pending-upgrade queue is normal operation —
+        // security was enforced at revoke ack time, only deferred
+        // re-encryption is outstanding — so the status stays 200.
+        assert!(draining.starts_with("HTTP/1.1 200 "));
+        assert!(draining.contains("\"ready\":true"));
+        assert!(draining.contains("\"degraded\":false"));
+        assert!(draining.contains("\"draining\":true"));
+        assert!(draining.contains("\"name\":\"lazy_queue_empty\",\"ok\":false"));
+        depth.store(0, Ordering::SeqCst);
+        assert!(fetch_raw(server.addr(), "/readyz").contains("\"draining\":false"));
+        server.shutdown();
+    }
+
+    #[test]
     fn query_params_parse() {
         assert_eq!(query_param("n=32&x=1", "n").as_deref(), Some("32"));
         assert_eq!(query_param("x=1", "n"), None);

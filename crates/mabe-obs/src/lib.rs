@@ -21,7 +21,9 @@
 //!     [`Probe`] must pass, otherwise 503 (a poisoned `DurableSystem`
 //!     or a downed authority shard flips this); failing *soft* probes
 //!     ([`Probe::soft`], e.g. a disk-full read-only degradation) keep
-//!     the 200 but set `"degraded":true` in the body,
+//!     the 200 but set `"degraded":true` in the body, and failing
+//!     *draining* probes ([`Probe::draining`], e.g. a non-empty
+//!     lazy-revocation queue) keep the 200 but set `"draining":true`,
 //!   - `GET /tracez` — the most recent spans from the `mabe-trace`
 //!     flight recorder as the self-describing tree JSON,
 //!   - `GET /profilez` — the span profiler's collapsed-stack text.
