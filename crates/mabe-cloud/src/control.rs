@@ -111,6 +111,7 @@ impl CloudSystem {
     /// unrecovered injected faults.
     pub fn grant(&self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
         let _trace = mabe_trace::Span::child("cloud.grant").detail(uid.to_string());
+        mabe_trace::op_attr("uid", uid.to_string());
         let pk = {
             let users = self.directory.users.read();
             users
@@ -131,6 +132,7 @@ impl CloudSystem {
                 .push(attr);
         }
         for (aid, attrs) in by_authority {
+            mabe_trace::op_attr("authority", aid.to_string());
             let shard = self
                 .control
                 .shard(&aid)
@@ -210,6 +212,8 @@ impl CloudSystem {
             .parse()
             .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
         let aid = attr.authority().clone();
+        mabe_trace::op_attr("uid", uid.to_string());
+        mabe_trace::op_attr("authority", aid.to_string());
         self.lazy_backpressure()?;
         let shard = self
             .control
@@ -241,6 +245,8 @@ impl CloudSystem {
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
         let _trace =
             mabe_trace::Span::child("cloud.revoke_user_at").detail(format!("{uid} @{aid}"));
+        mabe_trace::op_attr("uid", uid.to_string());
+        mabe_trace::op_attr("authority", aid.to_string());
         self.lazy_backpressure()?;
         let shard = self
             .control
@@ -357,6 +363,8 @@ impl CloudSystem {
         // the archive is what lets read-triggered upgrade (and the lazy
         // drain) advance any component that stayed behind.
         self.archive_update_keys(&event);
+        mabe_trace::op_attr("key_version_observed", event.from_version.to_string());
+        mabe_trace::op_attr("key_version_served", event.to_version.to_string());
         st.in_flight.insert(id, PendingRevocation::new(id, event));
         mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "begun" });
         id

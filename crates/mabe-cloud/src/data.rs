@@ -74,6 +74,7 @@ impl CloudSystem {
     ) -> Result<(), CloudError> {
         let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "publish")]);
         let _trace = mabe_trace::Span::child("cloud.publish").detail(record.to_owned());
+        mabe_trace::op_attr("uid", owner_id.to_string());
         if !self.directory.owners.read().contains_key(owner_id) {
             return Err(CloudError::Core(Error::UnknownOwner(owner_id.clone())));
         }
@@ -136,6 +137,7 @@ impl CloudSystem {
     ) -> Result<Vec<u8>, CloudError> {
         let _span = mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read")]);
         let _trace = mabe_trace::Span::child("cloud.read").detail(format!("{record}/{label}"));
+        mabe_trace::op_attr("uid", uid.to_string());
         if !self.directory.users.read().users.contains_key(uid) {
             return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
         }
@@ -147,6 +149,9 @@ impl CloudSystem {
         let component = envelope
             .component(label)
             .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+        if let Some(v) = component.key_ct.versions.values().max() {
+            mabe_trace::op_attr("key_version_observed", v.to_string());
+        }
         // Reads are server-side only: they keep working while authorities
         // are down (graceful degradation at the last consistent version),
         // and transient download faults are retried at READ_FETCH.
@@ -182,6 +187,10 @@ impl CloudSystem {
             let component = envelope
                 .component(label)
                 .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            if let Some(v) = component.key_ct.versions.values().max() {
+                // Last iteration wins: the version actually served.
+                mabe_trace::op_attr("key_version_served", v.to_string());
+            }
             let (pk, keys) = {
                 let users = self.directory.users.read();
                 let state = users.users.get(uid).expect("checked above");
@@ -251,6 +260,7 @@ impl CloudSystem {
             mabe_telemetry::Span::with_labels("mabe_system_op", &[("op", "read_outsourced")]);
         let _trace =
             mabe_trace::Span::child("cloud.read_outsourced").detail(format!("{record}/{label}"));
+        mabe_trace::op_attr("uid", uid.to_string());
         if !self.directory.users.read().users.contains_key(uid) {
             return Err(CloudError::Core(Error::UnknownUser(uid.clone())));
         }
@@ -276,6 +286,11 @@ impl CloudSystem {
             let component = envelope
                 .component(label)
                 .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            if !retried && barriers == 0 {
+                if let Some(v) = component.key_ct.versions.values().max() {
+                    mabe_trace::op_attr("key_version_observed", v.to_string());
+                }
+            }
             // Same read-triggered upgrade as [`Self::read`]: stale
             // components are advanced in place before the server runs
             // its transform.
@@ -289,6 +304,10 @@ impl CloudSystem {
             let component = envelope
                 .component(label)
                 .ok_or_else(|| CloudError::UnknownComponent(label.to_owned()))?;
+            if let Some(v) = component.key_ct.versions.values().max() {
+                // Last iteration wins: the version actually served.
+                mabe_trace::op_attr("key_version_served", v.to_string());
+            }
             let (tk, rk) = mabe_core::make_transform_key(&pk, &keys, &mut *self.rng.lock())?;
             // The blinded key travels to the server (same element count as
             // the underlying secret keys plus the blinded PK).
@@ -553,12 +572,23 @@ impl CloudSystem {
         }
         self.local_op(fault_points::READ_UPGRADE, None)?;
         let record_key = (owner_id.clone(), record.to_owned());
+        let telemetry = mabe_telemetry::global();
         for (aid, v) in &stale {
             self.upgrade_one(aid, owner_id, *v, &record_key, label, ct_id)?;
+            // The wide event for the enclosing read carries the (last)
+            // authority whose stale component this read healed.
+            mabe_trace::op_attr("authority", aid.to_string());
+            telemetry
+                .counter(
+                    "mabe_read_upgrades_total",
+                    &[("authority", &aid.to_string())],
+                )
+                .inc();
         }
-        mabe_telemetry::global()
-            .counter("mabe_read_upgrades_total", &[])
-            .inc();
+        // The unlabeled total keeps its original meaning (upgrade
+        // passes, not per-authority component upgrades) so existing
+        // baselines and dashboards stay comparable.
+        telemetry.counter("mabe_read_upgrades_total", &[]).inc();
         Ok(true)
     }
 

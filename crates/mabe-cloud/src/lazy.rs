@@ -119,13 +119,34 @@ pub(crate) struct LazyClaim {
     pub(crate) entries: Vec<(u64, u64, Instant)>,
 }
 
-fn queue_depth_gauge(depth: usize) {
-    mabe_telemetry::global()
-        .gauge("mabe_lazy_queue_depth", &[])
-        .set(depth as i64);
-}
-
 impl CloudSystem {
+    /// Refreshes the queue-depth gauges: the unlabeled total (the
+    /// pre-existing series, kept for baseline compatibility) plus one
+    /// `authority`-labeled series per known authority — zeroed when an
+    /// authority has nothing queued, so a drained authority's series
+    /// falls back to 0 instead of freezing at its last depth.
+    fn refresh_queue_gauges(&self) {
+        let per_aid: BTreeMap<AuthorityId, i64> = {
+            let queue = self.lazy.queue.lock();
+            let mut per_aid = BTreeMap::new();
+            for p in queue.values() {
+                *per_aid.entry(p.aid.clone()).or_insert(0) += 1;
+            }
+            per_aid
+        };
+        let telemetry = mabe_telemetry::global();
+        telemetry
+            .gauge("mabe_lazy_queue_depth", &[])
+            .set(per_aid.values().sum());
+        let aids: Vec<AuthorityId> = self.control.shards.read().keys().cloned().collect();
+        for aid in aids {
+            let depth = per_aid.get(&aid).copied().unwrap_or(0);
+            telemetry
+                .gauge("mabe_lazy_queue_depth", &[("authority", &aid.to_string())])
+                .set(depth);
+        }
+    }
+
     /// Switches revocation between eager (the paper's inline
     /// re-encryption, the default) and lazy (re-encryption parked on
     /// the pending-upgrade queue; see the [module docs](crate::lazy)).
@@ -287,7 +308,7 @@ impl CloudSystem {
     pub(crate) fn enqueue_lazy(&self, pending: &PendingRevocation) -> Result<(), CloudError> {
         let aid = pending.event.aid.clone();
         self.local_op(fault_points::LAZY_ENQUEUE, Some(&aid))?;
-        let depth = {
+        {
             let mut queue = self.lazy.queue.lock();
             queue.insert(
                 pending.id,
@@ -298,9 +319,8 @@ impl CloudSystem {
                     enqueued: Instant::now(),
                 },
             );
-            queue.len()
-        };
-        queue_depth_gauge(depth);
+        }
+        self.refresh_queue_gauges();
         mabe_trace::event(mabe_trace::TraceEvent::RevocationPhase { stage: "deferred" });
         Ok(())
     }
@@ -369,42 +389,51 @@ impl CloudSystem {
     /// the durable wrapper runs this outside its op lock and completes
     /// the claim under it.
     pub(crate) fn drain_claim_components(&self, claim: &LazyClaim) -> Result<u64, CloudError> {
-        let _trace = mabe_trace::Span::child("cloud.lazy_drain").detail(format!("@{}", claim.aid));
-        let mut drained = 0u64;
-        loop {
-            let mut pass = 0u64;
-            for v in claim.from_version..claim.to_version {
-                let owners: Vec<OwnerId> = {
-                    let archive = self.lazy.archive.read();
-                    archive
-                        .keys()
-                        .filter(|(aid, _, from)| aid == &claim.aid && *from == v)
-                        .map(|(_, owner, _)| owner.clone())
-                        .collect()
-                };
-                for owner_id in owners {
-                    let affected = self
-                        .data
-                        .server
-                        .affected_ciphertexts(&owner_id, &claim.aid, v);
-                    for (record_key, label, ct_id) in &affected {
-                        self.local_op(fault_points::LAZY_DRAIN, Some(&claim.aid))?;
-                        self.upgrade_one(&claim.aid, &owner_id, v, record_key, label, *ct_id)?;
-                        pass += 1;
+        let trace = mabe_trace::Span::child("cloud.lazy_drain").detail(format!("@{}", claim.aid));
+        mabe_trace::op_attr("authority", claim.aid.to_string());
+        mabe_trace::op_attr("key_version_observed", claim.from_version.to_string());
+        mabe_trace::op_attr("key_version_served", claim.to_version.to_string());
+        let result: Result<u64, CloudError> = (|| {
+            let mut drained = 0u64;
+            loop {
+                let mut pass = 0u64;
+                for v in claim.from_version..claim.to_version {
+                    let owners: Vec<OwnerId> = {
+                        let archive = self.lazy.archive.read();
+                        archive
+                            .keys()
+                            .filter(|(aid, _, from)| aid == &claim.aid && *from == v)
+                            .map(|(_, owner, _)| owner.clone())
+                            .collect()
+                    };
+                    for owner_id in owners {
+                        let affected = self
+                            .data
+                            .server
+                            .affected_ciphertexts(&owner_id, &claim.aid, v);
+                        for (record_key, label, ct_id) in &affected {
+                            self.local_op(fault_points::LAZY_DRAIN, Some(&claim.aid))?;
+                            self.upgrade_one(&claim.aid, &owner_id, v, record_key, label, *ct_id)?;
+                            pass += 1;
+                        }
                     }
                 }
+                if pass == 0 {
+                    break;
+                }
+                drained += pass;
             }
-            if pass == 0 {
-                break;
+            if drained > 0 {
+                mabe_telemetry::global()
+                    .counter("mabe_lazy_drained_components_total", &[])
+                    .add(drained);
             }
-            drained += pass;
+            Ok(drained)
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
         }
-        if drained > 0 {
-            mabe_telemetry::global()
-                .counter("mabe_lazy_drained_components_total", &[])
-                .add(drained);
-        }
-        Ok(drained)
+        result
     }
 
     /// Completes a drained claim: removes its entries from the queue,
@@ -413,20 +442,26 @@ impl CloudSystem {
     /// order. Returns the ids actually completed (entries another
     /// worker already removed are skipped).
     pub(crate) fn complete_claim(&self, claim: &LazyClaim) -> Vec<u64> {
-        let (ids, depth) = {
+        let ids = {
             let mut queue = self.lazy.queue.lock();
             let mut ids = Vec::new();
+            let telemetry = mabe_telemetry::global();
+            let aid_label = claim.aid.to_string();
             for (id, to_version, enqueued) in &claim.entries {
                 if queue.remove(id).is_some() {
                     ids.push((*id, *to_version));
-                    mabe_telemetry::global()
+                    let staleness_ms = enqueued.elapsed().as_millis() as u64;
+                    telemetry
                         .histogram("mabe_lazy_staleness_ms", &[])
-                        .record(enqueued.elapsed().as_millis() as u64);
+                        .record(staleness_ms);
+                    telemetry
+                        .histogram("mabe_lazy_staleness_ms", &[("authority", &aid_label)])
+                        .record(staleness_ms);
                 }
             }
-            (ids, queue.len())
+            ids
         };
-        queue_depth_gauge(depth);
+        self.refresh_queue_gauges();
         if !ids.is_empty() {
             let mut audit = self.audit.lock();
             for (_, to_version) in &ids {
@@ -521,9 +556,9 @@ impl CloudSystem {
         out
     }
 
-    /// Restores the queue-depth gauge (durable open, after replay).
+    /// Restores the queue-depth gauges (durable open, after replay).
     pub(crate) fn refresh_lazy_gauge(&self) {
-        queue_depth_gauge(self.lazy_queue_depth());
+        self.refresh_queue_gauges();
     }
 }
 

@@ -1177,12 +1177,14 @@ impl<S: Storage> DurableSystem<S> {
     }
 
     /// Records the poison on the active span and, when `MABE_TRACE_DIR`
-    /// is set, dumps the flight recorder — the in-memory state is now
-    /// ahead of the journal, which is exactly when forensics matter.
+    /// / `MABE_EVENTS_DIR` are set, dumps the flight recorder and
+    /// spills the wide-event ring — the in-memory state is now ahead
+    /// of the journal, which is exactly when forensics matter.
     fn note_poisoned(&self, e: &StoreError) {
         let point = store_point(e);
         mabe_trace::event(mabe_trace::TraceEvent::Poisoned { point });
         mabe_trace::dump_if_configured(self.seed, &format!("poison_{point}"));
+        mabe_events::dump_if_configured(self.seed, &format!("poison_{point}"));
     }
 
     fn maybe_checkpoint(&self) -> Result<(), CloudError> {
@@ -1423,20 +1425,26 @@ impl<S: Storage> DurableSystem<S> {
     pub fn grant(&self, uid: &Uid, attributes: &[&str]) -> Result<(), CloudError> {
         self.check_poisoned()?;
         self.check_writable()?;
-        let _trace = mabe_trace::Span::child("durable.grant").detail(uid.to_string());
-        let seq = {
-            let mut op = self.op.lock();
-            self.sys.grant(uid, attributes)?;
-            self.stage_locked(
-                &mut op,
-                &WalRecord::Granted {
-                    uid: uid.to_string(),
-                    attributes: attributes.iter().map(|a| (*a).to_owned()).collect(),
-                },
-            )
-        };
-        self.commit(seq)?;
-        self.maybe_checkpoint()
+        let trace = mabe_trace::Span::child("durable.grant").detail(uid.to_string());
+        let result = (|| {
+            let seq = {
+                let mut op = self.op.lock();
+                self.sys.grant(uid, attributes)?;
+                self.stage_locked(
+                    &mut op,
+                    &WalRecord::Granted {
+                        uid: uid.to_string(),
+                        attributes: attributes.iter().map(|a| (*a).to_owned()).collect(),
+                    },
+                )
+            };
+            self.commit(seq)?;
+            self.maybe_checkpoint()
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
+        }
+        result
     }
 
     /// Publishes a record (durably): the sealed envelope and the owner's
@@ -1454,43 +1462,49 @@ impl<S: Storage> DurableSystem<S> {
     ) -> Result<(), CloudError> {
         self.check_poisoned()?;
         self.check_writable()?;
-        let _trace =
+        let trace =
             mabe_trace::Span::child("durable.publish").detail(format!("{owner_id}/{record}"));
-        let seq = {
-            let mut op = self.op.lock();
-            self.sys.publish(owner_id, record, components)?;
-            let envelope = self
-                .sys
-                .data
-                .server
-                .fetch(owner_id, record)
-                .expect("just published");
-            let secrets: Vec<(u64, Fr)> = {
-                let owners = self.sys.directory.owners.read();
-                let owner = owners.get(owner_id).expect("just published");
-                envelope
-                    .components
-                    .iter()
-                    .map(|c| {
-                        let s = owner
-                            .encryption_secret(c.key_ct.id)
-                            .expect("owner sealed this ciphertext");
-                        (c.key_ct.id.0, s)
-                    })
-                    .collect()
+        let result = (|| {
+            let seq = {
+                let mut op = self.op.lock();
+                self.sys.publish(owner_id, record, components)?;
+                let envelope = self
+                    .sys
+                    .data
+                    .server
+                    .fetch(owner_id, record)
+                    .expect("just published");
+                let secrets: Vec<(u64, Fr)> = {
+                    let owners = self.sys.directory.owners.read();
+                    let owner = owners.get(owner_id).expect("just published");
+                    envelope
+                        .components
+                        .iter()
+                        .map(|c| {
+                            let s = owner
+                                .encryption_secret(c.key_ct.id)
+                                .expect("owner sealed this ciphertext");
+                            (c.key_ct.id.0, s)
+                        })
+                        .collect()
+                };
+                self.stage_locked(
+                    &mut op,
+                    &WalRecord::Published {
+                        owner: owner_id.to_string(),
+                        record: record.to_owned(),
+                        envelope: envelope.to_wire_bytes(),
+                        secrets,
+                    },
+                )
             };
-            self.stage_locked(
-                &mut op,
-                &WalRecord::Published {
-                    owner: owner_id.to_string(),
-                    record: record.to_owned(),
-                    envelope: envelope.to_wire_bytes(),
-                    secrets,
-                },
-            )
-        };
-        self.commit(seq)?;
-        self.maybe_checkpoint()
+            self.commit(seq)?;
+            self.maybe_checkpoint()
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
+        }
+        result
     }
 
     /// A user reads one component ([`CloudSystem::read`]); the audited
@@ -1509,20 +1523,26 @@ impl<S: Storage> DurableSystem<S> {
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
         self.check_poisoned()?;
-        let _trace = mabe_trace::Span::child("durable.read").detail(format!("{record}/{label}"));
-        let (result, seq) = self.apply_read(
-            || self.sys.read(uid, owner_id, record, label),
-            |allowed| WalRecord::ReadAudited {
-                uid: uid.to_string(),
-                owner: owner_id.to_string(),
-                record: record.to_owned(),
-                component: label.to_owned(),
-                allowed,
-            },
-        );
-        if let Some(seq) = seq {
-            self.commit(seq)?;
-            self.maybe_checkpoint()?;
+        let trace = mabe_trace::Span::child("durable.read").detail(format!("{record}/{label}"));
+        let result = (|| {
+            let (result, seq) = self.apply_read(
+                || self.sys.read(uid, owner_id, record, label),
+                |allowed| WalRecord::ReadAudited {
+                    uid: uid.to_string(),
+                    owner: owner_id.to_string(),
+                    record: record.to_owned(),
+                    component: label.to_owned(),
+                    allowed,
+                },
+            );
+            if let Some(seq) = seq {
+                self.commit(seq)?;
+                self.maybe_checkpoint()?;
+            }
+            result
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
         }
         result
     }
@@ -1542,21 +1562,27 @@ impl<S: Storage> DurableSystem<S> {
         label: &str,
     ) -> Result<Vec<u8>, CloudError> {
         self.check_poisoned()?;
-        let _trace =
+        let trace =
             mabe_trace::Span::child("durable.read_outsourced").detail(format!("{record}/{label}"));
-        let (result, seq) = self.apply_read(
-            || self.sys.read_outsourced(uid, owner_id, record, label),
-            |allowed| WalRecord::ReadAudited {
-                uid: uid.to_string(),
-                owner: owner_id.to_string(),
-                record: record.to_owned(),
-                component: label.to_owned(),
-                allowed,
-            },
-        );
-        if let Some(seq) = seq {
-            self.commit(seq)?;
-            self.maybe_checkpoint()?;
+        let result = (|| {
+            let (result, seq) = self.apply_read(
+                || self.sys.read_outsourced(uid, owner_id, record, label),
+                |allowed| WalRecord::ReadAudited {
+                    uid: uid.to_string(),
+                    owner: owner_id.to_string(),
+                    record: record.to_owned(),
+                    component: label.to_owned(),
+                    allowed,
+                },
+            );
+            if let Some(seq) = seq {
+                self.commit(seq)?;
+                self.maybe_checkpoint()?;
+            }
+            result
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
         }
         result
     }
@@ -1656,28 +1682,34 @@ impl<S: Storage> DurableSystem<S> {
     pub fn revoke(&self, uid: &Uid, attribute: &str) -> Result<(), CloudError> {
         self.check_poisoned()?;
         self.check_writable()?;
-        let _trace = mabe_trace::Span::child("durable.revoke").detail(format!("{uid} {attribute}"));
+        let trace = mabe_trace::Span::child("durable.revoke").detail(format!("{uid} {attribute}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
-        let attr: Attribute = attribute
-            .parse()
-            .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
-        let aid = attr.authority().clone();
-        self.lazy_backpressure_logged()?;
-        let mut op = self.op.lock();
-        let shard = self
-            .sys
-            .control
-            .shard(&aid)
-            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
-        {
-            let mut st = shard.state.lock();
-            self.precheck_logged(&mut op, &aid, &mut st)?;
-            let event = st
-                .authority
-                .revoke_attribute(uid, &attr, &mut *self.sys.rng.lock())?;
-            self.begin_logged(&mut op, &mut st, event)?;
+        let result = (|| {
+            let attr: Attribute = attribute
+                .parse()
+                .map_err(|_| CloudError::UnknownEntity(format!("attribute {attribute}")))?;
+            let aid = attr.authority().clone();
+            self.lazy_backpressure_logged()?;
+            let mut op = self.op.lock();
+            let shard = self
+                .sys
+                .control
+                .shard(&aid)
+                .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+            {
+                let mut st = shard.state.lock();
+                self.precheck_logged(&mut op, &aid, &mut st)?;
+                let event = st
+                    .authority
+                    .revoke_attribute(uid, &attr, &mut *self.sys.rng.lock())?;
+                self.begin_logged(&mut op, &mut st, event)?;
+            }
+            self.maybe_checkpoint_locked(&mut op)
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
         }
-        self.maybe_checkpoint_locked(&mut op)
+        result
     }
 
     /// User-level revocation at one authority (durably); see
@@ -1690,23 +1722,29 @@ impl<S: Storage> DurableSystem<S> {
     pub fn revoke_user_at(&self, uid: &Uid, aid: &AuthorityId) -> Result<(), CloudError> {
         self.check_poisoned()?;
         self.check_writable()?;
-        let _trace =
+        let trace =
             mabe_trace::Span::child("durable.revoke_user_at").detail(format!("{uid} @{aid}"));
         let _e2e = mabe_telemetry::Span::start("mabe_revocation_e2e");
-        self.lazy_backpressure_logged()?;
-        let mut op = self.op.lock();
-        let shard = self
-            .sys
-            .control
-            .shard(aid)
-            .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
-        {
-            let mut st = shard.state.lock();
-            self.precheck_logged(&mut op, aid, &mut st)?;
-            let event = st.authority.revoke_user(uid, &mut *self.sys.rng.lock())?;
-            self.begin_logged(&mut op, &mut st, event)?;
+        let result = (|| {
+            self.lazy_backpressure_logged()?;
+            let mut op = self.op.lock();
+            let shard = self
+                .sys
+                .control
+                .shard(aid)
+                .ok_or_else(|| CloudError::UnknownAuthority(aid.clone()))?;
+            {
+                let mut st = shard.state.lock();
+                self.precheck_logged(&mut op, aid, &mut st)?;
+                let event = st.authority.revoke_user(uid, &mut *self.sys.rng.lock())?;
+                self.begin_logged(&mut op, &mut st, event)?;
+            }
+            self.maybe_checkpoint_locked(&mut op)
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
         }
-        self.maybe_checkpoint_locked(&mut op)
+        result
     }
 
     /// Full user-level revocation across every authority where the user
@@ -1818,23 +1856,29 @@ impl<S: Storage> DurableSystem<S> {
     /// Propagates the first fault that still blocks convergence.
     pub fn recover(&self) -> Result<usize, CloudError> {
         self.check_poisoned()?;
-        let _trace = mabe_trace::Span::child("durable.recover");
-        let mut op = self.op.lock();
-        let mut work: Vec<(u64, Arc<AuthorityShard>)> = Vec::new();
-        for shard in self.sys.control.shards.read().values() {
-            let st = shard.state.lock();
-            for id in st.in_flight.keys() {
-                work.push((*id, Arc::clone(shard)));
+        let trace = mabe_trace::Span::child("durable.recover");
+        let result: Result<usize, CloudError> = (|| {
+            let mut op = self.op.lock();
+            let mut work: Vec<(u64, Arc<AuthorityShard>)> = Vec::new();
+            for shard in self.sys.control.shards.read().values() {
+                let st = shard.state.lock();
+                for id in st.in_flight.keys() {
+                    work.push((*id, Arc::clone(shard)));
+                }
             }
+            work.sort_by_key(|(id, _)| *id);
+            let mut completed = 0;
+            for (id, shard) in work {
+                let mut st = shard.state.lock();
+                self.drive_logged(&mut op, &mut st, id, true)?;
+                completed += 1;
+            }
+            Ok(completed)
+        })();
+        if let Err(e) = &result {
+            trace.fail(e.to_string());
         }
-        work.sort_by_key(|(id, _)| *id);
-        let mut completed = 0;
-        for (id, shard) in work {
-            let mut st = shard.state.lock();
-            self.drive_logged(&mut op, &mut st, id, true)?;
-            completed += 1;
-        }
-        Ok(completed)
+        result
     }
 
     /// The durable backpressure gate: while the lazy queue sits at

@@ -265,6 +265,9 @@ impl CloudSystem {
     /// Creates a system whose instrumented operations consult `faults` —
     /// the entry point for seeded chaos runs.
     pub fn with_faults(seed: u64, faults: FaultInjector) -> Self {
+        // The wide-event pipeline rides the trace sink; installing it
+        // here keeps every deployment observable with no extra setup.
+        mabe_events::install();
         CloudSystem {
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
             directory: Directory::new(),

@@ -139,8 +139,12 @@ fn revoke_until_begun(
 fn run_scenario(seed: u64, lazy: bool) {
     // On any assertion failure below, dump the flight recorder to
     // `trace_<seed>_chaos.json` (under `MABE_TRACE_DIR`, or
-    // `target/trace-artifacts`) before the panic propagates.
+    // `target/trace-artifacts`) and the wide-event ring to
+    // `events_<seed>_chaos.jsonl` (under `MABE_EVENTS_DIR`) before the
+    // panic propagates — the events index the failure, the trace holds
+    // the span-level forensics, joined on `trace_id`.
     let _forensics = mabe_trace::FailureDump::new(seed, "chaos");
+    let _events = mabe_events::EventsDump::new(seed, "chaos");
     let mut w = chaotic_world(seed, lazy);
 
     // Background traffic while faults are live: every outcome is

@@ -100,6 +100,21 @@ impl Probe {
     }
 }
 
+/// A ready-made *soft* probe over the global SLO engine: it fails
+/// (flipping `degraded: true` on `/readyz`, status stays 200) while
+/// any per-kind fast burn rate is tripped — the error budget is being
+/// consumed faster than [`mabe_events::slo::FAST_BURN_THRESHOLD`]×
+/// the sustainable rate. Soft rather than critical because a burning
+/// budget means the service is *misbehaving*, not *unservable*:
+/// pulling it from rotation would turn a partial outage into a total
+/// one. The probe clears on its own once enough healthy operations
+/// roll the fast window over.
+pub fn slo_probe() -> Probe {
+    Probe::soft("slo_fast_burn", || {
+        !mabe_events::global().slo().any_fast_tripped()
+    })
+}
+
 impl fmt::Debug for Probe {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Probe")

@@ -45,6 +45,13 @@ const MAX_HEAD: usize = 8 * 1024;
 /// Spans `/tracez` returns when the query string names no `n`.
 const DEFAULT_TRACEZ_SPANS: usize = 256;
 
+/// Events `/eventz` returns when the query string names no `n`.
+const DEFAULT_EVENTZ_EVENTS: usize = 256;
+
+/// Largest `n` the `/tracez` and `/eventz` query strings accept —
+/// anything bigger is a client error, not a silently clamped request.
+const MAX_QUERY_N: usize = 4096;
+
 enum Job {
     Conn(TcpStream),
     Stop,
@@ -266,7 +273,20 @@ fn route(target: &str, state: &State) -> (u16, &'static str, &'static str, Strin
                 )
             }
         }
-        "/tracez" => (200, "OK", "application/json", tracez_body(query)),
+        "/tracez" => match bounded_n(query, DEFAULT_TRACEZ_SPANS) {
+            Ok(n) => (200, "OK", "application/json", tracez_body(n)),
+            Err(msg) => (400, "Bad Request", "text/plain; charset=utf-8", msg),
+        },
+        "/eventz" => match bounded_n(query, DEFAULT_EVENTZ_EVENTS) {
+            Ok(n) => (200, "OK", "application/json", eventz_body(query, n)),
+            Err(msg) => (400, "Bad Request", "text/plain; charset=utf-8", msg),
+        },
+        "/sloz" => (
+            200,
+            "OK",
+            "application/json",
+            mabe_events::global().slo().to_json(),
+        ),
         "/profilez" => (
             200,
             "OK",
@@ -277,7 +297,8 @@ fn route(target: &str, state: &State) -> (u16, &'static str, &'static str, Strin
             200,
             "OK",
             "text/plain; charset=utf-8",
-            "mabe-obs: /metrics /metrics.json /healthz /readyz /tracez /profilez\n".to_owned(),
+            "mabe-obs: /metrics /metrics.json /healthz /readyz /tracez /eventz /sloz /profilez\n"
+                .to_owned(),
         ),
         _ => (
             404,
@@ -305,10 +326,22 @@ fn query_param(query: &str, name: &str) -> Option<String> {
         .map(|(_, v)| v.to_owned())
 }
 
-fn tracez_body(query: &str) -> String {
-    let n = query_param(query, "n")
-        .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(DEFAULT_TRACEZ_SPANS);
+/// Parses the `n` query parameter with strict validation: absent means
+/// `default`, non-numeric or above [`MAX_QUERY_N`] is a 400 body.
+/// (These used to be silently defaulted, which hid client typos like
+/// `n=1e4` behind a confusingly small response.)
+fn bounded_n(query: &str, default: usize) -> Result<usize, String> {
+    let Some(raw) = query_param(query, "n") else {
+        return Ok(default);
+    };
+    match raw.parse::<usize>() {
+        Ok(n) if n <= MAX_QUERY_N => Ok(n),
+        Ok(n) => Err(format!("n={n} exceeds the cap of {MAX_QUERY_N}\n")),
+        Err(_) => Err(format!("n must be a non-negative integer, got {raw:?}\n")),
+    }
+}
+
+fn tracez_body(n: usize) -> String {
     let rec = mabe_trace::recorder::global();
     let spans = rec.recent(n);
     format!(
@@ -319,6 +352,12 @@ fn tracez_body(query: &str) -> String {
         rec.dropped_spans(),
         mabe_trace::tree_json(&spans),
     )
+}
+
+fn eventz_body(query: &str, n: usize) -> String {
+    let kind = query_param(query, "kind");
+    let outcome = query_param(query, "outcome");
+    mabe_events::global().eventz_json(kind.as_deref(), outcome.as_deref(), n)
 }
 
 fn write_response(
@@ -482,6 +521,60 @@ mod tests {
         assert_eq!(query_param("n=32&x=1", "n").as_deref(), Some("32"));
         assert_eq!(query_param("x=1", "n"), None);
         assert_eq!(query_param("", "n"), None);
+    }
+
+    #[test]
+    fn bounded_n_rejects_garbage_and_oversize() {
+        assert_eq!(bounded_n("", 256).unwrap(), 256);
+        assert_eq!(bounded_n("kind=read", 256).unwrap(), 256);
+        assert_eq!(bounded_n("n=32", 256).unwrap(), 32);
+        assert_eq!(bounded_n("n=0", 256).unwrap(), 0);
+        let cap = format!("n={MAX_QUERY_N}");
+        assert_eq!(bounded_n(&cap, 1).unwrap(), MAX_QUERY_N);
+        assert!(bounded_n("n=abc", 256).is_err());
+        assert!(bounded_n("n=1e4", 256).is_err());
+        assert!(bounded_n("n=-1", 256).is_err());
+        assert!(bounded_n("n=", 256).is_err());
+        assert!(bounded_n("n=4097", 256).is_err());
+        assert!(bounded_n("n=99999999999999999999", 256).is_err());
+    }
+
+    #[test]
+    fn tracez_and_eventz_reject_malformed_queries_with_400() {
+        let server = ObsServer::bind("127.0.0.1:0", Vec::new()).unwrap();
+        let addr = server.addr();
+        for target in [
+            "/tracez?n=abc",
+            "/tracez?n=99999999",
+            "/tracez?n=",
+            "/eventz?n=x",
+            "/eventz?n=1000000",
+            "/eventz?kind=read&n=abc",
+        ] {
+            let resp = fetch_raw(addr, target);
+            assert!(resp.starts_with("HTTP/1.1 400 "), "{target} gave: {resp}");
+        }
+        // Well-formed queries (and absent n) still serve.
+        assert!(fetch_raw(addr, "/tracez?n=8").starts_with("HTTP/1.1 200 "));
+        assert!(fetch_raw(addr, "/tracez").starts_with("HTTP/1.1 200 "));
+        let filtered = fetch_raw(addr, "/eventz?n=8&kind=read&outcome=ok");
+        assert!(filtered.starts_with("HTTP/1.1 200 "));
+        server.shutdown();
+    }
+
+    #[test]
+    fn eventz_and_sloz_serve_self_describing_json() {
+        let server = ObsServer::bind("127.0.0.1:0", Vec::new()).unwrap();
+        let addr = server.addr();
+        let events = fetch_raw(addr, "/eventz");
+        assert!(events.contains("Content-Type: application/json\r\n"));
+        assert!(events.contains("\"format\":\"mabe-eventz/v1\""));
+        assert!(events.contains("\"emitted\":"));
+        let slo = fetch_raw(addr, "/sloz");
+        assert!(slo.contains("\"format\":\"mabe-sloz/v1\""));
+        assert!(slo.contains("\"fast_burn_threshold\":14.4"));
+        assert!(slo.contains("\"kind\":\"read\""));
+        server.shutdown();
     }
 
     #[test]

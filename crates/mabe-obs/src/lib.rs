@@ -26,6 +26,13 @@
 //!     lazy-revocation queue) keep the 200 but set `"draining":true`,
 //!   - `GET /tracez` — the most recent spans from the `mabe-trace`
 //!     flight recorder as the self-describing tree JSON,
+//!   - `GET /eventz` — the most recent wide events from the
+//!     `mabe-events` pipeline (one record per top-level operation),
+//!     filterable with `?kind=` / `?outcome=` / `?n=`,
+//!   - `GET /sloz` — per-kind SLO burn rates, trip state and
+//!     remaining error budget from the `mabe-events` SLO engine
+//!     ([`health::slo_probe`] surfaces a tripped fast burn as
+//!     `"degraded":true` on `/readyz`),
 //!   - `GET /profilez` — the span profiler's collapsed-stack text.
 //! * [`profiler`] — aggregates completed spans into
 //!   call-path → (count, total/self wall time) profiles exported in
@@ -62,7 +69,7 @@ pub mod json;
 pub mod procinfo;
 pub mod profiler;
 
-pub use health::{Probe, ProbeStatus, ReadinessReport};
+pub use health::{slo_probe, Probe, ProbeStatus, ReadinessReport};
 pub use http::{ObsServer, PROMETHEUS_CONTENT_TYPE};
 pub use profiler::Profile;
 

@@ -83,6 +83,16 @@ pub enum TraceEvent {
         /// The store point whose failure poisoned the handle.
         point: &'static str,
     },
+    /// Structured op-boundary attribute (`authority`, `uid`,
+    /// `key_version_observed`, …) the wide-event pipeline folds into
+    /// the enclosing operation's record. Later attributes with the
+    /// same key override earlier ones on the same span.
+    OpAttr {
+        /// Stable attribute key.
+        key: &'static str,
+        /// Attribute value (numbers are formatted decimal).
+        value: String,
+    },
     /// Free-form annotation (sparingly — prefer a typed variant).
     Note {
         /// What happened.
@@ -106,6 +116,7 @@ impl TraceEvent {
             TraceEvent::RevocationPhase { .. } => "revocation_phase",
             TraceEvent::CrashInjected { .. } => "crash",
             TraceEvent::Poisoned { .. } => "poisoned",
+            TraceEvent::OpAttr { .. } => "op_attr",
             TraceEvent::Note { .. } => "note",
         }
     }
@@ -152,6 +163,9 @@ impl TraceEvent {
             }
             TraceEvent::Poisoned { point } => {
                 format!("{{\"point\":\"{}\"}}", esc(point))
+            }
+            TraceEvent::OpAttr { key, value } => {
+                format!("{{\"key\":\"{}\",\"value\":\"{}\"}}", esc(key), esc(value))
             }
             TraceEvent::Note { what } => format!("{{\"what\":\"{}\"}}", esc(what)),
         }

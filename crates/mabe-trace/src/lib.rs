@@ -42,6 +42,7 @@ pub mod dump;
 pub mod event;
 pub mod export;
 pub mod recorder;
+pub mod sink;
 pub mod span;
 
 pub use ctx::TraceCtx;
@@ -49,7 +50,24 @@ pub use dump::{artifact_json, dump_if_configured, dump_to, FailureDump};
 pub use event::TraceEvent;
 pub use export::{chrome_trace, tree_json};
 pub use recorder::{FlightRecorder, SpanRecord, DEFAULT_CAPACITY};
+pub use sink::{install_sink, sink_installed, SpanSink};
 pub use span::{current_ctx, event, Span};
+
+/// Attaches a structured op-boundary attribute
+/// ([`TraceEvent::OpAttr`]) to the innermost active span. The
+/// wide-event pipeline (`mabe-events`) folds these into the enclosing
+/// operation's record; without an active span (or with tracing
+/// disabled) this is a cheap no-op, like [`event`].
+#[inline]
+pub fn op_attr(key: &'static str, value: impl Into<String>) {
+    if !enabled() {
+        return;
+    }
+    event(TraceEvent::OpAttr {
+        key,
+        value: value.into(),
+    });
+}
 
 /// Whether the global flight recorder is currently capturing.
 #[inline]

@@ -1,0 +1,72 @@
+//! The span-lifecycle sink: a process-wide observer of span opens and
+//! closes.
+//!
+//! The flight recorder answers "what happened recently"; a sink
+//! answers "tell me the moment it happens". One consumer —
+//! `mabe-events`, the wide-event pipeline — registers itself here and
+//! assembles one canonical record per top-level operation entirely
+//! from the spans instrumented code already opens: no new call sites,
+//! no second instrumentation layer.
+//!
+//! The hook is deliberately minimal:
+//!
+//! * [`SpanSink::on_open`] fires after a span is pushed on its
+//!   thread's stack, with the span's [`TraceCtx`] and static name.
+//! * [`SpanSink::on_close`] fires when the span commits, with the
+//!   full [`SpanRecord`] (detail, duration, error, attached events) —
+//!   *before* the record enters the ring, so the sink sees spans even
+//!   when the ring has wrapped.
+//!
+//! Cost when absent: one relaxed atomic load per span open/close (the
+//! same guarantee the `enabled` flag makes). The sink is installed at
+//! most once per process and never uninstalled — observers must be
+//! prepared to outlive every workload.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use crate::ctx::TraceCtx;
+use crate::recorder::SpanRecord;
+
+/// An observer of span opens and closes. Implementations must be
+/// cheap and must never re-enter the tracing API (no spans, no
+/// events) — they run inline on the instrumented thread.
+pub trait SpanSink: Send + Sync {
+    /// A span was opened (already on its thread's stack).
+    fn on_open(&self, ctx: &TraceCtx, name: &'static str) {
+        let _ = (ctx, name);
+    }
+
+    /// A span closed; `record` is about to enter the flight recorder
+    /// (its `seq` is not yet assigned).
+    fn on_close(&self, record: &SpanRecord);
+}
+
+static SINK: OnceLock<Box<dyn SpanSink>> = OnceLock::new();
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+
+/// Installs the process-wide sink. The first call wins and returns
+/// `true`; later calls are no-ops returning `false` (the slot is
+/// write-once so the hot path stays a single relaxed load).
+pub fn install_sink(sink: Box<dyn SpanSink>) -> bool {
+    let won = SINK.set(sink).is_ok();
+    if won {
+        INSTALLED.store(true, Ordering::Release);
+    }
+    won
+}
+
+/// The installed sink, if any. One relaxed load on the fast path.
+#[inline]
+pub(crate) fn sink() -> Option<&'static dyn SpanSink> {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    SINK.get().map(|s| s.as_ref())
+}
+
+/// Whether a sink is installed (diagnostics; the hot path uses the
+/// internal accessor).
+pub fn sink_installed() -> bool {
+    INSTALLED.load(Ordering::Relaxed)
+}

@@ -94,6 +94,9 @@ impl Span {
                 events: Vec::new(),
             });
         });
+        if let Some(sink) = crate::sink::sink() {
+            sink.on_open(&ctx, name);
+        }
         Span { ctx: Some(ctx) }
     }
 
@@ -156,7 +159,7 @@ impl Drop for Span {
         });
         let rec = recorder::global();
         for live in closed.into_iter().rev() {
-            rec.commit(SpanRecord {
+            let record = SpanRecord {
                 seq: 0,
                 ctx: live.ctx,
                 name: live.name,
@@ -165,7 +168,11 @@ impl Drop for Span {
                 dur_us: end_us.saturating_sub(live.start_us),
                 error: live.error,
                 events: live.events,
-            });
+            };
+            if let Some(sink) = crate::sink::sink() {
+                sink.on_close(&record);
+            }
+            rec.commit(record);
         }
     }
 }

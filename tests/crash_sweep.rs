@@ -251,8 +251,11 @@ fn crash_and_reopen_with(
 ) -> bool {
     // If any invariant below panics, the flight recorder is dumped to
     // `trace_<seed>_<case>.json` so the failing case ships its own
-    // causal history (fault points hit, retries, journal writes).
+    // causal history (fault points hit, retries, journal writes), and
+    // the wide-event ring to `events_<seed>_<case>.jsonl` as the
+    // per-operation index over that history.
     let _forensics = mabe_trace::FailureDump::new(seed(), ctx);
+    let _events = mabe_events::EventsDump::new(seed(), ctx);
     let mut disk = match DurableSystem::open_with_faults(world_disk, seed(), cloud_faults) {
         Ok((mut ds, _)) => {
             let _ = scenario(&mut ds);

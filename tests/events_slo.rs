@@ -1,0 +1,299 @@
+//! End-to-end wide-event / SLO acceptance: a seeded `AuthorityDown`
+//! fault storm drives grant failures through the live pipeline, and
+//! the observability plane must tell the whole story over real HTTP —
+//! `/eventz` serves the error events with trace ids that resolve in
+//! the flight recorder, `/sloz` shows the grant fast-burn window
+//! tripped, `/readyz` reports the soft degradation — and once the
+//! storm's fault budget is spent and healthy traffic rolls the fast
+//! window over, every one of those signals clears. A companion test
+//! replays the identical seeded run twice and asserts the kept event
+//! set and the trip/clear behaviour are bit-identical.
+
+use std::collections::BTreeSet;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mabe_cloud::{fault_points, DurableSystem};
+use mabe_core::Uid;
+use mabe_events::slo::FAST_WINDOW_US;
+use mabe_faults::{FaultInjector, FaultKind, FaultPlan};
+use mabe_obs::json;
+use mabe_store::SimDisk;
+
+const SEED: u64 = 0xE5_10;
+/// Grants the storm fails before the fault budget runs dry.
+const FAILED_GRANTS: u64 = 20;
+/// Default retry policy: 5 attempts per op, each consuming one fault
+/// budget unit at `grant.keygen`, so the budget bounds the storm to
+/// exactly [`FAILED_GRANTS`] failures.
+const ATTEMPTS_PER_GRANT: u64 = 5;
+/// Healthy grants that, interleaved with virtual-time advances, roll
+/// the 5-minute fast window past the storm.
+const RECOVERY_GRANTS: u64 = 50;
+
+/// The global pipeline, flight recorder, and telemetry registry are
+/// process-wide; the tests in this binary serialize on this.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// One raw HTTP/1.0 exchange: returns (status line, body).
+fn fetch(addr: std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    write!(stream, "GET {path} HTTP/1.0\r\nHost: localhost\r\n\r\n").unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("read response");
+    let (head, body) = raw.split_once("\r\n\r\n").expect("header/body split");
+    let status = head.lines().next().unwrap_or("").to_owned();
+    (status, body.to_owned())
+}
+
+/// A deployment whose fault injector fails exactly [`FAILED_GRANTS`]
+/// grants with `AuthorityDown` at `grant.keygen`, then goes quiet.
+fn stormy_system(seed: u64) -> DurableSystem<SimDisk> {
+    let plan = FaultPlan::new(seed)
+        .rate(fault_points::GRANT_KEYGEN, FaultKind::AuthorityDown, 1.0)
+        .budget(FAILED_GRANTS * ATTEMPTS_PER_GRANT);
+    let (ds, _) =
+        DurableSystem::open_with_faults(SimDisk::unfaulted(), seed, FaultInjector::new(plan))
+            .expect("fresh open");
+    ds.add_authority("SloOrg", &["Doctor"]).expect("authority");
+    ds
+}
+
+/// Runs the storm: every grant must exhaust its retries and fail.
+fn run_storm(ds: &DurableSystem<SimDisk>) {
+    for i in 0..FAILED_GRANTS {
+        let uid: Uid = ds.add_user(&format!("storm-{i}")).expect("user");
+        ds.grant(&uid, &["Doctor@SloOrg"])
+            .expect_err("storm grant must fail while the fault budget lasts");
+    }
+}
+
+/// Runs the recovery: healthy grants while explicit virtual-time
+/// advances roll the fast window past the storm.
+fn run_recovery(ds: &DurableSystem<SimDisk>) {
+    let slo = mabe_events::global().slo();
+    for i in 0..RECOVERY_GRANTS {
+        let uid: Uid = ds.add_user(&format!("recover-{i}")).expect("user");
+        ds.grant(&uid, &["Doctor@SloOrg"])
+            .expect("fault budget is spent; grants succeed again");
+        slo.advance(FAST_WINDOW_US / 40);
+    }
+}
+
+fn grant_row(sloz: &json::Value) -> json::Value {
+    sloz.get("objectives")
+        .and_then(|o| match o {
+            json::Value::Arr(rows) => rows
+                .iter()
+                .find(|r| r.get("kind").and_then(json::Value::as_str) == Some("grant")),
+            _ => None,
+        })
+        .expect("sloz has a grant objective row")
+        .clone()
+}
+
+#[test]
+fn fault_storm_trips_sloz_and_readyz_then_recovery_clears_both() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    mabe_events::global().reset();
+
+    let ds = stormy_system(SEED);
+    let server =
+        mabe_obs::ObsServer::bind("127.0.0.1:0", vec![mabe_obs::slo_probe()]).expect("bind");
+    let addr = server.addr();
+
+    run_storm(&ds);
+
+    // /eventz serves the storm as error events with full attribution.
+    let (status, body) = fetch(addr, "/eventz?kind=grant&outcome=error&n=64");
+    assert!(status.contains("200"), "{status}");
+    let doc = json::parse(&body).expect("eventz is JSON");
+    assert_eq!(
+        doc.get("format").and_then(json::Value::as_str),
+        Some("mabe-eventz/v1")
+    );
+    let events = match doc.get("events") {
+        Some(json::Value::Arr(events)) => events.clone(),
+        other => panic!("events array missing: {other:?}"),
+    };
+    assert_eq!(
+        events.len(),
+        FAILED_GRANTS as usize,
+        "every failed grant is an always-kept error event"
+    );
+    let mut event_trace_ids = Vec::new();
+    for ev in &events {
+        assert_eq!(
+            ev.get("outcome").and_then(json::Value::as_str),
+            Some("error")
+        );
+        assert_eq!(ev.get("kept").and_then(json::Value::as_str), Some("error"));
+        assert!(
+            ev.get("error").and_then(json::Value::as_str).is_some(),
+            "error events carry the failure message: {ev:?}"
+        );
+        let retries = ev.get("retries").and_then(json::Value::as_f64).unwrap();
+        assert!(retries > 0.0, "the retry loop ran before giving up");
+        let faults = match ev.get("fault_points") {
+            Some(json::Value::Arr(f)) => f.clone(),
+            other => panic!("fault_points missing: {other:?}"),
+        };
+        assert!(
+            faults
+                .iter()
+                .any(|f| f.as_str()
+                    == Some(&format!("{}:authority_down", fault_points::GRANT_KEYGEN))),
+            "the injected fault is attributed on the event: {faults:?}"
+        );
+        event_trace_ids.push(ev.get("trace_id").and_then(json::Value::as_f64).unwrap() as u64);
+    }
+
+    // Every event's trace id resolves to a durable.grant span in the
+    // flight recorder — the wide event is the index, the trace is the
+    // forensics.
+    let spans = mabe_trace::snapshot();
+    let grant_traces: BTreeSet<u64> = spans
+        .iter()
+        .filter(|s| s.name == "durable.grant")
+        .map(|s| s.ctx.trace_id)
+        .collect();
+    for tid in &event_trace_ids {
+        assert!(
+            grant_traces.contains(tid),
+            "event trace id {tid} has no durable.grant span in the recorder"
+        );
+    }
+
+    // /sloz: the grant fast window burned through the threshold.
+    let (status, body) = fetch(addr, "/sloz");
+    assert!(status.contains("200"), "{status}");
+    let sloz = json::parse(&body).expect("sloz is JSON");
+    assert_eq!(
+        sloz.get("format").and_then(json::Value::as_str),
+        Some("mabe-sloz/v1")
+    );
+    let grant = grant_row(&sloz);
+    assert_eq!(
+        grant.get("tripped").and_then(json::Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        grant.lookup("fast.bad").and_then(json::Value::as_f64),
+        Some(FAILED_GRANTS as f64)
+    );
+    assert_eq!(
+        grant
+            .get("budget_remaining_ppm")
+            .and_then(json::Value::as_f64),
+        Some(0.0),
+        "an all-error storm leaves no slow-window budget"
+    );
+
+    // /readyz: soft degradation — still 200 (pulling a misbehaving
+    // service from rotation would turn a partial outage total).
+    let (status, body) = fetch(addr, "/readyz");
+    assert!(
+        status.contains("200"),
+        "soft trip keeps readiness: {status}"
+    );
+    assert!(body.contains("\"ready\":true"), "{body}");
+    assert!(body.contains("\"degraded\":true"), "{body}");
+    assert!(
+        body.contains("\"name\":\"slo_fast_burn\",\"ok\":false"),
+        "{body}"
+    );
+
+    run_recovery(&ds);
+
+    // The fast window rolled past the storm: trip clears, readiness
+    // degradation clears, while the slow window still remembers.
+    let (_, body) = fetch(addr, "/sloz");
+    let sloz = json::parse(&body).expect("sloz is JSON");
+    let grant = grant_row(&sloz);
+    assert_eq!(
+        grant.get("tripped").and_then(json::Value::as_bool),
+        Some(false),
+        "recovery must clear the fast burn: {body}"
+    );
+    assert_eq!(
+        grant.lookup("slow.bad").and_then(json::Value::as_f64),
+        Some(FAILED_GRANTS as f64),
+        "the 1h window still remembers the storm"
+    );
+
+    let (status, body) = fetch(addr, "/readyz");
+    assert!(status.contains("200"), "{status}");
+    assert!(body.contains("\"degraded\":false"), "{body}");
+    assert!(
+        body.contains("\"name\":\"slo_fast_burn\",\"ok\":true"),
+        "{body}"
+    );
+
+    server.shutdown();
+}
+
+/// One full storm-and-recovery run against a fresh pipeline; returns
+/// everything determinism cares about: the kept event summaries (in
+/// ring order), the emitted count, and the trip state at both
+/// checkpoints.
+#[allow(clippy::type_complexity)]
+fn run_once(seed: u64) -> (Vec<(String, String, String, f64)>, u64, bool, bool) {
+    let pipeline = mabe_events::global();
+    pipeline.reset();
+    let ds = stormy_system(seed);
+    run_storm(&ds);
+    let tripped_after_storm = pipeline.slo().any_fast_tripped();
+    run_recovery(&ds);
+    let tripped_after_recovery = pipeline.slo().any_fast_tripped();
+    let kept = pipeline
+        .ring()
+        .snapshot()
+        .iter()
+        .map(|e| {
+            (
+                e.kind.to_owned(),
+                e.outcome.label().to_owned(),
+                e.kept.label().to_owned(),
+                f64::from(e.retries),
+            )
+        })
+        .collect();
+    (
+        kept,
+        pipeline.emitted(),
+        tripped_after_storm,
+        tripped_after_recovery,
+    )
+}
+
+#[test]
+fn two_identical_seeded_runs_keep_identical_events_and_burn_behaviour() {
+    let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+
+    let first = run_once(SEED);
+    let second = run_once(SEED);
+    assert_eq!(
+        first, second,
+        "same seed + same op sequence must keep the same events and trip the same way"
+    );
+
+    let (kept, emitted, tripped_after_storm, tripped_after_recovery) = first;
+    assert!(tripped_after_storm, "the storm must trip a fast burn");
+    assert!(!tripped_after_recovery, "recovery must clear it");
+    let errors = kept.iter().filter(|(_, o, _, _)| o == "error").count();
+    assert_eq!(errors as u64, FAILED_GRANTS, "all errors kept");
+    let sampled = kept.iter().filter(|(_, _, k, _)| k == "sampled").count();
+    assert!(
+        (sampled as u64) < RECOVERY_GRANTS,
+        "the OK-fast majority is sampled down, not kept wholesale"
+    );
+    assert!(
+        emitted >= FAILED_GRANTS + RECOVERY_GRANTS,
+        "every op reached the pipeline whether kept or not"
+    );
+}
