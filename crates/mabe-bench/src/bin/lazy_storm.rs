@@ -1,0 +1,215 @@
+//! Lazy-revocation storm at directory scale: the ROADMAP headroom run
+//! pushing the storm scenario to 100k registered holders.
+//!
+//! The population all holds the storm attribute, so every revocation
+//! pays the full update-key fan-out to the directory — the cost the
+//! typed keyspace's range-scan grant lookup keeps linear. Reported:
+//!
+//! - `setup_users_per_s` — registration + grant throughput while the
+//!   directory grows to the target size;
+//! - `revoke_ack_ms` — mean acknowledgement latency per revocation
+//!   (lazy: version bump + key fan-out, no re-encryption);
+//! - `reader_p99_ms` — survivor read tail during the storm window;
+//! - `drain_ms` — queue burn-down until every ciphertext is current.
+//!
+//! The run asserts the storm invariants at scale: revoked holders are
+//! denied from the ack on, survivors never error, the queue drains,
+//! and the audit chain verifies.
+//!
+//! Usage: `lazy_storm [users] [cohort]` (defaults 5000 / 2; nightly
+//! runs 100000). `RANDOM_SEED` varies the system seed. With
+//! `MABE_METRICS_DIR` set the numbers are dumped as
+//! `BENCH_lazy_storm.json`.
+
+use std::io::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use mabe_cloud::CloudSystem;
+
+const RECORDS: usize = 12;
+const READERS: usize = 2;
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+struct Numbers {
+    users: usize,
+    cohort: usize,
+    setup_users_per_s: f64,
+    revoke_ack_ms: f64,
+    reader_p50_ms: f64,
+    reader_p99_ms: f64,
+    reads: usize,
+    drain_ms: f64,
+}
+
+fn emit_json(n: &Numbers) {
+    let Some(dir) = std::env::var_os("MABE_METRICS_DIR") else {
+        return;
+    };
+    let doc = format!(
+        "{{\n\"bench\": \"lazy_storm\",\n\"users\": {},\n\"cohort\": {},\n\
+         \"setup_users_per_s\": {:.1},\n\"revoke_ack_ms\": {:.3},\n\
+         \"reader_p50_ms\": {:.3},\n\"reader_p99_ms\": {:.3},\n\
+         \"reads\": {},\n\"drain_ms\": {:.3}\n}}\n",
+        n.users,
+        n.cohort,
+        n.setup_users_per_s,
+        n.revoke_ack_ms,
+        n.reader_p50_ms,
+        n.reader_p99_ms,
+        n.reads,
+        n.drain_ms
+    );
+    let path = std::path::Path::new(&dir).join("BENCH_lazy_storm.json");
+    let write = std::fs::File::create(&path).and_then(|mut f| f.write_all(doc.as_bytes()));
+    match write {
+        Ok(()) => eprintln!("# wrote {}", path.display()),
+        Err(e) => eprintln!("# BENCH_lazy_storm.json failed: {e}"),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let users: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .filter(|&n| n >= 10)
+        .unwrap_or(5000);
+    let cohort: usize = args
+        .next()
+        .and_then(|a| a.parse().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(2);
+    let seed: u64 = std::env::var("RANDOM_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0x57a9);
+
+    eprintln!("# lazy_storm: {users} holders, cohort {cohort}, seed {seed}");
+    let sys = Arc::new(CloudSystem::new(seed));
+    sys.add_authority("Org", &["A"]).expect("authority");
+    let owner = sys.add_owner("owner").expect("owner");
+    for r in 0..RECORDS {
+        sys.publish(
+            &owner,
+            &format!("rec-{r}"),
+            &[("f", format!("body-{r}").as_bytes(), "A@Org")],
+        )
+        .expect("publish");
+    }
+
+    // Directory growth to the target scale: every holder can decrypt,
+    // so every revocation must fan update keys out to all of them.
+    let setup = Instant::now();
+    let bob = sys.add_user("bob").expect("survivor");
+    sys.grant(&bob, &["A@Org"]).expect("grant");
+    let victims: Vec<_> = (0..cohort)
+        .map(|i| {
+            let uid = sys.add_user(&format!("victim-{i}")).expect("victim");
+            sys.grant(&uid, &["A@Org"]).expect("grant");
+            uid
+        })
+        .collect();
+    for i in (1 + cohort)..users {
+        let uid = sys.add_user(&format!("holder-{i}")).expect("holder");
+        sys.grant(&uid, &["A@Org"]).expect("grant");
+    }
+    let setup_s = setup.elapsed().as_secs_f64();
+    eprintln!("# setup: {users} holders in {setup_s:.1}s");
+
+    sys.set_lazy_revocation(true);
+    let stop = AtomicBool::new(false);
+    let samples = Mutex::new(Vec::<f64>::new());
+    let mut acks_ms = Vec::with_capacity(cohort);
+    let mut drain_ms = 0.0;
+
+    thread::scope(|s| {
+        for t in 0..READERS {
+            let sys = Arc::clone(&sys);
+            let (owner, bob) = (owner.clone(), bob.clone());
+            let (stop, samples) = (&stop, &samples);
+            s.spawn(move || {
+                let mut local = Vec::new();
+                let mut i = t;
+                while !stop.load(Ordering::Relaxed) {
+                    let r = i % RECORDS;
+                    i += 1;
+                    let start = Instant::now();
+                    let got = sys
+                        .read(&bob, &owner, &format!("rec-{r}"), "f")
+                        .expect("survivor never errors");
+                    assert_eq!(got, format!("body-{r}").into_bytes(), "corrupt read");
+                    local.push(start.elapsed().as_secs_f64() * 1e3);
+                }
+                samples.lock().unwrap().extend(local);
+            });
+        }
+
+        for uid in &victims {
+            let start = Instant::now();
+            sys.revoke(uid, "A@Org").expect("revoke");
+            acks_ms.push(start.elapsed().as_secs_f64() * 1e3);
+            assert!(
+                sys.read(uid, &owner, "rec-0", "f").is_err(),
+                "revoked holder reads after their ack"
+            );
+        }
+        let drain = Instant::now();
+        while sys.needs_recovery() {
+            sys.recover().expect("recover");
+        }
+        while sys.lazy_queue_depth() > 0 {
+            assert!(sys.drain_lazy().expect("drain") > 0, "queue stuck");
+        }
+        drain_ms = drain.elapsed().as_secs_f64() * 1e3;
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Post-convergence obligations, sampled (full sweeps at 100k would
+    // dominate the run without telling us anything new).
+    for uid in &victims {
+        assert!(sys.read(uid, &owner, "rec-0", "f").is_err());
+    }
+    for r in 0..RECORDS {
+        assert_eq!(
+            sys.read(&bob, &owner, &format!("rec-{r}"), "f")
+                .expect("survivor"),
+            format!("body-{r}").into_bytes()
+        );
+    }
+    assert!(sys.audit().verify(), "audit chain verifies at scale");
+    assert!(sys.audit().incomplete_revocations().is_empty());
+
+    let mut lat = samples.into_inner().unwrap();
+    lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = Numbers {
+        users,
+        cohort,
+        setup_users_per_s: users as f64 / setup_s.max(1e-9),
+        revoke_ack_ms: acks_ms.iter().sum::<f64>() / acks_ms.len().max(1) as f64,
+        reader_p50_ms: percentile(&lat, 0.50),
+        reader_p99_ms: percentile(&lat, 0.99),
+        reads: lat.len(),
+        drain_ms,
+    };
+    println!("metric\tvalue");
+    println!("users\t{}", n.users);
+    println!("setup_users_per_s\t{:.1}", n.setup_users_per_s);
+    println!("revoke_ack_ms\t{:.3}", n.revoke_ack_ms);
+    println!("reader_p50_ms\t{:.3}", n.reader_p50_ms);
+    println!("reader_p99_ms\t{:.3}", n.reader_p99_ms);
+    println!("reads\t{}", n.reads);
+    println!("drain_ms\t{:.3}", n.drain_ms);
+    emit_json(&n);
+    mabe_bench::metrics::emit("lazy_storm");
+    mabe_obs::profiler::emit("lazy_storm");
+}

@@ -11,7 +11,7 @@ use std::fmt;
 use mabe_crypto::sha256::{Sha256, DIGEST_LEN};
 
 /// Magic header of a serialized audit log.
-const AUDIT_MAGIC: &[u8; 8] = b"MAUD0001";
+pub(crate) const AUDIT_MAGIC: &[u8; 8] = b"MAUD0001";
 
 /// Why a serialized audit log was rejected by [`AuditLog::load`].
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -377,13 +377,16 @@ impl AuditLog {
         out.extend_from_slice(&self.clock.to_be_bytes());
         out.extend_from_slice(&(self.entries.len() as u32).to_be_bytes());
         for entry in &self.entries {
-            out.extend_from_slice(&entry.index.to_be_bytes());
-            out.extend_from_slice(&entry.seq.to_be_bytes());
-            out.extend_from_slice(&entry.timestamp.to_be_bytes());
-            wire::put_event(&mut out, &entry.event);
-            out.extend_from_slice(&entry.digest);
+            out.extend_from_slice(&entry_bytes(entry));
         }
         out
+    }
+
+    /// The `(next_seq, clock)` header counters, as persisted alongside
+    /// the entries by [`Self::save`]. The typed keyspace stores these in
+    /// its `Meta` table and the entries as per-index rows.
+    pub(crate) fn counters(&self) -> (u64, u64) {
+        (self.next_seq, self.clock)
     }
 
     /// Deserializes and **re-verifies** a log produced by [`Self::save`]:
@@ -480,6 +483,20 @@ impl AuditLog {
         }
         open
     }
+}
+
+/// One entry's serialized section, byte-for-byte the per-entry slice of
+/// [`AuditLog::save`]'s output. The typed keyspace persists entries as
+/// individual `Audit` rows holding exactly these bytes, so concatenating
+/// the rows under a reconstructed header reproduces the legacy blob.
+pub(crate) fn entry_bytes(entry: &AuditEntry) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&entry.index.to_be_bytes());
+    out.extend_from_slice(&entry.seq.to_be_bytes());
+    out.extend_from_slice(&entry.timestamp.to_be_bytes());
+    wire::put_event(&mut out, &entry.event);
+    out.extend_from_slice(&entry.digest);
+    out
 }
 
 /// Minimal framing for audit persistence: big-endian integers,

@@ -1,0 +1,372 @@
+//! Bounded sharded LRU caches for the hot read path.
+//!
+//! Two caches sit in front of the expensive pairing work:
+//!
+//! * **Content-key cache** — the recovered KEM element (`e(g,g)^s`) per
+//!   `(uid, owner, record, label, component-versions)`. A cache hit
+//!   turns a read into one AEAD open instead of a full CP-ABE
+//!   decryption. The key embeds the component's `(authority, version)`
+//!   vector, so a re-encrypted component can never be served from a
+//!   stale entry — its versions differ, so its key differs.
+//! * **Update-key chain cache** — the composed
+//!   `UpdateKey(from → latest)` per `(authority, owner, from_version)`,
+//!   the per-`(authority, version)` pairing material the lazy drain and
+//!   read-triggered upgrades walk repeatedly.
+//!
+//! Invalidation is wired into revocation's version bump: the begin
+//! phase calls [`SystemCaches::invalidate_authority`] **under the
+//! authority shard lock, before the revocation is acknowledged**. That
+//! bumps the authority's generation counter and purges every entry
+//! mentioning the authority, so a revoked user's cached KEM dies with
+//! the ack. Readers that raced the bump are handled by the generation
+//! guard: a reader snapshots the generations of every authority in the
+//! component *before* decrypting, and the insert is dropped unless the
+//! generations are still current ([`SystemCaches::insert_content_if`]) —
+//! a decryption that started before the bump can never repopulate the
+//! cache after it.
+//!
+//! Eviction is sharded tick-LRU: each shard tracks a monotonically
+//! increasing touch tick per entry and evicts the smallest tick when
+//! full. Hits, misses, and evictions are counted per cache and exported
+//! both through [`CacheStats`] and the `mabe_cache_*_total` metric
+//! families.
+
+use std::collections::BTreeMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+use mabe_core::UpdateKey;
+use mabe_math::Gt;
+use mabe_policy::AuthorityId;
+
+/// Default total entry budget for the content-key cache.
+pub(crate) const CONTENT_CACHE_CAPACITY: usize = 4096;
+/// Default total entry budget for the update-key chain cache.
+pub(crate) const CHAIN_CACHE_CAPACITY: usize = 1024;
+const SHARDS: usize = 8;
+
+/// Hit/miss/eviction counters of one cache, read via
+/// [`crate::CloudSystem::cache_stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Content-key cache hits.
+    pub content_hits: u64,
+    /// Content-key cache misses.
+    pub content_misses: u64,
+    /// Content-key cache evictions.
+    pub content_evictions: u64,
+    /// Update-key chain cache hits.
+    pub chain_hits: u64,
+    /// Update-key chain cache misses.
+    pub chain_misses: u64,
+    /// Update-key chain cache evictions.
+    pub chain_evictions: u64,
+}
+
+impl CacheStats {
+    /// Content-key hit ratio in `[0, 1]` (0 when the cache was never
+    /// consulted).
+    pub fn content_hit_ratio(&self) -> f64 {
+        let total = self.content_hits + self.content_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.content_hits as f64 / total as f64
+        }
+    }
+}
+
+struct Entry<V> {
+    value: V,
+    tick: u64,
+}
+
+struct Shard<K, V> {
+    rows: BTreeMap<K, Entry<V>>,
+    tick: u64,
+}
+
+impl<K: Ord, V> Default for Shard<K, V> {
+    fn default() -> Self {
+        Shard {
+            rows: BTreeMap::new(),
+            tick: 0,
+        }
+    }
+}
+
+/// A bounded sharded tick-LRU map. Shard selection hashes the key;
+/// within a shard, every access stamps a fresh tick and a full shard
+/// evicts its least-recently-stamped entry.
+struct LruCache<K, V> {
+    shards: Vec<Mutex<Shard<K, V>>>,
+    shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    metric: &'static str,
+}
+
+impl<K: Ord + Hash + Clone, V: Clone> LruCache<K, V> {
+    fn new(capacity: usize, metric: &'static str) -> Self {
+        LruCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            metric,
+        }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<Shard<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        let mut shard = self.shard(key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        match shard.rows.get_mut(key) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                mabe_telemetry::global()
+                    .counter("mabe_cache_hits_total", &[("cache", self.metric)])
+                    .inc();
+                Some(entry.value.clone())
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                mabe_telemetry::global()
+                    .counter("mabe_cache_misses_total", &[("cache", self.metric)])
+                    .inc();
+                None
+            }
+        }
+    }
+
+    fn insert(&self, key: K, value: V) {
+        let mut shard = self.shard(&key).lock();
+        shard.tick += 1;
+        let tick = shard.tick;
+        if shard.rows.len() >= self.shard_capacity && !shard.rows.contains_key(&key) {
+            // O(n) min-tick scan: shards are small and eviction is off
+            // the common (hit) path.
+            if let Some(victim) = shard
+                .rows
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                shard.rows.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                mabe_telemetry::global()
+                    .counter("mabe_cache_evictions_total", &[("cache", self.metric)])
+                    .inc();
+            }
+        }
+        shard.rows.insert(key, Entry { value, tick });
+    }
+
+    fn purge_if(&self, matches: impl Fn(&K) -> bool) {
+        for shard in &self.shards {
+            shard.lock().rows.retain(|k, _| !matches(k));
+        }
+    }
+
+    fn counters(&self) -> (u64, u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+            self.evictions.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Content-key cache key: the reader, the component's address, and the
+/// exact `(authority, version)` vector the component was sealed under.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct ContentCacheKey {
+    pub uid: String,
+    pub owner: String,
+    pub record: String,
+    pub label: String,
+    /// Sorted `(authority, version)` pairs of the component ciphertext.
+    pub versions: Vec<(String, u64)>,
+}
+
+impl ContentCacheKey {
+    fn mentions(&self, aid: &str) -> bool {
+        self.versions.iter().any(|(a, _)| a == aid)
+    }
+}
+
+/// The system-wide cache set: content keys, update-key chains, and the
+/// per-authority generation counters that guard insertion.
+pub(crate) struct SystemCaches {
+    content: LruCache<ContentCacheKey, Gt>,
+    chains: LruCache<(String, String, u64), UpdateKey>,
+    generations: Mutex<BTreeMap<String, u64>>,
+}
+
+impl std::fmt::Debug for SystemCaches {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SystemCaches")
+            .field("content_hits", &stats.content_hits)
+            .field("content_misses", &stats.content_misses)
+            .field("chain_hits", &stats.chain_hits)
+            .field("chain_misses", &stats.chain_misses)
+            .finish_non_exhaustive()
+    }
+}
+
+impl SystemCaches {
+    pub(crate) fn new() -> Self {
+        SystemCaches {
+            content: LruCache::new(CONTENT_CACHE_CAPACITY, "content"),
+            chains: LruCache::new(CHAIN_CACHE_CAPACITY, "chain"),
+            generations: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Snapshot of the generation counters for `aids`, taken *before*
+    /// a decryption whose result may be inserted.
+    pub(crate) fn generation_snapshot<'a>(
+        &self,
+        aids: impl Iterator<Item = &'a AuthorityId>,
+    ) -> Vec<(String, u64)> {
+        let gens = self.generations.lock();
+        aids.map(|aid| {
+            let name = aid.to_string();
+            let gen = gens.get(&name).copied().unwrap_or(0);
+            (name, gen)
+        })
+        .collect()
+    }
+
+    pub(crate) fn get_content(&self, key: &ContentCacheKey) -> Option<Gt> {
+        self.content.get(key)
+    }
+
+    /// Inserts a recovered KEM element unless any involved authority's
+    /// generation moved since `snapshot` was taken (i.e. a revocation
+    /// began mid-decryption — the entry could be stale, drop it).
+    pub(crate) fn insert_content_if(
+        &self,
+        snapshot: &[(String, u64)],
+        key: ContentCacheKey,
+        kem: Gt,
+    ) {
+        {
+            let gens = self.generations.lock();
+            let current = |name: &str| gens.get(name).copied().unwrap_or(0);
+            if snapshot.iter().any(|(name, gen)| current(name) != *gen) {
+                return;
+            }
+            // Insert while still holding the generation lock: a
+            // concurrent invalidate_authority either ran before (the
+            // check above failed) or will run after (its purge removes
+            // this entry). No window remains where a stale entry
+            // survives a bump.
+            self.content.insert(key, kem);
+        }
+    }
+
+    /// Cached composed update-key chain for `(aid, owner, from)`.
+    /// Callers must validate `to_version` against the target they need
+    /// — a shorter (stale) chain is a miss, never silently applied.
+    pub(crate) fn get_chain(&self, aid: &str, owner: &str, from: u64) -> Option<UpdateKey> {
+        self.chains.get(&(aid.to_owned(), owner.to_owned(), from))
+    }
+
+    pub(crate) fn insert_chain(&self, aid: &str, owner: &str, from: u64, chain: UpdateKey) {
+        self.chains
+            .insert((aid.to_owned(), owner.to_owned(), from), chain);
+    }
+
+    /// Revocation's version bump: called under the authority shard lock
+    /// before the revocation is acknowledged. Bumps the generation (so
+    /// in-flight decryptions cannot repopulate) and purges every entry
+    /// that mentions the authority.
+    pub(crate) fn invalidate_authority(&self, aid: &AuthorityId) {
+        let name = aid.to_string();
+        {
+            let mut gens = self.generations.lock();
+            *gens.entry(name.clone()).or_insert(0) += 1;
+        }
+        self.content.purge_if(|k| k.mentions(&name));
+        self.chains.purge_if(|(a, _, _)| *a == name);
+    }
+
+    pub(crate) fn stats(&self) -> CacheStats {
+        let (content_hits, content_misses, content_evictions) = self.content.counters();
+        let (chain_hits, chain_misses, chain_evictions) = self.chains.counters();
+        CacheStats {
+            content_hits,
+            content_misses,
+            content_evictions,
+            chain_hits,
+            chain_misses,
+            chain_evictions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(uid: &str, versions: &[(&str, u64)]) -> ContentCacheKey {
+        ContentCacheKey {
+            uid: uid.to_owned(),
+            owner: "o".to_owned(),
+            record: "r".to_owned(),
+            label: "l".to_owned(),
+            versions: versions
+                .iter()
+                .map(|(a, v)| ((*a).to_owned(), *v))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn lru_caps_and_evicts_least_recent() {
+        let lru: LruCache<u64, u64> = LruCache::new(SHARDS, "content");
+        // Fill one logical shard far past its per-shard budget (1).
+        for i in 0..64u64 {
+            lru.insert(i, i);
+        }
+        let total: usize = lru.shards.iter().map(|s| s.lock().rows.len()).sum();
+        assert!(total <= SHARDS, "bounded at capacity, got {total}");
+        let (_, _, evictions) = lru.counters();
+        assert!(evictions >= 64 - SHARDS as u64);
+    }
+
+    #[test]
+    fn generation_bump_blocks_stale_insert() {
+        let caches = SystemCaches::new();
+        let aid = AuthorityId::new("A1");
+        let snap = caches.generation_snapshot(std::iter::once(&aid));
+        // A revocation begins between the snapshot and the insert.
+        caches.invalidate_authority(&aid);
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+        let kem = Gt::random(&mut rng);
+        let k = key("alice", &[(&aid.to_string(), 1)]);
+        caches.insert_content_if(&snap, k.clone(), kem);
+        assert!(caches.get_content(&k).is_none(), "stale insert dropped");
+        // A fresh snapshot inserts fine.
+        let snap = caches.generation_snapshot(std::iter::once(&aid));
+        let kem = Gt::random(&mut rng);
+        caches.insert_content_if(&snap, k.clone(), kem);
+        assert!(caches.get_content(&k).is_some());
+        // And the next bump purges it.
+        caches.invalidate_authority(&aid);
+        assert!(caches.get_content(&k).is_none(), "bump purges entries");
+    }
+}

@@ -143,13 +143,17 @@ impl CloudSystem {
             }
             self.local_op(fault_points::GRANT_KEYGEN, Some(&aid))?;
             st.authority.grant(&pk, attrs.iter().cloned())?;
-            self.directory
-                .users
-                .write()
-                .grants
-                .get_mut(uid)
-                .expect("user exists")
-                .extend(attrs.iter().cloned());
+            {
+                let mut users = self.directory.users.write();
+                users
+                    .grants
+                    .get_mut(uid)
+                    .expect("user exists")
+                    .extend(attrs.iter().cloned());
+                for attr in &attrs {
+                    users.index_grant(uid, attr);
+                }
+            }
             let owner_ids: Vec<OwnerId> = self.directory.owners.read().keys().cloned().collect();
             for owner_id in owner_ids {
                 let key = st.authority.keygen(uid, &owner_id)?;
@@ -339,9 +343,14 @@ impl CloudSystem {
         }
         {
             let mut users = self.directory.users.write();
-            if let Some(grants) = users.grants.get_mut(&uid) {
+            if users.grants.contains_key(&uid) {
                 for attr in &event.revoked_attributes {
-                    grants.remove(attr);
+                    users
+                        .grants
+                        .get_mut(&uid)
+                        .expect("checked above")
+                        .remove(attr);
+                    users.unindex_grant(&uid, attr);
                 }
             }
             // Update keys still queued for the revoked user at this
@@ -363,6 +372,10 @@ impl CloudSystem {
         // the archive is what lets read-triggered upgrade (and the lazy
         // drain) advance any component that stayed behind.
         self.archive_update_keys(&event);
+        // The version bump makes every cached content key and composed
+        // update-key chain touching this authority stale; drop them
+        // before any post-revocation read can be served.
+        self.cache.invalidate_authority(&aid);
         mabe_trace::op_attr("key_version_observed", event.from_version.to_string());
         mabe_trace::op_attr("key_version_served", event.to_version.to_string());
         st.in_flight.insert(id, PendingRevocation::new(id, event));
@@ -507,17 +520,18 @@ impl CloudSystem {
             }
             pending.fresh_keys_delivered = true;
         }
-        let holders: Vec<Uid> = self
-            .directory
-            .users
-            .read()
-            .grants
-            .iter()
-            .filter(|(holder, attrs)| {
-                **holder != uid && attrs.iter().any(|a| a.authority() == &aid)
-            })
-            .map(|(holder, _)| holder.clone())
-            .collect();
+        // Everyone still granted anything at this authority, via the
+        // `(authority)` prefix of the inverted grant index — no full
+        // grants-map walk. Index rows sort by uid under the prefix, so
+        // delivery order matches the old scan.
+        let holders: Vec<Uid> = {
+            let users = self.directory.users.read();
+            users
+                .holders_of_authority(&aid)
+                .into_iter()
+                .filter(|holder| *holder != uid)
+                .collect()
+        };
         for holder in holders {
             if pending.delivered_holders.contains(&holder) {
                 continue;

@@ -22,11 +22,13 @@ use std::sync::Arc;
 use parking_lot::Mutex;
 
 use mabe_core::{
-    open_component, seal_envelope, CiphertextId, Error, OwnerId, Uid, UpdateKey, UserSecretKey,
+    open_component_with_kem, seal_envelope, CiphertextId, Error, OwnerId, Uid, UpdateKey,
+    UserSecretKey,
 };
 use mabe_policy::{parse, AuthorityId, Policy};
 
 use crate::audit::AuditEvent;
+use crate::cache::ContentCacheKey;
 use crate::recovery::PendingRevocation;
 use crate::server::{CloudServer, RecordKey};
 use crate::system::{fault_points, CloudError, CloudSystem};
@@ -202,7 +204,44 @@ impl CloudSystem {
                     .collect();
                 (state.pk.clone(), keys)
             };
-            match open_component(component, &pk, &keys) {
+            // Hot-key cache: the recovered KEM element per (reader,
+            // component, exact version vector). A hit skips the CP-ABE
+            // pairing work entirely; any re-encryption changes the
+            // version vector and thus the key, so stale hits are
+            // structurally impossible, and the generation guard keeps a
+            // decryption racing a revocation's bump from repopulating
+            // the cache afterwards.
+            let cache_key = ContentCacheKey {
+                uid: uid.to_string(),
+                owner: owner_id.to_string(),
+                record: record.to_owned(),
+                label: label.to_owned(),
+                versions: component
+                    .key_ct
+                    .versions
+                    .iter()
+                    .map(|(a, v)| (a.to_string(), *v))
+                    .collect(),
+            };
+            let opened = match self.cache.get_content(&cache_key) {
+                Some(kem) => open_component_with_kem(component, &kem),
+                None => {
+                    let snapshot = self
+                        .cache
+                        .generation_snapshot(component.key_ct.versions.keys());
+                    match mabe_core::decrypt(&component.key_ct, &pk, &keys) {
+                        Ok(kem) => {
+                            let out = open_component_with_kem(component, &kem);
+                            if out.is_ok() {
+                                self.cache.insert_content_if(&snapshot, cache_key, kem);
+                            }
+                            out
+                        }
+                        Err(e) => Err(e),
+                    }
+                }
+            };
+            match opened {
                 // The key view lags the component: a concurrent
                 // revocation advanced the ciphertext (possibly via our
                 // own upgrade-before-serve) while its key delivery was

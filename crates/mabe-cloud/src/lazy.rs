@@ -204,6 +204,19 @@ impl CloudSystem {
         owner: &OwnerId,
         from: u64,
     ) -> Option<UpdateKey> {
+        // Chain cache: a composed span is reusable only while it still
+        // reaches the archive head — two map probes validate that (the
+        // span still starts at an archived link, and no newer link
+        // extends past its end). Revocation also purges the cache on
+        // every bump, so this guard is belt-and-braces.
+        if let Some(chain) = self.cache.get_chain(aid.as_str(), owner.as_str(), from) {
+            let archive = self.lazy.archive.read();
+            if archive.contains_key(&(aid.clone(), owner.clone(), from))
+                && !archive.contains_key(&(aid.clone(), owner.clone(), chain.to_version))
+            {
+                return Some(chain);
+            }
+        }
         let links: Vec<UpdateKey> = {
             let archive = self.lazy.archive.read();
             let mut links = Vec::new();
@@ -219,6 +232,8 @@ impl CloudSystem {
         for next in iter {
             uk = uk.compose(&next).ok()?;
         }
+        self.cache
+            .insert_chain(aid.as_str(), owner.as_str(), from, uk.clone());
         Some(uk)
     }
 

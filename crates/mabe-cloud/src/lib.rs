@@ -46,24 +46,29 @@
 #![warn(missing_docs)]
 
 pub mod audit;
+pub(crate) mod cache;
 pub mod concurrent;
 pub(crate) mod control;
 pub(crate) mod data;
 pub(crate) mod directory;
 pub(crate) mod lazy;
 pub mod persist;
+pub mod records;
 pub mod recovery;
 pub mod server;
 pub mod system;
+pub(crate) mod tables;
 pub mod wire;
 
 pub use audit::{AuditEntry, AuditEvent, AuditLoadError, AuditLog};
+pub use cache::CacheStats;
 pub use concurrent::{run_concurrent_reads, ReaderSpec, ThroughputReport};
 pub use lazy::DEFAULT_LAZY_CAPACITY;
 pub use persist::{
     DurableSystem, LazyDrainHandle, MaintenanceHandle, OpenError, OpenFailure, OpenReport,
     DEFAULT_DEGRADE_HEADROOM, DEGRADED_POINT, POISONED_POINT,
 };
+pub use records::RecordError;
 pub use recovery::{PendingRevocation, RevocationStage};
 pub use server::CloudServer;
 pub use system::{fault_points, CloudError, CloudSystem, StorageReport};

@@ -1,48 +1,55 @@
-//! Durable persistence for the deployment: WAL + snapshots over
-//! [`mabe_store`].
+//! Durable persistence for the deployment: a typed keyspace journal
+//! with per-table snapshots over [`mabe_store`].
 //!
 //! [`DurableSystem`] wraps a [`CloudSystem`] so that every acknowledged
 //! state mutation is journaled to an append-only, checksummed write-ahead
 //! log **before** the call returns (`acked ⇒ durable`), and the full
 //! system state is periodically checkpointed into a generation-numbered
-//! snapshot. [`DurableSystem::open`] rebuilds the system from whatever
-//! bytes survived a crash: it loads the committed snapshot, replays the
-//! WAL tail, re-verifies the audit hash chain, and rolls every journaled
-//! in-flight revocation forward — the paper's requirement that committed
-//! version keys and update keys are never forgotten (§V).
+//! per-table snapshot. [`DurableSystem::open`] rebuilds the system from
+//! whatever bytes survived a crash: it loads the committed snapshot,
+//! replays the WAL tail, re-verifies the audit hash chain, and rolls
+//! every journaled in-flight revocation forward — the paper's
+//! requirement that committed version keys and update keys are never
+//! forgotten (§V).
 //!
 //! # Journal format
 //!
-//! Each WAL record is one complete logical operation:
+//! Each WAL record is one logical operation's **frame batch**: the
+//! `(table, op, key, value)` rows of the typed keyspace
+//! ([`crate::tables`]) the operation changed, read back from the live
+//! state *after* the mutation applied. Replay is pure row application —
+//! fold the batches over the per-table snapshot and hydrate a
+//! [`CloudSystem`] from the resulting keyspace. No per-record
+//! reinterpretation, no RNG coupling: sampled secrets travel inside the
+//! journaled rows. Every batch also carries the
+//! [`AuditLog`](crate::AuditLog) entries recorded since the previous
+//! batch (an audit watermark under the op lock), so the replayed hash
+//! chain is byte-identical — [`DurableSystem::open`] rejects the store
+//! if it does not verify.
 //!
-//! * Operations whose outcome depends on the RNG (authority setup, owner
-//!   setup, user registration, revocation re-keying) journal the
-//!   **serialized result** — replay installs the exact sampled secrets
-//!   through the same `install_*` paths the live call used.
-//! * Deterministic operations (grants, syncs, revocation drives) journal
-//!   only their **inputs** — replay re-executes them with faults
-//!   disarmed, regenerating identical state and identical audit entries.
-//! * Revocation journals its intent (`RevocationBegun`, carrying the
-//!   post-`ReKey` authority) *before* any delivery starts, so a crash at
-//!   any later point replays into an in-flight [`PendingRevocation`]
-//!   that recovery drives to completion.
+//! Stores written by earlier releases still open: the replay shim
+//! classifies each record by format, re-executes legacy
+//! [`crate::records::WalRecord`] payloads with faults disarmed, and
+//! converts to the typed keyspace at the format boundary (the first
+//! typed batch). The next checkpoint rewrites the store fully typed.
 //!
-//! Because [`AuditLog`](crate::AuditLog) entries are a pure function of
-//! the event order, replay regenerates the byte-identical hash chain —
-//! [`DurableSystem::open`] rejects the store if it does not verify.
+//! Revocation journals its begin batch *after* the begin parks the
+//! in-flight [`PendingRevocation`] but **before** any delivery starts,
+//! so a crash at any later point replays into an in-flight revocation
+//! that recovery drives to completion.
 //!
 //! # Concurrency and group commit
 //!
 //! Every mutating operation takes `&self`: appliers serialize on one
 //! *op lock* that covers the in-memory mutation **and** the staging of
-//! the journal record, so WAL order always equals apply order equals
+//! the frame batch, so WAL order always equals apply order equals
 //! audit order. The expensive part — the disk sync — happens *outside*
-//! that lock through [`mabe_store::GroupWal`]: concurrent committers
-//! batch their staged records under a single sync (group commit), so N
+//! that lock through the typed store's group commit: concurrent
+//! committers batch their staged records under a single sync, so N
 //! parallel journaled ops cost one disk flush instead of N. The one
-//! exception is the write-ahead `RevocationBegun` record, which must be
-//! durable *before* the system applies the begin, and therefore commits
-//! while the op lock is held.
+//! exception is the write-ahead revocation-begin batch, which must be
+//! durable *before* delivery starts, and therefore commits while the
+//! op lock is held.
 //!
 //! RNG streams, wire accounting and authority up/down flags are
 //! runtime-only: each incarnation gets a fresh seed, and crypto secrets
@@ -61,21 +68,23 @@ use mabe_core::{
     Uid, UpdateKey, UserPublicKey, UserSecretKey, WireCodec,
 };
 use mabe_faults::FaultInjector;
-use mabe_math::Fr;
 use mabe_policy::{Attribute, AuthorityId};
 use mabe_store::{
-    GroupWal, RecoveryReport, ScrubReport, Storage, StoreError, StoreRef, DEFAULT_SEGMENT_BUDGET,
+    Frame, Keyspace, RecoveryReport, ReplayRecord, ReplaySnapshot, SchemaError, ScrubReport,
+    Storage, StoreError, StoreRef, TypedOpen, TypedOpenError, TypedStore, DEFAULT_SEGMENT_BUDGET,
 };
 
 use crate::audit::{AuditEvent, AuditLoadError, AuditLog};
 use crate::control::{AuthorityShard, ShardState};
 use crate::directory::UserState;
+use crate::records::{get_bytes, get_count, put_bytes, put_str, put_u32, put_u64, WalRecord};
 use crate::recovery::{PendingRevocation, RevocationStage};
 use crate::server::CloudServer;
 use crate::system::{fault_points, CloudError, CloudSystem};
+use crate::tables;
 
-/// Magic prefix of a system snapshot payload.
-const SNAPSHOT_MAGIC: &[u8; 8] = b"MSYS0001";
+/// Magic prefix of a legacy (monolithic) system snapshot payload.
+pub(crate) const SNAPSHOT_MAGIC: &[u8; 8] = b"MSYS0001";
 
 /// Fault-point name reported once a durable system has poisoned itself
 /// after a journal-write failure.
@@ -90,294 +99,18 @@ pub const DEGRADED_POINT: &str = "store.degraded";
 pub const DEFAULT_DEGRADE_HEADROOM: usize = 4096;
 
 // ---------------------------------------------------------------------
-// Byte helpers (the mabe-core serial primitives are crate-private).
-// ---------------------------------------------------------------------
-
-fn put_u32(out: &mut Vec<u8>, v: u32) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-fn put_u64(out: &mut Vec<u8>, v: u64) {
-    out.extend_from_slice(&v.to_be_bytes());
-}
-
-/// `u16`-length-prefixed UTF-8, matching [`mabe_core::read_string`].
-fn put_str(out: &mut Vec<u8>, s: &str) {
-    let bytes = s.as_bytes();
-    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
-    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
-    out.extend_from_slice(bytes);
-}
-
-/// `u32`-length-prefixed opaque bytes.
-fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
-    put_u32(out, b.len() as u32);
-    out.extend_from_slice(b);
-}
-
-fn get_bytes(r: &mut mabe_core::Reader<'_>) -> Result<Vec<u8>, Error> {
-    let n = r.u32()? as usize;
-    Ok(r.bytes(n)?.to_vec())
-}
-
-fn put_fr(out: &mut Vec<u8>, v: &Fr) {
-    out.extend_from_slice(&v.to_canonical_bytes());
-}
-
-fn get_fr(r: &mut mabe_core::Reader<'_>) -> Result<Fr, Error> {
-    let bytes = r.bytes(24)?;
-    Fr::from_canonical_bytes(bytes).ok_or(Error::Malformed("non-canonical field element"))
-}
-
-fn get_count(r: &mut mabe_core::Reader<'_>) -> Result<usize, Error> {
-    let n = r.u32()? as usize;
-    if n > r.remaining() {
-        return Err(Error::Malformed("count exceeds input"));
-    }
-    Ok(n)
-}
-
-// ---------------------------------------------------------------------
-// WAL records
-// ---------------------------------------------------------------------
-
-/// One journaled logical operation.
-#[derive(Clone, Debug, PartialEq, Eq)]
-enum WalRecord {
-    /// `add_authority` result: the post-setup authority (all sampled
-    /// version/secret keys and owner registrations included).
-    AuthorityAdded { name: String, authority: Vec<u8> },
-    /// `add_owner` result: the post-install owner.
-    OwnerAdded { owner: Vec<u8> },
-    /// `add_user` result: the CA secret `u` and the public key.
-    UserAdded { u: Fr, pk: Vec<u8> },
-    /// `grant` inputs, caller order preserved (the audit entry's
-    /// rendering depends on it).
-    Granted {
-        uid: String,
-        attributes: Vec<String>,
-    },
-    /// `publish` result: the sealed envelope plus the per-ciphertext
-    /// encryption secrets the owner must retain for re-encryption.
-    Published {
-        owner: String,
-        record: String,
-        envelope: Vec<u8>,
-        secrets: Vec<(u64, Fr)>,
-    },
-    /// A read that reached the audit log (allowed or denied).
-    ReadAudited {
-        uid: String,
-        owner: String,
-        record: String,
-        component: String,
-        allowed: bool,
-    },
-    /// Write-ahead revocation intent: the post-`ReKey` authority and the
-    /// [`RevocationEvent`], journaled before any delivery.
-    RevocationBegun { authority: Vec<u8>, event: Vec<u8> },
-    /// A journaled revocation was driven to completion.
-    RevocationDriven { id: u64, recovered: bool },
-    /// A user went offline (update keys start queueing).
-    UserOffline { uid: String },
-    /// An offline user synced its queued update keys.
-    UserSynced { uid: String },
-    /// A journaled revocation finished its immediate (security) phase
-    /// and parked its re-encryption on the lazy pending-upgrade queue.
-    /// Logged *after* the defer succeeds: a crash in between replays
-    /// the revocation as still in-flight and recovery drives it
-    /// eagerly.
-    RevocationDeferred { id: u64 },
-    /// A lazy drain batch converged the named queued revocations.
-    /// Logged after completion, like `RevocationDriven`.
-    LazyDrained { ids: Vec<u64> },
-}
-
-impl WalRecord {
-    fn encode(&self) -> Vec<u8> {
-        let mut out = Vec::new();
-        match self {
-            WalRecord::AuthorityAdded { name, authority } => {
-                out.push(1);
-                put_str(&mut out, name);
-                put_bytes(&mut out, authority);
-            }
-            WalRecord::OwnerAdded { owner } => {
-                out.push(2);
-                put_bytes(&mut out, owner);
-            }
-            WalRecord::UserAdded { u, pk } => {
-                out.push(3);
-                put_fr(&mut out, u);
-                put_bytes(&mut out, pk);
-            }
-            WalRecord::Granted { uid, attributes } => {
-                out.push(4);
-                put_str(&mut out, uid);
-                put_u32(&mut out, attributes.len() as u32);
-                for a in attributes {
-                    put_str(&mut out, a);
-                }
-            }
-            WalRecord::Published {
-                owner,
-                record,
-                envelope,
-                secrets,
-            } => {
-                out.push(5);
-                put_str(&mut out, owner);
-                put_str(&mut out, record);
-                put_bytes(&mut out, envelope);
-                put_u32(&mut out, secrets.len() as u32);
-                for (id, s) in secrets {
-                    put_u64(&mut out, *id);
-                    put_fr(&mut out, s);
-                }
-            }
-            WalRecord::ReadAudited {
-                uid,
-                owner,
-                record,
-                component,
-                allowed,
-            } => {
-                out.push(6);
-                put_str(&mut out, uid);
-                put_str(&mut out, owner);
-                put_str(&mut out, record);
-                put_str(&mut out, component);
-                out.push(u8::from(*allowed));
-            }
-            WalRecord::RevocationBegun { authority, event } => {
-                out.push(7);
-                put_bytes(&mut out, authority);
-                put_bytes(&mut out, event);
-            }
-            WalRecord::RevocationDriven { id, recovered } => {
-                out.push(8);
-                put_u64(&mut out, *id);
-                out.push(u8::from(*recovered));
-            }
-            WalRecord::UserOffline { uid } => {
-                out.push(9);
-                put_str(&mut out, uid);
-            }
-            WalRecord::UserSynced { uid } => {
-                out.push(10);
-                put_str(&mut out, uid);
-            }
-            WalRecord::RevocationDeferred { id } => {
-                out.push(11);
-                put_u64(&mut out, *id);
-            }
-            WalRecord::LazyDrained { ids } => {
-                out.push(12);
-                put_u32(&mut out, ids.len() as u32);
-                for id in ids {
-                    put_u64(&mut out, *id);
-                }
-            }
-        }
-        out
-    }
-
-    fn decode(bytes: &[u8]) -> Result<Self, Error> {
-        let mut r = mabe_core::Reader::new(bytes);
-        let rec = match r.u8()? {
-            1 => WalRecord::AuthorityAdded {
-                name: mabe_core::read_string(&mut r)?,
-                authority: get_bytes(&mut r)?,
-            },
-            2 => WalRecord::OwnerAdded {
-                owner: get_bytes(&mut r)?,
-            },
-            3 => WalRecord::UserAdded {
-                u: get_fr(&mut r)?,
-                pk: get_bytes(&mut r)?,
-            },
-            4 => {
-                let uid = mabe_core::read_string(&mut r)?;
-                let n = get_count(&mut r)?;
-                let mut attributes = Vec::with_capacity(n);
-                for _ in 0..n {
-                    attributes.push(mabe_core::read_string(&mut r)?);
-                }
-                WalRecord::Granted { uid, attributes }
-            }
-            5 => {
-                let owner = mabe_core::read_string(&mut r)?;
-                let record = mabe_core::read_string(&mut r)?;
-                let envelope = get_bytes(&mut r)?;
-                let n = get_count(&mut r)?;
-                let mut secrets = Vec::with_capacity(n);
-                for _ in 0..n {
-                    let id = r.u64()?;
-                    secrets.push((id, get_fr(&mut r)?));
-                }
-                WalRecord::Published {
-                    owner,
-                    record,
-                    envelope,
-                    secrets,
-                }
-            }
-            6 => WalRecord::ReadAudited {
-                uid: mabe_core::read_string(&mut r)?,
-                owner: mabe_core::read_string(&mut r)?,
-                record: mabe_core::read_string(&mut r)?,
-                component: mabe_core::read_string(&mut r)?,
-                allowed: match r.u8()? {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(Error::Malformed("bad boolean")),
-                },
-            },
-            7 => WalRecord::RevocationBegun {
-                authority: get_bytes(&mut r)?,
-                event: get_bytes(&mut r)?,
-            },
-            8 => WalRecord::RevocationDriven {
-                id: r.u64()?,
-                recovered: match r.u8()? {
-                    0 => false,
-                    1 => true,
-                    _ => return Err(Error::Malformed("bad boolean")),
-                },
-            },
-            9 => WalRecord::UserOffline {
-                uid: mabe_core::read_string(&mut r)?,
-            },
-            10 => WalRecord::UserSynced {
-                uid: mabe_core::read_string(&mut r)?,
-            },
-            11 => WalRecord::RevocationDeferred { id: r.u64()? },
-            12 => {
-                let n = get_count(&mut r)?;
-                let mut ids = Vec::with_capacity(n);
-                for _ in 0..n {
-                    ids.push(r.u64()?);
-                }
-                WalRecord::LazyDrained { ids }
-            }
-            _ => return Err(Error::Malformed("unknown journal record tag")),
-        };
-        if !r.is_exhausted() {
-            return Err(Error::Malformed("trailing bytes after journal record"));
-        }
-        Ok(rec)
-    }
-}
-
-// ---------------------------------------------------------------------
 // System snapshots
 // ---------------------------------------------------------------------
 
 /// Serializes the full persistent state of a [`CloudSystem`] into a
-/// checkpoint snapshot payload. The byte format is independent of the
-/// in-memory sharding: authorities encode in AID order, and in-flight
+/// legacy (monolithic `MSYS0001`) snapshot payload. Live checkpoints
+/// write per-table keyspace snapshots instead ([`tables::populate`]);
+/// this encoder remains as the old-format reference and fixture
+/// generator. The byte format is independent of the in-memory
+/// sharding: authorities encode in AID order, and in-flight
 /// revocations merge across shards in global journal-id order.
-fn encode_system(sys: &CloudSystem) -> Vec<u8> {
+#[cfg_attr(not(test), allow(dead_code))]
+pub(crate) fn encode_system(sys: &CloudSystem) -> Vec<u8> {
     let mut out = Vec::new();
     out.extend_from_slice(SNAPSHOT_MAGIC);
     put_bytes(&mut out, &sys.directory.ca.lock().to_wire_bytes());
@@ -489,10 +222,12 @@ fn snap_err(what: &'static str) -> OpenError {
     OpenError::Snapshot(Error::Malformed(what))
 }
 
-/// Rebuilds a [`CloudSystem`] from a checkpoint snapshot. The restored
-/// system gets a fresh RNG from `seed` and no fault injection; the
-/// caller installs the injector after replay.
-fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
+/// Rebuilds a [`CloudSystem`] from a legacy `MSYS0001` snapshot
+/// payload — also the target format [`tables::hydrate`] synthesizes
+/// from the typed keyspace, so this is the single decode path for both
+/// sources. The restored system gets a fresh RNG from `seed` and no
+/// fault injection; the caller installs the injector after replay.
+pub(crate) fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
     let mut sys = CloudSystem::new(seed);
     let mut r = mabe_core::Reader::new(bytes);
     if r.bytes(8).map_err(OpenError::Snapshot)? != SNAPSHOT_MAGIC {
@@ -689,15 +424,20 @@ fn decode_system(bytes: &[u8], seed: u64) -> Result<CloudSystem, OpenError> {
     if !r.is_exhausted() {
         return Err(snap_err("trailing bytes after snapshot"));
     }
+    // The inverted grant index is derived, live-only state: rebuild it
+    // from the restored grants.
+    sys.directory.users.read().rebuild_grant_index();
     Ok(sys)
 }
 
 // ---------------------------------------------------------------------
-// Replay
+// Legacy replay shim
 // ---------------------------------------------------------------------
 
-/// Re-applies one journaled record to the system being rebuilt. Runs
-/// with fault injection disarmed — replay must be deterministic.
+/// Re-applies one legacy journaled record to the system being rebuilt —
+/// the pre-keyspace journal format, kept so stores written by earlier
+/// releases still open. Runs with fault injection disarmed — replay
+/// must be deterministic.
 fn apply_record(sys: &CloudSystem, rec: WalRecord) -> Result<(), CloudError> {
     match rec {
         WalRecord::AuthorityAdded { name, authority } => {
@@ -823,17 +563,30 @@ pub enum OpenError {
     Store(StoreError),
     /// The checkpoint snapshot payload failed structural validation.
     Snapshot(Error),
+    /// A typed keyspace snapshot section or replayed row failed to
+    /// decode.
+    Keyspace(SchemaError),
     /// The audit trail embedded in the snapshot was tampered with or
     /// reordered.
     Audit(AuditLoadError),
-    /// WAL record `index` survived the checksum but failed to decode.
-    Record {
+    /// Typed frame record `index` survived the checksum but failed to
+    /// decode (the error carries the offending byte offset).
+    Frame {
         /// Zero-based position among the replayed records.
         index: usize,
         /// The decode failure.
-        error: Error,
+        error: SchemaError,
     },
-    /// WAL record `index` decoded but could not be re-applied.
+    /// Legacy WAL record `index` survived the checksum but failed to
+    /// decode.
+    Record {
+        /// Zero-based position among the replayed records.
+        index: usize,
+        /// The decode failure (typed: unknown tag with its offset, or a
+        /// payload decode error).
+        error: crate::records::RecordError,
+    },
+    /// Legacy WAL record `index` decoded but could not be re-applied.
     Replay {
         /// Zero-based position among the replayed records.
         index: usize,
@@ -851,7 +604,11 @@ impl fmt::Display for OpenError {
         match self {
             OpenError::Store(e) => write!(f, "store: {e}"),
             OpenError::Snapshot(e) => write!(f, "snapshot: {e}"),
+            OpenError::Keyspace(e) => write!(f, "typed keyspace: {e}"),
             OpenError::Audit(e) => write!(f, "audit trail: {e}"),
+            OpenError::Frame { index, error } => {
+                write!(f, "frame record {index}: {error}")
+            }
             OpenError::Record { index, error } => {
                 write!(f, "journal record {index}: {error}")
             }
@@ -918,19 +675,24 @@ struct OpState {
     /// `maybe_checkpoint` compacts regardless of the op count — the
     /// knob that keeps disk usage bounded under journal-heavy loads.
     wal_budget: usize,
+    /// Audit watermark: how many audit entries are already journaled
+    /// (or checkpointed). Every staged batch appends the rows recorded
+    /// since, so the on-disk `audit` table stays a contiguous prefix of
+    /// the live chain.
+    journaled_audit: usize,
 }
 
-/// A [`CloudSystem`] whose every acknowledged mutation is journaled to a
-/// write-ahead log and periodically checkpointed, over any
-/// [`Storage`] backend.
+/// A [`CloudSystem`] whose every acknowledged mutation is journaled as
+/// a typed frame batch to a write-ahead log and periodically
+/// checkpointed as a per-table snapshot, over any [`Storage`] backend.
 ///
 /// Every operation takes `&self`: appliers serialize on an internal op
 /// lock (in-memory mutation plus journal staging), while the disk syncs
-/// batch across threads through [`GroupWal`] group commit.
+/// batch across threads through the typed store's group commit.
 #[derive(Debug)]
 pub struct DurableSystem<S: Storage> {
     sys: CloudSystem,
-    wal: GroupWal<S>,
+    ts: TypedStore<S>,
     seed: u64,
     /// Serializes apply + stage so WAL order == apply order == audit
     /// order. Ordered *above* every `CloudSystem` lock; commits happen
@@ -997,62 +759,70 @@ impl<S: Storage> DurableSystem<S> {
         // Root span over the whole open: the WAL's replay event and
         // recovery's drive spans all land in one causal tree.
         let _trace = mabe_trace::Span::root("durable.open");
-        let (wal, snapshot, records, wal_report) = match GroupWal::open(storage) {
+        let (ts, open) = match TypedStore::open(storage) {
             Ok(parts) => parts,
-            Err(failure) => {
+            Err(TypedOpenError::Wal(failure)) => {
                 return Err(OpenFailure {
                     error: OpenError::Store(failure.error),
                     storage: failure.store,
                 })
             }
-        };
-        let mut sys = match &snapshot {
-            Some(bytes) => match decode_system(bytes, seed) {
-                Ok(sys) => sys,
-                Err(error) => {
-                    return Err(OpenFailure {
-                        error,
-                        storage: wal.into_store(),
-                    })
-                }
-            },
-            None => CloudSystem::new(seed),
-        };
-        for (index, payload) in records.iter().enumerate() {
-            let rec = match WalRecord::decode(payload) {
-                Ok(rec) => rec,
-                Err(error) => {
-                    return Err(OpenFailure {
-                        error: OpenError::Record { index, error },
-                        storage: wal.into_store(),
-                    })
-                }
-            };
-            if let Err(e) = apply_record(&sys, rec) {
+            Err(TypedOpenError::Record {
+                index,
+                error,
+                store,
+            }) => {
                 return Err(OpenFailure {
-                    error: OpenError::Replay {
-                        index,
-                        error: Box::new(e),
-                    },
-                    storage: wal.into_store(),
-                });
+                    error: OpenError::Frame { index, error },
+                    storage: store,
+                })
             }
-        }
+            Err(TypedOpenError::Snapshot { error, store }) => {
+                return Err(OpenFailure {
+                    error: OpenError::Keyspace(error),
+                    storage: store,
+                })
+            }
+        };
+        let records_replayed = open.records.len();
+        let hydrated = if open.self_hydrated {
+            // Pure typed store (or empty): the facade already folded the
+            // snapshot and every frame batch into its keyspace.
+            tables::hydrate(ts.keyspace(), seed)
+        } else {
+            Self::replay_mixed(&open, seed)
+        };
+        let mut sys = match hydrated {
+            Ok(sys) => sys,
+            Err(error) => {
+                return Err(OpenFailure {
+                    error,
+                    storage: ts.into_store(),
+                })
+            }
+        };
         if !sys.audit.lock().verify() {
             return Err(OpenFailure {
                 error: OpenError::AuditChain,
-                storage: wal.into_store(),
+                storage: ts.into_store(),
             });
         }
+        // The facade keyspace was only the replay vehicle: the live
+        // system of record is the in-memory `CloudSystem`, and every
+        // checkpoint repopulates a keyspace from it. Drop the replayed
+        // rows instead of keeping a second copy of the world resident.
+        ts.keyspace().clear();
         sys.faults = faults;
+        let journaled_audit = sys.audit.lock().entries().len();
         let durable = DurableSystem {
             sys,
-            wal,
+            ts,
             seed,
             op: Mutex::new(OpState {
-                ops_since_checkpoint: records.len(),
+                ops_since_checkpoint: records_replayed,
                 checkpoint_interval: 64,
                 wal_budget: 4 * DEFAULT_SEGMENT_BUDGET,
+                journaled_audit,
             }),
             poisoned: AtomicBool::new(false),
             degraded: AtomicBool::new(false),
@@ -1063,7 +833,7 @@ impl<S: Storage> DurableSystem<S> {
             Err(e) => {
                 return Err(OpenFailure {
                     error: OpenError::Recovery(Box::new(e)),
-                    storage: durable.wal.into_store(),
+                    storage: durable.ts.into_store(),
                 })
             }
         };
@@ -1078,12 +848,56 @@ impl<S: Storage> DurableSystem<S> {
         Ok((
             durable,
             OpenReport {
-                wal: wal_report,
-                records_replayed: records.len(),
+                wal: open.report,
+                records_replayed,
                 revocations_recovered,
                 duration_ms,
             },
         ))
+    }
+
+    /// The format-boundary shim: folds a history containing legacy
+    /// records into one [`CloudSystem`]. Foreign (legacy) records
+    /// re-execute through [`apply_record`]; at the first typed frame
+    /// batch the accumulated state is converted to a keyspace
+    /// ([`tables::populate`]) and everything after folds as rows, with
+    /// the final keyspace hydrating the system. A legacy record *after*
+    /// a typed batch is a writer bug and is rejected.
+    fn replay_mixed(open: &TypedOpen, seed: u64) -> Result<CloudSystem, OpenError> {
+        let mut sys = match &open.snapshot {
+            ReplaySnapshot::None => CloudSystem::new(seed),
+            ReplaySnapshot::Foreign(bytes) => decode_system(bytes, seed)?,
+            ReplaySnapshot::Typed(snap) => tables::hydrate(snap, seed)?,
+        };
+        let mut ks: Option<Keyspace> = None;
+        for (index, record) in open.records.iter().enumerate() {
+            match record {
+                ReplayRecord::Foreign(payload) => {
+                    if ks.is_some() {
+                        return Err(OpenError::Replay {
+                            index,
+                            error: Box::new(CloudError::Storage(
+                                "legacy journal record after typed frames",
+                            )),
+                        });
+                    }
+                    let rec = WalRecord::decode(payload)
+                        .map_err(|error| OpenError::Record { index, error })?;
+                    apply_record(&sys, rec).map_err(|error| OpenError::Replay {
+                        index,
+                        error: Box::new(error),
+                    })?;
+                }
+                ReplayRecord::Frames(frames) => {
+                    let ks = ks.get_or_insert_with(|| tables::populate(&sys));
+                    ks.apply(frames);
+                }
+            }
+        }
+        if let Some(ks) = ks {
+            sys = tables::hydrate(&ks, seed)?;
+        }
+        Ok(sys)
     }
 
     fn check_poisoned(&self) -> Result<(), CloudError> {
@@ -1104,7 +918,7 @@ impl<S: Storage> DurableSystem<S> {
     /// a compaction, an operator delete, a raised quota — lifts the
     /// degradation automatically.
     fn check_writable(&self) -> Result<(), CloudError> {
-        let free = match self.wal.storage().usage() {
+        let free = match self.ts.storage().usage() {
             // Unmetered backends never degrade.
             None => {
                 self.clear_degraded();
@@ -1151,7 +965,7 @@ impl<S: Storage> DurableSystem<S> {
     /// the group-commit rendezvous. Called *without* the op lock
     /// whenever possible so concurrent committers batch under one sync.
     fn commit(&self, seq: u64) -> Result<(), CloudError> {
-        match self.wal.commit(seq) {
+        match self.ts.commit(seq) {
             Ok(()) => Ok(()),
             Err(e) => {
                 self.poison(&e);
@@ -1160,19 +974,23 @@ impl<S: Storage> DurableSystem<S> {
         }
     }
 
-    /// Stages one record under the op lock, returning the sequence for
-    /// the caller to commit after releasing it.
-    fn stage_locked(&self, op: &mut OpState, record: &WalRecord) -> u64 {
+    /// Stages one operation's frame batch under the op lock, returning
+    /// the sequence for the caller to commit after releasing it. The
+    /// audit rows recorded since the last batch ride along (the
+    /// watermark), so the journaled `audit` table stays a contiguous
+    /// prefix of the live chain.
+    fn stage_frames_locked(&self, op: &mut OpState, mut frames: Vec<Frame>) -> u64 {
+        tables::emit_audit(&self.sys, &mut op.journaled_audit, &mut frames);
         op.ops_since_checkpoint += 1;
-        self.wal.stage(&record.encode())
+        self.ts.stage_frames(&frames)
     }
 
-    /// Stages one record and blocks until it is durable while the
+    /// Stages one frame batch and blocks until it is durable while the
     /// caller holds the op lock — the write-ahead path (and the
     /// serialized revocation path), where durability must precede the
     /// next state transition.
-    fn log_locked(&self, op: &mut OpState, record: &WalRecord) -> Result<(), CloudError> {
-        let seq = self.stage_locked(op, record);
+    fn log_frames_locked(&self, op: &mut OpState, frames: Vec<Frame>) -> Result<(), CloudError> {
+        let seq = self.stage_frames_locked(op, frames);
         self.commit(seq)
     }
 
@@ -1194,7 +1012,7 @@ impl<S: Storage> DurableSystem<S> {
 
     fn maybe_checkpoint_locked(&self, op: &mut OpState) -> Result<(), CloudError> {
         if op.ops_since_checkpoint >= op.checkpoint_interval
-            || self.wal.live_log_bytes() >= op.wal_budget
+            || self.ts.live_log_bytes() >= op.wal_budget
         {
             match self.checkpoint_locked(op) {
                 Ok(()) => {}
@@ -1218,10 +1036,15 @@ impl<S: Storage> DurableSystem<S> {
     /// committed generation authoritative and the handle fully usable —
     /// a clean ENOSPC additionally flips the read-only degradation flag.
     fn checkpoint_locked(&self, op: &mut OpState) -> Result<(), CloudError> {
-        let payload = encode_system(&self.sys);
-        match self.wal.checkpoint(&payload) {
+        let audited = self.sys.audit.lock().entries().len();
+        let ks = tables::populate(&self.sys);
+        match self.ts.checkpoint_keyspace(&ks) {
             Ok(()) => {
                 op.ops_since_checkpoint = 0;
+                // The snapshot carries every audit row up to `audited`
+                // (captured before the populate walk); anything recorded
+                // since rides the next staged batch.
+                op.journaled_audit = op.journaled_audit.max(audited);
                 // Compaction just reclaimed every superseded segment:
                 // re-evaluate the disk-full degradation right away.
                 let _ = self.check_writable();
@@ -1295,10 +1118,10 @@ impl<S: Storage> DurableSystem<S> {
         self.check_poisoned()?;
         let _trace = mabe_trace::Span::child("durable.scrub");
         let mut op = self.op.lock();
-        let report = self.wal.scrub().map_err(store_to_cloud)?;
+        let report = self.ts.scrub().map_err(store_to_cloud)?;
         if !report.clean() {
             let repaired = self
-                .wal
+                .ts
                 .quarantine(&report.corrupt)
                 .map_err(store_to_cloud)
                 .and_then(|()| self.checkpoint_locked(&mut op));
@@ -1333,22 +1156,8 @@ impl<S: Storage> DurableSystem<S> {
         let (aid, seq) = {
             let mut op = self.op.lock();
             let aid = self.sys.add_authority(name, attribute_names)?;
-            let authority = self
-                .sys
-                .control
-                .shard(&aid)
-                .expect("just added")
-                .state
-                .lock()
-                .authority
-                .to_wire_bytes();
-            let seq = self.stage_locked(
-                &mut op,
-                &WalRecord::AuthorityAdded {
-                    name: name.to_owned(),
-                    authority,
-                },
-            );
+            let seq =
+                self.stage_frames_locked(&mut op, tables::frames_authority_added(&self.sys, &aid));
             (aid, seq)
         };
         self.commit(seq)?;
@@ -1368,15 +1177,7 @@ impl<S: Storage> DurableSystem<S> {
         let (id, seq) = {
             let mut op = self.op.lock();
             let id = self.sys.add_owner(name)?;
-            let owner = self
-                .sys
-                .directory
-                .owners
-                .read()
-                .get(&id)
-                .expect("just added")
-                .to_wire_bytes();
-            let seq = self.stage_locked(&mut op, &WalRecord::OwnerAdded { owner });
+            let seq = self.stage_frames_locked(&mut op, tables::frames_owner_added(&self.sys, &id));
             (id, seq)
         };
         self.commit(seq)?;
@@ -1396,20 +1197,7 @@ impl<S: Storage> DurableSystem<S> {
         let (uid, seq) = {
             let mut op = self.op.lock();
             let uid = self.sys.add_user(name)?;
-            let (u, pk) = self
-                .sys
-                .directory
-                .ca
-                .lock()
-                .export_user(&uid)
-                .expect("just registered");
-            let seq = self.stage_locked(
-                &mut op,
-                &WalRecord::UserAdded {
-                    u,
-                    pk: pk.to_wire_bytes(),
-                },
-            );
+            let seq = self.stage_frames_locked(&mut op, tables::frames_user_added(&self.sys, &uid));
             (uid, seq)
         };
         self.commit(seq)?;
@@ -1430,13 +1218,7 @@ impl<S: Storage> DurableSystem<S> {
             let seq = {
                 let mut op = self.op.lock();
                 self.sys.grant(uid, attributes)?;
-                self.stage_locked(
-                    &mut op,
-                    &WalRecord::Granted {
-                        uid: uid.to_string(),
-                        attributes: attributes.iter().map(|a| (*a).to_owned()).collect(),
-                    },
-                )
+                self.stage_frames_locked(&mut op, tables::frames_granted(&self.sys, uid))
             };
             self.commit(seq)?;
             self.maybe_checkpoint()
@@ -1447,9 +1229,10 @@ impl<S: Storage> DurableSystem<S> {
         result
     }
 
-    /// Publishes a record (durably): the sealed envelope and the owner's
-    /// retained encryption secrets are journaled so replay restores both
-    /// the server copy and the owner's ability to re-encrypt it.
+    /// Publishes a record (durably): the sealed envelope's row and the
+    /// owner's refreshed row (retained encryption secrets included) are
+    /// journaled so replay restores both the server copy and the
+    /// owner's ability to re-encrypt it.
     ///
     /// # Errors
     ///
@@ -1468,34 +1251,9 @@ impl<S: Storage> DurableSystem<S> {
             let seq = {
                 let mut op = self.op.lock();
                 self.sys.publish(owner_id, record, components)?;
-                let envelope = self
-                    .sys
-                    .data
-                    .server
-                    .fetch(owner_id, record)
-                    .expect("just published");
-                let secrets: Vec<(u64, Fr)> = {
-                    let owners = self.sys.directory.owners.read();
-                    let owner = owners.get(owner_id).expect("just published");
-                    envelope
-                        .components
-                        .iter()
-                        .map(|c| {
-                            let s = owner
-                                .encryption_secret(c.key_ct.id)
-                                .expect("owner sealed this ciphertext");
-                            (c.key_ct.id.0, s)
-                        })
-                        .collect()
-                };
-                self.stage_locked(
+                self.stage_frames_locked(
                     &mut op,
-                    &WalRecord::Published {
-                        owner: owner_id.to_string(),
-                        record: record.to_owned(),
-                        envelope: envelope.to_wire_bytes(),
-                        secrets,
-                    },
+                    tables::frames_published(&self.sys, owner_id, record),
                 )
             };
             self.commit(seq)?;
@@ -1525,16 +1283,7 @@ impl<S: Storage> DurableSystem<S> {
         self.check_poisoned()?;
         let trace = mabe_trace::Span::child("durable.read").detail(format!("{record}/{label}"));
         let result = (|| {
-            let (result, seq) = self.apply_read(
-                || self.sys.read(uid, owner_id, record, label),
-                |allowed| WalRecord::ReadAudited {
-                    uid: uid.to_string(),
-                    owner: owner_id.to_string(),
-                    record: record.to_owned(),
-                    component: label.to_owned(),
-                    allowed,
-                },
-            );
+            let (result, seq) = self.apply_read(|| self.sys.read(uid, owner_id, record, label));
             if let Some(seq) = seq {
                 self.commit(seq)?;
                 self.maybe_checkpoint()?;
@@ -1565,16 +1314,8 @@ impl<S: Storage> DurableSystem<S> {
         let trace =
             mabe_trace::Span::child("durable.read_outsourced").detail(format!("{record}/{label}"));
         let result = (|| {
-            let (result, seq) = self.apply_read(
-                || self.sys.read_outsourced(uid, owner_id, record, label),
-                |allowed| WalRecord::ReadAudited {
-                    uid: uid.to_string(),
-                    owner: owner_id.to_string(),
-                    record: record.to_owned(),
-                    component: label.to_owned(),
-                    allowed,
-                },
-            );
+            let (result, seq) =
+                self.apply_read(|| self.sys.read_outsourced(uid, owner_id, record, label));
             if let Some(seq) = seq {
                 self.commit(seq)?;
                 self.maybe_checkpoint()?;
@@ -1587,15 +1328,17 @@ impl<S: Storage> DurableSystem<S> {
         result
     }
 
-    /// Runs one read under the op lock and stages a `ReadAudited`
-    /// record iff the call reached the audit log (failures before the
+    /// Runs one read under the op lock and stages an audit-only frame
+    /// batch iff the call reached the audit log (failures before the
     /// policy decision — unknown record, lost download — are not
-    /// audited and not journaled). Returns the read result plus the
-    /// staged sequence for the caller to commit lock-free.
+    /// audited and not journaled). Reads do not journal server-side
+    /// component upgrades: `LazyArchive` rows are never consumed, so a
+    /// replayed-stale component self-heals on the next read or drain.
+    /// Returns the read result plus the staged sequence for the caller
+    /// to commit lock-free.
     fn apply_read(
         &self,
         read: impl FnOnce() -> Result<Vec<u8>, CloudError>,
-        record_for: impl FnOnce(bool) -> WalRecord,
     ) -> (Result<Vec<u8>, CloudError>, Option<u64>) {
         let mut op = self.op.lock();
         let before = self.sys.audit.lock().entries().len();
@@ -1605,16 +1348,18 @@ impl<S: Storage> DurableSystem<S> {
         }
         // Disk-full degradation: reads must keep serving and must never
         // poison the handle, so while the store is out of headroom the
-        // audit record stays in memory only (best-effort auditing — the
-        // dropped records are counted, and replay after a crash simply
-        // lacks that tail).
+        // audit rows stay in memory only. The watermark does *not*
+        // advance — the dropped rows ride the next successful batch,
+        // keeping the journaled audit chain a contiguous prefix of the
+        // live one (the dropped records are counted; replay after a
+        // crash simply lacks the tail).
         if self.check_writable().is_err() {
             mabe_telemetry::global()
                 .counter("mabe_read_audit_records_dropped_total", &[])
                 .inc();
             return (result, None);
         }
-        let seq = self.stage_locked(&mut op, &record_for(result.is_ok()));
+        let seq = self.stage_frames_locked(&mut op, Vec::new());
         (result, Some(seq))
     }
 
@@ -1630,12 +1375,7 @@ impl<S: Storage> DurableSystem<S> {
         let seq = {
             let mut op = self.op.lock();
             self.sys.set_offline(uid);
-            self.stage_locked(
-                &mut op,
-                &WalRecord::UserOffline {
-                    uid: uid.to_string(),
-                },
-            )
+            self.stage_frames_locked(&mut op, tables::frames_offline(&self.sys, uid))
         };
         self.commit(seq)?;
         self.maybe_checkpoint()
@@ -1659,22 +1399,18 @@ impl<S: Storage> DurableSystem<S> {
         let seq = {
             let mut op = self.op.lock();
             self.sys.sync_user(uid)?;
-            self.stage_locked(
-                &mut op,
-                &WalRecord::UserSynced {
-                    uid: uid.to_string(),
-                },
-            )
+            self.stage_frames_locked(&mut op, tables::frames_synced(&self.sys, uid))
         };
         self.commit(seq)?;
         self.maybe_checkpoint()
     }
 
-    /// Revokes one attribute from one user (durably). The write-ahead
-    /// intent — the re-keyed authority plus the full
-    /// [`RevocationEvent`] — is journaled and synced **before** any key
-    /// delivery, so a crash at any point of the two-phase protocol
-    /// replays into an in-flight revocation that recovery completes.
+    /// Revokes one attribute from one user (durably). The begin batch —
+    /// the re-keyed authority, dropped grants, archived update keys and
+    /// the parked [`PendingRevocation`] — is journaled and synced
+    /// **before** any key delivery, so a crash at any point of the
+    /// two-phase protocol replays into an in-flight revocation that
+    /// recovery completes.
     ///
     /// # Errors
     ///
@@ -1793,24 +1529,38 @@ impl<S: Storage> DurableSystem<S> {
         Ok(())
     }
 
-    /// Journals the intent, parks the pending revocation, and drives it.
-    /// The `RevocationBegun` record is committed durable *before* the
-    /// system applies the begin — the write-ahead step.
+    /// Parks the pending revocation and journals the begin batch — the
+    /// re-keyed authority row, the dropped grant rows, the purged
+    /// update-key queues, the archived update keys, and the parked
+    /// [`PendingRevocation`] — committed durable **before** any
+    /// delivery starts (the write-ahead step), then drives or defers
+    /// it. A crash between the begin and the commit loses an
+    /// unacknowledged revocation entirely (nothing was journaled); a
+    /// crash after replays it in-flight and recovery completes it.
     fn begin_logged(
         &self,
         op: &mut OpState,
         st: &mut ShardState,
         event: RevocationEvent,
     ) -> Result<(), CloudError> {
-        let authority = st.authority.to_wire_bytes();
-        self.log_locked(
-            op,
-            &WalRecord::RevocationBegun {
-                authority,
-                event: event.to_wire_bytes(),
-            },
-        )?;
+        // Users whose pending-update queues existed before the begin:
+        // the begin purges entries the revoked user no longer gets, so
+        // their rows re-emit put-or-delete.
+        let queued_before: Vec<Uid> = self
+            .sys
+            .directory
+            .users
+            .read()
+            .pending_updates
+            .keys()
+            .cloned()
+            .collect();
         let id = self.sys.begin_in_shard(st, event);
+        let frames = {
+            let pending = st.in_flight.get(&id).expect("begin just parked this id");
+            tables::frames_revocation_begun(&self.sys, st, pending, &queued_before)
+        };
+        self.log_frames_locked(op, frames)?;
         if self.sys.lazy_revocation_enabled() {
             self.defer_logged(op, st, id)
         } else {
@@ -1829,8 +1579,9 @@ impl<S: Storage> DurableSystem<S> {
         st: &mut ShardState,
         id: u64,
     ) -> Result<(), CloudError> {
+        let aid = st.authority.aid().clone();
         self.sys.defer_in_shard(st, id)?;
-        self.log_locked(op, &WalRecord::RevocationDeferred { id })
+        self.log_frames_locked(op, tables::frames_revocation_deferred(&self.sys, id, &aid))
     }
 
     /// Drives one journaled revocation and logs its completion. A crash
@@ -1844,8 +1595,9 @@ impl<S: Storage> DurableSystem<S> {
         id: u64,
         recovered: bool,
     ) -> Result<(), CloudError> {
+        let aid = st.authority.aid().clone();
         self.sys.drive_in_shard(st, id, recovered)?;
-        self.log_locked(op, &WalRecord::RevocationDriven { id, recovered })
+        self.log_frames_locked(op, tables::frames_revocation_driven(&self.sys, id, &aid))
     }
 
     /// Rolls every journaled in-flight revocation forward, logging each
@@ -1930,7 +1682,10 @@ impl<S: Storage> DurableSystem<S> {
         let mut op = self.op.lock();
         let ids = self.sys.complete_claim(claim);
         if !ids.is_empty() {
-            self.log_locked(&mut op, &WalRecord::LazyDrained { ids: ids.clone() })?;
+            self.log_frames_locked(
+                &mut op,
+                tables::frames_lazy_drained(&self.sys, &ids, &claim.aid),
+            )?;
             self.maybe_checkpoint_locked(&mut op)?;
         }
         Ok(ids)
@@ -1985,40 +1740,40 @@ impl<S: Storage> DurableSystem<S> {
 
     /// The committed checkpoint generation.
     pub fn generation(&self) -> u64 {
-        self.wal.generation()
+        self.ts.generation()
     }
 
     /// Segments the committed manifest currently lists.
     pub fn segments_live(&self) -> usize {
-        self.wal.segments_live()
+        self.ts.segments_live()
     }
 
     /// Live log bytes (cold + active segments, snapshot excluded).
     pub fn live_log_bytes(&self) -> usize {
-        self.wal.live_log_bytes()
+        self.ts.live_log_bytes()
     }
 
     /// Sets the per-segment rotation budget on the underlying log.
     pub fn set_segment_budget(&self, bytes: usize) {
-        self.wal.set_segment_budget(bytes);
+        self.ts.set_segment_budget(bytes);
     }
 
     /// Read access to the backing store (a guard dereferencing to `S`,
     /// held through the log's lock for the duration of the borrow).
     pub fn storage(&self) -> StoreRef<'_, S> {
-        self.wal.storage()
+        self.ts.storage()
     }
 
     /// Mutable access to the backing store (e.g. to arm a simulated
     /// disk's injector mid-run).
     pub fn storage_mut(&mut self) -> &mut S {
-        self.wal.store_mut()
+        self.ts.store_mut()
     }
 
     /// Consumes the system, returning the backing store — the crash
     /// sweep's "power cut": drop everything in memory, keep the disk.
     pub fn into_storage(self) -> S {
-        self.wal.into_store()
+        self.ts.into_store()
     }
 }
 
@@ -2750,5 +2505,227 @@ mod tests {
             .any(|n| n == "quarantine.wal.0.0"));
         assert!(ds.scrub().unwrap().clean());
         assert!(!ds.poisoned());
+    }
+
+    // -----------------------------------------------------------------
+    // Backward compatibility: pre-keyspace stores open through the shim
+    // -----------------------------------------------------------------
+
+    /// Synthesizes a journal in the previous release's record format —
+    /// the exact apply-then-stage order the old wrapper used — and
+    /// opens it through the replay shim. Then appends typed batches on
+    /// top and reopens the *mixed* log: legacy records re-execute, the
+    /// state converts at the format boundary, and the typed batches
+    /// fold as rows.
+    #[test]
+    fn legacy_wal_records_replay_through_the_shim() {
+        use mabe_store::GroupWal;
+
+        let (wal, snapshot, records, _) = GroupWal::open(SimDisk::unfaulted()).unwrap();
+        assert!(snapshot.is_none() && records.is_empty());
+        let log = |rec: &WalRecord| {
+            let seq = wal.stage(&rec.encode());
+            wal.commit(seq).unwrap();
+        };
+
+        // A live (non-durable) system stands in for the old release.
+        let sys = CloudSystem::new(42);
+        let aid = sys.add_authority("MedOrg", &["Doctor", "Nurse"]).unwrap();
+        log(&WalRecord::AuthorityAdded {
+            name: "MedOrg".to_owned(),
+            authority: sys
+                .control
+                .shard(&aid)
+                .unwrap()
+                .state
+                .lock()
+                .authority
+                .to_wire_bytes(),
+        });
+        let owner = sys.add_owner("hospital").unwrap();
+        log(&WalRecord::OwnerAdded {
+            owner: sys
+                .directory
+                .owners
+                .read()
+                .get(&owner)
+                .unwrap()
+                .to_wire_bytes(),
+        });
+        let alice = sys.add_user("alice").unwrap();
+        let (u, pk) = sys.directory.ca.lock().export_user(&alice).unwrap();
+        log(&WalRecord::UserAdded {
+            u,
+            pk: pk.to_wire_bytes(),
+        });
+        let bob = sys.add_user("bob").unwrap();
+        let (u, pk) = sys.directory.ca.lock().export_user(&bob).unwrap();
+        log(&WalRecord::UserAdded {
+            u,
+            pk: pk.to_wire_bytes(),
+        });
+        sys.grant(&alice, &["Doctor@MedOrg"]).unwrap();
+        log(&WalRecord::Granted {
+            uid: alice.to_string(),
+            attributes: vec!["Doctor@MedOrg".to_owned()],
+        });
+        sys.grant(&bob, &["Doctor@MedOrg"]).unwrap();
+        log(&WalRecord::Granted {
+            uid: bob.to_string(),
+            attributes: vec!["Doctor@MedOrg".to_owned()],
+        });
+        sys.publish(&owner, "rec", &[("x", b"secret".as_slice(), DOC_POLICY)])
+            .unwrap();
+        {
+            let envelope = sys.data.server.fetch(&owner, "rec").unwrap();
+            let owners = sys.directory.owners.read();
+            let secrets = envelope
+                .components
+                .iter()
+                .map(|c| {
+                    let s = owners
+                        .get(&owner)
+                        .unwrap()
+                        .encryption_secret(c.key_ct.id)
+                        .unwrap();
+                    (c.key_ct.id.0, s)
+                })
+                .collect();
+            log(&WalRecord::Published {
+                owner: owner.to_string(),
+                record: "rec".to_owned(),
+                envelope: envelope.to_wire_bytes(),
+                secrets,
+            });
+        }
+        // Revocation, old style: journal the post-ReKey authority plus
+        // the event write-ahead, then begin and drive.
+        let attr: Attribute = "Doctor@MedOrg".parse().unwrap();
+        let (authority, event) = {
+            let shard = sys.control.shard(&aid).unwrap();
+            let mut st = shard.state.lock();
+            let event = st
+                .authority
+                .revoke_attribute(&alice, &attr, &mut *sys.rng.lock())
+                .unwrap();
+            (st.authority.to_wire_bytes(), event)
+        };
+        log(&WalRecord::RevocationBegun {
+            authority,
+            event: event.to_wire_bytes(),
+        });
+        let id = sys.begin_revocation(event);
+        sys.drive_revocation(id, false).unwrap();
+        log(&WalRecord::RevocationDriven {
+            id,
+            recovered: false,
+        });
+        assert_eq!(sys.read(&bob, &owner, "rec", "x").unwrap(), b"secret");
+        log(&WalRecord::ReadAudited {
+            uid: bob.to_string(),
+            owner: owner.to_string(),
+            record: "rec".to_owned(),
+            component: "x".to_owned(),
+            allowed: true,
+        });
+        let expected_audit = sys.audit.lock().clone();
+
+        // The new release opens the old store through the shim.
+        let (ds, report) = DurableSystem::open(wal.into_store(), 7).unwrap();
+        assert_eq!(report.records_replayed, 10);
+        assert!(!report.wal.had_snapshot);
+        assert_eq!(
+            &*ds.audit(),
+            &expected_audit,
+            "legacy replay rebuilds the identical audit chain"
+        );
+        assert!(ds.read(&alice, &owner, "rec", "x").is_err(), "revoked");
+        assert_eq!(ds.read(&bob, &owner, "rec", "x").unwrap(), b"secret");
+
+        // Typed batches now append after the legacy records...
+        let carol = ds.add_user("carol").unwrap();
+        ds.grant(&carol, &["Nurse@MedOrg"]).unwrap();
+        let expected_audit = ds.audit().clone();
+
+        // ...and the mixed log reopens: records, then rows.
+        let mut disk = ds.into_storage();
+        disk.crash();
+        let (ds2, report) = DurableSystem::open(disk, 8).unwrap();
+        assert!(report.records_replayed >= 11);
+        assert_eq!(&*ds2.audit(), &expected_audit);
+        assert!(ds2.read(&alice, &owner, "rec", "x").is_err());
+        assert_eq!(ds2.read(&bob, &owner, "rec", "x").unwrap(), b"secret");
+        assert!(ds2.audit().verify());
+    }
+
+    #[test]
+    fn legacy_checkpoint_snapshot_still_opens() {
+        use mabe_store::GroupWal;
+
+        // Build real state through the durable path, then rewrite the
+        // store as the old release's checkpoint: one monolithic
+        // MSYS0001 snapshot with an empty tail.
+        let (ds, _alice, bob, owner, _aid) = full_world(open_fresh(19));
+        let payload = encode_system(ds.system());
+        let expected_audit = ds.audit().clone();
+
+        let (wal, _, _, _) = GroupWal::open(SimDisk::unfaulted()).unwrap();
+        wal.checkpoint(&payload).unwrap();
+        let (ds2, report) = DurableSystem::open(wal.into_store(), 19).unwrap();
+        assert!(report.wal.had_snapshot);
+        assert_eq!(report.records_replayed, 0);
+        assert_eq!(&*ds2.audit(), &expected_audit);
+        assert_eq!(
+            ds2.read(&bob, &owner, "rec-shared", "note").unwrap(),
+            b"ward note"
+        );
+
+        // The next checkpoint rewrites the store fully typed.
+        ds2.checkpoint().unwrap();
+        let mut disk = ds2.into_storage();
+        disk.crash();
+        let (ds3, _) = DurableSystem::open(disk, 20).unwrap();
+        assert!(ds3.audit().verify());
+        assert_eq!(
+            ds3.read(&bob, &owner, "rec-shared", "note").unwrap(),
+            b"ward note"
+        );
+    }
+
+    #[test]
+    fn unknown_legacy_record_tag_fails_typed_with_offset() {
+        use mabe_store::GroupWal;
+
+        let (wal, _, _, _) = GroupWal::open(SimDisk::unfaulted()).unwrap();
+        let seq = wal.stage(&[99u8, 1, 2, 3]);
+        wal.commit(seq).unwrap();
+        let failure = DurableSystem::open(wal.into_store(), 1).unwrap_err();
+        match failure.error {
+            OpenError::Record {
+                index: 0,
+                error: crate::records::RecordError::UnknownTag { tag: 99, offset: 0 },
+            } => {}
+            other => panic!("unexpected error: {other}"),
+        }
+    }
+
+    /// The typed keyspace is a lossless projection: populating tables
+    /// from a fully-exercised system and hydrating them back yields a
+    /// byte-identical legacy snapshot encoding.
+    #[test]
+    fn populate_hydrate_roundtrip_is_byte_identical() {
+        let (ds, _, _, _, _) = full_world(open_fresh(42));
+        let hydrated = tables::hydrate(&tables::populate(ds.system()), 42).unwrap();
+        assert_eq!(
+            encode_system(ds.system()),
+            encode_system(&hydrated),
+            "populate → hydrate loses or reorders state"
+        );
+        assert!(hydrated.audit.lock().verify());
+
+        // Same through the lazy plane: queue and update-key archive.
+        let (ds, _, _, _) = lazy_world(open_fresh(43));
+        let hydrated = tables::hydrate(&tables::populate(ds.system()), 43).unwrap();
+        assert_eq!(encode_system(ds.system()), encode_system(&hydrated));
     }
 }

@@ -1,0 +1,406 @@
+//! Legacy journal record codec.
+//!
+//! Before the typed keyspace migration, every WAL record was one
+//! hand-numbered tag byte followed by an ad-hoc payload. New logs are
+//! written as `(table_id, op, key, value)` frame batches (see
+//! [`crate::tables`]); this module keeps the old encode/decode so the
+//! replay shim in [`crate::persist`] can still read pre-migration logs,
+//! and so the backward-compatibility fixtures can synthesize them.
+//!
+//! Decoding distinguishes an *unknown tag* — a record written by a newer
+//! (or foreign) writer — from a structurally corrupt payload:
+//! [`RecordError::UnknownTag`] carries the tag byte and its offset
+//! within the record so the operator can tell "future format" apart
+//! from "bit rot" at a glance.
+
+use std::fmt;
+
+use mabe_core::Error;
+use mabe_math::Fr;
+
+// ---------------------------------------------------------------------
+// Byte helpers (the mabe-core serial primitives are crate-private).
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_be_bytes());
+}
+
+/// `u16`-length-prefixed UTF-8, matching [`mabe_core::read_string`].
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    let bytes = s.as_bytes();
+    assert!(bytes.len() <= u16::MAX as usize, "string too long for wire");
+    out.extend_from_slice(&(bytes.len() as u16).to_be_bytes());
+    out.extend_from_slice(bytes);
+}
+
+/// `u32`-length-prefixed opaque bytes.
+pub(crate) fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    put_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+pub(crate) fn get_bytes(r: &mut mabe_core::Reader<'_>) -> Result<Vec<u8>, Error> {
+    let n = r.u32()? as usize;
+    Ok(r.bytes(n)?.to_vec())
+}
+
+#[cfg(test)]
+pub(crate) fn put_fr(out: &mut Vec<u8>, v: &Fr) {
+    out.extend_from_slice(&v.to_canonical_bytes());
+}
+
+pub(crate) fn get_fr(r: &mut mabe_core::Reader<'_>) -> Result<Fr, Error> {
+    let bytes = r.bytes(24)?;
+    Fr::from_canonical_bytes(bytes).ok_or(Error::Malformed("non-canonical field element"))
+}
+
+pub(crate) fn get_count(r: &mut mabe_core::Reader<'_>) -> Result<usize, Error> {
+    let n = r.u32()? as usize;
+    if n > r.remaining() {
+        return Err(Error::Malformed("count exceeds input"));
+    }
+    Ok(n)
+}
+
+// ---------------------------------------------------------------------
+// Decode errors
+// ---------------------------------------------------------------------
+
+/// Why a legacy journal record failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RecordError {
+    /// The record's tag byte names no known record kind. `offset` is the
+    /// byte position of the tag within the record payload (always 0 for
+    /// the legacy format, where the tag leads the record).
+    UnknownTag {
+        /// The unrecognized tag byte.
+        tag: u8,
+        /// Byte offset of the tag within the record.
+        offset: usize,
+    },
+    /// The tag was recognized but the payload is malformed.
+    Core(Error),
+}
+
+impl fmt::Display for RecordError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecordError::UnknownTag { tag, offset } => {
+                write!(
+                    f,
+                    "unknown journal record tag {tag:#04x} at offset {offset}"
+                )
+            }
+            RecordError::Core(e) => write!(f, "malformed journal record: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RecordError {}
+
+impl From<Error> for RecordError {
+    fn from(e: Error) -> Self {
+        RecordError::Core(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// WAL records
+// ---------------------------------------------------------------------
+
+/// One journaled logical operation (legacy format).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub(crate) enum WalRecord {
+    /// `add_authority` result: the post-setup authority (all sampled
+    /// version/secret keys and owner registrations included).
+    AuthorityAdded { name: String, authority: Vec<u8> },
+    /// `add_owner` result: the post-install owner.
+    OwnerAdded { owner: Vec<u8> },
+    /// `add_user` result: the CA secret `u` and the public key.
+    UserAdded { u: Fr, pk: Vec<u8> },
+    /// `grant` inputs, caller order preserved (the audit entry's
+    /// rendering depends on it).
+    Granted {
+        uid: String,
+        attributes: Vec<String>,
+    },
+    /// `publish` result: the sealed envelope plus the per-ciphertext
+    /// encryption secrets the owner must retain for re-encryption.
+    Published {
+        owner: String,
+        record: String,
+        envelope: Vec<u8>,
+        secrets: Vec<(u64, Fr)>,
+    },
+    /// A read that reached the audit log (allowed or denied).
+    ReadAudited {
+        uid: String,
+        owner: String,
+        record: String,
+        component: String,
+        allowed: bool,
+    },
+    /// Write-ahead revocation intent: the post-`ReKey` authority and the
+    /// [`RevocationEvent`](mabe_core::RevocationEvent), journaled before
+    /// any delivery.
+    RevocationBegun { authority: Vec<u8>, event: Vec<u8> },
+    /// A journaled revocation was driven to completion.
+    RevocationDriven { id: u64, recovered: bool },
+    /// A user went offline (update keys start queueing).
+    UserOffline { uid: String },
+    /// An offline user synced its queued update keys.
+    UserSynced { uid: String },
+    /// A journaled revocation finished its immediate (security) phase
+    /// and parked its re-encryption on the lazy pending-upgrade queue.
+    /// Logged *after* the defer succeeds: a crash in between replays
+    /// the revocation as still in-flight and recovery drives it
+    /// eagerly.
+    RevocationDeferred { id: u64 },
+    /// A lazy drain batch converged the named queued revocations.
+    /// Logged after completion, like `RevocationDriven`.
+    LazyDrained { ids: Vec<u64> },
+}
+
+impl WalRecord {
+    /// Legacy-format writer, kept only so tests can author pre-typed
+    /// journals and prove the replay shim still reads them.
+    #[cfg(test)]
+    pub(crate) fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            WalRecord::AuthorityAdded { name, authority } => {
+                out.push(1);
+                put_str(&mut out, name);
+                put_bytes(&mut out, authority);
+            }
+            WalRecord::OwnerAdded { owner } => {
+                out.push(2);
+                put_bytes(&mut out, owner);
+            }
+            WalRecord::UserAdded { u, pk } => {
+                out.push(3);
+                put_fr(&mut out, u);
+                put_bytes(&mut out, pk);
+            }
+            WalRecord::Granted { uid, attributes } => {
+                out.push(4);
+                put_str(&mut out, uid);
+                put_u32(&mut out, attributes.len() as u32);
+                for a in attributes {
+                    put_str(&mut out, a);
+                }
+            }
+            WalRecord::Published {
+                owner,
+                record,
+                envelope,
+                secrets,
+            } => {
+                out.push(5);
+                put_str(&mut out, owner);
+                put_str(&mut out, record);
+                put_bytes(&mut out, envelope);
+                put_u32(&mut out, secrets.len() as u32);
+                for (id, s) in secrets {
+                    put_u64(&mut out, *id);
+                    put_fr(&mut out, s);
+                }
+            }
+            WalRecord::ReadAudited {
+                uid,
+                owner,
+                record,
+                component,
+                allowed,
+            } => {
+                out.push(6);
+                put_str(&mut out, uid);
+                put_str(&mut out, owner);
+                put_str(&mut out, record);
+                put_str(&mut out, component);
+                out.push(u8::from(*allowed));
+            }
+            WalRecord::RevocationBegun { authority, event } => {
+                out.push(7);
+                put_bytes(&mut out, authority);
+                put_bytes(&mut out, event);
+            }
+            WalRecord::RevocationDriven { id, recovered } => {
+                out.push(8);
+                put_u64(&mut out, *id);
+                out.push(u8::from(*recovered));
+            }
+            WalRecord::UserOffline { uid } => {
+                out.push(9);
+                put_str(&mut out, uid);
+            }
+            WalRecord::UserSynced { uid } => {
+                out.push(10);
+                put_str(&mut out, uid);
+            }
+            WalRecord::RevocationDeferred { id } => {
+                out.push(11);
+                put_u64(&mut out, *id);
+            }
+            WalRecord::LazyDrained { ids } => {
+                out.push(12);
+                put_u32(&mut out, ids.len() as u32);
+                for id in ids {
+                    put_u64(&mut out, *id);
+                }
+            }
+        }
+        out
+    }
+
+    pub(crate) fn decode(bytes: &[u8]) -> Result<Self, RecordError> {
+        let mut r = mabe_core::Reader::new(bytes);
+        let rec = match r.u8()? {
+            1 => WalRecord::AuthorityAdded {
+                name: mabe_core::read_string(&mut r)?,
+                authority: get_bytes(&mut r)?,
+            },
+            2 => WalRecord::OwnerAdded {
+                owner: get_bytes(&mut r)?,
+            },
+            3 => WalRecord::UserAdded {
+                u: get_fr(&mut r)?,
+                pk: get_bytes(&mut r)?,
+            },
+            4 => {
+                let uid = mabe_core::read_string(&mut r)?;
+                let n = get_count(&mut r)?;
+                let mut attributes = Vec::with_capacity(n);
+                for _ in 0..n {
+                    attributes.push(mabe_core::read_string(&mut r)?);
+                }
+                WalRecord::Granted { uid, attributes }
+            }
+            5 => {
+                let owner = mabe_core::read_string(&mut r)?;
+                let record = mabe_core::read_string(&mut r)?;
+                let envelope = get_bytes(&mut r)?;
+                let n = get_count(&mut r)?;
+                let mut secrets = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let id = r.u64()?;
+                    secrets.push((id, get_fr(&mut r)?));
+                }
+                WalRecord::Published {
+                    owner,
+                    record,
+                    envelope,
+                    secrets,
+                }
+            }
+            6 => WalRecord::ReadAudited {
+                uid: mabe_core::read_string(&mut r)?,
+                owner: mabe_core::read_string(&mut r)?,
+                record: mabe_core::read_string(&mut r)?,
+                component: mabe_core::read_string(&mut r)?,
+                allowed: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(Error::Malformed("bad boolean").into()),
+                },
+            },
+            7 => WalRecord::RevocationBegun {
+                authority: get_bytes(&mut r)?,
+                event: get_bytes(&mut r)?,
+            },
+            8 => WalRecord::RevocationDriven {
+                id: r.u64()?,
+                recovered: match r.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(Error::Malformed("bad boolean").into()),
+                },
+            },
+            9 => WalRecord::UserOffline {
+                uid: mabe_core::read_string(&mut r)?,
+            },
+            10 => WalRecord::UserSynced {
+                uid: mabe_core::read_string(&mut r)?,
+            },
+            11 => WalRecord::RevocationDeferred { id: r.u64()? },
+            12 => {
+                let n = get_count(&mut r)?;
+                let mut ids = Vec::with_capacity(n);
+                for _ in 0..n {
+                    ids.push(r.u64()?);
+                }
+                WalRecord::LazyDrained { ids }
+            }
+            tag => return Err(RecordError::UnknownTag { tag, offset: 0 }),
+        };
+        if !r.is_exhausted() {
+            return Err(Error::Malformed("trailing bytes after journal record").into());
+        }
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unknown_tag_reports_tag_and_offset() {
+        let err = WalRecord::decode(&[0xEE, 1, 2, 3]).unwrap_err();
+        assert_eq!(
+            err,
+            RecordError::UnknownTag {
+                tag: 0xEE,
+                offset: 0
+            }
+        );
+        let text = err.to_string();
+        assert!(text.contains("0xee"), "display names the tag: {text}");
+        assert!(
+            text.contains("offset 0"),
+            "display names the offset: {text}"
+        );
+    }
+
+    #[test]
+    fn truncated_payload_is_core_error() {
+        // Tag 8 (RevocationDriven) with a short payload.
+        assert!(matches!(
+            WalRecord::decode(&[8, 0, 0]),
+            Err(RecordError::Core(_))
+        ));
+    }
+
+    #[test]
+    fn roundtrip_survives_every_variant() {
+        let records = vec![
+            WalRecord::Granted {
+                uid: "alice".into(),
+                attributes: vec!["Doctor@MedOrg".into()],
+            },
+            WalRecord::ReadAudited {
+                uid: "alice".into(),
+                owner: "hospital".into(),
+                record: "rec".into(),
+                component: "chart".into(),
+                allowed: true,
+            },
+            WalRecord::RevocationDriven {
+                id: 7,
+                recovered: false,
+            },
+            WalRecord::UserOffline { uid: "bob".into() },
+            WalRecord::UserSynced { uid: "bob".into() },
+            WalRecord::RevocationDeferred { id: 9 },
+            WalRecord::LazyDrained { ids: vec![1, 2, 9] },
+        ];
+        for rec in records {
+            assert_eq!(WalRecord::decode(&rec.encode()).unwrap(), rec);
+        }
+    }
+}

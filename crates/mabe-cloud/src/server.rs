@@ -18,6 +18,9 @@ use mabe_core::{
     read_string, reencrypt, CiphertextId, DataEnvelope, Error, OwnerId, UpdateInfo, UpdateKey,
 };
 use mabe_policy::AuthorityId;
+use mabe_store::{key_str, Keyspace};
+
+use crate::tables::{self, Components};
 
 /// Key of a stored record: owner plus record name.
 pub type RecordKey = (OwnerId, String);
@@ -26,6 +29,13 @@ pub type RecordKey = (OwnerId, String);
 #[derive(Debug, Default)]
 pub struct CloudServer {
     records: RwLock<BTreeMap<RecordKey, DataEnvelope>>,
+    /// Derived component index mirroring `records`: one
+    /// [`Components`] row per `(authority, owner, record, label)`, so
+    /// revocation re-encryption walks an `(authority, owner)` prefix
+    /// scan instead of a full record-map pass. Maintained by every
+    /// write path ([`CloudServer::store`],
+    /// [`CloudServer::reencrypt_component`], [`CloudServer::restore`]).
+    index: Keyspace,
 }
 
 impl CloudServer {
@@ -34,11 +44,47 @@ impl CloudServer {
         Self::default()
     }
 
+    fn index_envelope(&self, owner: &OwnerId, name: &str, envelope: &DataEnvelope) {
+        for component in &envelope.components {
+            for (aid, version) in &component.key_ct.versions {
+                self.index.put::<Components>(
+                    &(
+                        aid.as_str().to_owned(),
+                        owner.as_str().to_owned(),
+                        name.to_owned(),
+                        component.label.clone(),
+                    ),
+                    &tables::component_value(*version, component.key_ct.id),
+                );
+            }
+        }
+    }
+
+    fn unindex_envelope(&self, owner: &OwnerId, name: &str, envelope: &DataEnvelope) {
+        for component in &envelope.components {
+            for aid in component.key_ct.versions.keys() {
+                self.index.delete::<Components>(&(
+                    aid.as_str().to_owned(),
+                    owner.as_str().to_owned(),
+                    name.to_owned(),
+                    component.label.clone(),
+                ));
+            }
+        }
+    }
+
     /// Stores (or replaces) a record.
     pub fn store(&self, owner: OwnerId, name: impl Into<String>, envelope: DataEnvelope) {
         let _span = mabe_telemetry::Span::with_labels("mabe_server_op", &[("op", "store")]);
         let _trace = mabe_trace::Span::child("server.store");
-        self.records.write().insert((owner, name.into()), envelope);
+        let name = name.into();
+        let key = (owner, name);
+        let mut records = self.records.write();
+        if let Some(old) = records.insert(key.clone(), envelope) {
+            self.unindex_envelope(&key.0, &key.1, &old);
+        }
+        let stored = records.get(&key).expect("record just inserted");
+        self.index_envelope(&key.0, &key.1, stored);
     }
 
     /// Fetches a record (clone — the server hands out bytes, it does not
@@ -69,26 +115,62 @@ impl CloudServer {
     /// All ciphertext ids (with their record keys) belonging to `owner`
     /// whose key-wrapping ciphertexts involve `aid` at `version` — the
     /// set a revocation at that authority forces the server to
-    /// re-encrypt.
+    /// re-encrypt. Served from the component index with an
+    /// `(authority, owner)` prefix range scan, so cost scales with the
+    /// authority's footprint rather than total records stored.
     pub fn affected_ciphertexts(
         &self,
         owner: &OwnerId,
         aid: &AuthorityId,
         version: u64,
     ) -> Vec<(RecordKey, String, CiphertextId)> {
-        let records = self.records.read();
+        let mut prefix = Vec::new();
+        key_str(&mut prefix, aid.as_str());
+        key_str(&mut prefix, owner.as_str());
+        let rows = self
+            .index
+            .range::<Components>(&prefix)
+            .expect("component index rows are self-encoded");
         let mut out = Vec::new();
-        for (key, envelope) in records.iter() {
-            if &key.0 != owner {
+        for ((_, row_owner, record, label), value) in rows {
+            let Some((row_version, ct_id)) = tables::decode_component_value(&value) else {
                 continue;
-            }
-            for component in &envelope.components {
-                if component.key_ct.versions.get(aid) == Some(&version) {
-                    out.push((key.clone(), component.label.clone(), component.key_ct.id));
-                }
+            };
+            if row_version == version {
+                out.push(((OwnerId::new(row_owner), record), label, ct_id));
             }
         }
         out
+    }
+
+    /// Every record holding at least one component sealed under `aid`
+    /// (distinct, in key order) — the worklist a revocation or lazy
+    /// drain at that authority must touch. An `(authority)` prefix
+    /// range scan over the component index.
+    pub(crate) fn records_for_authority(&self, aid: &AuthorityId) -> Vec<RecordKey> {
+        let mut prefix = Vec::new();
+        key_str(&mut prefix, aid.as_str());
+        let rows = self
+            .index
+            .range::<Components>(&prefix)
+            .expect("component index rows are self-encoded");
+        let mut out: Vec<RecordKey> = Vec::new();
+        for ((_, owner, record, _), _) in rows {
+            let key = (OwnerId::new(owner), record);
+            if out.last() != Some(&key) {
+                out.push(key);
+            }
+        }
+        out
+    }
+
+    /// Clones out every stored record — the checkpoint walk.
+    pub(crate) fn export_records(&self) -> Vec<(RecordKey, DataEnvelope)> {
+        self.records
+            .read()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Serializes the entire server state to bytes (record keys plus
@@ -150,9 +232,17 @@ impl CloudServer {
         if !r.is_exhausted() {
             return Err(Error::Malformed("trailing bytes"));
         }
-        Ok(CloudServer {
+        let server = CloudServer {
             records: RwLock::new(records),
-        })
+            index: Keyspace::default(),
+        };
+        {
+            let records = server.records.read();
+            for ((owner, name), envelope) in records.iter() {
+                server.index_envelope(owner, name, envelope);
+            }
+        }
+        Ok(server)
     }
 
     /// Runs `ReEncrypt` on one stored component (paper §V-C Phase 2).
@@ -177,7 +267,21 @@ impl CloudServer {
         let component = envelope
             .component_mut(label)
             .ok_or(Error::Malformed("unknown component"))?;
-        reencrypt(&mut component.key_ct, uk, ui)
+        reencrypt(&mut component.key_ct, uk, ui)?;
+        // The version bump changed index row values (never keys — the
+        // authority set of a sealed component is fixed), so re-put them.
+        for (aid, version) in &component.key_ct.versions {
+            self.index.put::<Components>(
+                &(
+                    aid.as_str().to_owned(),
+                    record.0.as_str().to_owned(),
+                    record.1.clone(),
+                    label.to_owned(),
+                ),
+                &tables::component_value(*version, component.key_ct.id),
+            );
+        }
+        Ok(())
     }
 }
 

@@ -253,6 +253,10 @@ pub struct CloudSystem {
     /// Lazy-revocation machinery: the pending-upgrade queue, the
     /// server-held update-key archive, and the drain claim set.
     pub(crate) lazy: crate::lazy::LazyState,
+    /// Hot-key caches: decrypted content keys and composed update-key
+    /// chains, invalidated by revocation's version bump (see
+    /// [`crate::cache`]).
+    pub(crate) cache: crate::cache::SystemCaches,
 }
 
 impl CloudSystem {
@@ -279,7 +283,14 @@ impl CloudSystem {
             retry: RwLock::new(RetryPolicy::default()),
             retry_rng: Mutex::new(StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15)),
             lazy: crate::lazy::LazyState::new(),
+            cache: crate::cache::SystemCaches::new(),
         }
+    }
+
+    /// Cumulative hot-key cache statistics (content-key and update-key
+    /// chain hits, misses, evictions).
+    pub fn cache_stats(&self) -> crate::cache::CacheStats {
+        self.cache.stats()
     }
 
     /// Sends one message through the wire under the retry policy,

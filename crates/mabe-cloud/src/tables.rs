@@ -1,0 +1,866 @@
+//! The typed keyspace catalog: one [`mabe_store::Schema`] table per
+//! kind of persistent cloud-plane state, the populate/hydrate bridge
+//! between live state and checkpoint keyspaces, and the per-operation
+//! frame emitters the durable wrapper journals.
+//!
+//! # Design
+//!
+//! The live [`crate::CloudSystem`] keeps its working structures exactly
+//! as before (sharded authorities, directory maps, the server's record
+//! map) — those are the lock-ordered, concurrency-tested structures.
+//! Durability flows through tables instead of ad-hoc tag payloads:
+//!
+//! * **Journaling** — after an operation mutates live state (and before
+//!   it is acknowledged), the matching `frames_*` emitter reads the
+//!   *current* state of every row the operation could have changed and
+//!   produces a `(table, op, key, value)` frame batch. Replay is then
+//!   pure row application: no re-running of key generation, no RNG
+//!   coupling, no order-sensitive side effects.
+//! * **Checkpointing** — [`populate`] walks the whole system into a
+//!   fresh [`Keyspace`]; the snapshot becomes schema-driven per-table
+//!   sections instead of one hand-rolled byte blob.
+//! * **Hydration** — [`hydrate`] rebuilds a [`crate::CloudSystem`] from
+//!   a keyspace by synthesizing the legacy snapshot byte layout from
+//!   the rows and running it through the battle-tested legacy decoder
+//!   (duplicate detection, chain verification, and all). One decoder,
+//!   two sources.
+//!
+//! Key encodings are order-preserving ([`mabe_store::key_str`] /
+//! [`mabe_store::key_u64`]), so prefix range scans replace full-map
+//! passes: re-encryption walks `Components` rows under an
+//! `(authority, owner)` prefix, and grant lookup walks
+//! `GrantsByAuthority` under an `(authority)` prefix.
+//!
+//! `Components` rows are *derived* state (version/ciphertext-id per
+//! `(authority, owner, record, label)`): they are journaled and
+//! checkpointed so the on-disk keyspace is self-describing, but
+//! hydration rebuilds the server's live index from the authoritative
+//! envelope bytes in `Records` and ignores them.
+
+use mabe_core::{CiphertextId, DataEnvelope, OwnerId, Uid, UpdateKey, WireCodec};
+use mabe_policy::AuthorityId;
+use mabe_store::{key_str, Frame, Keyspace};
+
+use crate::audit;
+use crate::control::ShardState;
+use crate::lazy::PendingUpgrade;
+use crate::persist::OpenError;
+use crate::records::{put_bytes, put_str, put_u32, put_u64};
+use crate::recovery::{PendingRevocation, RevocationStage};
+use crate::system::CloudSystem;
+
+mabe_store::define_table!(
+    /// Singleton rows keyed by name: `"ca"` (certificate-authority
+    /// wire bytes), `"next_revocation"` (`u64` BE journal counter),
+    /// `"audit"` (`next_seq ‖ clock`, both `u64` BE).
+    Meta: 1, "meta", key(name: str)
+);
+mabe_store::define_table!(
+    /// One attribute authority per row; value is the authority's full
+    /// wire encoding (version keys, secrets, owner registrations).
+    Authorities: 2, "authorities", key(aid: str)
+);
+mabe_store::define_table!(
+    /// One data owner per row; value is the owner's wire encoding
+    /// (including adopted per-ciphertext encryption secrets).
+    Owners: 3, "owners", key(owner: str)
+);
+mabe_store::define_table!(
+    /// One registered user per row; value is the public-key wire
+    /// encoding.
+    Users: 4, "users", key(uid: str)
+);
+mabe_store::define_table!(
+    /// Per-user per-owner per-authority secret keys; value is the
+    /// [`mabe_core::UserSecretKey`] wire encoding.
+    UserKeys: 5, "user_keys", key(uid: str, owner: str, aid: str)
+);
+mabe_store::define_table!(
+    /// Granted attributes, one row per `(user, attribute)`; the value
+    /// is empty — presence is the grant.
+    Grants: 6, "grants", key(uid: str, attr: str)
+);
+mabe_store::define_table!(
+    /// Users currently offline (update keys queue instead of
+    /// delivering); empty value.
+    Offline: 7, "offline", key(uid: str)
+);
+mabe_store::define_table!(
+    /// Queued update keys for an offline user: `u32` count then
+    /// `(owner str, update-key bytes)` pairs in queue order.
+    PendingUpdates: 8, "pending_updates", key(uid: str)
+);
+mabe_store::define_table!(
+    /// Stored record envelopes; value is the
+    /// [`mabe_core::DataEnvelope`] wire encoding.
+    Records: 9, "records", key(owner: str, record: str)
+);
+mabe_store::define_table!(
+    /// Derived ciphertext-component index: `version u64 ‖ ct_id u64`
+    /// per `(authority, owner, record, label)`. The `(authority,
+    /// owner)` prefix is the re-encryption worklist.
+    Components: 10, "components", key(aid: str, owner: str, record: str, label: str)
+);
+mabe_store::define_table!(
+    /// One audit entry per row (keyed by entry index); value is the
+    /// entry's legacy save-format bytes.
+    Audit: 11, "audit", key(index: u64)
+);
+mabe_store::define_table!(
+    /// In-flight two-phase revocations keyed by journal id; value is
+    /// event wire ‖ stage ‖ fresh flag ‖ delivered holders ‖ updated
+    /// owners.
+    PendingRevocations: 12, "pending_revocations", key(id: u64)
+);
+mabe_store::define_table!(
+    /// The lazy pending-upgrade queue keyed by revocation journal id;
+    /// value is `aid str ‖ from u64 ‖ to u64`.
+    LazyQueue: 13, "lazy_queue", key(id: u64)
+);
+mabe_store::define_table!(
+    /// The server-held update-key archive; value is the
+    /// [`mabe_core::UpdateKey`] wire encoding.
+    LazyArchive: 14, "lazy_archive", key(aid: str, owner: str, from: u64)
+);
+mabe_store::define_table!(
+    /// Live-only inverted grant index: one row per `(authority, user,
+    /// attribute)`, empty value. Never journaled or checkpointed — the
+    /// directory rebuilds it from `Grants`; the `(authority)` prefix
+    /// answers "who holds anything from this authority" without a full
+    /// grants walk.
+    GrantsByAuthority: 15, "grants_by_authority", key(aid: str, uid: str, attr: str)
+);
+
+/// Meta-table row names.
+pub(crate) const META_CA: &str = "ca";
+pub(crate) const META_NEXT_REVOCATION: &str = "next_revocation";
+pub(crate) const META_AUDIT: &str = "audit";
+
+/// Registers every *persistent* table (everything except the live-only
+/// [`GrantsByAuthority`]) so empty tables still appear as checkpoint
+/// sections.
+pub(crate) fn register_all(ks: &Keyspace) {
+    ks.register::<Meta>();
+    ks.register::<Authorities>();
+    ks.register::<Owners>();
+    ks.register::<Users>();
+    ks.register::<UserKeys>();
+    ks.register::<Grants>();
+    ks.register::<Offline>();
+    ks.register::<PendingUpdates>();
+    ks.register::<Records>();
+    ks.register::<Components>();
+    ks.register::<Audit>();
+    ks.register::<PendingRevocations>();
+    ks.register::<LazyQueue>();
+    ks.register::<LazyArchive>();
+}
+
+// ---------------------------------------------------------------------
+// Value codecs
+// ---------------------------------------------------------------------
+
+/// [`Components`] row value: the component's version at the row's
+/// authority plus its ciphertext id.
+pub(crate) fn component_value(version: u64, id: CiphertextId) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_u64(&mut out, version);
+    put_u64(&mut out, id.0);
+    out
+}
+
+/// Decodes a [`Components`] row value back to `(version, ciphertext
+/// id)`; `None` if the value is not the expected 16 bytes.
+pub(crate) fn decode_component_value(value: &[u8]) -> Option<(u64, CiphertextId)> {
+    if value.len() != 16 {
+        return None;
+    }
+    let version = u64::from_be_bytes(value[..8].try_into().expect("length checked"));
+    let id = u64::from_be_bytes(value[8..].try_into().expect("length checked"));
+    Some((version, CiphertextId(id)))
+}
+
+fn pending_updates_value(queue: &[(OwnerId, UpdateKey)]) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_u32(&mut out, queue.len() as u32);
+    for (owner, uk) in queue {
+        put_str(&mut out, owner.as_str());
+        put_bytes(&mut out, &uk.to_wire_bytes());
+    }
+    out
+}
+
+fn pending_revocation_value(p: &PendingRevocation) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_bytes(&mut out, &p.event.to_wire_bytes());
+    out.push(match p.stage {
+        RevocationStage::KeyDelivery => 0,
+        RevocationStage::ReEncryption => 1,
+    });
+    out.push(u8::from(p.fresh_keys_delivered));
+    put_u32(&mut out, p.delivered_holders.len() as u32);
+    for uid in &p.delivered_holders {
+        put_str(&mut out, uid.as_str());
+    }
+    put_u32(&mut out, p.updated_owners.len() as u32);
+    for owner in &p.updated_owners {
+        put_str(&mut out, owner.as_str());
+    }
+    out
+}
+
+fn lazy_queue_value(p: &PendingUpgrade) -> Vec<u8> {
+    let mut out = Vec::new();
+    put_str(&mut out, p.aid.as_str());
+    put_u64(&mut out, p.from_version);
+    put_u64(&mut out, p.to_version);
+    out
+}
+
+fn meta_u64_value(v: u64) -> Vec<u8> {
+    v.to_be_bytes().to_vec()
+}
+
+fn meta_audit_value(next_seq: u64, clock: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    put_u64(&mut out, next_seq);
+    put_u64(&mut out, clock);
+    out
+}
+
+fn meta_frame(name: &str, value: Vec<u8>) -> Frame {
+    Frame::put::<Meta>(&(name.to_owned(),), &value)
+}
+
+// ---------------------------------------------------------------------
+// Section walks (shared by the per-op emitters and `populate`)
+// ---------------------------------------------------------------------
+
+fn ca_frame(sys: &CloudSystem) -> Frame {
+    meta_frame(META_CA, sys.directory.ca.lock().to_wire_bytes())
+}
+
+fn authority_frame_from_state(st: &ShardState) -> Frame {
+    Frame::put::<Authorities>(
+        &(st.authority.aid().as_str().to_owned(),),
+        &st.authority.to_wire_bytes(),
+    )
+}
+
+fn all_authority_frames(sys: &CloudSystem, out: &mut Vec<Frame>) {
+    let shards = sys.control.shards.read();
+    for shard in shards.values() {
+        out.push(authority_frame_from_state(&shard.state.lock()));
+    }
+}
+
+fn all_owner_frames(sys: &CloudSystem, out: &mut Vec<Frame>) {
+    let owners = sys.directory.owners.read();
+    for (id, owner) in owners.iter() {
+        out.push(Frame::put::<Owners>(
+            &(id.as_str().to_owned(),),
+            &owner.to_wire_bytes(),
+        ));
+    }
+}
+
+fn owner_frame(sys: &CloudSystem, owner_id: &OwnerId, out: &mut Vec<Frame>) {
+    let owners = sys.directory.owners.read();
+    if let Some(owner) = owners.get(owner_id) {
+        out.push(Frame::put::<Owners>(
+            &(owner_id.as_str().to_owned(),),
+            &owner.to_wire_bytes(),
+        ));
+    }
+}
+
+/// Every key slot of one user.
+fn user_key_frames(sys: &CloudSystem, uid: &Uid, out: &mut Vec<Frame>) {
+    let users = sys.directory.users.read();
+    if let Some(state) = users.users.get(uid) {
+        for ((owner, aid), key) in &state.keys {
+            out.push(Frame::put::<UserKeys>(
+                &(
+                    uid.as_str().to_owned(),
+                    owner.as_str().to_owned(),
+                    aid.as_str().to_owned(),
+                ),
+                &key.to_wire_bytes(),
+            ));
+        }
+    }
+}
+
+/// Every user's key slots at one authority (the rows a revocation's
+/// key delivery can touch).
+fn user_key_frames_for_aid(sys: &CloudSystem, aid: &AuthorityId, out: &mut Vec<Frame>) {
+    let users = sys.directory.users.read();
+    for (uid, state) in &users.users {
+        for ((owner, key_aid), key) in &state.keys {
+            if key_aid == aid {
+                out.push(Frame::put::<UserKeys>(
+                    &(
+                        uid.as_str().to_owned(),
+                        owner.as_str().to_owned(),
+                        key_aid.as_str().to_owned(),
+                    ),
+                    &key.to_wire_bytes(),
+                ));
+            }
+        }
+    }
+}
+
+/// Put-or-delete for one user's pending-update queue, from current
+/// state.
+fn pending_updates_frame(sys: &CloudSystem, uid: &Uid, out: &mut Vec<Frame>) {
+    let users = sys.directory.users.read();
+    match users.pending_updates.get(uid) {
+        Some(queue) => out.push(Frame::put::<PendingUpdates>(
+            &(uid.as_str().to_owned(),),
+            &pending_updates_value(queue),
+        )),
+        None => out.push(Frame::delete::<PendingUpdates>(&(uid.as_str().to_owned(),))),
+    }
+}
+
+fn all_pending_update_frames(sys: &CloudSystem, out: &mut Vec<Frame>) {
+    let users = sys.directory.users.read();
+    for (uid, queue) in &users.pending_updates {
+        out.push(Frame::put::<PendingUpdates>(
+            &(uid.as_str().to_owned(),),
+            &pending_updates_value(queue),
+        ));
+    }
+}
+
+fn component_frames(owner: &OwnerId, record: &str, envelope: &DataEnvelope, out: &mut Vec<Frame>) {
+    for c in &envelope.components {
+        for (aid, v) in &c.key_ct.versions {
+            out.push(Frame::put::<Components>(
+                &(
+                    aid.as_str().to_owned(),
+                    owner.as_str().to_owned(),
+                    record.to_owned(),
+                    c.label.clone(),
+                ),
+                &component_value(*v, c.key_ct.id),
+            ));
+        }
+    }
+}
+
+/// `Records` + `Components` rows for one stored record, read back from
+/// the server (so post-store healing is captured).
+fn record_frames(sys: &CloudSystem, owner: &OwnerId, record: &str, out: &mut Vec<Frame>) {
+    let Some(envelope) = sys.data.server.fetch(owner, record) else {
+        return;
+    };
+    out.push(Frame::put::<Records>(
+        &(owner.as_str().to_owned(), record.to_owned()),
+        &envelope.to_wire_bytes(),
+    ));
+    component_frames(owner, record, &envelope, out);
+}
+
+/// `Records` + `Components` rows for every record holding a component
+/// sealed under `aid` — the rows a re-encryption pass can rewrite.
+/// Walks the server's `(authority)` component-index prefix instead of
+/// the full record map.
+fn record_frames_for_authority(sys: &CloudSystem, aid: &AuthorityId, out: &mut Vec<Frame>) {
+    for (owner, record) in sys.data.server.records_for_authority(aid) {
+        record_frames(sys, &owner, &record, out);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Per-operation emitters
+// ---------------------------------------------------------------------
+//
+// Each emitter runs AFTER the live mutation and BEFORE the ack, and
+// reads only current state; the batch it returns makes replay pure row
+// application. Emitters that run under an authority shard lock take the
+// locked `ShardState` instead of re-locking it.
+
+pub(crate) fn frames_authority_added(sys: &CloudSystem, aid: &AuthorityId) -> Vec<Frame> {
+    let mut out = vec![ca_frame(sys)];
+    if let Some(shard) = sys.control.shard(aid) {
+        out.push(authority_frame_from_state(&shard.state.lock()));
+    }
+    // Every existing owner learned the new authority's public keys.
+    all_owner_frames(sys, &mut out);
+    out
+}
+
+pub(crate) fn frames_owner_added(sys: &CloudSystem, owner_id: &OwnerId) -> Vec<Frame> {
+    let mut out = Vec::new();
+    // Every authority registered the new owner; granted users got key
+    // slots for it.
+    all_authority_frames(sys, &mut out);
+    owner_frame(sys, owner_id, &mut out);
+    let users = sys.directory.users.read();
+    for (uid, state) in &users.users {
+        for ((slot_owner, aid), key) in &state.keys {
+            if slot_owner == owner_id {
+                out.push(Frame::put::<UserKeys>(
+                    &(
+                        uid.as_str().to_owned(),
+                        slot_owner.as_str().to_owned(),
+                        aid.as_str().to_owned(),
+                    ),
+                    &key.to_wire_bytes(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+pub(crate) fn frames_user_added(sys: &CloudSystem, uid: &Uid) -> Vec<Frame> {
+    let mut out = vec![ca_frame(sys)];
+    let users = sys.directory.users.read();
+    if let Some(state) = users.users.get(uid) {
+        out.push(Frame::put::<Users>(
+            &(uid.as_str().to_owned(),),
+            &state.pk.to_wire_bytes(),
+        ));
+    }
+    out
+}
+
+pub(crate) fn frames_granted(sys: &CloudSystem, uid: &Uid) -> Vec<Frame> {
+    let mut out = Vec::new();
+    // Issuing keys mutates authority state; refresh every shard (cheap
+    // relative to keygen itself).
+    all_authority_frames(sys, &mut out);
+    {
+        let users = sys.directory.users.read();
+        if let Some(attrs) = users.grants.get(uid) {
+            for attr in attrs {
+                out.push(Frame::put::<Grants>(
+                    &(uid.as_str().to_owned(), attr.to_string()),
+                    &Vec::new(),
+                ));
+            }
+        }
+    }
+    user_key_frames(sys, uid, &mut out);
+    out
+}
+
+pub(crate) fn frames_published(sys: &CloudSystem, owner_id: &OwnerId, record: &str) -> Vec<Frame> {
+    // The owner adopted fresh encryption secrets during sealing, so its
+    // row must refresh with the record's.
+    let mut out = Vec::new();
+    owner_frame(sys, owner_id, &mut out);
+    record_frames(sys, owner_id, record, &mut out);
+    out
+}
+
+pub(crate) fn frames_offline(sys: &CloudSystem, uid: &Uid) -> Vec<Frame> {
+    let mut out = Vec::new();
+    if sys.directory.users.read().offline.contains(uid) {
+        out.push(Frame::put::<Offline>(
+            &(uid.as_str().to_owned(),),
+            &Vec::new(),
+        ));
+    }
+    out
+}
+
+pub(crate) fn frames_synced(sys: &CloudSystem, uid: &Uid) -> Vec<Frame> {
+    let mut out = vec![Frame::delete::<Offline>(&(uid.as_str().to_owned(),))];
+    pending_updates_frame(sys, uid, &mut out);
+    user_key_frames(sys, uid, &mut out);
+    out
+}
+
+/// Frames for a just-begun revocation. Runs under the authority's shard
+/// lock (hence the borrowed `ShardState`) so the batch is journaled
+/// write-ahead of any delivery. `queued_before` names every user that
+/// had a pending-update queue before the begin purged stale entries —
+/// their rows are re-emitted put-or-delete.
+pub(crate) fn frames_revocation_begun(
+    sys: &CloudSystem,
+    st: &ShardState,
+    pending: &PendingRevocation,
+    queued_before: &[Uid],
+) -> Vec<Frame> {
+    let mut out = vec![authority_frame_from_state(st)];
+    let uid = &pending.event.revoked_uid;
+    for attr in &pending.event.revoked_attributes {
+        out.push(Frame::delete::<Grants>(&(
+            uid.as_str().to_owned(),
+            attr.to_string(),
+        )));
+    }
+    for queued in queued_before {
+        pending_updates_frame(sys, queued, &mut out);
+    }
+    for (owner, uk) in &pending.event.update_keys {
+        out.push(Frame::put::<LazyArchive>(
+            &(
+                pending.event.aid.as_str().to_owned(),
+                owner.as_str().to_owned(),
+                pending.event.from_version,
+            ),
+            &uk.to_wire_bytes(),
+        ));
+    }
+    out.push(Frame::put::<PendingRevocations>(
+        &(pending.id,),
+        &pending_revocation_value(pending),
+    ));
+    out.push(meta_frame(
+        META_NEXT_REVOCATION,
+        meta_u64_value(
+            sys.control
+                .next_revocation
+                .load(std::sync::atomic::Ordering::SeqCst),
+        ),
+    ));
+    out
+}
+
+/// Frames after a revocation drove to completion (eagerly or via
+/// recovery): the in-flight entry is gone, keys were delivered or
+/// queued, owners advanced, and affected ciphertexts re-encrypted.
+pub(crate) fn frames_revocation_driven(
+    sys: &CloudSystem,
+    id: u64,
+    aid: &AuthorityId,
+) -> Vec<Frame> {
+    let mut out = vec![Frame::delete::<PendingRevocations>(&(id,))];
+    user_key_frames_for_aid(sys, aid, &mut out);
+    all_pending_update_frames(sys, &mut out);
+    all_owner_frames(sys, &mut out);
+    record_frames_for_authority(sys, aid, &mut out);
+    out
+}
+
+/// Frames after a revocation's immediate phase completed with its
+/// re-encryption deferred onto the lazy queue.
+pub(crate) fn frames_revocation_deferred(
+    sys: &CloudSystem,
+    id: u64,
+    aid: &AuthorityId,
+) -> Vec<Frame> {
+    let mut out = vec![Frame::delete::<PendingRevocations>(&(id,))];
+    user_key_frames_for_aid(sys, aid, &mut out);
+    all_pending_update_frames(sys, &mut out);
+    all_owner_frames(sys, &mut out);
+    if let Some(p) = sys.lazy.queue.lock().get(&id) {
+        out.push(Frame::put::<LazyQueue>(&(id,), &lazy_queue_value(p)));
+    }
+    out
+}
+
+/// Frames after a lazy drain batch converged `ids` at `aid`.
+pub(crate) fn frames_lazy_drained(sys: &CloudSystem, ids: &[u64], aid: &AuthorityId) -> Vec<Frame> {
+    let mut out: Vec<Frame> = ids
+        .iter()
+        .map(|id| Frame::delete::<LazyQueue>(&(*id,)))
+        .collect();
+    all_owner_frames(sys, &mut out);
+    record_frames_for_authority(sys, aid, &mut out);
+    out
+}
+
+/// Appends puts for every audit entry recorded since `watermark` (plus
+/// the refreshed counter row), advancing the watermark. A no-op when
+/// nothing new was recorded, so read-heavy batches stay empty.
+pub(crate) fn emit_audit(sys: &CloudSystem, watermark: &mut usize, out: &mut Vec<Frame>) {
+    let audit = sys.audit.lock();
+    let entries = audit.entries();
+    if entries.len() <= *watermark {
+        return;
+    }
+    for entry in &entries[*watermark..] {
+        out.push(Frame::put::<Audit>(
+            &(entry.index,),
+            &audit::entry_bytes(entry),
+        ));
+    }
+    let (next_seq, clock) = audit.counters();
+    out.push(meta_frame(META_AUDIT, meta_audit_value(next_seq, clock)));
+    *watermark = entries.len();
+}
+
+// ---------------------------------------------------------------------
+// Checkpoint populate
+// ---------------------------------------------------------------------
+
+/// Builds a checkpoint keyspace from the full live state: every
+/// persistent table registered (so empty tables checkpoint as empty
+/// sections) and every row emitted from the same walks the per-op
+/// emitters use.
+pub(crate) fn populate(sys: &CloudSystem) -> Keyspace {
+    let ks = Keyspace::new();
+    register_all(&ks);
+    let mut frames = vec![ca_frame(sys)];
+    all_authority_frames(sys, &mut frames);
+    all_owner_frames(sys, &mut frames);
+    {
+        let users = sys.directory.users.read();
+        for (uid, state) in &users.users {
+            frames.push(Frame::put::<Users>(
+                &(uid.as_str().to_owned(),),
+                &state.pk.to_wire_bytes(),
+            ));
+            for ((owner, aid), key) in &state.keys {
+                frames.push(Frame::put::<UserKeys>(
+                    &(
+                        uid.as_str().to_owned(),
+                        owner.as_str().to_owned(),
+                        aid.as_str().to_owned(),
+                    ),
+                    &key.to_wire_bytes(),
+                ));
+            }
+        }
+        for (uid, attrs) in &users.grants {
+            for attr in attrs {
+                frames.push(Frame::put::<Grants>(
+                    &(uid.as_str().to_owned(), attr.to_string()),
+                    &Vec::new(),
+                ));
+            }
+        }
+        for uid in &users.offline {
+            frames.push(Frame::put::<Offline>(
+                &(uid.as_str().to_owned(),),
+                &Vec::new(),
+            ));
+        }
+        for (uid, queue) in &users.pending_updates {
+            frames.push(Frame::put::<PendingUpdates>(
+                &(uid.as_str().to_owned(),),
+                &pending_updates_value(queue),
+            ));
+        }
+    }
+    for ((owner, record), envelope) in sys.data.server.export_records() {
+        frames.push(Frame::put::<Records>(
+            &(owner.as_str().to_owned(), record.clone()),
+            &envelope.to_wire_bytes(),
+        ));
+        component_frames(&owner, &record, &envelope, &mut frames);
+    }
+    {
+        let audit = sys.audit.lock();
+        for entry in audit.entries() {
+            frames.push(Frame::put::<Audit>(
+                &(entry.index,),
+                &audit::entry_bytes(entry),
+            ));
+        }
+        let (next_seq, clock) = audit.counters();
+        frames.push(meta_frame(META_AUDIT, meta_audit_value(next_seq, clock)));
+    }
+    {
+        let shards = sys.control.shards.read();
+        for shard in shards.values() {
+            let st = shard.state.lock();
+            for pending in st.in_flight.values() {
+                frames.push(Frame::put::<PendingRevocations>(
+                    &(pending.id,),
+                    &pending_revocation_value(pending),
+                ));
+            }
+        }
+    }
+    frames.push(meta_frame(
+        META_NEXT_REVOCATION,
+        meta_u64_value(
+            sys.control
+                .next_revocation
+                .load(std::sync::atomic::Ordering::SeqCst),
+        ),
+    ));
+    {
+        let queue = sys.lazy.queue.lock();
+        for (id, p) in queue.iter() {
+            frames.push(Frame::put::<LazyQueue>(&(*id,), &lazy_queue_value(p)));
+        }
+    }
+    {
+        let archive = sys.lazy.archive.read();
+        for ((aid, owner, from), uk) in archive.iter() {
+            frames.push(Frame::put::<LazyArchive>(
+                &(aid.as_str().to_owned(), owner.as_str().to_owned(), *from),
+                &uk.to_wire_bytes(),
+            ));
+        }
+    }
+    ks.apply(&frames);
+    ks
+}
+
+// ---------------------------------------------------------------------
+// Hydration
+// ---------------------------------------------------------------------
+
+fn ks_err(e: mabe_store::SchemaError) -> OpenError {
+    OpenError::Keyspace(e)
+}
+
+fn str_prefix(s: &str) -> Vec<u8> {
+    let mut out = Vec::new();
+    key_str(&mut out, s);
+    out
+}
+
+/// Rebuilds a [`CloudSystem`] from keyspace rows by synthesizing the
+/// legacy snapshot byte layout and running the legacy decoder over it —
+/// one decode path (with all its duplicate/integrity checks) for both
+/// typed and pre-migration snapshots. An entirely empty keyspace
+/// hydrates to a fresh system.
+///
+/// # Errors
+///
+/// [`OpenError::Keyspace`] for undecodable rows,
+/// [`OpenError::Snapshot`] / [`OpenError::Audit`] from the legacy
+/// decoder for semantically broken state.
+pub(crate) fn hydrate(ks: &Keyspace, seed: u64) -> Result<CloudSystem, OpenError> {
+    if ks.total_rows() == 0 {
+        return Ok(CloudSystem::new(seed));
+    }
+    let mut out = Vec::new();
+    out.extend_from_slice(crate::persist::SNAPSHOT_MAGIC);
+    let ca = ks
+        .get::<Meta>(&(META_CA.to_owned(),))
+        .map_err(ks_err)?
+        .ok_or(OpenError::Snapshot(mabe_core::Error::Malformed(
+            "keyspace missing certificate-authority row",
+        )))?;
+    put_bytes(&mut out, &ca);
+
+    let authorities = ks.range::<Authorities>(&[]).map_err(ks_err)?;
+    put_u32(&mut out, authorities.len() as u32);
+    for (_, wire) in &authorities {
+        put_bytes(&mut out, wire);
+    }
+
+    let owners = ks.range::<Owners>(&[]).map_err(ks_err)?;
+    put_u32(&mut out, owners.len() as u32);
+    for (_, wire) in &owners {
+        put_bytes(&mut out, wire);
+    }
+
+    let users = ks.range::<Users>(&[]).map_err(ks_err)?;
+    put_u32(&mut out, users.len() as u32);
+    for ((uid,), pk) in &users {
+        put_str(&mut out, uid);
+        put_bytes(&mut out, pk);
+        let keys = ks.range::<UserKeys>(&str_prefix(uid)).map_err(ks_err)?;
+        put_u32(&mut out, keys.len() as u32);
+        for ((_, owner, aid), key) in &keys {
+            put_str(&mut out, owner);
+            put_str(&mut out, aid);
+            put_bytes(&mut out, key);
+        }
+    }
+
+    // The live invariant gives every registered user a grant set (empty
+    // or not), so synthesize one section entry per user.
+    put_u32(&mut out, users.len() as u32);
+    for ((uid,), _) in &users {
+        put_str(&mut out, uid);
+        let attrs = ks.range::<Grants>(&str_prefix(uid)).map_err(ks_err)?;
+        put_u32(&mut out, attrs.len() as u32);
+        for ((_, attr), _) in &attrs {
+            put_str(&mut out, attr);
+        }
+    }
+
+    let offline = ks.range::<Offline>(&[]).map_err(ks_err)?;
+    put_u32(&mut out, offline.len() as u32);
+    for ((uid,), _) in &offline {
+        put_str(&mut out, uid);
+    }
+
+    let pending_updates = ks.range::<PendingUpdates>(&[]).map_err(ks_err)?;
+    put_u32(&mut out, pending_updates.len() as u32);
+    for ((uid,), value) in &pending_updates {
+        put_str(&mut out, uid);
+        out.extend_from_slice(value);
+    }
+
+    let records = ks.range::<Records>(&[]).map_err(ks_err)?;
+    let mut server_blob = Vec::new();
+    put_u32(&mut server_blob, records.len() as u32);
+    for ((owner, record), envelope) in &records {
+        put_str(&mut server_blob, owner);
+        put_str(&mut server_blob, record);
+        put_bytes(&mut server_blob, envelope);
+    }
+    put_bytes(&mut out, &server_blob);
+
+    let audit_rows = ks.range::<Audit>(&[]).map_err(ks_err)?;
+    let (next_seq, clock) = match ks.get::<Meta>(&(META_AUDIT.to_owned(),)).map_err(ks_err)? {
+        Some(raw) if raw.len() == 16 => (
+            u64::from_be_bytes(raw[..8].try_into().expect("length checked")),
+            u64::from_be_bytes(raw[8..].try_into().expect("length checked")),
+        ),
+        Some(_) => {
+            return Err(OpenError::Snapshot(mabe_core::Error::Malformed(
+                "malformed audit counter row",
+            )))
+        }
+        None => (0, 0),
+    };
+    let mut audit_blob = Vec::new();
+    audit_blob.extend_from_slice(audit::AUDIT_MAGIC);
+    put_u64(&mut audit_blob, next_seq);
+    put_u64(&mut audit_blob, clock);
+    put_u32(&mut audit_blob, audit_rows.len() as u32);
+    for (_, entry) in &audit_rows {
+        audit_blob.extend_from_slice(entry);
+    }
+    put_bytes(&mut out, &audit_blob);
+
+    let pendings = ks.range::<PendingRevocations>(&[]).map_err(ks_err)?;
+    put_u32(&mut out, pendings.len() as u32);
+    for ((id,), value) in &pendings {
+        put_u64(&mut out, *id);
+        out.extend_from_slice(value);
+    }
+
+    let queue = ks.range::<LazyQueue>(&[]).map_err(ks_err)?;
+    // The counter must outrun every id still in flight or queued, even
+    // if the Meta row lagged (it is journaled with the begin batch, so
+    // in practice it never does).
+    let stored_next = match ks
+        .get::<Meta>(&(META_NEXT_REVOCATION.to_owned(),))
+        .map_err(ks_err)?
+    {
+        Some(raw) if raw.len() == 8 => u64::from_be_bytes(raw[..].try_into().expect("len")),
+        Some(_) => {
+            return Err(OpenError::Snapshot(mabe_core::Error::Malformed(
+                "malformed revocation counter row",
+            )))
+        }
+        None => 0,
+    };
+    let next_revocation = stored_next
+        .max(pendings.iter().map(|((id,), _)| id + 1).max().unwrap_or(0))
+        .max(queue.iter().map(|((id,), _)| id + 1).max().unwrap_or(0));
+    put_u64(&mut out, next_revocation);
+
+    put_u32(&mut out, queue.len() as u32);
+    for ((id,), value) in &queue {
+        put_u64(&mut out, *id);
+        out.extend_from_slice(value);
+    }
+
+    let archive = ks.range::<LazyArchive>(&[]).map_err(ks_err)?;
+    put_u32(&mut out, archive.len() as u32);
+    for ((aid, owner, from), uk) in &archive {
+        put_str(&mut out, aid);
+        put_str(&mut out, owner);
+        put_u64(&mut out, *from);
+        put_bytes(&mut out, uk);
+    }
+
+    crate::persist::decode_system(&out, seed)
+}

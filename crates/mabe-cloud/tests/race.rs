@@ -205,3 +205,102 @@ fn eager_storm_with_parallel_reencrypt_pool() {
 fn lazy_storm_with_parallel_reencrypt_pool() {
     revocation_storm(0xbee, true, 4);
 }
+
+/// Hot-key cache vs revocation: readers hammer one record hot enough
+/// that the content-key cache serves most reads, while the revoker
+/// bumps the authority version mid-storm. The invariant is zero stale
+/// reads — once `revoke()` has returned (flag observed *before* the
+/// read began), the revoked user must be denied on every subsequent
+/// read; a cached content key must never outlive the version bump.
+#[test]
+fn hot_key_cache_never_serves_a_stale_read_across_revocation() {
+    let sys = Arc::new(CloudSystem::new(0xcace));
+    sys.add_authority("MedOrg", &["Doctor"]).unwrap();
+    let hospital = sys.add_owner("hospital").unwrap();
+    let alice = sys.add_user("alice").unwrap();
+    let bob = sys.add_user("bob").unwrap();
+    sys.grant(&alice, &["Doctor@MedOrg"]).unwrap();
+    sys.grant(&bob, &["Doctor@MedOrg"]).unwrap();
+    let body = b"hot-chart".to_vec();
+    sys.publish(
+        &hospital,
+        "hot",
+        &[("chart", body.as_slice(), "Doctor@MedOrg")],
+    )
+    .unwrap();
+
+    // Warm the cache so the storm runs on the hit path.
+    for _ in 0..8 {
+        assert_eq!(sys.read(&bob, &hospital, "hot", "chart").unwrap(), body);
+    }
+
+    let revoked = AtomicBool::new(false);
+    let stop = AtomicBool::new(false);
+    let stale_reads = AtomicUsize::new(0);
+
+    thread::scope(|s| {
+        // Readers racing the bump: alice's reads may succeed while her
+        // revocation is still in flight, but never after it acked.
+        for _ in 0..3 {
+            let sys = Arc::clone(&sys);
+            let (hospital, alice) = (hospital.clone(), alice.clone());
+            let (revoked, stop, stale_reads) = (&revoked, &stop, &stale_reads);
+            s.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    let acked_before = revoked.load(Ordering::SeqCst);
+                    let got = sys.read(&alice, &hospital, "hot", "chart");
+                    if acked_before && got.is_ok() {
+                        stale_reads.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+            });
+        }
+        // Survivors on the same hot key: correctness through the bump.
+        for _ in 0..2 {
+            let sys = Arc::clone(&sys);
+            let (hospital, bob) = (hospital.clone(), bob.clone());
+            let stop = &stop;
+            s.spawn(move || {
+                while !stop.load(Ordering::SeqCst) {
+                    assert_eq!(
+                        sys.read(&bob, &hospital, "hot", "chart").unwrap(),
+                        b"hot-chart",
+                        "survivor read corrupted mid-bump"
+                    );
+                }
+            });
+        }
+        // The bump: revoke alice, then publish the ack.
+        let sys_r = Arc::clone(&sys);
+        let hospital_r = hospital.clone();
+        let alice_r = alice.clone();
+        let (revoked, stop) = (&revoked, &stop);
+        s.spawn(move || {
+            sys_r.revoke(&alice_r, "Doctor@MedOrg").unwrap();
+            revoked.store(true, Ordering::SeqCst);
+            // Let the readers chew on the post-revocation state for a
+            // while before calling the race over.
+            for _ in 0..50 {
+                assert!(
+                    sys_r.read(&alice_r, &hospital_r, "hot", "chart").is_err(),
+                    "revoked reader slipped through the cache"
+                );
+            }
+            stop.store(true, Ordering::SeqCst);
+        });
+    });
+
+    assert_eq!(
+        stale_reads.load(Ordering::SeqCst),
+        0,
+        "cached content key served a read after the revocation acked"
+    );
+    let stats = sys.cache_stats();
+    assert!(
+        stats.content_hits > 0,
+        "storm never hit the content-key cache (hits={}, misses={})",
+        stats.content_hits,
+        stats.content_misses
+    );
+    assert!(sys.audit().verify());
+}

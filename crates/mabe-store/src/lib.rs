@@ -25,6 +25,11 @@
 //!   stage records and the elected leader batches every staged record
 //!   under a single sync, so N concurrent journal writes cost one disk
 //!   flush instead of N.
+//! * The typed keyspace — [`Schema`] tables (order-preserving key
+//!   codecs, [`define_table!`]), [`Frame`]-batch journaling, a
+//!   [`Keyspace`] of ordered rows with prefix range scans, and
+//!   [`TypedStore`]: the journaled facade with per-table checkpoint
+//!   sections and foreign-format classification at reopen.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,17 +38,24 @@ mod compact;
 mod crc;
 mod group;
 mod manifest;
+mod schema;
 mod scrub;
 mod segment;
 mod sim;
 mod storage;
+mod typed;
 mod wal;
 
 pub use compact::CheckpointFailure;
 pub use crc::crc32;
 pub use group::{GroupWal, StoreRef};
 pub use manifest::{Manifest, SegmentEntry};
+pub use schema::{
+    decode_frames, encode_frames, is_frame_record, key_str, key_u64, ByteReader, Frame, FrameOp,
+    Schema, SchemaError, FRAME_RECORD_MARKER, KEYSPACE_SNAPSHOT_MAGIC,
+};
 pub use scrub::ScrubReport;
 pub use sim::SimDisk;
 pub use storage::{store_points, Storage, StorageUsage, StoreError};
+pub use typed::{Keyspace, ReplayRecord, ReplaySnapshot, TypedOpen, TypedOpenError, TypedStore};
 pub use wal::{RecoveryReport, Wal, WalOpenError, DEFAULT_SEGMENT_BUDGET};

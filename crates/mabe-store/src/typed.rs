@@ -1,0 +1,797 @@
+//! The typed keyspace: an in-memory table set ([`Keyspace`]) plus a
+//! journaled facade over the segmented WAL ([`TypedStore`]).
+//!
+//! A [`Keyspace`] is the pure state: ordered rows per table, mutated by
+//! applying [`Frame`]s and snapshotted as per-table checkpoint sections.
+//! A [`TypedStore`] binds a keyspace to a [`GroupWal`]: every mutation
+//! is journaled as a frame batch before it is acknowledged
+//! (acked ⇒ durable), checkpoints write the per-table snapshot, and
+//! reopen replays snapshot + frames back into tables.
+//!
+//! Logs are allowed to contain **foreign** records — payloads written
+//! by an older, pre-typed journal format. [`TypedStore::open`] never
+//! guesses at those: it classifies each replayed record as
+//! [`ReplayRecord::Frames`] or [`ReplayRecord::Foreign`] and hands the
+//! whole ordered list back. A log with no foreign parts is hydrated
+//! automatically; a mixed log leaves hydration to the caller's replay
+//! shim, which converts foreign state at the format boundary and
+//! installs the rebuilt keyspace via [`TypedStore::install_keyspace`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Mutex, MutexGuard, PoisonError, RwLock};
+
+use crate::compact::CheckpointFailure;
+use crate::group::{GroupWal, StoreRef};
+use crate::schema::{
+    decode_frames, encode_frames, is_frame_record, ByteReader, Frame, FrameOp, Schema, SchemaError,
+    KEYSPACE_SNAPSHOT_MAGIC,
+};
+use crate::scrub::ScrubReport;
+use crate::storage::{Storage, StoreError};
+use crate::wal::{RecoveryReport, WalOpenError};
+
+fn lock_ok<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Decoded rows of table `T` in key order — what a prefix range scan
+/// returns.
+pub type Rows<T> = Vec<(<T as Schema>::Key, <T as Schema>::Value)>;
+
+/// One table's in-memory state: ordered rows plus the debug name the
+/// snapshot sections carry.
+#[derive(Clone, Debug, Default)]
+struct TableData {
+    name: String,
+    rows: BTreeMap<Vec<u8>, Vec<u8>>,
+}
+
+/// An ordered, schema-addressed table set.
+///
+/// All row access is by encoded key, so iteration order is the codec's
+/// lexicographic order and `range` is a prefix scan. The keyspace is
+/// internally locked: reads take a shared lock, mutations an exclusive
+/// one. Callers that must keep mutation order aligned with journal
+/// order (the durable replay invariant) serialize externally —
+/// [`TypedStore`] does.
+#[derive(Debug, Default)]
+pub struct Keyspace {
+    tables: RwLock<BTreeMap<u16, TableData>>,
+}
+
+impl Clone for Keyspace {
+    fn clone(&self) -> Self {
+        Keyspace {
+            tables: RwLock::new(
+                self.tables
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
+}
+
+impl Keyspace {
+    /// An empty keyspace.
+    pub fn new() -> Self {
+        Keyspace::default()
+    }
+
+    fn read_tables(&self) -> std::sync::RwLockReadGuard<'_, BTreeMap<u16, TableData>> {
+        self.tables.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_tables(&self) -> std::sync::RwLockWriteGuard<'_, BTreeMap<u16, TableData>> {
+        self.tables.write().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Registers table `T` (so snapshots carry its name even while it
+    /// is empty). Idempotent.
+    pub fn register<T: Schema>(&self) {
+        let mut tables = self.write_tables();
+        let entry = tables.entry(T::ID).or_default();
+        if entry.name.is_empty() {
+            entry.name = T::NAME.to_owned();
+        }
+    }
+
+    /// The decoded row at `key` in table `T`, if present.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemaError`] if the stored value bytes do not decode.
+    pub fn get<T: Schema>(&self, key: &T::Key) -> Result<Option<T::Value>, SchemaError> {
+        let kb = T::key_bytes(key);
+        match self.read_tables().get(&T::ID).and_then(|t| t.rows.get(&kb)) {
+            Some(v) => Ok(Some(T::decode_value(v)?)),
+            None => Ok(None),
+        }
+    }
+
+    /// The raw value bytes at `key` in table `table`, if present.
+    pub fn get_raw(&self, table: u16, key: &[u8]) -> Option<Vec<u8>> {
+        self.read_tables()
+            .get(&table)
+            .and_then(|t| t.rows.get(key))
+            .cloned()
+    }
+
+    /// Whether table `T` has a row at `key`.
+    pub fn contains<T: Schema>(&self, key: &T::Key) -> bool {
+        let kb = T::key_bytes(key);
+        self.read_tables()
+            .get(&T::ID)
+            .is_some_and(|t| t.rows.contains_key(&kb))
+    }
+
+    /// Inserts or replaces a row in table `T` (in-memory only — the
+    /// journaled path is [`TypedStore::put`]).
+    pub fn put<T: Schema>(&self, key: &T::Key, value: &T::Value) {
+        let kb = T::key_bytes(key);
+        let vb = T::value_bytes(value);
+        let mut tables = self.write_tables();
+        let entry = tables.entry(T::ID).or_default();
+        if entry.name.is_empty() {
+            entry.name = T::NAME.to_owned();
+        }
+        entry.rows.insert(kb, vb);
+    }
+
+    /// Removes a row from table `T` (in-memory only). Returns whether
+    /// the row existed.
+    pub fn delete<T: Schema>(&self, key: &T::Key) -> bool {
+        let kb = T::key_bytes(key);
+        self.write_tables()
+            .get_mut(&T::ID)
+            .is_some_and(|t| t.rows.remove(&kb).is_some())
+    }
+
+    /// Every row of table `T` whose encoded key starts with `prefix`,
+    /// decoded, in key order. Build prefixes from the same key
+    /// component encoders ([`crate::key_str`] / [`crate::key_u64`]) —
+    /// component boundaries guarantee a prefix never matches a sibling
+    /// (`enc("a")` is not a byte prefix of `enc("ab")`).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemaError`] if any matched row fails to decode.
+    pub fn range<T: Schema>(&self, prefix: &[u8]) -> Result<Rows<T>, SchemaError> {
+        self.range_raw(T::ID, prefix)
+            .into_iter()
+            .map(|(k, v)| Ok((T::decode_key(&k)?, T::decode_value(&v)?)))
+            .collect()
+    }
+
+    /// Raw-bytes form of [`Keyspace::range`].
+    pub fn range_raw(&self, table: u16, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let tables = self.read_tables();
+        let Some(t) = tables.get(&table) else {
+            return Vec::new();
+        };
+        t.rows
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Number of rows in table `table` (0 if absent).
+    pub fn rows(&self, table: u16) -> usize {
+        self.read_tables().get(&table).map_or(0, |t| t.rows.len())
+    }
+
+    /// Total rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.read_tables().values().map(|t| t.rows.len()).sum()
+    }
+
+    /// Applies a frame batch in order: puts insert/replace, deletes
+    /// remove (deleting an absent row is a no-op, so replay is
+    /// idempotent at batch granularity).
+    pub fn apply(&self, frames: &[Frame]) {
+        let mut tables = self.write_tables();
+        for frame in frames {
+            let entry = tables.entry(frame.table).or_default();
+            match frame.op {
+                FrameOp::Put => {
+                    entry.rows.insert(frame.key.clone(), frame.value.clone());
+                }
+                FrameOp::Delete => {
+                    entry.rows.remove(&frame.key);
+                }
+            }
+        }
+    }
+
+    /// Drops every row and table.
+    pub fn clear(&self) {
+        self.write_tables().clear();
+    }
+
+    /// Replaces this keyspace's contents with `other`'s.
+    pub fn replace_with(&self, other: &Keyspace) {
+        *self.write_tables() = other.read_tables().clone();
+    }
+
+    /// Encodes the per-table checkpoint snapshot: magic, table count,
+    /// then each table (id, name, row count, rows) in id order with
+    /// rows in key order — byte-stable for identical contents.
+    pub fn encode_snapshot(&self) -> Vec<u8> {
+        let tables = self.read_tables();
+        let mut out = Vec::new();
+        out.extend_from_slice(KEYSPACE_SNAPSHOT_MAGIC);
+        out.extend_from_slice(&(tables.len() as u32).to_be_bytes());
+        for (id, table) in tables.iter() {
+            out.extend_from_slice(&id.to_be_bytes());
+            out.extend_from_slice(&(table.name.len() as u16).to_be_bytes());
+            out.extend_from_slice(table.name.as_bytes());
+            out.extend_from_slice(&(table.rows.len() as u64).to_be_bytes());
+            for (k, v) in &table.rows {
+                out.extend_from_slice(&(k.len() as u32).to_be_bytes());
+                out.extend_from_slice(k);
+                out.extend_from_slice(&(v.len() as u32).to_be_bytes());
+                out.extend_from_slice(v);
+            }
+        }
+        out
+    }
+
+    /// Whether `bytes` starts with the typed snapshot magic.
+    pub fn is_snapshot(bytes: &[u8]) -> bool {
+        bytes.starts_with(KEYSPACE_SNAPSHOT_MAGIC)
+    }
+
+    /// Decodes a snapshot produced by [`Keyspace::encode_snapshot`].
+    ///
+    /// # Errors
+    ///
+    /// [`SchemaError`] (offset-carrying where applicable) on truncated
+    /// or malformed input.
+    pub fn decode_snapshot(bytes: &[u8]) -> Result<Keyspace, SchemaError> {
+        let mut r = ByteReader::new(bytes);
+        if r.take(8)? != KEYSPACE_SNAPSHOT_MAGIC {
+            return Err(SchemaError::BadMagic);
+        }
+        let table_count = r.u32()? as usize;
+        if table_count > u16::MAX as usize + 1 {
+            return Err(SchemaError::Malformed("implausible table count"));
+        }
+        let mut tables = BTreeMap::new();
+        for _ in 0..table_count {
+            let id = r.u16()?;
+            let name_len = r.u16()? as usize;
+            let name = String::from_utf8(r.take(name_len)?.to_vec())
+                .map_err(|_| SchemaError::Malformed("table name not utf-8"))?;
+            let row_count = r.u64()?;
+            // Each row costs at least 8 framing bytes.
+            if row_count > (r.remaining() as u64) / 8 + 1 {
+                return Err(SchemaError::Malformed("implausible row count"));
+            }
+            let mut rows = BTreeMap::new();
+            for _ in 0..row_count {
+                let k = r.len_bytes()?.to_vec();
+                let v = r.len_bytes()?.to_vec();
+                rows.insert(k, v);
+            }
+            if tables.insert(id, TableData { name, rows }).is_some() {
+                return Err(SchemaError::Malformed("duplicate table id"));
+            }
+        }
+        r.expect_exhausted()?;
+        Ok(Keyspace {
+            tables: RwLock::new(tables),
+        })
+    }
+}
+
+/// One replayed WAL record, classified by format.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayRecord {
+    /// A typed frame batch (already decoded).
+    Frames(Vec<Frame>),
+    /// A record written by some other journal format — the caller's
+    /// replay shim interprets it.
+    Foreign(Vec<u8>),
+}
+
+/// The checkpoint snapshot recovered at open, classified by format.
+#[derive(Clone, Debug)]
+pub enum ReplaySnapshot {
+    /// No checkpoint existed.
+    None,
+    /// A typed per-table snapshot (already decoded).
+    Typed(Keyspace),
+    /// A snapshot written by some other format — the caller's replay
+    /// shim interprets it.
+    Foreign(Vec<u8>),
+}
+
+/// What [`TypedStore::open`] recovered, in replay order.
+#[derive(Debug)]
+pub struct TypedOpen {
+    /// The checkpoint, classified.
+    pub snapshot: ReplaySnapshot,
+    /// Every post-checkpoint record, classified, in log order.
+    pub records: Vec<ReplayRecord>,
+    /// The underlying WAL recovery report.
+    pub report: RecoveryReport,
+    /// Whether the store hydrated itself (true exactly when no foreign
+    /// snapshot or record was present).
+    pub self_hydrated: bool,
+}
+
+/// Why [`TypedStore::open`] failed.
+#[derive(Debug)]
+pub enum TypedOpenError<S> {
+    /// The underlying WAL failed to open (store handed back inside).
+    Wal(WalOpenError<S>),
+    /// A CRC-intact record carried the frame marker but did not decode
+    /// — a writer bug or incompatible future format, reported with the
+    /// record's index in the replayed log and the offending offset
+    /// inside it. The backing store is handed back for forensics.
+    Record {
+        /// Index of the record within the replayed (post-checkpoint)
+        /// log.
+        index: usize,
+        /// The decode failure, carrying the byte offset.
+        error: SchemaError,
+        /// The backing store, handed back untouched for repair.
+        store: S,
+    },
+    /// The checkpoint snapshot carried the typed magic but did not
+    /// decode. The backing store is handed back for forensics.
+    Snapshot {
+        /// The decode failure.
+        error: SchemaError,
+        /// The backing store, handed back untouched for repair.
+        store: S,
+    },
+}
+
+impl<S> fmt::Display for TypedOpenError<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypedOpenError::Wal(e) => write!(f, "{e}"),
+            TypedOpenError::Record { index, error, .. } => {
+                write!(f, "frame record {index} rejected: {error}")
+            }
+            TypedOpenError::Snapshot { error, .. } => {
+                write!(f, "typed snapshot rejected: {error}")
+            }
+        }
+    }
+}
+
+/// A typed keyspace bound to the segmented WAL: mutations journal frame
+/// batches (acked ⇒ durable), checkpoints write per-table snapshot
+/// sections, reopen replays both.
+#[derive(Debug)]
+pub struct TypedStore<S: Storage> {
+    wal: GroupWal<S>,
+    ks: Keyspace,
+    /// Serializes apply-order with stage-order for the facade ops, so
+    /// replay reconstructs exactly the in-memory state.
+    write_order: Mutex<()>,
+}
+
+impl<S: Storage> TypedStore<S> {
+    /// Opens the store, replaying the checkpoint and log.
+    ///
+    /// If everything recovered is typed (or the log is empty), the
+    /// internal keyspace is hydrated before returning and
+    /// [`TypedOpen::self_hydrated`] is true. If any foreign snapshot or
+    /// record is present, the keyspace is left empty and the caller's
+    /// shim must rebuild it from [`TypedOpen`] (converting foreign
+    /// state at the format boundary) and install it with
+    /// [`TypedStore::install_keyspace`].
+    ///
+    /// # Errors
+    ///
+    /// [`TypedOpenError`] — WAL-level failure, or a marker-bearing
+    /// record/snapshot that does not decode.
+    pub fn open(store: S) -> Result<(Self, TypedOpen), TypedOpenError<S>> {
+        let (wal, raw_snapshot, raw_records, report) =
+            GroupWal::open(store).map_err(TypedOpenError::Wal)?;
+        let snapshot = match raw_snapshot {
+            None => ReplaySnapshot::None,
+            Some(bytes) if Keyspace::is_snapshot(&bytes) => {
+                match Keyspace::decode_snapshot(&bytes) {
+                    Ok(snap) => ReplaySnapshot::Typed(snap),
+                    Err(error) => {
+                        return Err(TypedOpenError::Snapshot {
+                            error,
+                            store: wal.into_store(),
+                        })
+                    }
+                }
+            }
+            Some(bytes) => ReplaySnapshot::Foreign(bytes),
+        };
+        let mut records = Vec::with_capacity(raw_records.len());
+        for (index, payload) in raw_records.into_iter().enumerate() {
+            if is_frame_record(&payload) {
+                match decode_frames(&payload) {
+                    Ok(frames) => records.push(ReplayRecord::Frames(frames)),
+                    Err(error) => {
+                        return Err(TypedOpenError::Record {
+                            index,
+                            error,
+                            store: wal.into_store(),
+                        })
+                    }
+                }
+            } else {
+                records.push(ReplayRecord::Foreign(payload));
+            }
+        }
+        let pure_typed = !matches!(snapshot, ReplaySnapshot::Foreign(_))
+            && records.iter().all(|r| matches!(r, ReplayRecord::Frames(_)));
+        let ks = Keyspace::new();
+        if pure_typed {
+            if let ReplaySnapshot::Typed(snap) = &snapshot {
+                ks.replace_with(snap);
+            }
+            for record in &records {
+                if let ReplayRecord::Frames(frames) = record {
+                    ks.apply(frames);
+                }
+            }
+        }
+        Ok((
+            TypedStore {
+                wal,
+                ks,
+                write_order: Mutex::new(()),
+            },
+            TypedOpen {
+                snapshot,
+                records,
+                report,
+                self_hydrated: pure_typed,
+            },
+        ))
+    }
+
+    /// The live keyspace.
+    pub fn keyspace(&self) -> &Keyspace {
+        &self.ks
+    }
+
+    /// Replaces the live keyspace with `ks` — the replay shim's final
+    /// step after rebuilding state from a foreign or mixed log.
+    pub fn install_keyspace(&self, ks: &Keyspace) {
+        let _order = lock_ok(&self.write_order);
+        self.ks.replace_with(ks);
+    }
+
+    /// Journaled read (facade): decoded row of table `T` at `key`.
+    ///
+    /// # Errors
+    ///
+    /// [`SchemaError`] if the stored bytes do not decode.
+    pub fn get<T: Schema>(&self, key: &T::Key) -> Result<Option<T::Value>, SchemaError> {
+        self.ks.get::<T>(key)
+    }
+
+    /// Journaled insert/replace: stages the frame, applies it, and
+    /// blocks until durable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the journal write failed (the mutation is
+    /// still applied in memory only if the journal accepted it — on
+    /// error the row is **not** applied).
+    pub fn put<T: Schema>(&self, key: &T::Key, value: &T::Value) -> Result<(), StoreError> {
+        self.mutate(Frame::put::<T>(key, value))
+    }
+
+    /// Journaled delete: stages the frame, applies it, and blocks until
+    /// durable.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the journal write failed (the delete is not
+    /// applied).
+    pub fn delete<T: Schema>(&self, key: &T::Key) -> Result<(), StoreError> {
+        self.mutate(Frame::delete::<T>(key))
+    }
+
+    fn mutate(&self, frame: Frame) -> Result<(), StoreError> {
+        let frames = [frame];
+        let seq = {
+            let _order = lock_ok(&self.write_order);
+            let seq = self.wal.stage(&encode_frames(&frames));
+            self.ks.apply(&frames);
+            seq
+        };
+        self.wal.commit(seq)
+    }
+
+    /// Prefix range scan over table `T` (see [`Keyspace::range`]).
+    ///
+    /// # Errors
+    ///
+    /// [`SchemaError`] if a matched row fails to decode.
+    pub fn range<T: Schema>(&self, prefix: &[u8]) -> Result<Rows<T>, SchemaError> {
+        self.ks.range::<T>(prefix)
+    }
+
+    /// Stages a frame batch as one WAL record and returns its commit
+    /// sequence. Low-level API for callers that serialize their own
+    /// apply order (stage under the same lock that mutates state, then
+    /// [`TypedStore::commit`] outside it). Does **not** touch the
+    /// keyspace.
+    pub fn stage_frames(&self, frames: &[Frame]) -> u64 {
+        self.wal.stage(&encode_frames(frames))
+    }
+
+    /// Blocks until every record staged at or before `seq` is durable.
+    ///
+    /// # Errors
+    ///
+    /// The poisoning [`StoreError`] (see [`GroupWal::commit`]).
+    pub fn commit(&self, seq: u64) -> Result<(), StoreError> {
+        self.wal.commit(seq)
+    }
+
+    /// Stages a frame batch, applies it to the keyspace, and blocks
+    /// until durable — the serialized single-call form.
+    ///
+    /// # Errors
+    ///
+    /// The poisoning [`StoreError`] (the batch stays applied in memory;
+    /// a failed commit poisons the log, so the caller must treat the
+    /// state as non-durable).
+    pub fn append_frames_sync(&self, frames: &[Frame]) -> Result<(), StoreError> {
+        let seq = {
+            let _order = lock_ok(&self.write_order);
+            let seq = self.wal.stage(&encode_frames(frames));
+            self.ks.apply(frames);
+            seq
+        };
+        self.wal.commit(seq)
+    }
+
+    /// Checkpoints the live keyspace as a per-table snapshot, truncating
+    /// the log (see [`GroupWal::checkpoint`] for failure
+    /// classification).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointFailure`] — `dirty` poisons, clean leaves the old
+    /// generation authoritative.
+    pub fn checkpoint(&self) -> Result<(), CheckpointFailure> {
+        self.wal.checkpoint(&self.ks.encode_snapshot())
+    }
+
+    /// Checkpoints an externally assembled keyspace image instead of
+    /// the live one (the durable system snapshots under its own op
+    /// lock).
+    ///
+    /// # Errors
+    ///
+    /// [`CheckpointFailure`] as for [`TypedStore::checkpoint`].
+    pub fn checkpoint_keyspace(&self, ks: &Keyspace) -> Result<(), CheckpointFailure> {
+        self.wal.checkpoint(&ks.encode_snapshot())
+    }
+
+    /// One scrub pass over cold segments (see [`GroupWal::scrub`]).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the scrub could not run.
+    pub fn scrub(&self) -> Result<ScrubReport, StoreError> {
+        self.wal.scrub()
+    }
+
+    /// Quarantines `names` for forensics.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError`] if the move failed.
+    pub fn quarantine(&self, names: &[String]) -> Result<(), StoreError> {
+        self.wal.quarantine(names)
+    }
+
+    /// Live log bytes (cold + active segments).
+    pub fn live_log_bytes(&self) -> usize {
+        self.wal.live_log_bytes()
+    }
+
+    /// Live segment count.
+    pub fn segments_live(&self) -> usize {
+        self.wal.segments_live()
+    }
+
+    /// Sets the per-segment rotation budget.
+    pub fn set_segment_budget(&self, budget: usize) {
+        self.wal.set_segment_budget(budget)
+    }
+
+    /// The committed generation.
+    pub fn generation(&self) -> u64 {
+        self.wal.generation()
+    }
+
+    /// The backing store, through the log's lock.
+    pub fn storage(&self) -> StoreRef<'_, S> {
+        self.wal.storage()
+    }
+
+    /// The backing store, mutably (exclusive access).
+    pub fn store_mut(&mut self) -> &mut S {
+        self.wal.store_mut()
+    }
+
+    /// Consumes the store, handing back the backing storage.
+    pub fn into_store(self) -> S {
+        self.wal.into_store()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::define_table;
+    use crate::schema::{key_str, key_u64};
+    use crate::sim::SimDisk;
+
+    define_table!(
+        /// Users keyed by uid.
+        Users: 1, "users",
+        key(uid: str)
+    );
+
+    define_table!(
+        /// Grants keyed by (uid, attribute).
+        Grants: 2, "grants",
+        key(uid: str, attr: str)
+    );
+
+    define_table!(
+        /// Versioned components keyed by (authority, object, version).
+        Components: 3, "components",
+        key(aid: str, object: str, version: u64)
+    );
+
+    fn fresh() -> TypedStore<SimDisk> {
+        TypedStore::open(SimDisk::unfaulted())
+            .expect("fresh open")
+            .0
+    }
+
+    #[test]
+    fn put_get_delete_survive_reopen() {
+        let ts = fresh();
+        ts.put::<Users>(&("u1".into(),), &b"alice".to_vec())
+            .unwrap();
+        ts.put::<Users>(&("u2".into(),), &b"bob".to_vec()).unwrap();
+        ts.delete::<Users>(&("u1".into(),)).unwrap();
+        let mut disk = ts.into_store();
+        disk.crash();
+        let (ts, open) = TypedStore::open(disk).unwrap();
+        assert!(open.self_hydrated);
+        assert_eq!(open.records.len(), 3);
+        assert_eq!(ts.get::<Users>(&("u1".into(),)).unwrap(), None);
+        assert_eq!(
+            ts.get::<Users>(&("u2".into(),)).unwrap(),
+            Some(b"bob".to_vec())
+        );
+    }
+
+    #[test]
+    fn checkpoint_snapshots_by_table_and_reopen_uses_it() {
+        let ts = fresh();
+        ts.put::<Users>(&("u".into(),), &b"x".to_vec()).unwrap();
+        ts.put::<Grants>(&("u".into(), "a@org".into()), &Vec::new())
+            .unwrap();
+        ts.checkpoint().unwrap();
+        ts.put::<Grants>(&("u".into(), "b@org".into()), &Vec::new())
+            .unwrap();
+        let (ts, open) = TypedStore::open(ts.into_store()).unwrap();
+        assert!(open.report.had_snapshot);
+        assert_eq!(open.records.len(), 1, "only the post-checkpoint record");
+        assert_eq!(ts.keyspace().rows(Grants::ID), 2);
+        assert_eq!(ts.keyspace().rows(Users::ID), 1);
+    }
+
+    #[test]
+    fn range_scans_respect_component_prefix_boundaries() {
+        let ts = fresh();
+        for (aid, object, version) in [
+            ("a", "obj", 1u64),
+            ("a", "obj", 2),
+            ("a", "other", 1),
+            ("ab", "obj", 1),
+            ("b", "obj", 9),
+        ] {
+            ts.put::<Components>(
+                &(aid.into(), object.into(), version),
+                &version.to_be_bytes().to_vec(),
+            )
+            .unwrap();
+        }
+        // Prefix = authority "a": matches exactly the three "a" rows,
+        // never authority "ab".
+        let mut prefix = Vec::new();
+        key_str(&mut prefix, "a");
+        let hits = ts.range::<Components>(&prefix).unwrap();
+        let keys: Vec<(String, String, u64)> = hits.into_iter().map(|(k, _)| k).collect();
+        assert_eq!(
+            keys,
+            vec![
+                ("a".into(), "obj".into(), 1),
+                ("a".into(), "obj".into(), 2),
+                ("a".into(), "other".into(), 1),
+            ]
+        );
+        // Prefix = (authority, object): version order is numeric.
+        let mut prefix = Vec::new();
+        key_str(&mut prefix, "a");
+        key_str(&mut prefix, "obj");
+        let versions: Vec<u64> = ts
+            .range::<Components>(&prefix)
+            .unwrap()
+            .into_iter()
+            .map(|(k, _)| k.2)
+            .collect();
+        assert_eq!(versions, vec![1, 2]);
+        // A full-key prefix including the u64 matches exactly one row.
+        key_u64(&mut prefix, 2);
+        assert_eq!(ts.range::<Components>(&prefix).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn foreign_records_and_snapshot_defer_hydration_to_the_shim() {
+        // Write a log in a "legacy" format: opaque snapshot + opaque
+        // records + one typed frame batch on top.
+        let (gw, ..) = GroupWal::open(SimDisk::unfaulted()).unwrap();
+        gw.checkpoint(b"LEGACY-SNAP").unwrap();
+        gw.append_sync(&[7, 1, 2, 3]).unwrap();
+        let frames = vec![Frame::put::<Users>(&("u".into(),), &b"v".to_vec())];
+        gw.append_sync(&encode_frames(&frames)).unwrap();
+        let (ts, open) = TypedStore::open(gw.into_store()).unwrap();
+        assert!(!open.self_hydrated);
+        assert_eq!(ts.keyspace().total_rows(), 0, "shim owns hydration");
+        assert!(matches!(&open.snapshot, ReplaySnapshot::Foreign(b) if b == b"LEGACY-SNAP"));
+        assert_eq!(
+            open.records,
+            vec![
+                ReplayRecord::Foreign(vec![7, 1, 2, 3]),
+                ReplayRecord::Frames(frames),
+            ]
+        );
+        // The shim rebuilds and installs.
+        let rebuilt = Keyspace::new();
+        rebuilt.put::<Users>(&("legacy".into(),), &vec![1]);
+        ts.install_keyspace(&rebuilt);
+        assert_eq!(ts.keyspace().rows(Users::ID), 1);
+    }
+
+    #[test]
+    fn keyspace_snapshot_roundtrips_and_rejects_damage() {
+        let ks = Keyspace::new();
+        ks.register::<Users>();
+        ks.put::<Grants>(&("u".into(), "a".into()), &b"g".to_vec());
+        ks.put::<Components>(&("x".into(), "y".into(), 3), &Vec::new());
+        let snap = ks.encode_snapshot();
+        assert!(Keyspace::is_snapshot(&snap));
+        let back = Keyspace::decode_snapshot(&snap).unwrap();
+        assert_eq!(back.encode_snapshot(), snap, "byte-stable roundtrip");
+        assert_eq!(back.rows(Users::ID), 0, "registered empty table kept");
+        for cut in 0..snap.len() {
+            assert!(
+                Keyspace::decode_snapshot(&snap[..cut]).is_err(),
+                "cut {cut} accepted"
+            );
+        }
+        let mut bad = snap.clone();
+        bad[0] ^= 0xFF;
+        assert!(matches!(
+            Keyspace::decode_snapshot(&bad),
+            Err(SchemaError::BadMagic)
+        ));
+    }
+}
